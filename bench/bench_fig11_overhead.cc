@@ -1,0 +1,43 @@
+// Figure 11: latency overhead w.r.t. the eventually consistent Cloudburst
+// baseline (median and P99 ratios).
+#include "bench_util.h"
+
+using namespace faastcc;
+using namespace faastcc::bench;
+
+int main() {
+  print_preamble("Figure 11", "latency overhead vs eventual consistency");
+
+  struct Row {
+    const char* name;
+    SystemKind system;
+    bool static_txns;
+    double paper[3][2];  // per zipf {med ratio, p99 ratio}
+  };
+  const Row rows[] = {
+      {"HydroCache-Static", SystemKind::kHydroCache, true,
+       {{1.2, 2.0}, {1.7, 3.2}, {2.1, 4.0}}},
+      {"HydroCache-Dynamic", SystemKind::kHydroCache, false,
+       {{6.3, 9.3}, {3.7, 6.7}, {2.7, 5.2}}},
+      {"FaaSTCC", SystemKind::kFaasTcc, false,
+       {{1.3, 1.6}, {1.7, 2.1}, {1.9, 2.3}}},
+  };
+  const double zipfs[] = {1.0, 1.25, 1.5};
+
+  Table table({"system", "zipf", "median ratio", "p99 ratio",
+               "paper median", "paper p99"});
+  for (int z = 0; z < 3; ++z) {
+    const SummaryStats base =
+        run_or_load(base_config(SystemKind::kCloudburst, zipfs[z], false));
+    for (const Row& row : rows) {
+      const SummaryStats s =
+          run_or_load(base_config(row.system, zipfs[z], row.static_txns));
+      table.add_row({row.name, fmt(zipfs[z], 2),
+                     fmt(s.latency_med_ms / base.latency_med_ms, 1),
+                     fmt(s.latency_p99_ms / base.latency_p99_ms, 1),
+                     fmt(row.paper[z][0], 1), fmt(row.paper[z][1], 1)});
+    }
+  }
+  table.print();
+  return 0;
+}

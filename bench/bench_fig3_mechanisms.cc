@@ -1,0 +1,40 @@
+// Figure 3: contribution of FaaSTCC's mechanisms.  Three configurations at
+// Zipf 1.0: fixed snapshot without promises, fixed snapshot with promises,
+// and the full system (promises + snapshot intervals).  Latency normalized
+// to the first configuration.  Paper: 1.00 / 0.71 / 0.48.
+#include "bench_util.h"
+
+using namespace faastcc;
+using namespace faastcc::bench;
+
+int main() {
+  print_preamble("Figure 3", "impact of promises and snapshot intervals");
+
+  struct Config {
+    const char* name;
+    bool use_promises;
+    bool use_interval;
+    double paper_normalized;
+  };
+  const Config configs[] = {
+      {"No-promise / Fixed-snapshot", false, false, 1.00},
+      {"Promise / Fixed-snapshot", true, false, 0.71},
+      {"Promise / Snapshot-interval", true, true, 0.48},
+  };
+
+  double base = 0;
+  Table table({"configuration", "median latency (ms)", "normalized",
+               "paper normalized"});
+  for (const Config& c : configs) {
+    ExperimentConfig cfg = base_config(SystemKind::kFaasTcc, 1.0, false);
+    cfg.faastcc.use_promises = c.use_promises;
+    cfg.faastcc.use_interval = c.use_interval;
+    const SummaryStats s = run_or_load(cfg);
+    if (base == 0) base = s.latency_med_ms;
+    table.add_row({c.name, fmt(s.latency_med_ms, 2),
+                   fmt(s.latency_med_ms / base, 2),
+                   fmt(c.paper_normalized, 2)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 4a: end-to-end DAG latency (median and P99) of
+// HydroCache-Static, HydroCache-Dynamic and FaaSTCC across workload skews.
+#include "bench_util.h"
+
+using namespace faastcc;
+using namespace faastcc::bench;
+
+int main() {
+  print_preamble("Figure 4a", "latency: median and P99 (ms)");
+
+  struct Row {
+    const char* name;
+    SystemKind system;
+    bool static_txns;
+    // paper values per zipf {1.0, 1.25, 1.5}: {med, p99}
+    double paper[3][2];
+  };
+  const Row rows[] = {
+      {"HydroCache-Static", SystemKind::kHydroCache, true,
+       {{9.7, 18.7}, {11.4, 24.5}, {13.4, 28.8}}},
+      {"HydroCache-Dynamic", SystemKind::kHydroCache, false,
+       {{51.4, 86.1}, {25.6, 51.7}, {17.7, 37.6}}},
+      {"FaaSTCC", SystemKind::kFaasTcc, false,
+       {{10.2, 14.8}, {12.0, 16.4}, {12.4, 16.8}}},
+  };
+  const double zipfs[] = {1.0, 1.25, 1.5};
+
+  Table table({"system", "zipf", "median", "p99", "paper median",
+               "paper p99", "abort %"});
+  for (const Row& row : rows) {
+    for (int z = 0; z < 3; ++z) {
+      const SummaryStats s =
+          run_or_load(base_config(row.system, zipfs[z], row.static_txns));
+      table.add_row({row.name, fmt(zipfs[z], 2), fmt(s.latency_med_ms, 1),
+                     fmt(s.latency_p99_ms, 1), fmt(row.paper[z][0], 1),
+                     fmt(row.paper[z][1], 1), fmt(100 * s.abort_rate, 1)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 4b: average throughput (DAGs/s), same sweep as Fig. 4a.
+#include "bench_util.h"
+
+using namespace faastcc;
+using namespace faastcc::bench;
+
+int main() {
+  print_preamble("Figure 4b", "average throughput (DAGs/s)");
+
+  struct Row {
+    const char* name;
+    SystemKind system;
+    bool static_txns;
+    double paper[3];  // zipf 1.0 / 1.25 / 1.5
+  };
+  const Row rows[] = {
+      {"HydroCache-Static", SystemKind::kHydroCache, true,
+       {1649.5, 1403.5, 1194.0}},
+      {"HydroCache-Dynamic", SystemKind::kHydroCache, false,
+       {311.3, 625.0, 904.0}},
+      {"FaaSTCC", SystemKind::kFaasTcc, false, {1568.6, 1333.3, 1290.3}},
+  };
+  const double zipfs[] = {1.0, 1.25, 1.5};
+
+  Table table({"system", "zipf", "throughput", "paper throughput"});
+  for (const Row& row : rows) {
+    for (int z = 0; z < 3; ++z) {
+      const SummaryStats s =
+          run_or_load(base_config(row.system, zipfs[z], row.static_txns));
+      table.add_row({row.name, fmt(zipfs[z], 2), fmt(s.throughput, 1),
+                     fmt(row.paper[z], 1)});
+    }
+  }
+  table.print();
+  return 0;
+}

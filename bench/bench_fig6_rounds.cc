@@ -1,0 +1,39 @@
+// Figure 6: communication rounds needed to read a consistent snapshot
+// from storage (median and P99 per read episode).  The TCC storage layer
+// lets FaaSTCC resolve every episode in one round; HydroCache retries
+// against the eventually consistent store.
+#include "bench_util.h"
+
+using namespace faastcc;
+using namespace faastcc::bench;
+
+int main() {
+  print_preamble("Figure 6", "storage rounds per consistent read");
+
+  struct Row {
+    const char* name;
+    SystemKind system;
+    double paper[3][2];
+  };
+  const Row rows[] = {
+      {"HydroCache-Dynamic", SystemKind::kHydroCache,
+       {{1.7, 6.0}, {2.1, 12.0}, {2.7, 23.0}}},
+      {"FaaSTCC", SystemKind::kFaasTcc,
+       {{1.0, 1.0}, {1.0, 1.0}, {1.0, 1.0}}},
+  };
+  const double zipfs[] = {1.0, 1.25, 1.5};
+
+  Table table({"system", "zipf", "median", "p99", "paper median",
+               "paper p99"});
+  for (const Row& row : rows) {
+    for (int z = 0; z < 3; ++z) {
+      const SummaryStats s =
+          run_or_load(base_config(row.system, zipfs[z], false));
+      table.add_row({row.name, fmt(zipfs[z], 2), fmt(s.rounds_med, 1),
+                     fmt(s.rounds_p99, 1), fmt(row.paper[z][0], 1),
+                     fmt(row.paper[z][1], 1)});
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Figure 7: bytes served by the storage layer per consistent read (median
+// and P99).  HydroCache values carry dependency lists; most FaaSTCC
+// responses are bare promise refreshes.
+#include "bench_util.h"
+
+using namespace faastcc;
+using namespace faastcc::bench;
+
+int main() {
+  print_preamble("Figure 7", "bytes per consistent storage read");
+
+  struct Row {
+    const char* name;
+    SystemKind system;
+    double paper[3][2];
+  };
+  const Row rows[] = {
+      {"HydroCache-Dynamic", SystemKind::kHydroCache,
+       {{3436.0, 15048.0}, {3853.4, 16368.0}, {4016.4, 17756.6}}},
+      {"FaaSTCC", SystemKind::kFaasTcc,
+       {{18.3, 32.0}, {20.7, 32.0}, {22.1, 32.0}}},
+  };
+  const double zipfs[] = {1.0, 1.25, 1.5};
+
+  Table table({"system", "zipf", "median B", "p99 B", "paper median B",
+               "paper p99 B"});
+  for (const Row& row : rows) {
+    for (int z = 0; z < 3; ++z) {
+      const SummaryStats s =
+          run_or_load(base_config(row.system, zipfs[z], false));
+      table.add_row({row.name, fmt(zipfs[z], 2), fmt(s.read_bytes_med, 0),
+                     fmt(s.read_bytes_p99, 0), fmt(row.paper[z][0], 0),
+                     fmt(row.paper[z][1], 0)});
+    }
+  }
+  table.print();
+  return 0;
+}

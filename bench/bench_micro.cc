@@ -1,0 +1,159 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the library:
+// codec, HLC, Zipf sampling, MV-store reads, snapshot-interval algebra,
+// dependency-map merging, and the LRU index.
+#include <benchmark/benchmark.h>
+
+#include "cache/hydro_types.h"
+#include "cache/lru_index.h"
+#include "client/snapshot_interval.h"
+#include "common/hlc.h"
+#include "common/rng.h"
+#include "common/serialize.h"
+#include "common/zipf.h"
+#include "storage/messages.h"
+#include "storage/mv_store.h"
+
+namespace faastcc {
+namespace {
+
+void BM_HlcTick(benchmark::State& state) {
+  HlcClock clock(1);
+  uint64_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.tick(++now));
+  }
+}
+BENCHMARK(BM_HlcTick);
+
+void BM_HlcUpdate(benchmark::State& state) {
+  HlcClock clock(1);
+  const Timestamp remote(1000, 5, 2);
+  uint64_t now = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(clock.update(remote, ++now));
+  }
+}
+BENCHMARK(BM_HlcUpdate);
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfSampler zipf(static_cast<uint64_t>(state.range(0)), 1.0);
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.sample(rng));
+  }
+}
+BENCHMARK(BM_ZipfSample)->Arg(1000)->Arg(100000);
+
+void BM_CodecEncodeReadReq(benchmark::State& state) {
+  storage::TccReadReq req;
+  req.snapshot = Timestamp(100, 0, 0);
+  for (int i = 0; i < state.range(0); ++i) {
+    req.keys.push_back(static_cast<Key>(i));
+    req.cached_ts.push_back(Timestamp::min());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(encode_message(req));
+  }
+}
+BENCHMARK(BM_CodecEncodeReadReq)->Arg(2)->Arg(16);
+
+void BM_CodecDecodeReadReq(benchmark::State& state) {
+  storage::TccReadReq req;
+  req.snapshot = Timestamp(100, 0, 0);
+  for (int i = 0; i < state.range(0); ++i) {
+    req.keys.push_back(static_cast<Key>(i));
+    req.cached_ts.push_back(Timestamp::min());
+  }
+  const Buffer b = encode_message(req);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(decode_message<storage::TccReadReq>(b));
+  }
+}
+BENCHMARK(BM_CodecDecodeReadReq)->Arg(2)->Arg(16);
+
+void BM_MvStoreReadAt(benchmark::State& state) {
+  storage::MvStore store;
+  Rng rng(3);
+  for (Key k = 0; k < 1000; ++k) {
+    for (uint64_t v = 0; v < static_cast<uint64_t>(state.range(0)); ++v) {
+      store.install(k, "value!!", Timestamp(100 + v * 10, 0, 0));
+    }
+  }
+  Key k = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.read_at(k++ % 1000, Timestamp(100 + 25, 0, 0)));
+  }
+}
+BENCHMARK(BM_MvStoreReadAt)->Arg(2)->Arg(16);
+
+void BM_MvStoreInstallAndGc(benchmark::State& state) {
+  for (auto _ : state) {
+    storage::MvStore store;
+    for (uint64_t v = 0; v < 128; ++v) {
+      store.install(v % 16, "value!!", Timestamp(100 + v, 0, 0));
+    }
+    store.gc_before(Timestamp(100 + 100, 0, 0));
+    benchmark::DoNotOptimize(store.num_versions());
+  }
+}
+BENCHMARK(BM_MvStoreInstallAndGc);
+
+void BM_IntervalNarrow(benchmark::State& state) {
+  client::SnapshotInterval si;
+  uint64_t t = 1;
+  for (auto _ : state) {
+    si = client::SnapshotInterval::full();
+    si.narrow(Timestamp(t, 0, 0), Timestamp(t + 100, 0, 0));
+    benchmark::DoNotOptimize(si);
+    ++t;
+  }
+}
+BENCHMARK(BM_IntervalNarrow);
+
+void BM_DepMapMerge(benchmark::State& state) {
+  cache::DepMap base;
+  Rng rng(5);
+  for (int i = 0; i < state.range(0); ++i) {
+    base.require(rng.next_below(100000), i + 1, i, 1);
+  }
+  cache::DepMap incoming;
+  for (int i = 0; i < 170; ++i) {
+    incoming.require(rng.next_below(100000), i + 1, i, 1);
+  }
+  for (auto _ : state) {
+    cache::DepMap work = base;
+    work.merge(incoming);
+    benchmark::DoNotOptimize(work.size());
+  }
+}
+BENCHMARK(BM_DepMapMerge)->Arg(100)->Arg(2000);
+
+void BM_DepMapEncode(benchmark::State& state) {
+  cache::DepMap m;
+  Rng rng(5);
+  for (int i = 0; i < state.range(0); ++i) {
+    m.require(rng.next_below(100000), i + 1, i, 1);
+  }
+  for (auto _ : state) {
+    BufWriter w;
+    m.encode(w);
+    benchmark::DoNotOptimize(w.size());
+  }
+}
+BENCHMARK(BM_DepMapEncode)->Arg(100)->Arg(2000);
+
+void BM_LruTouch(benchmark::State& state) {
+  cache::LruIndex lru;
+  for (Key k = 0; k < 10000; ++k) lru.touch(k);
+  Rng rng(9);
+  for (auto _ : state) {
+    lru.touch(rng.next_below(10000));
+  }
+}
+BENCHMARK(BM_LruTouch);
+
+}  // namespace
+}  // namespace faastcc
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Shared helpers for the per-figure benchmark binaries.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "harness/summary.h"
+#include "harness/table.h"
+
+namespace faastcc::bench {
+
+using harness::ExperimentConfig;
+using harness::fmt;
+using harness::run_or_load;
+using harness::SummaryStats;
+using harness::SystemKind;
+using harness::Table;
+
+inline ExperimentConfig base_config(SystemKind system, double zipf,
+                                    bool static_txns) {
+  ExperimentConfig cfg;
+  cfg.system = system;
+  cfg.zipf = zipf;
+  cfg.static_txns = static_txns;
+  return cfg;
+}
+
+inline void print_preamble(const char* figure, const char* what) {
+  std::printf("%s — %s\n", figure, what);
+  std::printf(
+      "(simulation reproduction; absolute values are calibrated to the "
+      "paper's testbed scale,\n the comparison shape is the result — see "
+      "EXPERIMENTS.md)\n");
+}
+
+}  // namespace faastcc::bench

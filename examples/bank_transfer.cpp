@@ -1,0 +1,206 @@
+// Snapshot Isolation extension (paper §7): concurrent read-modify-write
+// cycles without lost updates.
+//
+// Accounts are debited/credited by a two-function composition; many
+// transfers race on the same accounts.  Under plain TCC, two concurrent
+// transfers can both read balance=100 and both write 90 — one debit is
+// lost.  With the SI extension the second committer aborts and retries,
+// so money is conserved.  This example runs both modes and audits the
+// total balance.
+#include <cstdio>
+#include <string>
+
+#include "harness/cluster.h"
+
+using namespace faastcc;
+using harness::Cluster;
+using harness::ClusterParams;
+using harness::SystemKind;
+
+namespace {
+
+constexpr Key kAccountBase = 1;  // accounts at keys 1..kAccounts
+constexpr int kAccounts = 4;
+constexpr int kInitialBalance = 1000;
+constexpr int kTransfers = 40;
+
+int to_int(const Value& v) {
+  if (v.empty() || v[0] < '0' || v[0] > '9') return 0;
+  return std::stoi(v);
+}
+
+Buffer transfer_args(Key from, Key to, int amount) {
+  BufWriter w;
+  w.put_u64(from);
+  w.put_u64(to);
+  w.put_u32(static_cast<uint32_t>(amount));
+  return w.take();
+}
+
+struct Audit {
+  int committed = 0;
+  int aborted_attempts = 0;
+  long total = 0;
+};
+
+Audit run_mode(bool snapshot_isolation, const char* label) {
+  ClusterParams params;
+  params.system = SystemKind::kFaasTcc;
+  params.faastcc.snapshot_isolation = snapshot_isolation;
+  params.partitions = 4;
+  params.compute_nodes = 4;
+  params.clients = 0;
+  params.workload.num_keys = 32;
+  params.prewarm_caches = false;  // transfers must see fresh balances
+  Cluster cluster(params);
+
+  // First function: debit the source (read-modify-write).
+  cluster.registry().register_function(
+      "debit", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        BufReader r(env.args);
+        const Key from = r.get_u64();
+        r.get_u64();
+        const int amount = static_cast<int>(r.get_u32());
+        auto vals = co_await env.txn.read(std::vector<Key>(1, from));
+        if (!vals.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        const int balance = to_int((*vals)[0]);
+        env.txn.write(from, std::to_string(balance - amount));
+        co_return Buffer{};
+      });
+  // Second function (another worker): credit the destination.
+  cluster.registry().register_function(
+      "credit", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        BufReader r(env.args);
+        r.get_u64();
+        const Key to = r.get_u64();
+        const int amount = static_cast<int>(r.get_u32());
+        auto vals = co_await env.txn.read(std::vector<Key>(1, to));
+        if (!vals.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        const int balance = to_int((*vals)[0]);
+        env.txn.write(to, std::to_string(balance + amount));
+        co_return Buffer{};
+      });
+  cluster.registry().register_function(
+      "seed_account", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        BufReader r(env.args);
+        env.txn.write(r.get_u64(), std::to_string(kInitialBalance));
+        co_return Buffer{};
+      });
+
+  cluster.start();
+
+  net::RpcNode driver(cluster.network(), 900);
+  Audit audit;
+  int completed = 0;
+  driver.handle_oneway(faas::kDagDone, [&](Buffer b, net::Address) {
+    auto done = decode_message<faas::DagDoneMsg>(b);
+    ++completed;
+    if (done.committed) {
+      ++audit.committed;
+    } else {
+      ++audit.aborted_attempts;
+    }
+  });
+  auto pump_until = [&](int target) {
+    while (completed < target && cluster.loop().now() < seconds(300)) {
+      cluster.loop().run_until(cluster.loop().now() + milliseconds(5));
+    }
+  };
+
+  // Seed the accounts.
+  TxnId next_txn = 1;
+  for (int a = 0; a < kAccounts; ++a) {
+    faas::FunctionSpec seed;
+    seed.name = "seed_account";
+    BufWriter w;
+    w.put_u64(kAccountBase + static_cast<Key>(a));
+    seed.args = w.take();
+    faas::StartDagMsg start;
+    start.txn_id = next_txn++;
+    start.client = 900;
+    start.spec = faas::DagSpec::chain({seed});
+    driver.send(cluster.scheduler_address(), faas::kStartDag, start);
+  }
+  pump_until(kAccounts);
+  cluster.loop().run_until(cluster.loop().now() + milliseconds(100));
+
+  // Fire racing transfers in pairs; all debits hit account 0, so a lost
+  // update on its balance *creates* money and the audit catches it (with
+  // symmetric random transfers, lost debits and lost credits cancel out
+  // in the sum).  Aborted attempts are retried after a short pause to
+  // give the snapshot time to advance past the winner's commit.
+  Rng rng(23);
+  int committed_transfers = 0;
+  while (committed_transfers < kTransfers &&
+         cluster.loop().now() < seconds(300)) {
+    const int before_committed = audit.committed;
+    const int burst = 2;
+    for (int i = 0; i < burst; ++i) {
+      const Key from = kAccountBase;  // hot account: every debit races
+      const Key to = kAccountBase + 1 +
+                     static_cast<Key>(rng.next_below(kAccounts - 1));
+      faas::FunctionSpec debit;
+      debit.name = "debit";
+      debit.args = transfer_args(from, to, 10);
+      faas::FunctionSpec credit;
+      credit.name = "credit";
+      credit.args = transfer_args(from, to, 10);
+      faas::StartDagMsg start;
+      start.txn_id = next_txn++;
+      start.client = 900;
+      start.spec = faas::DagSpec::chain({debit, credit});
+      driver.send(cluster.scheduler_address(), faas::kStartDag, start);
+    }
+    pump_until(completed + burst);
+    cluster.loop().run_until(cluster.loop().now() + milliseconds(8));
+    committed_transfers += audit.committed - before_committed;
+  }
+
+  // Audit: sum of balances must equal the seeded total.
+  cluster.loop().run_until(cluster.loop().now() + milliseconds(100));
+  for (int a = 0; a < kAccounts; ++a) {
+    const Key k = kAccountBase + static_cast<Key>(a);
+    const auto& p = cluster.tcc_partitions()[k % params.partitions];
+    const auto r = p->store().read_at(k, Timestamp::max());
+    audit.total += r.version != nullptr ? to_int(r.version->value) : 0;
+  }
+  audit.committed -= kAccounts;  // don't count the seeding transactions
+  const long expected = static_cast<long>(kAccounts) * kInitialBalance;
+  std::printf(
+      "%-28s committed=%-3d conflict-aborts=%-3d total=%ld (expected %ld) "
+      "%s\n",
+      label, audit.committed, audit.aborted_attempts, audit.total, expected,
+      audit.total == expected ? "OK" : "MONEY LOST");
+  return audit;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Racing transfers between %d accounts (read-modify-write across two "
+      "functions):\n\n", kAccounts);
+  const Audit si = run_mode(true, "FaaSTCC + SI extension:");
+  const Audit tcc = run_mode(false, "FaaSTCC (plain TCC):");
+  std::printf(
+      "\nSI aborts conflicting writers (first committer wins) so the audit "
+      "always balances;\nplain TCC permits concurrent writes to the same "
+      "key, losing updates under races.\n");
+  const long expected = static_cast<long>(kAccounts) * kInitialBalance;
+  if (si.total != expected) {
+    std::printf("ERROR: SI mode lost money!\n");
+    return 1;
+  }
+  if (tcc.total == expected) {
+    std::printf(
+        "note: the plain-TCC run happened to balance this time; raise the "
+        "race rate to see losses.\n");
+  }
+  return 0;
+}

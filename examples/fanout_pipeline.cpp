@@ -1,0 +1,132 @@
+// A fan-out/fan-in composition: a feature-enrichment pipeline where three
+// branches read different feature groups *in parallel* on different
+// workers, and the aggregation function merges their snapshot intervals
+// (Eq. 3 of the paper) before scoring.
+//
+//     fetch_profile ──► enrich_a ──┐
+//                   ──► enrich_b ──┼──► score (sink)
+//                   ──► enrich_c ──┘
+//
+// All four reads come from one causal snapshot even though they ran on
+// four workers; if the branches had observed incompatible snapshots the
+// merge would abort the DAG instead of producing a frankenstate.
+#include <cstdio>
+
+#include "harness/cluster.h"
+
+using namespace faastcc;
+using harness::Cluster;
+using harness::ClusterParams;
+using harness::SystemKind;
+
+namespace {
+
+constexpr Key kProfile = 1;
+constexpr Key kFeatureA = 2;
+constexpr Key kFeatureB = 3;
+constexpr Key kFeatureC = 4;
+
+faas::FunctionSpec make_fn(std::string name,
+                           std::vector<uint32_t> children = {}) {
+  faas::FunctionSpec f;
+  f.name = std::move(name);
+  f.children = std::move(children);
+  return f;
+}
+
+}  // namespace
+
+int main() {
+  ClusterParams params;
+  params.system = SystemKind::kFaasTcc;
+  params.partitions = 4;
+  params.compute_nodes = 5;
+  params.clients = 0;
+  params.workload.num_keys = 32;
+  Cluster cluster(params);
+
+  auto reader_of = [](Key key, const char* label) {
+    return [key, label](faas::ExecEnv& env) -> sim::Task<Buffer> {
+      auto vals = co_await env.txn.read(std::vector<Key>(1, key));
+      if (!vals.has_value()) {
+        env.abort_requested = true;
+        co_return Buffer{};
+      }
+      std::printf("  [%s] read \"%s\"\n", label, (*vals)[0].c_str());
+      BufWriter w;
+      w.put_bytes((*vals)[0]);
+      co_return w.take();
+    };
+  };
+  cluster.registry().register_function("fetch_profile",
+                                       reader_of(kProfile, "profile"));
+  cluster.registry().register_function("enrich_a",
+                                       reader_of(kFeatureA, "enrich_a"));
+  cluster.registry().register_function("enrich_b",
+                                       reader_of(kFeatureB, "enrich_b"));
+  cluster.registry().register_function("enrich_c",
+                                       reader_of(kFeatureC, "enrich_c"));
+  cluster.registry().register_function(
+      "score", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        // By the time this runs, the runtime has merged the three parents'
+        // snapshot intervals (Eq. 3); reading once more is still served
+        // from the same consistent snapshot.
+        auto vals = co_await env.txn.read(std::vector<Key>(1, kProfile));
+        if (!vals.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        std::printf("  [score] aggregated three branches; profile=\"%s\"\n",
+                    (*vals)[0].c_str());
+        env.txn.write(10, "score:0.97");
+        co_return Buffer{};
+      });
+
+  cluster.start();
+
+  // Seed the features through one atomic transaction.
+  cluster.registry().register_function(
+      "seed", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        env.txn.write(kProfile, "user-42");
+        env.txn.write(kFeatureA, "geo:lisbon");
+        env.txn.write(kFeatureB, "plan:pro");
+        env.txn.write(kFeatureC, "tenure:3y");
+        co_return Buffer{};
+      });
+
+  net::RpcNode client(cluster.network(), 900);
+  int completed = 0;
+  int committed = 0;
+  client.handle_oneway(faas::kDagDone, [&](Buffer b, net::Address) {
+    ++completed;
+    if (decode_message<faas::DagDoneMsg>(b).committed) ++committed;
+  });
+  auto pump = [&](int until) {
+    while (completed < until && cluster.loop().now() < seconds(30)) {
+      cluster.loop().run_until(cluster.loop().now() + milliseconds(5));
+    }
+    cluster.loop().run_until(cluster.loop().now() + milliseconds(120));
+  };
+
+  faas::StartDagMsg seed;
+  seed.txn_id = 1;
+  seed.client = 900;
+  seed.spec = faas::DagSpec::chain({make_fn("seed")});
+  client.send(cluster.scheduler_address(), faas::kStartDag, seed);
+  pump(1);
+
+  std::printf("running fan-out pipeline:\n");
+  faas::StartDagMsg start;
+  start.txn_id = 2;
+  start.client = 900;
+  faas::DagSpec spec;
+  spec.functions = {make_fn("fetch_profile", {1, 2, 3}),
+                    make_fn("enrich_a", {4}), make_fn("enrich_b", {4}),
+                    make_fn("enrich_c", {4}), make_fn("score")};
+  start.spec = std::move(spec);
+  client.send(cluster.scheduler_address(), faas::kStartDag, start);
+  pump(2);
+
+  std::printf("pipeline %s\n", committed == 2 ? "committed" : "aborted");
+  return committed == 2 ? 0 : 1;
+}

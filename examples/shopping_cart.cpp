@@ -1,0 +1,176 @@
+// A checkout pipeline as a FaaS composition: cart -> inventory check ->
+// payment -> commit.  Demonstrates three things a downstream user cares
+// about:
+//
+//   * read-your-writes across functions (payment sees the cart total the
+//     first function computed and buffered),
+//   * application-level aborts (insufficient stock rolls the whole DAG
+//     back; nothing becomes visible),
+//   * atomic visibility (order record and decremented stock appear
+//     together, never torn).
+#include <cstdio>
+#include <string>
+
+#include "harness/cluster.h"
+
+using namespace faastcc;
+using harness::Cluster;
+using harness::ClusterParams;
+using harness::SystemKind;
+
+namespace {
+
+constexpr Key kStock = 10;   // units in stock (decimal string)
+constexpr Key kCart = 11;    // per-checkout cart total (written in-DAG)
+constexpr Key kOrders = 12;  // order log
+constexpr Key kRevenue = 13; // accumulated revenue
+
+// Keys start out with placeholder dataset payloads; treat anything
+// non-numeric as zero.
+int to_int(const Value& v) {
+  if (v.empty() || v[0] < '0' || v[0] > '9') return 0;
+  return std::stoi(v);
+}
+
+Buffer quantity_args(int qty) {
+  BufWriter w;
+  w.put_u32(static_cast<uint32_t>(qty));
+  return w.take();
+}
+
+}  // namespace
+
+int main() {
+  ClusterParams params;
+  params.system = SystemKind::kFaasTcc;
+  params.partitions = 4;
+  params.compute_nodes = 3;
+  params.clients = 0;
+  params.workload.num_keys = 50;
+  Cluster cluster(params);
+
+  // --- the application ------------------------------------------------
+  cluster.registry().register_function(
+      "build_cart", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        BufReader r(env.args);
+        const int qty = static_cast<int>(r.get_u32());
+        env.txn.write(kCart, std::to_string(qty * 7));  // unit price 7
+        co_return quantity_args(qty);
+      });
+  cluster.registry().register_function(
+      "check_inventory", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        BufReader r(env.parent_result);
+        const int qty = static_cast<int>(r.get_u32());
+        auto values = co_await env.txn.read(std::vector<Key>(1, kStock));
+        if (!values.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        const int stock = to_int((*values)[0]);
+        if (stock < qty) {
+          std::printf("  [inventory] %d in stock < %d requested -> abort\n",
+                      stock, qty);
+          env.abort_requested = true;  // rolls back the whole checkout
+          co_return Buffer{};
+        }
+        env.txn.write(kStock, std::to_string(stock - qty));
+        co_return env.parent_result;
+      });
+  cluster.registry().register_function(
+      "take_payment", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        // Read-your-writes: the cart total buffered upstream plus
+        // committed state, all from one causal snapshot.
+        std::vector<Key> keys{kCart, kOrders, kRevenue};
+        auto values = co_await env.txn.read(std::move(keys));
+        if (!values.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        const int total = to_int((*values)[0]);
+        const int orders = to_int((*values)[1]);
+        const int revenue = to_int((*values)[2]);
+        env.txn.write(kOrders, std::to_string(orders + 1));
+        env.txn.write(kRevenue, std::to_string(revenue + total));
+        std::printf("  [payment]   charged %d (order #%d)\n", total,
+                    orders + 1);
+        co_return Buffer{};
+      });
+
+  cluster.start();
+
+  // Seed the stock through a setup transaction.
+  cluster.registry().register_function(
+      "seed_stock", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        env.txn.write(kStock, "5");
+        co_return Buffer{};
+      });
+
+  net::RpcNode client(cluster.network(), 900);
+  int completed = 0;
+  int committed = 0;
+  client.handle_oneway(faas::kDagDone, [&](Buffer b, net::Address) {
+    auto done = decode_message<faas::DagDoneMsg>(b);
+    ++completed;
+    if (done.committed) ++committed;
+  });
+
+  auto submit = [&](TxnId id, faas::DagSpec spec) {
+    faas::StartDagMsg start;
+    start.txn_id = id;
+    start.client = 900;
+    start.spec = std::move(spec);
+    client.send(cluster.scheduler_address(), faas::kStartDag, start);
+  };
+  auto pump = [&](int until) {
+    while (completed < until && cluster.loop().now() < seconds(60)) {
+      cluster.loop().run_until(cluster.loop().now() + milliseconds(5));
+    }
+    // TCC permits stale-but-consistent snapshots; the cache refresh period
+    // (50 ms) bounds staleness.  Sequential checkouts that must observe
+    // each other's effects simply wait out one refresh.
+    cluster.loop().run_until(cluster.loop().now() + milliseconds(120));
+  };
+
+  faas::FunctionSpec seed;
+  seed.name = "seed_stock";
+  submit(1, faas::DagSpec::chain({seed}));
+  pump(1);
+  std::printf("seeded stock = 5\n");
+
+  // Three checkouts: 2 units, 2 units, then 3 units (must abort: 1 left).
+  int id = 2;
+  for (int qty : {2, 2, 3}) {
+    std::printf("checkout of %d units:\n", qty);
+    faas::FunctionSpec cart;
+    cart.name = "build_cart";
+    cart.args = quantity_args(qty);
+    faas::FunctionSpec inv;
+    inv.name = "check_inventory";
+    faas::FunctionSpec pay;
+    pay.name = "take_payment";
+    submit(id, faas::DagSpec::chain({cart, inv, pay}));
+    pump(id);
+    ++id;
+  }
+
+  // Inspect final storage state.
+  cluster.loop().run_until(cluster.loop().now() + milliseconds(100));
+  auto read_key = [&](Key k) -> std::string {
+    const auto& p = cluster.tcc_partitions()[k % params.partitions];
+    const auto r = p->store().read_at(k, Timestamp::max());
+    return r.version != nullptr ? r.version->value : "(none)";
+  };
+  std::printf("\nfinal state: stock=%s orders=%s revenue=%s\n",
+              read_key(kStock).c_str(), read_key(kOrders).c_str(),
+              read_key(kRevenue).c_str());
+  std::printf("%d of %d transactions committed (the oversell aborted)\n",
+              committed, completed);
+
+  const bool ok = read_key(kStock) == "1" && read_key(kOrders) == "2" &&
+                  read_key(kRevenue) == "28" && committed == 3;
+  if (!ok) {
+    std::printf("ERROR: unexpected final state\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+// The paper's motivating example (§3.4): a social network with symmetric
+// friendship lists.  Invariant: if u1 appears in u2's friend list, u2
+// appears in u1's.  Befriend/unfriend transactions update both lists
+// atomically; checker DAGs read the two lists in *different functions on
+// different workers*.
+//
+// Under FaaSTCC the checker can never observe a half-applied friendship.
+// Under plain Cloudburst (eventual consistency) it regularly does — run
+// both and compare.
+#include <cstdio>
+#include <string>
+
+#include "harness/cluster.h"
+
+using namespace faastcc;
+using harness::Cluster;
+using harness::ClusterParams;
+using harness::SystemKind;
+
+namespace {
+
+constexpr Key kAlice = 1;  // key holding alice's friend list
+constexpr Key kBob = 2;    // key holding bob's friend list
+
+struct Outcome {
+  int checks = 0;
+  int violations = 0;
+  int aborted = 0;
+};
+
+Buffer flag_args(bool befriend) {
+  BufWriter w;
+  w.put_bool(befriend);
+  return w.take();
+}
+
+void register_functions(Cluster& cluster, Outcome& outcome) {
+  // Writer: sets or clears both friendship edges in one transaction.
+  cluster.registry().register_function(
+      "update_friendship", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        BufReader r(env.args);
+        const bool befriend = r.get_bool();
+        env.txn.write(kAlice, befriend ? "friends:bob" : "");
+        env.txn.write(kBob, befriend ? "friends:alice" : "");
+        co_return Buffer{};
+      });
+  // Checker, first hop: read alice's list on one worker.
+  cluster.registry().register_function(
+      "check_alice", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        auto values = co_await env.txn.read(std::vector<Key>(1, kAlice));
+        if (!values.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        BufWriter w;
+        w.put_bytes((*values)[0]);
+        co_return w.take();
+      });
+  // Checker, second hop: read bob's list on (usually) another worker and
+  // verify symmetry against what the first hop saw.
+  cluster.registry().register_function(
+      "check_bob", [&outcome](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        auto values = co_await env.txn.read(std::vector<Key>(1, kBob));
+        if (!values.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        BufReader r(env.parent_result);
+        const std::string alice_list = r.get_bytes();
+        const std::string bob_list = (*values)[0];
+        const bool alice_has_bob = alice_list.find("bob") != std::string::npos;
+        const bool bob_has_alice =
+            bob_list.find("alice") != std::string::npos;
+        ++outcome.checks;
+        if (alice_has_bob != bob_has_alice) ++outcome.violations;
+        co_return Buffer{};
+      });
+}
+
+Outcome run_system(SystemKind system, const char* label) {
+  ClusterParams params;
+  params.system = system;
+  params.partitions = 2;  // the two lists live on different partitions
+  params.compute_nodes = 4;
+  params.clients = 0;
+  params.workload.num_keys = 16;
+  params.prewarm_caches = true;
+  Cluster cluster(params);
+
+  Outcome outcome;
+  register_functions(cluster, outcome);
+  cluster.start();
+
+  net::RpcNode driver(cluster.network(), 900);
+  int completed = 0;
+  int launched = 0;
+  driver.handle_oneway(faas::kDagDone, [&](Buffer b, net::Address) {
+    auto done = decode_message<faas::DagDoneMsg>(b);
+    if (!done.committed) ++outcome.aborted;
+    ++completed;
+  });
+
+  // Interleave friendship flips with symmetry checks.
+  Rng rng(17);
+  for (int i = 0; i < 400; ++i) {
+    cluster.loop().schedule_after(i * microseconds(800), [&, i] {
+      faas::StartDagMsg start;
+      start.txn_id = static_cast<TxnId>(i + 1);
+      start.client = 900;
+      if (i % 4 == 0) {
+        faas::FunctionSpec w;
+        w.name = "update_friendship";
+        w.args = flag_args(rng.next_bool(0.5));
+        start.spec = faas::DagSpec::chain({w});
+      } else {
+        faas::FunctionSpec a;
+        a.name = "check_alice";
+        faas::FunctionSpec b;
+        b.name = "check_bob";
+        start.spec = faas::DagSpec::chain({a, b});
+      }
+      driver.send(cluster.scheduler_address(), faas::kStartDag, start);
+      ++launched;
+    });
+  }
+  while (completed < 400 && cluster.loop().now() < seconds(120)) {
+    cluster.loop().run_until(cluster.loop().now() + milliseconds(10));
+  }
+
+  std::printf("%-22s checks=%-4d symmetry violations=%-3d aborted=%d\n",
+              label, outcome.checks, outcome.violations, outcome.aborted);
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Symmetric-friendship invariant (paper §3.4): checker reads the two\n"
+      "friend lists in two functions on different workers.\n\n");
+  const Outcome tcc = run_system(SystemKind::kFaasTcc, "FaaSTCC (TCC):");
+  const Outcome ev =
+      run_system(SystemKind::kCloudburst, "Cloudburst (eventual):");
+  std::printf(
+      "\nTCC reads from one causal snapshot with atomic visibility, so the\n"
+      "invariant can never be observed broken; eventual consistency "
+      "tears it.\n");
+  if (tcc.violations != 0) {
+    std::printf("ERROR: FaaSTCC violated the invariant!\n");
+    return 1;
+  }
+  if (ev.violations == 0) {
+    std::printf(
+        "note: the eventual run happened to observe no violation this "
+        "time;\nincrease contention to make them more frequent.\n");
+  }
+  return 0;
+}

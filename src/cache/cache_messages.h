@@ -1,0 +1,178 @@
+// Wire messages between client libraries (running in function executors)
+// and the per-node cache services.  These travel over same-node IPC.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "client/snapshot_interval.h"
+#include "cache/hydro_types.h"
+#include "common/serialize.h"
+#include "storage/messages.h"
+
+namespace faastcc::cache {
+
+enum CacheMethod : uint16_t {
+  kCacheRead = 40,  // FaaSTCC promise-aware cache
+  kHydroRead = 41,  // HydroCache causal cache
+  kPlainRead = 42,  // Cloudburst eventual cache
+};
+
+// ---------------------------------------------------------------------------
+// FaaSTCC cache (Alg. 2).
+// ---------------------------------------------------------------------------
+
+struct CacheReadReq {
+  client::SnapshotInterval interval;
+  bool use_promises = true;  // Fig. 3 ablation: off => a cached version is
+                             // admissible only if its own timestamp lies in
+                             // the interval.
+  std::vector<Key> keys;
+
+  void encode(BufWriter& w) const {
+    interval.encode(w);
+    w.put_bool(use_promises);
+    w.put_u32(static_cast<uint32_t>(keys.size()));
+    for (Key k : keys) w.put_u64(k);
+  }
+  static CacheReadReq decode(BufReader& r) {
+    CacheReadReq q;
+    q.interval = client::SnapshotInterval::decode(r);
+    q.use_promises = r.get_bool();
+    const uint32_t n = r.get_u32();
+    q.keys.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) q.keys.push_back(r.get_u64());
+    return q;
+  }
+};
+
+struct CacheReadResp {
+  bool abort = false;
+  client::SnapshotInterval interval;  // narrowed by the accepted versions
+  std::vector<storage::VersionedValue> entries;  // parallel to request keys
+  std::vector<bool> from_cache;                  // parallel to entries
+
+  void encode(BufWriter& w) const {
+    w.put_bool(abort);
+    interval.encode(w);
+    storage::put_vec(w, entries);
+    w.put_u32(static_cast<uint32_t>(from_cache.size()));
+    for (bool b : from_cache) w.put_bool(b);
+  }
+  static CacheReadResp decode(BufReader& r) {
+    CacheReadResp resp;
+    resp.abort = r.get_bool();
+    resp.interval = client::SnapshotInterval::decode(r);
+    resp.entries = storage::get_vec<storage::VersionedValue>(r);
+    const uint32_t n = r.get_u32();
+    resp.from_cache.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) resp.from_cache.push_back(r.get_bool());
+    return resp;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// HydroCache.
+// ---------------------------------------------------------------------------
+
+struct HydroReadReq {
+  std::vector<Key> keys;
+  DepMap context;  // the transaction's accumulated causal requirements
+
+  void encode(BufWriter& w) const {
+    w.put_u32(static_cast<uint32_t>(keys.size()));
+    for (Key k : keys) w.put_u64(k);
+    context.encode(w);
+  }
+  static HydroReadReq decode(BufReader& r) {
+    HydroReadReq q;
+    const uint32_t n = r.get_u32();
+    q.keys.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) q.keys.push_back(r.get_u64());
+    q.context = DepMap::decode(r);
+    return q;
+  }
+};
+
+struct HydroReadEntry {
+  Key key = 0;
+  Value value;
+  uint64_t counter = 0;
+  SimTime written_at = 0;
+  std::vector<StoredDep> deps;  // merged into the txn context by the client
+
+  void encode(BufWriter& w) const {
+    w.put_u64(key);
+    w.put_bytes(value);
+    w.put_u64(counter);
+    w.put_i64(written_at);
+    storage::put_vec(w, deps);
+  }
+  static HydroReadEntry decode(BufReader& r) {
+    HydroReadEntry e;
+    e.key = r.get_u64();
+    e.value = r.get_bytes();
+    e.counter = r.get_u64();
+    e.written_at = r.get_i64();
+    e.deps = storage::get_vec<StoredDep>(r);
+    return e;
+  }
+};
+
+struct HydroReadResp {
+  bool abort = false;
+  std::vector<HydroReadEntry> entries;  // parallel to request keys
+  std::vector<bool> from_cache;
+  SimTime global_cut = 0;  // latest dependency-GC watermark seen
+
+  void encode(BufWriter& w) const {
+    w.put_bool(abort);
+    storage::put_vec(w, entries);
+    w.put_u32(static_cast<uint32_t>(from_cache.size()));
+    for (bool b : from_cache) w.put_bool(b);
+    w.put_i64(global_cut);
+  }
+  static HydroReadResp decode(BufReader& r) {
+    HydroReadResp resp;
+    resp.abort = r.get_bool();
+    resp.entries = storage::get_vec<HydroReadEntry>(r);
+    const uint32_t n = r.get_u32();
+    resp.from_cache.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) resp.from_cache.push_back(r.get_bool());
+    resp.global_cut = r.get_i64();
+    return resp;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Plain (Cloudburst, eventual consistency) cache.
+// ---------------------------------------------------------------------------
+
+struct PlainReadReq {
+  std::vector<Key> keys;
+
+  void encode(BufWriter& w) const {
+    w.put_u32(static_cast<uint32_t>(keys.size()));
+    for (Key k : keys) w.put_u64(k);
+  }
+  static PlainReadReq decode(BufReader& r) {
+    PlainReadReq q;
+    const uint32_t n = r.get_u32();
+    q.keys.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) q.keys.push_back(r.get_u64());
+    return q;
+  }
+};
+
+struct PlainReadResp {
+  std::vector<storage::KeyValue> entries;  // parallel to request keys
+
+  void encode(BufWriter& w) const { storage::put_vec(w, entries); }
+  static PlainReadResp decode(BufReader& r) {
+    PlainReadResp resp;
+    resp.entries = storage::get_vec<storage::KeyValue>(r);
+    return resp;
+  }
+};
+
+}  // namespace faastcc::cache

@@ -1,0 +1,271 @@
+#include "cache/faastcc_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "sim/future.h"
+
+namespace faastcc::cache {
+
+using storage::TccReadResp;
+using storage::VersionedValue;
+
+FaasTccCache::FaasTccCache(net::Network& network, net::Address self,
+                           storage::TccTopology topology, CacheParams params,
+                           Metrics* metrics)
+    : rpc_(network, self),
+      storage_(rpc_, std::move(topology)),
+      params_(params),
+      metrics_(metrics),
+      stable_est_(Timestamp::min()),
+      partition_stable_(storage_.topology().num_partitions(),
+                        Timestamp::min()) {
+  rpc_.handle(kCacheRead, [this](Buffer b, net::Address from) {
+    return on_read(std::move(b), from);
+  });
+  rpc_.handle_oneway(storage::kTccPush, [this](Buffer b, net::Address from) {
+    on_push(std::move(b), from);
+  });
+}
+
+const FaasTccCache::Entry* FaasTccCache::peek(Key k) const {
+  auto it = entries_.find(k);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void FaasTccCache::prewarm(const VersionedValue& vv) {
+  if (params_.capacity == 0 || entries_.size() >= params_.capacity) return;
+  if (entries_.count(vv.key) != 0) return;
+  bytes_ += vv.value.size() + kEntryOverhead;
+  entries_.emplace(vv.key, Entry{vv.value, vv.ts, vv.promise, true});
+  lru_.touch(vv.key);
+  stable_est_ = std::max(stable_est_, vv.promise);
+}
+
+Timestamp FaasTccCache::effective_promise(Key k, const Entry& e) const {
+  if (!e.open) return e.promise;
+  return std::max(e.promise,
+                  partition_stable_[storage_.topology().partition_of(k)]);
+}
+
+void FaasTccCache::insert_or_update(const TccReadResp::Entry& entry) {
+  // Note: eviction is deferred to the caller (evict_to_capacity() after
+  // the whole batch) — evicting here could invalidate an entry that a
+  // later "unchanged" response in the same batch still refers to.
+  if (params_.capacity == 0) return;
+  auto it = entries_.find(entry.key);
+  if (it == entries_.end()) {
+    bytes_ += entry.value.size() + kEntryOverhead;
+    entries_.emplace(entry.key,
+                     Entry{entry.value, entry.ts, entry.promise, entry.open});
+    lru_.touch(entry.key);
+    // Keep the entry fresh via the storage notification service.
+    sim::spawn(storage_.subscribe({entry.key}));
+    return;
+  }
+  auto& e = it->second;
+  if (entry.ts > e.ts) {
+    bytes_ += entry.value.size();
+    bytes_ -= e.value.size();
+    e = Entry{entry.value, entry.ts, entry.promise, entry.open};
+  } else if (entry.ts == e.ts) {
+    e.promise = std::max(e.promise, entry.promise);
+    e.open = e.open || entry.open;
+  }
+  // An older version never replaces a newer cached one (§4.6: the reply is
+  // returned without updating the cache).
+  lru_.touch(entry.key);
+}
+
+void FaasTccCache::evict_to_capacity() {
+  std::vector<Key> evicted;
+  while (entries_.size() > params_.capacity) {
+    auto victim = lru_.least_recent();
+    assert(victim.has_value());
+    auto it = entries_.find(*victim);
+    bytes_ -= it->second.value.size() + kEntryOverhead;
+    entries_.erase(it);
+    lru_.erase(*victim);
+    evicted.push_back(*victim);
+    counters_.evictions.inc();
+  }
+  if (!evicted.empty()) sim::spawn(storage_.unsubscribe(std::move(evicted)));
+}
+
+sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
+  auto q = decode_message<CacheReadReq>(req);
+  counters_.requests.inc();
+  if (metrics_ != nullptr) metrics_->cache_lookups.inc();
+  co_await sim::sleep_for(rpc_.loop(), params_.lookup_cpu);
+
+  CacheReadResp resp;
+  resp.interval = q.interval;
+  resp.entries.resize(q.keys.size());
+  resp.from_cache.assign(q.keys.size(), false);
+
+  // Pass 1: serve from the cache, narrowing the interval sequentially so
+  // accepted versions stay mutually consistent.
+  std::vector<size_t> to_fetch;
+  for (size_t i = 0; i < q.keys.size(); ++i) {
+    const Key k = q.keys[i];
+    auto it = entries_.find(k);
+    if (it != entries_.end()) {
+      const auto& e = it->second;
+      const Timestamp promise = effective_promise(k, e);
+      const Timestamp admit_promise = q.use_promises ? promise : e.ts;
+      if (resp.interval.admits(e.ts, admit_promise)) {
+        resp.entries[i] = VersionedValue{k, e.value, e.ts, promise};
+        resp.from_cache[i] = true;
+        resp.interval.narrow(e.ts, promise);
+        lru_.touch(k);
+        continue;
+      }
+    }
+    to_fetch.push_back(i);
+  }
+
+  if (to_fetch.empty()) {
+    counters_.served_from_cache.inc();
+    if (metrics_ != nullptr) metrics_->cache_hits.inc();
+    co_return encode_message(resp);
+  }
+
+  // Pass 2: a batched storage round at the (narrowed) upper bound.  The
+  // snapshot is clamped to the cache's stable-time estimate: each
+  // partition's stable view is monotone, so any global stable value
+  // observed in the past is safe at every partition now, up to the gossip
+  // window.  Inside that window a fan-out across partitions can still
+  // straddle two stable views and produce an empty interval; a short
+  // bounded retry (the stable views catch up within one gossip period)
+  // closes it.  In the steady state every episode takes exactly one round
+  // (§6.5).
+  counters_.storage_fetches.inc();
+  if (metrics_ != nullptr) metrics_->storage_episodes.inc();
+
+  size_t episode_bytes = 0;
+  double rounds = 0;
+  bool ok = false;
+  for (int attempt = 0; attempt < kMaxFetchAttempts && !resp.abort; ++attempt) {
+    Timestamp snapshot = resp.interval.high;
+    if (stable_est_ > Timestamp::min() && stable_est_ < snapshot) {
+      snapshot = std::max(stable_est_, resp.interval.low);
+    }
+    std::vector<Key> keys;
+    std::vector<Timestamp> cached_ts;
+    keys.reserve(to_fetch.size());
+    cached_ts.reserve(to_fetch.size());
+    for (size_t idx : to_fetch) {
+      const Key k = q.keys[idx];
+      auto it = entries_.find(k);
+      keys.push_back(k);
+      cached_ts.push_back(it == entries_.end() ? Timestamp::min()
+                                               : it->second.ts);
+    }
+    storage::TccStorageClient::ReadAccounting acct;
+    TccReadResp storage_resp =
+        co_await storage_.read(keys, cached_ts, snapshot, &acct);
+    // Fig. 7 counts the bytes served by the storage layer per consistent
+    // read; most FaaSTCC responses are bare promise refreshes.
+    episode_bytes += acct.response_bytes;
+    rounds += 1;
+    stable_est_ = std::max(stable_est_, storage_resp.stable_time);
+
+    // Trial-merge: accept the batch only if it keeps the interval
+    // non-empty and no version is missing.
+    client::SnapshotInterval trial = resp.interval;
+    bool missing = false;
+    bool value_lost = false;
+    for (size_t j = 0; j < to_fetch.size(); ++j) {
+      const auto& entry = storage_resp.entries[j];
+      if (entry.status == TccReadResp::Status::kMiss) {
+        missing = true;
+        break;
+      }
+      if (entry.status == TccReadResp::Status::kUnchanged) {
+        auto it = entries_.find(entry.key);
+        if (it == entries_.end() || it->second.ts != entry.ts) {
+          // Evicted or replaced while the request was in flight: the
+          // "unchanged" answer no longer has a local value to attach.
+          // Retry without advertising a cached version.
+          value_lost = true;
+          break;
+        }
+      }
+      trial.narrow(entry.ts, entry.promise);
+    }
+    if (missing) {
+      // The needed version has been garbage-collected (§4.2): abort.
+      resp.abort = true;
+      break;
+    }
+    if (value_lost) continue;
+    if (trial.empty()) {
+      co_await sim::sleep_for(rpc_.loop(), params_.retry_backoff);
+      continue;
+    }
+
+    // Commit the batch.  Eviction runs only after every entry has been
+    // applied: an insert must not evict a key that a later "unchanged"
+    // response in this same batch refers to.
+    resp.interval = trial;
+    for (size_t j = 0; j < to_fetch.size(); ++j) {
+      const size_t idx = to_fetch[j];
+      auto& entry = storage_resp.entries[j];
+      if (entry.status == TccReadResp::Status::kUnchanged) {
+        auto it = entries_.find(entry.key);
+        assert(it != entries_.end());  // guaranteed by the trial merge
+        it->second.promise = std::max(it->second.promise, entry.promise);
+        it->second.open = it->second.open || entry.open;
+        resp.entries[idx] = VersionedValue{entry.key, it->second.value,
+                                           it->second.ts, it->second.promise};
+        lru_.touch(entry.key);
+      } else {
+        resp.entries[idx] =
+            VersionedValue{entry.key, entry.value, entry.ts, entry.promise};
+        insert_or_update(entry);
+      }
+    }
+    evict_to_capacity();
+    ok = true;
+    break;
+  }
+  if (!ok) resp.abort = true;
+  if (metrics_ != nullptr) {
+    metrics_->storage_rounds.add(rounds);
+    metrics_->storage_read_bytes.add(static_cast<double>(episode_bytes));
+  }
+  co_return encode_message(resp);
+}
+
+void FaasTccCache::on_push(Buffer msg, net::Address) {
+  auto push = decode_message<storage::PushMsg>(msg);
+  stable_est_ = std::max(stable_est_, push.stable_time);
+  if (push.partition < partition_stable_.size()) {
+    auto& slot = partition_stable_[push.partition];
+    slot = std::max(slot, push.stable_time);
+  }
+  for (const auto& vv : push.updates) {
+    auto it = entries_.find(vv.key);
+    if (it == entries_.end()) {
+      // Evicted since we subscribed; the unsubscribe is in flight.
+      counters_.pushes_stale.inc();
+      continue;
+    }
+    auto& e = it->second;
+    if (vv.ts > e.ts) {
+      bytes_ += vv.value.size();
+      bytes_ -= e.value.size();
+      e = Entry{vv.value, vv.ts, vv.promise, true};
+      counters_.pushes_applied.inc();
+    } else if (vv.ts == e.ts) {
+      e.promise = std::max(e.promise, vv.promise);
+      e.open = true;
+      counters_.pushes_applied.inc();
+    } else {
+      counters_.pushes_stale.inc();
+    }
+  }
+}
+
+}  // namespace faastcc::cache

@@ -1,0 +1,114 @@
+// The FaaSTCC caching layer (paper §4.3, Alg. 2), one instance per compute
+// node.
+//
+// Entries are <key, value, t, promise> tuples.  A read request carries the
+// client's snapshot interval; keys are processed in order against the
+// running interval (Eq. 1/2), misses are fetched from the TCC storage in a
+// single batched round at the interval's upper bound, and the narrowed
+// interval is returned.
+//
+// The cache subscribes to updates for every key it holds.  Partitions push
+// fresh versions of dirty subscribed keys every refresh period (50 ms in
+// the paper) together with their current stable time; because the dirty
+// set is complete for subscribed keys, the push's stable time also extends
+// the promise of every *open* cached version of that partition (a version
+// with no successor as of the push).  This keeps promises of rarely
+// written keys fresh without per-key traffic.  Committed writes are not
+// inserted eagerly (§4.7).
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/cache_messages.h"
+#include "cache/lru_index.h"
+#include "common/metrics.h"
+#include "net/rpc.h"
+#include "storage/storage_client.h"
+
+namespace faastcc::cache {
+
+struct CacheParams {
+  // Maximum number of entries; SIZE_MAX = unbounded (paper default), 0 =
+  // cache disabled (§6.7's 0 % configuration).
+  size_t capacity = SIZE_MAX;
+  Duration lookup_cpu = microseconds(8);  // service time per request
+  Duration retry_backoff = milliseconds(1);
+};
+
+class FaasTccCache {
+ public:
+  FaasTccCache(net::Network& network, net::Address self,
+               storage::TccTopology topology, CacheParams params,
+               Metrics* metrics);
+
+  net::Address address() const { return rpc_.address(); }
+
+  size_t entry_count() const { return entries_.size(); }
+  // Memory footprint: value bytes plus per-entry key/timestamp/promise
+  // metadata (Fig. 8).
+  size_t bytes() const { return bytes_; }
+
+  struct Counters {
+    Counter requests;
+    Counter served_from_cache;  // requests fully satisfied locally
+    Counter storage_fetches;
+    Counter pushes_applied;
+    Counter pushes_stale;
+    Counter evictions;
+  };
+  const Counters& counters() const { return counters_; }
+
+  struct Entry {
+    Value value;
+    Timestamp ts;
+    Timestamp promise;
+    // No successor known as of `promise`: the promise may be extended by a
+    // later stable time of the owning partition.
+    bool open = false;
+  };
+
+  // Test access.
+  bool has(Key k) const { return entries_.count(k) != 0; }
+  const Entry* peek(Key k) const;
+  Timestamp partition_stable(PartitionId p) const {
+    return partition_stable_.at(p);
+  }
+
+  // Installs an entry directly, bypassing the protocol (experiment
+  // pre-warming, §6.1: "cache sizes are unbounded and were pre-warmed").
+  // The caller must also register the matching storage subscription.
+  void prewarm(const storage::VersionedValue& vv);
+
+ private:
+  static constexpr size_t kEntryOverhead = 8 + 8 + 8;  // key + ts + promise
+  // Must cover at least one full gossip period of the stabilizer at the
+  // configured backoff, or hot-key reads can exhaust retries under
+  // extreme contention.
+  static constexpr int kMaxFetchAttempts = 8;
+
+  sim::Task<Buffer> on_read(Buffer req, net::Address from);
+  void on_push(Buffer msg, net::Address from);
+
+  // The promise currently claimable for an entry (extended by the owning
+  // partition's pushed stable time when the version is open).
+  Timestamp effective_promise(Key k, const Entry& e) const;
+
+  void insert_or_update(const storage::TccReadResp::Entry& entry);
+  void evict_to_capacity();
+
+  net::RpcNode rpc_;
+  storage::TccStorageClient storage_;
+  CacheParams params_;
+  Metrics* metrics_;
+  std::unordered_map<Key, Entry> entries_;
+  LruIndex lru_;
+  size_t bytes_ = 0;
+  // Highest global stable time observed anywhere; monotone per partition,
+  // so always a safe read snapshot.
+  Timestamp stable_est_;
+  // Last pushed stable time per partition (promise extension).
+  std::vector<Timestamp> partition_stable_;
+  Counters counters_;
+};
+
+}  // namespace faastcc::cache

@@ -1,0 +1,255 @@
+#include "cache/hydro_cache.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "sim/future.h"
+
+namespace faastcc::cache {
+
+HydroCache::HydroCache(net::Network& network, net::Address self,
+                       storage::EvTopology topology, Rng rng,
+                       HydroCacheParams params, Metrics* metrics)
+    : rpc_(network, self),
+      storage_(rpc_, std::move(topology), rng),
+      params_(params),
+      metrics_(metrics) {
+  rpc_.handle(kHydroRead, [this](Buffer b, net::Address from) {
+    return on_read(std::move(b), from);
+  });
+  rpc_.handle_oneway(storage::kEvPush, [this](Buffer b, net::Address from) {
+    on_push(std::move(b), from);
+  });
+}
+
+void HydroCache::on_push(Buffer msg, net::Address) {
+  auto push = decode_message<storage::EvGossipMsg>(msg);
+  for (storage::EvItem& item : push.items) {
+    auto it = entries_.find(item.key);
+    if (it == entries_.end()) continue;  // evicted; unsubscribe in flight
+    if (item.version.counter <= it->second.counter) continue;
+    HydroStored stored = decode_message<HydroStored>(
+        Buffer(item.payload.begin(), item.payload.end()));
+    bytes_ -= it->second.footprint();
+    it->second = Entry{std::move(stored.value), item.version.counter,
+                       item.written_at, std::move(stored.deps)};
+    bytes_ += it->second.footprint();
+    insert_stubs(it->second.deps);
+    counters_.pushes_applied.inc();
+  }
+}
+
+HydroCache::Fit HydroCache::check(const DepMap& ctx, Key key,
+                                  uint64_t counter,
+                                  const std::vector<StoredDep>& deps) {
+  if (const Dep* need = ctx.find(key); need != nullptr) {
+    // HydroCache only requires a version "equal or greater" than the one
+    // in the dependency list (§2); newer is acceptable, and its own
+    // dependencies are validated below.
+    if (counter < need->counter) return Fit::kTooOld;
+  }
+  for (const StoredDep& d : deps) {
+    if (const Dep* have = ctx.find(d.key);
+        have != nullptr && have->read && have->counter < d.counter) {
+      // This version causally requires a newer version of a key the
+      // transaction has already read: it is "too new" and the LWW store
+      // cannot serve anything older.
+      return Fit::kConflict;
+    }
+  }
+  return Fit::kOk;
+}
+
+void HydroCache::prewarm(Key k, Value value, uint64_t counter,
+                         SimTime written_at) {
+  if (params_.capacity == 0 || entries_.size() >= params_.capacity) return;
+  if (entries_.count(k) != 0) return;
+  Entry e{std::move(value), counter, written_at, {}};
+  bytes_ += e.footprint();
+  entries_.emplace(k, std::move(e));
+  lru_.touch(k);
+}
+
+void HydroCache::insert_entry(Key k, Entry e) {
+  if (params_.capacity == 0) return;
+  insert_stubs(e.deps);
+  // A full entry supersedes a stub.
+  if (auto st = stubs_.find(k); st != stubs_.end()) {
+    stubs_.erase(st);
+    stub_lru_.erase(k);
+    bytes_ -= kStubBytes;
+  }
+  auto it = entries_.find(k);
+  if (it == entries_.end()) {
+    bytes_ += e.footprint();
+    entries_.emplace(k, std::move(e));
+    sim::spawn(storage_.subscribe({k}));
+  } else {
+    if (e.counter <= it->second.counter) {
+      lru_.touch(k);
+      return;
+    }
+    bytes_ -= it->second.footprint();
+    bytes_ += e.footprint();
+    it->second = std::move(e);
+  }
+  lru_.touch(k);
+  evict_to_capacity();
+}
+
+void HydroCache::insert_stubs(const std::vector<StoredDep>& deps) {
+  if (params_.capacity == 0) return;
+  const size_t stub_cap =
+      params_.capacity == SIZE_MAX ? SIZE_MAX : params_.capacity * 4;
+  for (const StoredDep& d : deps) {
+    if (entries_.count(d.key) != 0) continue;
+    auto [it, inserted] = stubs_.emplace(d.key, Stub{d.counter, d.written_at});
+    if (inserted) {
+      bytes_ += kStubBytes;
+    } else if (d.counter > it->second.counter) {
+      it->second = Stub{d.counter, d.written_at};
+    }
+    stub_lru_.touch(d.key);
+    while (stubs_.size() > stub_cap) {
+      auto victim = stub_lru_.least_recent();
+      assert(victim.has_value());
+      stubs_.erase(*victim);
+      stub_lru_.erase(*victim);
+      bytes_ -= kStubBytes;
+    }
+  }
+}
+
+void HydroCache::evict_to_capacity() {
+  std::vector<Key> evicted;
+  while (entries_.size() > params_.capacity) {
+    auto victim = lru_.least_recent();
+    assert(victim.has_value());
+    auto it = entries_.find(*victim);
+    bytes_ -= it->second.footprint();
+    entries_.erase(it);
+    lru_.erase(*victim);
+    evicted.push_back(*victim);
+    counters_.evictions.inc();
+  }
+  if (!evicted.empty()) sim::spawn(storage_.unsubscribe(std::move(evicted)));
+}
+
+sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
+  auto q = decode_message<HydroReadReq>(req);
+  counters_.requests.inc();
+  if (metrics_ != nullptr) metrics_->cache_lookups.inc();
+  co_await sim::sleep_for(rpc_.loop(), params_.lookup_cpu);
+
+  HydroReadResp resp;
+  resp.entries.resize(q.keys.size());
+  resp.from_cache.assign(q.keys.size(), false);
+
+  DepMap ctx = std::move(q.context);
+  bool storage_contacted = false;
+  double episode_rounds = 0;
+  size_t episode_bytes = 0;
+
+  auto accept = [&](size_t i, Key k, const Value& value, uint64_t counter,
+                    SimTime written_at, const std::vector<StoredDep>& deps) {
+    HydroReadEntry& out = resp.entries[i];
+    out.key = k;
+    out.value = value;
+    out.counter = counter;
+    out.written_at = written_at;
+    out.deps = deps;
+    ctx.mark_read(k, counter, written_at);
+    for (const StoredDep& d : deps) {
+      // A stored dependency at level L becomes a context entry at L+1;
+      // level-2 entries are kept for validation but never re-stored.
+      ctx.require(d.key, d.counter, d.written_at,
+                  static_cast<uint8_t>(std::min<int>(d.level + 1, 2)));
+    }
+  };
+
+  for (size_t i = 0; i < q.keys.size() && !resp.abort; ++i) {
+    const Key k = q.keys[i];
+
+    // Cache attempt.
+    if (params_.capacity != 0) {
+      auto it = entries_.find(k);
+      if (it != entries_.end() &&
+          check(ctx, k, it->second.counter, it->second.deps) == Fit::kOk) {
+        accept(i, k, it->second.value, it->second.counter,
+               it->second.written_at, it->second.deps);
+        resp.from_cache[i] = true;
+        lru_.touch(k);
+        continue;
+      }
+    }
+
+    // Multi-round storage fetch.
+    storage_contacted = true;
+    bool done = false;
+    for (int round = 0; round < params_.max_rounds; ++round) {
+      std::vector<Key> fetch_keys(1, k);
+      auto result = co_await storage_.get(std::move(fetch_keys));
+      episode_rounds += 1;
+      episode_bytes += result.response_bytes;
+      if (!result.items[0].has_value()) {
+        // Key unknown to this replica.  If the transaction does not
+        // require any particular version, serve the implicit initial
+        // value; otherwise wait for replication.
+        if (const Dep* need = ctx.find(k);
+            need == nullptr || need->counter == 0) {
+          accept(i, k, Value{}, 0, 0, std::vector<StoredDep>{});
+          done = true;
+          break;
+        }
+        co_await sim::sleep_for(rpc_.loop(), params_.retry_backoff);
+        continue;
+      }
+      const storage::EvItem& item = *result.items[0];
+      HydroStored stored = decode_message<HydroStored>(
+          Buffer(item.payload.begin(), item.payload.end()));
+      const Fit fit = check(ctx, k, item.version.counter, stored.deps);
+      if (fit == Fit::kTooOld) {
+        // Stale replica: retry (possibly another replica) after a short
+        // backoff — the §4.1 multi-round pattern.
+        co_await sim::sleep_for(rpc_.loop(), params_.retry_backoff);
+        continue;
+      }
+      if (fit == Fit::kConflict) {
+        counters_.conflict_aborts.inc();
+        resp.abort = true;
+        break;
+      }
+      accept(i, k, stored.value, item.version.counter, item.written_at,
+             stored.deps);
+      insert_entry(k, Entry{stored.value, item.version.counter,
+                            item.written_at, std::move(stored.deps)});
+      done = true;
+      break;
+    }
+    if (!done && !resp.abort) {
+      if (const Dep* need = ctx.find(k); need != nullptr) {
+        LOG_DEBUG("hydro round exhaustion key=" << k << " need=" << need->counter
+                  << " read=" << need->read << " level=" << int(need->level));
+      }
+      counters_.round_exhaustion_aborts.inc();
+      resp.abort = true;
+    }
+  }
+
+  resp.global_cut = storage_.global_cut();
+  if (storage_contacted) {
+    counters_.storage_fetch_rounds.inc(static_cast<uint64_t>(episode_rounds));
+    if (metrics_ != nullptr) {
+      metrics_->storage_episodes.inc();
+      metrics_->storage_rounds.add(episode_rounds);
+      metrics_->storage_read_bytes.add(static_cast<double>(episode_bytes));
+    }
+  } else {
+    counters_.served_from_cache.inc();
+    if (metrics_ != nullptr) metrics_->cache_hits.inc();
+  }
+  co_return encode_message(resp);
+}
+
+}  // namespace faastcc::cache

@@ -1,0 +1,106 @@
+// HydroCache baseline (Wu et al., SIGMOD'20), as characterised in the
+// FaaSTCC paper: a causal caching layer over an eventually consistent
+// store.
+//
+// Reads must assemble a causally consistent cut.  A cached or fetched
+// version is admissible iff (a) it is at least as new as the transaction's
+// accumulated requirement for its key and (b) none of its dependencies
+// demands a newer version of a key the transaction has already read.
+// Because the store is a last-writer-wins register (no MVCC), a too-old
+// candidate can only be remedied by re-fetching — possibly from another
+// replica, possibly after replication catches up — which is the
+// multi-round behaviour of §4.1/Fig. 6; and a too-new candidate cannot be
+// remedied at all, which aborts the DAG.
+//
+// Fetched values' dependency lists are kept as metadata-only stubs, the
+// "dependencies of the dependencies" whose footprint Fig. 8 measures.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/cache_messages.h"
+#include "cache/lru_index.h"
+#include "common/metrics.h"
+#include "net/rpc.h"
+#include "storage/storage_client.h"
+
+namespace faastcc::cache {
+
+struct HydroCacheParams {
+  size_t capacity = SIZE_MAX;       // full entries; SIZE_MAX = unbounded
+  Duration lookup_cpu = microseconds(8);
+  Duration retry_backoff = microseconds(1500);
+  int max_rounds = 30;              // per key, before aborting
+};
+
+class HydroCache {
+ public:
+  HydroCache(net::Network& network, net::Address self,
+             storage::EvTopology topology, Rng rng, HydroCacheParams params,
+             Metrics* metrics);
+
+  net::Address address() const { return rpc_.address(); }
+
+  size_t entry_count() const { return entries_.size(); }
+  size_t stub_count() const { return stubs_.size(); }
+  // Fig. 8 footprint: cached values, their dependency lists, and stubs.
+  size_t bytes() const { return bytes_; }
+  size_t total_keys() const { return entries_.size() + stubs_.size(); }
+
+  struct Counters {
+    Counter requests;
+    Counter served_from_cache;
+    Counter storage_fetch_rounds;
+    Counter conflict_aborts;
+    Counter round_exhaustion_aborts;
+    Counter evictions;
+    Counter pushes_applied;
+  };
+  const Counters& counters() const { return counters_; }
+
+  bool has(Key k) const { return entries_.count(k) != 0; }
+
+  // Direct insert for experiment pre-warming.
+  void prewarm(Key k, Value value, uint64_t counter, SimTime written_at);
+
+ private:
+  struct Entry {
+    Value value;
+    uint64_t counter = 0;
+    SimTime written_at = 0;
+    std::vector<StoredDep> deps;
+
+    size_t footprint() const {
+      return value.size() + 24 + deps.size() * 24;  // key+version+time
+    }
+  };
+  struct Stub {
+    uint64_t counter = 0;
+    SimTime written_at = 0;
+  };
+  static constexpr size_t kStubBytes = 8 + 8 + 8;
+
+  sim::Task<Buffer> on_read(Buffer req, net::Address from);
+  void on_push(Buffer msg, net::Address from);
+
+  enum class Fit { kOk, kTooOld, kConflict };
+  static Fit check(const DepMap& ctx, Key key, uint64_t counter,
+                   const std::vector<StoredDep>& deps);
+
+  void insert_entry(Key k, Entry e);
+  void insert_stubs(const std::vector<StoredDep>& deps);
+  void evict_to_capacity();
+
+  net::RpcNode rpc_;
+  storage::EvStorageClient storage_;
+  HydroCacheParams params_;
+  Metrics* metrics_;
+  std::unordered_map<Key, Entry> entries_;
+  std::unordered_map<Key, Stub> stubs_;
+  LruIndex lru_;
+  LruIndex stub_lru_;
+  size_t bytes_ = 0;
+  Counters counters_;
+};
+
+}  // namespace faastcc::cache

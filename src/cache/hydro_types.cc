@@ -1,0 +1,86 @@
+#include "cache/hydro_types.h"
+
+#include <algorithm>
+
+namespace faastcc::cache {
+
+void DepMap::require(Key k, uint64_t counter, SimTime written_at,
+                     uint8_t level) {
+  auto [it, inserted] = map_.emplace(k, Dep{counter, written_at, false, level});
+  if (inserted) return;
+  Dep& d = it->second;
+  if (counter > d.counter) {
+    d.counter = counter;
+    d.written_at = written_at;
+    d.level = level;
+  } else if (counter == d.counter) {
+    d.level = std::min(d.level, level);
+  }
+  // The read flag reflects whether *some* version was read; it is sticky.
+}
+
+void DepMap::mark_read(Key k, uint64_t counter, SimTime written_at) {
+  auto [it, inserted] = map_.emplace(k, Dep{counter, written_at, true, 0});
+  if (!inserted) {
+    Dep& d = it->second;
+    if (counter > d.counter) {
+      d.counter = counter;
+      d.written_at = written_at;
+    }
+    d.read = true;
+    d.level = 0;
+  }
+}
+
+const Dep* DepMap::find(Key k) const {
+  auto it = map_.find(k);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+void DepMap::merge(const DepMap& other) {
+  for (const auto& [k, d] : other.map_) {
+    if (d.read) {
+      mark_read(k, d.counter, d.written_at);
+    } else {
+      require(k, d.counter, d.written_at, d.level);
+    }
+  }
+}
+
+void DepMap::gc_before(SimTime horizon) {
+  for (auto it = map_.begin(); it != map_.end();) {
+    if (!it->second.read && it->second.written_at < horizon) {
+      it = map_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DepMap::encode(BufWriter& w) const {
+  w.put_u32(static_cast<uint32_t>(map_.size()));
+  for (const auto& [k, d] : map_) {
+    w.put_u64(k);
+    w.put_u64(d.counter);
+    w.put_i64(d.written_at);
+    w.put_bool(d.read);
+    w.put_u8(d.level);
+  }
+}
+
+DepMap DepMap::decode(BufReader& r) {
+  DepMap m;
+  const uint32_t n = r.get_u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    const Key k = r.get_u64();
+    Dep d;
+    d.counter = r.get_u64();
+    d.written_at = r.get_i64();
+    d.read = r.get_bool();
+    d.level = r.get_u8();
+    m.map_.emplace(k, d);
+  }
+  return m;
+}
+
+}  // namespace faastcc::cache

@@ -1,0 +1,129 @@
+// Dependency metadata of the HydroCache baseline.
+//
+// HydroCache tracks causality explicitly: every stored value carries the
+// versions in its causal past (its writer's reads, co-written siblings and
+// one further level of their dependencies), and a transaction's context
+// accumulates the union of everything it has read plus those values'
+// dependencies.  This is the metadata whose size Fig. 5 measures and whose
+// transfer and merging dominates HydroCache's dynamic-transaction latency.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/types.h"
+#include "storage/messages.h"
+
+namespace faastcc::cache {
+
+// One causal requirement: "any consistent snapshot containing the carrier
+// must contain key at version >= counter".  `read` marks entries for keys
+// the transaction has actually read (their versions are fixed; a conflict
+// against them aborts the DAG).  `written_at` drives metadata GC against
+// the store's gossiped stable cut.
+//
+// `level` is the transitive distance from a direct read: 0 for versions
+// the transaction read (or a write's co-written siblings), 1 for their
+// direct dependencies, 2 for dependencies-of-dependencies.  Stored
+// dependency lists keep levels 0-1 only — the bounded "nearest
+// dependencies plus one level" scheme that keeps stored metadata at a
+// stable fixpoint while transaction contexts accumulate the merged
+// closure (the size asymmetry between Fig. 7 and Fig. 5).
+struct Dep {
+  uint64_t counter = 0;
+  SimTime written_at = 0;
+  bool read = false;
+  uint8_t level = 0;
+};
+
+// Wire size of one dependency entry: key + counter + written_at + flags.
+constexpr size_t kDepWireBytes = 8 + 8 + 8 + 1 + 1;
+
+class DepMap {
+ public:
+  // Raises the requirement for `k` (keeps the max counter; `read` is
+  // sticky once set for the surviving entry; `level` keeps the minimum).
+  void require(Key k, uint64_t counter, SimTime written_at, uint8_t level);
+  // Records that the transaction read `k` at `counter` (level 0).
+  void mark_read(Key k, uint64_t counter, SimTime written_at);
+
+  const Dep* find(Key k) const;
+  size_t size() const { return map_.size(); }
+  bool empty() const { return map_.empty(); }
+
+  void merge(const DepMap& other);
+  // Drops entries written before `horizon` (globally visible, so no longer
+  // needed for consistency checks).  Read markers are never dropped while
+  // the transaction runs; the context is rebuilt per DAG anyway.
+  void gc_before(SimTime horizon);
+  // Keeps only keys contained in `keys` (the static-transaction
+  // optimization: with a declared read/write set, metadata irrelevant to
+  // the remaining functions can be pruned before shipping downstream).
+  template <typename KeySet>
+  void restrict_to(const KeySet& keys) {
+    for (auto it = map_.begin(); it != map_.end();) {
+      if (keys.count(it->first) == 0) {
+        it = map_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+
+  size_t wire_bytes() const { return 4 + map_.size() * kDepWireBytes; }
+
+  void encode(BufWriter& w) const;
+  static DepMap decode(BufReader& r);
+
+  auto begin() const { return map_.begin(); }
+  auto end() const { return map_.end(); }
+
+ private:
+  std::unordered_map<Key, Dep> map_;
+};
+
+// A dependency list entry as stored alongside a value.  Level 0 entries
+// are the writer's reads and co-written siblings; level 1 entries are the
+// direct dependencies of those reads.
+struct StoredDep {
+  Key key = 0;
+  uint64_t counter = 0;
+  SimTime written_at = 0;
+  uint8_t level = 0;
+
+  void encode(BufWriter& w) const {
+    w.put_u64(key);
+    w.put_u64(counter);
+    w.put_i64(written_at);
+    w.put_u8(level);
+  }
+  static StoredDep decode(BufReader& r) {
+    StoredDep d;
+    d.key = r.get_u64();
+    d.counter = r.get_u64();
+    d.written_at = r.get_i64();
+    d.level = r.get_u8();
+    return d;
+  }
+};
+
+// Payload persisted in the eventual store for every HydroCache write:
+// the application value plus the dependency list.
+struct HydroStored {
+  Value value;
+  std::vector<StoredDep> deps;
+
+  void encode(BufWriter& w) const {
+    w.put_bytes(value);
+    storage::put_vec(w, deps);
+  }
+  static HydroStored decode(BufReader& r) {
+    HydroStored s;
+    s.value = r.get_bytes();
+    s.deps = storage::get_vec<StoredDep>(r);
+    return s;
+  }
+};
+
+}  // namespace faastcc::cache

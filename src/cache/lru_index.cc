@@ -1,0 +1,27 @@
+#include "cache/lru_index.h"
+
+namespace faastcc::cache {
+
+void LruIndex::touch(Key k) {
+  auto it = index_.find(k);
+  if (it != index_.end()) {
+    order_.splice(order_.begin(), order_, it->second);
+    return;
+  }
+  order_.push_front(k);
+  index_.emplace(k, order_.begin());
+}
+
+void LruIndex::erase(Key k) {
+  auto it = index_.find(k);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<Key> LruIndex::least_recent() const {
+  if (order_.empty()) return std::nullopt;
+  return order_.back();
+}
+
+}  // namespace faastcc::cache

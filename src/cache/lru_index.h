@@ -1,0 +1,32 @@
+// Least-recently-used bookkeeping shared by all three cache designs.
+// The paper uses LRU replacement for the bounded-cache experiment (§6.7);
+// the cache algorithms themselves are replacement-policy agnostic (§4.3).
+#pragma once
+
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.h"
+
+namespace faastcc::cache {
+
+class LruIndex {
+ public:
+  // Inserts `k` as most-recently-used, or moves it there if present.
+  void touch(Key k);
+
+  void erase(Key k);
+
+  // The least-recently-used key, if any.
+  std::optional<Key> least_recent() const;
+
+  bool contains(Key k) const { return index_.count(k) != 0; }
+  size_t size() const { return index_.size(); }
+
+ private:
+  std::list<Key> order_;  // front = most recent
+  std::unordered_map<Key, std::list<Key>::iterator> index_;
+};
+
+}  // namespace faastcc::cache

@@ -1,0 +1,105 @@
+#include "cache/plain_cache.h"
+
+#include <cassert>
+
+#include "sim/future.h"
+
+namespace faastcc::cache {
+
+PlainCache::PlainCache(net::Network& network, net::Address self,
+                       storage::EvTopology topology, Rng rng,
+                       PlainCacheParams params, Metrics* metrics)
+    : rpc_(network, self),
+      storage_(rpc_, std::move(topology), rng),
+      params_(params),
+      metrics_(metrics) {
+  rpc_.handle(kPlainRead, [this](Buffer b, net::Address from) {
+    return on_read(std::move(b), from);
+  });
+  rpc_.handle_oneway(storage::kEvPush, [this](Buffer b, net::Address from) {
+    on_push(std::move(b), from);
+  });
+}
+
+void PlainCache::on_push(Buffer msg, net::Address) {
+  // Cloudburst caches receive periodic update streams from the KVS; the
+  // newest pushed payload simply replaces the cached value (no versions,
+  // no guarantees — eventual consistency).
+  auto push = decode_message<storage::EvGossipMsg>(msg);
+  for (storage::EvItem& item : push.items) {
+    auto it = entries_.find(item.key);
+    if (it == entries_.end()) continue;
+    bytes_ += item.payload.size();
+    bytes_ -= it->second.size();
+    it->second = std::move(item.payload);
+  }
+}
+
+void PlainCache::evict_to_capacity() {
+  while (entries_.size() > params_.capacity) {
+    auto victim = lru_.least_recent();
+    assert(victim.has_value());
+    auto it = entries_.find(*victim);
+    bytes_ -= it->second.size() + 8;
+    entries_.erase(it);
+    lru_.erase(*victim);
+  }
+}
+
+sim::Task<Buffer> PlainCache::on_read(Buffer req, net::Address) {
+  auto q = decode_message<PlainReadReq>(req);
+  if (metrics_ != nullptr) metrics_->cache_lookups.inc();
+  co_await sim::sleep_for(rpc_.loop(), params_.lookup_cpu);
+
+  PlainReadResp resp;
+  resp.entries.resize(q.keys.size());
+  std::vector<size_t> to_fetch;
+  for (size_t i = 0; i < q.keys.size(); ++i) {
+    const Key k = q.keys[i];
+    auto it = entries_.find(k);
+    if (it != entries_.end() && params_.capacity != 0) {
+      resp.entries[i] = storage::KeyValue{k, it->second};
+      lru_.touch(k);
+    } else {
+      to_fetch.push_back(i);
+    }
+  }
+  if (to_fetch.empty()) {
+    if (metrics_ != nullptr) metrics_->cache_hits.inc();
+    co_return encode_message(resp);
+  }
+
+  std::vector<Key> keys;
+  keys.reserve(to_fetch.size());
+  for (size_t idx : to_fetch) keys.push_back(q.keys[idx]);
+  auto result = co_await storage_.get(keys);
+  if (metrics_ != nullptr) {
+    metrics_->storage_episodes.inc();
+    metrics_->storage_rounds.add(1.0);
+    metrics_->storage_read_bytes.add(
+        static_cast<double>(result.response_bytes));
+  }
+  for (size_t j = 0; j < to_fetch.size(); ++j) {
+    const size_t idx = to_fetch[j];
+    const Key k = q.keys[idx];
+    Value v;
+    if (result.items[j].has_value()) v = result.items[j]->payload;
+    resp.entries[idx] = storage::KeyValue{k, v};
+    if (params_.capacity != 0) {
+      auto [it, inserted] = entries_.emplace(k, v);
+      if (inserted) {
+        bytes_ += v.size() + 8;
+        sim::spawn(storage_.subscribe({k}));
+      } else {
+        bytes_ += v.size();
+        bytes_ -= it->second.size();
+        it->second = v;
+      }
+      lru_.touch(k);
+      evict_to_capacity();
+    }
+  }
+  co_return encode_message(resp);
+}
+
+}  // namespace faastcc::cache

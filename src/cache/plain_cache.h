@@ -1,0 +1,54 @@
+// The baseline Cloudburst cache: an eventually consistent look-aside cache
+// with no cross-function guarantees.  Used for the Fig. 11 overhead
+// comparison.
+#pragma once
+
+#include <unordered_map>
+
+#include "cache/cache_messages.h"
+#include "cache/lru_index.h"
+#include "common/metrics.h"
+#include "net/rpc.h"
+#include "storage/storage_client.h"
+
+namespace faastcc::cache {
+
+struct PlainCacheParams {
+  size_t capacity = SIZE_MAX;
+  Duration lookup_cpu = microseconds(8);
+};
+
+class PlainCache {
+ public:
+  PlainCache(net::Network& network, net::Address self,
+             storage::EvTopology topology, Rng rng, PlainCacheParams params,
+             Metrics* metrics);
+
+  net::Address address() const { return rpc_.address(); }
+  size_t entry_count() const { return entries_.size(); }
+  size_t bytes() const { return bytes_; }
+
+  // Direct insert for experiment pre-warming.
+  void prewarm(Key k, Value v) {
+    if (params_.capacity == 0 || entries_.size() >= params_.capacity) return;
+    if (entries_.count(k) != 0) return;
+    bytes_ += v.size() + 8;
+    entries_.emplace(k, std::move(v));
+    lru_.touch(k);
+  }
+
+ private:
+  sim::Task<Buffer> on_read(Buffer req, net::Address from);
+  void on_push(Buffer msg, net::Address from);
+  void evict_to_capacity();
+
+  net::RpcNode rpc_;
+  storage::EvStorageClient storage_;
+  PlainCacheParams params_;
+  Metrics* metrics_;
+  std::unordered_map<Key, Value> entries_;
+  LruIndex lru_;
+  size_t bytes_ = 0;
+};
+
+}  // namespace faastcc::cache

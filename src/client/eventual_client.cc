@@ -1,0 +1,91 @@
+#include "client/eventual_client.h"
+
+namespace faastcc::client {
+
+void EventualContext::encode(BufWriter& w) const {
+  w.put_u32(static_cast<uint32_t>(write_set.size()));
+  for (const auto& [k, v] : write_set) {
+    w.put_u64(k);
+    w.put_bytes(v);
+  }
+}
+
+EventualContext EventualContext::decode(BufReader& r) {
+  EventualContext c;
+  const uint32_t n = r.get_u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    const Key k = r.get_u64();
+    c.write_set[k] = r.get_bytes();
+  }
+  return c;
+}
+
+EventualAdapter::EventualAdapter(net::RpcNode& rpc, net::Address cache_address,
+                                 storage::EvTopology topology, Rng rng,
+                                 Metrics* metrics)
+    : rpc_(rpc),
+      cache_address_(cache_address),
+      storage_(rpc, std::move(topology), rng),
+      metrics_(metrics) {}
+
+std::unique_ptr<FunctionTxn> EventualAdapter::open(
+    const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
+    const Buffer& /*session*/) {
+  EventualContext ctx;
+  for (const Buffer& b : parent_contexts) {
+    EventualContext p = decode_message<EventualContext>(b);
+    for (auto& [k, v] : p.write_set) ctx.write_set[k] = std::move(v);
+  }
+  return std::make_unique<EventualTxn>(*this, info, std::move(ctx));
+}
+
+sim::Task<std::optional<std::vector<Value>>> EventualTxn::read(
+    std::vector<Key> keys) {
+  std::vector<Value> out(keys.size());
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Key k = keys[i];
+    if (auto it = ctx_.write_set.find(k); it != ctx_.write_set.end()) {
+      out[i] = it->second;
+    } else if (auto it2 = read_set_.find(k); it2 != read_set_.end()) {
+      out[i] = it2->second;
+    } else {
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) co_return out;
+
+  cache::PlainReadReq req;
+  req.keys.reserve(missing.size());
+  for (size_t idx : missing) req.keys.push_back(keys[idx]);
+  auto resp = co_await adapter_.rpc_.call<cache::PlainReadResp>(
+      adapter_.cache_address_, cache::kPlainRead, req);
+  for (size_t j = 0; j < missing.size(); ++j) {
+    const size_t idx = missing[j];
+    out[idx] = resp.entries[j].value;
+    read_set_.emplace(keys[idx], resp.entries[j].value);
+  }
+  co_return out;
+}
+
+void EventualTxn::write(Key k, Value v) { ctx_.write_set[k] = std::move(v); }
+
+Buffer EventualTxn::export_context() const { return encode_message(ctx_); }
+
+sim::Task<std::optional<Buffer>> EventualTxn::commit() {
+  if (!ctx_.write_set.empty()) {
+    std::vector<storage::EvItem> items;
+    items.reserve(ctx_.write_set.size());
+    for (const auto& [k, v] : ctx_.write_set) {
+      storage::EvItem item;
+      item.key = k;
+      item.version = storage::EvVersion{0, info_.txn_id};  // store assigns
+      item.payload = v;
+      items.push_back(std::move(item));
+    }
+    co_await adapter_.storage_.put(std::move(items));
+  }
+  co_return Buffer{};
+}
+
+}  // namespace faastcc::client

@@ -1,0 +1,168 @@
+#include "client/faastcc_client.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+
+namespace faastcc::client {
+
+void FaasTccContext::encode(BufWriter& w) const {
+  interval.encode(w);
+  w.put_u64(dep_ts.raw());
+  w.put_bool(snapshot_fixed);
+  w.put_u32(static_cast<uint32_t>(write_set.size()));
+  for (const auto& [k, v] : write_set) {
+    w.put_u64(k);
+    w.put_bytes(v);
+  }
+}
+
+FaasTccContext FaasTccContext::decode(BufReader& r) {
+  FaasTccContext c;
+  c.interval = SnapshotInterval::decode(r);
+  c.dep_ts = Timestamp(r.get_u64());
+  c.snapshot_fixed = r.get_bool();
+  const uint32_t n = r.get_u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    const Key k = r.get_u64();
+    c.write_set[k] = r.get_bytes();
+  }
+  return c;
+}
+
+Buffer encode_faastcc_session(Timestamp commit_ts) {
+  BufWriter w;
+  w.put_u64(commit_ts.raw());
+  return w.take();
+}
+
+Timestamp decode_faastcc_session(const Buffer& b) {
+  if (b.empty()) return Timestamp::min();
+  BufReader r(b);
+  return Timestamp(r.get_u64());
+}
+
+FaasTccAdapter::FaasTccAdapter(net::RpcNode& rpc, net::Address cache_address,
+                               storage::TccTopology topology,
+                               FaasTccConfig config, Metrics* metrics)
+    : rpc_(rpc),
+      cache_address_(cache_address),
+      storage_(rpc, std::move(topology)),
+      config_(config),
+      metrics_(metrics) {}
+
+std::unique_ptr<FunctionTxn> FaasTccAdapter::open(
+    const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
+    const Buffer& session) {
+  FaasTccContext ctx;
+  if (parent_contexts.empty()) {
+    // Root function: SI_root = [-inf, +inf] (§4.8); the session blob only
+    // contributes the causal lower bound for the eventual commit.
+    ctx.dep_ts = decode_faastcc_session(session);
+  } else {
+    std::vector<FaasTccContext> parents;
+    parents.reserve(parent_contexts.size());
+    for (const Buffer& b : parent_contexts) {
+      parents.push_back(decode_message<FaasTccContext>(b));
+    }
+    std::vector<SnapshotInterval> intervals;
+    intervals.reserve(parents.size());
+    for (auto& p : parents) intervals.push_back(p.interval);
+    ctx.interval = SnapshotInterval::merge(intervals);
+    if (ctx.interval.empty()) {
+      // Parents read from incompatible snapshots (Alg. 1 line 11).
+      return nullptr;
+    }
+    for (auto& p : parents) {
+      ctx.dep_ts = std::max(ctx.dep_ts, p.dep_ts);
+      ctx.snapshot_fixed = ctx.snapshot_fixed || p.snapshot_fixed;
+      for (auto& [k, v] : p.write_set) ctx.write_set[k] = std::move(v);
+    }
+  }
+  return std::make_unique<FaasTccTxn>(*this, info, std::move(ctx));
+}
+
+sim::Task<std::optional<std::vector<Value>>> FaasTccTxn::read(
+    std::vector<Key> keys) {
+  std::vector<Value> out(keys.size());
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Key k = keys[i];
+    if (auto it = ctx_.write_set.find(k); it != ctx_.write_set.end()) {
+      out[i] = it->second;  // read-your-writes (Alg. 1 line 25)
+    } else if (auto it2 = read_set_.find(k); it2 != read_set_.end()) {
+      out[i] = it2->second;  // repeatable read (Alg. 1 line 27)
+    } else {
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) co_return out;
+
+  cache::CacheReadReq req;
+  req.interval = ctx_.interval;
+  req.use_promises = adapter_.config_.use_promises;
+  req.keys.reserve(missing.size());
+  for (size_t idx : missing) req.keys.push_back(keys[idx]);
+
+  auto resp = co_await adapter_.rpc_.call<cache::CacheReadResp>(
+      adapter_.cache_address_, cache::kCacheRead, req);
+  if (resp.abort) co_return std::nullopt;
+
+  ctx_.interval = resp.interval;
+  if (!adapter_.config_.use_interval && !ctx_.snapshot_fixed) {
+    // Fixed-snapshot ablation (§6.2): commit the rest of the DAG to one
+    // snapshot.  With promises the horizon of the first reads is usable
+    // (interval.high); without them only the version timestamps are
+    // (interval.low).
+    const Timestamp fix = adapter_.config_.use_promises ? ctx_.interval.high
+                                                        : ctx_.interval.low;
+    ctx_.interval = SnapshotInterval::fixed(fix);
+    ctx_.snapshot_fixed = true;
+  }
+  for (size_t j = 0; j < missing.size(); ++j) {
+    const size_t idx = missing[j];
+    out[idx] = resp.entries[j].value;
+    read_set_.emplace(keys[idx], resp.entries[j].value);
+  }
+  co_return out;
+}
+
+void FaasTccTxn::write(Key k, Value v) { ctx_.write_set[k] = std::move(v); }
+
+Buffer FaasTccTxn::export_context() const { return encode_message(ctx_); }
+
+size_t FaasTccTxn::metadata_bytes() const {
+  // The coordination metadata is the snapshot interval alone: two
+  // timestamps (§6.4).
+  return 16;
+}
+
+sim::Task<std::optional<Buffer>> FaasTccTxn::commit() {
+  if (ctx_.write_set.empty()) {
+    co_return encode_faastcc_session(ctx_.dep_ts);
+  }
+  std::vector<storage::KeyValue> writes;
+  writes.reserve(ctx_.write_set.size());
+  for (const auto& [k, v] : ctx_.write_set) {
+    writes.push_back(storage::KeyValue{k, v});
+  }
+  // The commit timestamp must causally follow everything the transaction
+  // read (interval.low is the max accepted version timestamp) and the
+  // client's previous commit.
+  Timestamp dep = ctx_.dep_ts;
+  if (ctx_.interval.low > dep && ctx_.interval.low > Timestamp::min()) {
+    dep = ctx_.interval.low;
+  }
+  if (adapter_.config_.snapshot_isolation) {
+    auto commit_ts = co_await adapter_.storage_.commit_si(
+        info_.txn_id, std::move(writes), dep, ctx_.interval.high);
+    if (!commit_ts.has_value()) co_return std::nullopt;
+    co_return encode_faastcc_session(*commit_ts);
+  }
+  const Timestamp commit_ts =
+      co_await adapter_.storage_.commit(info_.txn_id, std::move(writes), dep);
+  co_return encode_faastcc_session(commit_ts);
+}
+
+}  // namespace faastcc::client

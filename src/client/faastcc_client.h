@@ -1,0 +1,93 @@
+// The FaaSTCC client library (paper §4.4-§4.8, Alg. 1).
+//
+// Keeps the DAG context — snapshot interval, write set and causal lower
+// bound — plus the per-function read set.  Reads go through the node's
+// FaaSTCC cache; the snapshot interval narrows with every accepted
+// version; the sink commits the write set to the TCC storage layer.
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "cache/cache_messages.h"
+#include "client/snapshot_interval.h"
+#include "client/txn.h"
+#include "common/metrics.h"
+#include "net/rpc.h"
+#include "storage/storage_client.h"
+
+namespace faastcc::client {
+
+struct FaasTccConfig {
+  // Fig. 3 ablation switches.  The full system uses both.
+  bool use_promises = true;
+  // When false, the first read fixes a single snapshot for the rest of
+  // the DAG instead of keeping a lazily narrowed interval.
+  bool use_interval = true;
+  // §7 extension: Snapshot Isolation.  Commits run first-committer-wins
+  // write-write conflict detection against the transaction's read
+  // snapshot (interval.high); a conflicting DAG aborts and is retried by
+  // the client.  Lost updates on read-modify-write cycles become
+  // impossible; the price is the conflict-abort rate under contention.
+  bool snapshot_isolation = false;
+};
+
+// Context passed from function to function: Alg. 1's `context`.
+struct FaasTccContext {
+  SnapshotInterval interval;
+  Timestamp dep_ts = Timestamp::min();  // session/write causal lower bound
+  bool snapshot_fixed = false;          // fixed-snapshot ablation state
+  std::map<Key, Value> write_set;       // ordered => deterministic encoding
+
+  void encode(BufWriter& w) const;
+  static FaasTccContext decode(BufReader& r);
+};
+
+class FaasTccAdapter final : public SystemAdapter {
+ public:
+  FaasTccAdapter(net::RpcNode& rpc, net::Address cache_address,
+                 storage::TccTopology topology, FaasTccConfig config,
+                 Metrics* metrics);
+
+  std::unique_ptr<FunctionTxn> open(const TxnInfo& info,
+                                    const std::vector<Buffer>& parent_contexts,
+                                    const Buffer& session) override;
+
+ private:
+  friend class FaasTccTxn;
+  net::RpcNode& rpc_;
+  net::Address cache_address_;
+  storage::TccStorageClient storage_;
+  FaasTccConfig config_;
+  Metrics* metrics_;
+};
+
+class FaasTccTxn final : public FunctionTxn {
+ public:
+  FaasTccTxn(FaasTccAdapter& adapter, TxnInfo info, FaasTccContext context)
+      : adapter_(adapter), info_(std::move(info)), ctx_(std::move(context)) {}
+
+  sim::Task<std::optional<std::vector<Value>>> read(
+      std::vector<Key> keys) override;
+  void write(Key k, Value v) override;
+  Buffer export_context() const override;
+  size_t metadata_bytes() const override;
+  sim::Task<std::optional<Buffer>> commit() override;
+
+  const SnapshotInterval& interval() const { return ctx_.interval; }
+
+ private:
+  FaasTccAdapter& adapter_;
+  TxnInfo info_;
+  FaasTccContext ctx_;
+  // Library-local copy of values read while executing on this worker
+  // (Alg. 1 line 16); not part of the shipped context.
+  std::unordered_map<Key, Value> read_set_;
+};
+
+// Session blob: the commit timestamp of the client's previous transaction
+// (write-after-write session ordering).
+Buffer encode_faastcc_session(Timestamp commit_ts);
+Timestamp decode_faastcc_session(const Buffer& b);
+
+}  // namespace faastcc::client

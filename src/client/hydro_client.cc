@@ -1,0 +1,251 @@
+#include "client/hydro_client.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace faastcc::client {
+
+void HydroContext::encode(BufWriter& w) const {
+  deps.encode(w);
+  w.put_u64(lamport);
+  w.put_i64(global_cut);
+  w.put_u32(static_cast<uint32_t>(write_set.size()));
+  for (const auto& [k, v] : write_set) {
+    w.put_u64(k);
+    w.put_bytes(v);
+  }
+}
+
+HydroContext HydroContext::decode(BufReader& r) {
+  HydroContext c;
+  c.deps = cache::DepMap::decode(r);
+  c.lamport = r.get_u64();
+  c.global_cut = r.get_i64();
+  const uint32_t n = r.get_u32();
+  for (uint32_t i = 0; i < n; ++i) {
+    const Key k = r.get_u64();
+    c.write_set[k] = r.get_bytes();
+  }
+  return c;
+}
+
+void HydroSession::encode(BufWriter& w) const {
+  w.put_u64(lamport);
+  w.put_i64(global_cut);
+  deps.encode(w);
+}
+
+HydroSession HydroSession::decode(BufReader& r) {
+  HydroSession s;
+  s.lamport = r.get_u64();
+  s.global_cut = r.get_i64();
+  s.deps = cache::DepMap::decode(r);
+  return s;
+}
+
+HydroAdapter::HydroAdapter(net::RpcNode& rpc, net::Address cache_address,
+                           storage::EvTopology topology, Rng rng,
+                           HydroConfig config, Metrics* metrics)
+    : rpc_(rpc),
+      cache_address_(cache_address),
+      storage_(rpc, std::move(topology), rng),
+      config_(config),
+      metrics_(metrics) {}
+
+std::unique_ptr<FunctionTxn> HydroAdapter::open(
+    const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
+    const Buffer& session) {
+  HydroContext ctx;
+  if (parent_contexts.empty()) {
+    if (!session.empty()) {
+      HydroSession s = decode_message<HydroSession>(session);
+      ctx.lamport = s.lamport;
+      ctx.global_cut = s.global_cut;
+      ctx.deps = std::move(s.deps);
+    }
+  } else {
+    for (const Buffer& b : parent_contexts) {
+      HydroContext p = decode_message<HydroContext>(b);
+      // Parallel branches that read *different* versions of the same key
+      // cannot be reconciled: the values were already consumed.
+      for (const auto& [k, d] : p.deps) {
+        if (!d.read) continue;
+        const cache::Dep* mine = ctx.deps.find(k);
+        if (mine != nullptr && mine->read && mine->counter != d.counter) {
+          return nullptr;
+        }
+      }
+      ctx.deps.merge(p.deps);
+      ctx.lamport = std::max(ctx.lamport, p.lamport);
+      ctx.global_cut = std::max(ctx.global_cut, p.global_cut);
+      for (auto& [k, v] : p.write_set) ctx.write_set[k] = std::move(v);
+    }
+  }
+  return std::make_unique<HydroTxn>(*this, info, std::move(ctx));
+}
+
+sim::Task<std::optional<std::vector<Value>>> HydroTxn::read(
+    std::vector<Key> keys) {
+  std::vector<Value> out(keys.size());
+  std::vector<size_t> missing;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const Key k = keys[i];
+    if (auto it = ctx_.write_set.find(k); it != ctx_.write_set.end()) {
+      out[i] = it->second;
+    } else if (auto it2 = read_set_.find(k); it2 != read_set_.end()) {
+      out[i] = it2->second;
+    } else {
+      missing.push_back(i);
+    }
+  }
+  if (missing.empty()) co_return out;
+
+  cache::HydroReadReq req;
+  req.keys.reserve(missing.size());
+  for (size_t idx : missing) req.keys.push_back(keys[idx]);
+  req.context = ctx_.deps;
+
+  auto resp = co_await adapter_.rpc_.call<cache::HydroReadResp>(
+      adapter_.cache_address_, cache::kHydroRead, req);
+  if (resp.abort) co_return std::nullopt;
+
+  ctx_.global_cut = std::max(ctx_.global_cut, resp.global_cut);
+  for (size_t j = 0; j < missing.size(); ++j) {
+    const size_t idx = missing[j];
+    const auto& e = resp.entries[j];
+    out[idx] = e.value;
+    read_set_.emplace(keys[idx], e.value);
+    ctx_.deps.mark_read(e.key, e.counter, e.written_at);
+    ctx_.lamport = std::max(ctx_.lamport, e.counter);
+    for (const auto& d : e.deps) {
+      ctx_.deps.require(d.key, d.counter, d.written_at,
+                        static_cast<uint8_t>(std::min<int>(d.level + 1, 2)));
+      ctx_.lamport = std::max(ctx_.lamport, d.counter);
+    }
+  }
+  co_return out;
+}
+
+void HydroTxn::write(Key k, Value v) { ctx_.write_set[k] = std::move(v); }
+
+cache::DepMap HydroTxn::shipped_deps() const {
+  cache::DepMap shipped = ctx_.deps;
+  const SimTime horizon =
+      std::min(ctx_.global_cut,
+               adapter_.rpc_.now() - adapter_.config_.dep_gc_window);
+  shipped.gc_before(horizon);
+  if (info_.is_static && adapter_.config_.static_metadata_optimization) {
+    std::unordered_set<Key> relevant(info_.declared_read_set.begin(),
+                                     info_.declared_read_set.end());
+    relevant.insert(info_.declared_write_set.begin(),
+                    info_.declared_write_set.end());
+    shipped.restrict_to(relevant);
+  }
+  return shipped;
+}
+
+Buffer HydroTxn::export_context() const {
+  HydroContext out;
+  out.deps = shipped_deps();
+  out.lamport = ctx_.lamport;
+  out.global_cut = ctx_.global_cut;
+  out.write_set = ctx_.write_set;
+  return encode_message(out);
+}
+
+size_t HydroTxn::metadata_bytes() const { return shipped_deps().wire_bytes(); }
+
+// The context as carried into the client's next transaction: everything
+// becomes validation-only history (level 2, no read markers), pruned
+// against the stable cut.
+cache::DepMap HydroTxn::session_past(SimTime horizon) const {
+  cache::DepMap past;
+  for (const auto& [k, d] : ctx_.deps) {
+    if (d.written_at < horizon) continue;
+    past.require(k, d.counter, d.written_at, 2);
+  }
+  return past;
+}
+
+sim::Task<std::optional<Buffer>> HydroTxn::commit() {
+  const SimTime gc_horizon =
+      std::min(ctx_.global_cut,
+               adapter_.rpc_.now() - adapter_.config_.dep_gc_window);
+  if (ctx_.write_set.empty()) {
+    HydroSession s;
+    s.lamport = ctx_.lamport;
+    s.global_cut = ctx_.global_cut;
+    s.deps = session_past(gc_horizon);
+    co_return encode_message(s);
+  }
+
+  // Build the stored dependency list: versions this transaction read
+  // (level 0) and their direct dependencies (level 1).  Level-2 entries
+  // exist in the context for validation but are not re-stored — this is
+  // what keeps stored metadata bounded.
+  std::vector<cache::StoredDep> deps;
+  for (const auto& [k, d] : ctx_.deps) {
+    if (ctx_.write_set.count(k) != 0) continue;  // superseded by our write
+    if (d.read) {
+      deps.push_back(cache::StoredDep{k, d.counter, d.written_at, 0});
+    } else if (d.level <= 1) {
+      deps.push_back(cache::StoredDep{k, d.counter, d.written_at, 1});
+    }
+  }
+  if (deps.size() > adapter_.config_.stored_dep_cap) {
+    // Keep the most constraining entries: level 0 first, then recency.
+    std::sort(deps.begin(), deps.end(),
+              [](const cache::StoredDep& a, const cache::StoredDep& b) {
+                if (a.level != b.level) return a.level < b.level;
+                return a.written_at > b.written_at;
+              });
+    deps.resize(adapter_.config_.stored_dep_cap);
+  }
+
+  const uint64_t counter = ctx_.lamport + 1;
+  const SimTime now = adapter_.rpc_.now();
+
+  // Co-written siblings: every key written by this transaction depends on
+  // the others, which is how readers detect torn visibility.
+  std::vector<cache::StoredDep> siblings;
+  siblings.reserve(ctx_.write_set.size());
+  for (const auto& [k, v] : ctx_.write_set) {
+    siblings.push_back(cache::StoredDep{k, counter, now, 0});
+  }
+
+  std::vector<storage::EvItem> items;
+  items.reserve(ctx_.write_set.size());
+  for (const auto& [k, v] : ctx_.write_set) {
+    cache::HydroStored stored;
+    stored.value = v;
+    stored.deps = deps;
+    for (const auto& s : siblings) {
+      if (s.key != k) stored.deps.push_back(s);
+    }
+    storage::EvItem item;
+    item.key = k;
+    item.version = storage::EvVersion{counter, info_.txn_id};
+    BufWriter w;
+    stored.encode(w);
+    Buffer payload = w.take();
+    item.payload.assign(payload.begin(), payload.end());
+    items.push_back(std::move(item));
+  }
+  auto versions = co_await adapter_.storage_.put(std::move(items));
+
+  HydroSession session;
+  session.lamport = counter;
+  session.global_cut = ctx_.global_cut;
+  session.deps = session_past(gc_horizon);
+  size_t i = 0;
+  for (const auto& [k, v] : ctx_.write_set) {
+    session.lamport = std::max(session.lamport, versions[i].counter);
+    // The client's own writes stay at level 1: they are the nearest
+    // dependencies of whatever it does next.
+    session.deps.require(k, versions[i].counter, now, 1);
+    ++i;
+  }
+  co_return encode_message(session);
+}
+
+}  // namespace faastcc::client

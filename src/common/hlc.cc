@@ -1,0 +1,53 @@
+#include "common/hlc.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace faastcc {
+
+std::string Timestamp::to_string() const {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu.%llu@%u",
+                static_cast<unsigned long long>(physical_us()),
+                static_cast<unsigned long long>(logical()),
+                static_cast<unsigned>(node()));
+  return buf;
+}
+
+Timestamp HlcClock::tick(uint64_t physical_now_us) {
+  if (physical_now_us > last_physical_) {
+    last_physical_ = physical_now_us;
+    logical_ = 0;
+  } else {
+    ++logical_;
+    if (logical_ > Timestamp::kMaxLogical) {
+      // Logical counter overflow: borrow one microsecond of physical time.
+      ++last_physical_;
+      logical_ = 0;
+    }
+  }
+  return Timestamp(last_physical_, logical_, node_);
+}
+
+Timestamp HlcClock::update(Timestamp remote, uint64_t physical_now_us) {
+  const uint64_t rp = remote.physical_us();
+  const uint64_t rl = remote.logical();
+  const uint64_t max_phys = std::max({physical_now_us, last_physical_, rp});
+  if (max_phys == last_physical_ && max_phys == rp) {
+    logical_ = std::max(logical_, rl) + 1;
+  } else if (max_phys == last_physical_) {
+    ++logical_;
+  } else if (max_phys == rp) {
+    logical_ = rl + 1;
+  } else {
+    logical_ = 0;
+  }
+  last_physical_ = max_phys;
+  if (logical_ > Timestamp::kMaxLogical) {
+    ++last_physical_;
+    logical_ = 0;
+  }
+  return Timestamp(last_physical_, logical_, node_);
+}
+
+}  // namespace faastcc

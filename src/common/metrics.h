@@ -1,0 +1,55 @@
+// Per-experiment metric collection.
+//
+// One Metrics instance is shared by every component of a simulated cluster
+// (the simulation is single-threaded, so plain members suffice).  The
+// fields map one-to-one onto the paper's reported quantities.
+#pragma once
+
+#include "common/stats.h"
+
+namespace faastcc {
+
+struct Metrics {
+  // End-to-end DAG latency of committed transactions (Fig. 4a, 9, 10, 11).
+  Samples dag_latency_ms;
+  // Latency of aborted attempts, kept separately for analysis.
+  Samples aborted_latency_ms;
+  // Bytes of coordination metadata passed function-to-function (Fig. 5):
+  // snapshot interval + write set for FaaSTCC, dependency map + write set
+  // for HydroCache.  One sample per DAG edge traversal.
+  Samples metadata_bytes;
+  // Communication rounds per storage-read episode (Fig. 6).  A FaaSTCC
+  // cache satisfies any read episode in exactly one round; HydroCache may
+  // retry until it assembles a causally consistent result.
+  Samples storage_rounds;
+  // Request+response payload bytes per storage-read episode (Fig. 7).
+  Samples storage_read_bytes;
+
+  Counter dag_attempts;
+  Counter dag_commits;
+  Counter dag_aborts;
+  // Cache effectiveness (§6.3: 60 % / 70 % cache-served functions).
+  Counter cache_lookups;
+  Counter cache_hits;
+  // Read episodes that had to touch the storage layer at all.
+  Counter storage_episodes;
+
+  // Gauges sampled at the end of a run.
+  size_t cache_bytes_total = 0;
+  size_t cache_keys_total = 0;
+
+  double cache_hit_rate() const {
+    const auto l = cache_lookups.value();
+    return l == 0 ? 0.0
+                  : static_cast<double>(cache_hits.value()) /
+                        static_cast<double>(l);
+  }
+  double abort_rate() const {
+    const auto a = dag_attempts.value();
+    return a == 0 ? 0.0
+                  : static_cast<double>(dag_aborts.value()) /
+                        static_cast<double>(a);
+  }
+};
+
+}  // namespace faastcc

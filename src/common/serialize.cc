@@ -1,0 +1,6 @@
+#include "common/serialize.h"
+
+// All codec functionality is header-only; this translation unit exists so
+// the library has a home for future out-of-line helpers and so the build
+// graph stays uniform.
+namespace faastcc {}

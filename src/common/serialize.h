@@ -1,0 +1,118 @@
+// Minimal binary codec used for every simulated network message.
+//
+// Fixed-width little-endian encoding keeps message sizes exact and easy to
+// reason about: the metadata-size experiments (Fig. 5 and Fig. 7 of the
+// paper) report the byte counts produced by this codec.  It plays the role
+// protocol buffers play in the authors' prototype.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace faastcc {
+
+using Buffer = std::vector<uint8_t>;
+
+class BufWriter {
+ public:
+  BufWriter() = default;
+
+  void put_u8(uint8_t v) { buf_.push_back(v); }
+  void put_u16(uint16_t v) { put_raw(&v, sizeof(v)); }
+  void put_u32(uint32_t v) { put_raw(&v, sizeof(v)); }
+  void put_u64(uint64_t v) { put_raw(&v, sizeof(v)); }
+  void put_i64(int64_t v) { put_raw(&v, sizeof(v)); }
+  void put_f64(double v) { put_raw(&v, sizeof(v)); }
+  void put_bool(bool v) { put_u8(v ? 1 : 0); }
+
+  void put_bytes(std::string_view s) {
+    put_u32(static_cast<uint32_t>(s.size()));
+    put_raw(s.data(), s.size());
+  }
+
+  size_t size() const { return buf_.size(); }
+  Buffer take() { return std::move(buf_); }
+  const Buffer& data() const { return buf_; }
+
+ private:
+  void put_raw(const void* p, size_t n) {
+    const auto* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+  Buffer buf_;
+};
+
+class CodecError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class BufReader {
+ public:
+  explicit BufReader(const Buffer& b) : data_(b.data()), size_(b.size()) {}
+  BufReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  uint8_t get_u8() { return get<uint8_t>(); }
+  uint16_t get_u16() { return get<uint16_t>(); }
+  uint32_t get_u32() { return get<uint32_t>(); }
+  uint64_t get_u64() { return get<uint64_t>(); }
+  int64_t get_i64() { return get<int64_t>(); }
+  double get_f64() { return get<double>(); }
+  bool get_bool() { return get_u8() != 0; }
+
+  std::string get_bytes() {
+    const uint32_t n = get_u32();
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  template <typename T>
+  T get() {
+    require(sizeof(T));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  void require(size_t n) const {
+    if (size_ - pos_ < n) throw CodecError("buffer underflow");
+  }
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+// Encodes a message struct that provides `void encode(BufWriter&) const`.
+template <typename M>
+Buffer encode_message(const M& m) {
+  BufWriter w;
+  m.encode(w);
+  return w.take();
+}
+
+// Decodes a message struct that provides `static M decode(BufReader&)`.
+template <typename M>
+M decode_message(const Buffer& b) {
+  BufReader r(b);
+  return M::decode(r);
+}
+
+// Size in bytes a message would occupy on the wire.
+template <typename M>
+size_t encoded_size(const M& m) {
+  BufWriter w;
+  m.encode(w);
+  return w.size();
+}
+
+}  // namespace faastcc

@@ -1,0 +1,48 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace faastcc {
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Samples::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Samples::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  std::vector<double> copy = values_;
+  const double rank = (p / 100.0) * static_cast<double>(copy.size() - 1);
+  const auto lo = static_cast<size_t>(std::floor(rank));
+  const auto hi = static_cast<size_t>(std::ceil(rank));
+  std::nth_element(copy.begin(), copy.begin() + static_cast<long>(lo),
+                   copy.end());
+  const double v_lo = copy[lo];
+  if (hi == lo) return v_lo;
+  std::nth_element(copy.begin(), copy.begin() + static_cast<long>(hi),
+                   copy.end());
+  const double v_hi = copy[hi];
+  return v_lo + (v_hi - v_lo) * (rank - static_cast<double>(lo));
+}
+
+void Samples::merge(const Samples& other) {
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+}
+
+}  // namespace faastcc

@@ -1,0 +1,51 @@
+// Sample collection and percentile reporting.
+//
+// Every experiment in the paper reports medians and 99th percentiles.
+// Sample counts per run are small enough (tens of thousands) that storing
+// raw samples and selecting exactly is both simplest and most faithful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace faastcc {
+
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+
+  size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double mean() const;
+  double min() const;
+  double max() const;
+  double sum() const;
+
+  // Exact percentile by selection; p in [0, 100].  Returns 0 when empty.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+
+  void merge(const Samples& other);
+  void clear() { values_.clear(); }
+
+  const std::vector<double>& raw() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+// A monotonically increasing named counter.
+class Counter {
+ public:
+  void inc(uint64_t by = 1) { value_ += by; }
+  uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+}  // namespace faastcc

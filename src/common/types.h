@@ -1,0 +1,42 @@
+// Basic identifier and time types shared by every FaaSTCC module.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace faastcc {
+
+// Simulated time, in microseconds since simulation start.
+using SimTime = int64_t;
+using Duration = int64_t;
+
+constexpr Duration microseconds(int64_t us) { return us; }
+constexpr Duration milliseconds(int64_t ms) { return ms * 1000; }
+constexpr Duration seconds(int64_t s) { return s * 1000 * 1000; }
+
+constexpr double to_millis(Duration d) { return static_cast<double>(d) / 1000.0; }
+constexpr double to_seconds(Duration d) { return static_cast<double>(d) / 1e6; }
+
+// Identifies a process in the simulated cluster (storage partition,
+// compute node, scheduler, client, ...).  Dense, assigned by the cluster
+// builder.
+using NodeId = uint32_t;
+
+// Identifies a storage partition (shard) within the storage layer.
+using PartitionId = uint32_t;
+
+// Keys are dense integers; the workload generator draws them from a Zipf
+// distribution over [0, num_keys).  A dense key space keeps serialized
+// metadata sizes exact (8 bytes/key), mirroring the paper's accounting.
+using Key = uint64_t;
+
+// Values are opaque byte strings (the paper uses 8-byte payloads).
+using Value = std::string;
+
+// Unique id of one DAG execution (== one transaction attempt).
+using TxnId = uint64_t;
+
+constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace faastcc

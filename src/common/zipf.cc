@@ -1,0 +1,35 @@
+#include "common/zipf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace faastcc {
+
+ZipfSampler::ZipfSampler(uint64_t num_keys, double theta)
+    : num_keys_(num_keys), theta_(theta) {
+  assert(num_keys > 0);
+  cdf_.resize(num_keys);
+  double acc = 0.0;
+  for (uint64_t i = 0; i < num_keys; ++i) {
+    acc += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+    cdf_[i] = acc;
+  }
+  const double total = acc;
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against floating-point shortfall
+}
+
+Key ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::upper_bound(cdf_.begin(), cdf_.end(), u);
+  const auto idx = static_cast<uint64_t>(it - cdf_.begin());
+  return idx < num_keys_ ? idx : num_keys_ - 1;
+}
+
+double ZipfSampler::pmf(uint64_t r) const {
+  assert(r < num_keys_);
+  return r == 0 ? cdf_[0] : cdf_[r] - cdf_[r - 1];
+}
+
+}  // namespace faastcc

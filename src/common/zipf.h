@@ -1,0 +1,36 @@
+// Zipf-distributed key sampler.
+//
+// The paper's workloads draw keys from Zipf distributions with exponents
+// 1.0, 1.25 and 1.5 over a 100 000-key dataset.  We precompute the CDF once
+// per (n, theta) pair and sample with a binary search, which is exact and
+// fast enough for tens of millions of draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace faastcc {
+
+class ZipfSampler {
+ public:
+  // theta == 0 degenerates to the uniform distribution.
+  ZipfSampler(uint64_t num_keys, double theta);
+
+  Key sample(Rng& rng) const;
+
+  uint64_t num_keys() const { return num_keys_; }
+  double theta() const { return theta_; }
+
+  // Probability mass of rank `r` (0-based); exposed for tests.
+  double pmf(uint64_t r) const;
+
+ private:
+  uint64_t num_keys_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace faastcc

@@ -1,0 +1,199 @@
+#include "faas/compute_node.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "sim/future.h"
+
+namespace faastcc::faas {
+
+ComputeNode::ComputeNode(net::Network& network, net::Address self,
+                         std::shared_ptr<FunctionRegistry> registry,
+                         const AdapterFactory& adapter_factory,
+                         ComputeNodeParams params, Metrics* metrics)
+    : rpc_(network, self),
+      registry_(std::move(registry)),
+      adapter_(adapter_factory(rpc_)),
+      params_(params),
+      metrics_(metrics),
+      ready_(network.loop()) {
+  rpc_.handle_oneway(kTrigger, [this](Buffer b, net::Address from) {
+    on_trigger(std::move(b), from);
+  });
+  rpc_.handle_oneway(kAbortNotice, [this](Buffer b, net::Address from) {
+    on_abort_notice(std::move(b), from);
+  });
+}
+
+void ComputeNode::start() {
+  for (int i = 0; i < params_.executors; ++i) {
+    sim::spawn(executor_loop());
+  }
+}
+
+Duration ComputeNode::context_cost(size_t bytes) const {
+  return static_cast<Duration>(static_cast<double>(bytes) / 1024.0 *
+                               params_.context_cpu_us_per_kb);
+}
+
+void ComputeNode::on_trigger(Buffer msg, net::Address) {
+  TriggerMsg t = decode_message<TriggerMsg>(msg);
+  counters_.triggers.inc();
+  if (aborted_.count(t.txn_id) != 0) {
+    counters_.stale_triggers_dropped.inc();
+    return;
+  }
+  const auto deg = t.spec.in_degrees();
+  const uint32_t parents = deg.at(t.fn_index);
+  if (parents <= 1) {
+    Work w;
+    std::vector<Buffer> ctxs;
+    if (parents == 1) ctxs.push_back(t.context);
+    w.trigger = std::move(t);
+    w.parent_contexts = std::move(ctxs);
+    ready_.push(std::move(w));
+    return;
+  }
+  // Join: buffer until every parent has delivered its context.
+  const JoinKey key{t.txn_id, t.fn_index};
+  auto& state = joins_[key];
+  state.contexts.push_back(t.context);
+  if (state.contexts.size() == 1) state.first = std::move(t);
+  if (state.contexts.size() < parents) return;
+  counters_.joins_merged.inc();
+  Work w;
+  w.trigger = std::move(state.first);
+  w.parent_contexts = std::move(state.contexts);
+  joins_.erase(key);
+  ready_.push(std::move(w));
+}
+
+void ComputeNode::on_abort_notice(Buffer msg, net::Address) {
+  const AbortNoticeMsg n = decode_message<AbortNoticeMsg>(msg);
+  aborted_.insert(n.txn_id);
+  // Drop any half-assembled joins of the aborted transaction.
+  for (auto it = joins_.begin(); it != joins_.end();) {
+    if (it->first.txn == n.txn_id) {
+      it = joins_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Bound the tombstone set: these only exist to drop in-flight stragglers,
+  // which arrive within a network delay.
+  if (aborted_.size() > 10000) aborted_.clear();
+}
+
+sim::Task<void> ComputeNode::executor_loop() {
+  for (;;) {
+    Work w = co_await ready_.pop();
+    co_await execute(std::move(w));
+  }
+}
+
+void ComputeNode::send_abort(const TriggerMsg& t) {
+  counters_.aborts_raised.inc();
+  aborted_.insert(t.txn_id);
+  DagDoneMsg done;
+  done.txn_id = t.txn_id;
+  done.committed = false;
+  rpc_.send(t.client, kDagDone, done);
+  // Tell every downstream node to drop state for this transaction.
+  std::unordered_set<net::Address> downstream;
+  for (net::Address a : t.placement) {
+    if (a != rpc_.address()) downstream.insert(a);
+  }
+  for (net::Address a : downstream) {
+    rpc_.send(a, kAbortNotice, AbortNoticeMsg{t.txn_id});
+  }
+}
+
+sim::Task<void> ComputeNode::execute(Work work) {
+  const TriggerMsg& t = work.trigger;
+  if (aborted_.count(t.txn_id) != 0) {
+    counters_.stale_triggers_dropped.inc();
+    co_return;
+  }
+  co_await sim::sleep_for(rpc_.loop(), params_.dispatch_overhead);
+
+  // Deserializing and merging the inbound context(s) costs CPU time
+  // proportional to their size.
+  size_t inbound = 0;
+  for (const Buffer& c : work.parent_contexts) inbound += c.size();
+  if (inbound > 0) co_await sim::sleep_for(rpc_.loop(), context_cost(inbound));
+
+  client::TxnInfo info;
+  info.txn_id = t.txn_id;
+  info.is_static = t.spec.is_static;
+  info.declared_read_set = t.spec.declared_read_set;
+  info.declared_write_set = t.spec.declared_write_set;
+
+  auto txn = adapter_->open(info, work.parent_contexts, t.session);
+  if (txn == nullptr) {
+    send_abort(t);
+    co_return;
+  }
+
+  const FunctionSpec& fn = t.spec.functions.at(t.fn_index);
+  const FunctionBody* body = registry_->find(fn.name);
+  if (body == nullptr) {
+    LOG_ERROR("unknown function '" << fn.name << "'");
+    send_abort(t);
+    co_return;
+  }
+
+  ExecEnv env{*txn, fn.args, t.parent_result, rpc_.loop(), false};
+  co_await sim::sleep_for(rpc_.loop(), params_.function_service_time);
+  Buffer result;
+  try {
+    result = co_await (*body)(env);
+  } catch (const client::TxnAbort&) {
+    env.abort_requested = true;
+  }
+  counters_.functions_executed.inc();
+  if (env.abort_requested) {
+    send_abort(t);
+    co_return;
+  }
+
+  if (fn.children.empty()) {
+    // Sink: commit and report to the client.
+    auto session = co_await txn->commit();
+    DagDoneMsg done;
+    done.txn_id = t.txn_id;
+    if (session.has_value()) {
+      done.committed = true;
+      done.session = std::move(*session);
+      done.result = std::move(result);
+    } else {
+      aborted_.insert(t.txn_id);
+      counters_.aborts_raised.inc();
+    }
+    rpc_.send(t.client, kDagDone, done);
+    co_return;
+  }
+
+  // Forward context + result to every child.
+  Buffer context = txn->export_context();
+  co_await sim::sleep_for(rpc_.loop(), context_cost(context.size()));
+  if (metrics_ != nullptr) {
+    const auto md = static_cast<double>(txn->metadata_bytes());
+    for (size_t i = 0; i < fn.children.size(); ++i) {
+      metrics_->metadata_bytes.add(md);
+    }
+  }
+  for (uint32_t child : fn.children) {
+    TriggerMsg next;
+    next.txn_id = t.txn_id;
+    next.fn_index = child;
+    next.client = t.client;
+    next.spec = t.spec;
+    next.placement = t.placement;
+    next.context = context;
+    next.parent_result = result;
+    rpc_.send(t.placement.at(child), kTrigger, next);
+  }
+}
+
+}  // namespace faastcc::faas

@@ -1,0 +1,101 @@
+// A compute node: a pool of executor threads plus the node-local cache
+// (owned externally and colocated on the network).  Receives triggers,
+// merges parent contexts at joins, runs function bodies against the
+// system's client library, and forwards context + results downstream.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "client/txn.h"
+#include "common/metrics.h"
+#include "faas/function_registry.h"
+#include "faas/messages.h"
+#include "net/rpc.h"
+#include "sim/async_queue.h"
+
+namespace faastcc::faas {
+
+struct ComputeNodeParams {
+  int executors = 3;  // paper: 3 executor threads per pod
+  // Fixed compute time of a function body (stands in for the Python-level
+  // work Cloudburst executors do per invocation).
+  Duration function_service_time = microseconds(1000);
+  // Context (de)serialization + merge cost per kilobyte.  This is the cost
+  // that makes HydroCache's multi-kilobyte dependency maps expensive to
+  // ship from function to function (§6.3/§6.8).
+  double context_cpu_us_per_kb = 85.0;
+  Duration dispatch_overhead = microseconds(50);
+};
+
+class ComputeNode {
+ public:
+  // The adapter is created by a factory because it needs the node's own
+  // RPC endpoint (to reach the colocated cache and the storage layer).
+  using AdapterFactory =
+      std::function<std::unique_ptr<client::SystemAdapter>(net::RpcNode&)>;
+
+  ComputeNode(net::Network& network, net::Address self,
+              std::shared_ptr<FunctionRegistry> registry,
+              const AdapterFactory& adapter_factory, ComputeNodeParams params,
+              Metrics* metrics);
+
+  // Spawns the executor pool.
+  void start();
+
+  net::Address address() const { return rpc_.address(); }
+  net::RpcNode& rpc() { return rpc_; }
+
+  struct Counters {
+    Counter triggers;
+    Counter functions_executed;
+    Counter joins_merged;
+    Counter aborts_raised;
+    Counter stale_triggers_dropped;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  struct Work {
+    TriggerMsg trigger;                   // representative trigger
+    std::vector<Buffer> parent_contexts;  // all parents' contexts
+  };
+
+  void on_trigger(Buffer msg, net::Address from);
+  void on_abort_notice(Buffer msg, net::Address from);
+  sim::Task<void> executor_loop();
+  sim::Task<void> execute(Work work);
+  void send_abort(const TriggerMsg& t);
+  Duration context_cost(size_t bytes) const;
+
+  net::RpcNode rpc_;
+  std::shared_ptr<FunctionRegistry> registry_;
+  std::unique_ptr<client::SystemAdapter> adapter_;
+  ComputeNodeParams params_;
+  Metrics* metrics_;
+  sim::AsyncQueue<Work> ready_;
+
+  // Join buffering: contexts received so far per (txn, function).
+  struct JoinKey {
+    TxnId txn;
+    uint32_t fn;
+    bool operator==(const JoinKey&) const = default;
+  };
+  struct JoinKeyHash {
+    size_t operator()(const JoinKey& k) const {
+      return std::hash<uint64_t>()(k.txn * 1000003 + k.fn);
+    }
+  };
+  struct JoinState {
+    TriggerMsg first;
+    std::vector<Buffer> contexts;
+  };
+  std::unordered_map<JoinKey, JoinState, JoinKeyHash> joins_;
+  // Transactions known to have aborted; late triggers are dropped.
+  std::unordered_set<TxnId> aborted_;
+  Counters counters_;
+};
+
+}  // namespace faastcc::faas

@@ -1,0 +1,46 @@
+// Named function bodies, the FaaS "deployed code".
+//
+// Bodies are coroutines: they read and write through the transaction
+// handle (which talks to the node's cache) and return opaque result bytes
+// passed to child functions.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "client/txn.h"
+#include "sim/event_loop.h"
+#include "sim/task.h"
+
+namespace faastcc::faas {
+
+struct ExecEnv {
+  client::FunctionTxn& txn;
+  const Buffer& args;
+  const Buffer& parent_result;
+  sim::EventLoop& loop;
+  // Set by the body to request an abort independent of storage (e.g., an
+  // application-level constraint violation).
+  bool abort_requested = false;
+};
+
+using FunctionBody = std::function<sim::Task<Buffer>(ExecEnv&)>;
+
+class FunctionRegistry {
+ public:
+  // Every registry provides the no-op "__sync" aggregator used by
+  // DagSpec::normalize_sinks().
+  FunctionRegistry();
+
+  void register_function(std::string name, FunctionBody body);
+  const FunctionBody* find(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  std::unordered_map<std::string, FunctionBody> bodies_;
+};
+
+}  // namespace faastcc::faas

@@ -1,0 +1,129 @@
+// Wire messages of the FaaS runtime (scheduler, compute nodes, clients).
+#pragma once
+
+#include <cstdint>
+
+#include "faas/dag.h"
+#include "net/network.h"
+
+namespace faastcc::faas {
+
+enum FaasMethod : uint16_t {
+  kStartDag = 60,     // one-way client -> scheduler
+  kTrigger = 61,      // one-way scheduler -> node (root), node -> node
+  kDagDone = 62,      // one-way sink node -> client
+  kAbortNotice = 63,  // one-way aborting node -> downstream nodes
+};
+
+struct StartDagMsg {
+  TxnId txn_id = 0;
+  net::Address client = 0;
+  Buffer session;  // system-specific blob from the client's previous commit
+  DagSpec spec;
+
+  void encode(BufWriter& w) const {
+    w.put_u64(txn_id);
+    w.put_u32(client);
+    w.put_bytes(std::string_view(reinterpret_cast<const char*>(session.data()),
+                                 session.size()));
+    spec.encode(w);
+  }
+  static StartDagMsg decode(BufReader& r) {
+    StartDagMsg m;
+    m.txn_id = r.get_u64();
+    m.client = r.get_u32();
+    const std::string s = r.get_bytes();
+    m.session.assign(s.begin(), s.end());
+    m.spec = DagSpec::decode(r);
+    return m;
+  }
+};
+
+// Invocation trigger: carries everything a node needs to run one function
+// of one DAG execution — the spec, the placement chosen by the scheduler,
+// and the parent's context (or the client session for the root).
+struct TriggerMsg {
+  TxnId txn_id = 0;
+  uint32_t fn_index = 0;
+  net::Address client = 0;
+  DagSpec spec;
+  std::vector<net::Address> placement;  // node address per function
+  Buffer session;                       // root only
+  Buffer context;                       // non-root: parent context
+  Buffer parent_result;                 // output of the parent function
+
+  void encode(BufWriter& w) const;
+  static TriggerMsg decode(BufReader& r);
+};
+
+struct DagDoneMsg {
+  TxnId txn_id = 0;
+  bool committed = false;
+  Buffer session;  // valid when committed
+  Buffer result;   // sink function output
+
+  void encode(BufWriter& w) const;
+  static DagDoneMsg decode(BufReader& r);
+};
+
+struct AbortNoticeMsg {
+  TxnId txn_id = 0;
+
+  void encode(BufWriter& w) const { w.put_u64(txn_id); }
+  static AbortNoticeMsg decode(BufReader& r) { return {r.get_u64()}; }
+};
+
+inline void put_buffer(BufWriter& w, const Buffer& b) {
+  w.put_bytes(
+      std::string_view(reinterpret_cast<const char*>(b.data()), b.size()));
+}
+
+inline Buffer get_buffer(BufReader& r) {
+  const std::string s = r.get_bytes();
+  return Buffer(s.begin(), s.end());
+}
+
+inline void TriggerMsg::encode(BufWriter& w) const {
+  w.put_u64(txn_id);
+  w.put_u32(fn_index);
+  w.put_u32(client);
+  spec.encode(w);
+  w.put_u32(static_cast<uint32_t>(placement.size()));
+  for (net::Address a : placement) w.put_u32(a);
+  put_buffer(w, session);
+  put_buffer(w, context);
+  put_buffer(w, parent_result);
+}
+
+inline TriggerMsg TriggerMsg::decode(BufReader& r) {
+  TriggerMsg m;
+  m.txn_id = r.get_u64();
+  m.fn_index = r.get_u32();
+  m.client = r.get_u32();
+  m.spec = DagSpec::decode(r);
+  const uint32_t n = r.get_u32();
+  m.placement.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) m.placement.push_back(r.get_u32());
+  m.session = get_buffer(r);
+  m.context = get_buffer(r);
+  m.parent_result = get_buffer(r);
+  return m;
+}
+
+inline void DagDoneMsg::encode(BufWriter& w) const {
+  w.put_u64(txn_id);
+  w.put_bool(committed);
+  put_buffer(w, session);
+  put_buffer(w, result);
+}
+
+inline DagDoneMsg DagDoneMsg::decode(BufReader& r) {
+  DagDoneMsg m;
+  m.txn_id = r.get_u64();
+  m.committed = r.get_bool();
+  m.session = get_buffer(r);
+  m.result = get_buffer(r);
+  return m;
+}
+
+}  // namespace faastcc::faas

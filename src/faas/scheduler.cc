@@ -1,0 +1,55 @@
+#include "faas/scheduler.h"
+
+#include <cassert>
+
+#include "common/log.h"
+#include "sim/future.h"
+
+namespace faastcc::faas {
+
+Scheduler::Scheduler(net::Network& network, net::Address self,
+                     std::vector<net::Address> nodes, SchedulerParams params,
+                     Rng rng)
+    : rpc_(network, self), nodes_(std::move(nodes)), params_(params), rng_(rng) {
+  assert(!nodes_.empty());
+  rpc_.handle_oneway(kStartDag, [this](Buffer b, net::Address from) {
+    on_start(std::move(b), from);
+  });
+}
+
+void Scheduler::on_start(Buffer msg, net::Address) {
+  StartDagMsg start = decode_message<StartDagMsg>(msg);
+  sim::spawn(dispatch(std::move(start)));
+}
+
+sim::Task<void> Scheduler::dispatch(StartDagMsg start) {
+  co_await sim::sleep_for(rpc_.loop(), params_.service_time);
+  start.spec.normalize_sinks();
+  if (!start.spec.valid()) {
+    LOG_ERROR("rejecting invalid DAG for txn " << start.txn_id);
+    DagDoneMsg done;
+    done.txn_id = start.txn_id;
+    done.committed = false;
+    rpc_.send(start.client, kDagDone, done);
+    co_return;
+  }
+  dags_started_.inc();
+
+  TriggerMsg t;
+  t.txn_id = start.txn_id;
+  t.client = start.client;
+  t.session = std::move(start.session);
+  t.placement.reserve(start.spec.functions.size());
+  for (size_t i = 0; i < start.spec.functions.size(); ++i) {
+    if (params_.round_robin) {
+      t.placement.push_back(nodes_[next_node_++ % nodes_.size()]);
+    } else {
+      t.placement.push_back(nodes_[rng_.next_below(nodes_.size())]);
+    }
+  }
+  t.fn_index = start.spec.root();
+  t.spec = std::move(start.spec);
+  rpc_.send(t.placement[t.fn_index], kTrigger, t);
+}
+
+}  // namespace faastcc::faas

@@ -1,0 +1,41 @@
+// The function scheduler: receives DAG execution requests from clients,
+// places every function on a compute node, and fires the root trigger.
+// The paper's design is agnostic to the placement heuristic (§3.2); we
+// provide uniform-random and round-robin placement.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "faas/messages.h"
+#include "net/rpc.h"
+
+namespace faastcc::faas {
+
+struct SchedulerParams {
+  Duration service_time = microseconds(150);
+  bool round_robin = false;  // default: uniform random placement
+};
+
+class Scheduler {
+ public:
+  Scheduler(net::Network& network, net::Address self,
+            std::vector<net::Address> nodes, SchedulerParams params, Rng rng);
+
+  net::Address address() const { return rpc_.address(); }
+  uint64_t dags_started() const { return dags_started_.value(); }
+
+ private:
+  void on_start(Buffer msg, net::Address from);
+  sim::Task<void> dispatch(StartDagMsg start);
+
+  net::RpcNode rpc_;
+  std::vector<net::Address> nodes_;
+  SchedulerParams params_;
+  Rng rng_;
+  size_t next_node_ = 0;
+  Counter dags_started_;
+};
+
+}  // namespace faastcc::faas

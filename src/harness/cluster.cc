@@ -1,0 +1,321 @@
+#include "harness/cluster.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace faastcc::harness {
+namespace {
+
+constexpr net::Address kSchedulerAddr = 1;
+constexpr net::Address kPartitionBase = 100;
+constexpr net::Address kReplicaBase = 1000;
+constexpr net::Address kCacheBase = 3000;
+constexpr net::Address kNodeBase = 4000;
+constexpr net::Address kClientBase = 5000;
+
+}  // namespace
+
+const char* system_name(SystemKind s) {
+  switch (s) {
+    case SystemKind::kFaasTcc: return "FaaSTCC";
+    case SystemKind::kHydroCache: return "HydroCache";
+    case SystemKind::kCloudburst: return "Cloudburst";
+  }
+  return "?";
+}
+
+Cluster::Cluster(ClusterParams params)
+    : params_(std::move(params)),
+      rng_(params_.seed),
+      network_(loop_, params_.net, rng_.fork()),
+      registry_(std::make_shared<faas::FunctionRegistry>()) {
+  workload::WorkloadGen::register_functions(*registry_);
+  build_storage();
+  build_compute();
+  build_clients();
+}
+
+Cluster::~Cluster() = default;
+
+net::Address Cluster::scheduler_address() const { return kSchedulerAddr; }
+
+storage::TccTopology Cluster::tcc_topology() const {
+  storage::TccTopology topo;
+  for (size_t p = 0; p < params_.partitions; ++p) {
+    topo.partitions.push_back(kPartitionBase + static_cast<net::Address>(p));
+  }
+  return topo;
+}
+
+storage::EvTopology Cluster::ev_topology() const {
+  storage::EvTopology topo;
+  topo.replicas.resize(params_.partitions);
+  for (size_t p = 0; p < params_.partitions; ++p) {
+    for (size_t r = 0; r < params_.ev_replicas; ++r) {
+      topo.replicas[p].push_back(
+          kReplicaBase +
+          static_cast<net::Address>(p * params_.ev_replicas + r));
+    }
+  }
+  return topo;
+}
+
+void Cluster::build_storage() {
+  if (params_.system == SystemKind::kFaasTcc) {
+    const auto topo = tcc_topology();
+    for (size_t p = 0; p < params_.partitions; ++p) {
+      auto tcc_params = params_.tcc;
+      // Residual NTP skew: each partition's physical clock is offset by a
+      // bounded random amount.
+      if (params_.clock_skew_us > 0) {
+        tcc_params.clock_offset_us =
+            static_cast<int64_t>(rng_.next_below(
+                2 * static_cast<uint64_t>(params_.clock_skew_us))) -
+            params_.clock_skew_us;
+      }
+      if (p == 0 && params_.straggler_gossip_factor > 1) {
+        tcc_params.gossip_period *= params_.straggler_gossip_factor;
+      }
+      tcc_partitions_.push_back(std::make_unique<storage::TccPartition>(
+          network_, topo.partitions[p], static_cast<PartitionId>(p),
+          topo.partitions, tcc_params));
+    }
+    return;
+  }
+  const auto topo = ev_topology();
+  std::vector<net::Address> all;
+  for (const auto& reps : topo.replicas) {
+    all.insert(all.end(), reps.begin(), reps.end());
+  }
+  for (size_t p = 0; p < params_.partitions; ++p) {
+    for (size_t r = 0; r < params_.ev_replicas; ++r) {
+      std::vector<net::Address> peers;
+      for (size_t r2 = 0; r2 < params_.ev_replicas; ++r2) {
+        if (r2 != r) peers.push_back(topo.replicas[p][r2]);
+      }
+      ev_replicas_.push_back(std::make_unique<storage::EvReplica>(
+          network_, topo.replicas[p][r], p * params_.ev_replicas + r, peers,
+          all, params_.ev));
+    }
+  }
+}
+
+void Cluster::build_compute() {
+  for (size_t n = 0; n < params_.compute_nodes; ++n) {
+    const net::Address cache_addr = kCacheBase + static_cast<net::Address>(n);
+    const net::Address node_addr = kNodeBase + static_cast<net::Address>(n);
+    network_.colocate(cache_addr, node_addr);
+
+    faas::ComputeNode::AdapterFactory factory;
+    switch (params_.system) {
+      case SystemKind::kFaasTcc: {
+        auto cache_params = params_.faastcc_cache;
+        cache_params.capacity = params_.cache_capacity;
+        faastcc_caches_.push_back(std::make_unique<cache::FaasTccCache>(
+            network_, cache_addr, tcc_topology(), cache_params, &metrics_));
+        factory = [this, cache_addr](net::RpcNode& rpc) {
+          return std::make_unique<client::FaasTccAdapter>(
+              rpc, cache_addr, tcc_topology(), params_.faastcc, &metrics_);
+        };
+        break;
+      }
+      case SystemKind::kHydroCache: {
+        auto cache_params = params_.hydro_cache;
+        cache_params.capacity = params_.cache_capacity;
+        hydro_caches_.push_back(std::make_unique<cache::HydroCache>(
+            network_, cache_addr, ev_topology(), rng_.fork(), cache_params,
+            &metrics_));
+        factory = [this, cache_addr](net::RpcNode& rpc) {
+          return std::make_unique<client::HydroAdapter>(
+              rpc, cache_addr, ev_topology(), rng_.fork(), params_.hydro,
+              &metrics_);
+        };
+        break;
+      }
+      case SystemKind::kCloudburst: {
+        auto cache_params = params_.plain_cache;
+        cache_params.capacity = params_.cache_capacity;
+        plain_caches_.push_back(std::make_unique<cache::PlainCache>(
+            network_, cache_addr, ev_topology(), rng_.fork(), cache_params,
+            &metrics_));
+        factory = [this, cache_addr](net::RpcNode& rpc) {
+          return std::make_unique<client::EventualAdapter>(
+              rpc, cache_addr, ev_topology(), rng_.fork(), &metrics_);
+        };
+        break;
+      }
+    }
+    nodes_.push_back(std::make_unique<faas::ComputeNode>(
+        network_, node_addr, registry_, factory, params_.node, &metrics_));
+  }
+
+  std::vector<net::Address> node_addrs;
+  node_addrs.reserve(nodes_.size());
+  for (const auto& n : nodes_) node_addrs.push_back(n->address());
+  scheduler_ = std::make_unique<faas::Scheduler>(
+      network_, kSchedulerAddr, node_addrs, params_.scheduler, rng_.fork());
+}
+
+void Cluster::build_clients() {
+  for (size_t c = 0; c < params_.clients; ++c) {
+    workload::ClientParams cp;
+    cp.client_id = c;
+    cp.num_dags = params_.dags_per_client;
+    cp.max_retries = params_.client_max_retries;
+    clients_.push_back(std::make_unique<workload::ClientDriver>(
+        network_, kClientBase + static_cast<net::Address>(c), kSchedulerAddr,
+        workload::WorkloadGen(params_.workload, rng_.fork()), cp, &metrics_));
+  }
+}
+
+void Cluster::preload() {
+  const Value value(params_.workload.value_size, 'x');
+  const Timestamp init_ts(1, 0, 0);
+  if (params_.system == SystemKind::kFaasTcc) {
+    for (Key k = 0; k < params_.workload.num_keys; ++k) {
+      const size_t p = k % params_.partitions;
+      tcc_partitions_[p]->store().install(k, value, init_ts);
+    }
+    return;
+  }
+  // Eventual store: the payload layout depends on the client library.
+  Value payload;
+  if (params_.system == SystemKind::kHydroCache) {
+    cache::HydroStored stored;
+    stored.value = value;
+    BufWriter w;
+    stored.encode(w);
+    const Buffer b = w.take();
+    payload.assign(b.begin(), b.end());
+  } else {
+    payload = value;
+  }
+  for (Key k = 0; k < params_.workload.num_keys; ++k) {
+    storage::EvItem item;
+    item.key = k;
+    item.version = storage::EvVersion{1, 0};
+    item.written_at = 0;
+    item.payload = payload;
+    const size_t p = k % params_.partitions;
+    for (size_t r = 0; r < params_.ev_replicas; ++r) {
+      ev_replicas_[p * params_.ev_replicas + r]->preload(item);
+    }
+  }
+}
+
+void Cluster::start() {
+  assert(!started_);
+  started_ = true;
+  preload();
+  for (auto& p : tcc_partitions_) p->start();
+  for (auto& r : ev_replicas_) r->start();
+  for (auto& n : nodes_) n->start();
+  loop_.run_until(params_.warmup);
+  if (params_.prewarm_caches) prewarm();
+}
+
+void Cluster::prewarm() {
+  // Zipf ranks map to key ids directly, so warming keys [0, n) warms the
+  // hottest n keys.  Bounded caches are warmed to capacity.
+  const Value value(params_.workload.value_size, 'x');
+  const Timestamp init_ts(1, 0, 0);
+  const uint64_t n = params_.workload.num_keys;
+  for (auto& cache : faastcc_caches_) {
+    const uint64_t limit =
+        std::min<uint64_t>(n, params_.cache_capacity == SIZE_MAX
+                                  ? n
+                                  : params_.cache_capacity);
+    for (Key k = 0; k < limit; ++k) {
+      const size_t p = k % params_.partitions;
+      const Timestamp promise = tcc_partitions_[p]->stable_time();
+      cache->prewarm(storage::VersionedValue{k, value, init_ts, promise});
+      tcc_partitions_[p]->add_subscriber(k, cache->address());
+    }
+  }
+  for (auto& cache : hydro_caches_) {
+    const uint64_t limit =
+        std::min<uint64_t>(n, params_.cache_capacity == SIZE_MAX
+                                  ? n
+                                  : params_.cache_capacity);
+    for (Key k = 0; k < limit; ++k) {
+      cache->prewarm(k, value, 1, 0);
+      // Subscribe at the notifier replica (replica 0 of the partition).
+      const size_t p = k % params_.partitions;
+      ev_replicas_[p * params_.ev_replicas]->add_subscriber(
+          k, cache->address());
+    }
+  }
+  for (auto& cache : plain_caches_) {
+    const uint64_t limit =
+        std::min<uint64_t>(n, params_.cache_capacity == SIZE_MAX
+                                  ? n
+                                  : params_.cache_capacity);
+    for (Key k = 0; k < limit; ++k) {
+      cache->prewarm(k, value);
+      const size_t p = k % params_.partitions;
+      ev_replicas_[p * params_.ev_replicas]->add_subscriber(
+          k, cache->address());
+    }
+  }
+}
+
+RunResult Cluster::run_clients() {
+  assert(started_);
+  const SimTime t_start = loop_.now();
+  for (auto& c : clients_) sim::spawn(c->run());
+
+  const SimTime deadline = t_start + params_.max_sim_time;
+  auto all_done = [&] {
+    for (const auto& c : clients_) {
+      if (!c->done()) return false;
+    }
+    return true;
+  };
+  while (!all_done() && loop_.now() < deadline) {
+    loop_.run_until(loop_.now() + milliseconds(100));
+  }
+  if (!all_done()) {
+    LOG_WARN("cluster run hit max_sim_time before clients finished");
+  }
+
+  RunResult out;
+  out.metrics = metrics_;
+  SimTime t_end = t_start;
+  for (const auto& c : clients_) {
+    out.committed += c->committed();
+    out.aborted_attempts += c->aborted_attempts();
+    t_end = std::max(t_end, c->finished_at());
+  }
+  out.duration_s = to_seconds(t_end - t_start);
+  out.throughput =
+      out.duration_s > 0 ? static_cast<double>(out.committed) / out.duration_s
+                         : 0.0;
+  collect_cache_gauges(out);
+  out.metrics.cache_bytes_total = out.cache_bytes;
+  out.metrics.cache_keys_total = out.cache_entries;
+  out.sim_events = loop_.events_processed();
+  return out;
+}
+
+RunResult Cluster::run() {
+  start();
+  return run_clients();
+}
+
+void Cluster::collect_cache_gauges(RunResult& out) const {
+  for (const auto& c : faastcc_caches_) {
+    out.cache_entries += c->entry_count();
+    out.cache_bytes += c->bytes();
+  }
+  for (const auto& c : hydro_caches_) {
+    out.cache_entries += c->total_keys();
+    out.cache_bytes += c->bytes();
+  }
+  for (const auto& c : plain_caches_) {
+    out.cache_entries += c->entry_count();
+    out.cache_bytes += c->bytes();
+  }
+}
+
+}  // namespace faastcc::harness

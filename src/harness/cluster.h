@@ -1,0 +1,151 @@
+// Experiment harness: assembles a full simulated cluster for any of the
+// three systems and runs the closed-loop workload to completion.
+//
+// Default sizes mirror the paper's testbed (§6.1): 16 storage partitions,
+// 10 compute nodes with 3 executors each, 16 closed-loop clients issuing
+// 1000 DAGs, 100 000 keys of 8 bytes, 50 ms cache refresh period.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cache/faastcc_cache.h"
+#include "cache/hydro_cache.h"
+#include "cache/plain_cache.h"
+#include "client/eventual_client.h"
+#include "client/faastcc_client.h"
+#include "client/hydro_client.h"
+#include "common/metrics.h"
+#include "faas/compute_node.h"
+#include "faas/scheduler.h"
+#include "net/network.h"
+#include "storage/eventual_store.h"
+#include "storage/tcc_partition.h"
+#include "workload/client_driver.h"
+
+namespace faastcc::harness {
+
+enum class SystemKind { kFaasTcc, kHydroCache, kCloudburst };
+
+const char* system_name(SystemKind s);
+
+struct ClusterParams {
+  SystemKind system = SystemKind::kFaasTcc;
+  uint64_t seed = 42;
+
+  size_t partitions = 16;   // TCC partitions / eventual-store partitions
+  size_t ev_replicas = 2;   // replication factor of the eventual store
+  size_t compute_nodes = 10;
+  size_t clients = 16;
+  int dags_per_client = 1000;
+
+  // Cache capacity in entries per node; SIZE_MAX unbounded, 0 disabled.
+  size_t cache_capacity = SIZE_MAX;
+
+  workload::WorkloadParams workload;
+  client::FaasTccConfig faastcc;
+  client::HydroConfig hydro;
+  storage::TccPartitionParams tcc;
+  storage::EventualStoreParams ev;
+  faas::ComputeNodeParams node;
+  faas::SchedulerParams scheduler;
+  net::NetworkParams net;
+  cache::CacheParams faastcc_cache;
+  cache::HydroCacheParams hydro_cache;
+  cache::PlainCacheParams plain_cache;
+
+  // Fault-injection knobs.
+  // Residual NTP skew: each partition's physical clock is offset by a
+  // uniform random amount in [-clock_skew_us, clock_skew_us].
+  int64_t clock_skew_us = 100;
+  // Multiplies partition 0's stabilization gossip period (a straggler).
+  int straggler_gossip_factor = 1;
+
+  // Pre-warm node caches with the hottest keys before the measured phase
+  // (§6.1: "cache sizes are unbounded and were pre-warmed").  Bounded
+  // caches are warmed up to their capacity.
+  bool prewarm_caches = true;
+  Duration warmup = milliseconds(250);
+  Duration max_sim_time = seconds(3600);
+  int client_max_retries = 50;
+};
+
+struct RunResult {
+  Metrics metrics;
+  double duration_s = 0;       // wall time of the measured phase (sim)
+  double throughput = 0;       // committed DAGs per second
+  uint64_t committed = 0;
+  uint64_t aborted_attempts = 0;
+  size_t cache_entries = 0;    // across all nodes, end of run
+  size_t cache_bytes = 0;
+  uint64_t sim_events = 0;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterParams params);
+  ~Cluster();
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Preloads the dataset, starts background services, runs the warmup.
+  void start();
+  // Runs every client to completion (call after start()).
+  RunResult run_clients();
+  // start() + run_clients().
+  RunResult run();
+
+  // Component access for tests and examples.
+  sim::EventLoop& loop() { return loop_; }
+  net::Network& network() { return network_; }
+  faas::FunctionRegistry& registry() { return *registry_; }
+  Metrics& metrics() { return metrics_; }
+  const ClusterParams& params() const { return params_; }
+  net::Address scheduler_address() const;
+
+  std::vector<std::unique_ptr<storage::TccPartition>>& tcc_partitions() {
+    return tcc_partitions_;
+  }
+  std::vector<std::unique_ptr<storage::EvReplica>>& ev_replicas() {
+    return ev_replicas_;
+  }
+  std::vector<std::unique_ptr<cache::FaasTccCache>>& faastcc_caches() {
+    return faastcc_caches_;
+  }
+  std::vector<std::unique_ptr<cache::HydroCache>>& hydro_caches() {
+    return hydro_caches_;
+  }
+  std::vector<std::unique_ptr<workload::ClientDriver>>& clients() {
+    return clients_;
+  }
+
+  storage::TccTopology tcc_topology() const;
+  storage::EvTopology ev_topology() const;
+
+ private:
+  void build_storage();
+  void build_compute();
+  void build_clients();
+  void preload();
+  void prewarm();
+  void collect_cache_gauges(RunResult& out) const;
+
+  ClusterParams params_;
+  Rng rng_;
+  sim::EventLoop loop_;
+  net::Network network_;
+  Metrics metrics_;
+  std::shared_ptr<faas::FunctionRegistry> registry_;
+
+  std::vector<std::unique_ptr<storage::TccPartition>> tcc_partitions_;
+  std::vector<std::unique_ptr<storage::EvReplica>> ev_replicas_;
+  std::vector<std::unique_ptr<cache::FaasTccCache>> faastcc_caches_;
+  std::vector<std::unique_ptr<cache::HydroCache>> hydro_caches_;
+  std::vector<std::unique_ptr<cache::PlainCache>> plain_caches_;
+  std::vector<std::unique_ptr<faas::ComputeNode>> nodes_;
+  std::unique_ptr<faas::Scheduler> scheduler_;
+  std::vector<std::unique_ptr<workload::ClientDriver>> clients_;
+  bool started_ = false;
+};
+
+}  // namespace faastcc::harness

@@ -1,0 +1,34 @@
+#include "harness/experiment.h"
+
+#include <cstdlib>
+
+namespace faastcc::harness {
+
+int bench_dags_per_client(int fallback) {
+  if (const char* env = std::getenv("FAASTCC_DAGS"); env != nullptr) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+ClusterParams make_params(const ExperimentConfig& cfg) {
+  ClusterParams p;
+  p.system = cfg.system;
+  p.seed = cfg.seed;
+  p.workload.zipf = cfg.zipf;
+  p.workload.static_txns = cfg.static_txns;
+  p.workload.dag_size = cfg.dag_size;
+  p.cache_capacity = cfg.cache_capacity;
+  p.faastcc = cfg.faastcc;
+  p.dags_per_client =
+      cfg.dags_per_client > 0 ? cfg.dags_per_client : bench_dags_per_client();
+  return p;
+}
+
+RunResult run_experiment(const ExperimentConfig& cfg) {
+  Cluster cluster(make_params(cfg));
+  return cluster.run();
+}
+
+}  // namespace faastcc::harness

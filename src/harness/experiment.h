@@ -1,0 +1,30 @@
+// Standard experiment configurations matching the paper's setup (§6.1),
+// plus environment-variable scaling so benchmarks can run quickly during
+// development (FAASTCC_DAGS=<n> overrides DAGs per client).
+#pragma once
+
+#include "harness/cluster.h"
+
+namespace faastcc::harness {
+
+struct ExperimentConfig {
+  SystemKind system = SystemKind::kFaasTcc;
+  double zipf = 1.0;
+  bool static_txns = false;
+  int dag_size = 6;
+  size_t cache_capacity = SIZE_MAX;
+  client::FaasTccConfig faastcc;
+  uint64_t seed = 42;
+  int dags_per_client = 0;  // 0 => default (paper: 1000, or FAASTCC_DAGS)
+};
+
+// DAGs per client used by the benches: FAASTCC_DAGS env var, else `fallback`.
+int bench_dags_per_client(int fallback = 1000);
+
+// Builds the full ClusterParams for a standard paper-style run.
+ClusterParams make_params(const ExperimentConfig& cfg);
+
+// Convenience: build + run.
+RunResult run_experiment(const ExperimentConfig& cfg);
+
+}  // namespace faastcc::harness

@@ -1,0 +1,48 @@
+// Aggregated per-run statistics and a small on-disk results cache.
+//
+// Several figures of the paper derive from the same experiment sweep; the
+// bench binaries share results through this cache (directory set by
+// FAASTCC_CACHE_DIR, default ".faastcc_bench_cache") so running all of
+// them does not repeat identical cluster runs.  Delete the directory to
+// force fresh measurements.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "harness/cluster.h"
+#include "harness/experiment.h"
+
+namespace faastcc::harness {
+
+struct SummaryStats {
+  double latency_med_ms = 0;
+  double latency_p99_ms = 0;
+  double throughput = 0;
+  double metadata_med = 0;
+  double metadata_p99 = 0;
+  double rounds_med = 0;
+  double rounds_p99 = 0;
+  double read_bytes_med = 0;
+  double read_bytes_p99 = 0;
+  double cache_bytes = 0;
+  double cache_entries = 0;
+  double abort_rate = 0;
+  double hit_rate = 0;
+  double committed = 0;
+  double duration_s = 0;
+};
+
+SummaryStats summarize(const RunResult& result);
+
+// Stable cache key for an experiment configuration.
+std::string config_key(const ExperimentConfig& cfg, int dags_per_client);
+
+std::optional<SummaryStats> load_cached(const std::string& key);
+void store_cached(const std::string& key, const SummaryStats& stats);
+
+// Runs the experiment, or returns the cached summary for identical
+// parameters.  `dags_per_client` of 0 uses the bench default.
+SummaryStats run_or_load(ExperimentConfig cfg, int dags_per_client = 0);
+
+}  // namespace faastcc::harness

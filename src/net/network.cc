@@ -1,0 +1,57 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <utility>
+
+#include "common/log.h"
+
+namespace faastcc::net {
+namespace {
+
+uint64_t pair_key(Address a, Address b) {
+  if (a > b) std::swap(a, b);
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+void Network::register_endpoint(Address addr, Handler handler) {
+  assert(endpoints_.find(addr) == endpoints_.end() &&
+         "endpoint registered twice");
+  endpoints_.emplace(addr, std::move(handler));
+}
+
+void Network::colocate(Address a, Address b) {
+  colocated_[pair_key(a, b)] = true;
+}
+
+Duration Network::delivery_delay(Address from, Address to, size_t bytes) {
+  if (from == to || colocated_.count(pair_key(from, to)) != 0) {
+    return params_.local_delivery;
+  }
+  const auto serialization = static_cast<Duration>(
+      static_cast<double>(bytes) / params_.bandwidth_bytes_per_us);
+  const Duration jitter =
+      params_.jitter > 0
+          ? static_cast<Duration>(rng_.next_below(
+                static_cast<uint64_t>(params_.jitter)))
+          : 0;
+  return params_.base_latency + jitter + serialization;
+}
+
+void Network::send(Message m) {
+  messages_sent_.inc();
+  bytes_sent_.inc(m.wire_size());
+  const Duration delay = delivery_delay(m.from, m.to, m.wire_size());
+  loop_.schedule_after(delay, [this, m = std::move(m)]() mutable {
+    auto it = endpoints_.find(m.to);
+    if (it == endpoints_.end()) {
+      messages_dropped_.inc();
+      LOG_DEBUG("dropping message to unregistered address " << m.to);
+      return;
+    }
+    it->second(std::move(m));
+  });
+}
+
+}  // namespace faastcc::net

@@ -1,0 +1,108 @@
+#include "net/rpc.h"
+
+#include <cassert>
+
+#include "common/log.h"
+
+namespace faastcc::net {
+
+RpcNode::RpcNode(Network& network, Address address)
+    : network_(network), address_(address) {
+  network_.register_endpoint(address_,
+                             [this](Message m) { on_message(std::move(m)); });
+}
+
+void RpcNode::handle(MethodId method, RequestHandler handler) {
+  handlers_[method] = std::move(handler);
+}
+
+void RpcNode::handle_oneway(MethodId method, OneWayHandler handler) {
+  oneway_handlers_[method] = std::move(handler);
+}
+
+sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized(Address to,
+                                                          MethodId method,
+                                                          Buffer request) {
+  const uint64_t id = next_request_id_++;
+  Message m;
+  m.from = address_;
+  m.to = to;
+  m.kind = MessageKind::kRequest;
+  m.method = method;
+  m.request_id = id;
+  m.payload = std::move(request);
+  const size_t req_bytes = m.wire_size();
+
+  auto [it, inserted] = pending_.emplace(
+      id, Pending{sim::Promise<SizedResponse>(loop()), req_bytes});
+  assert(inserted);
+  auto future = it->second.promise.get_future();
+  network_.send(std::move(m));
+  co_return co_await std::move(future);
+}
+
+sim::Task<Buffer> RpcNode::call_raw(Address to, MethodId method,
+                                    Buffer request) {
+  SizedResponse r = co_await call_raw_sized(to, method, std::move(request));
+  co_return std::move(r.payload);
+}
+
+void RpcNode::send_raw(Address to, MethodId method, Buffer payload) {
+  Message m;
+  m.from = address_;
+  m.to = to;
+  m.kind = MessageKind::kOneWay;
+  m.method = method;
+  m.payload = std::move(payload);
+  network_.send(std::move(m));
+}
+
+sim::Task<void> RpcNode::run_handler(RequestHandler& handler, Message m) {
+  Buffer response = co_await handler(std::move(m.payload), m.from);
+  Message r;
+  r.from = address_;
+  r.to = m.from;
+  r.kind = MessageKind::kResponse;
+  r.method = m.method;
+  r.request_id = m.request_id;
+  r.payload = std::move(response);
+  network_.send(std::move(r));
+}
+
+void RpcNode::on_message(Message m) {
+  switch (m.kind) {
+    case MessageKind::kRequest: {
+      auto it = handlers_.find(m.method);
+      if (it == handlers_.end()) {
+        LOG_ERROR("no handler for method " << m.method << " at " << address_);
+        return;
+      }
+      sim::spawn(run_handler(it->second, std::move(m)));
+      return;
+    }
+    case MessageKind::kResponse: {
+      auto it = pending_.find(m.request_id);
+      if (it == pending_.end()) {
+        LOG_DEBUG("orphan response at " << address_);
+        return;
+      }
+      Pending p = std::move(it->second);
+      const size_t resp_bytes = m.wire_size();
+      pending_.erase(it);
+      p.promise.set_value(SizedResponse{std::move(m.payload),
+                                        p.request_wire_bytes, resp_bytes});
+      return;
+    }
+    case MessageKind::kOneWay: {
+      auto it = oneway_handlers_.find(m.method);
+      if (it == oneway_handlers_.end()) {
+        LOG_DEBUG("no one-way handler for method " << m.method);
+        return;
+      }
+      it->second(std::move(m.payload), m.from);
+      return;
+    }
+  }
+}
+
+}  // namespace faastcc::net

@@ -1,0 +1,89 @@
+// Request/response RPC over the simulated network.
+//
+// Each simulated process owns an RpcNode.  Handlers are coroutines, so a
+// storage partition can await internal work while serving a request.  Typed
+// wrappers (`call<Req, Resp>`) encode/decode with the common binary codec so
+// every RPC's wire size is exact.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+
+#include "common/serialize.h"
+#include "net/network.h"
+#include "sim/future.h"
+#include "sim/task.h"
+
+namespace faastcc::net {
+
+class RpcNode {
+ public:
+  // Coroutine handler: receives the request payload and the caller address,
+  // returns the response payload.
+  using RequestHandler =
+      std::function<sim::Task<Buffer>(Buffer, Address)>;
+  // Fire-and-forget handler for one-way messages (pub/sub pushes, gossip).
+  using OneWayHandler = std::function<void(Buffer, Address)>;
+
+  RpcNode(Network& network, Address address);
+  ~RpcNode() = default;
+  RpcNode(const RpcNode&) = delete;
+  RpcNode& operator=(const RpcNode&) = delete;
+
+  Address address() const { return address_; }
+  Network& network() { return network_; }
+  sim::EventLoop& loop() { return network_.loop(); }
+  SimTime now() const { return network_.now(); }
+
+  void handle(MethodId method, RequestHandler handler);
+  void handle_oneway(MethodId method, OneWayHandler handler);
+
+  // Raw call; completes when the response arrives.
+  sim::Task<Buffer> call_raw(Address to, MethodId method, Buffer request);
+
+  // Typed call.  `req` is taken by value: tasks are lazy, so the request
+  // must live in the coroutine frame — callers routinely build several
+  // calls and only await them later via when_all.
+  template <typename Resp, typename Req>
+  sim::Task<Resp> call(Address to, MethodId method, Req req) {
+    Buffer resp = co_await call_raw(to, method, encode_message(req));
+    co_return decode_message<Resp>(resp);
+  }
+
+  // One-way typed send.
+  template <typename M>
+  void send(Address to, MethodId method, const M& msg) {
+    send_raw(to, method, encode_message(msg));
+  }
+  void send_raw(Address to, MethodId method, Buffer payload);
+
+  // Bytes of the last response received by call_raw on this node; callers
+  // that need per-request accounting should use call_raw_sized instead.
+  struct SizedResponse {
+    Buffer payload;
+    size_t request_wire_bytes;
+    size_t response_wire_bytes;
+  };
+  sim::Task<SizedResponse> call_raw_sized(Address to, MethodId method,
+                                          Buffer request);
+
+ private:
+  void on_message(Message m);
+  sim::Task<void> run_handler(RequestHandler& handler, Message m);
+
+  Network& network_;
+  Address address_;
+  uint64_t next_request_id_ = 1;
+  std::unordered_map<MethodId, RequestHandler> handlers_;
+  std::unordered_map<MethodId, OneWayHandler> oneway_handlers_;
+  struct Pending {
+    sim::Promise<SizedResponse> promise;
+    size_t request_wire_bytes;
+  };
+  std::unordered_map<uint64_t, Pending> pending_;
+};
+
+}  // namespace faastcc::net

@@ -1,0 +1,48 @@
+// Unbounded single-process async queue: producers push synchronously,
+// consumers pop as coroutines.  Backs the executor pools of compute nodes.
+#pragma once
+
+#include <deque>
+
+#include "sim/future.h"
+#include "sim/task.h"
+
+namespace faastcc::sim {
+
+template <typename T>
+class AsyncQueue {
+ public:
+  explicit AsyncQueue(EventLoop& loop) : loop_(loop) {}
+
+  void push(T item) {
+    if (!waiters_.empty()) {
+      Promise<T> p = std::move(waiters_.front());
+      waiters_.pop_front();
+      p.set_value(std::move(item));
+      return;
+    }
+    items_.push_back(std::move(item));
+  }
+
+  Task<T> pop() {
+    if (!items_.empty()) {
+      T item = std::move(items_.front());
+      items_.pop_front();
+      co_return item;
+    }
+    Promise<T> p(loop_);
+    auto future = p.get_future();
+    waiters_.push_back(std::move(p));
+    co_return co_await std::move(future);
+  }
+
+  size_t size() const { return items_.size(); }
+  size_t waiting_consumers() const { return waiters_.size(); }
+
+ private:
+  EventLoop& loop_;
+  std::deque<T> items_;
+  std::deque<Promise<T>> waiters_;
+};
+
+}  // namespace faastcc::sim

@@ -1,0 +1,39 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+namespace faastcc::sim {
+
+void EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+bool EventLoop::run_one() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; the handler is moved out via const_cast,
+  // which is safe because the element is popped immediately afterwards.
+  auto& top = const_cast<Event&>(queue_.top());
+  now_ = top.time;
+  auto fn = std::move(top.fn);
+  queue_.pop();
+  ++processed_;
+  fn();
+  return true;
+}
+
+void EventLoop::run() {
+  stopped_ = false;
+  while (!stopped_ && run_one()) {
+  }
+}
+
+void EventLoop::run_until(SimTime t) {
+  stopped_ = false;
+  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+    run_one();
+  }
+  if (now_ < t) now_ = t;
+}
+
+}  // namespace faastcc::sim

@@ -1,0 +1,69 @@
+// Deterministic discrete-event loop.
+//
+// The entire FaaSTCC cluster — storage partitions, compute nodes, caches,
+// clients and the network between them — runs on one of these.  Events are
+// totally ordered by (timestamp, insertion sequence), so a given seed always
+// produces the same execution, which the property tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/types.h"
+
+namespace faastcc::sim {
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Schedules `fn` to run at absolute simulated time `t` (clamped to now).
+  void schedule_at(SimTime t, std::function<void()> fn);
+
+  // Schedules `fn` to run `d` microseconds from now.
+  void schedule_after(Duration d, std::function<void()> fn) {
+    schedule_at(now_ + (d > 0 ? d : 0), std::move(fn));
+  }
+
+  // Runs events until the queue drains or stop() is called.
+  void run();
+
+  // Runs events with time <= t (and leaves now() == t if the queue drained).
+  void run_until(SimTime t);
+
+  // Executes the single next event; returns false if the queue is empty.
+  bool run_one();
+
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  size_t pending() const { return queue_.size(); }
+  uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t processed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace faastcc::sim

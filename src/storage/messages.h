@@ -1,0 +1,488 @@
+// Wire messages of the storage layer (TCC partitions and the eventually
+// consistent store).  Encoded sizes are exact and feed the paper's byte
+// metrics (Fig. 5, Fig. 7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/hlc.h"
+#include "common/serialize.h"
+#include "common/types.h"
+
+namespace faastcc::storage {
+
+// ---------------------------------------------------------------------------
+// Method ids.
+// ---------------------------------------------------------------------------
+
+enum TccMethod : uint16_t {
+  kTccRead = 1,
+  kTccPrepare = 2,
+  kTccCommit = 3,
+  kTccSubscribe = 4,
+  kTccUnsubscribe = 5,
+  kTccGossip = 6,   // one-way: stabilization
+  kTccPush = 7,     // one-way: pub/sub update batch
+  kTccAbort = 8,    // releases prepares after an SI conflict
+};
+
+enum EvMethod : uint16_t {
+  kEvGet = 20,
+  kEvPut = 21,
+  kEvGossipDigest = 22,  // one-way: anti-entropy between replicas
+  kEvStableCut = 23,     // one-way: gossiped GC horizon for dependencies
+  kEvSubscribe = 24,     // caches subscribe to update notifications
+  kEvUnsubscribe = 25,
+  kEvPush = 26,          // one-way: update batch to subscribed caches
+};
+
+// ---------------------------------------------------------------------------
+// TCC storage messages.
+// ---------------------------------------------------------------------------
+
+inline void put_ts(BufWriter& w, Timestamp t) { w.put_u64(t.raw()); }
+inline Timestamp get_ts(BufReader& r) { return Timestamp(r.get_u64()); }
+
+// One versioned value as served by the TCC store: the paper's tuple
+// <k, v, t_v, promise_v>.
+struct VersionedValue {
+  Key key = 0;
+  Value value;
+  Timestamp ts;
+  Timestamp promise;
+
+  void encode(BufWriter& w) const {
+    w.put_u64(key);
+    w.put_bytes(value);
+    put_ts(w, ts);
+    put_ts(w, promise);
+  }
+  static VersionedValue decode(BufReader& r) {
+    VersionedValue v;
+    v.key = r.get_u64();
+    v.value = r.get_bytes();
+    v.ts = get_ts(r);
+    v.promise = get_ts(r);
+    return v;
+  }
+};
+
+// TCC_ReadTX request.  `snapshot` is the upper bound (the client's s_high;
+// Timestamp::max() on the first read of a DAG).  For each key the client may
+// supply the timestamp of the version it already caches; when the store
+// would serve exactly that version it answers "unchanged" with a refreshed
+// promise and no value bytes (the small responses of Fig. 7).
+struct TccReadReq {
+  Timestamp snapshot;
+  std::vector<Key> keys;
+  std::vector<Timestamp> cached_ts;  // parallel to keys; min() == none
+
+  void encode(BufWriter& w) const {
+    put_ts(w, snapshot);
+    w.put_u32(static_cast<uint32_t>(keys.size()));
+    for (size_t i = 0; i < keys.size(); ++i) {
+      w.put_u64(keys[i]);
+      put_ts(w, cached_ts[i]);
+    }
+  }
+  static TccReadReq decode(BufReader& r) {
+    TccReadReq q;
+    q.snapshot = get_ts(r);
+    const uint32_t n = r.get_u32();
+    q.keys.reserve(n);
+    q.cached_ts.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      q.keys.push_back(r.get_u64());
+      q.cached_ts.push_back(get_ts(r));
+    }
+    return q;
+  }
+};
+
+struct TccReadResp {
+  enum class Status : uint8_t {
+    kValue = 0,      // full version attached
+    kUnchanged = 1,  // client's cached version still current; promise updated
+    kMiss = 2,       // no version <= snapshot survives (GC'd or never written)
+  };
+  struct Entry {
+    Key key = 0;
+    Status status = Status::kMiss;
+    Value value;        // only for kValue
+    Timestamp ts;       // kValue / kUnchanged
+    Timestamp promise;  // kValue / kUnchanged
+    // True when the served version has no successor yet: its promise is
+    // the stable time and may later be extended; a version with a known
+    // successor has a final promise.
+    bool open = false;
+  };
+  std::vector<Entry> entries;
+  Timestamp stable_time;  // the partition's current view; diagnostic
+
+  void encode(BufWriter& w) const {
+    put_ts(w, stable_time);
+    w.put_u32(static_cast<uint32_t>(entries.size()));
+    for (const auto& e : entries) {
+      w.put_u64(e.key);
+      w.put_u8(static_cast<uint8_t>(e.status));
+      if (e.status != Status::kMiss) {
+        put_ts(w, e.ts);
+        put_ts(w, e.promise);
+        w.put_bool(e.open);
+      }
+      if (e.status == Status::kValue) w.put_bytes(e.value);
+    }
+  }
+  static TccReadResp decode(BufReader& r) {
+    TccReadResp resp;
+    resp.stable_time = get_ts(r);
+    const uint32_t n = r.get_u32();
+    resp.entries.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      Entry e;
+      e.key = r.get_u64();
+      e.status = static_cast<Status>(r.get_u8());
+      if (e.status != Status::kMiss) {
+        e.ts = get_ts(r);
+        e.promise = get_ts(r);
+        e.open = r.get_bool();
+      }
+      if (e.status == Status::kValue) e.value = r.get_bytes();
+      resp.entries.push_back(std::move(e));
+    }
+    return resp;
+  }
+};
+
+struct KeyValue {
+  Key key = 0;
+  Value value;
+
+  void encode(BufWriter& w) const {
+    w.put_u64(key);
+    w.put_bytes(value);
+  }
+  static KeyValue decode(BufReader& r) {
+    KeyValue kv;
+    kv.key = r.get_u64();
+    kv.value = r.get_bytes();
+    return kv;
+  }
+};
+
+template <typename T>
+void put_vec(BufWriter& w, const std::vector<T>& v) {
+  w.put_u32(static_cast<uint32_t>(v.size()));
+  for (const auto& e : v) e.encode(w);
+}
+
+template <typename T>
+std::vector<T> get_vec(BufReader& r) {
+  const uint32_t n = r.get_u32();
+  std::vector<T> v;
+  v.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) v.push_back(T::decode(r));
+  return v;
+}
+
+// Prepare phase of a multi-partition commit: reserves a slot so that the
+// participant's safe time (and hence the global stable time) cannot advance
+// past the eventual commit timestamp before the writes are installed.
+//
+// In Snapshot Isolation mode (the extension of §7 of the paper) the
+// prepare additionally performs first-committer-wins write-write conflict
+// detection: it fails if any written key has a version newer than the
+// transaction's read snapshot, or is currently prepared by another
+// transaction.
+struct TccPrepareReq {
+  TxnId txn = 0;
+  Timestamp dep_ts;  // causal lower bound (client's reads + session order)
+  bool si_mode = false;
+  Timestamp snapshot_ts;     // SI: the transaction's read snapshot (s_high)
+  std::vector<Key> write_keys;  // SI: written keys owned by this partition
+
+  void encode(BufWriter& w) const {
+    w.put_u64(txn);
+    put_ts(w, dep_ts);
+    w.put_bool(si_mode);
+    put_ts(w, snapshot_ts);
+    w.put_u32(static_cast<uint32_t>(write_keys.size()));
+    for (Key k : write_keys) w.put_u64(k);
+  }
+  static TccPrepareReq decode(BufReader& r) {
+    TccPrepareReq q;
+    q.txn = r.get_u64();
+    q.dep_ts = get_ts(r);
+    q.si_mode = r.get_bool();
+    q.snapshot_ts = get_ts(r);
+    const uint32_t n = r.get_u32();
+    q.write_keys.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) q.write_keys.push_back(r.get_u64());
+    return q;
+  }
+};
+
+struct TccPrepareResp {
+  Timestamp prepare_ts;
+  bool ok = true;  // false: SI write-write conflict, transaction must abort
+
+  void encode(BufWriter& w) const {
+    put_ts(w, prepare_ts);
+    w.put_bool(ok);
+  }
+  static TccPrepareResp decode(BufReader& r) {
+    TccPrepareResp resp;
+    resp.prepare_ts = get_ts(r);
+    resp.ok = r.get_bool();
+    return resp;
+  }
+};
+
+// Releases a prepare without installing anything (SI conflict abort).
+struct TccAbortReq {
+  TxnId txn = 0;
+
+  void encode(BufWriter& w) const { w.put_u64(txn); }
+  static TccAbortReq decode(BufReader& r) { return {r.get_u64()}; }
+};
+
+// Commit phase.  In the general (multi-partition) case `commit_ts` was
+// computed by the coordinator from the prepare responses; in the
+// single-partition fast path it is Timestamp::min() and the partition
+// assigns a timestamp itself, above `dep_ts`.
+struct TccCommitReq {
+  TxnId txn = 0;
+  Timestamp commit_ts;
+  Timestamp dep_ts;
+  std::vector<KeyValue> writes;  // only the keys owned by this partition
+
+  void encode(BufWriter& w) const {
+    w.put_u64(txn);
+    put_ts(w, commit_ts);
+    put_ts(w, dep_ts);
+    put_vec(w, writes);
+  }
+  static TccCommitReq decode(BufReader& r) {
+    TccCommitReq q;
+    q.txn = r.get_u64();
+    q.commit_ts = get_ts(r);
+    q.dep_ts = get_ts(r);
+    q.writes = get_vec<KeyValue>(r);
+    return q;
+  }
+};
+
+struct TccCommitResp {
+  bool ok = true;
+  void encode(BufWriter& w) const { w.put_bool(ok); }
+  static TccCommitResp decode(BufReader& r) { return {r.get_bool()}; }
+};
+
+struct SubscribeReq {
+  std::vector<Key> keys;
+
+  void encode(BufWriter& w) const {
+    w.put_u32(static_cast<uint32_t>(keys.size()));
+    for (Key k : keys) w.put_u64(k);
+  }
+  static SubscribeReq decode(BufReader& r) {
+    SubscribeReq q;
+    const uint32_t n = r.get_u32();
+    q.keys.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) q.keys.push_back(r.get_u64());
+    return q;
+  }
+};
+
+// One-way stabilization gossip: partition `partition` will never again
+// commit a transaction with timestamp <= `safe_time`.
+struct GossipMsg {
+  PartitionId partition = 0;
+  Timestamp safe_time;
+
+  void encode(BufWriter& w) const {
+    w.put_u32(partition);
+    put_ts(w, safe_time);
+  }
+  static GossipMsg decode(BufReader& r) {
+    GossipMsg g;
+    g.partition = r.get_u32();
+    g.safe_time = get_ts(r);
+    return g;
+  }
+};
+
+// One-way pub/sub push: fresh versions of subscribed keys plus the stable
+// time at push.  Pushed promises are max(version ts, stable at push).
+//
+// Pushes are sent every refresh period even when no subscribed key
+// changed: the dirty set is complete for subscribed keys, so a subscriber
+// may extend the promise of any *open* cached version of this partition
+// not listed in `updates` to `stable_time`.
+struct PushMsg {
+  PartitionId partition = 0;
+  Timestamp stable_time;
+  std::vector<VersionedValue> updates;
+
+  void encode(BufWriter& w) const {
+    w.put_u32(partition);
+    put_ts(w, stable_time);
+    put_vec(w, updates);
+  }
+  static PushMsg decode(BufReader& r) {
+    PushMsg p;
+    p.partition = r.get_u32();
+    p.stable_time = get_ts(r);
+    p.updates = get_vec<VersionedValue>(r);
+    return p;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Eventually consistent store (Anna stand-in) messages.
+// ---------------------------------------------------------------------------
+
+// Per-key version for the eventual store: a counter plus writer id,
+// last-writer-wins.  HydroCache dependencies refer to these.
+struct EvVersion {
+  uint64_t counter = 0;
+  uint64_t writer = 0;
+
+  friend auto operator<=>(const EvVersion&, const EvVersion&) = default;
+
+  void encode(BufWriter& w) const {
+    w.put_u64(counter);
+    w.put_u64(writer);
+  }
+  static EvVersion decode(BufReader& r) {
+    EvVersion v;
+    v.counter = r.get_u64();
+    v.writer = r.get_u64();
+    return v;
+  }
+};
+
+struct EvItem {
+  Key key = 0;
+  EvVersion version;
+  SimTime written_at = 0;  // assigned by the accepting replica; drives dep GC
+  Value payload;  // opaque: HydroCache stores value + dependency metadata
+
+  void encode(BufWriter& w) const {
+    w.put_u64(key);
+    version.encode(w);
+    w.put_i64(written_at);
+    w.put_bytes(payload);
+  }
+  static EvItem decode(BufReader& r) {
+    EvItem it;
+    it.key = r.get_u64();
+    it.version = EvVersion::decode(r);
+    it.written_at = r.get_i64();
+    it.payload = r.get_bytes();
+    return it;
+  }
+};
+
+struct EvGetReq {
+  std::vector<Key> keys;
+
+  void encode(BufWriter& w) const {
+    w.put_u32(static_cast<uint32_t>(keys.size()));
+    for (Key k : keys) w.put_u64(k);
+  }
+  static EvGetReq decode(BufReader& r) {
+    EvGetReq q;
+    const uint32_t n = r.get_u32();
+    q.keys.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) q.keys.push_back(r.get_u64());
+    return q;
+  }
+};
+
+struct EvGetResp {
+  std::vector<EvItem> found;  // keys absent from the replica are omitted
+  SimTime global_cut = 0;     // piggybacked dependency-GC watermark
+
+  void encode(BufWriter& w) const {
+    w.put_i64(global_cut);
+    put_vec(w, found);
+  }
+  static EvGetResp decode(BufReader& r) {
+    EvGetResp resp;
+    resp.global_cut = r.get_i64();
+    resp.found = get_vec<EvItem>(r);
+    return resp;
+  }
+};
+
+struct EvPutReq {
+  std::vector<EvItem> items;
+
+  void encode(BufWriter& w) const { put_vec(w, items); }
+  static EvPutReq decode(BufReader& r) {
+    EvPutReq q;
+    q.items = get_vec<EvItem>(r);
+    return q;
+  }
+};
+
+struct EvPutResp {
+  std::vector<EvVersion> versions;  // assigned versions, parallel to items
+  SimTime global_cut = 0;           // piggybacked dependency-GC watermark
+
+  void encode(BufWriter& w) const {
+    w.put_i64(global_cut);
+    put_vec(w, versions);
+  }
+  static EvPutResp decode(BufReader& r) {
+    EvPutResp resp;
+    resp.global_cut = r.get_i64();
+    resp.versions = get_vec<EvVersion>(r);
+    return resp;
+  }
+};
+
+// Anti-entropy batch between replicas of the same eventual partition.
+// `sent_at` asserts: every write the sender accepted before this time has
+// been included in this or an earlier batch to this peer.
+struct EvGossipMsg {
+  SimTime sent_at = 0;
+  std::vector<EvItem> items;
+
+  void encode(BufWriter& w) const {
+    w.put_i64(sent_at);
+    put_vec(w, items);
+  }
+  static EvGossipMsg decode(BufReader& r) {
+    EvGossipMsg g;
+    g.sent_at = r.get_i64();
+    g.items = get_vec<EvItem>(r);
+    return g;
+  }
+};
+
+// Gossiped dependency-GC horizon: the sending replica has applied every
+// write accepted anywhere before `cut` (a wall-clock watermark derived from
+// completed anti-entropy rounds).  The minimum across replicas bounds which
+// dependencies are globally visible and may be pruned from metadata.
+struct EvStableCutMsg {
+  uint64_t replica = 0;
+  SimTime cut = 0;
+
+  void encode(BufWriter& w) const {
+    w.put_u64(replica);
+    w.put_i64(cut);
+  }
+  static EvStableCutMsg decode(BufReader& r) {
+    EvStableCutMsg m;
+    m.replica = r.get_u64();
+    m.cut = r.get_i64();
+    return m;
+  }
+};
+
+}  // namespace faastcc::storage

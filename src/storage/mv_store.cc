@@ -1,0 +1,77 @@
+#include "storage/mv_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace faastcc::storage {
+
+void MvStore::install(Key key, Value value, Timestamp ts) {
+  auto& chain = chains_[key];
+  value_bytes_ += value.size();
+  ++num_versions_;
+  if (chain.empty() || chain.back().ts < ts) {
+    chain.push_back(Version{std::move(value), ts});
+    return;
+  }
+  // Out-of-order install (commit-apply messages are not FIFO across
+  // partitions); insert preserving order.
+  auto it = std::lower_bound(
+      chain.begin(), chain.end(), ts,
+      [](const Version& v, Timestamp t) { return v.ts < t; });
+  assert(it == chain.end() || it->ts != ts);
+  chain.insert(it, Version{std::move(value), ts});
+}
+
+MvStore::ReadResult MvStore::read_at(Key key, Timestamp snapshot) const {
+  ReadResult out;
+  auto it = chains_.find(key);
+  if (it == chains_.end()) return out;
+  const auto& chain = it->second;
+  // First version with ts > snapshot.
+  auto pos = std::upper_bound(
+      chain.begin(), chain.end(), snapshot,
+      [](Timestamp t, const Version& v) { return t < v.ts; });
+  if (pos != chain.end()) out.next_ts = pos->ts;
+  if (pos == chain.begin()) {
+    // Nothing at or below the snapshot.  If the chain has been GC'd, a
+    // suitable version may have existed once; flag so callers can
+    // distinguish "never written" from "history trimmed".
+    out.below_gc_horizon = !chain.empty();
+    return out;
+  }
+  out.version = &*(pos - 1);
+  return out;
+}
+
+size_t MvStore::gc_before(Timestamp horizon) {
+  size_t dropped = 0;
+  for (auto& [key, chain] : chains_) {
+    auto pos = std::upper_bound(
+        chain.begin(), chain.end(), horizon,
+        [](Timestamp t, const Version& v) { return t < v.ts; });
+    if (pos == chain.begin()) continue;
+    // Keep the version just below the horizon; drop everything before it.
+    auto keep_from = pos - 1;
+    for (auto it = chain.begin(); it != keep_from; ++it) {
+      value_bytes_ -= it->value.size();
+      ++dropped;
+    }
+    num_versions_ -= static_cast<size_t>(keep_from - chain.begin());
+    chain.erase(chain.begin(), keep_from);
+  }
+  return dropped;
+}
+
+std::optional<Timestamp> MvStore::oldest_ts(Key key) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end() || it->second.empty()) return std::nullopt;
+  return it->second.front().ts;
+}
+
+std::optional<Timestamp> MvStore::newest_ts(Key key) const {
+  auto it = chains_.find(key);
+  if (it == chains_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back().ts;
+}
+
+}  // namespace faastcc::storage

@@ -1,0 +1,61 @@
+// Multi-version in-memory store backing one TCC partition.
+//
+// Every key holds a version chain ordered by commit timestamp.  Reads
+// select the newest version at or below a snapshot and also report the
+// successor's timestamp, from which the partition derives the promise
+// (§4.2: "either the timestamp of the next version, or the timestamp of
+// the last committed transaction").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hlc.h"
+#include "common/types.h"
+
+namespace faastcc::storage {
+
+class MvStore {
+ public:
+  struct Version {
+    Value value;
+    Timestamp ts;
+  };
+
+  struct ReadResult {
+    const Version* version = nullptr;        // null => no version <= snapshot
+    std::optional<Timestamp> next_ts;        // successor's timestamp, if any
+    bool below_gc_horizon = false;           // snapshot predates GC'd history
+  };
+
+  // Installs a version.  Timestamps are unique system-wide (HLC + node id),
+  // so installing the same timestamp twice is a protocol error.
+  void install(Key key, Value value, Timestamp ts);
+
+  // Newest version with ts <= snapshot.
+  ReadResult read_at(Key key, Timestamp snapshot) const;
+
+  // Drops versions strictly older than the newest version at or below
+  // `horizon` (that one must survive: it is still the correct read for any
+  // snapshot in [its ts, horizon]).  Returns number of versions dropped.
+  size_t gc_before(Timestamp horizon);
+
+  size_t num_keys() const { return chains_.size(); }
+  size_t num_versions() const { return num_versions_; }
+  size_t value_bytes() const { return value_bytes_; }
+
+  // Oldest retained timestamp for `key`; reads below it are unreliable.
+  std::optional<Timestamp> oldest_ts(Key key) const;
+  std::optional<Timestamp> newest_ts(Key key) const;
+
+ private:
+  // Chains are small (GC keeps them short), so a sorted vector wins over
+  // any tree on both memory and scan speed.
+  std::unordered_map<Key, std::vector<Version>> chains_;
+  size_t num_versions_ = 0;
+  size_t value_bytes_ = 0;
+};
+
+}  // namespace faastcc::storage

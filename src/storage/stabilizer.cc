@@ -1,0 +1,18 @@
+#include "storage/stabilizer.h"
+
+#include <algorithm>
+
+namespace faastcc::storage {
+
+void Stabilizer::on_gossip(PartitionId from, Timestamp safe_time) {
+  auto& slot = last_heard_.at(from);
+  if (safe_time > slot) slot = safe_time;
+}
+
+Timestamp Stabilizer::stable_time() const {
+  Timestamp min_ts = Timestamp::max();
+  for (const Timestamp t : last_heard_) min_ts = std::min(min_ts, t);
+  return min_ts;
+}
+
+}  // namespace faastcc::storage

@@ -1,0 +1,38 @@
+// Stabilization state, one instance per TCC partition.
+//
+// Partitions periodically broadcast a *safe time*: a timestamp below which
+// they will never again commit.  The minimum over the most recent broadcast
+// of every partition is the global stable time.  Reads are clamped to it,
+// which is what lets the storage layer serve a consistent snapshot in one
+// round and is the "stable time ... used as the promise" of §5.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hlc.h"
+#include "common/types.h"
+
+namespace faastcc::storage {
+
+class Stabilizer {
+ public:
+  Stabilizer(PartitionId self, size_t num_partitions)
+      : self_(self), last_heard_(num_partitions, Timestamp::min()) {}
+
+  // Records a broadcast from `from` (possibly self).  Stale gossip (older
+  // than already recorded) is ignored; safe times are monotone per sender.
+  void on_gossip(PartitionId from, Timestamp safe_time);
+
+  // Global stable time: min over all partitions' last-heard safe times.
+  Timestamp stable_time() const;
+
+  Timestamp last_heard(PartitionId p) const { return last_heard_.at(p); }
+  PartitionId self() const { return self_; }
+
+ private:
+  PartitionId self_;
+  std::vector<Timestamp> last_heard_;
+};
+
+}  // namespace faastcc::storage

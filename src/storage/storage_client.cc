@@ -1,0 +1,327 @@
+#include "storage/storage_client.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "sim/when_all.h"
+
+namespace faastcc::storage {
+namespace {
+
+struct PartitionBatch {
+  net::Address address;
+  std::vector<size_t> input_index;  // positions in the caller's key vector
+};
+
+template <typename KeyOf>
+std::vector<PartitionBatch> group_by_partition(size_t n, KeyOf&& key_of) {
+  std::unordered_map<net::Address, size_t> slot;
+  std::vector<PartitionBatch> batches;
+  for (size_t i = 0; i < n; ++i) {
+    const net::Address a = key_of(i);
+    auto [it, inserted] = slot.emplace(a, batches.size());
+    if (inserted) batches.push_back(PartitionBatch{a, {}});
+    batches[it->second].input_index.push_back(i);
+  }
+  return batches;
+}
+
+}  // namespace
+
+sim::Task<TccReadResp> TccStorageClient::read(std::vector<Key> keys,
+                                              std::vector<Timestamp> cached_ts,
+                                              Timestamp snapshot,
+                                              ReadAccounting* accounting) {
+  assert(keys.size() == cached_ts.size());
+  auto batches = group_by_partition(
+      keys.size(), [&](size_t i) { return topology_.address_of(keys[i]); });
+
+  std::vector<sim::Task<net::RpcNode::SizedResponse>> calls;
+  calls.reserve(batches.size());
+  for (const auto& batch : batches) {
+    TccReadReq req;
+    req.snapshot = snapshot;
+    for (size_t idx : batch.input_index) {
+      req.keys.push_back(keys[idx]);
+      req.cached_ts.push_back(cached_ts[idx]);
+    }
+    calls.push_back(
+        rpc_.call_raw_sized(batch.address, kTccRead, encode_message(req)));
+  }
+  auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
+
+  TccReadResp merged;
+  merged.entries.resize(keys.size());
+  for (size_t b = 0; b < batches.size(); ++b) {
+    if (accounting != nullptr) {
+      ++accounting->rpcs;
+      accounting->request_bytes +=
+          responses[b].request_wire_bytes - net::Message::kHeaderBytes;
+      accounting->response_bytes += responses[b].payload.size();
+    }
+    auto resp = decode_message<TccReadResp>(responses[b].payload);
+    merged.stable_time = std::max(merged.stable_time, resp.stable_time);
+    assert(resp.entries.size() == batches[b].input_index.size());
+    for (size_t i = 0; i < resp.entries.size(); ++i) {
+      merged.entries[batches[b].input_index[i]] = std::move(resp.entries[i]);
+    }
+  }
+  co_return merged;
+}
+
+sim::Task<Timestamp> TccStorageClient::commit(TxnId txn,
+                                              std::vector<KeyValue> writes,
+                                              Timestamp dep_ts) {
+  assert(!writes.empty());
+  auto batches = group_by_partition(writes.size(), [&](size_t i) {
+    return topology_.address_of(writes[i].key);
+  });
+
+  auto writes_for = [&](const PartitionBatch& batch) {
+    std::vector<KeyValue> out;
+    out.reserve(batch.input_index.size());
+    for (size_t idx : batch.input_index) out.push_back(writes[idx]);
+    return out;
+  };
+
+  if (batches.size() == 1) {
+    // Fast path: the owning partition assigns the timestamp itself.
+    TccCommitReq req;
+    req.txn = txn;
+    req.commit_ts = Timestamp::min();
+    req.dep_ts = dep_ts;
+    req.writes = writes_for(batches[0]);
+    Buffer raw = co_await rpc_.call_raw(batches[0].address, kTccCommit,
+                                        encode_message(req));
+    BufReader r(raw);
+    TccCommitResp::decode(r);
+    co_return get_ts(r);
+  }
+
+  // General path: prepare everywhere, then commit at max(prepare ts).
+  std::vector<sim::Task<TccPrepareResp>> prepares;
+  prepares.reserve(batches.size());
+  for (const auto& batch : batches) {
+    TccPrepareReq req;
+    req.txn = txn;
+    req.dep_ts = dep_ts;
+    prepares.push_back(
+        rpc_.call<TccPrepareResp>(batch.address, kTccPrepare, req));
+  }
+  auto prepare_resps = co_await sim::when_all(rpc_.loop(), std::move(prepares));
+  Timestamp commit_ts = dep_ts.next();
+  for (const auto& pr : prepare_resps) {
+    commit_ts = std::max(commit_ts, pr.prepare_ts);
+  }
+
+  std::vector<sim::Task<TccCommitResp>> commits;
+  commits.reserve(batches.size());
+  for (const auto& batch : batches) {
+    TccCommitReq req;
+    req.txn = txn;
+    req.commit_ts = commit_ts;
+    req.dep_ts = dep_ts;
+    req.writes = writes_for(batch);
+    commits.push_back(
+        rpc_.call<TccCommitResp>(batch.address, kTccCommit, req));
+  }
+  co_await sim::when_all(rpc_.loop(), std::move(commits));
+  co_return commit_ts;
+}
+
+sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
+    TxnId txn, std::vector<KeyValue> writes, Timestamp dep_ts,
+    Timestamp snapshot_ts) {
+  assert(!writes.empty());
+  auto batches = group_by_partition(writes.size(), [&](size_t i) {
+    return topology_.address_of(writes[i].key);
+  });
+
+  std::vector<sim::Task<TccPrepareResp>> prepares;
+  prepares.reserve(batches.size());
+  for (const auto& batch : batches) {
+    TccPrepareReq req;
+    req.txn = txn;
+    req.dep_ts = dep_ts;
+    req.si_mode = true;
+    req.snapshot_ts = snapshot_ts;
+    for (size_t idx : batch.input_index) {
+      req.write_keys.push_back(writes[idx].key);
+    }
+    prepares.push_back(
+        rpc_.call<TccPrepareResp>(batch.address, kTccPrepare, req));
+  }
+  auto prepare_resps = co_await sim::when_all(rpc_.loop(), std::move(prepares));
+
+  bool conflict = false;
+  Timestamp commit_ts = dep_ts.next();
+  for (const auto& pr : prepare_resps) {
+    if (!pr.ok) conflict = true;
+    commit_ts = std::max(commit_ts, pr.prepare_ts);
+  }
+  if (conflict) {
+    // Release every participant (the conflicting ones are no-ops).
+    std::vector<sim::Task<Buffer>> aborts;
+    aborts.reserve(batches.size());
+    for (const auto& batch : batches) {
+      aborts.push_back(rpc_.call_raw(batch.address, kTccAbort,
+                                     encode_message(TccAbortReq{txn})));
+    }
+    co_await sim::when_all(rpc_.loop(), std::move(aborts));
+    co_return std::nullopt;
+  }
+
+  std::vector<sim::Task<TccCommitResp>> commits;
+  commits.reserve(batches.size());
+  for (const auto& batch : batches) {
+    TccCommitReq req;
+    req.txn = txn;
+    req.commit_ts = commit_ts;
+    req.dep_ts = dep_ts;
+    for (size_t idx : batch.input_index) req.writes.push_back(writes[idx]);
+    commits.push_back(
+        rpc_.call<TccCommitResp>(batch.address, kTccCommit, req));
+  }
+  co_await sim::when_all(rpc_.loop(), std::move(commits));
+  co_return commit_ts;
+}
+
+sim::Task<void> TccStorageClient::subscribe_impl(std::vector<Key> keys,
+                                                 TccMethod method) {
+  auto batches = group_by_partition(
+      keys.size(), [&](size_t i) { return topology_.address_of(keys[i]); });
+  std::vector<sim::Task<Buffer>> calls;
+  calls.reserve(batches.size());
+  for (const auto& batch : batches) {
+    SubscribeReq req;
+    for (size_t idx : batch.input_index) req.keys.push_back(keys[idx]);
+    calls.push_back(
+        rpc_.call_raw(batch.address, method, encode_message(req)));
+  }
+  co_await sim::when_all(rpc_.loop(), std::move(calls));
+}
+
+sim::Task<void> TccStorageClient::subscribe(std::vector<Key> keys) {
+  co_await subscribe_impl(std::move(keys), kTccSubscribe);
+}
+
+sim::Task<void> TccStorageClient::unsubscribe(std::vector<Key> keys) {
+  co_await subscribe_impl(std::move(keys), kTccUnsubscribe);
+}
+
+namespace {
+
+sim::Task<void> ev_subscribe_impl(net::RpcNode& rpc, const EvTopology& topo,
+                                  std::vector<Key> keys, EvMethod method) {
+  std::unordered_map<net::Address, SubscribeReq> reqs;
+  for (Key k : keys) {
+    reqs[topo.replicas[topo.partition_of(k)][0]].keys.push_back(k);
+  }
+  std::vector<sim::Task<Buffer>> calls;
+  calls.reserve(reqs.size());
+  for (auto& [addr, req] : reqs) {
+    calls.push_back(rpc.call_raw(addr, method, encode_message(req)));
+  }
+  co_await sim::when_all(rpc.loop(), std::move(calls));
+}
+
+}  // namespace
+
+sim::Task<void> EvStorageClient::subscribe(std::vector<Key> keys) {
+  co_await ev_subscribe_impl(rpc_, topology_, std::move(keys), kEvSubscribe);
+}
+
+sim::Task<void> EvStorageClient::unsubscribe(std::vector<Key> keys) {
+  co_await ev_subscribe_impl(rpc_, topology_, std::move(keys), kEvUnsubscribe);
+}
+
+net::Address EvStorageClient::pick_replica(PartitionId p) {
+  // Reads stick to one replica per (client, partition), as Anna clients
+  // cache replica addresses.  A read that needs a version accepted at the
+  // other replica therefore has to wait out the anti-entropy lag — the
+  // multi-round pattern of §4.1.  Writes spread across replicas.
+  const auto& reps = topology_.replicas[p];
+  return reps[(static_cast<size_t>(rpc_.address()) + p) % reps.size()];
+}
+
+net::Address EvStorageClient::pick_write_replica(PartitionId p) {
+  const auto& reps = topology_.replicas[p];
+  return reps[rng_.next_below(reps.size())];
+}
+
+sim::Task<EvStorageClient::GetResult> EvStorageClient::get(
+    std::vector<Key> keys) {
+  // Group by partition; replica choice is per request, so repeated calls
+  // for the same key may hit different replicas (and different staleness).
+  std::vector<net::Address> chosen(topology_.num_partitions(), 0);
+  std::vector<bool> chosen_set(topology_.num_partitions(), false);
+  auto address_for = [&](Key k) {
+    const PartitionId p = topology_.partition_of(k);
+    if (!chosen_set[p]) {
+      chosen[p] = pick_replica(p);
+      chosen_set[p] = true;
+    }
+    return chosen[p];
+  };
+  auto batches = group_by_partition(
+      keys.size(), [&](size_t i) { return address_for(keys[i]); });
+
+  std::vector<sim::Task<net::RpcNode::SizedResponse>> calls;
+  calls.reserve(batches.size());
+  for (const auto& batch : batches) {
+    EvGetReq req;
+    for (size_t idx : batch.input_index) req.keys.push_back(keys[idx]);
+    calls.push_back(
+        rpc_.call_raw_sized(batch.address, kEvGet, encode_message(req)));
+  }
+  auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
+
+  GetResult out;
+  out.items.resize(keys.size());
+  for (size_t b = 0; b < batches.size(); ++b) {
+    out.request_bytes +=
+        responses[b].request_wire_bytes - net::Message::kHeaderBytes;
+    out.response_bytes += responses[b].payload.size();
+    auto resp = decode_message<EvGetResp>(responses[b].payload);
+    global_cut_ = std::max(global_cut_, resp.global_cut);
+    // Found items arrive in request order but absent keys are omitted;
+    // match them back by key.
+    size_t f = 0;
+    for (size_t i = 0; i < batches[b].input_index.size() && f < resp.found.size();
+         ++i) {
+      const size_t idx = batches[b].input_index[i];
+      if (resp.found[f].key == keys[idx]) {
+        out.items[idx] = std::move(resp.found[f]);
+        ++f;
+      }
+    }
+  }
+  co_return out;
+}
+
+sim::Task<std::vector<EvVersion>> EvStorageClient::put(
+    std::vector<EvItem> items) {
+  auto batches = group_by_partition(items.size(), [&](size_t i) {
+    return pick_write_replica(topology_.partition_of(items[i].key));
+  });
+  std::vector<sim::Task<EvPutResp>> calls;
+  calls.reserve(batches.size());
+  for (const auto& batch : batches) {
+    EvPutReq req;
+    for (size_t idx : batch.input_index) req.items.push_back(items[idx]);
+    calls.push_back(rpc_.call<EvPutResp>(batch.address, kEvPut, req));
+  }
+  auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
+
+  std::vector<EvVersion> versions(items.size());
+  for (size_t b = 0; b < batches.size(); ++b) {
+    global_cut_ = std::max(global_cut_, responses[b].global_cut);
+    for (size_t i = 0; i < batches[b].input_index.size(); ++i) {
+      versions[batches[b].input_index[i]] = responses[b].versions[i];
+    }
+  }
+  co_return versions;
+}
+
+}  // namespace faastcc::storage

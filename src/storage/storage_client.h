@@ -1,0 +1,126 @@
+// Typed client-side access to both storage services.
+//
+// TccStorageClient groups keys by partition, fans RPCs out in parallel and
+// runs the prepare/commit protocol for multi-partition writes (with a
+// single-RPC fast path when one partition owns every written key).
+// EvStorageClient does the same for the eventually consistent store,
+// picking a random replica per request — the source of staleness the
+// HydroCache baseline must cope with.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/rpc.h"
+#include "storage/messages.h"
+
+namespace faastcc::storage {
+
+struct TccTopology {
+  std::vector<net::Address> partitions;
+
+  size_t num_partitions() const { return partitions.size(); }
+  PartitionId partition_of(Key k) const {
+    return static_cast<PartitionId>(k % partitions.size());
+  }
+  net::Address address_of(Key k) const {
+    return partitions[partition_of(k)];
+  }
+};
+
+class TccStorageClient {
+ public:
+  TccStorageClient(net::RpcNode& rpc, TccTopology topology)
+      : rpc_(rpc), topology_(std::move(topology)) {}
+
+  struct ReadAccounting {
+    size_t rpcs = 0;            // individual partition requests
+    size_t request_bytes = 0;   // request payload bytes (excl. framing)
+    size_t response_bytes = 0;  // response payload bytes (excl. framing)
+  };
+
+  // Reads `keys` at `snapshot`; `cached_ts[i]` is the version the caller
+  // already holds (Timestamp::min() for none), enabling "unchanged"
+  // promise-refresh responses.  Entries come back in input key order.
+  sim::Task<TccReadResp> read(std::vector<Key> keys,
+                              std::vector<Timestamp> cached_ts,
+                              Timestamp snapshot,
+                              ReadAccounting* accounting = nullptr);
+
+  // Commits `writes` atomically with a timestamp above `dep_ts`; returns
+  // the commit timestamp.
+  sim::Task<Timestamp> commit(TxnId txn, std::vector<KeyValue> writes,
+                              Timestamp dep_ts);
+
+  // Snapshot Isolation commit (§7 extension): first-committer-wins
+  // write-write conflict detection against `snapshot_ts`.  Returns the
+  // commit timestamp, or std::nullopt when the transaction must abort.
+  // Always runs the full prepare/commit protocol so conflicting prepares
+  // serialize even on a single partition.
+  sim::Task<std::optional<Timestamp>> commit_si(TxnId txn,
+                                                std::vector<KeyValue> writes,
+                                                Timestamp dep_ts,
+                                                Timestamp snapshot_ts);
+
+  sim::Task<void> subscribe(std::vector<Key> keys);
+  sim::Task<void> unsubscribe(std::vector<Key> keys);
+
+  const TccTopology& topology() const { return topology_; }
+
+ private:
+  sim::Task<void> subscribe_impl(std::vector<Key> keys, TccMethod method);
+
+  net::RpcNode& rpc_;
+  TccTopology topology_;
+};
+
+struct EvTopology {
+  // replicas[partition] lists the replica addresses of that partition.
+  std::vector<std::vector<net::Address>> replicas;
+
+  size_t num_partitions() const { return replicas.size(); }
+  PartitionId partition_of(Key k) const {
+    return static_cast<PartitionId>(k % replicas.size());
+  }
+};
+
+class EvStorageClient {
+ public:
+  EvStorageClient(net::RpcNode& rpc, EvTopology topology, Rng rng)
+      : rpc_(rpc), topology_(std::move(topology)), rng_(rng) {}
+
+  struct GetResult {
+    std::vector<std::optional<EvItem>> items;  // parallel to requested keys
+    size_t request_bytes = 0;
+    size_t response_bytes = 0;
+  };
+
+  // Reads each key from one (randomly chosen) replica of its partition.
+  sim::Task<GetResult> get(std::vector<Key> keys);
+
+  // Writes each item to one replica of its partition; returns assigned
+  // versions in input order.
+  sim::Task<std::vector<EvVersion>> put(std::vector<EvItem> items);
+
+  // Subscribes/unsubscribes for update notifications at the notifier
+  // replica (replica 0) of each key's partition.
+  sim::Task<void> subscribe(std::vector<Key> keys);
+  sim::Task<void> unsubscribe(std::vector<Key> keys);
+
+  // Most recent dependency-GC watermark piggybacked on any response.
+  SimTime global_cut() const { return global_cut_; }
+
+  const EvTopology& topology() const { return topology_; }
+
+ private:
+  net::Address pick_replica(PartitionId p);
+  net::Address pick_write_replica(PartitionId p);
+
+  net::RpcNode& rpc_;
+  EvTopology topology_;
+  Rng rng_;
+  SimTime global_cut_ = 0;
+};
+
+}  // namespace faastcc::storage

@@ -1,0 +1,317 @@
+#include "storage/tcc_partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "common/log.h"
+#include "sim/future.h"
+
+namespace faastcc::storage {
+
+TccPartition::TccPartition(net::Network& network, net::Address self,
+                           PartitionId id,
+                           std::vector<net::Address> all_partitions,
+                           TccPartitionParams params)
+    : rpc_(network, self),
+      id_(id),
+      all_partitions_(std::move(all_partitions)),
+      params_(params),
+      clock_(id),
+      stabilizer_(id, all_partitions_.size()) {
+  rpc_.handle(kTccRead, [this](Buffer b, net::Address from) {
+    return on_read(std::move(b), from);
+  });
+  rpc_.handle(kTccPrepare, [this](Buffer b, net::Address from) {
+    return on_prepare(std::move(b), from);
+  });
+  rpc_.handle(kTccCommit, [this](Buffer b, net::Address from) {
+    return on_commit(std::move(b), from);
+  });
+  rpc_.handle(kTccSubscribe, [this](Buffer b, net::Address from) {
+    return on_subscribe(std::move(b), from);
+  });
+  rpc_.handle(kTccUnsubscribe, [this](Buffer b, net::Address from) {
+    return on_unsubscribe(std::move(b), from);
+  });
+  rpc_.handle(kTccAbort, [this](Buffer b, net::Address from) {
+    return on_abort(std::move(b), from);
+  });
+  rpc_.handle_oneway(kTccGossip, [this](Buffer b, net::Address from) {
+    on_gossip(std::move(b), from);
+  });
+}
+
+void TccPartition::start() {
+  // Seed the stabilizer with our own safe time so stable_time() is defined
+  // before the first gossip round completes.
+  stabilizer_.on_gossip(id_, safe_time());
+  sim::spawn(gossip_loop());
+  sim::spawn(push_loop());
+  sim::spawn(gc_loop());
+}
+
+uint64_t TccPartition::physical_now_us() const {
+  const int64_t t = rpc_.now() + params_.clock_offset_us;
+  return t > 0 ? static_cast<uint64_t>(t) : 0;
+}
+
+Timestamp TccPartition::safe_time() {
+  if (!pending_by_ts_.empty()) {
+    return pending_by_ts_.begin()->first.prev();
+  }
+  // Advancing the clock guarantees every future prepare (and therefore
+  // every future commit timestamp) exceeds the value we publish.
+  return clock_.tick(physical_now_us());
+}
+
+TccReadResp::Entry TccPartition::read_one(Key key, Timestamp eff,
+                                          Timestamp cached_ts) {
+  TccReadResp::Entry e;
+  e.key = key;
+  const auto r = store_.read_at(key, eff);
+  if (r.version == nullptr) {
+    if (r.below_gc_horizon) {
+      // The version the snapshot needs existed but has been collected.
+      e.status = TccReadResp::Status::kMiss;
+      counters_.misses.inc();
+      return e;
+    }
+    // Key never written: serve the implicit initial version (empty value,
+    // minimal timestamp).  Its promise follows the same rule as any other
+    // version.
+    e.ts = Timestamp::min();
+  } else {
+    e.ts = r.version->ts;
+  }
+  e.open = !r.next_ts.has_value();
+  e.promise = r.next_ts.has_value()
+                  ? r.next_ts->prev()
+                  : std::max(e.ts, stabilizer_.stable_time());
+  if (r.version != nullptr && cached_ts == e.ts) {
+    e.status = TccReadResp::Status::kUnchanged;
+    counters_.unchanged_responses.inc();
+  } else {
+    e.status = TccReadResp::Status::kValue;
+    if (r.version != nullptr) e.value = r.version->value;
+  }
+  return e;
+}
+
+sim::Task<Buffer> TccPartition::on_read(Buffer req, net::Address) {
+  auto q = decode_message<TccReadReq>(req);
+  counters_.reads.inc();
+  counters_.read_keys.inc(q.keys.size());
+  co_await sim::sleep_for(
+      rpc_.loop(), params_.request_cpu + params_.per_key_cpu *
+                                             static_cast<Duration>(
+                                                 q.keys.size()));
+  TccReadResp resp;
+  resp.stable_time = stabilizer_.stable_time();
+  const Timestamp eff = std::min(q.snapshot, resp.stable_time);
+  resp.entries.reserve(q.keys.size());
+  for (size_t i = 0; i < q.keys.size(); ++i) {
+    resp.entries.push_back(read_one(q.keys[i], eff, q.cached_ts[i]));
+  }
+  co_return encode_message(resp);
+}
+
+bool TccPartition::si_check_and_lock(TxnId txn, Timestamp snapshot_ts,
+                                     const std::vector<Key>& keys) {
+  for (Key k : keys) {
+    // First-committer-wins: a version installed after the transaction's
+    // read snapshot, or a concurrent prepared writer, conflicts.
+    const auto newest = store_.newest_ts(k);
+    if (newest.has_value() && *newest > snapshot_ts) {
+      counters_.si_conflicts.inc();
+      return false;
+    }
+    if (auto it = write_locks_.find(k);
+        it != write_locks_.end() && it->second != txn) {
+      counters_.si_conflicts.inc();
+      return false;
+    }
+  }
+  auto& locked = locked_keys_[txn];
+  for (Key k : keys) {
+    write_locks_[k] = txn;
+    locked.push_back(k);
+  }
+  return true;
+}
+
+void TccPartition::release_locks(TxnId txn) {
+  auto it = locked_keys_.find(txn);
+  if (it == locked_keys_.end()) return;
+  for (Key k : it->second) {
+    auto lock = write_locks_.find(k);
+    if (lock != write_locks_.end() && lock->second == txn) {
+      write_locks_.erase(lock);
+    }
+  }
+  locked_keys_.erase(it);
+}
+
+void TccPartition::resolve_pending(TxnId txn) {
+  auto it = pending_by_txn_.find(txn);
+  if (it != pending_by_txn_.end()) {
+    pending_by_ts_.erase(it->second);
+    pending_by_txn_.erase(it);
+  }
+}
+
+sim::Task<Buffer> TccPartition::on_prepare(Buffer req, net::Address) {
+  auto q = decode_message<TccPrepareReq>(req);
+  co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  TccPrepareResp resp;
+  if (q.si_mode && !si_check_and_lock(q.txn, q.snapshot_ts, q.write_keys)) {
+    resp.ok = false;
+    co_return encode_message(resp);
+  }
+  clock_.update(q.dep_ts, physical_now_us());
+  const Timestamp prepare_ts = clock_.tick(physical_now_us());
+  pending_by_ts_.emplace(prepare_ts, q.txn);
+  pending_by_txn_.emplace(q.txn, prepare_ts);
+  resp.prepare_ts = prepare_ts;
+  co_return encode_message(resp);
+}
+
+sim::Task<Buffer> TccPartition::on_abort(Buffer req, net::Address) {
+  auto q = decode_message<TccAbortReq>(req);
+  co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  counters_.aborts.inc();
+  release_locks(q.txn);
+  resolve_pending(q.txn);
+  co_return Buffer{};
+}
+
+void TccPartition::install_writes(const TccCommitReq& req) {
+  for (const auto& kv : req.writes) {
+    store_.install(kv.key, kv.value, req.commit_ts);
+    if (subscribers_.count(kv.key) != 0) dirty_.insert(kv.key);
+  }
+  counters_.commits.inc();
+}
+
+sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
+  auto q = decode_message<TccCommitReq>(req);
+  co_await sim::sleep_for(
+      rpc_.loop(), params_.request_cpu + params_.per_key_cpu *
+                                             static_cast<Duration>(
+                                                 q.writes.size()));
+  if (q.commit_ts == Timestamp::min()) {
+    // Single-partition fast path: no prepare round happened; the partition
+    // assigns a commit timestamp above the transaction's causal past.
+    clock_.update(q.dep_ts, physical_now_us());
+    q.commit_ts = clock_.tick(physical_now_us());
+  } else {
+    clock_.update(q.commit_ts, physical_now_us());
+    release_locks(q.txn);
+    resolve_pending(q.txn);
+  }
+  install_writes(q);
+  TccCommitResp resp;
+  resp.ok = true;
+  BufWriter w;
+  resp.encode(w);
+  // The assigned commit timestamp is returned so the fast path can report
+  // it; the general path already knows it.
+  put_ts(w, q.commit_ts);
+  co_return w.take();
+}
+
+sim::Task<Buffer> TccPartition::on_subscribe(Buffer req, net::Address from) {
+  auto q = decode_message<SubscribeReq>(req);
+  co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  for (Key k : q.keys) {
+    add_subscriber(k, from);
+    // Re-announce the key's latest version on the next push: a successor
+    // may have been installed between the read that triggered this
+    // subscription and now, and the subscriber must not treat its (stale)
+    // entry as open past that successor.
+    dirty_.insert(k);
+  }
+  co_return Buffer{};
+}
+
+void TccPartition::drop_subscriber(Key k, net::Address cache) {
+  auto it = subscribers_.find(k);
+  if (it == subscribers_.end()) return;
+  if (it->second.erase(cache) == 0) return;
+  if (it->second.empty()) subscribers_.erase(it);
+  auto ref = subscriber_refs_.find(cache);
+  if (ref != subscriber_refs_.end() && --ref->second == 0) {
+    subscriber_refs_.erase(ref);
+    subscriber_addresses_.erase(cache);
+  }
+}
+
+sim::Task<Buffer> TccPartition::on_unsubscribe(Buffer req, net::Address from) {
+  auto q = decode_message<SubscribeReq>(req);
+  co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  for (Key k : q.keys) drop_subscriber(k, from);
+  co_return Buffer{};
+}
+
+void TccPartition::on_gossip(Buffer msg, net::Address) {
+  auto g = decode_message<GossipMsg>(msg);
+  stabilizer_.on_gossip(g.partition, g.safe_time);
+}
+
+sim::Task<void> TccPartition::gossip_loop() {
+  for (;;) {
+    co_await sim::sleep_for(rpc_.loop(), params_.gossip_period);
+    GossipMsg g{id_, safe_time()};
+    stabilizer_.on_gossip(id_, g.safe_time);
+    for (net::Address peer : all_partitions_) {
+      if (peer == rpc_.address()) continue;
+      rpc_.send(peer, kTccGossip, g);
+    }
+  }
+}
+
+sim::Task<void> TccPartition::push_loop() {
+  for (;;) {
+    co_await sim::sleep_for(rpc_.loop(), params_.push_period);
+    const Timestamp stable = stabilizer_.stable_time();
+    // Group fresh versions per subscriber.
+    std::unordered_map<net::Address, PushMsg> batches;
+    for (Key k : dirty_) {
+      auto sub_it = subscribers_.find(k);
+      if (sub_it == subscribers_.end()) continue;
+      const auto r = store_.read_at(k, Timestamp::max());
+      if (r.version == nullptr) continue;
+      VersionedValue vv;
+      vv.key = k;
+      vv.value = r.version->value;
+      vv.ts = r.version->ts;
+      vv.promise = std::max(vv.ts, stable);
+      for (net::Address sub : sub_it->second) {
+        batches[sub].updates.push_back(vv);
+      }
+    }
+    dirty_.clear();
+    // Every subscriber gets a push each period, even an empty one: the
+    // absence of a key in the batch is the promise-extension signal.
+    for (net::Address sub : subscriber_addresses_) {
+      auto& batch = batches[sub];  // creates empty batches as needed
+      batch.partition = id_;
+      batch.stable_time = stable;
+      counters_.pushes.inc();
+      rpc_.send(sub, kTccPush, batch);
+    }
+  }
+}
+
+sim::Task<void> TccPartition::gc_loop() {
+  for (;;) {
+    co_await sim::sleep_for(rpc_.loop(), params_.gc_period);
+    const Timestamp stable = stabilizer_.stable_time();
+    const uint64_t window_us =
+        static_cast<uint64_t>(params_.gc_window);
+    if (stable.physical_us() <= window_us) continue;
+    const Timestamp horizon(stable.physical_us() - window_us, 0, 0);
+    counters_.versions_gced.inc(store_.gc_before(horizon));
+  }
+}
+
+}  // namespace faastcc::storage

@@ -1,0 +1,132 @@
+// One partition (shard) of the FaaSTCC TCC storage layer.
+//
+// A Wren-style design on hybrid logical clocks:
+//   * reads serve the newest version at or below min(requested snapshot,
+//     global stable time), together with a *promise* — the horizon up to
+//     which the returned version is guaranteed to stay the correct read;
+//   * multi-partition writes run prepare/commit: a pending prepare pins the
+//     participant's safe time, so the global stable time cannot pass a
+//     transaction's commit timestamp until all of its writes are installed
+//     (this is what makes updates atomically visible);
+//   * partitions gossip safe times; stable time = min over partitions;
+//   * a pub/sub service pushes fresh versions of subscribed keys to caches
+//     every `push_period` (the paper's 50 ms cache refresh period).
+#pragma once
+
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/hlc.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "net/rpc.h"
+#include "storage/messages.h"
+#include "storage/mv_store.h"
+#include "storage/stabilizer.h"
+
+namespace faastcc::storage {
+
+struct TccPartitionParams {
+  Duration gossip_period = milliseconds(5);
+  Duration push_period = milliseconds(50);  // cache refresh period (§6.1)
+  Duration gc_window = seconds(30);   // history kept behind the stable time
+  Duration gc_period = seconds(2);
+  Duration request_cpu = microseconds(15);  // fixed per-request service time
+  Duration per_key_cpu = microseconds(2);
+  int64_t clock_offset_us = 0;  // simulated residual NTP skew
+};
+
+class TccPartition {
+ public:
+  TccPartition(net::Network& network, net::Address self, PartitionId id,
+               std::vector<net::Address> all_partitions,
+               TccPartitionParams params);
+
+  // Spawns the gossip, push and GC background loops.
+  void start();
+
+  net::Address address() const { return rpc_.address(); }
+  PartitionId id() const { return id_; }
+  Timestamp stable_time() const { return stabilizer_.stable_time(); }
+
+  // Safe time: no transaction will ever commit here with ts <= safe_time().
+  Timestamp safe_time();
+
+  MvStore& store() { return store_; }
+  const MvStore& store() const { return store_; }
+
+  // Registers a subscriber directly (pre-warm setup path; the protocol
+  // path is the kTccSubscribe RPC).
+  void add_subscriber(Key k, net::Address cache) {
+    if (subscribers_[k].insert(cache).second) {
+      if (++subscriber_refs_[cache] == 1) {
+        subscriber_addresses_.insert(cache);
+      }
+    }
+  }
+
+  struct Counters {
+    Counter reads;
+    Counter read_keys;
+    Counter unchanged_responses;
+    Counter misses;
+    Counter commits;
+    Counter pushes;
+    Counter versions_gced;
+    Counter si_conflicts;
+    Counter aborts;
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  sim::Task<Buffer> on_read(Buffer req, net::Address from);
+  sim::Task<Buffer> on_prepare(Buffer req, net::Address from);
+  sim::Task<Buffer> on_commit(Buffer req, net::Address from);
+  sim::Task<Buffer> on_abort(Buffer req, net::Address from);
+  // SI first-committer-wins check; locks the keys on success.
+  bool si_check_and_lock(TxnId txn, Timestamp snapshot_ts,
+                         const std::vector<Key>& keys);
+  void release_locks(TxnId txn);
+  void resolve_pending(TxnId txn);
+  sim::Task<Buffer> on_subscribe(Buffer req, net::Address from);
+  sim::Task<Buffer> on_unsubscribe(Buffer req, net::Address from);
+  void on_gossip(Buffer msg, net::Address from);
+
+  sim::Task<void> gossip_loop();
+  sim::Task<void> push_loop();
+  sim::Task<void> gc_loop();
+
+  uint64_t physical_now_us() const;
+  void install_writes(const TccCommitReq& req);
+  TccReadResp::Entry read_one(Key key, Timestamp eff, Timestamp cached_ts);
+
+  net::RpcNode rpc_;
+  PartitionId id_;
+  std::vector<net::Address> all_partitions_;
+  TccPartitionParams params_;
+  HlcClock clock_;
+  MvStore store_;
+  Stabilizer stabilizer_;
+  // Outstanding prepares: txn id -> prepare timestamp.  The min entry caps
+  // the safe time until the matching commit or abort (aborts only occur in
+  // Snapshot Isolation mode, on write-write conflicts).
+  std::map<Timestamp, TxnId> pending_by_ts_;
+  std::unordered_map<TxnId, Timestamp> pending_by_txn_;
+  // Snapshot Isolation: written keys locked by prepared-but-unresolved
+  // transactions (first-committer-wins).
+  std::unordered_map<Key, TxnId> write_locks_;
+  std::unordered_map<TxnId, std::vector<Key>> locked_keys_;
+  void drop_subscriber(Key k, net::Address cache);
+
+  // Pub/sub.
+  std::unordered_map<Key, std::set<net::Address>> subscribers_;
+  std::unordered_map<net::Address, size_t> subscriber_refs_;
+  std::set<net::Address> subscriber_addresses_;
+  std::unordered_set<Key> dirty_;
+  Counters counters_;
+};
+
+}  // namespace faastcc::storage

@@ -1,0 +1,78 @@
+#include "workload/client_driver.h"
+
+#include "common/log.h"
+#include "sim/future.h"
+
+namespace faastcc::workload {
+
+ClientDriver::ClientDriver(net::Network& network, net::Address self,
+                           net::Address scheduler, WorkloadGen workload,
+                           ClientParams params, Metrics* metrics)
+    : rpc_(network, self),
+      scheduler_(scheduler),
+      workload_(std::move(workload)),
+      params_(params),
+      metrics_(metrics),
+      next_txn_((params.client_id + 1) << 32) {
+  rpc_.handle_oneway(faas::kDagDone, [this](Buffer b, net::Address from) {
+    on_done(std::move(b), from);
+  });
+}
+
+void ClientDriver::on_done(Buffer msg, net::Address) {
+  faas::DagDoneMsg done = decode_message<faas::DagDoneMsg>(msg);
+  auto it = pending_.find(done.txn_id);
+  if (it == pending_.end()) {
+    LOG_WARN("client got completion for unknown txn " << done.txn_id);
+    return;
+  }
+  auto promise = std::move(it->second);
+  pending_.erase(it);
+  promise.set_value(std::move(done));
+}
+
+sim::Task<faas::DagDoneMsg> ClientDriver::execute_once(
+    const faas::DagSpec& spec) {
+  const TxnId txn = next_txn_++;
+  auto [it, inserted] =
+      pending_.emplace(txn, sim::Promise<faas::DagDoneMsg>(rpc_.loop()));
+  auto future = it->second.get_future();
+  faas::StartDagMsg start;
+  start.txn_id = txn;
+  start.client = rpc_.address();
+  start.session = session_;
+  start.spec = spec;
+  rpc_.send(scheduler_, faas::kStartDag, start);
+  co_return co_await std::move(future);
+}
+
+sim::Task<void> ClientDriver::run() {
+  started_at_ = rpc_.now();
+  for (int i = 0; i < params_.num_dags; ++i) {
+    const faas::DagSpec spec = workload_.next_dag();
+    for (int attempt = 0; attempt <= params_.max_retries; ++attempt) {
+      const SimTime t0 = rpc_.now();
+      if (metrics_ != nullptr) metrics_->dag_attempts.inc();
+      faas::DagDoneMsg done = co_await execute_once(spec);
+      const double latency_ms = to_millis(rpc_.now() - t0);
+      if (done.committed) {
+        committed_.inc();
+        session_ = std::move(done.session);
+        if (metrics_ != nullptr) {
+          metrics_->dag_commits.inc();
+          metrics_->dag_latency_ms.add(latency_ms);
+        }
+        break;
+      }
+      aborted_attempts_.inc();
+      if (metrics_ != nullptr) {
+        metrics_->dag_aborts.inc();
+        metrics_->aborted_latency_ms.add(latency_ms);
+      }
+    }
+  }
+  finished_at_ = rpc_.now();
+  done_ = true;
+}
+
+}  // namespace faastcc::workload

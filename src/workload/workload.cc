@@ -1,0 +1,118 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace faastcc::workload {
+
+void StepArgs::encode(BufWriter& w) const {
+  w.put_u32(static_cast<uint32_t>(keys.size()));
+  for (Key k : keys) w.put_u64(k);
+}
+
+StepArgs StepArgs::decode(BufReader& r) {
+  StepArgs a;
+  const uint32_t n = r.get_u32();
+  a.keys.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) a.keys.push_back(r.get_u64());
+  return a;
+}
+
+void SinkArgs::encode(BufWriter& w) const {
+  w.put_u32(static_cast<uint32_t>(keys.size()));
+  for (Key k : keys) w.put_u64(k);
+  w.put_u64(write_key);
+  w.put_bytes(value);
+}
+
+SinkArgs SinkArgs::decode(BufReader& r) {
+  SinkArgs a;
+  const uint32_t n = r.get_u32();
+  a.keys.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) a.keys.push_back(r.get_u64());
+  a.write_key = r.get_u64();
+  a.value = r.get_bytes();
+  return a;
+}
+
+WorkloadGen::WorkloadGen(WorkloadParams params, Rng rng)
+    : params_(params), rng_(rng), zipf_(params.num_keys, params.zipf) {}
+
+Key WorkloadGen::sample_key() { return zipf_.sample(rng_); }
+
+faas::DagSpec WorkloadGen::next_dag() {
+  ++seq_;
+  std::vector<faas::FunctionSpec> fns;
+  fns.reserve(static_cast<size_t>(params_.dag_size));
+  std::unordered_set<Key> read_set;
+
+  for (int i = 0; i < params_.dag_size; ++i) {
+    std::vector<Key> keys;
+    keys.reserve(static_cast<size_t>(params_.reads_per_function));
+    for (int r = 0; r < params_.reads_per_function; ++r) {
+      keys.push_back(sample_key());
+    }
+    read_set.insert(keys.begin(), keys.end());
+    faas::FunctionSpec fn;
+    if (i + 1 < params_.dag_size) {
+      fn.name = "wl_step";
+      StepArgs args{std::move(keys)};
+      fn.args = encode_message(args);
+    } else {
+      fn.name = "wl_sink";
+      SinkArgs args;
+      args.keys = std::move(keys);
+      args.write_key = sample_key();
+      args.value.assign(params_.value_size, static_cast<char>('a' + seq_ % 26));
+      fn.args = encode_message(args);
+    }
+    fns.push_back(std::move(fn));
+  }
+
+  faas::DagSpec dag = faas::DagSpec::chain(std::move(fns));
+  dag.is_static = params_.static_txns;
+  if (params_.static_txns) {
+    dag.declared_read_set.assign(read_set.begin(), read_set.end());
+    std::sort(dag.declared_read_set.begin(), dag.declared_read_set.end());
+    SinkArgs sink = decode_message<SinkArgs>(dag.functions.back().args);
+    dag.declared_write_set = {sink.write_key};
+  }
+  return dag;
+}
+
+void WorkloadGen::register_functions(faas::FunctionRegistry& registry) {
+  registry.register_function(
+      "wl_step", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        StepArgs args = decode_message<StepArgs>(env.args);
+        auto values = co_await env.txn.read(std::move(args.keys));
+        if (!values.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        // Pass a digest of the read values downstream, standing in for the
+        // application-level result of the function.
+        BufWriter w;
+        uint64_t digest = 0;
+        for (const Value& v : *values) {
+          for (const char c : v) digest = digest * 131 + static_cast<uint8_t>(c);
+        }
+        w.put_u64(digest);
+        co_return w.take();
+      });
+
+  registry.register_function(
+      "wl_sink", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        SinkArgs args = decode_message<SinkArgs>(env.args);
+        auto values = co_await env.txn.read(std::move(args.keys));
+        if (!values.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        env.txn.write(args.write_key, args.value);
+        BufWriter w;
+        w.put_u64(args.write_key);
+        co_return w.take();
+      });
+}
+
+}  // namespace faastcc::workload

@@ -1,0 +1,64 @@
+// Workload generator reproducing the paper's benchmark (§6.1):
+// sequential chains of functions, each reading two Zipf-distributed keys;
+// the sink additionally writes one Zipf-distributed key.  Static
+// transactions declare all keys up front; dynamic transactions reveal them
+// only at execution time.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "common/zipf.h"
+#include "faas/dag.h"
+#include "faas/function_registry.h"
+
+namespace faastcc::workload {
+
+struct WorkloadParams {
+  uint64_t num_keys = 100000;
+  double zipf = 1.0;
+  int dag_size = 6;            // functions per chain
+  int reads_per_function = 2;
+  size_t value_size = 8;       // bytes
+  bool static_txns = false;
+};
+
+// Argument layouts for the registered functions.
+struct StepArgs {
+  std::vector<Key> keys;
+
+  void encode(BufWriter& w) const;
+  static StepArgs decode(BufReader& r);
+};
+
+struct SinkArgs {
+  std::vector<Key> keys;
+  Key write_key = 0;
+  Value value;
+
+  void encode(BufWriter& w) const;
+  static SinkArgs decode(BufReader& r);
+};
+
+class WorkloadGen {
+ public:
+  WorkloadGen(WorkloadParams params, Rng rng);
+
+  // Builds one chain DAG with freshly sampled keys.
+  faas::DagSpec next_dag();
+
+  const WorkloadParams& params() const { return params_; }
+
+  // Registers "wl_step" and "wl_sink" bodies.
+  static void register_functions(faas::FunctionRegistry& registry);
+
+ private:
+  Key sample_key();
+
+  WorkloadParams params_;
+  Rng rng_;
+  ZipfSampler zipf_;
+  uint64_t seq_ = 0;
+};
+
+}  // namespace faastcc::workload

@@ -1,0 +1,328 @@
+// Round-trip property tests for every wire message: decode(encode(x)) == x
+// under randomized contents, plus exact wire-size checks for the messages
+// whose sizes feed the paper's byte metrics.
+#include <gtest/gtest.h>
+
+#include "cache/cache_messages.h"
+#include "common/rng.h"
+#include "faas/messages.h"
+#include "storage/messages.h"
+
+namespace faastcc {
+namespace {
+
+Value random_value(Rng& rng, size_t max_len = 32) {
+  Value v;
+  const size_t n = rng.next_below(max_len + 1);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<char>(rng.next_below(256)));
+  }
+  return v;
+}
+
+Timestamp random_ts(Rng& rng) { return Timestamp(rng.next_u64()); }
+
+// ---------------------------------------------------------------------------
+// Storage messages.
+// ---------------------------------------------------------------------------
+
+TEST(MessageRoundTrip, VersionedValue) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    storage::VersionedValue v;
+    v.key = rng.next_u64();
+    v.value = random_value(rng);
+    v.ts = random_ts(rng);
+    v.promise = random_ts(rng);
+    const auto d = decode_message<storage::VersionedValue>(encode_message(v));
+    EXPECT_EQ(d.key, v.key);
+    EXPECT_EQ(d.value, v.value);
+    EXPECT_EQ(d.ts, v.ts);
+    EXPECT_EQ(d.promise, v.promise);
+  }
+}
+
+TEST(MessageRoundTrip, TccReadReqAndResp) {
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    storage::TccReadReq q;
+    q.snapshot = random_ts(rng);
+    const size_t n = rng.next_below(8);
+    for (size_t j = 0; j < n; ++j) {
+      q.keys.push_back(rng.next_u64());
+      q.cached_ts.push_back(random_ts(rng));
+    }
+    const auto dq = decode_message<storage::TccReadReq>(encode_message(q));
+    EXPECT_EQ(dq.snapshot, q.snapshot);
+    EXPECT_EQ(dq.keys, q.keys);
+    EXPECT_EQ(dq.cached_ts, q.cached_ts);
+
+    storage::TccReadResp resp;
+    resp.stable_time = random_ts(rng);
+    for (size_t j = 0; j < n; ++j) {
+      storage::TccReadResp::Entry e;
+      e.key = rng.next_u64();
+      e.status = static_cast<storage::TccReadResp::Status>(rng.next_below(3));
+      if (e.status != storage::TccReadResp::Status::kMiss) {
+        e.ts = random_ts(rng);
+        e.promise = random_ts(rng);
+        e.open = rng.next_bool(0.5);
+      }
+      if (e.status == storage::TccReadResp::Status::kValue) {
+        e.value = random_value(rng);
+      }
+      resp.entries.push_back(std::move(e));
+    }
+    const auto dr = decode_message<storage::TccReadResp>(encode_message(resp));
+    EXPECT_EQ(dr.stable_time, resp.stable_time);
+    ASSERT_EQ(dr.entries.size(), resp.entries.size());
+    for (size_t j = 0; j < resp.entries.size(); ++j) {
+      EXPECT_EQ(dr.entries[j].key, resp.entries[j].key);
+      EXPECT_EQ(dr.entries[j].status, resp.entries[j].status);
+      EXPECT_EQ(dr.entries[j].value, resp.entries[j].value);
+      if (resp.entries[j].status != storage::TccReadResp::Status::kMiss) {
+        EXPECT_EQ(dr.entries[j].ts, resp.entries[j].ts);
+        EXPECT_EQ(dr.entries[j].promise, resp.entries[j].promise);
+        EXPECT_EQ(dr.entries[j].open, resp.entries[j].open);
+      }
+    }
+  }
+}
+
+TEST(MessageRoundTrip, PrepareCommitAbort) {
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    storage::TccPrepareReq p;
+    p.txn = rng.next_u64();
+    p.dep_ts = random_ts(rng);
+    p.si_mode = rng.next_bool(0.5);
+    p.snapshot_ts = random_ts(rng);
+    for (size_t j = 0; j < rng.next_below(5); ++j) {
+      p.write_keys.push_back(rng.next_u64());
+    }
+    const auto dp = decode_message<storage::TccPrepareReq>(encode_message(p));
+    EXPECT_EQ(dp.txn, p.txn);
+    EXPECT_EQ(dp.dep_ts, p.dep_ts);
+    EXPECT_EQ(dp.si_mode, p.si_mode);
+    EXPECT_EQ(dp.snapshot_ts, p.snapshot_ts);
+    EXPECT_EQ(dp.write_keys, p.write_keys);
+
+    storage::TccPrepareResp pr{random_ts(rng), rng.next_bool(0.5)};
+    const auto dpr =
+        decode_message<storage::TccPrepareResp>(encode_message(pr));
+    EXPECT_EQ(dpr.prepare_ts, pr.prepare_ts);
+    EXPECT_EQ(dpr.ok, pr.ok);
+
+    storage::TccCommitReq c;
+    c.txn = rng.next_u64();
+    c.commit_ts = random_ts(rng);
+    c.dep_ts = random_ts(rng);
+    for (size_t j = 0; j < rng.next_below(4); ++j) {
+      c.writes.push_back(storage::KeyValue{rng.next_u64(), random_value(rng)});
+    }
+    const auto dc = decode_message<storage::TccCommitReq>(encode_message(c));
+    EXPECT_EQ(dc.txn, c.txn);
+    EXPECT_EQ(dc.commit_ts, c.commit_ts);
+    ASSERT_EQ(dc.writes.size(), c.writes.size());
+    for (size_t j = 0; j < c.writes.size(); ++j) {
+      EXPECT_EQ(dc.writes[j].key, c.writes[j].key);
+      EXPECT_EQ(dc.writes[j].value, c.writes[j].value);
+    }
+
+    storage::TccAbortReq a{rng.next_u64()};
+    EXPECT_EQ(decode_message<storage::TccAbortReq>(encode_message(a)).txn,
+              a.txn);
+  }
+}
+
+TEST(MessageRoundTrip, GossipAndPush) {
+  Rng rng(4);
+  storage::GossipMsg g{7, random_ts(rng)};
+  const auto dg = decode_message<storage::GossipMsg>(encode_message(g));
+  EXPECT_EQ(dg.partition, g.partition);
+  EXPECT_EQ(dg.safe_time, g.safe_time);
+
+  storage::PushMsg p;
+  p.partition = 3;
+  p.stable_time = random_ts(rng);
+  storage::VersionedValue v;
+  v.key = 9;
+  v.value = "abc";
+  p.updates.push_back(v);
+  const auto dp = decode_message<storage::PushMsg>(encode_message(p));
+  EXPECT_EQ(dp.partition, 3u);
+  EXPECT_EQ(dp.stable_time, p.stable_time);
+  ASSERT_EQ(dp.updates.size(), 1u);
+  EXPECT_EQ(dp.updates[0].value, "abc");
+}
+
+TEST(MessageRoundTrip, EventualStoreMessages) {
+  Rng rng(5);
+  for (int i = 0; i < 30; ++i) {
+    storage::EvItem item;
+    item.key = rng.next_u64();
+    item.version = storage::EvVersion{rng.next_u64(), rng.next_u64()};
+    item.written_at = static_cast<SimTime>(rng.next_below(1u << 30));
+    item.payload = random_value(rng);
+    const auto d = decode_message<storage::EvItem>(encode_message(item));
+    EXPECT_EQ(d.key, item.key);
+    EXPECT_EQ(d.version, item.version);
+    EXPECT_EQ(d.written_at, item.written_at);
+    EXPECT_EQ(d.payload, item.payload);
+  }
+
+  storage::EvGetReq q;
+  q.keys = {1, 2, 3};
+  EXPECT_EQ(decode_message<storage::EvGetReq>(encode_message(q)).keys, q.keys);
+
+  storage::EvGossipMsg g;
+  g.sent_at = 777;
+  const auto dg = decode_message<storage::EvGossipMsg>(encode_message(g));
+  EXPECT_EQ(dg.sent_at, 777);
+
+  storage::EvStableCutMsg cut{4, 999};
+  const auto dc = decode_message<storage::EvStableCutMsg>(encode_message(cut));
+  EXPECT_EQ(dc.replica, 4u);
+  EXPECT_EQ(dc.cut, 999);
+}
+
+// ---------------------------------------------------------------------------
+// Cache messages.
+// ---------------------------------------------------------------------------
+
+TEST(MessageRoundTrip, CacheReadReqResp) {
+  Rng rng(6);
+  cache::CacheReadReq q;
+  q.interval = client::SnapshotInterval{random_ts(rng), random_ts(rng)};
+  q.use_promises = false;
+  q.keys = {5, 6};
+  const auto dq = decode_message<cache::CacheReadReq>(encode_message(q));
+  EXPECT_EQ(dq.interval, q.interval);
+  EXPECT_FALSE(dq.use_promises);
+  EXPECT_EQ(dq.keys, q.keys);
+
+  cache::CacheReadResp resp;
+  resp.abort = true;
+  resp.interval = q.interval;
+  resp.from_cache = {true, false};
+  storage::VersionedValue v;
+  v.key = 5;
+  resp.entries.push_back(v);
+  resp.entries.push_back(v);
+  const auto dr = decode_message<cache::CacheReadResp>(encode_message(resp));
+  EXPECT_TRUE(dr.abort);
+  EXPECT_EQ(dr.from_cache, resp.from_cache);
+  EXPECT_EQ(dr.entries.size(), 2u);
+}
+
+TEST(MessageRoundTrip, HydroReadReqResp) {
+  Rng rng(7);
+  cache::HydroReadReq q;
+  q.keys = {1};
+  q.context.mark_read(2, 9, 100);
+  const auto dq = decode_message<cache::HydroReadReq>(encode_message(q));
+  EXPECT_EQ(dq.keys, q.keys);
+  EXPECT_NE(dq.context.find(2), nullptr);
+
+  cache::HydroReadResp resp;
+  resp.global_cut = 55;
+  cache::HydroReadEntry e;
+  e.key = 1;
+  e.value = "v";
+  e.counter = 3;
+  e.written_at = 44;
+  e.deps.push_back(cache::StoredDep{9, 2, 10, 1});
+  resp.entries.push_back(std::move(e));
+  resp.from_cache.push_back(true);
+  const auto dr = decode_message<cache::HydroReadResp>(encode_message(resp));
+  EXPECT_EQ(dr.global_cut, 55);
+  ASSERT_EQ(dr.entries.size(), 1u);
+  EXPECT_EQ(dr.entries[0].counter, 3u);
+  ASSERT_EQ(dr.entries[0].deps.size(), 1u);
+  EXPECT_EQ(dr.entries[0].deps[0].level, 1);
+}
+
+// ---------------------------------------------------------------------------
+// FaaS messages.
+// ---------------------------------------------------------------------------
+
+TEST(MessageRoundTrip, TriggerMsg) {
+  faas::TriggerMsg t;
+  t.txn_id = 77;
+  t.fn_index = 2;
+  t.client = 900;
+  faas::FunctionSpec f;
+  f.name = "fn";
+  f.args = {1, 2};
+  f.children = {1};
+  t.spec.functions.push_back(f);
+  t.spec.functions.push_back(faas::FunctionSpec{"sink", {}, {}});
+  t.placement = {10, 11};
+  t.session = {9};
+  t.context = {8, 8};
+  t.parent_result = {7};
+  const auto d = decode_message<faas::TriggerMsg>(encode_message(t));
+  EXPECT_EQ(d.txn_id, 77u);
+  EXPECT_EQ(d.fn_index, 2u);
+  EXPECT_EQ(d.client, 900u);
+  EXPECT_EQ(d.spec.functions.size(), 2u);
+  EXPECT_EQ(d.placement, t.placement);
+  EXPECT_EQ(d.session, t.session);
+  EXPECT_EQ(d.context, t.context);
+  EXPECT_EQ(d.parent_result, t.parent_result);
+}
+
+TEST(MessageRoundTrip, StartAndDone) {
+  faas::StartDagMsg s;
+  s.txn_id = 5;
+  s.client = 6;
+  s.session = {1, 2, 3};
+  s.spec.functions.push_back(faas::FunctionSpec{"f", {}, {}});
+  const auto ds = decode_message<faas::StartDagMsg>(encode_message(s));
+  EXPECT_EQ(ds.txn_id, 5u);
+  EXPECT_EQ(ds.session, s.session);
+
+  faas::DagDoneMsg done;
+  done.txn_id = 5;
+  done.committed = true;
+  done.session = {4};
+  done.result = {5, 5};
+  const auto dd = decode_message<faas::DagDoneMsg>(encode_message(done));
+  EXPECT_TRUE(dd.committed);
+  EXPECT_EQ(dd.session, done.session);
+  EXPECT_EQ(dd.result, done.result);
+}
+
+// ---------------------------------------------------------------------------
+// Wire sizes that feed the paper's byte metrics.
+// ---------------------------------------------------------------------------
+
+TEST(WireSize, SnapshotIntervalIs16Bytes) {
+  EXPECT_EQ(encoded_size(client::SnapshotInterval{}), 16u);
+}
+
+TEST(WireSize, DepEntryIs26Bytes) {
+  cache::DepMap m;
+  m.require(1, 1, 1, 1);
+  EXPECT_EQ(m.wire_bytes(), 4u + cache::kDepWireBytes);
+  EXPECT_EQ(cache::kDepWireBytes, 26u);
+}
+
+TEST(WireSize, UnchangedReadEntrySmallerThanValueEntry) {
+  storage::TccReadResp with_value;
+  storage::TccReadResp::Entry e;
+  e.key = 1;
+  e.status = storage::TccReadResp::Status::kValue;
+  e.value = Value(8, 'x');
+  with_value.entries.push_back(e);
+
+  storage::TccReadResp unchanged;
+  e.status = storage::TccReadResp::Status::kUnchanged;
+  e.value.clear();
+  unchanged.entries.push_back(e);
+
+  EXPECT_LT(encoded_size(unchanged), encoded_size(with_value));
+}
+
+}  // namespace
+}  // namespace faastcc

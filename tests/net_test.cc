@@ -1,0 +1,242 @@
+// Unit tests for the simulated network and RPC layer.
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/rpc.h"
+#include "sim/future.h"
+#include "sim/when_all.h"
+
+namespace faastcc::net {
+namespace {
+
+struct Echo {
+  uint64_t x = 0;
+  void encode(BufWriter& w) const { w.put_u64(x); }
+  static Echo decode(BufReader& r) { return {r.get_u64()}; }
+};
+
+NetworkParams no_jitter() {
+  NetworkParams p;
+  p.jitter = 0;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Network
+// ---------------------------------------------------------------------------
+
+TEST(Network, DeliversAtBaseLatencyPlusSerialization) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  SimTime delivered = -1;
+  net.register_endpoint(2, [&](Message) { delivered = loop.now(); });
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  net.send(std::move(m));
+  loop.run();
+  // 32-byte header over 3125 B/us adds nothing measurable; base 75us.
+  EXPECT_EQ(delivered, 75);
+}
+
+TEST(Network, LargeMessagesTakeBandwidthTime) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  SimTime delivered = -1;
+  net.register_endpoint(2, [&](Message) { delivered = loop.now(); });
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  m.payload.assign(3125 * 100, 0);  // 100 us of serialization at 25 Gbps
+  net.send(std::move(m));
+  loop.run();
+  EXPECT_EQ(delivered, 175);
+}
+
+TEST(Network, ColocatedEndpointsUseIpcLatency) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  SimTime delivered = -1;
+  net.register_endpoint(2, [&](Message) { delivered = loop.now(); });
+  net.colocate(1, 2);
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  net.send(std::move(m));
+  loop.run();
+  EXPECT_EQ(delivered, 5);
+}
+
+TEST(Network, JitterStaysWithinBound) {
+  sim::EventLoop loop;
+  NetworkParams p;
+  p.jitter = 20;
+  Network net(loop, p, Rng(99));
+  std::vector<SimTime> deliveries;
+  net.register_endpoint(2, [&](Message) { deliveries.push_back(loop.now()); });
+  SimTime sent_at = 0;
+  for (int i = 0; i < 200; ++i) {
+    loop.schedule_at(i * 1000, [&net] {
+      Message m;
+      m.from = 1;
+      m.to = 2;
+      net.send(std::move(m));
+    });
+    (void)sent_at;
+  }
+  loop.run();
+  ASSERT_EQ(deliveries.size(), 200u);
+  for (int i = 0; i < 200; ++i) {
+    const SimTime delay = deliveries[i] - i * 1000;
+    EXPECT_GE(delay, 75);
+    EXPECT_LT(delay, 96);
+  }
+}
+
+TEST(Network, DropsToUnregisteredAddressAndCounts) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  Message m;
+  m.from = 1;
+  m.to = 77;
+  net.send(std::move(m));
+  loop.run();
+  EXPECT_EQ(net.messages_dropped(), 1u);
+}
+
+TEST(Network, AccountsMessagesAndBytes) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  net.register_endpoint(2, [](Message) {});
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  m.payload.assign(100, 0);
+  net.send(std::move(m));
+  loop.run();
+  EXPECT_EQ(net.messages_sent(), 1u);
+  EXPECT_EQ(net.bytes_sent(), 132u);  // payload + header
+}
+
+// ---------------------------------------------------------------------------
+// RPC
+// ---------------------------------------------------------------------------
+
+TEST(Rpc, RoundTripTypedCall) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  RpcNode server(net, 1), client(net, 2);
+  server.handle(7, [](Buffer b, Address) -> sim::Task<Buffer> {
+    auto e = decode_message<Echo>(b);
+    e.x *= 2;
+    co_return encode_message(e);
+  });
+  uint64_t got = 0;
+  sim::spawn([](RpcNode& c, uint64_t& out) -> sim::Task<void> {
+    Echo e = co_await c.call<Echo>(1, 7, Echo{21});
+    out = e.x;
+  }(client, got));
+  loop.run();
+  EXPECT_EQ(got, 42u);
+}
+
+TEST(Rpc, RequestOutlivesCallerScope) {
+  // Regression test for the lazy-task lifetime bug: requests built in a
+  // loop and awaited later via when_all must not dangle.
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  RpcNode server(net, 1), client(net, 2);
+  server.handle(7, [](Buffer b, Address) -> sim::Task<Buffer> {
+    co_return b;  // echo
+  });
+  std::vector<uint64_t> got;
+  sim::spawn([](RpcNode& c, std::vector<uint64_t>& out) -> sim::Task<void> {
+    std::vector<sim::Task<Echo>> calls;
+    for (uint64_t i = 0; i < 10; ++i) {
+      Echo e{i * 100};  // dies before the await below
+      calls.push_back(c.call<Echo>(1, 7, e));
+    }
+    auto results = co_await sim::when_all(c.loop(), std::move(calls));
+    for (const Echo& e : results) out.push_back(e.x);
+  }(client, got));
+  loop.run();
+  ASSERT_EQ(got.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(got[i], i * 100);
+}
+
+TEST(Rpc, ConcurrentCallsMatchResponsesById) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  RpcNode server(net, 1), client(net, 2);
+  // Handler delays inversely to the value: responses return out of order.
+  server.handle(7, [&loop](Buffer b, Address) -> sim::Task<Buffer> {
+    auto e = decode_message<Echo>(b);
+    co_await sim::sleep_for(loop, 1000 - e.x);
+    co_return encode_message(e);
+  });
+  std::vector<uint64_t> got;
+  sim::spawn([](RpcNode& c, std::vector<uint64_t>& out) -> sim::Task<void> {
+    std::vector<sim::Task<Echo>> calls;
+    for (uint64_t i = 0; i < 5; ++i) calls.push_back(c.call<Echo>(1, 7, Echo{i}));
+    auto results = co_await sim::when_all(c.loop(), std::move(calls));
+    for (const Echo& e : results) out.push_back(e.x);
+  }(client, got));
+  loop.run();
+  EXPECT_EQ(got, (std::vector<uint64_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(Rpc, OneWayMessagesReachHandler) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  RpcNode server(net, 1), client(net, 2);
+  uint64_t got = 0;
+  server.handle_oneway(9, [&](Buffer b, Address from) {
+    got = decode_message<Echo>(b).x;
+    EXPECT_EQ(from, 2u);
+  });
+  client.send(1, 9, Echo{13});
+  loop.run();
+  EXPECT_EQ(got, 13u);
+}
+
+TEST(Rpc, SizedCallReportsWireBytes) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  RpcNode server(net, 1), client(net, 2);
+  server.handle(7, [](Buffer, Address) -> sim::Task<Buffer> {
+    Buffer b(100, 0);
+    co_return b;
+  });
+  size_t req_bytes = 0, resp_bytes = 0;
+  sim::spawn([](RpcNode& c, size_t& rq, size_t& rs) -> sim::Task<void> {
+    auto r = co_await c.call_raw_sized(1, 7, Buffer(50, 0));
+    rq = r.request_wire_bytes;
+    rs = r.response_wire_bytes;
+  }(client, req_bytes, resp_bytes));
+  loop.run();
+  EXPECT_EQ(req_bytes, 50u + Message::kHeaderBytes);
+  EXPECT_EQ(resp_bytes, 100u + Message::kHeaderBytes);
+}
+
+TEST(Rpc, HandlerRunsPerRequestConcurrently) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  RpcNode server(net, 1), client(net, 2);
+  server.handle(7, [&loop](Buffer b, Address) -> sim::Task<Buffer> {
+    co_await sim::sleep_for(loop, 1000);
+    co_return b;
+  });
+  SimTime done_at = -1;
+  sim::spawn([](RpcNode& c, SimTime& out) -> sim::Task<void> {
+    std::vector<sim::Task<Echo>> calls;
+    for (uint64_t i = 0; i < 4; ++i) calls.push_back(c.call<Echo>(1, 7, Echo{i}));
+    co_await sim::when_all(c.loop(), std::move(calls));
+    out = c.now();
+  }(client, done_at));
+  loop.run();
+  // All four handlers overlap: ~1 RTT + 1000us service, not 4x.
+  EXPECT_LT(done_at, 1400);
+}
+
+}  // namespace
+}  // namespace faastcc::net

@@ -1,0 +1,207 @@
+// Robustness / fault-injection tests: the protocols must stay correct (if
+// slower) under clock skew, straggling partitions and aggressive version
+// GC.  Correctness is checked with the paired-write invariant: keys 2i and
+// 2i+1 are always written together; reading them in different functions
+// must never observe a torn pair.
+#include <gtest/gtest.h>
+
+#include "harness/cluster.h"
+
+namespace faastcc::harness {
+namespace {
+
+struct PairOutcome {
+  int checks = 0;
+  int torn = 0;
+  int committed = 0;
+  int completed = 0;
+};
+
+// Runs interleaved pair-writers and two-hop pair-checkers on the given
+// cluster parameters.
+PairOutcome run_pair_workload(ClusterParams params, int rounds = 80) {
+  params.clients = 0;
+  params.workload.num_keys = 32;
+  Cluster cluster(std::move(params));
+  PairOutcome out;
+
+  cluster.registry().register_function(
+      "pw", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        BufReader r(env.args);
+        const Key pair = r.get_u64();
+        const uint64_t tag = r.get_u64();
+        env.txn.write(pair * 2, std::to_string(tag));
+        env.txn.write(pair * 2 + 1, std::to_string(tag));
+        co_return Buffer{};
+      });
+  cluster.registry().register_function(
+      "pr_even", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        BufReader r(env.args);
+        const Key pair = r.get_u64();
+        auto vals = co_await env.txn.read(std::vector<Key>(1, pair * 2));
+        if (!vals.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        BufWriter w;
+        w.put_bytes((*vals)[0]);
+        co_return w.take();
+      });
+  cluster.registry().register_function(
+      "pr_odd", [&out](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        BufReader ar(env.args);
+        const Key pair = ar.get_u64();
+        auto vals = co_await env.txn.read(std::vector<Key>(1, pair * 2 + 1));
+        if (!vals.has_value()) {
+          env.abort_requested = true;
+          co_return Buffer{};
+        }
+        BufReader pr(env.parent_result);
+        ++out.checks;
+        if (pr.get_bytes() != (*vals)[0]) ++out.torn;
+        co_return Buffer{};
+      });
+
+  cluster.start();
+  net::RpcNode driver(cluster.network(), 900);
+  driver.handle_oneway(faas::kDagDone, [&](Buffer b, net::Address) {
+    ++out.completed;
+    if (decode_message<faas::DagDoneMsg>(b).committed) ++out.committed;
+  });
+  Rng rng(5);
+  for (int i = 0; i < rounds; ++i) {
+    cluster.loop().schedule_after(i * milliseconds(2), [&, i] {
+      faas::StartDagMsg start;
+      start.txn_id = static_cast<TxnId>(i + 1);
+      start.client = 900;
+      BufWriter args;
+      args.put_u64(rng.next_below(8));
+      args.put_u64(static_cast<uint64_t>(i + 1));
+      faas::FunctionSpec f1;
+      faas::FunctionSpec f2;
+      if (i % 2 == 0) {
+        f1.name = "pw";
+        f1.args = args.take();
+        start.spec = faas::DagSpec::chain({f1});
+      } else {
+        f1.name = "pr_even";
+        f1.args = args.take();
+        f2.name = "pr_odd";
+        f2.args = f1.args;
+        start.spec = faas::DagSpec::chain({f1, f2});
+      }
+      driver.send(cluster.scheduler_address(), faas::kStartDag, start);
+    });
+  }
+  while (out.completed < rounds && cluster.loop().now() < seconds(120)) {
+    cluster.loop().run_until(cluster.loop().now() + milliseconds(10));
+  }
+  EXPECT_EQ(out.completed, rounds);
+  return out;
+}
+
+ClusterParams base() {
+  ClusterParams p;
+  p.system = SystemKind::kFaasTcc;
+  p.partitions = 4;
+  p.compute_nodes = 4;
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Clock skew: hybrid logical clocks absorb bounded physical skew.
+// ---------------------------------------------------------------------------
+
+class ClockSkewSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(ClockSkewSweep, PairInvariantHoldsUnderSkew) {
+  ClusterParams p = base();
+  p.clock_skew_us = GetParam();
+  const PairOutcome out = run_pair_workload(std::move(p));
+  EXPECT_GT(out.checks, 0);
+  EXPECT_EQ(out.torn, 0) << "skew " << GetParam() << "us broke consistency";
+  EXPECT_GT(out.committed, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Skews, ClockSkewSweep,
+                         ::testing::Values(0, 1000, 10000, 50000));
+
+// ---------------------------------------------------------------------------
+// Straggler partition: one partition gossips 10x slower; the stable time
+// lags but nothing breaks.
+// ---------------------------------------------------------------------------
+
+TEST(Straggler, SlowGossiperDelaysButDoesNotBreak) {
+  ClusterParams p = base();
+  p.straggler_gossip_factor = 10;
+  const PairOutcome out = run_pair_workload(std::move(p));
+  EXPECT_EQ(out.torn, 0);
+  EXPECT_EQ(out.completed, 80);
+}
+
+TEST(Straggler, LatencyDegradesGracefully) {
+  // A straggling stabilizer stalls freshness, not throughput: both runs
+  // complete the same workload.
+  ClusterParams fast = base();
+  ClusterParams slow = base();
+  slow.straggler_gossip_factor = 20;
+  fast.clients = 4;
+  slow.clients = 4;
+  fast.dags_per_client = 30;
+  slow.dags_per_client = 30;
+  fast.workload.num_keys = 1000;
+  slow.workload.num_keys = 1000;
+  Cluster a(std::move(fast));
+  Cluster b(std::move(slow));
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  EXPECT_EQ(ra.committed, 120u);
+  EXPECT_EQ(rb.committed, 120u);
+}
+
+// ---------------------------------------------------------------------------
+// Aggressive GC: premature version collection may abort long transactions
+// (paper §4.2) but never corrupts committed state.
+// ---------------------------------------------------------------------------
+
+TEST(AggressiveGc, AbortsPossibleConsistencyKept) {
+  ClusterParams p = base();
+  p.tcc.gc_window = milliseconds(5);
+  p.tcc.gc_period = milliseconds(10);
+  const PairOutcome out = run_pair_workload(std::move(p));
+  EXPECT_EQ(out.torn, 0) << "GC must never expose torn state";
+  // Checks succeed or abort; never lie.
+  EXPECT_LE(out.committed, out.completed);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism holds for every system.
+// ---------------------------------------------------------------------------
+
+class DeterminismSweep : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(DeterminismSweep, IdenticalSeedsIdenticalRuns) {
+  auto once = [&] {
+    ClusterParams p = base();
+    p.system = GetParam();
+    p.clients = 4;
+    p.dags_per_client = 20;
+    p.workload.num_keys = 500;
+    Cluster cluster(std::move(p));
+    return cluster.run();
+  };
+  const RunResult a = once();
+  const RunResult b = once();
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.metrics.dag_latency_ms.raw(), b.metrics.dag_latency_ms.raw());
+  EXPECT_EQ(a.metrics.metadata_bytes.raw(), b.metrics.metadata_bytes.raw());
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, DeterminismSweep,
+                         ::testing::Values(SystemKind::kFaasTcc,
+                                           SystemKind::kHydroCache,
+                                           SystemKind::kCloudburst));
+
+}  // namespace
+}  // namespace faastcc::harness

@@ -1,0 +1,168 @@
+// Command-line experiment driver.
+//
+//   faastcc_sim [--system=faastcc|hydrocache|cloudburst] [--zipf=1.0]
+//               [--static] [--si] [--dags=1000] [--clients=16]
+//               [--dag-size=6] [--keys=100000] [--partitions=16]
+//               [--nodes=10] [--cache-capacity=inf|0|N] [--seed=42]
+//               [--no-prewarm] [--json]
+//
+// Runs one cluster experiment and prints the summary (human table or a
+// single JSON object for scripting).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/summary.h"
+#include "harness/table.h"
+
+using namespace faastcc;
+using namespace faastcc::harness;
+
+namespace {
+
+struct CliOptions {
+  ClusterParams params;
+  bool json = false;
+  bool ok = true;
+};
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: faastcc_sim [options]\n"
+      "  --system=faastcc|hydrocache|cloudburst   (default faastcc)\n"
+      "  --zipf=<theta>                           (default 1.0)\n"
+      "  --static                                 static transactions\n"
+      "  --si                                     snapshot-isolation mode\n"
+      "  --dags=<n>          DAGs per client      (default 1000)\n"
+      "  --clients=<n>                            (default 16)\n"
+      "  --dag-size=<n>      functions per chain  (default 6)\n"
+      "  --keys=<n>          dataset size         (default 100000)\n"
+      "  --partitions=<n>                         (default 16)\n"
+      "  --nodes=<n>         compute nodes        (default 10)\n"
+      "  --cache-capacity=inf|0|<n> entries/node  (default inf)\n"
+      "  --seed=<n>                               (default 42)\n"
+      "  --no-prewarm        skip cache pre-warming\n"
+      "  --json              machine-readable output\n");
+}
+
+bool parse_value(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+CliOptions parse(int argc, char** argv) {
+  CliOptions opt;
+  ClusterParams& p = opt.params;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    std::string v;
+    if (parse_value(arg, "--system", &v)) {
+      if (v == "faastcc") {
+        p.system = SystemKind::kFaasTcc;
+      } else if (v == "hydrocache") {
+        p.system = SystemKind::kHydroCache;
+      } else if (v == "cloudburst") {
+        p.system = SystemKind::kCloudburst;
+      } else {
+        std::fprintf(stderr, "unknown system '%s'\n", v.c_str());
+        opt.ok = false;
+      }
+    } else if (parse_value(arg, "--zipf", &v)) {
+      p.workload.zipf = std::atof(v.c_str());
+    } else if (std::strcmp(arg, "--static") == 0) {
+      p.workload.static_txns = true;
+    } else if (std::strcmp(arg, "--si") == 0) {
+      p.faastcc.snapshot_isolation = true;
+    } else if (parse_value(arg, "--dags", &v)) {
+      p.dags_per_client = std::atoi(v.c_str());
+    } else if (parse_value(arg, "--clients", &v)) {
+      p.clients = static_cast<size_t>(std::atoi(v.c_str()));
+    } else if (parse_value(arg, "--dag-size", &v)) {
+      p.workload.dag_size = std::atoi(v.c_str());
+    } else if (parse_value(arg, "--keys", &v)) {
+      p.workload.num_keys = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (parse_value(arg, "--partitions", &v)) {
+      p.partitions = static_cast<size_t>(std::atoi(v.c_str()));
+    } else if (parse_value(arg, "--nodes", &v)) {
+      p.compute_nodes = static_cast<size_t>(std::atoi(v.c_str()));
+    } else if (parse_value(arg, "--cache-capacity", &v)) {
+      if (v == "inf") {
+        p.cache_capacity = SIZE_MAX;
+      } else {
+        p.cache_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+      }
+    } else if (parse_value(arg, "--seed", &v)) {
+      p.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (std::strcmp(arg, "--no-prewarm") == 0) {
+      p.prewarm_caches = false;
+    } else if (std::strcmp(arg, "--json") == 0) {
+      opt.json = true;
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", arg);
+      opt.ok = false;
+    }
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt = parse(argc, argv);
+  if (!opt.ok) {
+    usage();
+    return 2;
+  }
+  std::fprintf(stderr,
+               "running %s  zipf=%.2f  %s%s clients=%zu x %d DAGs ...\n",
+               system_name(opt.params.system), opt.params.workload.zipf,
+               opt.params.workload.static_txns ? "static " : "dynamic ",
+               opt.params.faastcc.snapshot_isolation ? "(SI) " : "",
+               opt.params.clients, opt.params.dags_per_client);
+
+  Cluster cluster(opt.params);
+  const RunResult result = cluster.run();
+  const SummaryStats s = summarize(result);
+
+  if (opt.json) {
+    std::printf(
+        "{\"system\":\"%s\",\"zipf\":%.3f,\"static\":%s,"
+        "\"latency_med_ms\":%.4f,\"latency_p99_ms\":%.4f,"
+        "\"throughput\":%.2f,\"metadata_med\":%.1f,\"metadata_p99\":%.1f,"
+        "\"rounds_med\":%.2f,\"rounds_p99\":%.2f,"
+        "\"read_bytes_med\":%.1f,\"read_bytes_p99\":%.1f,"
+        "\"cache_bytes\":%.0f,\"cache_entries\":%.0f,"
+        "\"abort_rate\":%.5f,\"hit_rate\":%.5f,"
+        "\"committed\":%.0f,\"duration_s\":%.3f,\"sim_events\":%llu}\n",
+        system_name(opt.params.system), opt.params.workload.zipf,
+        opt.params.workload.static_txns ? "true" : "false", s.latency_med_ms,
+        s.latency_p99_ms, s.throughput, s.metadata_med, s.metadata_p99,
+        s.rounds_med, s.rounds_p99, s.read_bytes_med, s.read_bytes_p99,
+        s.cache_bytes, s.cache_entries, s.abort_rate, s.hit_rate, s.committed,
+        s.duration_s, static_cast<unsigned long long>(result.sim_events));
+    return 0;
+  }
+
+  Table table({"metric", "value"});
+  table.add_row({"latency median", fmt(s.latency_med_ms, 2) + " ms"});
+  table.add_row({"latency p99", fmt(s.latency_p99_ms, 2) + " ms"});
+  table.add_row({"throughput", fmt(s.throughput, 1) + " DAGs/s"});
+  table.add_row({"metadata median / p99",
+                 fmt(s.metadata_med, 0) + " / " + fmt(s.metadata_p99, 0) +
+                     " B"});
+  table.add_row({"storage rounds median / p99",
+                 fmt(s.rounds_med, 1) + " / " + fmt(s.rounds_p99, 1)});
+  table.add_row({"storage read bytes median / p99",
+                 fmt(s.read_bytes_med, 0) + " / " +
+                     fmt(s.read_bytes_p99, 0) + " B"});
+  table.add_row({"cache footprint", fmt_bytes(s.cache_bytes)});
+  table.add_row({"cache hit rate", fmt(100 * s.hit_rate, 1) + " %"});
+  table.add_row({"abort rate", fmt(100 * s.abort_rate, 2) + " %"});
+  table.add_row({"committed DAGs", fmt(s.committed, 0)});
+  table.add_row({"simulated duration", fmt(s.duration_s, 2) + " s"});
+  table.print();
+  return 0;
+}
