@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_stabilization.dir/bench_ablation_stabilization.cc.o"
+  "CMakeFiles/bench_ablation_stabilization.dir/bench_ablation_stabilization.cc.o.d"
+  "bench_ablation_stabilization"
+  "bench_ablation_stabilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_stabilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

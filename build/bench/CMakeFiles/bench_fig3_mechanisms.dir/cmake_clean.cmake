@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_mechanisms.dir/bench_fig3_mechanisms.cc.o"
+  "CMakeFiles/bench_fig3_mechanisms.dir/bench_fig3_mechanisms.cc.o.d"
+  "bench_fig3_mechanisms"
+  "bench_fig3_mechanisms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_mechanisms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

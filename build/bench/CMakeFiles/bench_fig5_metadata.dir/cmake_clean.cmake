@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_metadata.dir/bench_fig5_metadata.cc.o"
+  "CMakeFiles/bench_fig5_metadata.dir/bench_fig5_metadata.cc.o.d"
+  "bench_fig5_metadata"
+  "bench_fig5_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

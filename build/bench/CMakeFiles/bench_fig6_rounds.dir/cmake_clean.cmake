@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_rounds.dir/bench_fig6_rounds.cc.o"
+  "CMakeFiles/bench_fig6_rounds.dir/bench_fig6_rounds.cc.o.d"
+  "bench_fig6_rounds"
+  "bench_fig6_rounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_rounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_read_bytes.dir/bench_fig7_read_bytes.cc.o"
+  "CMakeFiles/bench_fig7_read_bytes.dir/bench_fig7_read_bytes.cc.o.d"
+  "bench_fig7_read_bytes"
+  "bench_fig7_read_bytes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_read_bytes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

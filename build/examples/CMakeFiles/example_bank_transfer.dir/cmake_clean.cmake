@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_bank_transfer.dir/bank_transfer.cpp.o"
+  "CMakeFiles/example_bank_transfer.dir/bank_transfer.cpp.o.d"
+  "example_bank_transfer"
+  "example_bank_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_bank_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

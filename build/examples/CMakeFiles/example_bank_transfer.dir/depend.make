@@ -1,0 +1,2 @@
+# Empty dependencies file for example_bank_transfer.
+# This may be replaced when dependencies are built.

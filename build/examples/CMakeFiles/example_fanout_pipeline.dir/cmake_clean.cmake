@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fanout_pipeline.dir/fanout_pipeline.cpp.o"
+  "CMakeFiles/example_fanout_pipeline.dir/fanout_pipeline.cpp.o.d"
+  "example_fanout_pipeline"
+  "example_fanout_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fanout_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

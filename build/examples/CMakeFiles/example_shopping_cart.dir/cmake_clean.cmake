@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_shopping_cart.dir/shopping_cart.cpp.o"
+  "CMakeFiles/example_shopping_cart.dir/shopping_cart.cpp.o.d"
+  "example_shopping_cart"
+  "example_shopping_cart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_shopping_cart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

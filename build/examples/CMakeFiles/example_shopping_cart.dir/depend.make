@@ -1,0 +1,2 @@
+# Empty dependencies file for example_shopping_cart.
+# This may be replaced when dependencies are built.

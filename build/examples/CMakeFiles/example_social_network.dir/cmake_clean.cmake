@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_social_network.dir/social_network.cpp.o"
+  "CMakeFiles/example_social_network.dir/social_network.cpp.o.d"
+  "example_social_network"
+  "example_social_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_social_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_cache.dir/cache/faastcc_cache.cc.o"
+  "CMakeFiles/faastcc_cache.dir/cache/faastcc_cache.cc.o.d"
+  "CMakeFiles/faastcc_cache.dir/cache/hydro_cache.cc.o"
+  "CMakeFiles/faastcc_cache.dir/cache/hydro_cache.cc.o.d"
+  "CMakeFiles/faastcc_cache.dir/cache/hydro_types.cc.o"
+  "CMakeFiles/faastcc_cache.dir/cache/hydro_types.cc.o.d"
+  "CMakeFiles/faastcc_cache.dir/cache/lru_index.cc.o"
+  "CMakeFiles/faastcc_cache.dir/cache/lru_index.cc.o.d"
+  "CMakeFiles/faastcc_cache.dir/cache/plain_cache.cc.o"
+  "CMakeFiles/faastcc_cache.dir/cache/plain_cache.cc.o.d"
+  "libfaastcc_cache.a"
+  "libfaastcc_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

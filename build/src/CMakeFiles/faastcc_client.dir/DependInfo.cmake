@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/client/eventual_client.cc" "src/CMakeFiles/faastcc_client.dir/client/eventual_client.cc.o" "gcc" "src/CMakeFiles/faastcc_client.dir/client/eventual_client.cc.o.d"
+  "/root/repo/src/client/faastcc_client.cc" "src/CMakeFiles/faastcc_client.dir/client/faastcc_client.cc.o" "gcc" "src/CMakeFiles/faastcc_client.dir/client/faastcc_client.cc.o.d"
+  "/root/repo/src/client/hydro_client.cc" "src/CMakeFiles/faastcc_client.dir/client/hydro_client.cc.o" "gcc" "src/CMakeFiles/faastcc_client.dir/client/hydro_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/faastcc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_client_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_client.dir/client/eventual_client.cc.o"
+  "CMakeFiles/faastcc_client.dir/client/eventual_client.cc.o.d"
+  "CMakeFiles/faastcc_client.dir/client/faastcc_client.cc.o"
+  "CMakeFiles/faastcc_client.dir/client/faastcc_client.cc.o.d"
+  "CMakeFiles/faastcc_client.dir/client/hydro_client.cc.o"
+  "CMakeFiles/faastcc_client.dir/client/hydro_client.cc.o.d"
+  "libfaastcc_client.a"
+  "libfaastcc_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_client_base.dir/client/snapshot_interval.cc.o"
+  "CMakeFiles/faastcc_client_base.dir/client/snapshot_interval.cc.o.d"
+  "libfaastcc_client_base.a"
+  "libfaastcc_client_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_client_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

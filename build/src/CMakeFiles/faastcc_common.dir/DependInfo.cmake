@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hlc.cc" "src/CMakeFiles/faastcc_common.dir/common/hlc.cc.o" "gcc" "src/CMakeFiles/faastcc_common.dir/common/hlc.cc.o.d"
+  "/root/repo/src/common/log.cc" "src/CMakeFiles/faastcc_common.dir/common/log.cc.o" "gcc" "src/CMakeFiles/faastcc_common.dir/common/log.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/faastcc_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/faastcc_common.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/serialize.cc" "src/CMakeFiles/faastcc_common.dir/common/serialize.cc.o" "gcc" "src/CMakeFiles/faastcc_common.dir/common/serialize.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/faastcc_common.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/faastcc_common.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/zipf.cc" "src/CMakeFiles/faastcc_common.dir/common/zipf.cc.o" "gcc" "src/CMakeFiles/faastcc_common.dir/common/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_common.dir/common/hlc.cc.o"
+  "CMakeFiles/faastcc_common.dir/common/hlc.cc.o.d"
+  "CMakeFiles/faastcc_common.dir/common/log.cc.o"
+  "CMakeFiles/faastcc_common.dir/common/log.cc.o.d"
+  "CMakeFiles/faastcc_common.dir/common/rng.cc.o"
+  "CMakeFiles/faastcc_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/faastcc_common.dir/common/serialize.cc.o"
+  "CMakeFiles/faastcc_common.dir/common/serialize.cc.o.d"
+  "CMakeFiles/faastcc_common.dir/common/stats.cc.o"
+  "CMakeFiles/faastcc_common.dir/common/stats.cc.o.d"
+  "CMakeFiles/faastcc_common.dir/common/zipf.cc.o"
+  "CMakeFiles/faastcc_common.dir/common/zipf.cc.o.d"
+  "libfaastcc_common.a"
+  "libfaastcc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/faas/compute_node.cc" "src/CMakeFiles/faastcc_faas.dir/faas/compute_node.cc.o" "gcc" "src/CMakeFiles/faastcc_faas.dir/faas/compute_node.cc.o.d"
+  "/root/repo/src/faas/dag.cc" "src/CMakeFiles/faastcc_faas.dir/faas/dag.cc.o" "gcc" "src/CMakeFiles/faastcc_faas.dir/faas/dag.cc.o.d"
+  "/root/repo/src/faas/function_registry.cc" "src/CMakeFiles/faastcc_faas.dir/faas/function_registry.cc.o" "gcc" "src/CMakeFiles/faastcc_faas.dir/faas/function_registry.cc.o.d"
+  "/root/repo/src/faas/scheduler.cc" "src/CMakeFiles/faastcc_faas.dir/faas/scheduler.cc.o" "gcc" "src/CMakeFiles/faastcc_faas.dir/faas/scheduler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/faastcc_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_client_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_faas.dir/faas/compute_node.cc.o"
+  "CMakeFiles/faastcc_faas.dir/faas/compute_node.cc.o.d"
+  "CMakeFiles/faastcc_faas.dir/faas/dag.cc.o"
+  "CMakeFiles/faastcc_faas.dir/faas/dag.cc.o.d"
+  "CMakeFiles/faastcc_faas.dir/faas/function_registry.cc.o"
+  "CMakeFiles/faastcc_faas.dir/faas/function_registry.cc.o.d"
+  "CMakeFiles/faastcc_faas.dir/faas/scheduler.cc.o"
+  "CMakeFiles/faastcc_faas.dir/faas/scheduler.cc.o.d"
+  "libfaastcc_faas.a"
+  "libfaastcc_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_harness.dir/harness/cluster.cc.o"
+  "CMakeFiles/faastcc_harness.dir/harness/cluster.cc.o.d"
+  "CMakeFiles/faastcc_harness.dir/harness/experiment.cc.o"
+  "CMakeFiles/faastcc_harness.dir/harness/experiment.cc.o.d"
+  "CMakeFiles/faastcc_harness.dir/harness/summary.cc.o"
+  "CMakeFiles/faastcc_harness.dir/harness/summary.cc.o.d"
+  "CMakeFiles/faastcc_harness.dir/harness/table.cc.o"
+  "CMakeFiles/faastcc_harness.dir/harness/table.cc.o.d"
+  "libfaastcc_harness.a"
+  "libfaastcc_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_net.dir/net/network.cc.o"
+  "CMakeFiles/faastcc_net.dir/net/network.cc.o.d"
+  "CMakeFiles/faastcc_net.dir/net/rpc.cc.o"
+  "CMakeFiles/faastcc_net.dir/net/rpc.cc.o.d"
+  "libfaastcc_net.a"
+  "libfaastcc_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

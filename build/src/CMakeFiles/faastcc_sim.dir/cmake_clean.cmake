@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_sim.dir/sim/event_loop.cc.o"
+  "CMakeFiles/faastcc_sim.dir/sim/event_loop.cc.o.d"
+  "libfaastcc_sim.a"
+  "libfaastcc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/eventual_store.cc" "src/CMakeFiles/faastcc_storage.dir/storage/eventual_store.cc.o" "gcc" "src/CMakeFiles/faastcc_storage.dir/storage/eventual_store.cc.o.d"
+  "/root/repo/src/storage/mv_store.cc" "src/CMakeFiles/faastcc_storage.dir/storage/mv_store.cc.o" "gcc" "src/CMakeFiles/faastcc_storage.dir/storage/mv_store.cc.o.d"
+  "/root/repo/src/storage/stabilizer.cc" "src/CMakeFiles/faastcc_storage.dir/storage/stabilizer.cc.o" "gcc" "src/CMakeFiles/faastcc_storage.dir/storage/stabilizer.cc.o.d"
+  "/root/repo/src/storage/storage_client.cc" "src/CMakeFiles/faastcc_storage.dir/storage/storage_client.cc.o" "gcc" "src/CMakeFiles/faastcc_storage.dir/storage/storage_client.cc.o.d"
+  "/root/repo/src/storage/tcc_partition.cc" "src/CMakeFiles/faastcc_storage.dir/storage/tcc_partition.cc.o" "gcc" "src/CMakeFiles/faastcc_storage.dir/storage/tcc_partition.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/faastcc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_storage.dir/storage/eventual_store.cc.o"
+  "CMakeFiles/faastcc_storage.dir/storage/eventual_store.cc.o.d"
+  "CMakeFiles/faastcc_storage.dir/storage/mv_store.cc.o"
+  "CMakeFiles/faastcc_storage.dir/storage/mv_store.cc.o.d"
+  "CMakeFiles/faastcc_storage.dir/storage/stabilizer.cc.o"
+  "CMakeFiles/faastcc_storage.dir/storage/stabilizer.cc.o.d"
+  "CMakeFiles/faastcc_storage.dir/storage/storage_client.cc.o"
+  "CMakeFiles/faastcc_storage.dir/storage/storage_client.cc.o.d"
+  "CMakeFiles/faastcc_storage.dir/storage/tcc_partition.cc.o"
+  "CMakeFiles/faastcc_storage.dir/storage/tcc_partition.cc.o.d"
+  "libfaastcc_storage.a"
+  "libfaastcc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libfaastcc_storage.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_workload.dir/workload/client_driver.cc.o"
+  "CMakeFiles/faastcc_workload.dir/workload/client_driver.cc.o.d"
+  "CMakeFiles/faastcc_workload.dir/workload/workload.cc.o"
+  "CMakeFiles/faastcc_workload.dir/workload/workload.cc.o.d"
+  "libfaastcc_workload.a"
+  "libfaastcc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

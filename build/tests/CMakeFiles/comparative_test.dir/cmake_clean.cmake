@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/comparative_test.dir/comparative_test.cc.o"
+  "CMakeFiles/comparative_test.dir/comparative_test.cc.o.d"
+  "comparative_test"
+  "comparative_test.pdb"
+  "comparative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/comparative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faas_test.dir/faas_test.cc.o"
+  "CMakeFiles/faas_test.dir/faas_test.cc.o.d"
+  "faas_test"
+  "faas_test.pdb"
+  "faas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

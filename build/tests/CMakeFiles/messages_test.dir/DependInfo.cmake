@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/messages_test.cc" "tests/CMakeFiles/messages_test.dir/messages_test.cc.o" "gcc" "tests/CMakeFiles/messages_test.dir/messages_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/faastcc_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_client.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_client_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/faastcc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

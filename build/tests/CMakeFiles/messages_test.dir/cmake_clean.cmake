@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/messages_test.dir/messages_test.cc.o"
+  "CMakeFiles/messages_test.dir/messages_test.cc.o.d"
+  "messages_test"
+  "messages_test.pdb"
+  "messages_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/messages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

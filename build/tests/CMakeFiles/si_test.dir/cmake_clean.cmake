@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_test.dir/si_test.cc.o"
+  "CMakeFiles/si_test.dir/si_test.cc.o.d"
+  "si_test"
+  "si_test.pdb"
+  "si_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcc_properties_test.dir/tcc_properties_test.cc.o"
+  "CMakeFiles/tcc_properties_test.dir/tcc_properties_test.cc.o.d"
+  "tcc_properties_test"
+  "tcc_properties_test.pdb"
+  "tcc_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcc_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faastcc_sim_cli.dir/faastcc_sim.cc.o"
+  "CMakeFiles/faastcc_sim_cli.dir/faastcc_sim.cc.o.d"
+  "faastcc_sim_cli"
+  "faastcc_sim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faastcc_sim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
