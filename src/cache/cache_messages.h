@@ -165,11 +165,19 @@ struct PlainReadReq {
 };
 
 struct PlainReadResp {
+  // Set when a storage replica stayed unreachable through the retry
+  // budget; the affected entries hold empty values the client must not
+  // trust.
+  bool abort = false;
   std::vector<storage::KeyValue> entries;  // parallel to request keys
 
-  void encode(BufWriter& w) const { storage::put_vec(w, entries); }
+  void encode(BufWriter& w) const {
+    w.put_bool(abort);
+    storage::put_vec(w, entries);
+  }
   static PlainReadResp decode(BufReader& r) {
     PlainReadResp resp;
+    resp.abort = r.get_bool();
     resp.entries = storage::get_vec<storage::KeyValue>(r);
     return resp;
   }

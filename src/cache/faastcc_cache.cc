@@ -163,12 +163,18 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
                                                : it->second.ts);
     }
     storage::TccStorageClient::ReadAccounting acct;
-    TccReadResp storage_resp =
-        co_await storage_.read(keys, cached_ts, snapshot, &acct);
+    auto maybe_resp = co_await storage_.read(keys, cached_ts, snapshot, &acct);
     // Fig. 7 counts the bytes served by the storage layer per consistent
     // read; most FaaSTCC responses are bare promise refreshes.
     episode_bytes += acct.response_bytes;
     rounds += 1;
+    if (!maybe_resp.has_value()) {
+      // A partition stayed unreachable through the retry budget: abort the
+      // transaction rather than stall the executor.
+      resp.abort = true;
+      break;
+    }
+    TccReadResp storage_resp = std::move(*maybe_resp);
     stable_est_ = std::max(stable_est_, storage_resp.stable_time);
 
     // Trial-merge: accept the batch only if it keeps the interval

@@ -192,6 +192,12 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
       auto result = co_await storage_.get(std::move(fetch_keys));
       episode_rounds += 1;
       episode_bytes += result.response_bytes;
+      if (result.failed) {
+        // Replica unreachable through the retry budget; back off and let
+        // the round loop decide (exhaustion aborts the transaction).
+        co_await sim::sleep_for(rpc_.loop(), params_.retry_backoff);
+        continue;
+      }
       if (!result.items[0].has_value()) {
         // Key unknown to this replica.  If the transaction does not
         // require any particular version, serve the implicit initial

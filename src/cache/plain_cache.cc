@@ -79,6 +79,12 @@ sim::Task<Buffer> PlainCache::on_read(Buffer req, net::Address) {
     metrics_->storage_read_bytes.add(
         static_cast<double>(result.response_bytes));
   }
+  if (result.failed) {
+    // Unreachable replica: don't cache the (possibly empty) results, let
+    // the client abort and retry the transaction.
+    resp.abort = true;
+    co_return encode_message(resp);
+  }
   for (size_t j = 0; j < to_fetch.size(); ++j) {
     const size_t idx = to_fetch[j];
     const Key k = q.keys[idx];

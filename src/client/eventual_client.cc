@@ -60,6 +60,7 @@ sim::Task<std::optional<std::vector<Value>>> EventualTxn::read(
   for (size_t idx : missing) req.keys.push_back(keys[idx]);
   auto resp = co_await adapter_.rpc_.call<cache::PlainReadResp>(
       adapter_.cache_address_, cache::kPlainRead, req);
+  if (resp.abort) co_return std::nullopt;
   for (size_t j = 0; j < missing.size(); ++j) {
     const size_t idx = missing[j];
     out[idx] = resp.entries[j].value;
@@ -83,7 +84,8 @@ sim::Task<std::optional<Buffer>> EventualTxn::commit() {
       item.payload = v;
       items.push_back(std::move(item));
     }
-    co_await adapter_.storage_.put(std::move(items));
+    auto versions = co_await adapter_.storage_.put(std::move(items));
+    if (!versions.has_value()) co_return std::nullopt;
   }
   co_return Buffer{};
 }

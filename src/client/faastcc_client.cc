@@ -160,9 +160,12 @@ sim::Task<std::optional<Buffer>> FaasTccTxn::commit() {
     if (!commit_ts.has_value()) co_return std::nullopt;
     co_return encode_faastcc_session(*commit_ts);
   }
-  const Timestamp commit_ts =
+  auto commit_ts =
       co_await adapter_.storage_.commit(info_.txn_id, std::move(writes), dep);
-  co_return encode_faastcc_session(commit_ts);
+  // nullopt: a participant stayed unreachable; abort and let the client
+  // retry the DAG with a fresh transaction.
+  if (!commit_ts.has_value()) co_return std::nullopt;
+  co_return encode_faastcc_session(*commit_ts);
 }
 
 }  // namespace faastcc::client

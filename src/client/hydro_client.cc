@@ -232,6 +232,8 @@ sim::Task<std::optional<Buffer>> HydroTxn::commit() {
     items.push_back(std::move(item));
   }
   auto versions = co_await adapter_.storage_.put(std::move(items));
+  // Unreachable replica through the retry budget: abort the DAG.
+  if (!versions.has_value()) co_return std::nullopt;
 
   HydroSession session;
   session.lamport = counter;
@@ -239,10 +241,10 @@ sim::Task<std::optional<Buffer>> HydroTxn::commit() {
   session.deps = session_past(gc_horizon);
   size_t i = 0;
   for (const auto& [k, v] : ctx_.write_set) {
-    session.lamport = std::max(session.lamport, versions[i].counter);
+    session.lamport = std::max(session.lamport, (*versions)[i].counter);
     // The client's own writes stay at level 1: they are the nearest
     // dependencies of whatever it does next.
-    session.deps.require(k, versions[i].counter, now, 1);
+    session.deps.require(k, (*versions)[i].counter, now, 1);
     ++i;
   }
   co_return encode_message(session);

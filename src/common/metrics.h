@@ -28,6 +28,9 @@ struct Metrics {
   Counter dag_attempts;
   Counter dag_commits;
   Counter dag_aborts;
+  // DAG attempts abandoned by the client-side watchdog (fault injection:
+  // a lost one-way trigger/completion is only recoverable by retrying).
+  Counter dag_timeouts;
   // Cache effectiveness (§6.3: 60 % / 70 % cache-served functions).
   Counter cache_lookups;
   Counter cache_hits;
@@ -37,6 +40,15 @@ struct Metrics {
   // Gauges sampled at the end of a run.
   size_t cache_bytes_total = 0;
   size_t cache_keys_total = 0;
+
+  // Fault-injection gauges, copied from net::Network at the end of a run.
+  // All zero when the fault layer is disabled.
+  uint64_t net_messages_lost = 0;
+  uint64_t net_messages_duplicated = 0;
+  uint64_t net_delay_spikes = 0;
+  uint64_t net_crash_dropped = 0;
+  uint64_t net_rpc_timeouts = 0;
+  uint64_t net_rpc_retries = 0;
 
   double cache_hit_rate() const {
     const auto l = cache_lookups.value();

@@ -37,9 +37,25 @@ Duration ComputeNode::context_cost(size_t bytes) const {
                                params_.context_cpu_us_per_kb);
 }
 
+void ComputeNode::gc_stale_joins() {
+  // Opportunistic sweep, amortized over trigger arrivals.  In fault-free
+  // runs sibling triggers arrive within a network delay of each other, so
+  // nothing is ever old enough to collect.
+  if (params_.join_gc_age <= 0 || joins_.size() < 64) return;
+  const SimTime cutoff = rpc_.now() - params_.join_gc_age;
+  for (auto it = joins_.begin(); it != joins_.end();) {
+    if (it->second.created <= cutoff) {
+      it = joins_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
 void ComputeNode::on_trigger(Buffer msg, net::Address) {
   TriggerMsg t = decode_message<TriggerMsg>(msg);
   counters_.triggers.inc();
+  gc_stale_joins();
   if (aborted_.count(t.txn_id) != 0) {
     counters_.stale_triggers_dropped.inc();
     return;
@@ -58,8 +74,16 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
   // Join: buffer until every parent has delivered its context.
   const JoinKey key{t.txn_id, t.fn_index};
   auto& state = joins_[key];
+  if (!state.parents_seen.insert(t.from_fn).second) {
+    // Duplicated trigger from a parent we already heard from.
+    counters_.stale_triggers_dropped.inc();
+    return;
+  }
   state.contexts.push_back(t.context);
-  if (state.contexts.size() == 1) state.first = std::move(t);
+  if (state.contexts.size() == 1) {
+    state.created = rpc_.now();
+    state.first = std::move(t);
+  }
   if (state.contexts.size() < parents) return;
   counters_.joins_merged.inc();
   Work w;
@@ -187,6 +211,7 @@ sim::Task<void> ComputeNode::execute(Work work) {
     TriggerMsg next;
     next.txn_id = t.txn_id;
     next.fn_index = child;
+    next.from_fn = t.fn_index;
     next.client = t.client;
     next.spec = t.spec;
     next.placement = t.placement;

@@ -28,6 +28,10 @@ struct ComputeNodeParams {
   // ship from function to function (§6.3/§6.8).
   double context_cpu_us_per_kb = 85.0;
   Duration dispatch_overhead = microseconds(50);
+  // A join whose sibling trigger was lost on the fabric can never complete;
+  // half-assembled join state older than this is swept (the client's DAG
+  // watchdog retries the whole DAG, so nothing is waiting on it).
+  Duration join_gc_age = seconds(2);
 };
 
 class ComputeNode {
@@ -91,8 +95,11 @@ class ComputeNode {
   struct JoinState {
     TriggerMsg first;
     std::vector<Buffer> contexts;
+    std::unordered_set<uint32_t> parents_seen;
+    SimTime created = 0;
   };
   std::unordered_map<JoinKey, JoinState, JoinKeyHash> joins_;
+  void gc_stale_joins();
   // Transactions known to have aborted; late triggers are dropped.
   std::unordered_set<TxnId> aborted_;
   Counters counters_;

@@ -43,8 +43,15 @@ struct StartDagMsg {
 // of one DAG execution — the spec, the placement chosen by the scheduler,
 // and the parent's context (or the client session for the root).
 struct TriggerMsg {
+  // from_fn value of a root trigger (sent by the scheduler, no parent).
+  static constexpr uint32_t kNoParent = 0xffffffff;
+
   TxnId txn_id = 0;
   uint32_t fn_index = 0;
+  // Parent function that sent this trigger; joins use it to deduplicate
+  // the at-least-once fabric (a duplicated parent trigger must not be
+  // mistaken for a missing sibling's context).
+  uint32_t from_fn = kNoParent;
   net::Address client = 0;
   DagSpec spec;
   std::vector<net::Address> placement;  // node address per function
@@ -86,6 +93,7 @@ inline Buffer get_buffer(BufReader& r) {
 inline void TriggerMsg::encode(BufWriter& w) const {
   w.put_u64(txn_id);
   w.put_u32(fn_index);
+  w.put_u32(from_fn);
   w.put_u32(client);
   spec.encode(w);
   w.put_u32(static_cast<uint32_t>(placement.size()));
@@ -99,6 +107,7 @@ inline TriggerMsg TriggerMsg::decode(BufReader& r) {
   TriggerMsg m;
   m.txn_id = r.get_u64();
   m.fn_index = r.get_u32();
+  m.from_fn = r.get_u32();
   m.client = r.get_u32();
   m.spec = DagSpec::decode(r);
   const uint32_t n = r.get_u32();

@@ -31,6 +31,12 @@ Cluster::Cluster(ClusterParams params)
       network_(loop_, params_.net, rng_.fork()),
       registry_(std::make_shared<faas::FunctionRegistry>()) {
   workload::WorkloadGen::register_functions(*registry_);
+  // Install the fault layer before anything draws from rng_: the extra
+  // fork is only taken when faults are on, so fault-free runs keep the
+  // exact random streams of a build without fault injection.
+  if (params_.faults.enabled()) {
+    network_.set_faults(params_.faults, rng_.fork());
+  }
   build_storage();
   build_compute();
   build_clients();
@@ -163,6 +169,8 @@ void Cluster::build_clients() {
     cp.client_id = c;
     cp.num_dags = params_.dags_per_client;
     cp.max_retries = params_.client_max_retries;
+    cp.dag_timeout =
+        params_.faults.enabled() ? params_.faults.dag_timeout : Duration{0};
     clients_.push_back(std::make_unique<workload::ClientDriver>(
         network_, kClientBase + static_cast<net::Address>(c), kSchedulerAddr,
         workload::WorkloadGen(params_.workload, rng_.fork()), cp, &metrics_));
@@ -294,6 +302,12 @@ RunResult Cluster::run_clients() {
   collect_cache_gauges(out);
   out.metrics.cache_bytes_total = out.cache_bytes;
   out.metrics.cache_keys_total = out.cache_entries;
+  out.metrics.net_messages_lost = network_.faults_lost();
+  out.metrics.net_messages_duplicated = network_.faults_duplicated();
+  out.metrics.net_delay_spikes = network_.faults_delay_spikes();
+  out.metrics.net_crash_dropped = network_.faults_crash_dropped();
+  out.metrics.net_rpc_timeouts = network_.rpc_timeouts();
+  out.metrics.net_rpc_retries = network_.rpc_retries();
   out.sim_events = loop_.events_processed();
   return out;
 }

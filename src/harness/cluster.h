@@ -55,6 +55,11 @@ struct ClusterParams {
   cache::PlainCacheParams plain_cache;
 
   // Fault-injection knobs.
+  // Network faults (message loss, duplication, delay spikes, crash
+  // windows) plus the RPC/DAG timeouts that make the systems survive
+  // them.  Entirely inert unless faults.enabled() — fault-free runs draw
+  // the exact same random streams as before this layer existed.
+  net::FaultParams faults;
   // Residual NTP skew: each partition's physical clock is offset by a
   // uniform random amount in [-clock_skew_us, clock_skew_us].
   int64_t clock_skew_us = 100;

@@ -13,6 +13,10 @@ uint64_t pair_key(Address a, Address b) {
   return (static_cast<uint64_t>(a) << 32) | b;
 }
 
+uint64_t link_key(Address from, Address to) {
+  return (static_cast<uint64_t>(from) << 32) | to;
+}
+
 }  // namespace
 
 void Network::register_endpoint(Address addr, Handler handler) {
@@ -25,8 +29,39 @@ void Network::colocate(Address a, Address b) {
   colocated_[pair_key(a, b)] = true;
 }
 
+bool Network::is_local(Address a, Address b) const {
+  return a == b || colocated_.count(pair_key(a, b)) != 0;
+}
+
+void Network::set_faults(FaultParams faults, Rng fault_rng) {
+  faults_enabled_ = true;
+  faults_ = std::move(faults);
+  fault_rng_ = fault_rng;
+  default_rpc_timeout_ = faults_.rpc_timeout;
+}
+
+void Network::set_link_loss(Address from, Address to, double p) {
+  if (p < 0) {
+    link_loss_.erase(link_key(from, to));
+  } else {
+    link_loss_[link_key(from, to)] = p;
+  }
+}
+
+double Network::link_loss(Address from, Address to) const {
+  auto it = link_loss_.find(link_key(from, to));
+  return it != link_loss_.end() ? it->second : faults_.loss_prob;
+}
+
+bool Network::crashed_at(Address a, SimTime t) const {
+  for (const CrashWindow& w : faults_.crashes) {
+    if (w.addr == a && t >= w.from && t < w.until) return true;
+  }
+  return false;
+}
+
 Duration Network::delivery_delay(Address from, Address to, size_t bytes) {
-  if (from == to || colocated_.count(pair_key(from, to)) != 0) {
+  if (is_local(from, to)) {
     return params_.local_delivery;
   }
   const auto serialization = static_cast<Duration>(
@@ -39,11 +74,14 @@ Duration Network::delivery_delay(Address from, Address to, size_t bytes) {
   return params_.base_latency + jitter + serialization;
 }
 
-void Network::send(Message m) {
-  messages_sent_.inc();
-  bytes_sent_.inc(m.wire_size());
-  const Duration delay = delivery_delay(m.from, m.to, m.wire_size());
+void Network::deliver(Message m, Duration delay) {
   loop_.schedule_after(delay, [this, m = std::move(m)]() mutable {
+    if (faults_enabled_ && crashed_at(m.to, loop_.now())) {
+      // Receiver is down at delivery time: the message is lost, even over
+      // IPC (a crashed process receives nothing).
+      faults_crash_dropped_.inc();
+      return;
+    }
     auto it = endpoints_.find(m.to);
     if (it == endpoints_.end()) {
       messages_dropped_.inc();
@@ -52,6 +90,49 @@ void Network::send(Message m) {
     }
     it->second(std::move(m));
   });
+}
+
+void Network::send(Message m) {
+  messages_sent_.inc();
+  bytes_sent_.inc(m.wire_size());
+  if (faults_enabled_) {
+    if (crashed_at(m.from, loop_.now())) {
+      faults_crash_dropped_.inc();
+      return;
+    }
+    // Loss, duplication and spikes model the shared fabric; same-node IPC
+    // is a memory queue and stays reliable.
+    if (!is_local(m.from, m.to)) {
+      const double loss = link_loss(m.from, m.to);
+      if (loss > 0 && fault_rng_.next_bool(loss)) {
+        faults_lost_.inc();
+        return;
+      }
+      Duration extra = 0;
+      if (faults_.delay_spike_prob > 0 &&
+          fault_rng_.next_bool(faults_.delay_spike_prob)) {
+        faults_delay_spikes_.inc();
+        extra = faults_.delay_spike;
+      }
+      const bool dup =
+          faults_.dup_prob > 0 && fault_rng_.next_bool(faults_.dup_prob);
+      if (dup) {
+        faults_duplicated_.inc();
+        Message copy = m;
+        // The copy draws its own jitter, so the two deliveries interleave
+        // arbitrarily with other traffic.
+        const Duration copy_delay =
+            delivery_delay(copy.from, copy.to, copy.wire_size()) + extra;
+        deliver(std::move(copy), copy_delay);
+      }
+      const Duration delay =
+          delivery_delay(m.from, m.to, m.wire_size()) + extra;
+      deliver(std::move(m), delay);
+      return;
+    }
+  }
+  const Duration delay = delivery_delay(m.from, m.to, m.wire_size());
+  deliver(std::move(m), delay);
 }
 
 }  // namespace faastcc::net

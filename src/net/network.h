@@ -5,11 +5,19 @@
 //   t + base_latency + U(0, jitter) + size / bandwidth.
 // Delivery order between distinct pairs is therefore not FIFO globally,
 // which is exactly the asynchrony the protocols must tolerate.
+//
+// An optional fault-injection layer (set_faults) subjects fabric links to
+// message loss, duplication, delay spikes and endpoint crash windows.  All
+// fault randomness comes from a dedicated forked Rng, installed only when
+// faults are enabled, so fault-free runs consume exactly the same random
+// stream — and produce exactly the same schedule — as before the fault
+// layer existed.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <unordered_map>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/serialize.h"
@@ -45,10 +53,39 @@ struct NetworkParams {
   Duration local_delivery = microseconds(5);  // same-node IPC latency
 };
 
+// An endpoint severed from the network during [from, until): inbound and
+// outbound messages are dropped, process state is retained (a partition /
+// pause, not amnesia — the process resumes where it left off).
+struct CrashWindow {
+  Address addr = 0;
+  SimTime from = 0;
+  SimTime until = 0;  // exclusive
+};
+
+struct FaultParams {
+  double loss_prob = 0.0;         // per fabric message
+  double dup_prob = 0.0;          // extra copy with its own delivery delay
+  double delay_spike_prob = 0.0;  // adds `delay_spike` to the delivery
+  Duration delay_spike = milliseconds(10);
+  // RPC timeout applied by RpcNode to non-colocated calls once faults are
+  // enabled (0 = never time out).  Colocated (IPC) calls never time out:
+  // loss/dup/spikes only affect fabric links.
+  Duration rpc_timeout = milliseconds(25);
+  // Client-side watchdog for a whole DAG execution; the DAG flow is one-way
+  // messages, so a lost trigger is only recoverable by retrying the DAG.
+  Duration dag_timeout = seconds(1);
+  std::vector<CrashWindow> crashes;
+
+  bool enabled() const {
+    return loss_prob > 0 || dup_prob > 0 || delay_spike_prob > 0 ||
+           !crashes.empty();
+  }
+};
+
 class Network {
  public:
   Network(sim::EventLoop& loop, NetworkParams params, Rng rng)
-      : loop_(loop), params_(params), rng_(rng) {}
+      : loop_(loop), params_(params), rng_(rng), fault_rng_(0) {}
 
   using Handler = std::function<void(Message)>;
 
@@ -59,9 +96,29 @@ class Network {
   // between them use IPC latency instead of the fabric (executor <-> cache).
   void colocate(Address a, Address b);
 
+  bool is_local(Address a, Address b) const;
+
   // Queues `m` for delivery; the recipient's handler runs at delivery time.
   // Messages to unregistered addresses are counted and dropped.
   void send(Message m);
+
+  // Enables fault injection.  `fault_rng` must be a dedicated fork so the
+  // fault layer's draws never perturb the base jitter stream.
+  void set_faults(FaultParams faults, Rng fault_rng);
+  bool faults_enabled() const { return faults_enabled_; }
+
+  // Per-link loss override (directional); takes effect only while faults
+  // are enabled.  Probability -1 removes the override.
+  void set_link_loss(Address from, Address to, double p);
+
+  // Dynamically extend the crash schedule (tests).
+  void add_crash_window(CrashWindow w) { faults_.crashes.push_back(w); }
+
+  // Default timeout RpcNode applies to non-colocated calls (0 = none).
+  Duration default_rpc_timeout() const { return default_rpc_timeout_; }
+  void set_default_rpc_timeout(Duration t) { default_rpc_timeout_ = t; }
+
+  bool crashed_at(Address a, SimTime t) const;
 
   SimTime now() const { return loop_.now(); }
   sim::EventLoop& loop() { return loop_; }
@@ -70,8 +127,25 @@ class Network {
   uint64_t bytes_sent() const { return bytes_sent_.value(); }
   uint64_t messages_dropped() const { return messages_dropped_.value(); }
 
+  // Fault counters (all zero when faults are disabled).
+  uint64_t faults_lost() const { return faults_lost_.value(); }
+  uint64_t faults_duplicated() const { return faults_duplicated_.value(); }
+  uint64_t faults_delay_spikes() const { return faults_delay_spikes_.value(); }
+  uint64_t faults_crash_dropped() const {
+    return faults_crash_dropped_.value();
+  }
+
+  // RPC timeout/retry accounting lives here because every RpcNode already
+  // holds a Network reference; Metrics copies these at the end of a run.
+  void note_rpc_timeout() { rpc_timeouts_.inc(); }
+  void note_rpc_retry() { rpc_retries_.inc(); }
+  uint64_t rpc_timeouts() const { return rpc_timeouts_.value(); }
+  uint64_t rpc_retries() const { return rpc_retries_.value(); }
+
  private:
   Duration delivery_delay(Address from, Address to, size_t bytes);
+  double link_loss(Address from, Address to) const;
+  void deliver(Message m, Duration delay);
 
   sim::EventLoop& loop_;
   NetworkParams params_;
@@ -81,6 +155,18 @@ class Network {
   Counter messages_sent_;
   Counter bytes_sent_;
   Counter messages_dropped_;
+
+  bool faults_enabled_ = false;
+  FaultParams faults_;
+  Rng fault_rng_;
+  Duration default_rpc_timeout_ = 0;
+  std::unordered_map<uint64_t, double> link_loss_;  // directional (from, to)
+  Counter faults_lost_;
+  Counter faults_duplicated_;
+  Counter faults_delay_spikes_;
+  Counter faults_crash_dropped_;
+  Counter rpc_timeouts_;
+  Counter rpc_retries_;
 };
 
 }  // namespace faastcc::net

@@ -22,7 +22,12 @@ void RpcNode::handle_oneway(MethodId method, OneWayHandler handler) {
 
 sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized(Address to,
                                                           MethodId method,
-                                                          Buffer request) {
+                                                          Buffer request,
+                                                          Duration timeout) {
+  if (timeout == kUseDefaultTimeout) {
+    timeout =
+        network_.is_local(address_, to) ? 0 : network_.default_rpc_timeout();
+  }
   const uint64_t id = next_request_id_++;
   Message m;
   m.from = address_;
@@ -38,7 +43,48 @@ sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized(Address to,
   assert(inserted);
   auto future = it->second.promise.get_future();
   network_.send(std::move(m));
+  if (timeout > 0) {
+    // The timer is scheduled only when a timeout applies, so fault-free
+    // runs (default timeout 0) add no events to the schedule.
+    loop().schedule_after(timeout, [this, id] { on_call_timeout(id); });
+  }
   co_return co_await std::move(future);
+}
+
+void RpcNode::on_call_timeout(uint64_t id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return;  // response already arrived
+  Pending p = std::move(it->second);
+  pending_.erase(it);
+  network_.note_rpc_timeout();
+  SizedResponse r;
+  r.request_wire_bytes = p.request_wire_bytes;
+  r.status = RpcStatus::kTimeout;
+  p.promise.set_value(std::move(r));
+}
+
+sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized_retry(
+    Address to, MethodId method, Buffer request, RetryPolicy policy) {
+  Duration backoff = policy.initial_backoff;
+  for (int attempt = 1;; ++attempt) {
+    // Each attempt needs its own copy: the request may be re-sent.
+    SizedResponse r =
+        co_await call_raw_sized(to, method, request, policy.timeout);
+    if (r.ok() || attempt >= policy.max_attempts) co_return r;
+    network_.note_rpc_retry();
+    co_await sim::sleep_for(loop(), backoff);
+    backoff = std::min<Duration>(backoff * 2, policy.max_backoff);
+  }
+}
+
+sim::Task<std::optional<Buffer>> RpcNode::call_raw_retry(Address to,
+                                                         MethodId method,
+                                                         Buffer request,
+                                                         RetryPolicy policy) {
+  SizedResponse r = co_await call_raw_sized_retry(to, method,
+                                                  std::move(request), policy);
+  if (!r.ok()) co_return std::nullopt;
+  co_return std::move(r.payload);
 }
 
 sim::Task<Buffer> RpcNode::call_raw(Address to, MethodId method,
@@ -83,6 +129,8 @@ void RpcNode::on_message(Message m) {
     case MessageKind::kResponse: {
       auto it = pending_.find(m.request_id);
       if (it == pending_.end()) {
+        // Either a duplicate delivery or a response that lost the race
+        // against its timeout.
         LOG_DEBUG("orphan response at " << address_);
         return;
       }
@@ -90,7 +138,8 @@ void RpcNode::on_message(Message m) {
       const size_t resp_bytes = m.wire_size();
       pending_.erase(it);
       p.promise.set_value(SizedResponse{std::move(m.payload),
-                                        p.request_wire_bytes, resp_bytes});
+                                        p.request_wire_bytes, resp_bytes,
+                                        RpcStatus::kOk});
       return;
     }
     case MessageKind::kOneWay: {

@@ -4,11 +4,20 @@
 // storage partition can await internal work while serving a request.  Typed
 // wrappers (`call<Req, Resp>`) encode/decode with the common binary codec so
 // every RPC's wire size is exact.
+//
+// Calls over the fabric can time out (see FaultParams::rpc_timeout): the
+// pending promise is resolved with RpcStatus::kTimeout so the caller's
+// coroutine never hangs on a lost message.  `call_with_retry` layers
+// deterministic capped exponential backoff on top.  Colocated (IPC) calls
+// resolve the default timeout to "never" — same-node queues don't lose
+// messages, and cache handlers can legitimately take long under faults.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
@@ -18,6 +27,22 @@
 #include "sim/task.h"
 
 namespace faastcc::net {
+
+enum class RpcStatus : uint8_t { kOk = 0, kTimeout = 1 };
+
+// Sentinel: resolve the timeout from the network default (0 for colocated
+// peers, Network::default_rpc_timeout() otherwise).
+inline constexpr Duration kUseDefaultTimeout = -1;
+
+// Deterministic capped exponential backoff: attempt n waits
+// min(initial_backoff * 2^(n-1), max_backoff).  No randomness — retry
+// schedules must be reproducible per seed.
+struct RetryPolicy {
+  int max_attempts = 5;
+  Duration initial_backoff = milliseconds(1);
+  Duration max_backoff = milliseconds(16);
+  Duration timeout = kUseDefaultTimeout;
+};
 
 class RpcNode {
  public:
@@ -41,7 +66,11 @@ class RpcNode {
   void handle(MethodId method, RequestHandler handler);
   void handle_oneway(MethodId method, OneWayHandler handler);
 
-  // Raw call; completes when the response arrives.
+  static constexpr Duration kUseDefaultTimeout = net::kUseDefaultTimeout;
+  using RetryPolicy = net::RetryPolicy;
+
+  // Raw call; completes when the response arrives or the timeout fires
+  // (check SizedResponse::status — the payload is empty on timeout).
   sim::Task<Buffer> call_raw(Address to, MethodId method, Buffer request);
 
   // Typed call.  `req` is taken by value: tasks are lazy, so the request
@@ -64,14 +93,44 @@ class RpcNode {
   // that need per-request accounting should use call_raw_sized instead.
   struct SizedResponse {
     Buffer payload;
-    size_t request_wire_bytes;
-    size_t response_wire_bytes;
+    size_t request_wire_bytes = 0;
+    size_t response_wire_bytes = 0;
+    RpcStatus status = RpcStatus::kOk;
+
+    bool ok() const { return status == RpcStatus::kOk; }
   };
   sim::Task<SizedResponse> call_raw_sized(Address to, MethodId method,
-                                          Buffer request);
+                                          Buffer request,
+                                          Duration timeout = kUseDefaultTimeout);
+
+  // Retries on timeout; the final attempt's response (possibly still a
+  // timeout) is returned.  With timeouts resolved to 0 (faults off) the
+  // first attempt blocks until the response arrives, so call sites can use
+  // the retry wrappers unconditionally without changing fault-free runs.
+  sim::Task<SizedResponse> call_raw_sized_retry(Address to, MethodId method,
+                                                Buffer request,
+                                                RetryPolicy policy = {});
+  sim::Task<std::optional<Buffer>> call_raw_retry(Address to, MethodId method,
+                                                  Buffer request,
+                                                  RetryPolicy policy = {});
+
+  // Typed retrying call; nullopt when every attempt timed out.
+  template <typename Resp, typename Req>
+  sim::Task<std::optional<Resp>> call_with_retry(Address to, MethodId method,
+                                                 Req req,
+                                                 RetryPolicy policy = {}) {
+    SizedResponse r = co_await call_raw_sized_retry(
+        to, method, encode_message(req), policy);
+    if (!r.ok()) co_return std::nullopt;
+    co_return decode_message<Resp>(r.payload);
+  }
+
+  // Outstanding calls (tests: verifies timeouts don't leak pending state).
+  size_t pending_calls() const { return pending_.size(); }
 
  private:
   void on_message(Message m);
+  void on_call_timeout(uint64_t id);
   sim::Task<void> run_handler(RequestHandler& handler, Message m);
 
   Network& network_;

@@ -7,9 +7,9 @@ namespace faastcc::storage {
 
 void MvStore::install(Key key, Value value, Timestamp ts) {
   auto& chain = chains_[key];
-  value_bytes_ += value.size();
-  ++num_versions_;
   if (chain.empty() || chain.back().ts < ts) {
+    value_bytes_ += value.size();
+    ++num_versions_;
     chain.push_back(Version{std::move(value), ts});
     return;
   }
@@ -18,7 +18,11 @@ void MvStore::install(Key key, Value value, Timestamp ts) {
   auto it = std::lower_bound(
       chain.begin(), chain.end(), ts,
       [](const Version& v, Timestamp t) { return v.ts < t; });
-  assert(it == chain.end() || it->ts != ts);
+  // Idempotent: a duplicated or retried commit re-installs the same
+  // (key, ts) version; the chain must not grow a twin.
+  if (it != chain.end() && it->ts == ts) return;
+  value_bytes_ += value.size();
+  ++num_versions_;
   chain.insert(it, Version{std::move(value), ts});
 }
 

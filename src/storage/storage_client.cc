@@ -27,12 +27,35 @@ std::vector<PartitionBatch> group_by_partition(size_t n, KeyOf&& key_of) {
   return batches;
 }
 
+// Commit-phase retry budget.  Once every participant has prepared the
+// transaction is decided, so the coordinator tries much harder than for
+// reads before giving up; the budget must stay well inside the partitions'
+// prepare_ttl so a commit retry never races its own lease expiry.
+net::RpcNode::RetryPolicy commit_policy() {
+  net::RpcNode::RetryPolicy p;
+  p.max_attempts = 12;
+  p.max_backoff = milliseconds(64);
+  return p;
+}
+
+sim::Task<void> abort_everywhere(net::RpcNode& rpc, TxnId txn,
+                                 const std::vector<PartitionBatch>& batches) {
+  // Best effort: a lost abort only delays the partition until its
+  // prepare_ttl sweep reclaims the pending entry.
+  std::vector<sim::Task<std::optional<Buffer>>> aborts;
+  aborts.reserve(batches.size());
+  for (const auto& batch : batches) {
+    aborts.push_back(rpc.call_raw_retry(batch.address, kTccAbort,
+                                        encode_message(TccAbortReq{txn})));
+  }
+  co_await sim::when_all(rpc.loop(), std::move(aborts));
+}
+
 }  // namespace
 
-sim::Task<TccReadResp> TccStorageClient::read(std::vector<Key> keys,
-                                              std::vector<Timestamp> cached_ts,
-                                              Timestamp snapshot,
-                                              ReadAccounting* accounting) {
+sim::Task<std::optional<TccReadResp>> TccStorageClient::read(
+    std::vector<Key> keys, std::vector<Timestamp> cached_ts,
+    Timestamp snapshot, ReadAccounting* accounting) {
   assert(keys.size() == cached_ts.size());
   auto batches = group_by_partition(
       keys.size(), [&](size_t i) { return topology_.address_of(keys[i]); });
@@ -46,8 +69,8 @@ sim::Task<TccReadResp> TccStorageClient::read(std::vector<Key> keys,
       req.keys.push_back(keys[idx]);
       req.cached_ts.push_back(cached_ts[idx]);
     }
-    calls.push_back(
-        rpc_.call_raw_sized(batch.address, kTccRead, encode_message(req)));
+    calls.push_back(rpc_.call_raw_sized_retry(batch.address, kTccRead,
+                                              encode_message(req)));
   }
   auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
 
@@ -60,6 +83,7 @@ sim::Task<TccReadResp> TccStorageClient::read(std::vector<Key> keys,
           responses[b].request_wire_bytes - net::Message::kHeaderBytes;
       accounting->response_bytes += responses[b].payload.size();
     }
+    if (!responses[b].ok()) co_return std::nullopt;
     auto resp = decode_message<TccReadResp>(responses[b].payload);
     merged.stable_time = std::max(merged.stable_time, resp.stable_time);
     assert(resp.entries.size() == batches[b].input_index.size());
@@ -70,9 +94,8 @@ sim::Task<TccReadResp> TccStorageClient::read(std::vector<Key> keys,
   co_return merged;
 }
 
-sim::Task<Timestamp> TccStorageClient::commit(TxnId txn,
-                                              std::vector<KeyValue> writes,
-                                              Timestamp dep_ts) {
+sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
+    TxnId txn, std::vector<KeyValue> writes, Timestamp dep_ts) {
   assert(!writes.empty());
   auto batches = group_by_partition(writes.size(), [&](size_t i) {
     return topology_.address_of(writes[i].key);
@@ -92,30 +115,40 @@ sim::Task<Timestamp> TccStorageClient::commit(TxnId txn,
     req.commit_ts = Timestamp::min();
     req.dep_ts = dep_ts;
     req.writes = writes_for(batches[0]);
-    Buffer raw = co_await rpc_.call_raw(batches[0].address, kTccCommit,
-                                        encode_message(req));
-    BufReader r(raw);
+    auto raw = co_await rpc_.call_raw_retry(batches[0].address, kTccCommit,
+                                            encode_message(req),
+                                            commit_policy());
+    if (!raw.has_value()) co_return std::nullopt;
+    BufReader r(*raw);
     TccCommitResp::decode(r);
     co_return get_ts(r);
   }
 
   // General path: prepare everywhere, then commit at max(prepare ts).
-  std::vector<sim::Task<TccPrepareResp>> prepares;
+  std::vector<sim::Task<std::optional<TccPrepareResp>>> prepares;
   prepares.reserve(batches.size());
   for (const auto& batch : batches) {
     TccPrepareReq req;
     req.txn = txn;
     req.dep_ts = dep_ts;
     prepares.push_back(
-        rpc_.call<TccPrepareResp>(batch.address, kTccPrepare, req));
+        rpc_.call_with_retry<TccPrepareResp>(batch.address, kTccPrepare, req));
   }
   auto prepare_resps = co_await sim::when_all(rpc_.loop(), std::move(prepares));
+  bool failed = false;
   Timestamp commit_ts = dep_ts.next();
   for (const auto& pr : prepare_resps) {
-    commit_ts = std::max(commit_ts, pr.prepare_ts);
+    // A prepare can be refused (ok=false) when the partition already
+    // expired this transaction's earlier prepare and tombstoned it.
+    if (!pr.has_value() || !pr->ok) failed = true;
+    if (pr.has_value()) commit_ts = std::max(commit_ts, pr->prepare_ts);
+  }
+  if (failed) {
+    co_await abort_everywhere(rpc_, txn, batches);
+    co_return std::nullopt;
   }
 
-  std::vector<sim::Task<TccCommitResp>> commits;
+  std::vector<sim::Task<std::optional<TccCommitResp>>> commits;
   commits.reserve(batches.size());
   for (const auto& batch : batches) {
     TccCommitReq req;
@@ -123,10 +156,17 @@ sim::Task<Timestamp> TccStorageClient::commit(TxnId txn,
     req.commit_ts = commit_ts;
     req.dep_ts = dep_ts;
     req.writes = writes_for(batch);
-    commits.push_back(
-        rpc_.call<TccCommitResp>(batch.address, kTccCommit, req));
+    commits.push_back(rpc_.call_with_retry<TccCommitResp>(
+        batch.address, kTccCommit, req, commit_policy()));
   }
-  co_await sim::when_all(rpc_.loop(), std::move(commits));
+  auto commit_resps = co_await sim::when_all(rpc_.loop(), std::move(commits));
+  for (const auto& cr : commit_resps) {
+    // Exhausted even the commit budget: the unreachable participant's
+    // prepare lease will expire and abort its half.  Report abort; see
+    // docs/simulation.md "Fault model" for the (vanishingly rare) torn
+    // outcome this trades for liveness.
+    if (!cr.has_value()) co_return std::nullopt;
+  }
   co_return commit_ts;
 }
 
@@ -138,7 +178,7 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     return topology_.address_of(writes[i].key);
   });
 
-  std::vector<sim::Task<TccPrepareResp>> prepares;
+  std::vector<sim::Task<std::optional<TccPrepareResp>>> prepares;
   prepares.reserve(batches.size());
   for (const auto& batch : batches) {
     TccPrepareReq req;
@@ -150,29 +190,25 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
       req.write_keys.push_back(writes[idx].key);
     }
     prepares.push_back(
-        rpc_.call<TccPrepareResp>(batch.address, kTccPrepare, req));
+        rpc_.call_with_retry<TccPrepareResp>(batch.address, kTccPrepare, req));
   }
   auto prepare_resps = co_await sim::when_all(rpc_.loop(), std::move(prepares));
 
   bool conflict = false;
   Timestamp commit_ts = dep_ts.next();
   for (const auto& pr : prepare_resps) {
-    if (!pr.ok) conflict = true;
-    commit_ts = std::max(commit_ts, pr.prepare_ts);
+    // An unreachable participant is treated like a conflict: abort and let
+    // the caller retry with a fresh transaction.
+    if (!pr.has_value() || !pr->ok) conflict = true;
+    if (pr.has_value()) commit_ts = std::max(commit_ts, pr->prepare_ts);
   }
   if (conflict) {
     // Release every participant (the conflicting ones are no-ops).
-    std::vector<sim::Task<Buffer>> aborts;
-    aborts.reserve(batches.size());
-    for (const auto& batch : batches) {
-      aborts.push_back(rpc_.call_raw(batch.address, kTccAbort,
-                                     encode_message(TccAbortReq{txn})));
-    }
-    co_await sim::when_all(rpc_.loop(), std::move(aborts));
+    co_await abort_everywhere(rpc_, txn, batches);
     co_return std::nullopt;
   }
 
-  std::vector<sim::Task<TccCommitResp>> commits;
+  std::vector<sim::Task<std::optional<TccCommitResp>>> commits;
   commits.reserve(batches.size());
   for (const auto& batch : batches) {
     TccCommitReq req;
@@ -180,10 +216,13 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     req.commit_ts = commit_ts;
     req.dep_ts = dep_ts;
     for (size_t idx : batch.input_index) req.writes.push_back(writes[idx]);
-    commits.push_back(
-        rpc_.call<TccCommitResp>(batch.address, kTccCommit, req));
+    commits.push_back(rpc_.call_with_retry<TccCommitResp>(
+        batch.address, kTccCommit, req, commit_policy()));
   }
-  co_await sim::when_all(rpc_.loop(), std::move(commits));
+  auto commit_resps = co_await sim::when_all(rpc_.loop(), std::move(commits));
+  for (const auto& cr : commit_resps) {
+    if (!cr.has_value()) co_return std::nullopt;
+  }
   co_return commit_ts;
 }
 
@@ -191,14 +230,15 @@ sim::Task<void> TccStorageClient::subscribe_impl(std::vector<Key> keys,
                                                  TccMethod method) {
   auto batches = group_by_partition(
       keys.size(), [&](size_t i) { return topology_.address_of(keys[i]); });
-  std::vector<sim::Task<Buffer>> calls;
+  std::vector<sim::Task<std::optional<Buffer>>> calls;
   calls.reserve(batches.size());
   for (const auto& batch : batches) {
     SubscribeReq req;
     for (size_t idx : batch.input_index) req.keys.push_back(keys[idx]);
     calls.push_back(
-        rpc_.call_raw(batch.address, method, encode_message(req)));
+        rpc_.call_raw_retry(batch.address, method, encode_message(req)));
   }
+  // Best effort: a missed (un)subscribe only costs push efficiency.
   co_await sim::when_all(rpc_.loop(), std::move(calls));
 }
 
@@ -218,11 +258,12 @@ sim::Task<void> ev_subscribe_impl(net::RpcNode& rpc, const EvTopology& topo,
   for (Key k : keys) {
     reqs[topo.replicas[topo.partition_of(k)][0]].keys.push_back(k);
   }
-  std::vector<sim::Task<Buffer>> calls;
+  std::vector<sim::Task<std::optional<Buffer>>> calls;
   calls.reserve(reqs.size());
   for (auto& [addr, req] : reqs) {
-    calls.push_back(rpc.call_raw(addr, method, encode_message(req)));
+    calls.push_back(rpc.call_raw_retry(addr, method, encode_message(req)));
   }
+  // Best effort, like the TCC side.
   co_await sim::when_all(rpc.loop(), std::move(calls));
 }
 
@@ -272,14 +313,18 @@ sim::Task<EvStorageClient::GetResult> EvStorageClient::get(
   for (const auto& batch : batches) {
     EvGetReq req;
     for (size_t idx : batch.input_index) req.keys.push_back(keys[idx]);
-    calls.push_back(
-        rpc_.call_raw_sized(batch.address, kEvGet, encode_message(req)));
+    calls.push_back(rpc_.call_raw_sized_retry(batch.address, kEvGet,
+                                              encode_message(req)));
   }
   auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
 
   GetResult out;
   out.items.resize(keys.size());
   for (size_t b = 0; b < batches.size(); ++b) {
+    if (!responses[b].ok()) {
+      out.failed = true;
+      continue;
+    }
     out.request_bytes +=
         responses[b].request_wire_bytes - net::Message::kHeaderBytes;
     out.response_bytes += responses[b].payload.size();
@@ -300,25 +345,27 @@ sim::Task<EvStorageClient::GetResult> EvStorageClient::get(
   co_return out;
 }
 
-sim::Task<std::vector<EvVersion>> EvStorageClient::put(
+sim::Task<std::optional<std::vector<EvVersion>>> EvStorageClient::put(
     std::vector<EvItem> items) {
   auto batches = group_by_partition(items.size(), [&](size_t i) {
     return pick_write_replica(topology_.partition_of(items[i].key));
   });
-  std::vector<sim::Task<EvPutResp>> calls;
+  std::vector<sim::Task<std::optional<EvPutResp>>> calls;
   calls.reserve(batches.size());
   for (const auto& batch : batches) {
     EvPutReq req;
     for (size_t idx : batch.input_index) req.items.push_back(items[idx]);
-    calls.push_back(rpc_.call<EvPutResp>(batch.address, kEvPut, req));
+    calls.push_back(rpc_.call_with_retry<EvPutResp>(batch.address, kEvPut, req,
+                                                    commit_policy()));
   }
   auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
 
   std::vector<EvVersion> versions(items.size());
   for (size_t b = 0; b < batches.size(); ++b) {
-    global_cut_ = std::max(global_cut_, responses[b].global_cut);
+    if (!responses[b].has_value()) co_return std::nullopt;
+    global_cut_ = std::max(global_cut_, responses[b]->global_cut);
     for (size_t i = 0; i < batches[b].input_index.size(); ++i) {
-      versions[batches[b].input_index[i]] = responses[b].versions[i];
+      versions[batches[b].input_index[i]] = responses[b]->versions[i];
     }
   }
   co_return versions;

@@ -43,19 +43,22 @@ class TccStorageClient {
   // Reads `keys` at `snapshot`; `cached_ts[i]` is the version the caller
   // already holds (Timestamp::min() for none), enabling "unchanged"
   // promise-refresh responses.  Entries come back in input key order.
-  sim::Task<TccReadResp> read(std::vector<Key> keys,
-                              std::vector<Timestamp> cached_ts,
-                              Timestamp snapshot,
-                              ReadAccounting* accounting = nullptr);
+  // nullopt when a partition stayed unreachable through the retry budget.
+  sim::Task<std::optional<TccReadResp>> read(
+      std::vector<Key> keys, std::vector<Timestamp> cached_ts,
+      Timestamp snapshot, ReadAccounting* accounting = nullptr);
 
   // Commits `writes` atomically with a timestamp above `dep_ts`; returns
-  // the commit timestamp.
-  sim::Task<Timestamp> commit(TxnId txn, std::vector<KeyValue> writes,
-                              Timestamp dep_ts);
+  // the commit timestamp, or nullopt when a participant stayed unreachable
+  // through the (generous) commit retry budget.
+  sim::Task<std::optional<Timestamp>> commit(TxnId txn,
+                                             std::vector<KeyValue> writes,
+                                             Timestamp dep_ts);
 
   // Snapshot Isolation commit (§7 extension): first-committer-wins
   // write-write conflict detection against `snapshot_ts`.  Returns the
-  // commit timestamp, or std::nullopt when the transaction must abort.
+  // commit timestamp, or std::nullopt when the transaction must abort
+  // (conflict, or a participant unreachable through the retry budget).
   // Always runs the full prepare/commit protocol so conflicting prepares
   // serialize even on a single partition.
   sim::Task<std::optional<Timestamp>> commit_si(TxnId txn,
@@ -94,14 +97,20 @@ class EvStorageClient {
     std::vector<std::optional<EvItem>> items;  // parallel to requested keys
     size_t request_bytes = 0;
     size_t response_bytes = 0;
+    // True when a replica stayed unreachable through the retry budget; the
+    // affected keys are indistinguishable from absent, so callers must not
+    // cache the result as authoritative.
+    bool failed = false;
   };
 
   // Reads each key from one (randomly chosen) replica of its partition.
   sim::Task<GetResult> get(std::vector<Key> keys);
 
   // Writes each item to one replica of its partition; returns assigned
-  // versions in input order.
-  sim::Task<std::vector<EvVersion>> put(std::vector<EvItem> items);
+  // versions in input order, or nullopt when a replica stayed unreachable
+  // through the retry budget.
+  sim::Task<std::optional<std::vector<EvVersion>>> put(
+      std::vector<EvItem> items);
 
   // Subscribes/unsubscribes for update notifications at the notifier
   // replica (replica 0) of each key's partition.

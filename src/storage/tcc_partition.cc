@@ -154,8 +154,31 @@ void TccPartition::release_locks(TxnId txn) {
 void TccPartition::resolve_pending(TxnId txn) {
   auto it = pending_by_txn_.find(txn);
   if (it != pending_by_txn_.end()) {
-    pending_by_ts_.erase(it->second);
+    pending_by_ts_.erase(it->second.ts);
     pending_by_txn_.erase(it);
+  }
+}
+
+void TccPartition::remember_resolved(TxnId txn, Timestamp ts) {
+  if (resolved_.size() >= kResolvedCap) resolved_.clear();
+  resolved_[txn] = ts;
+}
+
+void TccPartition::expire_stale_prepares() {
+  if (params_.prepare_ttl <= 0) return;
+  const SimTime cutoff = rpc_.now() - params_.prepare_ttl;
+  for (auto it = pending_by_txn_.begin(); it != pending_by_txn_.end();) {
+    if (it->second.since <= cutoff) {
+      // The coordinator is gone (crashed, or gave up after retry
+      // exhaustion): stop pinning the safe time and release SI locks.
+      counters_.prepares_expired.inc();
+      pending_by_ts_.erase(it->second.ts);
+      release_locks(it->first);
+      remember_resolved(it->first, Timestamp::min());
+      it = pending_by_txn_.erase(it);
+    } else {
+      ++it;
+    }
   }
 }
 
@@ -163,6 +186,23 @@ sim::Task<Buffer> TccPartition::on_prepare(Buffer req, net::Address) {
   auto q = decode_message<TccPrepareReq>(req);
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
   TccPrepareResp resp;
+  // Duplicated delivery or timed-out retry of an outstanding prepare:
+  // answer with the registered timestamp instead of pinning the safe time
+  // a second time (the stray entry would never be resolved).
+  if (auto it = pending_by_txn_.find(q.txn); it != pending_by_txn_.end()) {
+    counters_.duplicate_prepares.inc();
+    resp.ok = true;
+    resp.prepare_ts = it->second.ts;
+    co_return encode_message(resp);
+  }
+  if (resolved_.count(q.txn) != 0) {
+    // The transaction already committed or aborted here; a late duplicate
+    // must not re-pin the safe time.  The coordinator has moved on, so the
+    // refusal is never acted upon.
+    counters_.duplicate_prepares.inc();
+    resp.ok = false;
+    co_return encode_message(resp);
+  }
   if (q.si_mode && !si_check_and_lock(q.txn, q.snapshot_ts, q.write_keys)) {
     resp.ok = false;
     co_return encode_message(resp);
@@ -170,7 +210,7 @@ sim::Task<Buffer> TccPartition::on_prepare(Buffer req, net::Address) {
   clock_.update(q.dep_ts, physical_now_us());
   const Timestamp prepare_ts = clock_.tick(physical_now_us());
   pending_by_ts_.emplace(prepare_ts, q.txn);
-  pending_by_txn_.emplace(q.txn, prepare_ts);
+  pending_by_txn_.emplace(q.txn, PendingTxn{prepare_ts, rpc_.now()});
   resp.prepare_ts = prepare_ts;
   co_return encode_message(resp);
 }
@@ -181,6 +221,7 @@ sim::Task<Buffer> TccPartition::on_abort(Buffer req, net::Address) {
   counters_.aborts.inc();
   release_locks(q.txn);
   resolve_pending(q.txn);
+  remember_resolved(q.txn, Timestamp::min());
   co_return Buffer{};
 }
 
@@ -198,6 +239,19 @@ sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
       rpc_.loop(), params_.request_cpu + params_.per_key_cpu *
                                              static_cast<Duration>(
                                                  q.writes.size()));
+  if (auto rc = resolved_.find(q.txn); rc != resolved_.end()) {
+    // Duplicated delivery or timed-out retry of a commit already applied
+    // here (or of a transaction expired/aborted meanwhile).  Answer with
+    // the recorded timestamp; re-installing would mint a second version on
+    // the fast path.
+    counters_.duplicate_commits.inc();
+    TccCommitResp dup_resp;
+    dup_resp.ok = true;
+    BufWriter dup_w;
+    dup_resp.encode(dup_w);
+    put_ts(dup_w, rc->second == Timestamp::min() ? q.commit_ts : rc->second);
+    co_return dup_w.take();
+  }
   if (q.commit_ts == Timestamp::min()) {
     // Single-partition fast path: no prepare round happened; the partition
     // assigns a commit timestamp above the transaction's causal past.
@@ -208,6 +262,7 @@ sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
     release_locks(q.txn);
     resolve_pending(q.txn);
   }
+  remember_resolved(q.txn, q.commit_ts);
   install_writes(q);
   TccCommitResp resp;
   resp.ok = true;
@@ -260,6 +315,10 @@ void TccPartition::on_gossip(Buffer msg, net::Address) {
 sim::Task<void> TccPartition::gossip_loop() {
   for (;;) {
     co_await sim::sleep_for(rpc_.loop(), params_.gossip_period);
+    // Piggyback prepare-TTL enforcement on the gossip beat: a pure state
+    // scan (no events, no randomness), and a no-op whenever every pending
+    // prepare is younger than the TTL — i.e. always, in fault-free runs.
+    expire_stale_prepares();
     GossipMsg g{id_, safe_time()};
     stabilizer_.on_gossip(id_, g.safe_time);
     for (net::Address peer : all_partitions_) {

@@ -37,6 +37,12 @@ struct TccPartitionParams {
   Duration request_cpu = microseconds(15);  // fixed per-request service time
   Duration per_key_cpu = microseconds(2);
   int64_t clock_offset_us = 0;  // simulated residual NTP skew
+  // A prepare whose commit/abort never arrives (lost message, abandoned
+  // coordinator) would pin the safe time — and therefore the global stable
+  // time — forever.  After this TTL the partition unilaterally expires it.
+  // Must comfortably exceed the coordinator's commit retry horizon; see
+  // docs/simulation.md "Fault model".  0 disables expiry.
+  Duration prepare_ttl = seconds(5);
 };
 
 class TccPartition {
@@ -78,6 +84,11 @@ class TccPartition {
     Counter versions_gced;
     Counter si_conflicts;
     Counter aborts;
+    // Fault-injection resilience: duplicated or retried protocol messages
+    // answered idempotently, and prepares expired by the TTL.
+    Counter duplicate_prepares;
+    Counter duplicate_commits;
+    Counter prepares_expired;
   };
   const Counters& counters() const { return counters_; }
 
@@ -110,11 +121,25 @@ class TccPartition {
   HlcClock clock_;
   MvStore store_;
   Stabilizer stabilizer_;
-  // Outstanding prepares: txn id -> prepare timestamp.  The min entry caps
-  // the safe time until the matching commit or abort (aborts only occur in
-  // Snapshot Isolation mode, on write-write conflicts).
+  // Outstanding prepares: txn id -> prepare timestamp + registration time.
+  // The min entry caps the safe time until the matching commit or abort
+  // (aborts occur in Snapshot Isolation mode on write-write conflicts, and
+  // when a coordinator gives up after retry exhaustion).
+  struct PendingTxn {
+    Timestamp ts;
+    SimTime since = 0;
+  };
   std::map<Timestamp, TxnId> pending_by_ts_;
-  std::unordered_map<TxnId, Timestamp> pending_by_txn_;
+  std::unordered_map<TxnId, PendingTxn> pending_by_txn_;
+  // Recently committed/aborted transactions (aborts record Timestamp::min()).
+  // Duplicated or retried prepares/commits of a resolved transaction are
+  // answered from here instead of re-pinning the safe time or re-installing
+  // versions.  Bounded: cleared wholesale past kResolvedCap — entries only
+  // matter within the coordinator's retry horizon (well under a second).
+  static constexpr size_t kResolvedCap = 1 << 16;
+  std::unordered_map<TxnId, Timestamp> resolved_;
+  void remember_resolved(TxnId txn, Timestamp ts);
+  void expire_stale_prepares();
   // Snapshot Isolation: written keys locked by prepared-but-unresolved
   // transactions (first-committer-wins).
   std::unordered_map<Key, TxnId> write_locks_;

@@ -23,7 +23,9 @@ void ClientDriver::on_done(Buffer msg, net::Address) {
   faas::DagDoneMsg done = decode_message<faas::DagDoneMsg>(msg);
   auto it = pending_.find(done.txn_id);
   if (it == pending_.end()) {
-    LOG_WARN("client got completion for unknown txn " << done.txn_id);
+    // Expected under faults: a duplicated completion, or the real one
+    // arriving after the DAG watchdog already gave up on the attempt.
+    LOG_DEBUG("client got completion for unknown txn " << done.txn_id);
     return;
   }
   auto promise = std::move(it->second);
@@ -43,6 +45,19 @@ sim::Task<faas::DagDoneMsg> ClientDriver::execute_once(
   start.session = session_;
   start.spec = spec;
   rpc_.send(scheduler_, faas::kStartDag, start);
+  if (params_.dag_timeout > 0) {
+    rpc_.loop().schedule_after(params_.dag_timeout, [this, txn] {
+      auto it2 = pending_.find(txn);
+      if (it2 == pending_.end()) return;  // already completed
+      auto promise = std::move(it2->second);
+      pending_.erase(it2);
+      if (metrics_ != nullptr) metrics_->dag_timeouts.inc();
+      faas::DagDoneMsg timed_out;
+      timed_out.txn_id = txn;
+      timed_out.committed = false;
+      promise.set_value(std::move(timed_out));
+    });
+  }
   co_return co_await std::move(future);
 }
 

@@ -18,6 +18,11 @@ struct ClientParams {
   // An aborted DAG is retried (fresh attempt, fresh snapshot) up to this
   // many times before being dropped.
   int max_retries = 50;
+  // Watchdog for the one-way DAG flow: a trigger or completion lost on the
+  // fabric leaves no pending RPC to time out, so after this long the client
+  // gives up on the attempt and retries with a fresh transaction.  0 = off
+  // (the default for fault-free runs).
+  Duration dag_timeout = 0;
 };
 
 class ClientDriver {

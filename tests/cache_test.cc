@@ -204,7 +204,7 @@ class FaasTccCacheTest : public ::testing::Test {
   sim::Task<Timestamp> commit(Key k, Value v, Timestamp dep) {
     std::vector<KeyValue> writes;
     writes.push_back(KeyValue{k, std::move(v)});
-    co_return co_await storage_client_->commit(next_txn_++, std::move(writes),
+    co_return *co_await storage_client_->commit(next_txn_++, std::move(writes),
                                                dep);
   }
 
@@ -465,7 +465,7 @@ class HydroCacheTest : public ::testing::Test {
     item.version = storage::EvVersion{counter, 99};
     item.payload.assign(payload.begin(), payload.end());
     auto versions =
-        co_await storage_client_->put(std::vector<storage::EvItem>(1, item));
+        *co_await storage_client_->put(std::vector<storage::EvItem>(1, item));
     co_return versions[0];
   }
 

@@ -238,5 +238,263 @@ TEST(Rpc, HandlerRunsPerRequestConcurrently) {
   EXPECT_LT(done_at, 1400);
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjection, LossDropsFabricMessages) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  FaultParams fp;
+  fp.loss_prob = 1.0;
+  net.set_faults(fp, Rng(7));
+  int delivered = 0;
+  net.register_endpoint(2, [&](Message) { ++delivered; });
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.from = 1;
+    m.to = 2;
+    net.send(std::move(m));
+  }
+  loop.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(net.faults_lost(), 10u);
+}
+
+TEST(FaultInjection, DuplicationDeliversTwice) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  FaultParams fp;
+  fp.dup_prob = 1.0;
+  net.set_faults(fp, Rng(7));
+  int delivered = 0;
+  net.register_endpoint(2, [&](Message) { ++delivered; });
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  net.send(std::move(m));
+  loop.run();
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(net.faults_duplicated(), 1u);
+}
+
+TEST(FaultInjection, DelaySpikeAddsLatency) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  FaultParams fp;
+  fp.delay_spike_prob = 1.0;
+  fp.delay_spike = milliseconds(10);
+  net.set_faults(fp, Rng(7));
+  SimTime delivered = -1;
+  net.register_endpoint(2, [&](Message) { delivered = loop.now(); });
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  net.send(std::move(m));
+  loop.run();
+  EXPECT_EQ(delivered, 75 + milliseconds(10));
+  EXPECT_EQ(net.faults_delay_spikes(), 1u);
+}
+
+TEST(FaultInjection, CrashWindowSeversEndpointBothWays) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  FaultParams fp;
+  fp.crashes.push_back(CrashWindow{2, 0, milliseconds(1)});
+  net.set_faults(fp, Rng(7));
+  int at_2 = 0, at_3 = 0;
+  net.register_endpoint(2, [&](Message) { ++at_2; });
+  net.register_endpoint(3, [&](Message) { ++at_3; });
+  // Inbound to the crashed endpoint during the window: dropped at delivery.
+  loop.schedule_at(0, [&] {
+    Message m;
+    m.from = 3;
+    m.to = 2;
+    net.send(std::move(m));
+  });
+  // Outbound from the crashed endpoint during the window: dropped at send.
+  loop.schedule_at(100, [&] {
+    Message m;
+    m.from = 2;
+    m.to = 3;
+    net.send(std::move(m));
+  });
+  // After the window the endpoint resumes.
+  loop.schedule_at(milliseconds(2), [&] {
+    Message m;
+    m.from = 3;
+    m.to = 2;
+    net.send(std::move(m));
+  });
+  loop.run();
+  EXPECT_EQ(at_2, 1);
+  EXPECT_EQ(at_3, 0);
+  EXPECT_EQ(net.faults_crash_dropped(), 2u);
+}
+
+TEST(FaultInjection, PerLinkLossOverrideIsDirectional) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  FaultParams fp;
+  fp.loss_prob = 1.0;  // default: everything lost
+  net.set_faults(fp, Rng(7));
+  net.set_link_loss(1, 2, 0.0);  // except the 1 -> 2 direction
+  int at_1 = 0, at_2 = 0;
+  net.register_endpoint(1, [&](Message) { ++at_1; });
+  net.register_endpoint(2, [&](Message) { ++at_2; });
+  Message a;
+  a.from = 1;
+  a.to = 2;
+  net.send(std::move(a));
+  Message b;
+  b.from = 2;
+  b.to = 1;
+  net.send(std::move(b));
+  loop.run();
+  EXPECT_EQ(at_2, 1);  // override cleared the loss
+  EXPECT_EQ(at_1, 0);  // reverse direction still uses the default
+}
+
+TEST(FaultInjection, ColocatedLinksAreReliable) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  FaultParams fp;
+  fp.loss_prob = 1.0;
+  fp.dup_prob = 1.0;
+  net.set_faults(fp, Rng(7));
+  net.colocate(1, 2);
+  int delivered = 0;
+  net.register_endpoint(2, [&](Message) { ++delivered; });
+  Message m;
+  m.from = 1;
+  m.to = 2;
+  net.send(std::move(m));
+  loop.run();
+  // IPC is a same-node memory queue: exactly-once despite loss/dup knobs.
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.faults_lost(), 0u);
+  EXPECT_EQ(net.faults_duplicated(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// RPC timeouts and retries
+// ---------------------------------------------------------------------------
+
+TEST(Rpc, CallToUnregisteredAddressTimesOutInsteadOfHanging) {
+  // Regression: a call to an address nobody registered used to leave the
+  // caller suspended forever (the network counts the drop but nothing
+  // resolves the pending promise).
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  RpcNode client(net, 2);
+  bool completed = false;
+  RpcStatus status = RpcStatus::kOk;
+  sim::spawn([](RpcNode& c, bool& done, RpcStatus& st) -> sim::Task<void> {
+    auto r = co_await c.call_raw_sized(77, 7, Buffer{}, milliseconds(25));
+    st = r.status;
+    done = true;
+  }(client, completed, status));
+  loop.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(status, RpcStatus::kTimeout);
+  EXPECT_EQ(client.pending_calls(), 0u);
+  EXPECT_EQ(net.rpc_timeouts(), 1u);
+}
+
+TEST(Rpc, DefaultTimeoutFromNetworkAppliesToFabricCalls) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  net.set_default_rpc_timeout(milliseconds(10));
+  RpcNode client(net, 2);
+  bool completed = false;
+  SimTime done_at = -1;
+  sim::spawn([](RpcNode& c, bool& done, SimTime& at) -> sim::Task<void> {
+    auto r = co_await c.call_raw_sized(77, 7, Buffer{});
+    EXPECT_FALSE(r.ok());
+    done = true;
+    at = c.now();
+  }(client, completed, done_at));
+  loop.run();
+  EXPECT_TRUE(completed);
+  EXPECT_EQ(done_at, milliseconds(10));
+}
+
+TEST(Rpc, ColocatedCallsNeverTimeOut) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  net.set_default_rpc_timeout(milliseconds(1));
+  RpcNode server(net, 1), client(net, 2);
+  net.colocate(1, 2);
+  // The handler takes far longer than the default timeout.
+  server.handle(7, [&loop](Buffer b, Address) -> sim::Task<Buffer> {
+    co_await sim::sleep_for(loop, milliseconds(50));
+    co_return b;
+  });
+  bool ok = false;
+  sim::spawn([](RpcNode& c, bool& out) -> sim::Task<void> {
+    auto r = co_await c.call_raw_sized(1, 7, Buffer{});
+    out = r.ok();
+  }(client, ok));
+  loop.run();
+  EXPECT_TRUE(ok);
+}
+
+TEST(Rpc, RetrySucceedsOnceLinkHeals) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  FaultParams fp;
+  fp.loss_prob = 1.0;
+  fp.rpc_timeout = milliseconds(5);
+  net.set_faults(fp, Rng(7));
+  RpcNode server(net, 1), client(net, 2);
+  server.handle(7, [](Buffer b, Address) -> sim::Task<Buffer> {
+    co_return b;  // echo
+  });
+  // The "outage" ends at t = 12 ms: both directions become reliable.
+  loop.schedule_at(milliseconds(12), [&] {
+    net.set_link_loss(1, 2, 0.0);
+    net.set_link_loss(2, 1, 0.0);
+  });
+  bool ok = false;
+  sim::spawn([](RpcNode& c, bool& out) -> sim::Task<void> {
+    RetryPolicy policy;
+    policy.max_attempts = 10;
+    auto r = co_await c.call_raw_sized_retry(1, 7, Buffer{}, policy);
+    out = r.ok();
+  }(client, ok));
+  loop.run();
+  EXPECT_TRUE(ok);
+  EXPECT_GT(net.rpc_timeouts(), 0u);
+  EXPECT_GT(net.rpc_retries(), 0u);
+  EXPECT_EQ(client.pending_calls(), 0u);
+}
+
+TEST(Rpc, RetryExhaustionReturnsTimeout) {
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  FaultParams fp;
+  fp.loss_prob = 1.0;
+  fp.rpc_timeout = milliseconds(2);
+  net.set_faults(fp, Rng(7));
+  RpcNode server(net, 1), client(net, 2);
+  server.handle(7, [](Buffer b, Address) -> sim::Task<Buffer> {
+    co_return b;
+  });
+  bool completed = false;
+  bool ok = true;
+  sim::spawn([](RpcNode& c, bool& done, bool& res) -> sim::Task<void> {
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    auto r = co_await c.call_raw_retry(1, 7, Buffer{}, policy);
+    res = r.has_value();
+    done = true;
+  }(client, completed, ok));
+  loop.run();
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(ok);
+  EXPECT_EQ(net.rpc_timeouts(), 3u);
+  EXPECT_EQ(net.rpc_retries(), 2u);
+}
+
 }  // namespace
 }  // namespace faastcc::net

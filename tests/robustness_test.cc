@@ -192,13 +192,82 @@ TEST_P(DeterminismSweep, IdenticalSeedsIdenticalRuns) {
   };
   const RunResult a = once();
   const RunResult b = once();
+  // The whole RunResult must be bit-identical, not merely "close": any
+  // divergence means some component drew from an unforked random stream.
   EXPECT_EQ(a.sim_events, b.sim_events);
   EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.aborted_attempts, b.aborted_attempts);
+  EXPECT_EQ(a.duration_s, b.duration_s);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.cache_entries, b.cache_entries);
+  EXPECT_EQ(a.cache_bytes, b.cache_bytes);
   EXPECT_EQ(a.metrics.dag_latency_ms.raw(), b.metrics.dag_latency_ms.raw());
   EXPECT_EQ(a.metrics.metadata_bytes.raw(), b.metrics.metadata_bytes.raw());
 }
 
 INSTANTIATE_TEST_SUITE_P(Systems, DeterminismSweep,
+                         ::testing::Values(SystemKind::kFaasTcc,
+                                           SystemKind::kHydroCache,
+                                           SystemKind::kCloudburst));
+
+// ---------------------------------------------------------------------------
+// Network faults: with 1% message loss (plus duplication and delay spikes)
+// every client must still terminate — RPC timeouts and the DAG watchdog
+// turn lost messages into retriable aborts, never into hung coroutines.
+// ---------------------------------------------------------------------------
+
+ClusterParams faulty(SystemKind system) {
+  ClusterParams p = base();
+  p.system = system;
+  p.clients = 4;
+  p.dags_per_client = 15;
+  p.workload.num_keys = 500;
+  p.faults.loss_prob = 0.01;
+  p.faults.dup_prob = 0.005;
+  p.faults.delay_spike_prob = 0.005;
+  // A hung client would otherwise spin the loop for an hour of sim time.
+  p.max_sim_time = seconds(60);
+  return p;
+}
+
+class FaultSweep : public ::testing::TestWithParam<SystemKind> {};
+
+TEST_P(FaultSweep, MessageLossNeverHangsClients) {
+  Cluster cluster(faulty(GetParam()));
+  const RunResult r = cluster.run();
+  for (const auto& c : cluster.clients()) {
+    EXPECT_TRUE(c->done()) << "client hung under message loss";
+  }
+  // Terminating via the max_sim_time escape hatch is a hang, not a pass.
+  EXPECT_LT(r.duration_s, 30.0);
+  EXPECT_GT(r.committed, 0u);
+  // Losses actually happened (the fault layer is live, not a no-op) ...
+  EXPECT_GT(r.metrics.net_messages_lost, 0u);
+  // ... and aborts stayed bounded: retries absorb faults, they don't spiral.
+  const double attempts =
+      static_cast<double>(r.committed + r.aborted_attempts);
+  EXPECT_LT(static_cast<double>(r.aborted_attempts) / attempts, 0.5);
+}
+
+TEST_P(FaultSweep, FaultRunsAreDeterministicPerSeed) {
+  auto once = [&] {
+    Cluster cluster(faulty(GetParam()));
+    return cluster.run();
+  };
+  const RunResult a = once();
+  const RunResult b = once();
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.aborted_attempts, b.aborted_attempts);
+  EXPECT_EQ(a.metrics.net_messages_lost, b.metrics.net_messages_lost);
+  EXPECT_EQ(a.metrics.net_messages_duplicated,
+            b.metrics.net_messages_duplicated);
+  EXPECT_EQ(a.metrics.net_rpc_timeouts, b.metrics.net_rpc_timeouts);
+  EXPECT_EQ(a.metrics.net_rpc_retries, b.metrics.net_rpc_retries);
+  EXPECT_EQ(a.metrics.dag_latency_ms.raw(), b.metrics.dag_latency_ms.raw());
+}
+
+INSTANTIATE_TEST_SUITE_P(Systems, FaultSweep,
                          ::testing::Values(SystemKind::kFaasTcc,
                                            SystemKind::kHydroCache,
                                            SystemKind::kCloudburst));

@@ -72,7 +72,7 @@ TEST_F(SiClusterTest, WriteAfterSnapshotConflicts) {
   run([&]() -> sim::Task<void> {
     // T1 commits a version of key 5.
     const Timestamp t1 =
-        co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
+        *co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
     // T2's snapshot predates t1, so its write to key 5 must abort.
     auto cts = co_await client_->commit_si(2, one_write(5, "v2"),
                                            Timestamp::min(), t1.prev());
@@ -87,7 +87,7 @@ TEST_F(SiClusterTest, WriteAfterSnapshotConflicts) {
 TEST_F(SiClusterTest, WriteBeforeSnapshotDoesNotConflict) {
   run([&]() -> sim::Task<void> {
     const Timestamp t1 =
-        co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
+        *co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
     auto cts =
         co_await client_->commit_si(2, one_write(5, "v2"), t1, t1);
     EXPECT_TRUE(cts.has_value());
@@ -133,7 +133,7 @@ TEST_F(SiClusterTest, DisjointWriteSetsBothCommit) {
 TEST_F(SiClusterTest, AbortReleasesLocksForLaterTxn) {
   run([&]() -> sim::Task<void> {
     const Timestamp t1 =
-        co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
+        *co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
     // Conflicting attempt aborts...
     auto bad = co_await client_->commit_si(2, one_write(5, "v2"),
                                            Timestamp::min(), t1.prev());
@@ -149,7 +149,7 @@ TEST_F(SiClusterTest, AbortReleasesLocksForLaterTxn) {
 TEST_F(SiClusterTest, AbortDoesNotWedgeStableTime) {
   run([&]() -> sim::Task<void> {
     const Timestamp t1 =
-        co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
+        *co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
     auto bad = co_await client_->commit_si(2, one_write(5, "v2"),
                                            Timestamp::min(), t1.prev());
     EXPECT_FALSE(bad.has_value());
@@ -165,7 +165,7 @@ TEST_F(SiClusterTest, MultiPartitionConflictAbortsEverywhere) {
     // Keys 4 and 5 live on different partitions.  A conflict on key 5
     // must also roll back the prepare on key 4's partition.
     const Timestamp t1 =
-        co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
+        *co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
     std::vector<KeyValue> writes;
     writes.push_back(KeyValue{4, "a"});
     writes.push_back(KeyValue{5, "b"});

@@ -256,11 +256,11 @@ class TccClusterTest : public ::testing::Test {
 
 TEST_F(TccClusterTest, CommitThenReadReturnsValue) {
   run([&]() -> sim::Task<void> {
-    const Timestamp cts = co_await client_->commit(
+    const Timestamp cts = *co_await client_->commit(
         1, one_write(5, "hello"), Timestamp::min());
     EXPECT_GT(cts, Timestamp::min());
     co_await sim::sleep_for(loop_, milliseconds(10));  // stabilization
-    auto resp = co_await client_->read(keys_of(5), no_cache(1),
+    auto resp = *co_await client_->read(keys_of(5), no_cache(1),
                                        Timestamp::max(), nullptr);
     EXPECT_EQ(resp.entries.size(), 1u);
     EXPECT_EQ(resp.entries[0].status, TccReadResp::Status::kValue);
@@ -271,7 +271,7 @@ TEST_F(TccClusterTest, CommitThenReadReturnsValue) {
 
 TEST_F(TccClusterTest, NeverWrittenKeyReadsEmptyInitialVersion) {
   run([&]() -> sim::Task<void> {
-    auto resp = co_await client_->read(keys_of(42), no_cache(1),
+    auto resp = *co_await client_->read(keys_of(42), no_cache(1),
                                        Timestamp::max(), nullptr);
     EXPECT_EQ(resp.entries[0].status, TccReadResp::Status::kValue);
     EXPECT_EQ(resp.entries[0].value, "");
@@ -283,12 +283,12 @@ TEST_F(TccClusterTest, NeverWrittenKeyReadsEmptyInitialVersion) {
 TEST_F(TccClusterTest, PromiseIsPredecessorOfNextVersion) {
   run([&]() -> sim::Task<void> {
     const Timestamp t1 =
-        co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
-    const Timestamp t2 = co_await client_->commit(2, one_write(5, "v2"), t1);
+        *co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
+    const Timestamp t2 = *co_await client_->commit(2, one_write(5, "v2"), t1);
     co_await sim::sleep_for(loop_, milliseconds(10));
     // Read below t2: served version v1, promised valid until just before t2.
     auto resp =
-        co_await client_->read(keys_of(5), no_cache(1), t2.prev(), nullptr);
+        *co_await client_->read(keys_of(5), no_cache(1), t2.prev(), nullptr);
     EXPECT_EQ(resp.entries[0].value, "v1");
     EXPECT_EQ(resp.entries[0].promise, t2.prev());
     EXPECT_FALSE(resp.entries[0].open);
@@ -297,9 +297,9 @@ TEST_F(TccClusterTest, PromiseIsPredecessorOfNextVersion) {
 
 TEST_F(TccClusterTest, LatestVersionPromiseIsStableTime) {
   run([&]() -> sim::Task<void> {
-    co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
+    *co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
     co_await sim::sleep_for(loop_, milliseconds(20));
-    auto resp = co_await client_->read(keys_of(5), no_cache(1),
+    auto resp = *co_await client_->read(keys_of(5), no_cache(1),
                                        Timestamp::max(), nullptr);
     EXPECT_TRUE(resp.entries[0].open);
     EXPECT_GE(resp.entries[0].promise, resp.entries[0].ts);
@@ -311,10 +311,10 @@ TEST_F(TccClusterTest, LatestVersionPromiseIsStableTime) {
 TEST_F(TccClusterTest, UnchangedResponseWhenCachedVersionCurrent) {
   run([&]() -> sim::Task<void> {
     const Timestamp t1 =
-        co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
+        *co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
     co_await sim::sleep_for(loop_, milliseconds(10));
     auto resp =
-        co_await client_->read(keys_of(5), std::vector<Timestamp>(1, t1), Timestamp::max(), nullptr);
+        *co_await client_->read(keys_of(5), std::vector<Timestamp>(1, t1), Timestamp::max(), nullptr);
     EXPECT_EQ(resp.entries[0].status, TccReadResp::Status::kUnchanged);
     EXPECT_TRUE(resp.entries[0].value.empty());  // no payload shipped
   });
@@ -324,7 +324,7 @@ TEST_F(TccClusterTest, CommitTimestampExceedsDependency) {
   run([&]() -> sim::Task<void> {
     const Timestamp dep(500000, 3, 1);  // far ahead of the physical clock
     const Timestamp cts =
-        co_await client_->commit(1, one_write(5, "v"), dep);
+        *co_await client_->commit(1, one_write(5, "v"), dep);
     EXPECT_GT(cts, dep);
   });
 }
@@ -337,10 +337,10 @@ TEST_F(TccClusterTest, MultiPartitionCommitIsAtomicallyVisible) {
     writes.push_back(KeyValue{0, "a0"});
     writes.push_back(KeyValue{1, "a1"});
     writes.push_back(KeyValue{2, "a2"});
-    co_await client_->commit(1, std::move(writes), Timestamp::min());
+    *co_await client_->commit(1, std::move(writes), Timestamp::min());
     // Sample immediately and repeatedly while stabilization catches up.
     for (int i = 0; i < 20; ++i) {
-      auto resp = co_await client_->read(keys_of(0, 1, 2), no_cache(3),
+      auto resp = *co_await client_->read(keys_of(0, 1, 2), no_cache(3),
                                          Timestamp::max(), nullptr);
       int seen = 0;
       for (const auto& e : resp.entries) {
@@ -349,7 +349,7 @@ TEST_F(TccClusterTest, MultiPartitionCommitIsAtomicallyVisible) {
       EXPECT_TRUE(seen == 0 || seen == 3) << "torn visibility: " << seen;
       co_await sim::sleep_for(loop_, milliseconds(1));
     }
-    auto resp = co_await client_->read(keys_of(0, 1, 2), no_cache(3),
+    auto resp = *co_await client_->read(keys_of(0, 1, 2), no_cache(3),
                                        Timestamp::max(), nullptr);
     for (const auto& e : resp.entries) EXPECT_FALSE(e.value.empty());
   });
@@ -358,11 +358,11 @@ TEST_F(TccClusterTest, MultiPartitionCommitIsAtomicallyVisible) {
 TEST_F(TccClusterTest, SnapshotReadsAreRepeatable) {
   run([&]() -> sim::Task<void> {
     const Timestamp t1 =
-        co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
-    co_await client_->commit(2, one_write(5, "v2"), t1);
+        *co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
+    *co_await client_->commit(2, one_write(5, "v2"), t1);
     co_await sim::sleep_for(loop_, milliseconds(10));
     for (int i = 0; i < 5; ++i) {
-      auto resp = co_await client_->read(keys_of(5), no_cache(1), t1, nullptr);
+      auto resp = *co_await client_->read(keys_of(5), no_cache(1), t1, nullptr);
       EXPECT_EQ(resp.entries[0].value, "v1");  // MVCC: old snapshot stable
     }
   });
@@ -395,12 +395,12 @@ TEST_F(TccClusterTest, GcMakesOldSnapshotsUnreadable) {
   run([&]() -> sim::Task<void> {
     TccPartitionParams params;  // defaults: 30 s window
     const Timestamp t1 =
-        co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
-    const Timestamp t2 = co_await client_->commit(2, one_write(5, "v2"), t1);
+        *co_await client_->commit(1, one_write(5, "v1"), Timestamp::min());
+    const Timestamp t2 = *co_await client_->commit(2, one_write(5, "v2"), t1);
     (void)t2;
     // Force a GC far in the future of both versions.
     partitions_[5 % kPartitions]->store().gc_before(ts(10'000'000));
-    auto resp = co_await client_->read(keys_of(5), no_cache(1), t1, nullptr);
+    auto resp = *co_await client_->read(keys_of(5), no_cache(1), t1, nullptr);
     EXPECT_EQ(resp.entries[0].status, TccReadResp::Status::kMiss);
   });
 }
@@ -414,7 +414,7 @@ TEST_F(TccClusterTest, PushNotifiesSubscribedCache) {
   });
   partitions_[5 % kPartitions]->add_subscriber(5, 60);
   run([&]() -> sim::Task<void> {
-    co_await client_->commit(1, one_write(5, "fresh"), Timestamp::min());
+    *co_await client_->commit(1, one_write(5, "fresh"), Timestamp::min());
     co_await sim::sleep_for(loop_, milliseconds(120));  // > push period
   });
   ASSERT_FALSE(pushes.empty());
@@ -494,8 +494,8 @@ TEST_F(EvClusterTest, PutAssignsIncreasingCounters) {
     EvItem item;
     item.key = 4;
     item.payload = "x";
-    auto v1 = co_await client_->put(std::vector<EvItem>(1, item));
-    auto v2 = co_await client_->put(std::vector<EvItem>(1, item));
+    auto v1 = *co_await client_->put(std::vector<EvItem>(1, item));
+    auto v2 = *co_await client_->put(std::vector<EvItem>(1, item));
     EXPECT_GE(v2[0].counter, v1[0].counter);
   });
 }
@@ -505,7 +505,7 @@ TEST_F(EvClusterTest, GossipPropagatesToPeerReplica) {
     EvItem item;
     item.key = 0;  // partition 0: replicas 100, 101
     item.payload = "gossiped";
-    co_await client_->put(std::vector<EvItem>(1, item));
+    *co_await client_->put(std::vector<EvItem>(1, item));
     co_await sim::sleep_for(loop_, milliseconds(30));
     EXPECT_NE(replicas_[0]->peek(0), nullptr);
     EXPECT_NE(replicas_[1]->peek(0), nullptr);
@@ -546,7 +546,7 @@ TEST_F(EvClusterTest, StaleReadsArePossibleBeforeGossip) {
     EvItem item;
     item.key = 0;
     item.payload = "fresh";
-    co_await client_->put(std::vector<EvItem>(1, item));
+    *co_await client_->put(std::vector<EvItem>(1, item));
     // Immediately after the put, at most one replica has the write.
     const bool at0 = replicas_[0]->peek(0) != nullptr;
     const bool at1 = replicas_[1]->peek(0) != nullptr;
@@ -560,7 +560,7 @@ TEST_F(EvClusterTest, GlobalCutAdvances) {
     EvItem item;
     item.key = 0;
     item.payload = "x";
-    co_await client_->put(std::vector<EvItem>(1, item));
+    *co_await client_->put(std::vector<EvItem>(1, item));
     const SimTime cut = client_->global_cut();
     EXPECT_GT(cut, 0);
     EXPECT_LE(cut, loop_.now());
@@ -579,7 +579,7 @@ TEST_F(EvClusterTest, SubscribedCacheReceivesPush) {
     item.key = 0;
     item.payload = "pushed";
     // Put repeatedly so the accepting replica is eventually replica 100.
-    for (int i = 0; i < 4; ++i) co_await client_->put(std::vector<EvItem>(1, item));
+    for (int i = 0; i < 4; ++i) *co_await client_->put(std::vector<EvItem>(1, item));
     co_await sim::sleep_for(loop_, milliseconds(150));
   });
   ASSERT_FALSE(pushes.empty());

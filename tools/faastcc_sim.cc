@@ -5,6 +5,9 @@
 //               [--dag-size=6] [--keys=100000] [--partitions=16]
 //               [--nodes=10] [--cache-capacity=inf|0|N] [--seed=42]
 //               [--no-prewarm] [--json]
+//               [--loss=0.01] [--dup=0.005] [--delay-spike-prob=0.005]
+//               [--delay-spike-ms=10] [--rpc-timeout-ms=25]
+//               [--dag-timeout-ms=1000] [--crash=<addr>:<from_ms>:<until_ms>]
 //
 // Runs one cluster experiment and prints the summary (human table or a
 // single JSON object for scripting).
@@ -43,7 +46,16 @@ void usage() {
       "  --cache-capacity=inf|0|<n> entries/node  (default inf)\n"
       "  --seed=<n>                               (default 42)\n"
       "  --no-prewarm        skip cache pre-warming\n"
-      "  --json              machine-readable output\n");
+      "  --json              machine-readable output\n"
+      "fault injection (all off by default; see docs/simulation.md):\n"
+      "  --loss=<p>          fabric message loss probability\n"
+      "  --dup=<p>           fabric message duplication probability\n"
+      "  --delay-spike-prob=<p>  probability of a delivery delay spike\n"
+      "  --delay-spike-ms=<n>    spike magnitude      (default 10)\n"
+      "  --rpc-timeout-ms=<n>    fabric RPC timeout   (default 25)\n"
+      "  --dag-timeout-ms=<n>    client DAG watchdog  (default 1000)\n"
+      "  --crash=<addr>:<from_ms>:<until_ms>  sever an endpoint during\n"
+      "                      [from, until); repeatable\n");
 }
 
 bool parse_value(const char* arg, const char* name, std::string* out) {
@@ -96,6 +108,31 @@ CliOptions parse(int argc, char** argv) {
       }
     } else if (parse_value(arg, "--seed", &v)) {
       p.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
+    } else if (parse_value(arg, "--loss", &v)) {
+      p.faults.loss_prob = std::atof(v.c_str());
+    } else if (parse_value(arg, "--dup", &v)) {
+      p.faults.dup_prob = std::atof(v.c_str());
+    } else if (parse_value(arg, "--delay-spike-prob", &v)) {
+      p.faults.delay_spike_prob = std::atof(v.c_str());
+    } else if (parse_value(arg, "--delay-spike-ms", &v)) {
+      p.faults.delay_spike = milliseconds(std::atoll(v.c_str()));
+    } else if (parse_value(arg, "--rpc-timeout-ms", &v)) {
+      p.faults.rpc_timeout = milliseconds(std::atoll(v.c_str()));
+    } else if (parse_value(arg, "--dag-timeout-ms", &v)) {
+      p.faults.dag_timeout = milliseconds(std::atoll(v.c_str()));
+    } else if (parse_value(arg, "--crash", &v)) {
+      net::CrashWindow w;
+      unsigned long long addr = 0, from_ms = 0, until_ms = 0;
+      if (std::sscanf(v.c_str(), "%llu:%llu:%llu", &addr, &from_ms,
+                      &until_ms) != 3) {
+        std::fprintf(stderr, "bad --crash spec '%s'\n", v.c_str());
+        opt.ok = false;
+      } else {
+        w.addr = static_cast<net::Address>(addr);
+        w.from = milliseconds(static_cast<int64_t>(from_ms));
+        w.until = milliseconds(static_cast<int64_t>(until_ms));
+        p.faults.crashes.push_back(w);
+      }
     } else if (std::strcmp(arg, "--no-prewarm") == 0) {
       p.prewarm_caches = false;
     } else if (std::strcmp(arg, "--json") == 0) {
@@ -136,13 +173,23 @@ int main(int argc, char** argv) {
         "\"read_bytes_med\":%.1f,\"read_bytes_p99\":%.1f,"
         "\"cache_bytes\":%.0f,\"cache_entries\":%.0f,"
         "\"abort_rate\":%.5f,\"hit_rate\":%.5f,"
-        "\"committed\":%.0f,\"duration_s\":%.3f,\"sim_events\":%llu}\n",
+        "\"committed\":%.0f,\"duration_s\":%.3f,\"sim_events\":%llu,"
+        "\"net_lost\":%llu,\"net_duplicated\":%llu,\"net_delay_spikes\":%llu,"
+        "\"net_crash_dropped\":%llu,\"rpc_timeouts\":%llu,"
+        "\"rpc_retries\":%llu,\"dag_timeouts\":%llu}\n",
         system_name(opt.params.system), opt.params.workload.zipf,
         opt.params.workload.static_txns ? "true" : "false", s.latency_med_ms,
         s.latency_p99_ms, s.throughput, s.metadata_med, s.metadata_p99,
         s.rounds_med, s.rounds_p99, s.read_bytes_med, s.read_bytes_p99,
         s.cache_bytes, s.cache_entries, s.abort_rate, s.hit_rate, s.committed,
-        s.duration_s, static_cast<unsigned long long>(result.sim_events));
+        s.duration_s, static_cast<unsigned long long>(result.sim_events),
+        static_cast<unsigned long long>(result.metrics.net_messages_lost),
+        static_cast<unsigned long long>(result.metrics.net_messages_duplicated),
+        static_cast<unsigned long long>(result.metrics.net_delay_spikes),
+        static_cast<unsigned long long>(result.metrics.net_crash_dropped),
+        static_cast<unsigned long long>(result.metrics.net_rpc_timeouts),
+        static_cast<unsigned long long>(result.metrics.net_rpc_retries),
+        static_cast<unsigned long long>(result.metrics.dag_timeouts.value()));
     return 0;
   }
 
@@ -163,6 +210,21 @@ int main(int argc, char** argv) {
   table.add_row({"abort rate", fmt(100 * s.abort_rate, 2) + " %"});
   table.add_row({"committed DAGs", fmt(s.committed, 0)});
   table.add_row({"simulated duration", fmt(s.duration_s, 2) + " s"});
+  if (opt.params.faults.enabled()) {
+    const auto& m = result.metrics;
+    table.add_row({"net lost / duplicated",
+                   fmt(static_cast<double>(m.net_messages_lost), 0) + " / " +
+                       fmt(static_cast<double>(m.net_messages_duplicated), 0)});
+    table.add_row(
+        {"delay spikes / crash drops",
+         fmt(static_cast<double>(m.net_delay_spikes), 0) + " / " +
+             fmt(static_cast<double>(m.net_crash_dropped), 0)});
+    table.add_row({"rpc timeouts / retries",
+                   fmt(static_cast<double>(m.net_rpc_timeouts), 0) + " / " +
+                       fmt(static_cast<double>(m.net_rpc_retries), 0)});
+    table.add_row({"DAG watchdog timeouts",
+                   fmt(static_cast<double>(m.dag_timeouts.value()), 0)});
+  }
   table.print();
   return 0;
 }
