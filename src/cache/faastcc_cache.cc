@@ -13,11 +13,12 @@ using storage::VersionedValue;
 
 FaasTccCache::FaasTccCache(net::Network& network, net::Address self,
                            storage::TccTopology topology, CacheParams params,
-                           Metrics* metrics)
+                           Metrics* metrics, obs::Tracer* tracer)
     : rpc_(network, self),
-      storage_(rpc_, std::move(topology)),
+      storage_(rpc_, std::move(topology), tracer),
       params_(params),
       metrics_(metrics),
+      tracer_(tracer),
       stable_est_(Timestamp::min()),
       partition_stable_(storage_.topology().num_partitions(),
                         Timestamp::min()) {
@@ -94,6 +95,16 @@ void FaasTccCache::evict_to_capacity() {
 }
 
 sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
+  // Handler bodies run synchronously up to the first co_await, so the
+  // delivery's trace context is still valid here.
+  const obs::TraceContext inbound = rpc_.inbound_trace();
+  obs::SpanHandle span;
+  obs::TraceContext span_ctx;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(inbound, "cache.read", "cache", rpc_.address(),
+                          rpc_.now());
+    span_ctx = tracer_->context_of(span);
+  }
   auto q = decode_message<CacheReadReq>(req);
   counters_.requests.inc();
   if (metrics_ != nullptr) metrics_->cache_lookups.inc();
@@ -128,6 +139,11 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
   if (to_fetch.empty()) {
     counters_.served_from_cache.inc();
     if (metrics_ != nullptr) metrics_->cache_hits.inc();
+    if (tracer_ != nullptr) {
+      tracer_->annotate(span, "keys", static_cast<uint64_t>(q.keys.size()));
+      tracer_->annotate(span, "hit", 1);
+      tracer_->end(span, rpc_.now());
+    }
     co_return encode_message(resp);
   }
 
@@ -163,7 +179,8 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
                                                : it->second.ts);
     }
     storage::TccStorageClient::ReadAccounting acct;
-    auto maybe_resp = co_await storage_.read(keys, cached_ts, snapshot, &acct);
+    auto maybe_resp =
+        co_await storage_.read(keys, cached_ts, snapshot, &acct, span_ctx);
     // Fig. 7 counts the bytes served by the storage layer per consistent
     // read; most FaaSTCC responses are bare promise refreshes.
     episode_bytes += acct.response_bytes;
@@ -240,6 +257,15 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
   if (metrics_ != nullptr) {
     metrics_->storage_rounds.add(rounds);
     metrics_->storage_read_bytes.add(static_cast<double>(episode_bytes));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->annotate(span, "keys", static_cast<uint64_t>(q.keys.size()));
+    tracer_->annotate(span, "hit", 0);
+    tracer_->annotate(span, "rounds", static_cast<uint64_t>(rounds));
+    tracer_->annotate(span, "storage_bytes",
+                      static_cast<uint64_t>(episode_bytes));
+    if (resp.abort) tracer_->annotate(span, "abort", 1);
+    tracer_->end(span, rpc_.now());
   }
   co_return encode_message(resp);
 }

@@ -39,7 +39,7 @@ class FaasTccCache {
  public:
   FaasTccCache(net::Network& network, net::Address self,
                storage::TccTopology topology, CacheParams params,
-               Metrics* metrics);
+               Metrics* metrics, obs::Tracer* tracer = nullptr);
 
   net::Address address() const { return rpc_.address(); }
 
@@ -100,6 +100,7 @@ class FaasTccCache {
   storage::TccStorageClient storage_;
   CacheParams params_;
   Metrics* metrics_;
+  obs::Tracer* tracer_ = nullptr;
   std::unordered_map<Key, Entry> entries_;
   LruIndex lru_;
   size_t bytes_ = 0;

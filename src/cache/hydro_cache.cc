@@ -10,11 +10,13 @@ namespace faastcc::cache {
 
 HydroCache::HydroCache(net::Network& network, net::Address self,
                        storage::EvTopology topology, Rng rng,
-                       HydroCacheParams params, Metrics* metrics)
+                       HydroCacheParams params, Metrics* metrics,
+                       obs::Tracer* tracer)
     : rpc_(network, self),
-      storage_(rpc_, std::move(topology), rng),
+      storage_(rpc_, std::move(topology), rng, tracer),
       params_(params),
-      metrics_(metrics) {
+      metrics_(metrics),
+      tracer_(tracer) {
   rpc_.handle(kHydroRead, [this](Buffer b, net::Address from) {
     return on_read(std::move(b), from);
   });
@@ -137,6 +139,15 @@ void HydroCache::evict_to_capacity() {
 }
 
 sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
+  // Valid only before the first co_await below.
+  const obs::TraceContext inbound = rpc_.inbound_trace();
+  obs::SpanHandle span;
+  obs::TraceContext span_ctx;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(inbound, "cache.read", "cache", rpc_.address(),
+                          rpc_.now());
+    span_ctx = tracer_->context_of(span);
+  }
   auto q = decode_message<HydroReadReq>(req);
   counters_.requests.inc();
   if (metrics_ != nullptr) metrics_->cache_lookups.inc();
@@ -189,7 +200,7 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
     bool done = false;
     for (int round = 0; round < params_.max_rounds; ++round) {
       std::vector<Key> fetch_keys(1, k);
-      auto result = co_await storage_.get(std::move(fetch_keys));
+      auto result = co_await storage_.get(std::move(fetch_keys), span_ctx);
       episode_rounds += 1;
       episode_bytes += result.response_bytes;
       if (result.failed) {
@@ -254,6 +265,15 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
   } else {
     counters_.served_from_cache.inc();
     if (metrics_ != nullptr) metrics_->cache_hits.inc();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->annotate(span, "keys", static_cast<uint64_t>(q.keys.size()));
+    tracer_->annotate(span, "hit", storage_contacted ? 0 : 1);
+    tracer_->annotate(span, "rounds", static_cast<uint64_t>(episode_rounds));
+    tracer_->annotate(span, "storage_bytes",
+                      static_cast<uint64_t>(episode_bytes));
+    if (resp.abort) tracer_->annotate(span, "abort", 1);
+    tracer_->end(span, rpc_.now());
   }
   co_return encode_message(resp);
 }

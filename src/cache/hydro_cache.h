@@ -37,7 +37,7 @@ class HydroCache {
  public:
   HydroCache(net::Network& network, net::Address self,
              storage::EvTopology topology, Rng rng, HydroCacheParams params,
-             Metrics* metrics);
+             Metrics* metrics, obs::Tracer* tracer = nullptr);
 
   net::Address address() const { return rpc_.address(); }
 
@@ -95,6 +95,7 @@ class HydroCache {
   storage::EvStorageClient storage_;
   HydroCacheParams params_;
   Metrics* metrics_;
+  obs::Tracer* tracer_ = nullptr;
   std::unordered_map<Key, Entry> entries_;
   std::unordered_map<Key, Stub> stubs_;
   LruIndex lru_;

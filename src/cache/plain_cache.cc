@@ -8,11 +8,13 @@ namespace faastcc::cache {
 
 PlainCache::PlainCache(net::Network& network, net::Address self,
                        storage::EvTopology topology, Rng rng,
-                       PlainCacheParams params, Metrics* metrics)
+                       PlainCacheParams params, Metrics* metrics,
+                       obs::Tracer* tracer)
     : rpc_(network, self),
-      storage_(rpc_, std::move(topology), rng),
+      storage_(rpc_, std::move(topology), rng, tracer),
       params_(params),
-      metrics_(metrics) {
+      metrics_(metrics),
+      tracer_(tracer) {
   rpc_.handle(kPlainRead, [this](Buffer b, net::Address from) {
     return on_read(std::move(b), from);
   });
@@ -47,6 +49,15 @@ void PlainCache::evict_to_capacity() {
 }
 
 sim::Task<Buffer> PlainCache::on_read(Buffer req, net::Address) {
+  // Valid only before the first co_await below.
+  const obs::TraceContext inbound = rpc_.inbound_trace();
+  obs::SpanHandle span;
+  obs::TraceContext span_ctx;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(inbound, "cache.read", "cache", rpc_.address(),
+                          rpc_.now());
+    span_ctx = tracer_->context_of(span);
+  }
   auto q = decode_message<PlainReadReq>(req);
   if (metrics_ != nullptr) metrics_->cache_lookups.inc();
   co_await sim::sleep_for(rpc_.loop(), params_.lookup_cpu);
@@ -64,15 +75,24 @@ sim::Task<Buffer> PlainCache::on_read(Buffer req, net::Address) {
       to_fetch.push_back(i);
     }
   }
+  const auto end_span = [&](bool hit, bool abort) {
+    if (tracer_ == nullptr) return;
+    tracer_->annotate(span, "keys", static_cast<uint64_t>(q.keys.size()));
+    tracer_->annotate(span, "hit", hit ? 1 : 0);
+    if (abort) tracer_->annotate(span, "abort", 1);
+    tracer_->end(span, rpc_.now());
+  };
+
   if (to_fetch.empty()) {
     if (metrics_ != nullptr) metrics_->cache_hits.inc();
+    end_span(true, false);
     co_return encode_message(resp);
   }
 
   std::vector<Key> keys;
   keys.reserve(to_fetch.size());
   for (size_t idx : to_fetch) keys.push_back(q.keys[idx]);
-  auto result = co_await storage_.get(keys);
+  auto result = co_await storage_.get(keys, span_ctx);
   if (metrics_ != nullptr) {
     metrics_->storage_episodes.inc();
     metrics_->storage_rounds.add(1.0);
@@ -83,6 +103,7 @@ sim::Task<Buffer> PlainCache::on_read(Buffer req, net::Address) {
     // Unreachable replica: don't cache the (possibly empty) results, let
     // the client abort and retry the transaction.
     resp.abort = true;
+    end_span(false, true);
     co_return encode_message(resp);
   }
   for (size_t j = 0; j < to_fetch.size(); ++j) {
@@ -105,6 +126,7 @@ sim::Task<Buffer> PlainCache::on_read(Buffer req, net::Address) {
       evict_to_capacity();
     }
   }
+  end_span(false, false);
   co_return encode_message(resp);
 }
 

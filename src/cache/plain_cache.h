@@ -22,7 +22,7 @@ class PlainCache {
  public:
   PlainCache(net::Network& network, net::Address self,
              storage::EvTopology topology, Rng rng, PlainCacheParams params,
-             Metrics* metrics);
+             Metrics* metrics, obs::Tracer* tracer = nullptr);
 
   net::Address address() const { return rpc_.address(); }
   size_t entry_count() const { return entries_.size(); }
@@ -46,6 +46,7 @@ class PlainCache {
   storage::EvStorageClient storage_;
   PlainCacheParams params_;
   Metrics* metrics_;
+  obs::Tracer* tracer_ = nullptr;
   std::unordered_map<Key, Value> entries_;
   LruIndex lru_;
   size_t bytes_ = 0;

@@ -22,11 +22,12 @@ EventualContext EventualContext::decode(BufReader& r) {
 
 EventualAdapter::EventualAdapter(net::RpcNode& rpc, net::Address cache_address,
                                  storage::EvTopology topology, Rng rng,
-                                 Metrics* metrics)
+                                 Metrics* metrics, obs::Tracer* tracer)
     : rpc_(rpc),
       cache_address_(cache_address),
-      storage_(rpc, std::move(topology), rng),
-      metrics_(metrics) {}
+      storage_(rpc, std::move(topology), rng, tracer),
+      metrics_(metrics),
+      tracer_(tracer) {}
 
 std::unique_ptr<FunctionTxn> EventualAdapter::open(
     const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
@@ -58,8 +59,24 @@ sim::Task<std::optional<std::vector<Value>>> EventualTxn::read(
   cache::PlainReadReq req;
   req.keys.reserve(missing.size());
   for (size_t idx : missing) req.keys.push_back(keys[idx]);
+  obs::Tracer* tracer = adapter_.tracer_;
+  obs::SpanHandle span;
+  obs::TraceContext span_ctx;
+  const SimTime t0 = adapter_.rpc_.now();
+  if (tracer != nullptr) {
+    span = tracer->begin(info_.trace, "read", "client_lib",
+                         adapter_.rpc_.address(), t0);
+    tracer->annotate(span, "keys", static_cast<uint64_t>(missing.size()));
+    span_ctx = tracer->context_of(span);
+  }
   auto resp = co_await adapter_.rpc_.call<cache::PlainReadResp>(
-      adapter_.cache_address_, cache::kPlainRead, req);
+      adapter_.cache_address_, cache::kPlainRead, req, span_ctx);
+  if (tracer != nullptr) {
+    tracer->annotate(span, "abort", resp.abort ? 1 : 0);
+    tracer->add_time(span_ctx.trace_id, obs::Bucket::kStorage,
+                     adapter_.rpc_.now() - t0);
+    tracer->end(span, adapter_.rpc_.now());
+  }
   if (resp.abort) co_return std::nullopt;
   for (size_t j = 0; j < missing.size(); ++j) {
     const size_t idx = missing[j];
@@ -84,7 +101,23 @@ sim::Task<std::optional<Buffer>> EventualTxn::commit() {
       item.payload = v;
       items.push_back(std::move(item));
     }
-    auto versions = co_await adapter_.storage_.put(std::move(items));
+    obs::Tracer* tracer = adapter_.tracer_;
+    obs::SpanHandle span;
+    obs::TraceContext span_ctx;
+    const SimTime t0 = adapter_.rpc_.now();
+    if (tracer != nullptr) {
+      span = tracer->begin(info_.trace, "commit", "client_lib",
+                           adapter_.rpc_.address(), t0);
+      tracer->annotate(span, "writes", static_cast<uint64_t>(items.size()));
+      span_ctx = tracer->context_of(span);
+    }
+    auto versions = co_await adapter_.storage_.put(std::move(items), span_ctx);
+    if (tracer != nullptr) {
+      tracer->annotate(span, "committed", versions.has_value() ? 1 : 0);
+      tracer->add_time(span_ctx.trace_id, obs::Bucket::kStorage,
+                       adapter_.rpc_.now() - t0);
+      tracer->end(span, adapter_.rpc_.now());
+    }
     if (!versions.has_value()) co_return std::nullopt;
   }
   co_return Buffer{};

@@ -25,7 +25,8 @@ struct EventualContext {
 class EventualAdapter final : public SystemAdapter {
  public:
   EventualAdapter(net::RpcNode& rpc, net::Address cache_address,
-                  storage::EvTopology topology, Rng rng, Metrics* metrics);
+                  storage::EvTopology topology, Rng rng, Metrics* metrics,
+                  obs::Tracer* tracer = nullptr);
 
   std::unique_ptr<FunctionTxn> open(const TxnInfo& info,
                                     const std::vector<Buffer>& parent_contexts,
@@ -37,6 +38,7 @@ class EventualAdapter final : public SystemAdapter {
   net::Address cache_address_;
   storage::EvStorageClient storage_;
   Metrics* metrics_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class EventualTxn final : public FunctionTxn {

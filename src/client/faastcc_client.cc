@@ -7,7 +7,17 @@
 
 namespace faastcc::client {
 
+namespace {
+// Trace annotation: how tight the snapshot interval is at read time, in
+// physical microseconds (0 for an already-empty interval).
+uint64_t interval_width_us(const SnapshotInterval& si) {
+  if (si.empty()) return 0;
+  return static_cast<uint64_t>(si.high.physical_us() - si.low.physical_us());
+}
+}  // namespace
+
 void FaasTccContext::encode(BufWriter& w) const {
+  w.put_u8(kWireVersion);
   interval.encode(w);
   w.put_u64(dep_ts.raw());
   w.put_bool(snapshot_fixed);
@@ -19,6 +29,11 @@ void FaasTccContext::encode(BufWriter& w) const {
 }
 
 FaasTccContext FaasTccContext::decode(BufReader& r) {
+  const uint8_t version = r.get_u8();
+  if (version != kWireVersion) {
+    throw CodecError("FaasTccContext: unsupported wire version " +
+                     std::to_string(version));
+  }
   FaasTccContext c;
   c.interval = SnapshotInterval::decode(r);
   c.dep_ts = Timestamp(r.get_u64());
@@ -45,12 +60,14 @@ Timestamp decode_faastcc_session(const Buffer& b) {
 
 FaasTccAdapter::FaasTccAdapter(net::RpcNode& rpc, net::Address cache_address,
                                storage::TccTopology topology,
-                               FaasTccConfig config, Metrics* metrics)
+                               FaasTccConfig config, Metrics* metrics,
+                               obs::Tracer* tracer)
     : rpc_(rpc),
       cache_address_(cache_address),
-      storage_(rpc, std::move(topology)),
+      storage_(rpc, std::move(topology), tracer),
       config_(config),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      tracer_(tracer) {}
 
 std::unique_ptr<FunctionTxn> FaasTccAdapter::open(
     const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
@@ -105,8 +122,27 @@ sim::Task<std::optional<std::vector<Value>>> FaasTccTxn::read(
   req.keys.reserve(missing.size());
   for (size_t idx : missing) req.keys.push_back(keys[idx]);
 
+  obs::Tracer* tracer = adapter_.tracer_;
+  obs::SpanHandle span;
+  obs::TraceContext span_ctx;
+  const SimTime t0 = adapter_.rpc_.now();
+  if (tracer != nullptr) {
+    span = tracer->begin(info_.trace, "read", "client_lib",
+                         adapter_.rpc_.address(), t0);
+    tracer->annotate(span, "keys", static_cast<uint64_t>(missing.size()));
+    tracer->annotate(span, "interval_width_us", interval_width_us(ctx_.interval));
+    span_ctx = tracer->context_of(span);
+  }
   auto resp = co_await adapter_.rpc_.call<cache::CacheReadResp>(
-      adapter_.cache_address_, cache::kCacheRead, req);
+      adapter_.cache_address_, cache::kCacheRead, req, span_ctx);
+  if (tracer != nullptr) {
+    tracer->annotate(span, "abort", resp.abort ? 1 : 0);
+    // Reads block the function on the cache/storage path; the whole wall
+    // time is attributed to the storage bucket of the breakdown.
+    tracer->add_time(span_ctx.trace_id, obs::Bucket::kStorage,
+                     adapter_.rpc_.now() - t0);
+    tracer->end(span, adapter_.rpc_.now());
+  }
   if (resp.abort) co_return std::nullopt;
 
   ctx_.interval = resp.interval;
@@ -154,16 +190,33 @@ sim::Task<std::optional<Buffer>> FaasTccTxn::commit() {
   if (ctx_.interval.low > dep && ctx_.interval.low > Timestamp::min()) {
     dep = ctx_.interval.low;
   }
-  if (adapter_.config_.snapshot_isolation) {
-    auto commit_ts = co_await adapter_.storage_.commit_si(
-        info_.txn_id, std::move(writes), dep, ctx_.interval.high);
-    if (!commit_ts.has_value()) co_return std::nullopt;
-    co_return encode_faastcc_session(*commit_ts);
+  obs::Tracer* tracer = adapter_.tracer_;
+  obs::SpanHandle span;
+  obs::TraceContext span_ctx;
+  const SimTime t0 = adapter_.rpc_.now();
+  if (tracer != nullptr) {
+    span = tracer->begin(info_.trace, "commit", "client_lib",
+                         adapter_.rpc_.address(), t0);
+    tracer->annotate(span, "writes", static_cast<uint64_t>(writes.size()));
+    span_ctx = tracer->context_of(span);
   }
-  auto commit_ts =
-      co_await adapter_.storage_.commit(info_.txn_id, std::move(writes), dep);
-  // nullopt: a participant stayed unreachable; abort and let the client
-  // retry the DAG with a fresh transaction.
+  std::optional<Timestamp> commit_ts;
+  if (adapter_.config_.snapshot_isolation) {
+    commit_ts = co_await adapter_.storage_.commit_si(
+        info_.txn_id, std::move(writes), dep, ctx_.interval.high, span_ctx);
+  } else {
+    // nullopt: a participant stayed unreachable; abort and let the client
+    // retry the DAG with a fresh transaction.
+    commit_ts = co_await adapter_.storage_.commit(info_.txn_id,
+                                                  std::move(writes), dep,
+                                                  span_ctx);
+  }
+  if (tracer != nullptr) {
+    tracer->annotate(span, "committed", commit_ts.has_value() ? 1 : 0);
+    tracer->add_time(span_ctx.trace_id, obs::Bucket::kStorage,
+                     adapter_.rpc_.now() - t0);
+    tracer->end(span, adapter_.rpc_.now());
+  }
   if (!commit_ts.has_value()) co_return std::nullopt;
   co_return encode_faastcc_session(*commit_ts);
 }

@@ -33,7 +33,12 @@ struct FaasTccConfig {
 };
 
 // Context passed from function to function: Alg. 1's `context`.
+// The wire encoding is versioned: a leading version byte guards against
+// silent misparsing when future fields are added; decode throws CodecError
+// on a version it does not understand.
 struct FaasTccContext {
+  static constexpr uint8_t kWireVersion = 1;
+
   SnapshotInterval interval;
   Timestamp dep_ts = Timestamp::min();  // session/write causal lower bound
   bool snapshot_fixed = false;          // fixed-snapshot ablation state
@@ -47,7 +52,7 @@ class FaasTccAdapter final : public SystemAdapter {
  public:
   FaasTccAdapter(net::RpcNode& rpc, net::Address cache_address,
                  storage::TccTopology topology, FaasTccConfig config,
-                 Metrics* metrics);
+                 Metrics* metrics, obs::Tracer* tracer = nullptr);
 
   std::unique_ptr<FunctionTxn> open(const TxnInfo& info,
                                     const std::vector<Buffer>& parent_contexts,
@@ -60,6 +65,7 @@ class FaasTccAdapter final : public SystemAdapter {
   storage::TccStorageClient storage_;
   FaasTccConfig config_;
   Metrics* metrics_;
+  obs::Tracer* tracer_;
 };
 
 class FaasTccTxn final : public FunctionTxn {

@@ -6,6 +6,7 @@
 namespace faastcc::client {
 
 void HydroContext::encode(BufWriter& w) const {
+  w.put_u8(kWireVersion);
   deps.encode(w);
   w.put_u64(lamport);
   w.put_i64(global_cut);
@@ -17,6 +18,11 @@ void HydroContext::encode(BufWriter& w) const {
 }
 
 HydroContext HydroContext::decode(BufReader& r) {
+  const uint8_t version = r.get_u8();
+  if (version != kWireVersion) {
+    throw CodecError("HydroContext: unsupported wire version " +
+                     std::to_string(version));
+  }
   HydroContext c;
   c.deps = cache::DepMap::decode(r);
   c.lamport = r.get_u64();
@@ -45,12 +51,14 @@ HydroSession HydroSession::decode(BufReader& r) {
 
 HydroAdapter::HydroAdapter(net::RpcNode& rpc, net::Address cache_address,
                            storage::EvTopology topology, Rng rng,
-                           HydroConfig config, Metrics* metrics)
+                           HydroConfig config, Metrics* metrics,
+                           obs::Tracer* tracer)
     : rpc_(rpc),
       cache_address_(cache_address),
-      storage_(rpc, std::move(topology), rng),
+      storage_(rpc, std::move(topology), rng, tracer),
       config_(config),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      tracer_(tracer) {}
 
 std::unique_ptr<FunctionTxn> HydroAdapter::open(
     const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
@@ -105,8 +113,24 @@ sim::Task<std::optional<std::vector<Value>>> HydroTxn::read(
   for (size_t idx : missing) req.keys.push_back(keys[idx]);
   req.context = ctx_.deps;
 
+  obs::Tracer* tracer = adapter_.tracer_;
+  obs::SpanHandle span;
+  obs::TraceContext span_ctx;
+  const SimTime t0 = adapter_.rpc_.now();
+  if (tracer != nullptr) {
+    span = tracer->begin(info_.trace, "read", "client_lib",
+                         adapter_.rpc_.address(), t0);
+    tracer->annotate(span, "keys", static_cast<uint64_t>(missing.size()));
+    span_ctx = tracer->context_of(span);
+  }
   auto resp = co_await adapter_.rpc_.call<cache::HydroReadResp>(
-      adapter_.cache_address_, cache::kHydroRead, req);
+      adapter_.cache_address_, cache::kHydroRead, req, span_ctx);
+  if (tracer != nullptr) {
+    tracer->annotate(span, "abort", resp.abort ? 1 : 0);
+    tracer->add_time(span_ctx.trace_id, obs::Bucket::kStorage,
+                     adapter_.rpc_.now() - t0);
+    tracer->end(span, adapter_.rpc_.now());
+  }
   if (resp.abort) co_return std::nullopt;
 
   ctx_.global_cut = std::max(ctx_.global_cut, resp.global_cut);
@@ -231,7 +255,24 @@ sim::Task<std::optional<Buffer>> HydroTxn::commit() {
     item.payload.assign(payload.begin(), payload.end());
     items.push_back(std::move(item));
   }
-  auto versions = co_await adapter_.storage_.put(std::move(items));
+  obs::Tracer* tracer = adapter_.tracer_;
+  obs::SpanHandle span;
+  obs::TraceContext span_ctx;
+  const SimTime t0 = adapter_.rpc_.now();
+  if (tracer != nullptr) {
+    span = tracer->begin(info_.trace, "commit", "client_lib",
+                         adapter_.rpc_.address(), t0);
+    tracer->annotate(span, "writes",
+                     static_cast<uint64_t>(ctx_.write_set.size()));
+    span_ctx = tracer->context_of(span);
+  }
+  auto versions = co_await adapter_.storage_.put(std::move(items), span_ctx);
+  if (tracer != nullptr) {
+    tracer->annotate(span, "committed", versions.has_value() ? 1 : 0);
+    tracer->add_time(span_ctx.trace_id, obs::Bucket::kStorage,
+                     adapter_.rpc_.now() - t0);
+    tracer->end(span, adapter_.rpc_.now());
+  }
   // Unreachable replica through the retry budget: abort the DAG.
   if (!versions.has_value()) co_return std::nullopt;
 

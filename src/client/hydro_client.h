@@ -31,7 +31,11 @@ struct HydroConfig {
   size_t stored_dep_cap = 512;
 };
 
+// Versioned like FaasTccContext: a leading version byte; decode throws
+// CodecError on mismatch.
 struct HydroContext {
+  static constexpr uint8_t kWireVersion = 1;
+
   cache::DepMap deps;
   uint64_t lamport = 0;  // max version counter observed
   SimTime global_cut = 0;
@@ -45,7 +49,7 @@ class HydroAdapter final : public SystemAdapter {
  public:
   HydroAdapter(net::RpcNode& rpc, net::Address cache_address,
                storage::EvTopology topology, Rng rng, HydroConfig config,
-               Metrics* metrics);
+               Metrics* metrics, obs::Tracer* tracer = nullptr);
 
   std::unique_ptr<FunctionTxn> open(const TxnInfo& info,
                                     const std::vector<Buffer>& parent_contexts,
@@ -58,6 +62,7 @@ class HydroAdapter final : public SystemAdapter {
   storage::EvStorageClient storage_;
   HydroConfig config_;
   Metrics* metrics_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 class HydroTxn final : public FunctionTxn {

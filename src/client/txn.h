@@ -12,6 +12,7 @@
 
 #include "common/serialize.h"
 #include "common/types.h"
+#include "obs/trace.h"
 #include "sim/task.h"
 
 namespace faastcc::client {
@@ -30,6 +31,9 @@ struct TxnInfo {
   bool is_static = false;
   std::vector<Key> declared_read_set;
   std::vector<Key> declared_write_set;
+  // Trace context of the enclosing function execution; read/commit spans
+  // opened by the client library parent here.
+  obs::TraceContext trace;
 };
 
 class FunctionTxn {

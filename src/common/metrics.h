@@ -3,7 +3,24 @@
 // One Metrics instance is shared by every component of a simulated cluster
 // (the simulation is single-threaded, so plain members suffice).  The
 // fields map one-to-one onto the paper's reported quantities.
+//
+// Two access styles share the same storage:
+//   * typed members (`metrics.dag_commits.inc()`) — the original flat
+//     struct, kept so existing call sites and RunResult comparisons work;
+//   * the registry (`metrics.counter("dag.commits")`,
+//     `metrics.histogram("dag.latency_ms")`) — name-addressed handles.
+//     Well-known names resolve to the typed members; unknown names create
+//     dynamic entries on first use (deque-backed, so handles stay stable).
+// Iteration (each_counter / each_histogram) visits the well-known metrics
+// in declaration order, then dynamic ones in registration order — a
+// deterministic order for bit-identical JSON output.
 #pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
 
 #include "common/stats.h"
 
@@ -50,6 +67,25 @@ struct Metrics {
   uint64_t net_rpc_timeouts = 0;
   uint64_t net_rpc_retries = 0;
 
+  // ---- Registry API -----------------------------------------------------
+  // Handles are references into this instance: valid for its lifetime, and
+  // copied by value when the instance is copied (RunResult snapshots).
+
+  Counter& counter(std::string_view name);
+  Samples& histogram(std::string_view name);
+
+  // nullptr when `name` is neither well-known nor registered.  Never
+  // creates an entry (safe on const RunResult snapshots).
+  const Counter* find_counter(std::string_view name) const;
+  const Samples* find_histogram(std::string_view name) const;
+
+  // Deterministic iteration: well-known metrics in declaration order, then
+  // dynamic metrics in registration order.
+  void each_counter(
+      const std::function<void(const char*, const Counter&)>& fn) const;
+  void each_histogram(
+      const std::function<void(const char*, const Samples&)>& fn) const;
+
   double cache_hit_rate() const {
     const auto l = cache_lookups.value();
     return l == 0 ? 0.0
@@ -62,6 +98,12 @@ struct Metrics {
                   : static_cast<double>(dag_aborts.value()) /
                         static_cast<double>(a);
   }
+
+  // Dynamic registry storage (deque: growth never invalidates handles).
+  // Public so Metrics stays copyable as a plain value; use the registry
+  // accessors instead of touching these directly.
+  std::deque<std::pair<std::string, Counter>> dynamic_counters_;
+  std::deque<std::pair<std::string, Samples>> dynamic_histograms_;
 };
 
 }  // namespace faastcc

@@ -11,12 +11,14 @@ namespace faastcc::faas {
 ComputeNode::ComputeNode(net::Network& network, net::Address self,
                          std::shared_ptr<FunctionRegistry> registry,
                          const AdapterFactory& adapter_factory,
-                         ComputeNodeParams params, Metrics* metrics)
+                         ComputeNodeParams params, Metrics* metrics,
+                         obs::Tracer* tracer)
     : rpc_(network, self),
       registry_(std::move(registry)),
       adapter_(adapter_factory(rpc_)),
       params_(params),
       metrics_(metrics),
+      tracer_(tracer),
       ready_(network.loop()) {
   rpc_.handle_oneway(kTrigger, [this](Buffer b, net::Address from) {
     on_trigger(std::move(b), from);
@@ -53,6 +55,8 @@ void ComputeNode::gc_stale_joins() {
 }
 
 void ComputeNode::on_trigger(Buffer msg, net::Address) {
+  // Must be read before anything else: valid only for this delivery.
+  const obs::TraceContext inbound = rpc_.inbound_trace();
   TriggerMsg t = decode_message<TriggerMsg>(msg);
   counters_.triggers.inc();
   gc_stale_joins();
@@ -68,6 +72,8 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
     if (parents == 1) ctxs.push_back(t.context);
     w.trigger = std::move(t);
     w.parent_contexts = std::move(ctxs);
+    w.trace = inbound;
+    w.enqueued = rpc_.now();
     ready_.push(std::move(w));
     return;
   }
@@ -83,12 +89,15 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
   if (state.contexts.size() == 1) {
     state.created = rpc_.now();
     state.first = std::move(t);
+    state.trace = inbound;
   }
   if (state.contexts.size() < parents) return;
   counters_.joins_merged.inc();
   Work w;
   w.trigger = std::move(state.first);
   w.parent_contexts = std::move(state.contexts);
+  w.trace = state.trace;
+  w.enqueued = rpc_.now();
   joins_.erase(key);
   ready_.push(std::move(w));
 }
@@ -139,23 +148,53 @@ sim::Task<void> ComputeNode::execute(Work work) {
     counters_.stale_triggers_dropped.inc();
     co_return;
   }
+
+  obs::SpanHandle span;
+  obs::TraceContext ctx;  // this function execution's own context
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(work.trace, "fn", "compute", rpc_.address(),
+                          rpc_.now());
+    tracer_->annotate(span, "fn_index", t.fn_index);
+    ctx = tracer_->context_of(span);
+    // Time between trigger arrival and an executor picking the work up.
+    tracer_->add_time(ctx.trace_id, obs::Bucket::kQueue,
+                      rpc_.now() - work.enqueued);
+  }
+  const auto charge_compute = [this, &ctx](Duration d) {
+    if (tracer_ != nullptr) {
+      tracer_->add_time(ctx.trace_id, obs::Bucket::kCompute, d);
+    }
+  };
+  const auto end_span = [this, &span](bool aborted) {
+    if (tracer_ != nullptr) {
+      if (aborted) tracer_->annotate(span, "aborted", 1);
+      tracer_->end(span, rpc_.now());
+    }
+  };
+
+  charge_compute(params_.dispatch_overhead);
   co_await sim::sleep_for(rpc_.loop(), params_.dispatch_overhead);
 
   // Deserializing and merging the inbound context(s) costs CPU time
   // proportional to their size.
   size_t inbound = 0;
   for (const Buffer& c : work.parent_contexts) inbound += c.size();
-  if (inbound > 0) co_await sim::sleep_for(rpc_.loop(), context_cost(inbound));
+  if (inbound > 0) {
+    charge_compute(context_cost(inbound));
+    co_await sim::sleep_for(rpc_.loop(), context_cost(inbound));
+  }
 
   client::TxnInfo info;
   info.txn_id = t.txn_id;
   info.is_static = t.spec.is_static;
   info.declared_read_set = t.spec.declared_read_set;
   info.declared_write_set = t.spec.declared_write_set;
+  info.trace = ctx;
 
   auto txn = adapter_->open(info, work.parent_contexts, t.session);
   if (txn == nullptr) {
     send_abort(t);
+    end_span(true);
     co_return;
   }
 
@@ -164,10 +203,12 @@ sim::Task<void> ComputeNode::execute(Work work) {
   if (body == nullptr) {
     LOG_ERROR("unknown function '" << fn.name << "'");
     send_abort(t);
+    end_span(true);
     co_return;
   }
 
   ExecEnv env{*txn, fn.args, t.parent_result, rpc_.loop(), false};
+  charge_compute(params_.function_service_time);
   co_await sim::sleep_for(rpc_.loop(), params_.function_service_time);
   Buffer result;
   try {
@@ -178,6 +219,7 @@ sim::Task<void> ComputeNode::execute(Work work) {
   counters_.functions_executed.inc();
   if (env.abort_requested) {
     send_abort(t);
+    end_span(true);
     co_return;
   }
 
@@ -194,18 +236,26 @@ sim::Task<void> ComputeNode::execute(Work work) {
       aborted_.insert(t.txn_id);
       counters_.aborts_raised.inc();
     }
-    rpc_.send(t.client, kDagDone, done);
+    rpc_.send(t.client, kDagDone, done, ctx);
+    end_span(!done.committed);
     co_return;
   }
 
   // Forward context + result to every child.
   Buffer context = txn->export_context();
+  charge_compute(context_cost(context.size()));
   co_await sim::sleep_for(rpc_.loop(), context_cost(context.size()));
   if (metrics_ != nullptr) {
     const auto md = static_cast<double>(txn->metadata_bytes());
     for (size_t i = 0; i < fn.children.size(); ++i) {
       metrics_->metadata_bytes.add(md);
     }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->annotate(span, "context_bytes",
+                      static_cast<uint64_t>(context.size()));
+    tracer_->annotate(span, "metadata_bytes",
+                      static_cast<uint64_t>(txn->metadata_bytes()));
   }
   for (uint32_t child : fn.children) {
     TriggerMsg next;
@@ -217,8 +267,9 @@ sim::Task<void> ComputeNode::execute(Work work) {
     next.placement = t.placement;
     next.context = context;
     next.parent_result = result;
-    rpc_.send(t.placement.at(child), kTrigger, next);
+    rpc_.send(t.placement.at(child), kTrigger, next, ctx);
   }
+  end_span(false);
 }
 
 }  // namespace faastcc::faas

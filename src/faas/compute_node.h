@@ -14,6 +14,7 @@
 #include "faas/function_registry.h"
 #include "faas/messages.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 #include "sim/async_queue.h"
 
 namespace faastcc::faas {
@@ -44,7 +45,7 @@ class ComputeNode {
   ComputeNode(net::Network& network, net::Address self,
               std::shared_ptr<FunctionRegistry> registry,
               const AdapterFactory& adapter_factory, ComputeNodeParams params,
-              Metrics* metrics);
+              Metrics* metrics, obs::Tracer* tracer = nullptr);
 
   // Spawns the executor pool.
   void start();
@@ -65,6 +66,8 @@ class ComputeNode {
   struct Work {
     TriggerMsg trigger;                   // representative trigger
     std::vector<Buffer> parent_contexts;  // all parents' contexts
+    obs::TraceContext trace;              // sender's span (joins: first seen)
+    SimTime enqueued = 0;                 // queue-wait measurement start
   };
 
   void on_trigger(Buffer msg, net::Address from);
@@ -79,6 +82,7 @@ class ComputeNode {
   std::unique_ptr<client::SystemAdapter> adapter_;
   ComputeNodeParams params_;
   Metrics* metrics_;
+  obs::Tracer* tracer_;
   sim::AsyncQueue<Work> ready_;
 
   // Join buffering: contexts received so far per (txn, function).
@@ -97,6 +101,7 @@ class ComputeNode {
     std::vector<Buffer> contexts;
     std::unordered_set<uint32_t> parents_seen;
     SimTime created = 0;
+    obs::TraceContext trace;  // first-arriving parent's span
   };
   std::unordered_map<JoinKey, JoinState, JoinKeyHash> joins_;
   void gc_stale_joins();

@@ -9,8 +9,12 @@ namespace faastcc::faas {
 
 Scheduler::Scheduler(net::Network& network, net::Address self,
                      std::vector<net::Address> nodes, SchedulerParams params,
-                     Rng rng)
-    : rpc_(network, self), nodes_(std::move(nodes)), params_(params), rng_(rng) {
+                     Rng rng, obs::Tracer* tracer)
+    : rpc_(network, self),
+      nodes_(std::move(nodes)),
+      params_(params),
+      rng_(rng),
+      tracer_(tracer) {
   assert(!nodes_.empty());
   rpc_.handle_oneway(kStartDag, [this](Buffer b, net::Address from) {
     on_start(std::move(b), from);
@@ -19,10 +23,19 @@ Scheduler::Scheduler(net::Network& network, net::Address self,
 
 void Scheduler::on_start(Buffer msg, net::Address) {
   StartDagMsg start = decode_message<StartDagMsg>(msg);
-  sim::spawn(dispatch(std::move(start)));
+  sim::spawn(dispatch(std::move(start), rpc_.inbound_trace()));
 }
 
-sim::Task<void> Scheduler::dispatch(StartDagMsg start) {
+sim::Task<void> Scheduler::dispatch(StartDagMsg start,
+                                    obs::TraceContext trace) {
+  obs::SpanHandle span;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(trace, "schedule", "scheduler", rpc_.address(),
+                          rpc_.now());
+    // Time at the scheduler is queueing from the DAG's point of view.
+    tracer_->add_time(trace.trace_id, obs::Bucket::kQueue,
+                      params_.service_time);
+  }
   co_await sim::sleep_for(rpc_.loop(), params_.service_time);
   start.spec.normalize_sinks();
   if (!start.spec.valid()) {
@@ -31,6 +44,7 @@ sim::Task<void> Scheduler::dispatch(StartDagMsg start) {
     done.txn_id = start.txn_id;
     done.committed = false;
     rpc_.send(start.client, kDagDone, done);
+    if (tracer_ != nullptr) tracer_->end(span, rpc_.now());
     co_return;
   }
   dags_started_.inc();
@@ -49,7 +63,14 @@ sim::Task<void> Scheduler::dispatch(StartDagMsg start) {
   }
   t.fn_index = start.spec.root();
   t.spec = std::move(start.spec);
-  rpc_.send(t.placement[t.fn_index], kTrigger, t);
+  obs::TraceContext out;
+  if (tracer_ != nullptr) {
+    tracer_->annotate(span, "functions",
+                      static_cast<uint64_t>(t.spec.functions.size()));
+    out = tracer_->context_of(span);
+  }
+  rpc_.send(t.placement[t.fn_index], kTrigger, t, out);
+  if (tracer_ != nullptr) tracer_->end(span, rpc_.now());
 }
 
 }  // namespace faastcc::faas

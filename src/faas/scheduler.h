@@ -10,6 +10,7 @@
 #include "common/stats.h"
 #include "faas/messages.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 
 namespace faastcc::faas {
 
@@ -21,19 +22,21 @@ struct SchedulerParams {
 class Scheduler {
  public:
   Scheduler(net::Network& network, net::Address self,
-            std::vector<net::Address> nodes, SchedulerParams params, Rng rng);
+            std::vector<net::Address> nodes, SchedulerParams params, Rng rng,
+            obs::Tracer* tracer = nullptr);
 
   net::Address address() const { return rpc_.address(); }
   uint64_t dags_started() const { return dags_started_.value(); }
 
  private:
   void on_start(Buffer msg, net::Address from);
-  sim::Task<void> dispatch(StartDagMsg start);
+  sim::Task<void> dispatch(StartDagMsg start, obs::TraceContext trace);
 
   net::RpcNode rpc_;
   std::vector<net::Address> nodes_;
   SchedulerParams params_;
   Rng rng_;
+  obs::Tracer* tracer_;
   size_t next_node_ = 0;
   Counter dags_started_;
 };

@@ -25,10 +25,31 @@ const char* system_name(SystemKind s) {
   return "?";
 }
 
+std::unique_ptr<client::SystemAdapter> MakeAdapter(
+    SystemKind kind, const AdapterConfig& config) {
+  assert(config.rpc != nullptr);
+  switch (kind) {
+    case SystemKind::kFaasTcc:
+      return std::make_unique<client::FaasTccAdapter>(
+          *config.rpc, config.cache_address, config.tcc_topology,
+          config.faastcc, config.metrics, config.tracer);
+    case SystemKind::kHydroCache:
+      return std::make_unique<client::HydroAdapter>(
+          *config.rpc, config.cache_address, config.ev_topology, config.rng,
+          config.hydro, config.metrics, config.tracer);
+    case SystemKind::kCloudburst:
+      return std::make_unique<client::EventualAdapter>(
+          *config.rpc, config.cache_address, config.ev_topology, config.rng,
+          config.metrics, config.tracer);
+  }
+  return nullptr;
+}
+
 Cluster::Cluster(ClusterParams params)
     : params_(std::move(params)),
       rng_(params_.seed),
       network_(loop_, params_.net, rng_.fork()),
+      tracer_(params_.trace),
       registry_(std::make_shared<faas::FunctionRegistry>()) {
   workload::WorkloadGen::register_functions(*registry_);
   // Install the fault layer before anything draws from rng_: the extra
@@ -85,7 +106,7 @@ void Cluster::build_storage() {
       }
       tcc_partitions_.push_back(std::make_unique<storage::TccPartition>(
           network_, topo.partitions[p], static_cast<PartitionId>(p),
-          topo.partitions, tcc_params));
+          topo.partitions, tcc_params, &tracer_));
     }
     return;
   }
@@ -113,17 +134,22 @@ void Cluster::build_compute() {
     const net::Address node_addr = kNodeBase + static_cast<net::Address>(n);
     network_.colocate(cache_addr, node_addr);
 
-    faas::ComputeNode::AdapterFactory factory;
+    // One AdapterConfig per node; the rng fork order below (cache first,
+    // then adapter, eventual systems only) reproduces the pre-factory
+    // construction sequence exactly.
+    AdapterConfig acfg;
+    acfg.cache_address = cache_addr;
+    acfg.metrics = &metrics_;
+    acfg.tracer = &tracer_;
     switch (params_.system) {
       case SystemKind::kFaasTcc: {
         auto cache_params = params_.faastcc_cache;
         cache_params.capacity = params_.cache_capacity;
         faastcc_caches_.push_back(std::make_unique<cache::FaasTccCache>(
-            network_, cache_addr, tcc_topology(), cache_params, &metrics_));
-        factory = [this, cache_addr](net::RpcNode& rpc) {
-          return std::make_unique<client::FaasTccAdapter>(
-              rpc, cache_addr, tcc_topology(), params_.faastcc, &metrics_);
-        };
+            network_, cache_addr, tcc_topology(), cache_params, &metrics_,
+            &tracer_));
+        acfg.tcc_topology = tcc_topology();
+        acfg.faastcc = params_.faastcc;
         break;
       }
       case SystemKind::kHydroCache: {
@@ -131,12 +157,10 @@ void Cluster::build_compute() {
         cache_params.capacity = params_.cache_capacity;
         hydro_caches_.push_back(std::make_unique<cache::HydroCache>(
             network_, cache_addr, ev_topology(), rng_.fork(), cache_params,
-            &metrics_));
-        factory = [this, cache_addr](net::RpcNode& rpc) {
-          return std::make_unique<client::HydroAdapter>(
-              rpc, cache_addr, ev_topology(), rng_.fork(), params_.hydro,
-              &metrics_);
-        };
+            &metrics_, &tracer_));
+        acfg.ev_topology = ev_topology();
+        acfg.hydro = params_.hydro;
+        acfg.rng = rng_.fork();
         break;
       }
       case SystemKind::kCloudburst: {
@@ -144,23 +168,29 @@ void Cluster::build_compute() {
         cache_params.capacity = params_.cache_capacity;
         plain_caches_.push_back(std::make_unique<cache::PlainCache>(
             network_, cache_addr, ev_topology(), rng_.fork(), cache_params,
-            &metrics_));
-        factory = [this, cache_addr](net::RpcNode& rpc) {
-          return std::make_unique<client::EventualAdapter>(
-              rpc, cache_addr, ev_topology(), rng_.fork(), &metrics_);
-        };
+            &metrics_, &tracer_));
+        acfg.ev_topology = ev_topology();
+        acfg.rng = rng_.fork();
         break;
       }
     }
+    faas::ComputeNode::AdapterFactory factory =
+        [kind = params_.system, acfg](net::RpcNode& rpc) {
+          AdapterConfig c = acfg;
+          c.rpc = &rpc;
+          return MakeAdapter(kind, c);
+        };
     nodes_.push_back(std::make_unique<faas::ComputeNode>(
-        network_, node_addr, registry_, factory, params_.node, &metrics_));
+        network_, node_addr, registry_, factory, params_.node, &metrics_,
+        &tracer_));
   }
 
   std::vector<net::Address> node_addrs;
   node_addrs.reserve(nodes_.size());
   for (const auto& n : nodes_) node_addrs.push_back(n->address());
   scheduler_ = std::make_unique<faas::Scheduler>(
-      network_, kSchedulerAddr, node_addrs, params_.scheduler, rng_.fork());
+      network_, kSchedulerAddr, node_addrs, params_.scheduler, rng_.fork(),
+      &tracer_);
 }
 
 void Cluster::build_clients() {
@@ -173,7 +203,8 @@ void Cluster::build_clients() {
         params_.faults.enabled() ? params_.faults.dag_timeout : Duration{0};
     clients_.push_back(std::make_unique<workload::ClientDriver>(
         network_, kClientBase + static_cast<net::Address>(c), kSchedulerAddr,
-        workload::WorkloadGen(params_.workload, rng_.fork()), cp, &metrics_));
+        workload::WorkloadGen(params_.workload, rng_.fork()), cp, &metrics_,
+        &tracer_));
   }
 }
 

@@ -19,6 +19,7 @@
 #include "faas/compute_node.h"
 #include "faas/scheduler.h"
 #include "net/network.h"
+#include "obs/trace.h"
 #include "storage/eventual_store.h"
 #include "storage/tcc_partition.h"
 #include "workload/client_driver.h"
@@ -28,6 +29,27 @@ namespace faastcc::harness {
 enum class SystemKind { kFaasTcc, kHydroCache, kCloudburst };
 
 const char* system_name(SystemKind s);
+
+// Everything any of the three client libraries needs to be constructed;
+// MakeAdapter reads only the fields relevant to the requested system.
+struct AdapterConfig {
+  net::RpcNode* rpc = nullptr;   // the owning compute node's endpoint
+  net::Address cache_address = 0;
+  storage::TccTopology tcc_topology;  // FaaSTCC
+  storage::EvTopology ev_topology;    // HydroCache / Cloudburst
+  client::FaasTccConfig faastcc;
+  client::HydroConfig hydro;
+  Metrics* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
+  // Replica-selection stream for the eventually consistent systems.  Fork
+  // it from the cluster rng in the same order the adapters were previously
+  // constructed, or seeds stop reproducing pre-factory runs.
+  Rng rng = Rng(0);
+};
+
+// Unified adapter construction for all three systems.
+std::unique_ptr<client::SystemAdapter> MakeAdapter(SystemKind kind,
+                                                   const AdapterConfig& config);
 
 struct ClusterParams {
   SystemKind system = SystemKind::kFaasTcc;
@@ -65,6 +87,10 @@ struct ClusterParams {
   int64_t clock_skew_us = 100;
   // Multiplies partition 0's stabilization gossip period (a straggler).
   int straggler_gossip_factor = 1;
+
+  // Deterministic distributed tracing (off by default: with tracing off the
+  // run is bit-identical to a build without the observability layer).
+  obs::TraceParams trace;
 
   // Pre-warm node caches with the hottest keys before the measured phase
   // (§6.1: "cache sizes are unbounded and were pre-warmed").  Bounded
@@ -105,6 +131,8 @@ class Cluster {
   net::Network& network() { return network_; }
   faas::FunctionRegistry& registry() { return *registry_; }
   Metrics& metrics() { return metrics_; }
+  obs::Tracer& tracer() { return tracer_; }
+  const obs::Tracer& tracer() const { return tracer_; }
   const ClusterParams& params() const { return params_; }
   net::Address scheduler_address() const;
 
@@ -140,6 +168,7 @@ class Cluster {
   sim::EventLoop loop_;
   net::Network network_;
   Metrics metrics_;
+  obs::Tracer tracer_;
   std::shared_ptr<faas::FunctionRegistry> registry_;
 
   std::vector<std::unique_ptr<storage::TccPartition>> tcc_partitions_;

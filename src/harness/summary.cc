@@ -37,6 +37,14 @@ SummaryStats summarize(const RunResult& r) {
   s.hit_rate = r.metrics.cache_hit_rate();
   s.committed = static_cast<double>(r.committed);
   s.duration_s = r.duration_s;
+  const auto median_of = [&](std::string_view name) {
+    const Samples* h = r.metrics.find_histogram(name);
+    return h != nullptr ? h->median() : 0.0;
+  };
+  s.breakdown_queue_ms = median_of("breakdown.queue_ms");
+  s.breakdown_compute_ms = median_of("breakdown.compute_ms");
+  s.breakdown_storage_ms = median_of("breakdown.storage_ms");
+  s.breakdown_network_ms = median_of("breakdown.network_ms");
   return s;
 }
 
@@ -55,18 +63,30 @@ std::string config_key(const ExperimentConfig& cfg, int dags_per_client) {
 namespace {
 
 const char* kFields[] = {
-    "latency_med_ms", "latency_p99_ms", "throughput",    "metadata_med",
-    "metadata_p99",   "rounds_med",     "rounds_p99",    "read_bytes_med",
-    "read_bytes_p99", "cache_bytes",    "cache_entries", "abort_rate",
-    "hit_rate",       "committed",      "duration_s",
+    "latency_med_ms",       "latency_p99_ms",
+    "throughput",           "metadata_med",
+    "metadata_p99",         "rounds_med",
+    "rounds_p99",           "read_bytes_med",
+    "read_bytes_p99",       "cache_bytes",
+    "cache_entries",        "abort_rate",
+    "hit_rate",             "committed",
+    "duration_s",           "breakdown_queue_ms",
+    "breakdown_compute_ms", "breakdown_storage_ms",
+    "breakdown_network_ms",
 };
 
 double* field_ptr(SummaryStats& s, size_t i) {
   double* ptrs[] = {
-      &s.latency_med_ms, &s.latency_p99_ms, &s.throughput,    &s.metadata_med,
-      &s.metadata_p99,   &s.rounds_med,     &s.rounds_p99,    &s.read_bytes_med,
-      &s.read_bytes_p99, &s.cache_bytes,    &s.cache_entries, &s.abort_rate,
-      &s.hit_rate,       &s.committed,      &s.duration_s,
+      &s.latency_med_ms,       &s.latency_p99_ms,
+      &s.throughput,           &s.metadata_med,
+      &s.metadata_p99,         &s.rounds_med,
+      &s.rounds_p99,           &s.read_bytes_med,
+      &s.read_bytes_p99,       &s.cache_bytes,
+      &s.cache_entries,        &s.abort_rate,
+      &s.hit_rate,             &s.committed,
+      &s.duration_s,           &s.breakdown_queue_ms,
+      &s.breakdown_compute_ms, &s.breakdown_storage_ms,
+      &s.breakdown_network_ms,
   };
   return ptrs[i];
 }

@@ -31,6 +31,12 @@ struct SummaryStats {
   double hit_rate = 0;
   double committed = 0;
   double duration_s = 0;
+  // Median per-DAG latency breakdown (ms); all zero unless tracing was
+  // enabled for the run (the breakdown histograms are trace-derived).
+  double breakdown_queue_ms = 0;
+  double breakdown_compute_ms = 0;
+  double breakdown_storage_ms = 0;
+  double breakdown_network_ms = 0;
 };
 
 SummaryStats summarize(const RunResult& result);

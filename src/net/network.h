@@ -23,6 +23,7 @@
 #include "common/serialize.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/trace.h"
 #include "sim/event_loop.h"
 
 namespace faastcc::net {
@@ -39,6 +40,11 @@ struct Message {
   MethodId method = 0;
   uint64_t request_id = 0;
   Buffer payload;
+  // Trace context, riding inside the fixed frame header like a W3C
+  // traceparent field.  Deliberately NOT part of wire_size(): delivery
+  // delays must be identical whether tracing is on or off, or enabling
+  // tracing would perturb the event schedule.
+  obs::TraceContext trace;
 
   // Wire size: payload plus a fixed header, mirroring the framing overhead
   // of the ZeroMQ + protobuf stack in the authors' prototype.

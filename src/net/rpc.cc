@@ -20,10 +20,9 @@ void RpcNode::handle_oneway(MethodId method, OneWayHandler handler) {
   oneway_handlers_[method] = std::move(handler);
 }
 
-sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized(Address to,
-                                                          MethodId method,
-                                                          Buffer request,
-                                                          Duration timeout) {
+sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized(
+    Address to, MethodId method, Buffer request, Duration timeout,
+    obs::TraceContext trace) {
   if (timeout == kUseDefaultTimeout) {
     timeout =
         network_.is_local(address_, to) ? 0 : network_.default_rpc_timeout();
@@ -36,6 +35,7 @@ sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized(Address to,
   m.method = method;
   m.request_id = id;
   m.payload = std::move(request);
+  m.trace = trace;
   const size_t req_bytes = m.wire_size();
 
   auto [it, inserted] = pending_.emplace(
@@ -64,12 +64,14 @@ void RpcNode::on_call_timeout(uint64_t id) {
 }
 
 sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized_retry(
-    Address to, MethodId method, Buffer request, RetryPolicy policy) {
+    Address to, MethodId method, Buffer request, RetryPolicy policy,
+    obs::TraceContext trace) {
   Duration backoff = policy.initial_backoff;
   for (int attempt = 1;; ++attempt) {
     // Each attempt needs its own copy: the request may be re-sent.
     SizedResponse r =
-        co_await call_raw_sized(to, method, request, policy.timeout);
+        co_await call_raw_sized(to, method, request, policy.timeout, trace);
+    r.attempts = static_cast<uint32_t>(attempt);
     if (r.ok() || attempt >= policy.max_attempts) co_return r;
     network_.note_rpc_retry();
     co_await sim::sleep_for(loop(), backoff);
@@ -77,29 +79,32 @@ sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized_retry(
   }
 }
 
-sim::Task<std::optional<Buffer>> RpcNode::call_raw_retry(Address to,
-                                                         MethodId method,
-                                                         Buffer request,
-                                                         RetryPolicy policy) {
+sim::Task<std::optional<Buffer>> RpcNode::call_raw_retry(
+    Address to, MethodId method, Buffer request, RetryPolicy policy,
+    obs::TraceContext trace) {
   SizedResponse r = co_await call_raw_sized_retry(to, method,
-                                                  std::move(request), policy);
+                                                  std::move(request), policy,
+                                                  trace);
   if (!r.ok()) co_return std::nullopt;
   co_return std::move(r.payload);
 }
 
 sim::Task<Buffer> RpcNode::call_raw(Address to, MethodId method,
-                                    Buffer request) {
-  SizedResponse r = co_await call_raw_sized(to, method, std::move(request));
+                                    Buffer request, obs::TraceContext trace) {
+  SizedResponse r = co_await call_raw_sized(to, method, std::move(request),
+                                            kUseDefaultTimeout, trace);
   co_return std::move(r.payload);
 }
 
-void RpcNode::send_raw(Address to, MethodId method, Buffer payload) {
+void RpcNode::send_raw(Address to, MethodId method, Buffer payload,
+                       obs::TraceContext trace) {
   Message m;
   m.from = address_;
   m.to = to;
   m.kind = MessageKind::kOneWay;
   m.method = method;
   m.payload = std::move(payload);
+  m.trace = trace;
   network_.send(std::move(m));
 }
 
@@ -112,6 +117,7 @@ sim::Task<void> RpcNode::run_handler(RequestHandler& handler, Message m) {
   r.method = m.method;
   r.request_id = m.request_id;
   r.payload = std::move(response);
+  r.trace = m.trace;  // echo, so responses correlate in packet-level views
   network_.send(std::move(r));
 }
 
@@ -123,6 +129,8 @@ void RpcNode::on_message(Message m) {
         LOG_ERROR("no handler for method " << m.method << " at " << address_);
         return;
       }
+      // Handlers read this synchronously before their first suspension.
+      inbound_trace_ = m.trace;
       sim::spawn(run_handler(it->second, std::move(m)));
       return;
     }
@@ -148,6 +156,7 @@ void RpcNode::on_message(Message m) {
         LOG_DEBUG("no one-way handler for method " << m.method);
         return;
       }
+      inbound_trace_ = m.trace;
       it->second(std::move(m.payload), m.from);
       return;
     }

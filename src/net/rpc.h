@@ -71,23 +71,27 @@ class RpcNode {
 
   // Raw call; completes when the response arrives or the timeout fires
   // (check SizedResponse::status — the payload is empty on timeout).
-  sim::Task<Buffer> call_raw(Address to, MethodId method, Buffer request);
+  sim::Task<Buffer> call_raw(Address to, MethodId method, Buffer request,
+                             obs::TraceContext trace = {});
 
   // Typed call.  `req` is taken by value: tasks are lazy, so the request
   // must live in the coroutine frame — callers routinely build several
   // calls and only await them later via when_all.
   template <typename Resp, typename Req>
-  sim::Task<Resp> call(Address to, MethodId method, Req req) {
-    Buffer resp = co_await call_raw(to, method, encode_message(req));
+  sim::Task<Resp> call(Address to, MethodId method, Req req,
+                       obs::TraceContext trace = {}) {
+    Buffer resp = co_await call_raw(to, method, encode_message(req), trace);
     co_return decode_message<Resp>(resp);
   }
 
   // One-way typed send.
   template <typename M>
-  void send(Address to, MethodId method, const M& msg) {
-    send_raw(to, method, encode_message(msg));
+  void send(Address to, MethodId method, const M& msg,
+            obs::TraceContext trace = {}) {
+    send_raw(to, method, encode_message(msg), trace);
   }
-  void send_raw(Address to, MethodId method, Buffer payload);
+  void send_raw(Address to, MethodId method, Buffer payload,
+                obs::TraceContext trace = {});
 
   // Bytes of the last response received by call_raw on this node; callers
   // that need per-request accounting should use call_raw_sized instead.
@@ -96,12 +100,16 @@ class RpcNode {
     size_t request_wire_bytes = 0;
     size_t response_wire_bytes = 0;
     RpcStatus status = RpcStatus::kOk;
+    // Attempts consumed when the call went through a retry wrapper (1 for a
+    // first-try success); plain call_raw_sized leaves it at 1.
+    uint32_t attempts = 1;
 
     bool ok() const { return status == RpcStatus::kOk; }
   };
   sim::Task<SizedResponse> call_raw_sized(Address to, MethodId method,
                                           Buffer request,
-                                          Duration timeout = kUseDefaultTimeout);
+                                          Duration timeout = kUseDefaultTimeout,
+                                          obs::TraceContext trace = {});
 
   // Retries on timeout; the final attempt's response (possibly still a
   // timeout) is returned.  With timeouts resolved to 0 (faults off) the
@@ -109,21 +117,31 @@ class RpcNode {
   // the retry wrappers unconditionally without changing fault-free runs.
   sim::Task<SizedResponse> call_raw_sized_retry(Address to, MethodId method,
                                                 Buffer request,
-                                                RetryPolicy policy = {});
+                                                RetryPolicy policy = {},
+                                                obs::TraceContext trace = {});
   sim::Task<std::optional<Buffer>> call_raw_retry(Address to, MethodId method,
                                                   Buffer request,
-                                                  RetryPolicy policy = {});
+                                                  RetryPolicy policy = {},
+                                                  obs::TraceContext trace = {});
 
   // Typed retrying call; nullopt when every attempt timed out.
   template <typename Resp, typename Req>
   sim::Task<std::optional<Resp>> call_with_retry(Address to, MethodId method,
                                                  Req req,
-                                                 RetryPolicy policy = {}) {
+                                                 RetryPolicy policy = {},
+                                                 obs::TraceContext trace = {}) {
     SizedResponse r = co_await call_raw_sized_retry(
-        to, method, encode_message(req), policy);
+        to, method, encode_message(req), policy, trace);
     if (!r.ok()) co_return std::nullopt;
     co_return decode_message<Resp>(r.payload);
   }
+
+  // Trace context of the message currently being dispatched.  Valid only
+  // until the handler's first suspension: handlers are started
+  // synchronously at delivery (oneway handlers directly, coroutine
+  // handlers via spawn, which runs the body up to its first co_await), so
+  // capture this at the top of the handler.
+  const obs::TraceContext& inbound_trace() const { return inbound_trace_; }
 
   // Outstanding calls (tests: verifies timeouts don't leak pending state).
   size_t pending_calls() const { return pending_.size(); }
@@ -135,6 +153,7 @@ class RpcNode {
 
   Network& network_;
   Address address_;
+  obs::TraceContext inbound_trace_;
   uint64_t next_request_id_ = 1;
   std::unordered_map<MethodId, RequestHandler> handlers_;
   std::unordered_map<MethodId, OneWayHandler> oneway_handlers_;

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace faastcc::obs {
+
+void Tracer::start_trace(uint64_t trace_id, SimTime now) {
+  if (!params_.enabled || trace_id == 0) return;
+  const uint64_t n = traces_started_++;
+  if (params_.sample_every > 1 && n % params_.sample_every != 0) return;
+  open_traces_.emplace(trace_id, OpenTrace{now, {0, 0, 0}});
+}
+
+SpanHandle Tracer::begin(const TraceContext& parent, const char* name,
+                         const char* cat, uint32_t node, SimTime now) {
+  if (!params_.enabled || !parent.traced()) return {};
+  if (open_traces_.count(parent.trace_id) == 0) return {};
+  uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<uint32_t>(slab_.size());
+    slab_.emplace_back();
+  }
+  Span& s = slab_[slot];
+  s = Span{};
+  s.trace_id = parent.trace_id;
+  s.span_id = next_span_id_++;
+  s.parent_span_id = parent.span_id;
+  s.name = name;
+  s.cat = cat;
+  s.node = node;
+  s.start = now;
+  return SpanHandle{slot + 1};
+}
+
+void Tracer::annotate(SpanHandle h, const char* key, uint64_t value) {
+  if (!h.active()) return;
+  slab_[h.slot - 1].annotations.push_back(Annotation{key, value});
+}
+
+TraceContext Tracer::context_of(SpanHandle h) const {
+  if (!h.active()) return {};
+  const Span& s = slab_[h.slot - 1];
+  return TraceContext{s.trace_id, s.span_id};
+}
+
+void Tracer::end(SpanHandle h, SimTime now) {
+  if (!h.active()) return;
+  Span& s = slab_[h.slot - 1];
+  s.end = now;
+  spans_.push_back(std::move(s));
+  s = Span{};
+  free_slots_.push_back(h.slot - 1);
+  while (spans_.size() > params_.ring_capacity) {
+    spans_.pop_front();
+    ++spans_dropped_;
+  }
+}
+
+void Tracer::add_time(uint64_t trace_id, Bucket b, Duration d) {
+  if (!params_.enabled || trace_id == 0 || d <= 0) return;
+  auto it = open_traces_.find(trace_id);
+  if (it == open_traces_.end()) return;
+  it->second.buckets[static_cast<size_t>(b)] += d;
+}
+
+std::optional<TraceBreakdown> Tracer::finish_trace(uint64_t trace_id,
+                                                   SimTime now) {
+  auto it = open_traces_.find(trace_id);
+  if (it == open_traces_.end()) return std::nullopt;
+  TraceBreakdown out;
+  out.total = now - it->second.start;
+  out.queue = it->second.buckets[static_cast<size_t>(Bucket::kQueue)];
+  out.compute = it->second.buckets[static_cast<size_t>(Bucket::kCompute)];
+  out.storage = it->second.buckets[static_cast<size_t>(Bucket::kStorage)];
+  const Duration accounted = out.queue + out.compute + out.storage;
+  // Executors overlap (joins, parallel branches), so the instrumented
+  // buckets can legitimately exceed the end-to-end latency; the network
+  // residual is clamped rather than reported negative.
+  out.network = out.total > accounted ? out.total - accounted : 0;
+  open_traces_.erase(it);
+  return out;
+}
+
+void Tracer::export_chrome_trace(std::ostream& out) const {
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const Span& s : spans_) {
+    if (!first) out << ",";
+    first = false;
+    // "X" complete events: ts/dur in integer microseconds, pid = node
+    // address (one track per component), tid = trace id.
+    std::snprintf(buf, sizeof(buf),
+                  "\n{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+                  "\"pid\":%" PRIu32 ",\"tid\":%" PRIu64 ",\"ts\":%" PRId64
+                  ",\"dur\":%" PRId64,
+                  s.name, s.cat, s.node, s.trace_id,
+                  static_cast<int64_t>(s.start),
+                  static_cast<int64_t>(s.end - s.start));
+    out << buf;
+    std::snprintf(buf, sizeof(buf),
+                  ",\"args\":{\"trace\":%" PRIu64 ",\"span\":%" PRIu64
+                  ",\"parent\":%" PRIu64,
+                  s.trace_id, s.span_id, s.parent_span_id);
+    out << buf;
+    for (const Annotation& a : s.annotations) {
+      std::snprintf(buf, sizeof(buf), ",\"%s\":%" PRIu64, a.key, a.value);
+      out << buf;
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+}
+
+}  // namespace faastcc::obs

@@ -1,0 +1,156 @@
+// Deterministic distributed tracing.
+//
+// One Tracer instance is shared by every component of a simulated cluster
+// (like Metrics).  A trace follows one DAG attempt end to end: the client
+// driver opens the root span, and the trace context — a (trace id, span id)
+// pair — propagates through every layer the DAG touches: scheduler trigger,
+// compute node, client-library read, node cache, storage RPC and commit.
+//
+// Determinism rules:
+//   * Timestamps are sim-clock values passed in by the caller, so spans of
+//     the same seed are bit-identical across runs.
+//   * The context rides the fixed 32-byte frame header of net::Message
+//     (W3C-traceparent style) and never counts toward wire_size().  The
+//     tracer itself schedules no events and draws no randomness.  Enabling
+//     tracing therefore cannot perturb the event schedule: RunResults with
+//     tracing on and off are bit-identical for the same seed.
+//
+// Completed spans land in a bounded ring buffer; export_chrome_trace()
+// writes them in Chrome's trace-event JSON (load via chrome://tracing or
+// https://ui.perfetto.dev).  Per-trace bucket accumulators (queue, compute,
+// storage) feed the latency-breakdown histograms; network time is the
+// residual against the end-to-end latency.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <ostream>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace faastcc::obs {
+
+// Propagated with every message of a traced DAG.  trace_id 0 means "not
+// traced" (tracing disabled, or the trace was not sampled); every tracer
+// operation on such a context is a no-op.
+struct TraceContext {
+  uint64_t trace_id = 0;  // the DAG attempt's transaction id
+  uint64_t span_id = 0;   // the sender's span; 0 at the root
+
+  bool traced() const { return trace_id != 0; }
+};
+
+// Typed key/value annotation (cache hit, interval width, bytes on wire...).
+// Keys are string literals owned by the call sites.
+struct Annotation {
+  const char* key = "";
+  uint64_t value = 0;
+};
+
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;  // 0 = trace root
+  const char* name = "";
+  const char* cat = "";
+  uint32_t node = 0;  // net::Address of the component that ran the span
+  SimTime start = 0;
+  SimTime end = 0;
+  std::vector<Annotation> annotations;
+};
+
+// Opaque handle to a span under construction.  Slot 0 is the inactive
+// handle: returned when tracing is off or the trace is unsampled, and
+// accepted (as a no-op) by every tracer method.
+struct SpanHandle {
+  uint32_t slot = 0;
+
+  bool active() const { return slot != 0; }
+};
+
+// Latency-breakdown buckets.  Network time is not a bucket: it is the
+// residual of the end-to-end latency after the instrumented buckets.
+enum class Bucket : uint8_t { kQueue = 0, kCompute = 1, kStorage = 2 };
+
+struct TraceParams {
+  bool enabled = false;
+  // Completed spans kept; the oldest are dropped beyond this.
+  size_t ring_capacity = 1 << 16;
+  // Record every Nth trace (1 = all).  Sampling is by start order, which
+  // is event-schedule order and therefore deterministic per seed.
+  uint64_t sample_every = 1;
+};
+
+// Per-DAG latency breakdown, all in simulated microseconds.
+struct TraceBreakdown {
+  Duration total = 0;
+  Duration queue = 0;
+  Duration compute = 0;
+  Duration storage = 0;
+  Duration network = 0;  // residual: total - (queue + compute + storage)
+};
+
+class Tracer {
+ public:
+  Tracer() = default;
+  explicit Tracer(TraceParams params) : params_(params) {}
+
+  bool enabled() const { return params_.enabled; }
+  const TraceParams& params() const { return params_; }
+
+  // Opens a trace for one DAG attempt.  Decides sampling; unsampled traces
+  // never allocate spans or bucket time.
+  void start_trace(uint64_t trace_id, SimTime now);
+
+  // Opens a span under `parent`.  Inactive when tracing is off, the parent
+  // context is untraced, or the trace is not open (unsampled / finished).
+  SpanHandle begin(const TraceContext& parent, const char* name,
+                   const char* cat, uint32_t node, SimTime now);
+
+  void annotate(SpanHandle h, const char* key, uint64_t value);
+
+  // Context downstream layers should propagate for work caused by `h`.
+  TraceContext context_of(SpanHandle h) const;
+
+  // Closes the span and moves it to the ring buffer.
+  void end(SpanHandle h, SimTime now);
+
+  // Charges `d` to a breakdown bucket of an open trace.
+  void add_time(uint64_t trace_id, Bucket b, Duration d);
+
+  // Closes the trace and returns its breakdown; nullopt when the trace was
+  // never opened (tracing off or unsampled).  Spans still open when their
+  // trace finishes flush to the ring when they end.
+  std::optional<TraceBreakdown> finish_trace(uint64_t trace_id, SimTime now);
+
+  // Completed spans, in completion order (event-schedule deterministic).
+  const std::deque<Span>& spans() const { return spans_; }
+  size_t spans_recorded() const { return spans_.size(); }
+  uint64_t spans_dropped() const { return spans_dropped_; }
+  uint64_t traces_started() const { return traces_started_; }
+
+  // Chrome trace-event JSON ("X" complete events, integer microsecond
+  // timestamps).  Byte-identical across runs of the same seed.
+  void export_chrome_trace(std::ostream& out) const;
+
+ private:
+  struct OpenTrace {
+    SimTime start = 0;
+    Duration buckets[3] = {0, 0, 0};
+  };
+
+  TraceParams params_;
+  uint64_t traces_started_ = 0;
+  uint64_t next_span_id_ = 1;
+  uint64_t spans_dropped_ = 0;
+  std::unordered_map<uint64_t, OpenTrace> open_traces_;
+  // Slab of spans under construction; handles are slot index + 1.
+  std::vector<Span> slab_;
+  std::vector<uint32_t> free_slots_;
+  std::deque<Span> spans_;
+};
+
+}  // namespace faastcc::obs

@@ -55,10 +55,21 @@ sim::Task<void> abort_everywhere(net::RpcNode& rpc, TxnId txn,
 
 sim::Task<std::optional<TccReadResp>> TccStorageClient::read(
     std::vector<Key> keys, std::vector<Timestamp> cached_ts,
-    Timestamp snapshot, ReadAccounting* accounting) {
+    Timestamp snapshot, ReadAccounting* accounting, obs::TraceContext trace) {
   assert(keys.size() == cached_ts.size());
   auto batches = group_by_partition(
       keys.size(), [&](size_t i) { return topology_.address_of(keys[i]); });
+
+  obs::SpanHandle span;
+  obs::TraceContext ctx;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(trace, "storage.read", "storage", rpc_.address(),
+                          rpc_.now());
+    tracer_->annotate(span, "keys", static_cast<uint64_t>(keys.size()));
+    tracer_->annotate(span, "partitions",
+                      static_cast<uint64_t>(batches.size()));
+    ctx = tracer_->context_of(span);
+  }
 
   std::vector<sim::Task<net::RpcNode::SizedResponse>> calls;
   calls.reserve(batches.size());
@@ -70,9 +81,23 @@ sim::Task<std::optional<TccReadResp>> TccStorageClient::read(
       req.cached_ts.push_back(cached_ts[idx]);
     }
     calls.push_back(rpc_.call_raw_sized_retry(batch.address, kTccRead,
-                                              encode_message(req)));
+                                              encode_message(req), {}, ctx));
   }
   auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
+
+  uint64_t wire_bytes = 0;
+  uint64_t retries = 0;
+  for (const auto& r : responses) {
+    wire_bytes += r.request_wire_bytes + r.response_wire_bytes;
+    retries += r.attempts - 1;
+  }
+  const auto end_span = [&](bool failed) {
+    if (tracer_ == nullptr) return;
+    tracer_->annotate(span, "bytes_on_wire", wire_bytes);
+    tracer_->annotate(span, "retries", retries);
+    if (failed) tracer_->annotate(span, "failed", 1);
+    tracer_->end(span, rpc_.now());
+  };
 
   TccReadResp merged;
   merged.entries.resize(keys.size());
@@ -83,7 +108,10 @@ sim::Task<std::optional<TccReadResp>> TccStorageClient::read(
           responses[b].request_wire_bytes - net::Message::kHeaderBytes;
       accounting->response_bytes += responses[b].payload.size();
     }
-    if (!responses[b].ok()) co_return std::nullopt;
+    if (!responses[b].ok()) {
+      end_span(true);
+      co_return std::nullopt;
+    }
     auto resp = decode_message<TccReadResp>(responses[b].payload);
     merged.stable_time = std::max(merged.stable_time, resp.stable_time);
     assert(resp.entries.size() == batches[b].input_index.size());
@@ -91,15 +119,33 @@ sim::Task<std::optional<TccReadResp>> TccStorageClient::read(
       merged.entries[batches[b].input_index[i]] = std::move(resp.entries[i]);
     }
   }
+  end_span(false);
   co_return merged;
 }
 
 sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
-    TxnId txn, std::vector<KeyValue> writes, Timestamp dep_ts) {
+    TxnId txn, std::vector<KeyValue> writes, Timestamp dep_ts,
+    obs::TraceContext trace) {
   assert(!writes.empty());
   auto batches = group_by_partition(writes.size(), [&](size_t i) {
     return topology_.address_of(writes[i].key);
   });
+
+  obs::SpanHandle span;
+  obs::TraceContext ctx;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(trace, "storage.commit", "storage", rpc_.address(),
+                          rpc_.now());
+    tracer_->annotate(span, "writes", static_cast<uint64_t>(writes.size()));
+    tracer_->annotate(span, "partitions",
+                      static_cast<uint64_t>(batches.size()));
+    ctx = tracer_->context_of(span);
+  }
+  const auto end_span = [&](bool committed) {
+    if (tracer_ == nullptr) return;
+    tracer_->annotate(span, "committed", committed ? 1 : 0);
+    tracer_->end(span, rpc_.now());
+  };
 
   auto writes_for = [&](const PartitionBatch& batch) {
     std::vector<KeyValue> out;
@@ -117,10 +163,14 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     req.writes = writes_for(batches[0]);
     auto raw = co_await rpc_.call_raw_retry(batches[0].address, kTccCommit,
                                             encode_message(req),
-                                            commit_policy());
-    if (!raw.has_value()) co_return std::nullopt;
+                                            commit_policy(), ctx);
+    if (!raw.has_value()) {
+      end_span(false);
+      co_return std::nullopt;
+    }
     BufReader r(*raw);
     TccCommitResp::decode(r);
+    end_span(true);
     co_return get_ts(r);
   }
 
@@ -131,8 +181,8 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     TccPrepareReq req;
     req.txn = txn;
     req.dep_ts = dep_ts;
-    prepares.push_back(
-        rpc_.call_with_retry<TccPrepareResp>(batch.address, kTccPrepare, req));
+    prepares.push_back(rpc_.call_with_retry<TccPrepareResp>(
+        batch.address, kTccPrepare, req, {}, ctx));
   }
   auto prepare_resps = co_await sim::when_all(rpc_.loop(), std::move(prepares));
   bool failed = false;
@@ -145,6 +195,7 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
   }
   if (failed) {
     co_await abort_everywhere(rpc_, txn, batches);
+    end_span(false);
     co_return std::nullopt;
   }
 
@@ -157,7 +208,7 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     req.dep_ts = dep_ts;
     req.writes = writes_for(batch);
     commits.push_back(rpc_.call_with_retry<TccCommitResp>(
-        batch.address, kTccCommit, req, commit_policy()));
+        batch.address, kTccCommit, req, commit_policy(), ctx));
   }
   auto commit_resps = co_await sim::when_all(rpc_.loop(), std::move(commits));
   for (const auto& cr : commit_resps) {
@@ -165,18 +216,39 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     // prepare lease will expire and abort its half.  Report abort; see
     // docs/simulation.md "Fault model" for the (vanishingly rare) torn
     // outcome this trades for liveness.
-    if (!cr.has_value()) co_return std::nullopt;
+    if (!cr.has_value()) {
+      end_span(false);
+      co_return std::nullopt;
+    }
   }
+  end_span(true);
   co_return commit_ts;
 }
 
 sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     TxnId txn, std::vector<KeyValue> writes, Timestamp dep_ts,
-    Timestamp snapshot_ts) {
+    Timestamp snapshot_ts, obs::TraceContext trace) {
   assert(!writes.empty());
   auto batches = group_by_partition(writes.size(), [&](size_t i) {
     return topology_.address_of(writes[i].key);
   });
+
+  obs::SpanHandle span;
+  obs::TraceContext ctx;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(trace, "storage.commit", "storage", rpc_.address(),
+                          rpc_.now());
+    tracer_->annotate(span, "writes", static_cast<uint64_t>(writes.size()));
+    tracer_->annotate(span, "partitions",
+                      static_cast<uint64_t>(batches.size()));
+    tracer_->annotate(span, "si", 1);
+    ctx = tracer_->context_of(span);
+  }
+  const auto end_span = [&](bool committed) {
+    if (tracer_ == nullptr) return;
+    tracer_->annotate(span, "committed", committed ? 1 : 0);
+    tracer_->end(span, rpc_.now());
+  };
 
   std::vector<sim::Task<std::optional<TccPrepareResp>>> prepares;
   prepares.reserve(batches.size());
@@ -189,8 +261,8 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     for (size_t idx : batch.input_index) {
       req.write_keys.push_back(writes[idx].key);
     }
-    prepares.push_back(
-        rpc_.call_with_retry<TccPrepareResp>(batch.address, kTccPrepare, req));
+    prepares.push_back(rpc_.call_with_retry<TccPrepareResp>(
+        batch.address, kTccPrepare, req, {}, ctx));
   }
   auto prepare_resps = co_await sim::when_all(rpc_.loop(), std::move(prepares));
 
@@ -205,6 +277,7 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
   if (conflict) {
     // Release every participant (the conflicting ones are no-ops).
     co_await abort_everywhere(rpc_, txn, batches);
+    end_span(false);
     co_return std::nullopt;
   }
 
@@ -217,12 +290,16 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     req.dep_ts = dep_ts;
     for (size_t idx : batch.input_index) req.writes.push_back(writes[idx]);
     commits.push_back(rpc_.call_with_retry<TccCommitResp>(
-        batch.address, kTccCommit, req, commit_policy()));
+        batch.address, kTccCommit, req, commit_policy(), ctx));
   }
   auto commit_resps = co_await sim::when_all(rpc_.loop(), std::move(commits));
   for (const auto& cr : commit_resps) {
-    if (!cr.has_value()) co_return std::nullopt;
+    if (!cr.has_value()) {
+      end_span(false);
+      co_return std::nullopt;
+    }
   }
+  end_span(true);
   co_return commit_ts;
 }
 
@@ -292,7 +369,7 @@ net::Address EvStorageClient::pick_write_replica(PartitionId p) {
 }
 
 sim::Task<EvStorageClient::GetResult> EvStorageClient::get(
-    std::vector<Key> keys) {
+    std::vector<Key> keys, obs::TraceContext trace) {
   // Group by partition; replica choice is per request, so repeated calls
   // for the same key may hit different replicas (and different staleness).
   std::vector<net::Address> chosen(topology_.num_partitions(), 0);
@@ -308,13 +385,22 @@ sim::Task<EvStorageClient::GetResult> EvStorageClient::get(
   auto batches = group_by_partition(
       keys.size(), [&](size_t i) { return address_for(keys[i]); });
 
+  obs::SpanHandle span;
+  obs::TraceContext ctx;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(trace, "storage.get", "storage", rpc_.address(),
+                          rpc_.now());
+    tracer_->annotate(span, "keys", static_cast<uint64_t>(keys.size()));
+    ctx = tracer_->context_of(span);
+  }
+
   std::vector<sim::Task<net::RpcNode::SizedResponse>> calls;
   calls.reserve(batches.size());
   for (const auto& batch : batches) {
     EvGetReq req;
     for (size_t idx : batch.input_index) req.keys.push_back(keys[idx]);
     calls.push_back(rpc_.call_raw_sized_retry(batch.address, kEvGet,
-                                              encode_message(req)));
+                                              encode_message(req), {}, ctx));
   }
   auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
 
@@ -342,32 +428,61 @@ sim::Task<EvStorageClient::GetResult> EvStorageClient::get(
       }
     }
   }
+  if (tracer_ != nullptr) {
+    uint64_t wire_bytes = 0;
+    uint64_t retries = 0;
+    for (const auto& r : responses) {
+      wire_bytes += r.request_wire_bytes + r.response_wire_bytes;
+      retries += r.attempts - 1;
+    }
+    tracer_->annotate(span, "bytes_on_wire", wire_bytes);
+    tracer_->annotate(span, "retries", retries);
+    if (out.failed) tracer_->annotate(span, "failed", 1);
+    tracer_->end(span, rpc_.now());
+  }
   co_return out;
 }
 
 sim::Task<std::optional<std::vector<EvVersion>>> EvStorageClient::put(
-    std::vector<EvItem> items) {
+    std::vector<EvItem> items, obs::TraceContext trace) {
   auto batches = group_by_partition(items.size(), [&](size_t i) {
     return pick_write_replica(topology_.partition_of(items[i].key));
   });
+  obs::SpanHandle span;
+  obs::TraceContext ctx;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(trace, "storage.put", "storage", rpc_.address(),
+                          rpc_.now());
+    tracer_->annotate(span, "items", static_cast<uint64_t>(items.size()));
+    ctx = tracer_->context_of(span);
+  }
+  const auto end_span = [&](bool ok) {
+    if (tracer_ == nullptr) return;
+    if (!ok) tracer_->annotate(span, "failed", 1);
+    tracer_->end(span, rpc_.now());
+  };
   std::vector<sim::Task<std::optional<EvPutResp>>> calls;
   calls.reserve(batches.size());
   for (const auto& batch : batches) {
     EvPutReq req;
     for (size_t idx : batch.input_index) req.items.push_back(items[idx]);
     calls.push_back(rpc_.call_with_retry<EvPutResp>(batch.address, kEvPut, req,
-                                                    commit_policy()));
+                                                    commit_policy(), ctx));
   }
   auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
 
   std::vector<EvVersion> versions(items.size());
   for (size_t b = 0; b < batches.size(); ++b) {
-    if (!responses[b].has_value()) co_return std::nullopt;
+    if (!responses[b].has_value()) {
+      end_span(false);
+      co_return std::nullopt;
+    }
     global_cut_ = std::max(global_cut_, responses[b]->global_cut);
     for (size_t i = 0; i < batches[b].input_index.size(); ++i) {
       versions[batches[b].input_index[i]] = responses[b]->versions[i];
     }
   }
+  end_span(true);
   co_return versions;
 }
 

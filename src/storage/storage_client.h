@@ -13,6 +13,7 @@
 
 #include "common/rng.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 #include "storage/messages.h"
 
 namespace faastcc::storage {
@@ -31,8 +32,9 @@ struct TccTopology {
 
 class TccStorageClient {
  public:
-  TccStorageClient(net::RpcNode& rpc, TccTopology topology)
-      : rpc_(rpc), topology_(std::move(topology)) {}
+  TccStorageClient(net::RpcNode& rpc, TccTopology topology,
+                   obs::Tracer* tracer = nullptr)
+      : rpc_(rpc), topology_(std::move(topology)), tracer_(tracer) {}
 
   struct ReadAccounting {
     size_t rpcs = 0;            // individual partition requests
@@ -46,14 +48,16 @@ class TccStorageClient {
   // nullopt when a partition stayed unreachable through the retry budget.
   sim::Task<std::optional<TccReadResp>> read(
       std::vector<Key> keys, std::vector<Timestamp> cached_ts,
-      Timestamp snapshot, ReadAccounting* accounting = nullptr);
+      Timestamp snapshot, ReadAccounting* accounting = nullptr,
+      obs::TraceContext trace = {});
 
   // Commits `writes` atomically with a timestamp above `dep_ts`; returns
   // the commit timestamp, or nullopt when a participant stayed unreachable
   // through the (generous) commit retry budget.
   sim::Task<std::optional<Timestamp>> commit(TxnId txn,
                                              std::vector<KeyValue> writes,
-                                             Timestamp dep_ts);
+                                             Timestamp dep_ts,
+                                             obs::TraceContext trace = {});
 
   // Snapshot Isolation commit (§7 extension): first-committer-wins
   // write-write conflict detection against `snapshot_ts`.  Returns the
@@ -64,7 +68,8 @@ class TccStorageClient {
   sim::Task<std::optional<Timestamp>> commit_si(TxnId txn,
                                                 std::vector<KeyValue> writes,
                                                 Timestamp dep_ts,
-                                                Timestamp snapshot_ts);
+                                                Timestamp snapshot_ts,
+                                                obs::TraceContext trace = {});
 
   sim::Task<void> subscribe(std::vector<Key> keys);
   sim::Task<void> unsubscribe(std::vector<Key> keys);
@@ -76,6 +81,7 @@ class TccStorageClient {
 
   net::RpcNode& rpc_;
   TccTopology topology_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 struct EvTopology {
@@ -90,8 +96,10 @@ struct EvTopology {
 
 class EvStorageClient {
  public:
-  EvStorageClient(net::RpcNode& rpc, EvTopology topology, Rng rng)
-      : rpc_(rpc), topology_(std::move(topology)), rng_(rng) {}
+  EvStorageClient(net::RpcNode& rpc, EvTopology topology, Rng rng,
+                  obs::Tracer* tracer = nullptr)
+      : rpc_(rpc), topology_(std::move(topology)), rng_(rng),
+        tracer_(tracer) {}
 
   struct GetResult {
     std::vector<std::optional<EvItem>> items;  // parallel to requested keys
@@ -104,13 +112,14 @@ class EvStorageClient {
   };
 
   // Reads each key from one (randomly chosen) replica of its partition.
-  sim::Task<GetResult> get(std::vector<Key> keys);
+  sim::Task<GetResult> get(std::vector<Key> keys,
+                           obs::TraceContext trace = {});
 
   // Writes each item to one replica of its partition; returns assigned
   // versions in input order, or nullopt when a replica stayed unreachable
   // through the retry budget.
   sim::Task<std::optional<std::vector<EvVersion>>> put(
-      std::vector<EvItem> items);
+      std::vector<EvItem> items, obs::TraceContext trace = {});
 
   // Subscribes/unsubscribes for update notifications at the notifier
   // replica (replica 0) of each key's partition.
@@ -129,6 +138,7 @@ class EvStorageClient {
   net::RpcNode& rpc_;
   EvTopology topology_;
   Rng rng_;
+  obs::Tracer* tracer_ = nullptr;
   SimTime global_cut_ = 0;
 };
 

@@ -11,11 +11,12 @@ namespace faastcc::storage {
 TccPartition::TccPartition(net::Network& network, net::Address self,
                            PartitionId id,
                            std::vector<net::Address> all_partitions,
-                           TccPartitionParams params)
+                           TccPartitionParams params, obs::Tracer* tracer)
     : rpc_(network, self),
       id_(id),
       all_partitions_(std::move(all_partitions)),
       params_(params),
+      tracer_(tracer),
       clock_(id),
       stabilizer_(id, all_partitions_.size()) {
   rpc_.handle(kTccRead, [this](Buffer b, net::Address from) {
@@ -98,6 +99,13 @@ TccReadResp::Entry TccPartition::read_one(Key key, Timestamp eff,
 }
 
 sim::Task<Buffer> TccPartition::on_read(Buffer req, net::Address) {
+  // Valid only before the first co_await below.
+  const obs::TraceContext inbound = rpc_.inbound_trace();
+  obs::SpanHandle span;
+  if (tracer_ != nullptr) {
+    span = tracer_->begin(inbound, "partition.read", "storage", rpc_.address(),
+                          rpc_.now());
+  }
   auto q = decode_message<TccReadReq>(req);
   counters_.reads.inc();
   counters_.read_keys.inc(q.keys.size());
@@ -109,8 +117,17 @@ sim::Task<Buffer> TccPartition::on_read(Buffer req, net::Address) {
   resp.stable_time = stabilizer_.stable_time();
   const Timestamp eff = std::min(q.snapshot, resp.stable_time);
   resp.entries.reserve(q.keys.size());
+  size_t unchanged = 0;
   for (size_t i = 0; i < q.keys.size(); ++i) {
     resp.entries.push_back(read_one(q.keys[i], eff, q.cached_ts[i]));
+    if (resp.entries.back().status == TccReadResp::Status::kUnchanged) {
+      ++unchanged;
+    }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->annotate(span, "keys", static_cast<uint64_t>(q.keys.size()));
+    tracer_->annotate(span, "unchanged", static_cast<uint64_t>(unchanged));
+    tracer_->end(span, rpc_.now());
   }
   co_return encode_message(resp);
 }

@@ -49,7 +49,7 @@ class TccPartition {
  public:
   TccPartition(net::Network& network, net::Address self, PartitionId id,
                std::vector<net::Address> all_partitions,
-               TccPartitionParams params);
+               TccPartitionParams params, obs::Tracer* tracer = nullptr);
 
   // Spawns the gossip, push and GC background loops.
   void start();
@@ -118,6 +118,7 @@ class TccPartition {
   PartitionId id_;
   std::vector<net::Address> all_partitions_;
   TccPartitionParams params_;
+  obs::Tracer* tracer_ = nullptr;
   HlcClock clock_;
   MvStore store_;
   Stabilizer stabilizer_;

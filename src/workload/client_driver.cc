@@ -7,12 +7,14 @@ namespace faastcc::workload {
 
 ClientDriver::ClientDriver(net::Network& network, net::Address self,
                            net::Address scheduler, WorkloadGen workload,
-                           ClientParams params, Metrics* metrics)
+                           ClientParams params, Metrics* metrics,
+                           obs::Tracer* tracer)
     : rpc_(network, self),
       scheduler_(scheduler),
       workload_(std::move(workload)),
       params_(params),
       metrics_(metrics),
+      tracer_(tracer),
       next_txn_((params.client_id + 1) << 32) {
   rpc_.handle_oneway(faas::kDagDone, [this](Buffer b, net::Address from) {
     on_done(std::move(b), from);
@@ -33,18 +35,36 @@ void ClientDriver::on_done(Buffer msg, net::Address) {
   promise.set_value(std::move(done));
 }
 
+void ClientDriver::record_breakdown(const obs::TraceBreakdown& b) {
+  if (metrics_ == nullptr) return;
+  metrics_->histogram("breakdown.queue_ms").add(to_millis(b.queue));
+  metrics_->histogram("breakdown.compute_ms").add(to_millis(b.compute));
+  metrics_->histogram("breakdown.storage_ms").add(to_millis(b.storage));
+  metrics_->histogram("breakdown.network_ms").add(to_millis(b.network));
+}
+
 sim::Task<faas::DagDoneMsg> ClientDriver::execute_once(
-    const faas::DagSpec& spec) {
+    const faas::DagSpec& spec, int attempt) {
   const TxnId txn = next_txn_++;
   auto [it, inserted] =
       pending_.emplace(txn, sim::Promise<faas::DagDoneMsg>(rpc_.loop()));
   auto future = it->second.get_future();
+  // Each attempt is its own trace: fresh transaction, fresh span tree.
+  obs::SpanHandle root;
+  if (tracer_ != nullptr) {
+    tracer_->start_trace(txn, rpc_.now());
+    root = tracer_->begin(obs::TraceContext{txn, 0}, "dag", "client",
+                          rpc_.address(), rpc_.now());
+    tracer_->annotate(root, "attempt", static_cast<uint64_t>(attempt));
+  }
   faas::StartDagMsg start;
   start.txn_id = txn;
   start.client = rpc_.address();
   start.session = session_;
   start.spec = spec;
-  rpc_.send(scheduler_, faas::kStartDag, start);
+  rpc_.send(scheduler_, faas::kStartDag, start,
+            tracer_ != nullptr ? tracer_->context_of(root)
+                               : obs::TraceContext{});
   if (params_.dag_timeout > 0) {
     rpc_.loop().schedule_after(params_.dag_timeout, [this, txn] {
       auto it2 = pending_.find(txn);
@@ -58,7 +78,17 @@ sim::Task<faas::DagDoneMsg> ClientDriver::execute_once(
       promise.set_value(std::move(timed_out));
     });
   }
-  co_return co_await std::move(future);
+  faas::DagDoneMsg done = co_await std::move(future);
+  if (tracer_ != nullptr) {
+    tracer_->annotate(root, "committed", done.committed ? 1 : 0);
+    tracer_->end(root, rpc_.now());
+    auto breakdown = tracer_->finish_trace(txn, rpc_.now());
+    // Breakdown histograms follow the committed-latency population.
+    if (breakdown.has_value() && done.committed) {
+      record_breakdown(*breakdown);
+    }
+  }
+  co_return done;
 }
 
 sim::Task<void> ClientDriver::run() {
@@ -68,7 +98,7 @@ sim::Task<void> ClientDriver::run() {
     for (int attempt = 0; attempt <= params_.max_retries; ++attempt) {
       const SimTime t0 = rpc_.now();
       if (metrics_ != nullptr) metrics_->dag_attempts.inc();
-      faas::DagDoneMsg done = co_await execute_once(spec);
+      faas::DagDoneMsg done = co_await execute_once(spec, attempt);
       const double latency_ms = to_millis(rpc_.now() - t0);
       if (done.committed) {
         committed_.inc();

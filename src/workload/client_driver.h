@@ -8,6 +8,7 @@
 #include "common/metrics.h"
 #include "faas/messages.h"
 #include "net/rpc.h"
+#include "obs/trace.h"
 #include "workload/workload.h"
 
 namespace faastcc::workload {
@@ -29,7 +30,8 @@ class ClientDriver {
  public:
   ClientDriver(net::Network& network, net::Address self,
                net::Address scheduler, WorkloadGen workload,
-               ClientParams params, Metrics* metrics);
+               ClientParams params, Metrics* metrics,
+               obs::Tracer* tracer = nullptr);
 
   // The closed loop; spawn once.  Sets done() when finished.
   sim::Task<void> run();
@@ -41,14 +43,17 @@ class ClientDriver {
   uint64_t aborted_attempts() const { return aborted_attempts_.value(); }
 
  private:
-  sim::Task<faas::DagDoneMsg> execute_once(const faas::DagSpec& spec);
+  sim::Task<faas::DagDoneMsg> execute_once(const faas::DagSpec& spec,
+                                           int attempt);
   void on_done(Buffer msg, net::Address from);
+  void record_breakdown(const obs::TraceBreakdown& b);
 
   net::RpcNode rpc_;
   net::Address scheduler_;
   WorkloadGen workload_;
   ClientParams params_;
   Metrics* metrics_;
+  obs::Tracer* tracer_;
   Buffer session_;
   TxnId next_txn_;
   std::unordered_map<TxnId, sim::Promise<faas::DagDoneMsg>> pending_;

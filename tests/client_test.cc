@@ -132,6 +132,26 @@ TEST(FaasTccContext, RoundTripsThroughCodec) {
   EXPECT_EQ(d.write_set.size(), 2u);
 }
 
+TEST(FaasTccContext, RejectsUnknownWireVersion) {
+  FaasTccContext c;
+  c.write_set[7] = "seven";
+  Buffer b = encode_message(c);
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(b[0], FaasTccContext::kWireVersion);
+  b[0] = FaasTccContext::kWireVersion + 1;
+  EXPECT_THROW(decode_message<FaasTccContext>(b), CodecError);
+}
+
+TEST(HydroContext, RejectsUnknownWireVersion) {
+  HydroContext c;
+  c.write_set[7] = "seven";
+  Buffer b = encode_message(c);
+  ASSERT_FALSE(b.empty());
+  EXPECT_EQ(b[0], HydroContext::kWireVersion);
+  b[0] = HydroContext::kWireVersion + 1;
+  EXPECT_THROW(decode_message<HydroContext>(b), CodecError);
+}
+
 TEST(FaasTccSession, EmptyDecodesToMin) {
   EXPECT_EQ(decode_faastcc_session(Buffer{}), Timestamp::min());
 }

@@ -1,0 +1,206 @@
+// Tests for the observability layer: span-tree shape, byte-stable trace
+// export, and the core determinism contract — enabling tracing must not
+// perturb the simulation.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "harness/cluster.h"
+#include "harness/summary.h"
+
+namespace faastcc::harness {
+namespace {
+
+ClusterParams small_params(SystemKind system, bool tracing) {
+  ClusterParams p;
+  p.system = system;
+  p.seed = 7;
+  p.partitions = 4;
+  p.compute_nodes = 2;
+  p.clients = 2;
+  p.dags_per_client = 20;
+  p.workload.num_keys = 500;
+  p.workload.dag_size = 3;
+  p.trace.enabled = tracing;
+  p.trace.ring_capacity = 1 << 20;
+  return p;
+}
+
+bool is_breakdown(std::string_view name) {
+  return name.substr(0, std::string_view("breakdown.").size()) ==
+         "breakdown.";
+}
+
+// Flattened metric state for exact run-to-run comparison.  The breakdown
+// histograms are trace-derived and only exist when tracing is on, so
+// cross-mode comparisons skip them.
+std::map<std::string, std::vector<double>> histogram_map(
+    const RunResult& r, bool skip_breakdown) {
+  std::map<std::string, std::vector<double>> out;
+  r.metrics.each_histogram([&](const char* name, const Samples& s) {
+    if (skip_breakdown && is_breakdown(name)) return;
+    out[name] = s.raw();
+  });
+  return out;
+}
+
+std::map<std::string, uint64_t> counter_map(const RunResult& r) {
+  std::map<std::string, uint64_t> out;
+  r.metrics.each_counter(
+      [&](const char* name, const Counter& c) { out[name] = c.value(); });
+  return out;
+}
+
+void expect_same_run(const RunResult& a, const RunResult& b,
+                     bool skip_breakdown) {
+  EXPECT_EQ(a.committed, b.committed);
+  EXPECT_EQ(a.aborted_attempts, b.aborted_attempts);
+  EXPECT_EQ(a.sim_events, b.sim_events);
+  EXPECT_EQ(a.cache_entries, b.cache_entries);
+  EXPECT_EQ(a.cache_bytes, b.cache_bytes);
+  EXPECT_DOUBLE_EQ(a.duration_s, b.duration_s);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(counter_map(a), counter_map(b));
+  EXPECT_EQ(histogram_map(a, skip_breakdown),
+            histogram_map(b, skip_breakdown));
+}
+
+TEST(Trace, SpanTreesAreWellFormed) {
+  Cluster cluster(small_params(SystemKind::kFaasTcc, true));
+  const RunResult result = cluster.run();
+  ASSERT_GT(result.committed, 0u);
+
+  const obs::Tracer& tracer = cluster.tracer();
+  EXPECT_EQ(tracer.spans_dropped(), 0u);
+  ASSERT_GT(tracer.spans_recorded(), 0u);
+  EXPECT_GT(tracer.traces_started(), 0u);
+
+  // Index spans by (trace, span) id; ids must be unique.
+  std::map<std::pair<uint64_t, uint64_t>, const obs::Span*> by_id;
+  for (const obs::Span& s : tracer.spans()) {
+    EXPECT_NE(s.trace_id, 0u);
+    EXPECT_NE(s.span_id, 0u);
+    EXPECT_GE(s.end, s.start);
+    const bool inserted =
+        by_id.emplace(std::make_pair(s.trace_id, s.span_id), &s).second;
+    EXPECT_TRUE(inserted);
+  }
+
+  std::map<std::string, int> names;
+  std::map<uint64_t, int> roots_per_trace;
+  for (const obs::Span& s : tracer.spans()) {
+    ++names[s.name];
+    if (s.parent_span_id == 0) {
+      EXPECT_STREQ(s.name, "dag");
+      ++roots_per_trace[s.trace_id];
+    } else {
+      // Every non-root span hangs off a recorded span of the same trace
+      // that started no later than it did.
+      auto it = by_id.find({s.trace_id, s.parent_span_id});
+      ASSERT_NE(it, by_id.end())
+          << "span " << s.name << " has unrecorded parent";
+      EXPECT_LE(it->second->start, s.start);
+    }
+  }
+  for (const auto& [trace_id, count] : roots_per_trace) {
+    EXPECT_EQ(count, 1) << "trace " << trace_id << " has " << count
+                        << " roots";
+  }
+
+  // The layers a FaaSTCC DAG touches all show up.
+  for (const char* expected :
+       {"dag", "schedule", "fn", "read", "commit", "cache.read",
+        "storage.read", "partition.read", "storage.commit"}) {
+    EXPECT_GT(names[expected], 0) << "no '" << expected << "' spans";
+  }
+
+  // Cache spans carry the typed annotations the exporter relies on.
+  bool found_hit_annotation = false;
+  for (const obs::Span& s : tracer.spans()) {
+    if (std::string_view(s.name) != "cache.read") continue;
+    for (const obs::Annotation& a : s.annotations) {
+      if (std::string_view(a.key) == "hit") found_hit_annotation = true;
+    }
+  }
+  EXPECT_TRUE(found_hit_annotation);
+}
+
+TEST(Trace, ExportIsByteIdenticalAcrossSameSeedRuns) {
+  std::string exports[2];
+  for (std::string& e : exports) {
+    Cluster cluster(small_params(SystemKind::kFaasTcc, true));
+    cluster.run();
+    std::ostringstream os;
+    cluster.tracer().export_chrome_trace(os);
+    e = os.str();
+  }
+  ASSERT_FALSE(exports[0].empty());
+  EXPECT_EQ(exports[0].front(), '{');
+  EXPECT_EQ(exports[0], exports[1]);
+}
+
+TEST(Trace, BreakdownHistogramsPopulateSummary) {
+  Cluster cluster(small_params(SystemKind::kFaasTcc, true));
+  const RunResult result = cluster.run();
+  ASSERT_GT(result.committed, 0u);
+
+  for (const char* name :
+       {"breakdown.queue_ms", "breakdown.compute_ms", "breakdown.storage_ms",
+        "breakdown.network_ms"}) {
+    const Samples* h = result.metrics.find_histogram(name);
+    ASSERT_NE(h, nullptr) << name;
+    EXPECT_EQ(h->count(), result.committed) << name;
+  }
+  const SummaryStats s = summarize(result);
+  // Every committed DAG does real compute and storage work.
+  EXPECT_GT(s.breakdown_compute_ms, 0.0);
+  EXPECT_GT(s.breakdown_storage_ms, 0.0);
+  EXPECT_GE(s.breakdown_queue_ms, 0.0);
+  EXPECT_GE(s.breakdown_network_ms, 0.0);
+}
+
+TEST(Trace, SamplingRecordsFewerSpans) {
+  ClusterParams sampled = small_params(SystemKind::kFaasTcc, true);
+  sampled.trace.sample_every = 5;
+  Cluster full_cluster(small_params(SystemKind::kFaasTcc, true));
+  Cluster sampled_cluster(sampled);
+  const RunResult full = full_cluster.run();
+  const RunResult some = sampled_cluster.run();
+  EXPECT_GT(sampled_cluster.tracer().spans_recorded(), 0u);
+  EXPECT_LT(sampled_cluster.tracer().spans_recorded(),
+            full_cluster.tracer().spans_recorded());
+  // Sampling changes only what is recorded, never the simulation.
+  expect_same_run(full, some, /*skip_breakdown=*/true);
+}
+
+TEST(Trace, DisabledRunsAreBitIdentical) {
+  Cluster a(small_params(SystemKind::kFaasTcc, false));
+  Cluster b(small_params(SystemKind::kFaasTcc, false));
+  const RunResult ra = a.run();
+  const RunResult rb = b.run();
+  EXPECT_EQ(a.tracer().spans_recorded(), 0u);
+  expect_same_run(ra, rb, /*skip_breakdown=*/false);
+}
+
+// The headline determinism contract: the trace context rides outside the
+// simulated wire format and the tracer schedules nothing, so turning
+// tracing on cannot change the run for any of the three systems.
+TEST(Trace, EnablingTracingDoesNotPerturbAnySystem) {
+  for (SystemKind system : {SystemKind::kFaasTcc, SystemKind::kHydroCache,
+                            SystemKind::kCloudburst}) {
+    SCOPED_TRACE(system_name(system));
+    Cluster off(small_params(system, false));
+    Cluster on(small_params(system, true));
+    const RunResult r_off = off.run();
+    const RunResult r_on = on.run();
+    EXPECT_GT(on.tracer().spans_recorded(), 0u);
+    expect_same_run(r_off, r_on, /*skip_breakdown=*/true);
+  }
+}
+
+}  // namespace
+}  // namespace faastcc::harness

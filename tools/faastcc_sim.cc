@@ -8,11 +8,16 @@
 //               [--loss=0.01] [--dup=0.005] [--delay-spike-prob=0.005]
 //               [--delay-spike-ms=10] [--rpc-timeout-ms=25]
 //               [--dag-timeout-ms=1000] [--crash=<addr>:<from_ms>:<until_ms>]
+//               [--trace-out=trace.json] [--trace-sample=1]
+//               [--trace-buffer=65536]
 //
 // Runs one cluster experiment and prints the summary (human table or a
-// single JSON object for scripting).
+// single JSON object for scripting).  With --trace-out the run also
+// records deterministic distributed traces and writes them in Chrome
+// trace-event format (open in chrome://tracing or Perfetto).
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "harness/summary.h"
@@ -27,6 +32,7 @@ struct CliOptions {
   ClusterParams params;
   bool json = false;
   bool ok = true;
+  std::string trace_out;
 };
 
 void usage() {
@@ -55,7 +61,11 @@ void usage() {
       "  --rpc-timeout-ms=<n>    fabric RPC timeout   (default 25)\n"
       "  --dag-timeout-ms=<n>    client DAG watchdog  (default 1000)\n"
       "  --crash=<addr>:<from_ms>:<until_ms>  sever an endpoint during\n"
-      "                      [from, until); repeatable\n");
+      "                      [from, until); repeatable\n"
+      "tracing (see docs/simulation.md):\n"
+      "  --trace-out=<path>  enable tracing, write Chrome trace JSON\n"
+      "  --trace-sample=<n>  record every n-th DAG trace (default 1)\n"
+      "  --trace-buffer=<n>  span ring-buffer capacity (default 65536)\n");
 }
 
 bool parse_value(const char* arg, const char* name, std::string* out) {
@@ -133,6 +143,14 @@ CliOptions parse(int argc, char** argv) {
         w.until = milliseconds(static_cast<int64_t>(until_ms));
         p.faults.crashes.push_back(w);
       }
+    } else if (parse_value(arg, "--trace-out", &v)) {
+      opt.trace_out = v;
+      p.trace.enabled = true;
+    } else if (parse_value(arg, "--trace-sample", &v)) {
+      p.trace.sample_every = static_cast<uint32_t>(std::atoi(v.c_str()));
+      if (p.trace.sample_every == 0) p.trace.sample_every = 1;
+    } else if (parse_value(arg, "--trace-buffer", &v)) {
+      p.trace.ring_capacity = static_cast<size_t>(std::atoll(v.c_str()));
     } else if (std::strcmp(arg, "--no-prewarm") == 0) {
       p.prewarm_caches = false;
     } else if (std::strcmp(arg, "--json") == 0) {
@@ -164,6 +182,22 @@ int main(int argc, char** argv) {
   const RunResult result = cluster.run();
   const SummaryStats s = summarize(result);
 
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot open trace output '%s'\n",
+                   opt.trace_out.c_str());
+      return 1;
+    }
+    cluster.tracer().export_chrome_trace(out);
+    std::fprintf(stderr, "trace: %llu spans (%llu dropped) -> %s\n",
+                 static_cast<unsigned long long>(
+                     cluster.tracer().spans_recorded()),
+                 static_cast<unsigned long long>(
+                     cluster.tracer().spans_dropped()),
+                 opt.trace_out.c_str());
+  }
+
   if (opt.json) {
     std::printf(
         "{\"system\":\"%s\",\"zipf\":%.3f,\"static\":%s,"
@@ -176,7 +210,7 @@ int main(int argc, char** argv) {
         "\"committed\":%.0f,\"duration_s\":%.3f,\"sim_events\":%llu,"
         "\"net_lost\":%llu,\"net_duplicated\":%llu,\"net_delay_spikes\":%llu,"
         "\"net_crash_dropped\":%llu,\"rpc_timeouts\":%llu,"
-        "\"rpc_retries\":%llu,\"dag_timeouts\":%llu}\n",
+        "\"rpc_retries\":%llu,\"dag_timeouts\":%llu",
         system_name(opt.params.system), opt.params.workload.zipf,
         opt.params.workload.static_txns ? "true" : "false", s.latency_med_ms,
         s.latency_p99_ms, s.throughput, s.metadata_med, s.metadata_p99,
@@ -190,6 +224,18 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result.metrics.net_rpc_timeouts),
         static_cast<unsigned long long>(result.metrics.net_rpc_retries),
         static_cast<unsigned long long>(result.metrics.dag_timeouts.value()));
+    if (opt.params.trace.enabled) {
+      // Trace-derived keys only appear when tracing is on, so existing
+      // consumers of the default JSON shape are unaffected.
+      std::printf(
+          ",\"breakdown_queue_ms\":%.4f,\"breakdown_compute_ms\":%.4f,"
+          "\"breakdown_storage_ms\":%.4f,\"breakdown_network_ms\":%.4f,"
+          "\"trace_spans\":%llu",
+          s.breakdown_queue_ms, s.breakdown_compute_ms, s.breakdown_storage_ms,
+          s.breakdown_network_ms,
+          static_cast<unsigned long long>(cluster.tracer().spans_recorded()));
+    }
+    std::printf("}\n");
     return 0;
   }
 
@@ -210,6 +256,16 @@ int main(int argc, char** argv) {
   table.add_row({"abort rate", fmt(100 * s.abort_rate, 2) + " %"});
   table.add_row({"committed DAGs", fmt(s.committed, 0)});
   table.add_row({"simulated duration", fmt(s.duration_s, 2) + " s"});
+  if (opt.params.trace.enabled) {
+    table.add_row({"breakdown queue median", fmt(s.breakdown_queue_ms, 3) +
+                   " ms"});
+    table.add_row({"breakdown compute median", fmt(s.breakdown_compute_ms, 3) +
+                   " ms"});
+    table.add_row({"breakdown storage median", fmt(s.breakdown_storage_ms, 3) +
+                   " ms"});
+    table.add_row({"breakdown network median", fmt(s.breakdown_network_ms, 3) +
+                   " ms"});
+  }
   if (opt.params.faults.enabled()) {
     const auto& m = result.metrics;
     table.add_row({"net lost / duplicated",

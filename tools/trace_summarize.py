@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Summarize a faastcc_sim Chrome trace.
+
+Reads the JSON written by `faastcc_sim --trace-out=...` and prints span
+counts per category plus the top-N slowest spans — a quick sanity check
+without loading the file into chrome://tracing or Perfetto.
+
+Usage: trace_summarize.py trace.json [--top=5]
+
+Standard library only; exits non-zero on malformed input so it can double
+as a CI smoke check of the exporter.
+"""
+
+import json
+import sys
+from collections import defaultdict
+
+
+def main(argv):
+    top_n = 5
+    path = None
+    for arg in argv[1:]:
+        if arg.startswith("--top="):
+            top_n = int(arg.split("=", 1)[1])
+        elif path is None:
+            path = arg
+        else:
+            print(f"unexpected argument '{arg}'", file=sys.stderr)
+            return 2
+    if path is None:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        print("no traceEvents array in trace", file=sys.stderr)
+        return 1
+    spans = [e for e in events if e.get("ph") == "X"]
+    if not spans:
+        print("trace contains no complete ('X') spans", file=sys.stderr)
+        return 1
+
+    by_cat = defaultdict(lambda: [0, 0])  # cat -> [count, total_dur_us]
+    traces = set()
+    for s in spans:
+        agg = by_cat[s.get("cat", "?")]
+        agg[0] += 1
+        agg[1] += s.get("dur", 0)
+        traces.add(s.get("args", {}).get("trace", s.get("tid")))
+
+    print(f"{len(spans)} spans across {len(traces)} traces")
+    print(f"{'category':<12} {'count':>8} {'total ms':>10} {'mean us':>9}")
+    for cat in sorted(by_cat):
+        count, dur = by_cat[cat]
+        print(f"{cat:<12} {count:>8} {dur / 1000:>10.3f} "
+              f"{dur / count:>9.1f}")
+
+    print(f"\ntop {top_n} slowest spans:")
+    slowest = sorted(spans, key=lambda s: s.get("dur", 0), reverse=True)
+    for s in slowest[:top_n]:
+        args = s.get("args", {})
+        notes = " ".join(
+            f"{k}={v}" for k, v in args.items()
+            if k not in ("trace", "span", "parent"))
+        print(f"  {s.get('dur', 0):>8} us  {s.get('name', '?'):<16} "
+              f"node={s.get('pid', '?'):<5} trace={args.get('trace', '?')}"
+              f"{('  ' + notes) if notes else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
