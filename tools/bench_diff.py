@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Compare (or schema-check) BENCH_wallclock.json files.
+
+Usage:
+    bench_diff.py OLD.json NEW.json     # print per-system before/after table
+    bench_diff.py --check FILE.json     # validate schema, exit 1 on failure
+
+The wallclock bench runs a deterministic simulation, so `sim_events`,
+`messages` and `committed` act as schedule checksums: if they differ
+between the two files (same config + seed), the runs are not comparable
+and the diff exits with an error.
+"""
+
+import json
+import sys
+
+SCHEMA = "faastcc.bench_wallclock.v1"
+
+REQUIRED_SYSTEM_KEYS = {
+    "wall_ms": (int, float),
+    "sim_events": int,
+    "messages": int,
+    "committed": int,
+    "events_per_sec": (int, float),
+    "messages_per_sec": (int, float),
+}
+
+REQUIRED_CONFIG_KEYS = {
+    "partitions": int,
+    "compute_nodes": int,
+    "clients": int,
+    "dags_per_client": int,
+    "num_keys": int,
+    "dag_size": int,
+    "seed": int,
+    "repeats": int,
+}
+
+
+def fail(msg):
+    print(f"bench_diff: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        fail(f"{path}: {e}")
+
+
+def check(doc, path):
+    if doc.get("schema") != SCHEMA:
+        fail(f"{path}: schema is {doc.get('schema')!r}, expected {SCHEMA!r}")
+    config = doc.get("config")
+    if not isinstance(config, dict):
+        fail(f"{path}: missing config object")
+    for key, ty in REQUIRED_CONFIG_KEYS.items():
+        if not isinstance(config.get(key), ty):
+            fail(f"{path}: config.{key} missing or not {ty}")
+    if not isinstance(doc.get("peak_rss_kb"), int) or doc["peak_rss_kb"] <= 0:
+        fail(f"{path}: peak_rss_kb missing or non-positive")
+    systems = doc.get("systems")
+    if not isinstance(systems, dict) or not systems:
+        fail(f"{path}: missing systems object")
+    for name, sysdoc in systems.items():
+        if not isinstance(sysdoc, dict):
+            fail(f"{path}: systems.{name} is not an object")
+        for key, ty in REQUIRED_SYSTEM_KEYS.items():
+            value = sysdoc.get(key)
+            if not isinstance(value, ty) or isinstance(value, bool):
+                fail(f"{path}: systems.{name}.{key} missing or not {ty}")
+            if value <= 0:
+                fail(f"{path}: systems.{name}.{key} is non-positive")
+    total = doc.get("total")
+    if not isinstance(total, dict) or not isinstance(
+        total.get("wall_ms"), (int, float)
+    ):
+        fail(f"{path}: missing total.wall_ms")
+    return doc
+
+
+def diff(old_path, new_path):
+    old = check(load(old_path), old_path)
+    new = check(load(new_path), new_path)
+    if old["config"] != new["config"]:
+        print("WARNING: configs differ; ratios are not apples-to-apples",
+              file=sys.stderr)
+
+    names = [n for n in old["systems"] if n in new["systems"]]
+    if not names:
+        fail("no system appears in both files")
+
+    header = (
+        f"{'system':<12} {'wall_ms':>10} {'->':^4} {'wall_ms':>10} "
+        f"{'speedup':>8}  {'events/s':>12} {'->':^4} {'events/s':>12} "
+        f"{'ratio':>7}"
+    )
+    print(header)
+    print("-" * len(header))
+    mismatched = []
+    ratios = []
+    for name in names:
+        o, n = old["systems"][name], new["systems"][name]
+        if old["config"] == new["config"]:
+            for checksum in ("sim_events", "messages", "committed"):
+                if o[checksum] != n[checksum]:
+                    mismatched.append(
+                        f"{name}.{checksum}: {o[checksum]} -> {n[checksum]}"
+                    )
+        speedup = o["wall_ms"] / n["wall_ms"]
+        ratio = n["events_per_sec"] / o["events_per_sec"]
+        ratios.append(ratio)
+        print(
+            f"{name:<12} {o['wall_ms']:>10.1f} {'->':^4} {n['wall_ms']:>10.1f} "
+            f"{speedup:>7.2f}x  {o['events_per_sec']:>12.0f} {'->':^4} "
+            f"{n['events_per_sec']:>12.0f} {ratio:>6.2f}x"
+        )
+    ot, nt = old["total"], new["total"]
+    print("-" * len(header))
+    print(
+        f"{'total':<12} {ot['wall_ms']:>10.1f} {'->':^4} {nt['wall_ms']:>10.1f} "
+        f"{ot['wall_ms'] / nt['wall_ms']:>7.2f}x  "
+        f"geomean events/s ratio: "
+        f"{(__import__('math').prod(ratios)) ** (1 / len(ratios)):.2f}x"
+    )
+    if mismatched:
+        fail(
+            "determinism checksums differ (schedule changed, runs not "
+            "comparable):\n  " + "\n  ".join(mismatched)
+        )
+
+
+def main(argv):
+    if len(argv) == 3 and argv[1] == "--check":
+        check(load(argv[2]), argv[2])
+        print(f"{argv[2]}: ok")
+        return
+    if len(argv) == 3:
+        diff(argv[1], argv[2])
+        return
+    print(__doc__, file=sys.stderr)
+    sys.exit(2)
+
+
+if __name__ == "__main__":
+    main(sys.argv)
