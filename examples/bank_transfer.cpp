@@ -26,7 +26,7 @@ constexpr int kTransfers = 40;
 
 int to_int(const Value& v) {
   if (v.empty() || v[0] < '0' || v[0] > '9') return 0;
-  return std::stoi(v);
+  return std::stoi(std::string(v.view()));
 }
 
 Buffer transfer_args(Key from, Key to, int amount) {

@@ -52,7 +52,7 @@ int main() {
         env.abort_requested = true;
         co_return Buffer{};
       }
-      std::printf("  [%s] read \"%s\"\n", label, (*vals)[0].c_str());
+      std::printf("  [%s] read \"%s\"\n", label, std::string((*vals)[0].view()).c_str());
       BufWriter w;
       w.put_bytes((*vals)[0]);
       co_return w.take();
@@ -77,7 +77,7 @@ int main() {
           co_return Buffer{};
         }
         std::printf("  [score] aggregated three branches; profile=\"%s\"\n",
-                    (*vals)[0].c_str());
+                    std::string((*vals)[0].view()).c_str());
         env.txn.write(10, "score:0.97");
         co_return Buffer{};
       });

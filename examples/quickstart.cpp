@@ -56,8 +56,9 @@ int main() {
           co_return Buffer{};
         }
         std::printf("  [amplify] read key 1 = \"%s\", key 2 = \"%s\"\n",
-                    (*values)[0].c_str(), (*values)[1].c_str());
-        env.txn.write(3, (*values)[0] + ", world");
+                    std::string((*values)[0].view()).c_str(),
+                    std::string((*values)[1].view()).c_str());
+        env.txn.write(3, std::string((*values)[0].view()) + ", world");
         co_return Buffer{};
       });
 
@@ -92,7 +93,9 @@ int main() {
     const auto r = partition->store().read_at(k, Timestamp::max());
     std::printf("storage key %llu = \"%s\" @ %s\n",
                 static_cast<unsigned long long>(k),
-                r.version != nullptr ? r.version->value.c_str() : "(none)",
+                r.version != nullptr
+                    ? std::string(r.version->value.view()).c_str()
+                    : "(none)",
                 r.version != nullptr ? r.version->ts.to_string().c_str() : "-");
   }
   return finished ? 0 : 1;

@@ -29,7 +29,7 @@ constexpr Key kRevenue = 13; // accumulated revenue
 // non-numeric as zero.
 int to_int(const Value& v) {
   if (v.empty() || v[0] < '0' || v[0] > '9') return 0;
-  return std::stoi(v);
+  return std::stoi(std::string(v.view()));
 }
 
 Buffer quantity_args(int qty) {
@@ -158,7 +158,8 @@ int main() {
   auto read_key = [&](Key k) -> std::string {
     const auto& p = cluster.tcc_partitions()[k % params.partitions];
     const auto r = p->store().read_at(k, Timestamp::max());
-    return r.version != nullptr ? r.version->value : "(none)";
+    return r.version != nullptr ? std::string(r.version->value.view())
+                                : std::string("(none)");
   };
   std::printf("\nfinal state: stock=%s orders=%s revenue=%s\n",
               read_key(kStock).c_str(), read_key(kOrders).c_str(),

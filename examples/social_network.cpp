@@ -67,7 +67,7 @@ void register_functions(Cluster& cluster, Outcome& outcome) {
         }
         BufReader r(env.parent_result);
         const std::string alice_list = r.get_bytes();
-        const std::string bob_list = (*values)[0];
+        const std::string bob_list((*values)[0].view());
         const bool alice_has_bob = alice_list.find("bob") != std::string::npos;
         const bool bob_has_alice =
             bob_list.find("alice") != std::string::npos;

@@ -29,7 +29,8 @@ struct CacheReadReq {
                              // the interval.
   std::vector<Key> keys;
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     interval.encode(w);
     w.put_bool(use_promises);
     w.put_u32(static_cast<uint32_t>(keys.size()));
@@ -52,7 +53,8 @@ struct CacheReadResp {
   std::vector<storage::VersionedValue> entries;  // parallel to request keys
   std::vector<bool> from_cache;                  // parallel to entries
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_bool(abort);
     interval.encode(w);
     storage::put_vec(w, entries);
@@ -79,7 +81,8 @@ struct HydroReadReq {
   std::vector<Key> keys;
   DepMap context;  // the transaction's accumulated causal requirements
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_u32(static_cast<uint32_t>(keys.size()));
     for (Key k : keys) w.put_u64(k);
     context.encode(w);
@@ -101,7 +104,8 @@ struct HydroReadEntry {
   SimTime written_at = 0;
   std::vector<StoredDep> deps;  // merged into the txn context by the client
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(key);
     w.put_bytes(value);
     w.put_u64(counter);
@@ -125,7 +129,8 @@ struct HydroReadResp {
   std::vector<bool> from_cache;
   SimTime global_cut = 0;  // latest dependency-GC watermark seen
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_bool(abort);
     storage::put_vec(w, entries);
     w.put_u32(static_cast<uint32_t>(from_cache.size()));
@@ -151,7 +156,8 @@ struct HydroReadResp {
 struct PlainReadReq {
   std::vector<Key> keys;
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_u32(static_cast<uint32_t>(keys.size()));
     for (Key k : keys) w.put_u64(k);
   }
@@ -171,7 +177,8 @@ struct PlainReadResp {
   bool abort = false;
   std::vector<storage::KeyValue> entries;  // parallel to request keys
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_bool(abort);
     storage::put_vec(w, entries);
   }

@@ -106,6 +106,7 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
     span_ctx = tracer_->context_of(span);
   }
   auto q = decode_message<CacheReadReq>(req);
+  rpc_.recycle(std::move(req));
   counters_.requests.inc();
   if (metrics_ != nullptr) metrics_->cache_lookups.inc();
   co_await sim::sleep_for(rpc_.loop(), params_.lookup_cpu);
@@ -144,7 +145,7 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
       tracer_->annotate(span, "hit", 1);
       tracer_->end(span, rpc_.now());
     }
-    co_return encode_message(resp);
+    co_return rpc_.encode(resp);
   }
 
   // Pass 2: a batched storage round at the (narrowed) upper bound.  The
@@ -267,11 +268,12 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
     if (resp.abort) tracer_->annotate(span, "abort", 1);
     tracer_->end(span, rpc_.now());
   }
-  co_return encode_message(resp);
+  co_return rpc_.encode(resp);
 }
 
 void FaasTccCache::on_push(Buffer msg, net::Address) {
   auto push = decode_message<storage::PushMsg>(msg);
+  rpc_.recycle(std::move(msg));
   stable_est_ = std::max(stable_est_, push.stable_time);
   if (push.partition < partition_stable_.size()) {
     auto& slot = partition_stable_[push.partition];

@@ -27,6 +27,7 @@ HydroCache::HydroCache(net::Network& network, net::Address self,
 
 void HydroCache::on_push(Buffer msg, net::Address) {
   auto push = decode_message<storage::EvGossipMsg>(msg);
+  rpc_.recycle(std::move(msg));
   for (storage::EvItem& item : push.items) {
     auto it = entries_.find(item.key);
     if (it == entries_.end()) continue;  // evicted; unsubscribe in flight
@@ -149,6 +150,7 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
     span_ctx = tracer_->context_of(span);
   }
   auto q = decode_message<HydroReadReq>(req);
+  rpc_.recycle(std::move(req));
   counters_.requests.inc();
   if (metrics_ != nullptr) metrics_->cache_lookups.inc();
   co_await sim::sleep_for(rpc_.loop(), params_.lookup_cpu);
@@ -275,7 +277,7 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
     if (resp.abort) tracer_->annotate(span, "abort", 1);
     tracer_->end(span, rpc_.now());
   }
-  co_return encode_message(resp);
+  co_return rpc_.encode(resp);
 }
 
 }  // namespace faastcc::cache

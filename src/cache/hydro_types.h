@@ -51,6 +51,7 @@ class DepMap {
   const Dep* find(Key k) const;
   size_t size() const { return map_.size(); }
   bool empty() const { return map_.empty(); }
+  void reserve(size_t n) { map_.reserve(n); }
 
   void merge(const DepMap& other);
   // Drops entries written before `horizon` (globally visible, so no longer
@@ -73,7 +74,19 @@ class DepMap {
 
   size_t wire_bytes() const { return 4 + map_.size() * kDepWireBytes; }
 
-  void encode(BufWriter& w) const;
+  size_t size_hint() const { return wire_bytes(); }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u32(static_cast<uint32_t>(map_.size()));
+    for (const auto& [k, d] : map_) {
+      w.put_u64(k);
+      w.put_u64(d.counter);
+      w.put_i64(d.written_at);
+      w.put_bool(d.read);
+      w.put_u8(d.level);
+    }
+  }
   static DepMap decode(BufReader& r);
 
   auto begin() const { return map_.begin(); }
@@ -92,7 +105,8 @@ struct StoredDep {
   SimTime written_at = 0;
   uint8_t level = 0;
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(key);
     w.put_u64(counter);
     w.put_i64(written_at);
@@ -114,7 +128,8 @@ struct HydroStored {
   Value value;
   std::vector<StoredDep> deps;
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_bytes(value);
     storage::put_vec(w, deps);
   }

@@ -28,6 +28,7 @@ void PlainCache::on_push(Buffer msg, net::Address) {
   // newest pushed payload simply replaces the cached value (no versions,
   // no guarantees — eventual consistency).
   auto push = decode_message<storage::EvGossipMsg>(msg);
+  rpc_.recycle(std::move(msg));
   for (storage::EvItem& item : push.items) {
     auto it = entries_.find(item.key);
     if (it == entries_.end()) continue;
@@ -59,6 +60,7 @@ sim::Task<Buffer> PlainCache::on_read(Buffer req, net::Address) {
     span_ctx = tracer_->context_of(span);
   }
   auto q = decode_message<PlainReadReq>(req);
+  rpc_.recycle(std::move(req));
   if (metrics_ != nullptr) metrics_->cache_lookups.inc();
   co_await sim::sleep_for(rpc_.loop(), params_.lookup_cpu);
 
@@ -86,7 +88,7 @@ sim::Task<Buffer> PlainCache::on_read(Buffer req, net::Address) {
   if (to_fetch.empty()) {
     if (metrics_ != nullptr) metrics_->cache_hits.inc();
     end_span(true, false);
-    co_return encode_message(resp);
+    co_return rpc_.encode(resp);
   }
 
   std::vector<Key> keys;
@@ -104,7 +106,7 @@ sim::Task<Buffer> PlainCache::on_read(Buffer req, net::Address) {
     // the client abort and retry the transaction.
     resp.abort = true;
     end_span(false, true);
-    co_return encode_message(resp);
+    co_return rpc_.encode(resp);
   }
   for (size_t j = 0; j < to_fetch.size(); ++j) {
     const size_t idx = to_fetch[j];
@@ -127,7 +129,7 @@ sim::Task<Buffer> PlainCache::on_read(Buffer req, net::Address) {
     }
   }
   end_span(false, false);
-  co_return encode_message(resp);
+  co_return rpc_.encode(resp);
 }
 
 }  // namespace faastcc::cache

@@ -2,14 +2,6 @@
 
 namespace faastcc::client {
 
-void EventualContext::encode(BufWriter& w) const {
-  w.put_u32(static_cast<uint32_t>(write_set.size()));
-  for (const auto& [k, v] : write_set) {
-    w.put_u64(k);
-    w.put_bytes(v);
-  }
-}
-
 EventualContext EventualContext::decode(BufReader& r) {
   EventualContext c;
   const uint32_t n = r.get_u32();

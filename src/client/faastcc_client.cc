@@ -16,18 +16,6 @@ uint64_t interval_width_us(const SnapshotInterval& si) {
 }
 }  // namespace
 
-void FaasTccContext::encode(BufWriter& w) const {
-  w.put_u8(kWireVersion);
-  interval.encode(w);
-  w.put_u64(dep_ts.raw());
-  w.put_bool(snapshot_fixed);
-  w.put_u32(static_cast<uint32_t>(write_set.size()));
-  for (const auto& [k, v] : write_set) {
-    w.put_u64(k);
-    w.put_bytes(v);
-  }
-}
-
 FaasTccContext FaasTccContext::decode(BufReader& r) {
   const uint8_t version = r.get_u8();
   if (version != kWireVersion) {

@@ -44,7 +44,18 @@ struct FaasTccContext {
   bool snapshot_fixed = false;          // fixed-snapshot ablation state
   std::map<Key, Value> write_set;       // ordered => deterministic encoding
 
-  void encode(BufWriter& w) const;
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u8(kWireVersion);
+    interval.encode(w);
+    w.put_u64(dep_ts.raw());
+    w.put_bool(snapshot_fixed);
+    w.put_u32(static_cast<uint32_t>(write_set.size()));
+    for (const auto& [k, v] : write_set) {
+      w.put_u64(k);
+      w.put_bytes(v);
+    }
+  }
   static FaasTccContext decode(BufReader& r);
 };
 

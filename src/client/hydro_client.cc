@@ -5,18 +5,6 @@
 
 namespace faastcc::client {
 
-void HydroContext::encode(BufWriter& w) const {
-  w.put_u8(kWireVersion);
-  deps.encode(w);
-  w.put_u64(lamport);
-  w.put_i64(global_cut);
-  w.put_u32(static_cast<uint32_t>(write_set.size()));
-  for (const auto& [k, v] : write_set) {
-    w.put_u64(k);
-    w.put_bytes(v);
-  }
-}
-
 HydroContext HydroContext::decode(BufReader& r) {
   const uint8_t version = r.get_u8();
   if (version != kWireVersion) {
@@ -33,12 +21,6 @@ HydroContext HydroContext::decode(BufReader& r) {
     c.write_set[k] = r.get_bytes();
   }
   return c;
-}
-
-void HydroSession::encode(BufWriter& w) const {
-  w.put_u64(lamport);
-  w.put_i64(global_cut);
-  deps.encode(w);
 }
 
 HydroSession HydroSession::decode(BufReader& r) {
@@ -124,7 +106,7 @@ sim::Task<std::optional<std::vector<Value>>> HydroTxn::read(
     span_ctx = tracer->context_of(span);
   }
   auto resp = co_await adapter_.rpc_.call<cache::HydroReadResp>(
-      adapter_.cache_address_, cache::kHydroRead, req, span_ctx);
+      adapter_.cache_address_, cache::kHydroRead, std::move(req), span_ctx);
   if (tracer != nullptr) {
     tracer->annotate(span, "abort", resp.abort ? 1 : 0);
     tracer->add_time(span_ctx.trace_id, obs::Bucket::kStorage,
@@ -177,13 +159,38 @@ Buffer HydroTxn::export_context() const {
   return encode_message(out);
 }
 
-size_t HydroTxn::metadata_bytes() const { return shipped_deps().wire_bytes(); }
+size_t HydroTxn::metadata_bytes() const {
+  // Same number as shipped_deps().wire_bytes(), but computed by counting
+  // the surviving entries instead of materializing the pruned copy — this
+  // runs per function execution (twice when tracing), and the copy was a
+  // measurable share of HydroCache wall time.
+  const SimTime horizon =
+      std::min(ctx_.global_cut,
+               adapter_.rpc_.now() - adapter_.config_.dep_gc_window);
+  const bool restricted =
+      info_.is_static && adapter_.config_.static_metadata_optimization;
+  std::unordered_set<Key> relevant;
+  if (restricted) {
+    relevant.insert(info_.declared_read_set.begin(),
+                    info_.declared_read_set.end());
+    relevant.insert(info_.declared_write_set.begin(),
+                    info_.declared_write_set.end());
+  }
+  size_t n = 0;
+  for (const auto& [k, d] : ctx_.deps) {
+    if (!d.read && d.written_at < horizon) continue;
+    if (restricted && relevant.count(k) == 0) continue;
+    ++n;
+  }
+  return 4 + n * cache::kDepWireBytes;
+}
 
 // The context as carried into the client's next transaction: everything
 // becomes validation-only history (level 2, no read markers), pruned
 // against the stable cut.
 cache::DepMap HydroTxn::session_past(SimTime horizon) const {
   cache::DepMap past;
+  past.reserve(ctx_.deps.size());
   for (const auto& [k, d] : ctx_.deps) {
     if (d.written_at < horizon) continue;
     past.require(k, d.counter, d.written_at, 2);
@@ -251,8 +258,9 @@ sim::Task<std::optional<Buffer>> HydroTxn::commit() {
     item.version = storage::EvVersion{counter, info_.txn_id};
     BufWriter w;
     stored.encode(w);
-    Buffer payload = w.take();
-    item.payload.assign(payload.begin(), payload.end());
+    const Buffer payload = w.take();
+    item.payload = Value(std::string_view(
+        reinterpret_cast<const char*>(payload.data()), payload.size()));
     items.push_back(std::move(item));
   }
   obs::Tracer* tracer = adapter_.tracer_;

@@ -41,7 +41,18 @@ struct HydroContext {
   SimTime global_cut = 0;
   std::map<Key, Value> write_set;
 
-  void encode(BufWriter& w) const;
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u8(kWireVersion);
+    deps.encode(w);
+    w.put_u64(lamport);
+    w.put_i64(global_cut);
+    w.put_u32(static_cast<uint32_t>(write_set.size()));
+    for (const auto& [k, v] : write_set) {
+      w.put_u64(k);
+      w.put_bytes(v);
+    }
+  }
   static HydroContext decode(BufReader& r);
 };
 
@@ -102,7 +113,12 @@ struct HydroSession {
   SimTime global_cut = 0;
   cache::DepMap deps;
 
-  void encode(BufWriter& w) const;
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u64(lamport);
+    w.put_i64(global_cut);
+    deps.encode(w);
+  }
   static HydroSession decode(BufReader& r);
 };
 

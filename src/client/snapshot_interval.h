@@ -43,7 +43,8 @@ struct SnapshotInterval {
   friend bool operator==(const SnapshotInterval&,
                          const SnapshotInterval&) = default;
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(low.raw());
     w.put_u64(high.raw());
   }

@@ -4,8 +4,14 @@
 // reason about: the metadata-size experiments (Fig. 5 and Fig. 7 of the
 // paper) report the byte counts produced by this codec.  It plays the role
 // protocol buffers play in the authors' prototype.
+//
+// Message structs provide `template <typename W> void encode(W&) const`,
+// generic over the writer, so the same encode body drives both the real
+// BufWriter and the allocation-free CountingWriter (exact wire sizes
+// without encoding, and exact reserve() hints before encoding).
 #pragma once
 
+#include <concepts>
 #include <cstdint>
 #include <cstring>
 #include <stdexcept>
@@ -17,9 +23,18 @@ namespace faastcc {
 
 using Buffer = std::vector<uint8_t>;
 
+class BufferPool;
+
 class BufWriter {
  public:
   BufWriter() = default;
+  // Writes into a recycled buffer (cleared, capacity retained) so repeated
+  // encodes through a BufferPool stop hitting the allocator.
+  explicit BufWriter(Buffer recycled) : buf_(std::move(recycled)) {
+    buf_.clear();
+  }
+
+  void reserve(size_t n) { buf_.reserve(n); }
 
   void put_u8(uint8_t v) { buf_.push_back(v); }
   void put_u16(uint16_t v) { put_raw(&v, sizeof(v)); }
@@ -46,6 +61,28 @@ class BufWriter {
   Buffer buf_;
 };
 
+// Writer that only tallies bytes — no buffer, no heap allocation.  Feeding
+// a message's encode() through one yields the exact wire size; the codec
+// fields are fixed-width, so counting is pure arithmetic.
+class CountingWriter {
+ public:
+  void reserve(size_t) {}
+
+  void put_u8(uint8_t) { size_ += 1; }
+  void put_u16(uint16_t) { size_ += 2; }
+  void put_u32(uint32_t) { size_ += 4; }
+  void put_u64(uint64_t) { size_ += 8; }
+  void put_i64(int64_t) { size_ += 8; }
+  void put_f64(double) { size_ += 8; }
+  void put_bool(bool) { size_ += 1; }
+  void put_bytes(std::string_view s) { size_ += 4 + s.size(); }
+
+  size_t size() const { return size_; }
+
+ private:
+  size_t size_ = 0;
+};
+
 class CodecError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
@@ -64,10 +101,15 @@ class BufReader {
   double get_f64() { return get<double>(); }
   bool get_bool() { return get_u8() != 0; }
 
-  std::string get_bytes() {
+  std::string get_bytes() { return std::string(get_bytes_view()); }
+
+  // Zero-copy view into the underlying buffer; valid only while the buffer
+  // lives.  Decode paths that copy the bytes into longer-lived storage
+  // anyway use this to skip the intermediate std::string.
+  std::string_view get_bytes_view() {
     const uint32_t n = get_u32();
     require(n);
-    std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+    std::string_view s(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return s;
   }
@@ -92,10 +134,38 @@ class BufReader {
   size_t pos_ = 0;
 };
 
-// Encodes a message struct that provides `void encode(BufWriter&) const`.
+// Size in bytes a message would occupy on the wire.  Runs the message's
+// encode body against a CountingWriter: exact, and allocation-free.
+template <typename M>
+size_t encoded_size(const M& m) {
+  CountingWriter w;
+  m.encode(w);
+  return w.size();
+}
+
+// True when M supplies a hand-written O(1)-ish wire-size hint.
+template <typename M>
+concept HasSizeHint = requires(const M& m) {
+  { m.size_hint() } -> std::convertible_to<size_t>;
+};
+
+// Reserve hint for encoding `m`: the message's own size_hint() when it has
+// one (cheap arithmetic on the hot types), otherwise an exact counting
+// pass (still allocation-free).
+template <typename M>
+size_t wire_size_hint(const M& m) {
+  if constexpr (HasSizeHint<M>) {
+    return m.size_hint();
+  } else {
+    return encoded_size(m);
+  }
+}
+
+// Encodes a message struct into a fresh buffer.
 template <typename M>
 Buffer encode_message(const M& m) {
   BufWriter w;
+  w.reserve(wire_size_hint(m));
   m.encode(w);
   return w.take();
 }
@@ -107,12 +177,50 @@ M decode_message(const Buffer& b) {
   return M::decode(r);
 }
 
-// Size in bytes a message would occupy on the wire.
+// Free list of message buffers.  Encoding acquires a buffer whose capacity
+// survived its previous trip through the network, so steady-state message
+// traffic allocates nothing; consumers hand exhausted payloads back via
+// release().  Purely a memory-reuse layer: acquire/release order has no
+// observable effect on the simulation schedule.
+class BufferPool {
+ public:
+  explicit BufferPool(size_t max_free = 4096) : max_free_(max_free) {}
+
+  Buffer acquire() {
+    if (free_.empty()) {
+      ++misses_;
+      return Buffer();
+    }
+    ++hits_;
+    Buffer b = std::move(free_.back());
+    free_.pop_back();
+    b.clear();
+    return b;
+  }
+
+  void release(Buffer&& b) {
+    if (b.capacity() == 0 || free_.size() >= max_free_) return;
+    free_.push_back(std::move(b));
+  }
+
+  size_t free_count() const { return free_.size(); }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+ private:
+  std::vector<Buffer> free_;
+  size_t max_free_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+// Pooled encode: recycled buffer + exact reserve.
 template <typename M>
-size_t encoded_size(const M& m) {
-  BufWriter w;
+Buffer encode_message(const M& m, BufferPool& pool) {
+  BufWriter w(pool.acquire());
+  w.reserve(wire_size_hint(m));
   m.encode(w);
-  return w.size();
+  return w.take();
 }
 
 }  // namespace faastcc

@@ -3,7 +3,10 @@
 
 #include <cstdint>
 #include <limits>
+#include <memory>
+#include <ostream>
 #include <string>
+#include <string_view>
 
 namespace faastcc {
 
@@ -31,8 +34,61 @@ using PartitionId = uint32_t;
 // metadata sizes exact (8 bytes/key), mirroring the paper's accounting.
 using Key = uint64_t;
 
-// Values are opaque byte strings (the paper uses 8-byte payloads).
-using Value = std::string;
+// Values are opaque immutable byte strings (the paper uses 8-byte
+// payloads), shared by reference count: assigning or copying a Value bumps
+// a refcount instead of deep-copying the bytes, so a payload travelling
+// mv_store -> partition -> cache -> client is allocated once.  The
+// string-like read surface (size/empty/view/iteration/comparison) is what
+// the codec and the byte-accounting paths consume — `size()` is the same
+// number as before, so Fig. 5/7/8 wire and cache byte counts are
+// unaffected.  An empty value holds no allocation at all.
+class Value {
+ public:
+  Value() = default;
+  Value(std::string s)  // NOLINT(google-explicit-constructor)
+      : data_(s.empty() ? nullptr
+                        : std::make_shared<const std::string>(std::move(s))) {}
+  Value(std::string_view s)  // NOLINT(google-explicit-constructor)
+      : Value(std::string(s)) {}
+  Value(const char* s)  // NOLINT(google-explicit-constructor)
+      : Value(std::string(s)) {}
+  Value(size_t count, char fill) : Value(std::string(count, fill)) {}
+
+  size_t size() const { return data_ ? data_->size() : 0; }
+  bool empty() const { return data_ == nullptr || data_->empty(); }
+
+  std::string_view view() const {
+    return data_ ? std::string_view(*data_) : std::string_view();
+  }
+  operator std::string_view() const { return view(); }  // NOLINT
+  const char* data() const { return view().data(); }
+
+  auto begin() const { return view().begin(); }
+  auto end() const { return view().end(); }
+  char operator[](size_t i) const { return view()[i]; }
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_ || a.view() == b.view();
+  }
+  friend bool operator==(const Value& a, std::string_view b) {
+    return a.view() == b;
+  }
+  // Exact-match overload so `v == "literal"` needs no user-defined
+  // conversion on either side (which would be ambiguous with the implicit
+  // string_view conversion above).
+  friend bool operator==(const Value& a, const char* b) {
+    return a.view() == std::string_view(b);
+  }
+  friend bool operator==(const Value& a, const std::string& b) {
+    return a.view() == std::string_view(b);
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Value& v) {
+    return os << v.view();
+  }
+
+ private:
+  std::shared_ptr<const std::string> data_;
+};
 
 // Unique id of one DAG execution (== one transaction attempt).
 using TxnId = uint64_t;

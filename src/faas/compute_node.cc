@@ -58,6 +58,7 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
   // Must be read before anything else: valid only for this delivery.
   const obs::TraceContext inbound = rpc_.inbound_trace();
   TriggerMsg t = decode_message<TriggerMsg>(msg);
+  rpc_.recycle(std::move(msg));
   counters_.triggers.inc();
   gc_stale_joins();
   if (aborted_.count(t.txn_id) != 0) {
@@ -104,6 +105,7 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
 
 void ComputeNode::on_abort_notice(Buffer msg, net::Address) {
   const AbortNoticeMsg n = decode_message<AbortNoticeMsg>(msg);
+  rpc_.recycle(std::move(msg));
   aborted_.insert(n.txn_id);
   // Drop any half-assembled joins of the aborted transaction.
   for (auto it = joins_.begin(); it != joins_.end();) {

@@ -4,33 +4,15 @@
 
 namespace faastcc::faas {
 
-void FunctionSpec::encode(BufWriter& w) const {
-  w.put_bytes(name);
-  w.put_bytes(std::string_view(reinterpret_cast<const char*>(args.data()),
-                               args.size()));
-  w.put_u32(static_cast<uint32_t>(children.size()));
-  for (uint32_t c : children) w.put_u32(c);
-}
-
 FunctionSpec FunctionSpec::decode(BufReader& r) {
   FunctionSpec f;
   f.name = r.get_bytes();
-  const std::string a = r.get_bytes();
+  const std::string_view a = r.get_bytes_view();
   f.args.assign(a.begin(), a.end());
   const uint32_t n = r.get_u32();
   f.children.reserve(n);
   for (uint32_t i = 0; i < n; ++i) f.children.push_back(r.get_u32());
   return f;
-}
-
-void DagSpec::encode(BufWriter& w) const {
-  w.put_u32(static_cast<uint32_t>(functions.size()));
-  for (const auto& f : functions) f.encode(w);
-  w.put_bool(is_static);
-  w.put_u32(static_cast<uint32_t>(declared_read_set.size()));
-  for (Key k : declared_read_set) w.put_u64(k);
-  w.put_u32(static_cast<uint32_t>(declared_write_set.size()));
-  for (Key k : declared_write_set) w.put_u64(k);
 }
 
 DagSpec DagSpec::decode(BufReader& r) {
@@ -42,8 +24,10 @@ DagSpec DagSpec::decode(BufReader& r) {
   }
   d.is_static = r.get_bool();
   const uint32_t nr = r.get_u32();
+  d.declared_read_set.reserve(nr);
   for (uint32_t i = 0; i < nr; ++i) d.declared_read_set.push_back(r.get_u64());
   const uint32_t nw = r.get_u32();
+  d.declared_write_set.reserve(nw);
   for (uint32_t i = 0; i < nw; ++i) d.declared_write_set.push_back(r.get_u64());
   return d;
 }

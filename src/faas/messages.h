@@ -21,7 +21,8 @@ struct StartDagMsg {
   Buffer session;  // system-specific blob from the client's previous commit
   DagSpec spec;
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(txn_id);
     w.put_u32(client);
     w.put_bytes(std::string_view(reinterpret_cast<const char*>(session.data()),
@@ -32,7 +33,7 @@ struct StartDagMsg {
     StartDagMsg m;
     m.txn_id = r.get_u64();
     m.client = r.get_u32();
-    const std::string s = r.get_bytes();
+    const std::string_view s = r.get_bytes_view();
     m.session.assign(s.begin(), s.end());
     m.spec = DagSpec::decode(r);
     return m;
@@ -59,7 +60,8 @@ struct TriggerMsg {
   Buffer context;                       // non-root: parent context
   Buffer parent_result;                 // output of the parent function
 
-  void encode(BufWriter& w) const;
+  template <typename W>
+  void encode(W& w) const;
   static TriggerMsg decode(BufReader& r);
 };
 
@@ -69,28 +71,32 @@ struct DagDoneMsg {
   Buffer session;  // valid when committed
   Buffer result;   // sink function output
 
-  void encode(BufWriter& w) const;
+  template <typename W>
+  void encode(W& w) const;
   static DagDoneMsg decode(BufReader& r);
 };
 
 struct AbortNoticeMsg {
   TxnId txn_id = 0;
 
-  void encode(BufWriter& w) const { w.put_u64(txn_id); }
+  template <typename W>
+  void encode(W& w) const { w.put_u64(txn_id); }
   static AbortNoticeMsg decode(BufReader& r) { return {r.get_u64()}; }
 };
 
-inline void put_buffer(BufWriter& w, const Buffer& b) {
+template <typename W>
+inline void put_buffer(W& w, const Buffer& b) {
   w.put_bytes(
       std::string_view(reinterpret_cast<const char*>(b.data()), b.size()));
 }
 
 inline Buffer get_buffer(BufReader& r) {
-  const std::string s = r.get_bytes();
+  const std::string_view s = r.get_bytes_view();
   return Buffer(s.begin(), s.end());
 }
 
-inline void TriggerMsg::encode(BufWriter& w) const {
+template <typename W>
+inline void TriggerMsg::encode(W& w) const {
   w.put_u64(txn_id);
   w.put_u32(fn_index);
   w.put_u32(from_fn);
@@ -119,7 +125,8 @@ inline TriggerMsg TriggerMsg::decode(BufReader& r) {
   return m;
 }
 
-inline void DagDoneMsg::encode(BufWriter& w) const {
+template <typename W>
+inline void DagDoneMsg::encode(W& w) const {
   w.put_u64(txn_id);
   w.put_bool(committed);
   put_buffer(w, session);

@@ -23,6 +23,7 @@ Scheduler::Scheduler(net::Network& network, net::Address self,
 
 void Scheduler::on_start(Buffer msg, net::Address) {
   StartDagMsg start = decode_message<StartDagMsg>(msg);
+  rpc_.recycle(std::move(msg));
   sim::spawn(dispatch(std::move(start), rpc_.inbound_trace()));
 }
 

@@ -226,7 +226,8 @@ void Cluster::preload() {
     BufWriter w;
     stored.encode(w);
     const Buffer b = w.take();
-    payload.assign(b.begin(), b.end());
+    payload = Value(std::string_view(reinterpret_cast<const char*>(b.data()),
+                                     b.size()));
   } else {
     payload = value;
   }

@@ -80,12 +80,14 @@ void Network::deliver(Message m, Duration delay) {
       // Receiver is down at delivery time: the message is lost, even over
       // IPC (a crashed process receives nothing).
       faults_crash_dropped_.inc();
+      loop_.buffer_pool().release(std::move(m.payload));
       return;
     }
     auto it = endpoints_.find(m.to);
     if (it == endpoints_.end()) {
       messages_dropped_.inc();
       LOG_DEBUG("dropping message to unregistered address " << m.to);
+      loop_.buffer_pool().release(std::move(m.payload));
       return;
     }
     it->second(std::move(m));
@@ -106,6 +108,7 @@ void Network::send(Message m) {
       const double loss = link_loss(m.from, m.to);
       if (loss > 0 && fault_rng_.next_bool(loss)) {
         faults_lost_.inc();
+        loop_.buffer_pool().release(std::move(m.payload));
         return;
       }
       Duration extra = 0;

@@ -127,6 +127,7 @@ void RpcNode::on_message(Message m) {
       auto it = handlers_.find(m.method);
       if (it == handlers_.end()) {
         LOG_ERROR("no handler for method " << m.method << " at " << address_);
+        recycle(std::move(m.payload));
         return;
       }
       // Handlers read this synchronously before their first suspension.
@@ -140,6 +141,7 @@ void RpcNode::on_message(Message m) {
         // Either a duplicate delivery or a response that lost the race
         // against its timeout.
         LOG_DEBUG("orphan response at " << address_);
+        recycle(std::move(m.payload));
         return;
       }
       Pending p = std::move(it->second);
@@ -154,6 +156,7 @@ void RpcNode::on_message(Message m) {
       auto it = oneway_handlers_.find(m.method);
       if (it == oneway_handlers_.end()) {
         LOG_DEBUG("no one-way handler for method " << m.method);
+        recycle(std::move(m.payload));
         return;
       }
       inbound_trace_ = m.trace;

@@ -74,21 +74,32 @@ class RpcNode {
   sim::Task<Buffer> call_raw(Address to, MethodId method, Buffer request,
                              obs::TraceContext trace = {});
 
+  // Pooled encode: the buffer comes from the loop's shared free list and
+  // should eventually be handed back via recycle() by whoever drains it.
+  template <typename M>
+  Buffer encode(const M& m) {
+    return encode_message(m, loop().buffer_pool());
+  }
+  // Returns an exhausted payload buffer to the free list (keeps capacity).
+  void recycle(Buffer&& b) { loop().buffer_pool().release(std::move(b)); }
+
   // Typed call.  `req` is taken by value: tasks are lazy, so the request
   // must live in the coroutine frame — callers routinely build several
   // calls and only await them later via when_all.
   template <typename Resp, typename Req>
   sim::Task<Resp> call(Address to, MethodId method, Req req,
                        obs::TraceContext trace = {}) {
-    Buffer resp = co_await call_raw(to, method, encode_message(req), trace);
-    co_return decode_message<Resp>(resp);
+    Buffer resp = co_await call_raw(to, method, encode(req), trace);
+    Resp out = decode_message<Resp>(resp);
+    recycle(std::move(resp));
+    co_return out;
   }
 
   // One-way typed send.
   template <typename M>
   void send(Address to, MethodId method, const M& msg,
             obs::TraceContext trace = {}) {
-    send_raw(to, method, encode_message(msg), trace);
+    send_raw(to, method, encode(msg), trace);
   }
   void send_raw(Address to, MethodId method, Buffer payload,
                 obs::TraceContext trace = {});
@@ -131,9 +142,11 @@ class RpcNode {
                                                  RetryPolicy policy = {},
                                                  obs::TraceContext trace = {}) {
     SizedResponse r = co_await call_raw_sized_retry(
-        to, method, encode_message(req), policy, trace);
+        to, method, encode(req), policy, trace);
     if (!r.ok()) co_return std::nullopt;
-    co_return decode_message<Resp>(r.payload);
+    Resp out = decode_message<Resp>(r.payload);
+    recycle(std::move(r.payload));
+    co_return out;
   }
 
   // Trace context of the message currently being dispatched.  Valid only

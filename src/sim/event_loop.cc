@@ -1,24 +1,77 @@
 #include "sim/event_loop.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace faastcc::sim {
 
+EventLoop::~EventLoop() {
+  for (Event& e : heap_) {
+    if (e.drop != nullptr) e.drop(e.ctx);
+  }
+}
+
+void EventLoop::run_closure(void* ctx) {
+  auto* fn = static_cast<std::function<void()>*>(ctx);
+  (*fn)();
+  delete fn;
+}
+
+void EventLoop::drop_closure(void* ctx) {
+  delete static_cast<std::function<void()>*>(ctx);
+}
+
 void EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
+  push(t, &EventLoop::run_closure, &EventLoop::drop_closure,
+       new std::function<void()>(std::move(fn)));
+}
+
+void EventLoop::push(SimTime t, void (*run)(void*), void (*drop)(void*),
+                     void* ctx) {
   if (t < now_) t = now_;
-  queue_.push(Event{t, next_seq_++, std::move(fn)});
+  Event e{t, next_seq_++, run, drop, ctx};
+  // Sift up in the 4-ary heap.
+  size_t i = heap_.size();
+  heap_.push_back(e);
+  while (i > 0) {
+    const size_t parent = (i - 1) / kArity;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+EventLoop::Event EventLoop::pop_min() {
+  Event top = heap_.front();
+  Event last = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    // Sift the former last element down from the root.
+    size_t i = 0;
+    const size_t n = heap_.size();
+    for (;;) {
+      const size_t first_child = i * kArity + 1;
+      if (first_child >= n) break;
+      size_t best = first_child;
+      const size_t end = std::min(first_child + kArity, n);
+      for (size_t c = first_child + 1; c < end; ++c) {
+        if (before(heap_[c], heap_[best])) best = c;
+      }
+      if (!before(heap_[best], last)) break;
+      heap_[i] = heap_[best];
+      i = best;
+    }
+    heap_[i] = last;
+  }
+  return top;
 }
 
 bool EventLoop::run_one() {
-  if (queue_.empty()) return false;
-  // priority_queue::top() is const; the handler is moved out via const_cast,
-  // which is safe because the element is popped immediately afterwards.
-  auto& top = const_cast<Event&>(queue_.top());
-  now_ = top.time;
-  auto fn = std::move(top.fn);
-  queue_.pop();
+  if (heap_.empty()) return false;
+  Event e = pop_min();
+  now_ = e.time;
   ++processed_;
-  fn();
+  e.run(e.ctx);
   return true;
 }
 
@@ -30,7 +83,7 @@ void EventLoop::run() {
 
 void EventLoop::run_until(SimTime t) {
   stopped_ = false;
-  while (!stopped_ && !queue_.empty() && queue_.top().time <= t) {
+  while (!stopped_ && !heap_.empty() && heap_.front().time <= t) {
     run_one();
   }
   if (now_ < t) now_ = t;

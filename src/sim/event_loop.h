@@ -4,13 +4,22 @@
 // clients and the network between them — runs on one of these.  Events are
 // totally ordered by (timestamp, insertion sequence), so a given seed always
 // produces the same execution, which the property tests rely on.
+//
+// The queue is a 4-ary heap over compact 40-byte event records (time, seq,
+// two function pointers, a context word).  Coroutine resumptions — the bulk
+// of all events — are scheduled through schedule_resume*() as a raw handle
+// with no allocation; std::function closures remain supported for setup and
+// timer paths via a boxed record.  Sifting moves PODs, never std::function
+// objects.  The ordering is the same total order as the previous binary
+// priority_queue, so schedules are bit-identical across the swap.
 #pragma once
 
+#include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
+#include "common/serialize.h"
 #include "common/types.h"
 
 namespace faastcc::sim {
@@ -20,6 +29,7 @@ class EventLoop {
   EventLoop() = default;
   EventLoop(const EventLoop&) = delete;
   EventLoop& operator=(const EventLoop&) = delete;
+  ~EventLoop();
 
   SimTime now() const { return now_; }
 
@@ -29,6 +39,20 @@ class EventLoop {
   // Schedules `fn` to run `d` microseconds from now.
   void schedule_after(Duration d, std::function<void()> fn) {
     schedule_at(now_ + (d > 0 ? d : 0), std::move(fn));
+  }
+
+  // Fast path: schedules a coroutine resumption without boxing a closure.
+  // The handle is owned by its coroutine frame; a loop torn down with
+  // resumptions still queued simply drops them (matching the previous
+  // behaviour of dropping unrun closures).
+  void schedule_resume_at(SimTime t, std::coroutine_handle<> h) {
+    push(t, &EventLoop::run_handle, nullptr, h.address());
+  }
+  void schedule_resume_after(Duration d, std::coroutine_handle<> h) {
+    schedule_resume_at(now_ + (d > 0 ? d : 0), h);
+  }
+  void schedule_resume(std::coroutine_handle<> h) {
+    schedule_resume_at(now_, h);
   }
 
   // Runs events until the queue drains or stop() is called.
@@ -43,23 +67,44 @@ class EventLoop {
   void stop() { stopped_ = true; }
   bool stopped() const { return stopped_; }
 
-  size_t pending() const { return queue_.size(); }
+  size_t pending() const { return heap_.size(); }
   uint64_t events_processed() const { return processed_; }
 
+  // Message-buffer free list shared by everything running on this loop
+  // (network, RPC endpoints); see BufferPool in common/serialize.h.
+  BufferPool& buffer_pool() { return pool_; }
+
  private:
+  // Compact record: invoking is `run(ctx)`, discarding without running is
+  // `drop(ctx)` (nullptr drop == no-op, used by coroutine handles whose
+  // frames are owned elsewhere).
   struct Event {
     SimTime time;
     uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
+    void (*run)(void*);
+    void (*drop)(void*);
+    void* ctx;
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  static void run_handle(void* ctx) {
+    std::coroutine_handle<>::from_address(ctx).resume();
+  }
+  static void run_closure(void* ctx);
+  static void drop_closure(void* ctx);
+
+  void push(SimTime t, void (*run)(void*), void (*drop)(void*), void* ctx);
+  Event pop_min();
+
+  // (time, seq) lexicographic order — identical to the old comparator.
+  static bool before(const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.seq < b.seq;
+  }
+
+  static constexpr size_t kArity = 4;
+
+  std::vector<Event> heap_;
+  BufferPool pool_;
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t processed_ = 0;

@@ -28,8 +28,7 @@ struct FutureState {
     assert(!value.has_value() && "future fulfilled twice");
     value.emplace(std::move(v));
     if (waiter) {
-      auto h = std::exchange(waiter, nullptr);
-      loop->schedule_after(0, [h] { h.resume(); });
+      loop->schedule_resume(std::exchange(waiter, nullptr));
     }
   }
 };
@@ -91,7 +90,7 @@ inline auto sleep_for(EventLoop& loop, Duration d) {
     Duration d;
     bool await_ready() const noexcept { return false; }
     void await_suspend(std::coroutine_handle<> h) const {
-      loop.schedule_after(d, [h] { h.resume(); });
+      loop.schedule_resume_after(d, h);
     }
     void await_resume() const noexcept {}
   };

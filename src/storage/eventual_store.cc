@@ -46,6 +46,7 @@ void EvReplica::start() {
 
 sim::Task<Buffer> EvReplica::on_subscribe(Buffer req, net::Address from) {
   auto q = decode_message<SubscribeReq>(req);
+  rpc_.recycle(std::move(req));
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
   for (Key k : q.keys) {
     add_subscriber(k, from);
@@ -56,6 +57,7 @@ sim::Task<Buffer> EvReplica::on_subscribe(Buffer req, net::Address from) {
 
 sim::Task<Buffer> EvReplica::on_unsubscribe(Buffer req, net::Address from) {
   auto q = decode_message<SubscribeReq>(req);
+  rpc_.recycle(std::move(req));
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
   for (Key k : q.keys) {
     auto it = subscribers_.find(k);
@@ -106,6 +108,7 @@ bool EvReplica::merge(EvItem item) {
 
 sim::Task<Buffer> EvReplica::on_get(Buffer req, net::Address) {
   auto q = decode_message<EvGetReq>(req);
+  rpc_.recycle(std::move(req));
   counters_.gets.inc();
   counters_.get_keys.inc(q.keys.size());
   co_await sim::sleep_for(
@@ -118,11 +121,12 @@ sim::Task<Buffer> EvReplica::on_get(Buffer req, net::Address) {
     auto it = data_.find(k);
     if (it != data_.end()) resp.found.push_back(it->second);
   }
-  co_return encode_message(resp);
+  co_return rpc_.encode(resp);
 }
 
 sim::Task<Buffer> EvReplica::on_put(Buffer req, net::Address) {
   auto q = decode_message<EvPutReq>(req);
+  rpc_.recycle(std::move(req));
   counters_.puts.inc();
   co_await sim::sleep_for(
       rpc_.loop(),
@@ -142,11 +146,12 @@ sim::Task<Buffer> EvReplica::on_put(Buffer req, net::Address) {
     outbox_.push_back(item);
     merge(std::move(item));
   }
-  co_return encode_message(resp);
+  co_return rpc_.encode(resp);
 }
 
 void EvReplica::on_gossip(Buffer msg, net::Address from) {
   auto g = decode_message<EvGossipMsg>(msg);
+  rpc_.recycle(std::move(msg));
   counters_.gossip_batches.inc();
   for (EvItem& item : g.items) {
     if (merge(std::move(item))) counters_.items_merged.inc();
@@ -159,6 +164,7 @@ void EvReplica::on_gossip(Buffer msg, net::Address from) {
 
 void EvReplica::on_stable_cut(Buffer msg, net::Address) {
   auto m = decode_message<EvStableCutMsg>(msg);
+  rpc_.recycle(std::move(msg));
   auto& slot = advertised_cuts_[m.replica];
   if (m.cut > slot) slot = m.cut;
   SimTime min_cut = rpc_.now();

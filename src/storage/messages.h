@@ -43,7 +43,10 @@ enum EvMethod : uint16_t {
 // TCC storage messages.
 // ---------------------------------------------------------------------------
 
-inline void put_ts(BufWriter& w, Timestamp t) { w.put_u64(t.raw()); }
+template <typename W>
+void put_ts(W& w, Timestamp t) {
+  w.put_u64(t.raw());
+}
 inline Timestamp get_ts(BufReader& r) { return Timestamp(r.get_u64()); }
 
 // One versioned value as served by the TCC store: the paper's tuple
@@ -54,7 +57,12 @@ struct VersionedValue {
   Timestamp ts;
   Timestamp promise;
 
-  void encode(BufWriter& w) const {
+  // Exact wire size; keep in sync with encode() (messages_test asserts
+  // size_hint() == encoded_size() for every type that has one).
+  size_t size_hint() const { return 8 + 4 + value.size() + 8 + 8; }
+
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(key);
     w.put_bytes(value);
     put_ts(w, ts);
@@ -80,7 +88,10 @@ struct TccReadReq {
   std::vector<Key> keys;
   std::vector<Timestamp> cached_ts;  // parallel to keys; min() == none
 
-  void encode(BufWriter& w) const {
+  size_t size_hint() const { return 8 + 4 + keys.size() * 16; }
+
+  template <typename W>
+  void encode(W& w) const {
     put_ts(w, snapshot);
     w.put_u32(static_cast<uint32_t>(keys.size()));
     for (size_t i = 0; i < keys.size(); ++i) {
@@ -122,7 +133,8 @@ struct TccReadResp {
   std::vector<Entry> entries;
   Timestamp stable_time;  // the partition's current view; diagnostic
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     put_ts(w, stable_time);
     w.put_u32(static_cast<uint32_t>(entries.size()));
     for (const auto& e : entries) {
@@ -161,7 +173,10 @@ struct KeyValue {
   Key key = 0;
   Value value;
 
-  void encode(BufWriter& w) const {
+  size_t size_hint() const { return 8 + 4 + value.size(); }
+
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(key);
     w.put_bytes(value);
   }
@@ -173,8 +188,8 @@ struct KeyValue {
   }
 };
 
-template <typename T>
-void put_vec(BufWriter& w, const std::vector<T>& v) {
+template <typename W, typename T>
+void put_vec(W& w, const std::vector<T>& v) {
   w.put_u32(static_cast<uint32_t>(v.size()));
   for (const auto& e : v) e.encode(w);
 }
@@ -204,7 +219,10 @@ struct TccPrepareReq {
   Timestamp snapshot_ts;     // SI: the transaction's read snapshot (s_high)
   std::vector<Key> write_keys;  // SI: written keys owned by this partition
 
-  void encode(BufWriter& w) const {
+  size_t size_hint() const { return 8 + 8 + 1 + 8 + 4 + write_keys.size() * 8; }
+
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(txn);
     put_ts(w, dep_ts);
     w.put_bool(si_mode);
@@ -229,7 +247,8 @@ struct TccPrepareResp {
   Timestamp prepare_ts;
   bool ok = true;  // false: SI write-write conflict, transaction must abort
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     put_ts(w, prepare_ts);
     w.put_bool(ok);
   }
@@ -245,7 +264,8 @@ struct TccPrepareResp {
 struct TccAbortReq {
   TxnId txn = 0;
 
-  void encode(BufWriter& w) const { w.put_u64(txn); }
+  template <typename W>
+  void encode(W& w) const { w.put_u64(txn); }
   static TccAbortReq decode(BufReader& r) { return {r.get_u64()}; }
 };
 
@@ -259,7 +279,14 @@ struct TccCommitReq {
   Timestamp dep_ts;
   std::vector<KeyValue> writes;  // only the keys owned by this partition
 
-  void encode(BufWriter& w) const {
+  size_t size_hint() const {
+    size_t n = 8 + 8 + 8 + 4;
+    for (const auto& kv : writes) n += kv.size_hint();
+    return n;
+  }
+
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(txn);
     put_ts(w, commit_ts);
     put_ts(w, dep_ts);
@@ -277,14 +304,18 @@ struct TccCommitReq {
 
 struct TccCommitResp {
   bool ok = true;
-  void encode(BufWriter& w) const { w.put_bool(ok); }
+  template <typename W>
+  void encode(W& w) const { w.put_bool(ok); }
   static TccCommitResp decode(BufReader& r) { return {r.get_bool()}; }
 };
 
 struct SubscribeReq {
   std::vector<Key> keys;
 
-  void encode(BufWriter& w) const {
+  size_t size_hint() const { return 4 + keys.size() * 8; }
+
+  template <typename W>
+  void encode(W& w) const {
     w.put_u32(static_cast<uint32_t>(keys.size()));
     for (Key k : keys) w.put_u64(k);
   }
@@ -303,7 +334,8 @@ struct GossipMsg {
   PartitionId partition = 0;
   Timestamp safe_time;
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_u32(partition);
     put_ts(w, safe_time);
   }
@@ -327,7 +359,14 @@ struct PushMsg {
   Timestamp stable_time;
   std::vector<VersionedValue> updates;
 
-  void encode(BufWriter& w) const {
+  size_t size_hint() const {
+    size_t n = 4 + 8 + 4;
+    for (const auto& vv : updates) n += vv.size_hint();
+    return n;
+  }
+
+  template <typename W>
+  void encode(W& w) const {
     w.put_u32(partition);
     put_ts(w, stable_time);
     put_vec(w, updates);
@@ -353,7 +392,8 @@ struct EvVersion {
 
   friend auto operator<=>(const EvVersion&, const EvVersion&) = default;
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(counter);
     w.put_u64(writer);
   }
@@ -371,7 +411,10 @@ struct EvItem {
   SimTime written_at = 0;  // assigned by the accepting replica; drives dep GC
   Value payload;  // opaque: HydroCache stores value + dependency metadata
 
-  void encode(BufWriter& w) const {
+  size_t size_hint() const { return 8 + 16 + 8 + 4 + payload.size(); }
+
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(key);
     version.encode(w);
     w.put_i64(written_at);
@@ -390,7 +433,10 @@ struct EvItem {
 struct EvGetReq {
   std::vector<Key> keys;
 
-  void encode(BufWriter& w) const {
+  size_t size_hint() const { return 4 + keys.size() * 8; }
+
+  template <typename W>
+  void encode(W& w) const {
     w.put_u32(static_cast<uint32_t>(keys.size()));
     for (Key k : keys) w.put_u64(k);
   }
@@ -407,7 +453,8 @@ struct EvGetResp {
   std::vector<EvItem> found;  // keys absent from the replica are omitted
   SimTime global_cut = 0;     // piggybacked dependency-GC watermark
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_i64(global_cut);
     put_vec(w, found);
   }
@@ -422,7 +469,8 @@ struct EvGetResp {
 struct EvPutReq {
   std::vector<EvItem> items;
 
-  void encode(BufWriter& w) const { put_vec(w, items); }
+  template <typename W>
+  void encode(W& w) const { put_vec(w, items); }
   static EvPutReq decode(BufReader& r) {
     EvPutReq q;
     q.items = get_vec<EvItem>(r);
@@ -434,7 +482,8 @@ struct EvPutResp {
   std::vector<EvVersion> versions;  // assigned versions, parallel to items
   SimTime global_cut = 0;           // piggybacked dependency-GC watermark
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_i64(global_cut);
     put_vec(w, versions);
   }
@@ -453,7 +502,8 @@ struct EvGossipMsg {
   SimTime sent_at = 0;
   std::vector<EvItem> items;
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_i64(sent_at);
     put_vec(w, items);
   }
@@ -473,7 +523,8 @@ struct EvStableCutMsg {
   uint64_t replica = 0;
   SimTime cut = 0;
 
-  void encode(BufWriter& w) const {
+  template <typename W>
+  void encode(W& w) const {
     w.put_u64(replica);
     w.put_i64(cut);
   }

@@ -46,7 +46,7 @@ sim::Task<void> abort_everywhere(net::RpcNode& rpc, TxnId txn,
   aborts.reserve(batches.size());
   for (const auto& batch : batches) {
     aborts.push_back(rpc.call_raw_retry(batch.address, kTccAbort,
-                                        encode_message(TccAbortReq{txn})));
+                                        rpc.encode(TccAbortReq{txn})));
   }
   co_await sim::when_all(rpc.loop(), std::move(aborts));
 }
@@ -81,7 +81,7 @@ sim::Task<std::optional<TccReadResp>> TccStorageClient::read(
       req.cached_ts.push_back(cached_ts[idx]);
     }
     calls.push_back(rpc_.call_raw_sized_retry(batch.address, kTccRead,
-                                              encode_message(req), {}, ctx));
+                                              rpc_.encode(req), {}, ctx));
   }
   auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
 
@@ -113,6 +113,7 @@ sim::Task<std::optional<TccReadResp>> TccStorageClient::read(
       co_return std::nullopt;
     }
     auto resp = decode_message<TccReadResp>(responses[b].payload);
+    rpc_.recycle(std::move(responses[b].payload));
     merged.stable_time = std::max(merged.stable_time, resp.stable_time);
     assert(resp.entries.size() == batches[b].input_index.size());
     for (size_t i = 0; i < resp.entries.size(); ++i) {
@@ -162,7 +163,7 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     req.dep_ts = dep_ts;
     req.writes = writes_for(batches[0]);
     auto raw = co_await rpc_.call_raw_retry(batches[0].address, kTccCommit,
-                                            encode_message(req),
+                                            rpc_.encode(req),
                                             commit_policy(), ctx);
     if (!raw.has_value()) {
       end_span(false);
@@ -313,7 +314,7 @@ sim::Task<void> TccStorageClient::subscribe_impl(std::vector<Key> keys,
     SubscribeReq req;
     for (size_t idx : batch.input_index) req.keys.push_back(keys[idx]);
     calls.push_back(
-        rpc_.call_raw_retry(batch.address, method, encode_message(req)));
+        rpc_.call_raw_retry(batch.address, method, rpc_.encode(req)));
   }
   // Best effort: a missed (un)subscribe only costs push efficiency.
   co_await sim::when_all(rpc_.loop(), std::move(calls));
@@ -338,7 +339,7 @@ sim::Task<void> ev_subscribe_impl(net::RpcNode& rpc, const EvTopology& topo,
   std::vector<sim::Task<std::optional<Buffer>>> calls;
   calls.reserve(reqs.size());
   for (auto& [addr, req] : reqs) {
-    calls.push_back(rpc.call_raw_retry(addr, method, encode_message(req)));
+    calls.push_back(rpc.call_raw_retry(addr, method, rpc.encode(req)));
   }
   // Best effort, like the TCC side.
   co_await sim::when_all(rpc.loop(), std::move(calls));
@@ -400,7 +401,7 @@ sim::Task<EvStorageClient::GetResult> EvStorageClient::get(
     EvGetReq req;
     for (size_t idx : batch.input_index) req.keys.push_back(keys[idx]);
     calls.push_back(rpc_.call_raw_sized_retry(batch.address, kEvGet,
-                                              encode_message(req), {}, ctx));
+                                              rpc_.encode(req), {}, ctx));
   }
   auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
 
@@ -415,6 +416,7 @@ sim::Task<EvStorageClient::GetResult> EvStorageClient::get(
         responses[b].request_wire_bytes - net::Message::kHeaderBytes;
     out.response_bytes += responses[b].payload.size();
     auto resp = decode_message<EvGetResp>(responses[b].payload);
+    rpc_.recycle(std::move(responses[b].payload));
     global_cut_ = std::max(global_cut_, resp.global_cut);
     // Found items arrive in request order but absent keys are omitted;
     // match them back by key.

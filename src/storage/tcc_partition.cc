@@ -107,6 +107,7 @@ sim::Task<Buffer> TccPartition::on_read(Buffer req, net::Address) {
                           rpc_.now());
   }
   auto q = decode_message<TccReadReq>(req);
+  rpc_.recycle(std::move(req));
   counters_.reads.inc();
   counters_.read_keys.inc(q.keys.size());
   co_await sim::sleep_for(
@@ -129,7 +130,7 @@ sim::Task<Buffer> TccPartition::on_read(Buffer req, net::Address) {
     tracer_->annotate(span, "unchanged", static_cast<uint64_t>(unchanged));
     tracer_->end(span, rpc_.now());
   }
-  co_return encode_message(resp);
+  co_return rpc_.encode(resp);
 }
 
 bool TccPartition::si_check_and_lock(TxnId txn, Timestamp snapshot_ts,
@@ -201,6 +202,7 @@ void TccPartition::expire_stale_prepares() {
 
 sim::Task<Buffer> TccPartition::on_prepare(Buffer req, net::Address) {
   auto q = decode_message<TccPrepareReq>(req);
+  rpc_.recycle(std::move(req));
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
   TccPrepareResp resp;
   // Duplicated delivery or timed-out retry of an outstanding prepare:
@@ -210,7 +212,7 @@ sim::Task<Buffer> TccPartition::on_prepare(Buffer req, net::Address) {
     counters_.duplicate_prepares.inc();
     resp.ok = true;
     resp.prepare_ts = it->second.ts;
-    co_return encode_message(resp);
+    co_return rpc_.encode(resp);
   }
   if (resolved_.count(q.txn) != 0) {
     // The transaction already committed or aborted here; a late duplicate
@@ -218,22 +220,23 @@ sim::Task<Buffer> TccPartition::on_prepare(Buffer req, net::Address) {
     // refusal is never acted upon.
     counters_.duplicate_prepares.inc();
     resp.ok = false;
-    co_return encode_message(resp);
+    co_return rpc_.encode(resp);
   }
   if (q.si_mode && !si_check_and_lock(q.txn, q.snapshot_ts, q.write_keys)) {
     resp.ok = false;
-    co_return encode_message(resp);
+    co_return rpc_.encode(resp);
   }
   clock_.update(q.dep_ts, physical_now_us());
   const Timestamp prepare_ts = clock_.tick(physical_now_us());
   pending_by_ts_.emplace(prepare_ts, q.txn);
   pending_by_txn_.emplace(q.txn, PendingTxn{prepare_ts, rpc_.now()});
   resp.prepare_ts = prepare_ts;
-  co_return encode_message(resp);
+  co_return rpc_.encode(resp);
 }
 
 sim::Task<Buffer> TccPartition::on_abort(Buffer req, net::Address) {
   auto q = decode_message<TccAbortReq>(req);
+  rpc_.recycle(std::move(req));
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
   counters_.aborts.inc();
   release_locks(q.txn);
@@ -252,6 +255,7 @@ void TccPartition::install_writes(const TccCommitReq& req) {
 
 sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
   auto q = decode_message<TccCommitReq>(req);
+  rpc_.recycle(std::move(req));
   co_await sim::sleep_for(
       rpc_.loop(), params_.request_cpu + params_.per_key_cpu *
                                              static_cast<Duration>(
@@ -293,6 +297,7 @@ sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
 
 sim::Task<Buffer> TccPartition::on_subscribe(Buffer req, net::Address from) {
   auto q = decode_message<SubscribeReq>(req);
+  rpc_.recycle(std::move(req));
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
   for (Key k : q.keys) {
     add_subscriber(k, from);
@@ -319,6 +324,7 @@ void TccPartition::drop_subscriber(Key k, net::Address cache) {
 
 sim::Task<Buffer> TccPartition::on_unsubscribe(Buffer req, net::Address from) {
   auto q = decode_message<SubscribeReq>(req);
+  rpc_.recycle(std::move(req));
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
   for (Key k : q.keys) drop_subscriber(k, from);
   co_return Buffer{};
@@ -326,6 +332,7 @@ sim::Task<Buffer> TccPartition::on_unsubscribe(Buffer req, net::Address from) {
 
 void TccPartition::on_gossip(Buffer msg, net::Address) {
   auto g = decode_message<GossipMsg>(msg);
+  rpc_.recycle(std::move(msg));
   stabilizer_.on_gossip(g.partition, g.safe_time);
 }
 

@@ -5,24 +5,12 @@
 
 namespace faastcc::workload {
 
-void StepArgs::encode(BufWriter& w) const {
-  w.put_u32(static_cast<uint32_t>(keys.size()));
-  for (Key k : keys) w.put_u64(k);
-}
-
 StepArgs StepArgs::decode(BufReader& r) {
   StepArgs a;
   const uint32_t n = r.get_u32();
   a.keys.reserve(n);
   for (uint32_t i = 0; i < n; ++i) a.keys.push_back(r.get_u64());
   return a;
-}
-
-void SinkArgs::encode(BufWriter& w) const {
-  w.put_u32(static_cast<uint32_t>(keys.size()));
-  for (Key k : keys) w.put_u64(k);
-  w.put_u64(write_key);
-  w.put_bytes(value);
 }
 
 SinkArgs SinkArgs::decode(BufReader& r) {
@@ -63,7 +51,7 @@ faas::DagSpec WorkloadGen::next_dag() {
       SinkArgs args;
       args.keys = std::move(keys);
       args.write_key = sample_key();
-      args.value.assign(params_.value_size, static_cast<char>('a' + seq_ % 26));
+      args.value = Value(params_.value_size, static_cast<char>('a' + seq_ % 26));
       fn.args = encode_message(args);
     }
     fns.push_back(std::move(fn));

@@ -27,7 +27,11 @@ struct WorkloadParams {
 struct StepArgs {
   std::vector<Key> keys;
 
-  void encode(BufWriter& w) const;
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u32(static_cast<uint32_t>(keys.size()));
+    for (Key k : keys) w.put_u64(k);
+  }
   static StepArgs decode(BufReader& r);
 };
 
@@ -36,7 +40,13 @@ struct SinkArgs {
   Key write_key = 0;
   Value value;
 
-  void encode(BufWriter& w) const;
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u32(static_cast<uint32_t>(keys.size()));
+    for (Key k : keys) w.put_u64(k);
+    w.put_u64(write_key);
+    w.put_bytes(value);
+  }
   static SinkArgs decode(BufReader& r);
 };
 

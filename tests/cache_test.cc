@@ -463,7 +463,8 @@ class HydroCacheTest : public ::testing::Test {
     storage::EvItem item;
     item.key = k;
     item.version = storage::EvVersion{counter, 99};
-    item.payload.assign(payload.begin(), payload.end());
+    item.payload = Value(std::string_view(
+        reinterpret_cast<const char*>(payload.data()), payload.size()));
     auto versions =
         *co_await storage_client_->put(std::vector<storage::EvItem>(1, item));
     co_return versions[0];

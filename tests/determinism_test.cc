@@ -1,0 +1,84 @@
+// Regression guard for the simulation-core hot-path overhaul: buffer
+// pooling, shared values and the 4-ary heap event loop are all invisible
+// to the schedule.  Running the integration workload twice at the same
+// seed must produce byte-identical observable state — every metric and
+// the full trace export — for each of the three systems.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/cluster.h"
+
+namespace faastcc::harness {
+namespace {
+
+ClusterParams params_for(SystemKind system) {
+  ClusterParams p;
+  p.system = system;
+  p.seed = 11;
+  p.partitions = 4;
+  p.compute_nodes = 2;
+  p.clients = 2;
+  p.dags_per_client = 25;
+  p.workload.num_keys = 500;
+  p.workload.dag_size = 3;
+  p.trace.enabled = true;
+  p.trace.ring_capacity = 1 << 20;
+  return p;
+}
+
+// Everything observable about a run, flattened for exact comparison.
+struct RunSnapshot {
+  uint64_t committed = 0;
+  uint64_t aborted_attempts = 0;
+  uint64_t sim_events = 0;
+  uint64_t cache_entries = 0;
+  uint64_t cache_bytes = 0;
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, std::vector<double>> histograms;
+  std::string trace;
+};
+
+RunSnapshot snapshot_run(SystemKind system) {
+  Cluster cluster(params_for(system));
+  const RunResult r = cluster.run();
+  RunSnapshot s;
+  s.committed = r.committed;
+  s.aborted_attempts = r.aborted_attempts;
+  s.sim_events = r.sim_events;
+  s.cache_entries = r.cache_entries;
+  s.cache_bytes = r.cache_bytes;
+  r.metrics.each_counter(
+      [&](const char* name, const Counter& c) { s.counters[name] = c.value(); });
+  r.metrics.each_histogram(
+      [&](const char* name, const Samples& h) { s.histograms[name] = h.raw(); });
+  std::ostringstream os;
+  cluster.tracer().export_chrome_trace(os);
+  s.trace = os.str();
+  return s;
+}
+
+TEST(Determinism, SameSeedRunsAreByteIdenticalForEverySystem) {
+  for (SystemKind system : {SystemKind::kFaasTcc, SystemKind::kHydroCache,
+                            SystemKind::kCloudburst}) {
+    SCOPED_TRACE(system_name(system));
+    const RunSnapshot a = snapshot_run(system);
+    const RunSnapshot b = snapshot_run(system);
+    ASSERT_GT(a.committed, 0u);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.aborted_attempts, b.aborted_attempts);
+    EXPECT_EQ(a.sim_events, b.sim_events);
+    EXPECT_EQ(a.cache_entries, b.cache_entries);
+    EXPECT_EQ(a.cache_bytes, b.cache_bytes);
+    EXPECT_EQ(a.counters, b.counters);
+    EXPECT_EQ(a.histograms, b.histograms);
+    ASSERT_FALSE(a.trace.empty());
+    EXPECT_EQ(a.trace, b.trace);
+  }
+}
+
+}  // namespace
+}  // namespace faastcc::harness

@@ -4,20 +4,38 @@
 #include <gtest/gtest.h>
 
 #include "cache/cache_messages.h"
+#include "client/eventual_client.h"
+#include "client/faastcc_client.h"
+#include "client/hydro_client.h"
 #include "common/rng.h"
 #include "faas/messages.h"
 #include "storage/messages.h"
+#include "workload/workload.h"
 
 namespace faastcc {
 namespace {
 
+// The allocation-free CountingWriter pass (encoded_size) must agree
+// byte-for-byte with a real encode, and every hand-written size_hint()
+// must be exact: pooled buffers are sized from these, so a short count
+// would mean a mid-encode reallocation on the hot path.
+template <typename M>
+void check_wire_size(const M& m) {
+  const size_t counted = encoded_size(m);
+  EXPECT_EQ(counted, encode_message(m).size());
+  EXPECT_EQ(wire_size_hint(m), counted);
+  if constexpr (requires(const M& x) { x.size_hint(); }) {
+    EXPECT_EQ(m.size_hint(), counted);
+  }
+}
+
 Value random_value(Rng& rng, size_t max_len = 32) {
-  Value v;
+  std::string v;
   const size_t n = rng.next_below(max_len + 1);
   for (size_t i = 0; i < n; ++i) {
     v.push_back(static_cast<char>(rng.next_below(256)));
   }
-  return v;
+  return Value(std::move(v));
 }
 
 Timestamp random_ts(Rng& rng) { return Timestamp(rng.next_u64()); }
@@ -34,6 +52,7 @@ TEST(MessageRoundTrip, VersionedValue) {
     v.value = random_value(rng);
     v.ts = random_ts(rng);
     v.promise = random_ts(rng);
+    check_wire_size(v);
     const auto d = decode_message<storage::VersionedValue>(encode_message(v));
     EXPECT_EQ(d.key, v.key);
     EXPECT_EQ(d.value, v.value);
@@ -52,6 +71,7 @@ TEST(MessageRoundTrip, TccReadReqAndResp) {
       q.keys.push_back(rng.next_u64());
       q.cached_ts.push_back(random_ts(rng));
     }
+    check_wire_size(q);
     const auto dq = decode_message<storage::TccReadReq>(encode_message(q));
     EXPECT_EQ(dq.snapshot, q.snapshot);
     EXPECT_EQ(dq.keys, q.keys);
@@ -73,6 +93,7 @@ TEST(MessageRoundTrip, TccReadReqAndResp) {
       }
       resp.entries.push_back(std::move(e));
     }
+    check_wire_size(resp);
     const auto dr = decode_message<storage::TccReadResp>(encode_message(resp));
     EXPECT_EQ(dr.stable_time, resp.stable_time);
     ASSERT_EQ(dr.entries.size(), resp.entries.size());
@@ -100,6 +121,7 @@ TEST(MessageRoundTrip, PrepareCommitAbort) {
     for (size_t j = 0; j < rng.next_below(5); ++j) {
       p.write_keys.push_back(rng.next_u64());
     }
+    check_wire_size(p);
     const auto dp = decode_message<storage::TccPrepareReq>(encode_message(p));
     EXPECT_EQ(dp.txn, p.txn);
     EXPECT_EQ(dp.dep_ts, p.dep_ts);
@@ -108,6 +130,7 @@ TEST(MessageRoundTrip, PrepareCommitAbort) {
     EXPECT_EQ(dp.write_keys, p.write_keys);
 
     storage::TccPrepareResp pr{random_ts(rng), rng.next_bool(0.5)};
+    check_wire_size(pr);
     const auto dpr =
         decode_message<storage::TccPrepareResp>(encode_message(pr));
     EXPECT_EQ(dpr.prepare_ts, pr.prepare_ts);
@@ -120,6 +143,7 @@ TEST(MessageRoundTrip, PrepareCommitAbort) {
     for (size_t j = 0; j < rng.next_below(4); ++j) {
       c.writes.push_back(storage::KeyValue{rng.next_u64(), random_value(rng)});
     }
+    check_wire_size(c);
     const auto dc = decode_message<storage::TccCommitReq>(encode_message(c));
     EXPECT_EQ(dc.txn, c.txn);
     EXPECT_EQ(dc.commit_ts, c.commit_ts);
@@ -130,6 +154,7 @@ TEST(MessageRoundTrip, PrepareCommitAbort) {
     }
 
     storage::TccAbortReq a{rng.next_u64()};
+    check_wire_size(a);
     EXPECT_EQ(decode_message<storage::TccAbortReq>(encode_message(a)).txn,
               a.txn);
   }
@@ -138,6 +163,7 @@ TEST(MessageRoundTrip, PrepareCommitAbort) {
 TEST(MessageRoundTrip, GossipAndPush) {
   Rng rng(4);
   storage::GossipMsg g{7, random_ts(rng)};
+  check_wire_size(g);
   const auto dg = decode_message<storage::GossipMsg>(encode_message(g));
   EXPECT_EQ(dg.partition, g.partition);
   EXPECT_EQ(dg.safe_time, g.safe_time);
@@ -149,6 +175,7 @@ TEST(MessageRoundTrip, GossipAndPush) {
   v.key = 9;
   v.value = "abc";
   p.updates.push_back(v);
+  check_wire_size(p);
   const auto dp = decode_message<storage::PushMsg>(encode_message(p));
   EXPECT_EQ(dp.partition, 3u);
   EXPECT_EQ(dp.stable_time, p.stable_time);
@@ -164,6 +191,7 @@ TEST(MessageRoundTrip, EventualStoreMessages) {
     item.version = storage::EvVersion{rng.next_u64(), rng.next_u64()};
     item.written_at = static_cast<SimTime>(rng.next_below(1u << 30));
     item.payload = random_value(rng);
+    check_wire_size(item);
     const auto d = decode_message<storage::EvItem>(encode_message(item));
     EXPECT_EQ(d.key, item.key);
     EXPECT_EQ(d.version, item.version);
@@ -173,14 +201,17 @@ TEST(MessageRoundTrip, EventualStoreMessages) {
 
   storage::EvGetReq q;
   q.keys = {1, 2, 3};
+  check_wire_size(q);
   EXPECT_EQ(decode_message<storage::EvGetReq>(encode_message(q)).keys, q.keys);
 
   storage::EvGossipMsg g;
   g.sent_at = 777;
+  check_wire_size(g);
   const auto dg = decode_message<storage::EvGossipMsg>(encode_message(g));
   EXPECT_EQ(dg.sent_at, 777);
 
   storage::EvStableCutMsg cut{4, 999};
+  check_wire_size(cut);
   const auto dc = decode_message<storage::EvStableCutMsg>(encode_message(cut));
   EXPECT_EQ(dc.replica, 4u);
   EXPECT_EQ(dc.cut, 999);
@@ -196,6 +227,7 @@ TEST(MessageRoundTrip, CacheReadReqResp) {
   q.interval = client::SnapshotInterval{random_ts(rng), random_ts(rng)};
   q.use_promises = false;
   q.keys = {5, 6};
+  check_wire_size(q);
   const auto dq = decode_message<cache::CacheReadReq>(encode_message(q));
   EXPECT_EQ(dq.interval, q.interval);
   EXPECT_FALSE(dq.use_promises);
@@ -209,6 +241,7 @@ TEST(MessageRoundTrip, CacheReadReqResp) {
   v.key = 5;
   resp.entries.push_back(v);
   resp.entries.push_back(v);
+  check_wire_size(resp);
   const auto dr = decode_message<cache::CacheReadResp>(encode_message(resp));
   EXPECT_TRUE(dr.abort);
   EXPECT_EQ(dr.from_cache, resp.from_cache);
@@ -220,6 +253,7 @@ TEST(MessageRoundTrip, HydroReadReqResp) {
   cache::HydroReadReq q;
   q.keys = {1};
   q.context.mark_read(2, 9, 100);
+  check_wire_size(q);
   const auto dq = decode_message<cache::HydroReadReq>(encode_message(q));
   EXPECT_EQ(dq.keys, q.keys);
   EXPECT_NE(dq.context.find(2), nullptr);
@@ -234,6 +268,7 @@ TEST(MessageRoundTrip, HydroReadReqResp) {
   e.deps.push_back(cache::StoredDep{9, 2, 10, 1});
   resp.entries.push_back(std::move(e));
   resp.from_cache.push_back(true);
+  check_wire_size(resp);
   const auto dr = decode_message<cache::HydroReadResp>(encode_message(resp));
   EXPECT_EQ(dr.global_cut, 55);
   ASSERT_EQ(dr.entries.size(), 1u);
@@ -261,6 +296,7 @@ TEST(MessageRoundTrip, TriggerMsg) {
   t.session = {9};
   t.context = {8, 8};
   t.parent_result = {7};
+  check_wire_size(t);
   const auto d = decode_message<faas::TriggerMsg>(encode_message(t));
   EXPECT_EQ(d.txn_id, 77u);
   EXPECT_EQ(d.fn_index, 2u);
@@ -278,6 +314,7 @@ TEST(MessageRoundTrip, StartAndDone) {
   s.client = 6;
   s.session = {1, 2, 3};
   s.spec.functions.push_back(faas::FunctionSpec{"f", {}, {}});
+  check_wire_size(s);
   const auto ds = decode_message<faas::StartDagMsg>(encode_message(s));
   EXPECT_EQ(ds.txn_id, 5u);
   EXPECT_EQ(ds.session, s.session);
@@ -287,10 +324,123 @@ TEST(MessageRoundTrip, StartAndDone) {
   done.committed = true;
   done.session = {4};
   done.result = {5, 5};
+  check_wire_size(done);
   const auto dd = decode_message<faas::DagDoneMsg>(encode_message(done));
   EXPECT_TRUE(dd.committed);
   EXPECT_EQ(dd.session, done.session);
   EXPECT_EQ(dd.result, done.result);
+}
+
+// Counted-size checks for the message types the round-trip tests above do
+// not construct, so every wire type in the codebase is covered.
+TEST(CountedSize, RemainingMessageTypes) {
+  Rng rng(8);
+
+  check_wire_size(storage::TccCommitResp{true});
+  check_wire_size(storage::EvVersion{3, 4});
+
+  storage::SubscribeReq sub;
+  sub.keys = {1, 2, 3, 4};
+  check_wire_size(sub);
+
+  storage::EvItem item;
+  item.key = 5;
+  item.version = storage::EvVersion{6, 7};
+  item.written_at = 99;
+  item.payload = random_value(rng);
+
+  storage::EvGetResp get_resp;
+  get_resp.global_cut = 12;
+  get_resp.found = {item, item};
+  check_wire_size(get_resp);
+
+  storage::EvPutReq put_req;
+  put_req.items = {item};
+  check_wire_size(put_req);
+
+  storage::EvPutResp put_resp;
+  put_resp.global_cut = 13;
+  put_resp.versions = {storage::EvVersion{1, 2}, storage::EvVersion{3, 4}};
+  check_wire_size(put_resp);
+
+  cache::PlainReadReq plain_req;
+  plain_req.keys = {10, 11};
+  check_wire_size(plain_req);
+
+  cache::PlainReadResp plain_resp;
+  plain_resp.entries.push_back(storage::KeyValue{10, random_value(rng)});
+  check_wire_size(plain_resp);
+  check_wire_size(plain_resp.entries[0]);
+
+  cache::StoredDep dep{21, 9, 100, 1};
+  check_wire_size(dep);
+
+  cache::HydroStored stored;
+  stored.value = random_value(rng);
+  stored.deps = {dep, dep};
+  check_wire_size(stored);
+
+  cache::HydroReadEntry entry;
+  entry.key = 21;
+  entry.value = random_value(rng);
+  entry.counter = 3;
+  entry.deps = {dep};
+  check_wire_size(entry);
+
+  cache::DepMap deps;
+  deps.mark_read(1, 5, 50);
+  deps.require(2, 6, 60, 1);
+  check_wire_size(deps);
+
+  check_wire_size(client::SnapshotInterval{Timestamp(3), Timestamp(9)});
+
+  client::FaasTccContext tcc_ctx;
+  tcc_ctx.interval = client::SnapshotInterval{Timestamp(1), Timestamp(2)};
+  tcc_ctx.dep_ts = Timestamp(7);
+  tcc_ctx.write_set[4] = random_value(rng);
+  check_wire_size(tcc_ctx);
+
+  client::HydroContext hydro_ctx;
+  hydro_ctx.deps = deps;
+  hydro_ctx.lamport = 8;
+  hydro_ctx.global_cut = 70;
+  hydro_ctx.write_set[5] = random_value(rng);
+  check_wire_size(hydro_ctx);
+
+  client::HydroSession session;
+  session.lamport = 9;
+  session.global_cut = 80;
+  session.deps = deps;
+  check_wire_size(session);
+
+  client::EventualContext ev_ctx;
+  ev_ctx.write_set[6] = random_value(rng);
+  check_wire_size(ev_ctx);
+
+  check_wire_size(faas::AbortNoticeMsg{77});
+
+  faas::FunctionSpec fn;
+  fn.name = "step";
+  fn.args = {1, 2, 3};
+  fn.children = {1};
+  check_wire_size(fn);
+
+  faas::DagSpec dag;
+  dag.functions = {fn, faas::FunctionSpec{"sink", {}, {}}};
+  dag.is_static = true;
+  dag.declared_read_set = {1, 2};
+  dag.declared_write_set = {3};
+  check_wire_size(dag);
+
+  workload::StepArgs step;
+  step.keys = {4, 5, 6};
+  check_wire_size(step);
+
+  workload::SinkArgs sink;
+  sink.keys = {7, 8};
+  sink.write_key = 9;
+  sink.value = random_value(rng);
+  check_wire_size(sink);
 }
 
 // ---------------------------------------------------------------------------
@@ -318,7 +468,7 @@ TEST(WireSize, UnchangedReadEntrySmallerThanValueEntry) {
 
   storage::TccReadResp unchanged;
   e.status = storage::TccReadResp::Status::kUnchanged;
-  e.value.clear();
+  e.value = Value();
   unchanged.entries.push_back(e);
 
   EXPECT_LT(encoded_size(unchanged), encoded_size(with_value));

@@ -11,7 +11,8 @@ namespace {
 
 struct Echo {
   uint64_t x = 0;
-  void encode(BufWriter& w) const { w.put_u64(x); }
+  template <typename W>
+  void encode(W& w) const { w.put_u64(x); }
   static Echo decode(BufReader& r) { return {r.get_u64()}; }
 };
 

@@ -210,7 +210,9 @@ TEST(SiEndToEnd, ConcurrentIncrementsNeverLoseUpdates) {
         }
         const Value& v = (*vals)[0];
         int count = 0;
-        if (!v.empty() && v[0] >= '0' && v[0] <= '9') count = std::stoi(v);
+        if (!v.empty() && v[0] >= '0' && v[0] <= '9') {
+          count = std::stoi(std::string(v.view()));
+        }
         env.txn.write(kCounter, std::to_string(count + 1));
         co_return Buffer{};
       });

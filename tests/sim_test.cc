@@ -2,9 +2,11 @@
 // queues, when_all.
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <string>
 #include <vector>
 
+#include "common/rng.h"
 #include "sim/async_queue.h"
 #include "sim/event_loop.h"
 #include "sim/future.h"
@@ -37,6 +39,51 @@ TEST(EventLoop, SameTimeRunsInInsertionOrder) {
   }
   loop.run();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+// Property test for the 4-ary heap: among events with equal timestamps,
+// firing order is exactly insertion order — including events scheduled
+// from inside other events at the currently running time.
+TEST(EventLoop, EqualTimestampsFireInInsertionOrderUnderRandomLoad) {
+  Rng rng(99);
+  for (int round = 0; round < 10; ++round) {
+    EventLoop loop;
+    struct Fired {
+      SimTime time;
+      uint64_t id;
+    };
+    std::vector<Fired> fired;
+    uint64_t next_id = 0;
+    // Timestamps drawn from a tiny range so collisions are the common
+    // case; each event may spawn children at or shortly after its own
+    // time, exercising insertion under a partially drained heap level.
+    std::function<void(SimTime, int)> spawn = [&](SimTime t, int depth) {
+      const uint64_t id = next_id++;
+      loop.schedule_at(t, [&, id, depth] {
+        fired.push_back(Fired{loop.now(), id});
+        if (depth > 0) {
+          const size_t children = rng.next_below(3);
+          for (size_t c = 0; c < children; ++c) {
+            spawn(loop.now() + static_cast<SimTime>(rng.next_below(3)),
+                  depth - 1);
+          }
+        }
+      });
+    };
+    for (int i = 0; i < 64; ++i) {
+      spawn(static_cast<SimTime>(rng.next_below(8)), 2);
+    }
+    loop.run();
+    ASSERT_EQ(fired.size(), next_id);
+    for (size_t i = 1; i < fired.size(); ++i) {
+      ASSERT_LE(fired[i - 1].time, fired[i].time) << "round " << round;
+      if (fired[i - 1].time == fired[i].time) {
+        ASSERT_LT(fired[i - 1].id, fired[i].id)
+            << "round " << round << ": equal-time events fired out of "
+            << "insertion order";
+      }
+    }
+  }
 }
 
 TEST(EventLoop, ScheduleAfterIsRelative) {

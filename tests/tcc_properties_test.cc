@@ -136,8 +136,8 @@ TEST_P(PairPropertyTest, AtomicVisibilityAndRepeatableReads) {
         }
         BufReader pr(env.parent_result);
         const std::string even_tag = pr.get_bytes();
-        const std::string odd_tag = (*vals)[0];
-        const std::string even_again = (*vals)[1];
+        const std::string odd_tag((*vals)[0].view());
+        const std::string even_again((*vals)[1].view());
         ++v.checked;
         if (odd_tag != even_tag) ++v.torn;
         if (even_again != even_tag) ++v.unrepeatable;
