@@ -21,7 +21,8 @@ FaasTccCache::FaasTccCache(net::Network& network, net::Address self,
       tracer_(tracer),
       stable_est_(Timestamp::min()),
       partition_stable_(storage_.topology().num_partitions(),
-                        Timestamp::min()) {
+                        Timestamp::min()),
+      push_seq_(storage_.topology().num_partitions(), 0) {
   rpc_.handle(kCacheRead, [this](Buffer b, net::Address from) {
     return on_read(std::move(b), from);
   });
@@ -35,12 +36,20 @@ const FaasTccCache::Entry* FaasTccCache::peek(Key k) const {
   return it == entries_.end() ? nullptr : &it->second;
 }
 
-void FaasTccCache::prewarm(const VersionedValue& vv) {
+void FaasTccCache::prewarm(const VersionedValue& vv, bool subscribed) {
   if (params_.capacity == 0 || entries_.size() >= params_.capacity) return;
   if (entries_.count(vv.key) != 0) return;
   bytes_ += vv.value.size() + kEntryOverhead;
-  entries_.emplace(vv.key, Entry{vv.value, vv.ts, vv.promise, true});
+  // Open only when the caller registered a subscription: without pushes
+  // the cache would extend this entry's promise past successors it never
+  // hears about (chaos_prewarm_open re-enables exactly that bug).
+  const bool open = subscribed || params_.chaos_prewarm_open;
+  entries_.emplace(vv.key, Entry{vv.value, vv.ts, vv.promise, open});
   lru_.touch(vv.key);
+  if (subscribed) {
+    sub_desired_[vv.key] = true;
+    sub_active_.insert(vv.key);
+  }
   stable_est_ = std::max(stable_est_, vv.promise);
 }
 
@@ -54,25 +63,28 @@ void FaasTccCache::insert_or_update(const TccReadResp::Entry& entry) {
   // Note: eviction is deferred to the caller (evict_to_capacity() after
   // the whole batch) — evicting here could invalidate an entry that a
   // later "unchanged" response in the same batch still refers to.
+  // Entries start closed even when the store served them open: the
+  // subscription is only being requested now, so no push would announce a
+  // successor yet.  The partition re-announces the key on subscribe and
+  // the next push (or an unchanged refresh) reopens the entry.
   if (params_.capacity == 0) return;
   auto it = entries_.find(entry.key);
   if (it == entries_.end()) {
     bytes_ += entry.value.size() + kEntryOverhead;
     entries_.emplace(entry.key,
-                     Entry{entry.value, entry.ts, entry.promise, entry.open});
+                     Entry{entry.value, entry.ts, entry.promise, false});
     lru_.touch(entry.key);
     // Keep the entry fresh via the storage notification service.
-    sim::spawn(storage_.subscribe({entry.key}));
+    request_subscribe({entry.key});
     return;
   }
   auto& e = it->second;
   if (entry.ts > e.ts) {
     bytes_ += entry.value.size();
     bytes_ -= e.value.size();
-    e = Entry{entry.value, entry.ts, entry.promise, entry.open};
+    e = Entry{entry.value, entry.ts, entry.promise, false};
   } else if (entry.ts == e.ts) {
     e.promise = std::max(e.promise, entry.promise);
-    e.open = e.open || entry.open;
   }
   // An older version never replaces a newer cached one (§4.6: the reply is
   // returned without updating the cache).
@@ -91,7 +103,68 @@ void FaasTccCache::evict_to_capacity() {
     evicted.push_back(*victim);
     counters_.evictions.inc();
   }
-  if (!evicted.empty()) sim::spawn(storage_.unsubscribe(std::move(evicted)));
+  if (!evicted.empty()) request_unsubscribe(std::move(evicted));
+}
+
+void FaasTccCache::request_subscribe(std::vector<Key> keys) {
+  for (Key k : keys) sub_desired_[k] = true;
+  ctl_queue_.push_back(CtlOp{true, std::move(keys)});
+  if (!ctl_busy_) sim::spawn(ctl_drain());
+}
+
+void FaasTccCache::request_unsubscribe(std::vector<Key> keys) {
+  for (Key k : keys) {
+    sub_desired_[k] = false;
+    sub_active_.erase(k);
+  }
+  ctl_queue_.push_back(CtlOp{false, std::move(keys)});
+  if (!ctl_busy_) sim::spawn(ctl_drain());
+}
+
+sim::Task<void> FaasTccCache::ctl_drain() {
+  // One control op in flight at a time, in issue order with increasing
+  // sequence numbers: partitions drop anything older than the newest seen,
+  // so an (un)subscribe can never be overtaken by its own stale retry.
+  if (ctl_busy_) co_return;
+  ctl_busy_ = true;
+  while (!ctl_queue_.empty()) {
+    CtlOp op = std::move(ctl_queue_.front());
+    ctl_queue_.pop_front();
+    const uint64_t seq = ++ctl_seq_;
+    if (op.subscribe) {
+      const bool acked = co_await storage_.subscribe(op.keys, seq);
+      if (acked) {
+        for (Key k : op.keys) {
+          // Still desired (no unsubscribe raced in behind us)?
+          auto it = sub_desired_.find(k);
+          if (it != sub_desired_.end() && it->second) sub_active_.insert(k);
+        }
+      }
+    } else {
+      co_await storage_.unsubscribe(op.keys, seq);
+    }
+  }
+  ctl_busy_ = false;
+}
+
+void FaasTccCache::handle_push_gap(PartitionId p) {
+  ++gap_epoch_;
+  counters_.push_gaps.inc();
+  // The lost push may have carried the only announcement of a successor:
+  // no open entry of this partition may keep extending its promise.
+  std::vector<Key> resub;
+  for (auto& [k, e] : entries_) {
+    if (storage_.topology().partition_of(k) != p) continue;
+    e.open = false;
+    auto it = sub_desired_.find(k);
+    if (it != sub_desired_.end() && it->second) resub.push_back(k);
+  }
+  // Resubscribing makes the partition re-announce each key's latest
+  // version on its next push, which reopens the entries that survived.
+  if (!resub.empty()) {
+    std::sort(resub.begin(), resub.end());
+    request_subscribe(std::move(resub));
+  }
 }
 
 sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
@@ -125,11 +198,17 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
     if (it != entries_.end()) {
       const auto& e = it->second;
       const Timestamp promise = effective_promise(k, e);
+      // The no-promises ablation admits and narrows with the bare version
+      // timestamp: narrowing with the full promise would leak promise
+      // benefit (wider surviving intervals) into the baseline.
       const Timestamp admit_promise = q.use_promises ? promise : e.ts;
-      if (resp.interval.admits(e.ts, admit_promise)) {
+      if (params_.chaos_ignore_interval ||
+          resp.interval.admits(e.ts, admit_promise)) {
         resp.entries[i] = VersionedValue{k, e.value, e.ts, promise};
         resp.from_cache[i] = true;
-        resp.interval.narrow(e.ts, promise);
+        if (!params_.chaos_ignore_interval) {
+          resp.interval.narrow(e.ts, admit_promise);
+        }
         lru_.touch(k);
         continue;
       }
@@ -180,6 +259,9 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
                                                : it->second.ts);
     }
     storage::TccStorageClient::ReadAccounting acct;
+    // Open flags in a response generated before a push gap are stale (the
+    // gap may hide a successor the store knew about when it answered).
+    const uint64_t epoch_before = gap_epoch_;
     auto maybe_resp =
         co_await storage_.read(keys, cached_ts, snapshot, &acct, span_ctx);
     // Fig. 7 counts the bytes served by the storage layer per consistent
@@ -240,7 +322,13 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
         auto it = entries_.find(entry.key);
         assert(it != entries_.end());  // guaranteed by the trial merge
         it->second.promise = std::max(it->second.promise, entry.promise);
-        it->second.open = it->second.open || entry.open;
+        // Reopen only when the subscription is confirmed live and no push
+        // gap interleaved with this storage round: otherwise the "open"
+        // flag may predate a successor whose announcement was lost.
+        it->second.open =
+            it->second.open ||
+            (entry.open && gap_epoch_ == epoch_before &&
+             sub_active_.count(entry.key) != 0);
         resp.entries[idx] = VersionedValue{entry.key, it->second.value,
                                            it->second.ts, it->second.promise};
         lru_.touch(entry.key);
@@ -275,7 +363,24 @@ void FaasTccCache::on_push(Buffer msg, net::Address) {
   auto push = decode_message<storage::PushMsg>(msg);
   rpc_.recycle(std::move(msg));
   stable_est_ = std::max(stable_est_, push.stable_time);
-  if (push.partition < partition_stable_.size()) {
+  if (push.partition >= partition_stable_.size()) return;
+  // Channel ordering: only an unbroken push sequence proves the dirty-set
+  // signal is complete (no successor announcement was lost).  A duplicated
+  // or reordered old push must not reopen anything; a gap closes the
+  // partition's open entries until the re-announce arrives.
+  bool in_order = true;
+  if (push.seq != 0) {
+    auto& last = push_seq_[push.partition];
+    if (push.seq == last + 1) {
+      last = push.seq;
+    } else if (push.seq > last) {
+      handle_push_gap(push.partition);
+      last = push.seq;
+    } else {
+      in_order = false;  // duplicate or reordered: values usable, flags not
+    }
+  }
+  if (in_order) {
     auto& slot = partition_stable_[push.partition];
     slot = std::max(slot, push.stable_time);
   }
@@ -286,15 +391,16 @@ void FaasTccCache::on_push(Buffer msg, net::Address) {
       counters_.pushes_stale.inc();
       continue;
     }
+    const bool may_open = in_order && sub_active_.count(vv.key) != 0;
     auto& e = it->second;
     if (vv.ts > e.ts) {
       bytes_ += vv.value.size();
       bytes_ -= e.value.size();
-      e = Entry{vv.value, vv.ts, vv.promise, true};
+      e = Entry{vv.value, vv.ts, vv.promise, may_open};
       counters_.pushes_applied.inc();
     } else if (vv.ts == e.ts) {
       e.promise = std::max(e.promise, vv.promise);
-      e.open = true;
+      if (may_open) e.open = true;
       counters_.pushes_applied.inc();
     } else {
       counters_.pushes_stale.inc();

@@ -17,7 +17,9 @@
 // inserted eagerly (§4.7).
 #pragma once
 
+#include <deque>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "cache/cache_messages.h"
 #include "cache/lru_index.h"
@@ -33,6 +35,15 @@ struct CacheParams {
   size_t capacity = SIZE_MAX;
   Duration lookup_cpu = microseconds(8);  // service time per request
   Duration retry_backoff = milliseconds(1);
+  // Chaos knobs (tests/fuzzer only): re-enable historical bugs so the
+  // consistency oracle can demonstrate it catches them.
+  // Prewarm entries as open without a storage subscription: their promises
+  // get extended by pushed stable times although no push will ever announce
+  // a successor (the unsound-prewarm-promise bug).
+  bool chaos_prewarm_open = false;
+  // Serve cached entries regardless of the request's snapshot interval
+  // (and skip narrowing), breaking snapshot validity outright.
+  bool chaos_ignore_interval = false;
 };
 
 class FaasTccCache {
@@ -55,6 +66,9 @@ class FaasTccCache {
     Counter pushes_applied;
     Counter pushes_stale;
     Counter evictions;
+    // Push-channel sequence gaps observed (lost pushes): each one closes
+    // the partition's open entries until a re-announce arrives.
+    Counter push_gaps;
   };
   const Counters& counters() const { return counters_; }
 
@@ -76,8 +90,12 @@ class FaasTccCache {
 
   // Installs an entry directly, bypassing the protocol (experiment
   // pre-warming, §6.1: "cache sizes are unbounded and were pre-warmed").
-  // The caller must also register the matching storage subscription.
-  void prewarm(const storage::VersionedValue& vv);
+  // `subscribed` asserts the caller has already registered the matching
+  // storage subscription; only then is the entry open (eligible for
+  // promise extension by pushed stable times).  An open entry without a
+  // live subscription would keep promising a version the partition may
+  // already have overwritten — the cache never hears about the successor.
+  void prewarm(const storage::VersionedValue& vv, bool subscribed = false);
 
  private:
   static constexpr size_t kEntryOverhead = 8 + 8 + 8;  // key + ts + promise
@@ -96,6 +114,18 @@ class FaasTccCache {
   void insert_or_update(const storage::TccReadResp::Entry& entry);
   void evict_to_capacity();
 
+  // Ordered control channel to the storage layer: (un)subscribe requests
+  // are queued and sent one at a time with increasing sequence numbers, so
+  // a duplicated/delayed retry can never resurrect a cancelled
+  // subscription at a partition.
+  void request_subscribe(std::vector<Key> keys);
+  void request_unsubscribe(std::vector<Key> keys);
+  sim::Task<void> ctl_drain();
+  // A push-channel sequence gap: the lost push may have announced a
+  // successor version, so every open entry of the partition must close
+  // until the re-announce (triggered by resubscribing) arrives.
+  void handle_push_gap(PartitionId p);
+
   net::RpcNode rpc_;
   storage::TccStorageClient storage_;
   CacheParams params_;
@@ -109,6 +139,26 @@ class FaasTccCache {
   Timestamp stable_est_;
   // Last pushed stable time per partition (promise extension).
   std::vector<Timestamp> partition_stable_;
+  // Last in-order push-channel sequence per partition (0 = none yet; the
+  // first push carries seq 1, so losses before first contact also count
+  // as gaps).
+  std::vector<uint64_t> push_seq_;
+  // Bumped on every push gap; an in-flight storage read that started
+  // before a gap must not reopen entries from its stale "open" flags.
+  uint64_t gap_epoch_ = 0;
+  // Subscription state: keys we want subscribed, and keys whose
+  // subscription every partition has acknowledged.  Only acknowledged
+  // subscriptions make entries open — an unconfirmed one delivers no
+  // pushes, so extending promises on it would be unsound.
+  std::unordered_map<Key, bool> sub_desired_;
+  std::unordered_set<Key> sub_active_;
+  struct CtlOp {
+    bool subscribe;
+    std::vector<Key> keys;
+  };
+  std::deque<CtlOp> ctl_queue_;
+  bool ctl_busy_ = false;
+  uint64_t ctl_seq_ = 0;
   Counters counters_;
 };
 

@@ -1,0 +1,363 @@
+#include "check/oracle.h"
+
+#include <algorithm>
+#include <sstream>
+#include <tuple>
+
+namespace faastcc::check {
+
+uint64_t hash_value(const Value& v) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const char c : v.view()) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+const char* violation_name(Violation::Kind kind) {
+  switch (kind) {
+    case Violation::Kind::kLostWrite: return "lost-write";
+    case Violation::Kind::kDuplicateInstall: return "duplicate-install";
+    case Violation::Kind::kPhantomInstall: return "phantom-install";
+    case Violation::Kind::kCausalOrder: return "causal-order";
+    case Violation::Kind::kUnsoundPromise: return "unsound-promise";
+    case Violation::Kind::kEmptySnapshotWindow: return "empty-snapshot-window";
+    case Violation::Kind::kUnexplainedRead: return "unexplained-read";
+    case Violation::Kind::kValueMismatch: return "value-mismatch";
+    case Violation::Kind::kNonRepeatableRead: return "non-repeatable-read";
+    case Violation::Kind::kReadYourWrites: return "read-your-writes";
+    case Violation::Kind::kSessionOrder: return "session-order";
+  }
+  return "?";
+}
+
+void ConsistencyOracle::on_install(PartitionId partition, Key key,
+                                   Timestamp ts, TxnId txn,
+                                   const Value& value) {
+  installs_.push_back(InstallRec{key, ts, txn, hash_value(value), partition});
+}
+
+void ConsistencyOracle::on_preload(Key key, Timestamp ts, const Value& value) {
+  installs_.push_back(InstallRec{
+      key, ts, 0, hash_value(value),
+      static_cast<PartitionId>(0)});
+}
+
+void ConsistencyOracle::on_commit_phase(TxnId txn, std::vector<Key> write_keys) {
+  auto& t = txns_[txn];
+  t.phase_entered = true;
+  t.write_keys = std::move(write_keys);
+}
+
+void ConsistencyOracle::on_commit_ack(TxnId txn, Timestamp commit_ts,
+                                      Timestamp dep_ts) {
+  auto& t = txns_[txn];
+  t.acked = true;
+  t.commit_ts = commit_ts;
+  t.dep_ts = dep_ts;
+}
+
+void ConsistencyOracle::on_txn_complete(TxnId txn) {
+  txns_[txn].completed = true;
+}
+
+uint64_t ConsistencyOracle::register_function(TxnId) { return ++next_fn_; }
+
+void ConsistencyOracle::on_read(TxnId txn, uint64_t fn, Key key, Timestamp ts,
+                                Timestamp promise, const Value& value,
+                                client::SnapshotInterval interval) {
+  reads_.push_back(ReadRec{txn, fn, key, ts, promise, hash_value(value),
+                           interval, ++next_seq_});
+}
+
+void ConsistencyOracle::on_write(TxnId txn, uint64_t fn, Key key,
+                                 const Value& value) {
+  writes_.push_back(WriteRec{txn, fn, key, hash_value(value), ++next_seq_});
+}
+
+void ConsistencyOracle::on_session_commit(uint64_t client_id,
+                                          Timestamp session_ts) {
+  sessions_[client_id].push_back(session_ts);
+}
+
+size_t ConsistencyOracle::commits_recorded() const {
+  size_t n = 0;
+  for (const auto& [id, t] : txns_) n += t.acked ? 1 : 0;
+  return n;
+}
+
+size_t ConsistencyOracle::torn_aborts() const {
+  // Commit phase entered, never acked, but at least one install happened:
+  // a participant applied its half before the coordinator gave up.
+  size_t n = 0;
+  for (const auto& [id, t] : txns_) {
+    if (!t.phase_entered || t.acked) continue;
+    for (const auto& rec : installs_) {
+      if (rec.txn == id) {
+        ++n;
+        break;
+      }
+    }
+  }
+  return n;
+}
+
+std::vector<Violation> ConsistencyOracle::check() const {
+  std::vector<Violation> out;
+
+  // Per-key install history, sorted by timestamp (record order breaks
+  // ties so duplicate detection below is deterministic).
+  std::map<Key, std::vector<const InstallRec*>> by_key;
+  for (const auto& rec : installs_) by_key[rec.key].push_back(&rec);
+  for (auto& [key, chain] : by_key) {
+    std::stable_sort(
+        chain.begin(), chain.end(),
+        [](const InstallRec* a, const InstallRec* b) { return a->ts < b->ts; });
+  }
+
+  const auto find_install = [&](Key key, Timestamp ts) -> const InstallRec* {
+    auto it = by_key.find(key);
+    if (it == by_key.end()) return nullptr;
+    const auto& chain = it->second;
+    auto pos = std::lower_bound(
+        chain.begin(), chain.end(), ts,
+        [](const InstallRec* a, Timestamp t) { return a->ts < t; });
+    return (pos != chain.end() && (*pos)->ts == ts) ? *pos : nullptr;
+  };
+  // First install of `key` strictly after `ts`; nullptr if none.
+  const auto successor = [&](Key key, Timestamp ts) -> const InstallRec* {
+    auto it = by_key.find(key);
+    if (it == by_key.end()) return nullptr;
+    const auto& chain = it->second;
+    auto pos = std::upper_bound(
+        chain.begin(), chain.end(), ts,
+        [](Timestamp t, const InstallRec* a) { return t < a->ts; });
+    return pos != chain.end() ? *pos : nullptr;
+  };
+
+  // --- duplicate installs: two installs of the same (key, ts). ---
+  for (const auto& [key, chain] : by_key) {
+    for (size_t i = 1; i < chain.size(); ++i) {
+      if (chain[i]->ts == chain[i - 1]->ts) {
+        std::ostringstream os;
+        os << "key " << key << " installed twice at " << chain[i]->ts.to_string()
+           << " (txn " << chain[i - 1]->txn << " then txn " << chain[i]->txn
+           << ")";
+        out.push_back(Violation{Violation::Kind::kDuplicateInstall,
+                                chain[i]->txn, key, os.str()});
+      }
+    }
+  }
+
+  // --- phantom installs: a txn that never entered the commit phase. ---
+  for (const auto& rec : installs_) {
+    if (rec.txn == 0) continue;  // preload
+    auto it = txns_.find(rec.txn);
+    if (it == txns_.end() || !it->second.phase_entered) {
+      std::ostringstream os;
+      os << "key " << rec.key << " @ " << rec.ts.to_string()
+         << " installed by txn " << rec.txn
+         << " which never sent a commit phase";
+      out.push_back(Violation{Violation::Kind::kPhantomInstall, rec.txn,
+                              rec.key, os.str()});
+    }
+  }
+
+  // --- acked transactions: atomic visibility + causal order. ---
+  std::vector<TxnId> txn_ids;
+  txn_ids.reserve(txns_.size());
+  for (const auto& [id, t] : txns_) txn_ids.push_back(id);
+  std::sort(txn_ids.begin(), txn_ids.end());
+  for (TxnId id : txn_ids) {
+    const TxnRec& t = txns_.at(id);
+    if (!t.acked) continue;
+    for (Key key : t.write_keys) {
+      if (find_install(key, t.commit_ts) == nullptr) {
+        std::ostringstream os;
+        os << "txn " << id << " acked at " << t.commit_ts.to_string()
+           << " but its write to key " << key << " was never installed";
+        out.push_back(
+            Violation{Violation::Kind::kLostWrite, id, key, os.str()});
+      }
+    }
+    if (t.commit_ts <= t.dep_ts) {
+      std::ostringstream os;
+      os << "txn " << id << " commit ts " << t.commit_ts.to_string()
+         << " <= dep ts " << t.dep_ts.to_string();
+      out.push_back(Violation{Violation::Kind::kCausalOrder, id, 0, os.str()});
+    }
+  }
+  // A replayed commit minting a second version: an acked txn must install
+  // only at its acked commit timestamp.
+  for (const auto& rec : installs_) {
+    if (rec.txn == 0) continue;
+    auto it = txns_.find(rec.txn);
+    if (it != txns_.end() && it->second.acked &&
+        rec.ts != it->second.commit_ts) {
+      std::ostringstream os;
+      os << "txn " << rec.txn << " acked at "
+         << it->second.commit_ts.to_string() << " but also installed key "
+         << rec.key << " @ " << rec.ts.to_string()
+         << " (replayed commit minted a second version)";
+      out.push_back(Violation{Violation::Kind::kDuplicateInstall, rec.txn,
+                              rec.key, os.str()});
+    }
+  }
+
+  // --- per-read checks: provenance, value, promise soundness, causality. ---
+  for (const auto& r : reads_) {
+    if (r.ts != Timestamp::min()) {
+      const InstallRec* ins = find_install(r.key, r.ts);
+      if (ins == nullptr) {
+        std::ostringstream os;
+        os << "txn " << r.txn << " read key " << r.key << " @ "
+           << r.ts.to_string() << " but no such version was installed";
+        out.push_back(Violation{Violation::Kind::kUnexplainedRead, r.txn,
+                                r.key, os.str()});
+      } else if (ins->value_hash != r.value_hash) {
+        std::ostringstream os;
+        os << "txn " << r.txn << " read key " << r.key << " @ "
+           << r.ts.to_string() << " with a value different from the install";
+        out.push_back(Violation{Violation::Kind::kValueMismatch, r.txn, r.key,
+                                os.str()});
+      }
+    }
+    if (const InstallRec* succ = successor(r.key, r.ts);
+        succ != nullptr && succ->ts <= r.promise) {
+      std::ostringstream os;
+      os << "txn " << r.txn << " was promised key " << r.key << " @ "
+         << r.ts.to_string() << " holds until " << r.promise.to_string()
+         << " but txn " << succ->txn << " installed a successor @ "
+         << succ->ts.to_string();
+      out.push_back(
+          Violation{Violation::Kind::kUnsoundPromise, r.txn, r.key, os.str()});
+    }
+    auto it = txns_.find(r.txn);
+    if (it != txns_.end() && it->second.acked &&
+        it->second.commit_ts <= r.ts) {
+      std::ostringstream os;
+      os << "txn " << r.txn << " commit ts " << it->second.commit_ts.to_string()
+         << " <= read ts " << r.ts.to_string() << " of key " << r.key;
+      out.push_back(
+          Violation{Violation::Kind::kCausalOrder, r.txn, r.key, os.str()});
+    }
+  }
+
+  // --- completed transactions: repeatable reads + snapshot validity. ---
+  std::unordered_map<TxnId, std::vector<const ReadRec*>> reads_by_txn;
+  for (const auto& r : reads_) reads_by_txn[r.txn].push_back(&r);
+  for (TxnId id : txn_ids) {
+    const TxnRec& t = txns_.at(id);
+    if (!t.completed) continue;
+    auto rit = reads_by_txn.find(id);
+    if (rit == reads_by_txn.end()) continue;
+    const auto& txn_reads = rit->second;
+    // Repeatable reads: every observation of a key at one timestamp.
+    std::map<Key, Timestamp> first_ts;
+    for (const ReadRec* r : txn_reads) {
+      auto [it, inserted] = first_ts.emplace(r->key, r->ts);
+      if (!inserted && it->second != r->ts) {
+        std::ostringstream os;
+        os << "txn " << id << " observed key " << r->key << " @ "
+           << it->second.to_string() << " and again @ " << r->ts.to_string();
+        out.push_back(Violation{Violation::Kind::kNonRepeatableRead, id,
+                                r->key, os.str()});
+        it->second = r->ts;  // report each distinct flip once
+      }
+    }
+    // Snapshot validity / atomic visibility: some snapshot must see every
+    // read version and none of their successors.  Version v of key k
+    // explains snapshots in [v.ts, succ(k, v.ts) - 1]; the windows of a
+    // transaction's reads must intersect.
+    Timestamp lo = Timestamp::min();
+    Timestamp hi = Timestamp::max();
+    Key lo_key = 0, hi_key = 0;
+    for (const ReadRec* r : txn_reads) {
+      if (r->ts > lo) {
+        lo = r->ts;
+        lo_key = r->key;
+      }
+      const InstallRec* succ = successor(r->key, r->ts);
+      const Timestamp w_hi = succ != nullptr ? succ->ts.prev() : Timestamp::max();
+      if (w_hi < hi) {
+        hi = w_hi;
+        hi_key = r->key;
+      }
+    }
+    if (lo > hi) {
+      std::ostringstream os;
+      os << "txn " << id << ": no snapshot explains all reads (key " << lo_key
+         << " forces >= " << lo.to_string() << ", key " << hi_key
+         << " is overwritten by " << hi.next().to_string() << ")";
+      out.push_back(Violation{Violation::Kind::kEmptySnapshotWindow, id,
+                              lo_key, os.str()});
+    }
+  }
+
+  // --- read-your-writes: a function never cache-reads its own write. ---
+  std::map<std::tuple<TxnId, uint64_t, Key>, uint64_t> first_write_seq;
+  for (const auto& w : writes_) {
+    first_write_seq.emplace(std::make_tuple(w.txn, w.fn, w.key), w.seq);
+  }
+  for (const auto& r : reads_) {
+    auto it = first_write_seq.find(std::make_tuple(r.txn, r.fn, r.key));
+    if (it != first_write_seq.end() && it->second < r.seq) {
+      std::ostringstream os;
+      os << "txn " << r.txn << " function " << r.fn << " cache-read key "
+         << r.key << " after buffering a write to it";
+      out.push_back(
+          Violation{Violation::Kind::kReadYourWrites, r.txn, r.key, os.str()});
+    }
+  }
+
+  // --- session monotonicity per client. ---
+  for (const auto& [client, steps] : sessions_) {
+    for (size_t i = 1; i < steps.size(); ++i) {
+      if (steps[i] < steps[i - 1]) {
+        std::ostringstream os;
+        os << "client " << client << " session ts regressed from "
+           << steps[i - 1].to_string() << " to " << steps[i].to_string()
+           << " at DAG " << i;
+        out.push_back(
+            Violation{Violation::Kind::kSessionOrder, 0, 0, os.str()});
+      }
+    }
+  }
+
+  return out;
+}
+
+std::string ConsistencyOracle::report(const std::vector<Violation>& violations,
+                                      size_t max_violations) const {
+  std::ostringstream os;
+  os << violations.size() << " violation(s); " << installs_.size()
+     << " installs, " << reads_.size() << " reads, " << commits_recorded()
+     << " acked commits, " << torn_aborts() << " torn aborts\n";
+  const size_t n = std::min(violations.size(), max_violations);
+  for (size_t i = 0; i < n; ++i) {
+    const Violation& v = violations[i];
+    os << "  [" << violation_name(v.kind) << "] " << v.detail << "\n";
+    // Minimal counterexample context: the install history around the key.
+    if (v.key != 0 || v.kind == Violation::Kind::kUnsoundPromise ||
+        v.kind == Violation::Kind::kLostWrite) {
+      size_t shown = 0;
+      for (const auto& rec : installs_) {
+        if (rec.key != v.key) continue;
+        if (++shown > 6) {
+          os << "      ...\n";
+          break;
+        }
+        os << "      install key " << rec.key << " @ " << rec.ts.to_string()
+           << " by txn " << rec.txn << " (partition " << rec.partition
+           << ")\n";
+      }
+    }
+  }
+  if (violations.size() > n) {
+    os << "  ... " << (violations.size() - n) << " more\n";
+  }
+  return os.str();
+}
+
+}  // namespace faastcc::check

@@ -1,0 +1,160 @@
+// Consistency oracle for the FaaSTCC protocol stack.
+//
+// Records, through zero-perturbation hooks (the same out-of-band pattern as
+// obs::Tracer: plain pointer, no events, no randomness, pure appends),
+// every version install, every committed transaction, every function-level
+// read and every client session step — then verifies, after the run, the
+// paper's actual contract:
+//
+//   * atomic visibility     — an acked commit installed all of its writes,
+//                             and no snapshot can observe a torn subset;
+//   * causal order          — commit ts > dep ts and > every read ts;
+//   * promise soundness     — no version was ever installed with a
+//                             timestamp in (returned_ts, promise] of any
+//                             read (§4.2: a promise is forever);
+//   * snapshot validity     — one snapshot in [low, high] explains every
+//                             read of a completed transaction (§4.8);
+//   * repeatable reads      — a transaction never observes two versions of
+//                             the same key;
+//   * read-your-writes      — a function never cache-reads a key it wrote;
+//   * session monotonicity  — a client's session timestamp never regresses
+//                             across DAGs.
+//
+// The oracle deliberately knows nothing about the transport: it cross-checks
+// what the storage layer *did* (installs) against what the client stack
+// *claimed* (acks, reads, promises), which is exactly where retried/dropped
+// messages can tear the two apart.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "client/snapshot_interval.h"
+#include "common/hlc.h"
+#include "common/types.h"
+
+namespace faastcc::check {
+
+// FNV-1a over the value bytes: installs and reads are cross-checked by
+// hash so the oracle never retains value payloads.
+uint64_t hash_value(const Value& v);
+
+struct Violation {
+  enum class Kind : uint8_t {
+    kLostWrite,           // acked commit with a write never installed
+    kDuplicateInstall,    // two installs of one (key, ts) / replayed commit
+    kPhantomInstall,      // install by a txn that never entered commit
+    kCausalOrder,         // commit ts <= dep ts or <= a read ts
+    kUnsoundPromise,      // version installed inside (read ts, promise]
+    kEmptySnapshotWindow, // no single snapshot explains a txn's reads
+    kUnexplainedRead,     // read returned a version nobody installed
+    kValueMismatch,       // read value != installed value at that ts
+    kNonRepeatableRead,   // one txn observed two versions of a key
+    kReadYourWrites,      // function cache-read a key it had written
+    kSessionOrder,        // client session timestamp regressed
+  };
+  Kind kind;
+  TxnId txn = 0;
+  Key key = 0;
+  std::string detail;
+};
+
+const char* violation_name(Violation::Kind kind);
+
+class ConsistencyOracle {
+ public:
+  ConsistencyOracle() = default;
+
+  // ---- recording hooks (never schedule events, never draw randomness) ----
+
+  // A version physically installed at a partition's MvStore.
+  void on_install(PartitionId partition, Key key, Timestamp ts, TxnId txn,
+                  const Value& value);
+  // Dataset preload before the run (recorded as txn 0).
+  void on_preload(Key key, Timestamp ts, const Value& value);
+  // The coordinator is about to send commit-phase RPCs: from here on,
+  // installs by `txn` are legitimate even if the coordinator later reports
+  // an abort (the documented torn-abort liveness tradeoff).
+  void on_commit_phase(TxnId txn, std::vector<Key> write_keys);
+  // The coordinator reported commit to the client library.
+  void on_commit_ack(TxnId txn, Timestamp commit_ts, Timestamp dep_ts);
+  // The client library completed the transaction successfully (including
+  // read-only transactions, which never reach the storage commit path).
+  void on_txn_complete(TxnId txn);
+  // A function execution joined the transaction; returns a deterministic
+  // function id for the read/write hooks (schedule order is deterministic,
+  // so the ids are too).
+  uint64_t register_function(TxnId txn);
+  // A cache-served (non-local) read returned by the client library, with
+  // the snapshot interval as of the return.
+  void on_read(TxnId txn, uint64_t fn, Key key, Timestamp ts,
+               Timestamp promise, const Value& value,
+               client::SnapshotInterval interval);
+  // A buffered write in a function body.
+  void on_write(TxnId txn, uint64_t fn, Key key, const Value& value);
+  // A client applied a committed DAG's session blob.
+  void on_session_commit(uint64_t client_id, Timestamp session_ts);
+
+  // ---- post-run verification ----
+
+  std::vector<Violation> check() const;
+  // Human-readable counterexample listing (at most `max_violations`), with
+  // the per-key install history around each violating read.
+  std::string report(const std::vector<Violation>& violations,
+                     size_t max_violations = 10) const;
+
+  size_t installs_recorded() const { return installs_.size(); }
+  size_t reads_recorded() const { return reads_.size(); }
+  size_t commits_recorded() const;
+  // Commit-phase txns that were never acked but did install somewhere:
+  // the documented torn-abort outcome (allowed, but worth surfacing).
+  size_t torn_aborts() const;
+
+ private:
+  struct InstallRec {
+    Key key;
+    Timestamp ts;
+    TxnId txn;
+    uint64_t value_hash;
+    PartitionId partition;
+  };
+  struct ReadRec {
+    TxnId txn;
+    uint64_t fn;
+    Key key;
+    Timestamp ts;
+    Timestamp promise;
+    uint64_t value_hash;
+    client::SnapshotInterval interval;
+    uint64_t seq;  // global record order (orders reads vs. writes in a fn)
+  };
+  struct WriteRec {
+    TxnId txn;
+    uint64_t fn;
+    Key key;
+    uint64_t value_hash;
+    uint64_t seq;
+  };
+  struct TxnRec {
+    std::vector<Key> write_keys;
+    bool phase_entered = false;
+    bool acked = false;
+    bool completed = false;
+    Timestamp commit_ts = Timestamp::min();
+    Timestamp dep_ts = Timestamp::min();
+  };
+
+  std::vector<InstallRec> installs_;
+  std::vector<ReadRec> reads_;
+  std::vector<WriteRec> writes_;
+  std::unordered_map<TxnId, TxnRec> txns_;
+  // Ordered for deterministic violation output.
+  std::map<uint64_t, std::vector<Timestamp>> sessions_;
+  uint64_t next_fn_ = 0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace faastcc::check

@@ -49,13 +49,15 @@ Timestamp decode_faastcc_session(const Buffer& b) {
 FaasTccAdapter::FaasTccAdapter(net::RpcNode& rpc, net::Address cache_address,
                                storage::TccTopology topology,
                                FaasTccConfig config, Metrics* metrics,
-                               obs::Tracer* tracer)
+                               obs::Tracer* tracer,
+                               check::ConsistencyOracle* oracle)
     : rpc_(rpc),
       cache_address_(cache_address),
-      storage_(rpc, std::move(topology), tracer),
+      storage_(rpc, std::move(topology), tracer, oracle),
       config_(config),
       metrics_(metrics),
-      tracer_(tracer) {}
+      tracer_(tracer),
+      oracle_(oracle) {}
 
 std::unique_ptr<FunctionTxn> FaasTccAdapter::open(
     const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
@@ -92,11 +94,14 @@ sim::Task<std::optional<std::vector<Value>>> FaasTccTxn::read(
     std::vector<Key> keys) {
   std::vector<Value> out(keys.size());
   std::vector<size_t> missing;
+  const bool local = !adapter_.config_.chaos_skip_local_reads;
   for (size_t i = 0; i < keys.size(); ++i) {
     const Key k = keys[i];
-    if (auto it = ctx_.write_set.find(k); it != ctx_.write_set.end()) {
+    if (auto it = ctx_.write_set.find(k);
+        local && it != ctx_.write_set.end()) {
       out[i] = it->second;  // read-your-writes (Alg. 1 line 25)
-    } else if (auto it2 = read_set_.find(k); it2 != read_set_.end()) {
+    } else if (auto it2 = read_set_.find(k);
+               local && it2 != read_set_.end()) {
       out[i] = it2->second;  // repeatable read (Alg. 1 line 27)
     } else {
       missing.push_back(i);
@@ -148,11 +153,21 @@ sim::Task<std::optional<std::vector<Value>>> FaasTccTxn::read(
     const size_t idx = missing[j];
     out[idx] = resp.entries[j].value;
     read_set_.emplace(keys[idx], resp.entries[j].value);
+    if (adapter_.oracle_ != nullptr) {
+      adapter_.oracle_->on_read(info_.txn_id, fn_id_, keys[idx],
+                                resp.entries[j].ts, resp.entries[j].promise,
+                                resp.entries[j].value, resp.interval);
+    }
   }
   co_return out;
 }
 
-void FaasTccTxn::write(Key k, Value v) { ctx_.write_set[k] = std::move(v); }
+void FaasTccTxn::write(Key k, Value v) {
+  if (adapter_.oracle_ != nullptr) {
+    adapter_.oracle_->on_write(info_.txn_id, fn_id_, k, v);
+  }
+  ctx_.write_set[k] = std::move(v);
+}
 
 Buffer FaasTccTxn::export_context() const { return encode_message(ctx_); }
 
@@ -164,6 +179,9 @@ size_t FaasTccTxn::metadata_bytes() const {
 
 sim::Task<std::optional<Buffer>> FaasTccTxn::commit() {
   if (ctx_.write_set.empty()) {
+    if (adapter_.oracle_ != nullptr) {
+      adapter_.oracle_->on_txn_complete(info_.txn_id);
+    }
     co_return encode_faastcc_session(ctx_.dep_ts);
   }
   std::vector<storage::KeyValue> writes;
@@ -206,6 +224,9 @@ sim::Task<std::optional<Buffer>> FaasTccTxn::commit() {
     tracer->end(span, adapter_.rpc_.now());
   }
   if (!commit_ts.has_value()) co_return std::nullopt;
+  if (adapter_.oracle_ != nullptr) {
+    adapter_.oracle_->on_txn_complete(info_.txn_id);
+  }
   co_return encode_faastcc_session(*commit_ts);
 }
 

@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "cache/cache_messages.h"
+#include "check/oracle.h"
 #include "client/snapshot_interval.h"
 #include "client/txn.h"
 #include "common/metrics.h"
@@ -30,6 +31,10 @@ struct FaasTccConfig {
   // the client.  Lost updates on read-modify-write cycles become
   // impossible; the price is the conflict-abort rate under contention.
   bool snapshot_isolation = false;
+  // Chaos knob (tests/fuzzer only): skip the library-local write-set and
+  // read-set lookups so every read goes to the cache, violating
+  // read-your-writes and repeatable reads for the oracle to catch.
+  bool chaos_skip_local_reads = false;
 };
 
 // Context passed from function to function: Alg. 1's `context`.
@@ -63,7 +68,8 @@ class FaasTccAdapter final : public SystemAdapter {
  public:
   FaasTccAdapter(net::RpcNode& rpc, net::Address cache_address,
                  storage::TccTopology topology, FaasTccConfig config,
-                 Metrics* metrics, obs::Tracer* tracer = nullptr);
+                 Metrics* metrics, obs::Tracer* tracer = nullptr,
+                 check::ConsistencyOracle* oracle = nullptr);
 
   std::unique_ptr<FunctionTxn> open(const TxnInfo& info,
                                     const std::vector<Buffer>& parent_contexts,
@@ -77,12 +83,18 @@ class FaasTccAdapter final : public SystemAdapter {
   FaasTccConfig config_;
   Metrics* metrics_;
   obs::Tracer* tracer_;
+  check::ConsistencyOracle* oracle_;
 };
 
 class FaasTccTxn final : public FunctionTxn {
  public:
   FaasTccTxn(FaasTccAdapter& adapter, TxnInfo info, FaasTccContext context)
-      : adapter_(adapter), info_(std::move(info)), ctx_(std::move(context)) {}
+      : adapter_(adapter),
+        info_(std::move(info)),
+        ctx_(std::move(context)),
+        fn_id_(adapter.oracle_ != nullptr
+                   ? adapter.oracle_->register_function(info_.txn_id)
+                   : 0) {}
 
   sim::Task<std::optional<std::vector<Value>>> read(
       std::vector<Key> keys) override;
@@ -97,6 +109,9 @@ class FaasTccTxn final : public FunctionTxn {
   FaasTccAdapter& adapter_;
   TxnInfo info_;
   FaasTccContext ctx_;
+  // Deterministic per-function id for the oracle's read-your-writes /
+  // repeatable-reads bookkeeping (0 when no oracle is attached).
+  uint64_t fn_id_;
   // Library-local copy of values read while executing on this worker
   // (Alg. 1 line 16); not part of the shipped context.
   std::unordered_map<Key, Value> read_set_;

@@ -65,9 +65,18 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
     counters_.stale_triggers_dropped.inc();
     return;
   }
+  const JoinKey key{t.txn_id, t.fn_index};
+  if (executed_.count(key) != 0) {
+    // A duplicated trigger for a function this node already ran (or
+    // enqueued).  Executing it again would re-read at a different snapshot
+    // and race the ghost's divergent writes against the real commit.
+    counters_.stale_triggers_dropped.inc();
+    return;
+  }
   const auto deg = t.spec.in_degrees();
   const uint32_t parents = deg.at(t.fn_index);
   if (parents <= 1) {
+    mark_executed(key);
     Work w;
     std::vector<Buffer> ctxs;
     if (parents == 1) ctxs.push_back(t.context);
@@ -79,7 +88,6 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
     return;
   }
   // Join: buffer until every parent has delivered its context.
-  const JoinKey key{t.txn_id, t.fn_index};
   auto& state = joins_[key];
   if (!state.parents_seen.insert(t.from_fn).second) {
     // Duplicated trigger from a parent we already heard from.
@@ -94,6 +102,7 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
   }
   if (state.contexts.size() < parents) return;
   counters_.joins_merged.inc();
+  mark_executed(key);
   Work w;
   w.trigger = std::move(state.first);
   w.parent_contexts = std::move(state.contexts);
@@ -101,6 +110,15 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
   w.enqueued = rpc_.now();
   joins_.erase(key);
   ready_.push(std::move(w));
+}
+
+void ComputeNode::mark_executed(const JoinKey& key) {
+  if (!executed_.insert(key).second) return;
+  executed_order_.push_back(key);
+  while (executed_order_.size() > params_.executed_dedup_cap) {
+    executed_.erase(executed_order_.front());
+    executed_order_.pop_front();
+  }
 }
 
 void ComputeNode::on_abort_notice(Buffer msg, net::Address) {

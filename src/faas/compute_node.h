@@ -4,6 +4,7 @@
 // system's client library, and forwards context + results downstream.
 #pragma once
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -33,6 +34,10 @@ struct ComputeNodeParams {
   // half-assembled join state older than this is swept (the client's DAG
   // watchdog retries the whole DAG, so nothing is waiting on it).
   Duration join_gc_age = seconds(2);
+  // Capacity of the executed-(txn, fn) dedup window (FIFO eviction).  A
+  // duplicated trigger only matters within the fabric's duplication
+  // horizon, so the default is generous; tests shrink it to force races.
+  size_t executed_dedup_cap = 1 << 16;
 };
 
 class ComputeNode {
@@ -105,6 +110,15 @@ class ComputeNode {
   };
   std::unordered_map<JoinKey, JoinState, JoinKeyHash> joins_;
   void gc_stale_joins();
+  // At-most-once execution per (txn, function): a duplicated trigger for a
+  // chain function (or a full set of duplicated parents resurrecting an
+  // already-fired join) must not run the body a second time — the ghost
+  // execution re-reads at a different snapshot and races its divergent
+  // writes against the real commit.  FIFO window, same idiom as the
+  // partition's resolved-transaction dedup.
+  void mark_executed(const JoinKey& key);
+  std::unordered_set<JoinKey, JoinKeyHash> executed_;
+  std::deque<JoinKey> executed_order_;
   // Transactions known to have aborted; late triggers are dropped.
   std::unordered_set<TxnId> aborted_;
   Counters counters_;

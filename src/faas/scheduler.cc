@@ -24,6 +24,22 @@ Scheduler::Scheduler(net::Network& network, net::Address self,
 void Scheduler::on_start(Buffer msg, net::Address) {
   StartDagMsg start = decode_message<StartDagMsg>(msg);
   rpc_.recycle(std::move(msg));
+  // A repeated txn id is a fabric-duplicated kStartDag (clients never
+  // reuse ids across attempts).  Dispatching it again would launch a ghost
+  // copy of the whole DAG with freshly chosen placements, so the per-node
+  // (txn, fn) dedup on the compute nodes could not catch it: the ghost
+  // root would reopen at SI_root and re-read at a different snapshot under
+  // the same transaction id.
+  if (started_.count(start.txn_id) != 0) {
+    dup_starts_dropped_.inc();
+    return;
+  }
+  started_.insert(start.txn_id);
+  started_order_.push_back(start.txn_id);
+  while (started_order_.size() > params_.start_dedup_cap) {
+    started_.erase(started_order_.front());
+    started_order_.pop_front();
+  }
   sim::spawn(dispatch(std::move(start), rpc_.inbound_trace()));
 }
 

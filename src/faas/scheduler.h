@@ -4,6 +4,8 @@
 // provide uniform-random and round-robin placement.
 #pragma once
 
+#include <deque>
+#include <unordered_set>
 #include <vector>
 
 #include "common/rng.h"
@@ -17,6 +19,12 @@ namespace faastcc::faas {
 struct SchedulerParams {
   Duration service_time = microseconds(150);
   bool round_robin = false;  // default: uniform random placement
+  // Capacity of the dispatched-txn dedup window (FIFO eviction).  Clients
+  // use a fresh transaction id per DAG attempt, so a repeated id is always
+  // a fabric-duplicated kStartDag; dispatching it again would place a
+  // ghost copy of the DAG on independently chosen nodes, where the
+  // per-node trigger dedup cannot see it.
+  size_t start_dedup_cap = 1 << 16;
 };
 
 class Scheduler {
@@ -27,6 +35,7 @@ class Scheduler {
 
   net::Address address() const { return rpc_.address(); }
   uint64_t dags_started() const { return dags_started_.value(); }
+  uint64_t dup_starts_dropped() const { return dup_starts_dropped_.value(); }
 
  private:
   void on_start(Buffer msg, net::Address from);
@@ -39,6 +48,11 @@ class Scheduler {
   obs::Tracer* tracer_;
   size_t next_node_ = 0;
   Counter dags_started_;
+  Counter dup_starts_dropped_;
+  // At-most-once dispatch per transaction id (FIFO window, same idiom as
+  // the compute nodes' executed-(txn, fn) window).
+  std::unordered_set<TxnId> started_;
+  std::deque<TxnId> started_order_;
 };
 
 }  // namespace faastcc::faas

@@ -32,7 +32,7 @@ std::unique_ptr<client::SystemAdapter> MakeAdapter(
     case SystemKind::kFaasTcc:
       return std::make_unique<client::FaasTccAdapter>(
           *config.rpc, config.cache_address, config.tcc_topology,
-          config.faastcc, config.metrics, config.tracer);
+          config.faastcc, config.metrics, config.tracer, config.oracle);
     case SystemKind::kHydroCache:
       return std::make_unique<client::HydroAdapter>(
           *config.rpc, config.cache_address, config.ev_topology, config.rng,
@@ -57,6 +57,11 @@ Cluster::Cluster(ClusterParams params)
   // exact random streams of a build without fault injection.
   if (params_.faults.enabled()) {
     network_.set_faults(params_.faults, rng_.fork());
+  }
+  // The oracle is pure out-of-band recording (no events, no randomness),
+  // so creating it cannot perturb the run.
+  if (params_.check_consistency && params_.system == SystemKind::kFaasTcc) {
+    oracle_ = std::make_unique<check::ConsistencyOracle>();
   }
   build_storage();
   build_compute();
@@ -106,7 +111,7 @@ void Cluster::build_storage() {
       }
       tcc_partitions_.push_back(std::make_unique<storage::TccPartition>(
           network_, topo.partitions[p], static_cast<PartitionId>(p),
-          topo.partitions, tcc_params, &tracer_));
+          topo.partitions, tcc_params, &tracer_, oracle_.get()));
     }
     return;
   }
@@ -150,6 +155,7 @@ void Cluster::build_compute() {
             &tracer_));
         acfg.tcc_topology = tcc_topology();
         acfg.faastcc = params_.faastcc;
+        acfg.oracle = oracle_.get();
         break;
       }
       case SystemKind::kHydroCache: {
@@ -204,7 +210,7 @@ void Cluster::build_clients() {
     clients_.push_back(std::make_unique<workload::ClientDriver>(
         network_, kClientBase + static_cast<net::Address>(c), kSchedulerAddr,
         workload::WorkloadGen(params_.workload, rng_.fork()), cp, &metrics_,
-        &tracer_));
+        &tracer_, oracle_.get()));
   }
 }
 
@@ -215,6 +221,7 @@ void Cluster::preload() {
     for (Key k = 0; k < params_.workload.num_keys; ++k) {
       const size_t p = k % params_.partitions;
       tcc_partitions_[p]->store().install(k, value, init_ts);
+      if (oracle_ != nullptr) oracle_->on_preload(k, init_ts, value);
     }
     return;
   }
@@ -266,11 +273,16 @@ void Cluster::prewarm() {
         std::min<uint64_t>(n, params_.cache_capacity == SIZE_MAX
                                   ? n
                                   : params_.cache_capacity);
+    // Subscribe before installing the warm entry so its promise may stay
+    // open soundly.  The chaos knob reproduces the historical API misuse:
+    // open prewarm entries without a subscription backing them.
+    const bool chaos = params_.faastcc_cache.chaos_prewarm_open;
     for (Key k = 0; k < limit; ++k) {
       const size_t p = k % params_.partitions;
       const Timestamp promise = tcc_partitions_[p]->stable_time();
-      cache->prewarm(storage::VersionedValue{k, value, init_ts, promise});
-      tcc_partitions_[p]->add_subscriber(k, cache->address());
+      if (!chaos) tcc_partitions_[p]->add_subscriber(k, cache->address());
+      cache->prewarm(storage::VersionedValue{k, value, init_ts, promise},
+                     /*subscribed=*/!chaos);
     }
   }
   for (auto& cache : hydro_caches_) {

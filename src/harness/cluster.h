@@ -12,6 +12,7 @@
 #include "cache/faastcc_cache.h"
 #include "cache/hydro_cache.h"
 #include "cache/plain_cache.h"
+#include "check/oracle.h"
 #include "client/eventual_client.h"
 #include "client/faastcc_client.h"
 #include "client/hydro_client.h"
@@ -41,6 +42,7 @@ struct AdapterConfig {
   client::HydroConfig hydro;
   Metrics* metrics = nullptr;
   obs::Tracer* tracer = nullptr;
+  check::ConsistencyOracle* oracle = nullptr;  // FaaSTCC only
   // Replica-selection stream for the eventually consistent systems.  Fork
   // it from the cluster rng in the same order the adapters were previously
   // constructed, or seeds stop reproducing pre-factory runs.
@@ -92,6 +94,10 @@ struct ClusterParams {
   // run is bit-identical to a build without the observability layer).
   obs::TraceParams trace;
 
+  // Attach the consistency oracle (FaaSTCC only).  Like tracing it is
+  // zero-perturbation: the run is bit-identical with it on or off.
+  bool check_consistency = false;
+
   // Pre-warm node caches with the hottest keys before the measured phase
   // (§6.1: "cache sizes are unbounded and were pre-warmed").  Bounded
   // caches are warmed up to their capacity.
@@ -133,8 +139,11 @@ class Cluster {
   Metrics& metrics() { return metrics_; }
   obs::Tracer& tracer() { return tracer_; }
   const obs::Tracer& tracer() const { return tracer_; }
+  // nullptr unless check_consistency was set (and the system is FaaSTCC).
+  check::ConsistencyOracle* oracle() { return oracle_.get(); }
   const ClusterParams& params() const { return params_; }
   net::Address scheduler_address() const;
+  const faas::Scheduler& scheduler() const { return *scheduler_; }
 
   std::vector<std::unique_ptr<storage::TccPartition>>& tcc_partitions() {
     return tcc_partitions_;
@@ -169,6 +178,7 @@ class Cluster {
   net::Network network_;
   Metrics metrics_;
   obs::Tracer tracer_;
+  std::unique_ptr<check::ConsistencyOracle> oracle_;
   std::shared_ptr<faas::FunctionRegistry> registry_;
 
   std::vector<std::unique_ptr<storage::TccPartition>> tcc_partitions_;

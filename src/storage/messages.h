@@ -311,19 +311,26 @@ struct TccCommitResp {
 
 struct SubscribeReq {
   std::vector<Key> keys;
+  // Per-subscriber control-channel sequence number; a partition drops
+  // (un)subscribe requests older than the newest it has processed, so a
+  // duplicated/delayed retry cannot resurrect a cancelled subscription.
+  // 0 = unsequenced (the eventual store's caches don't need the ordering).
+  uint64_t seq = 0;
 
-  size_t size_hint() const { return 4 + keys.size() * 8; }
+  size_t size_hint() const { return 4 + keys.size() * 8 + 8; }
 
   template <typename W>
   void encode(W& w) const {
     w.put_u32(static_cast<uint32_t>(keys.size()));
     for (Key k : keys) w.put_u64(k);
+    w.put_u64(seq);
   }
   static SubscribeReq decode(BufReader& r) {
     SubscribeReq q;
     const uint32_t n = r.get_u32();
     q.keys.reserve(n);
     for (uint32_t i = 0; i < n; ++i) q.keys.push_back(r.get_u64());
+    q.seq = r.get_u64();
     return q;
   }
 };
@@ -356,11 +363,16 @@ struct GossipMsg {
 // not listed in `updates` to `stable_time`.
 struct PushMsg {
   PartitionId partition = 0;
+  // Per-subscriber channel sequence (first push is 1).  Pushes are one-way
+  // and best-effort; a gap tells the subscriber it may have missed the
+  // announcement of a successor version, so it must close open entries of
+  // this partition until a re-announce arrives.  0 = unsequenced.
+  uint64_t seq = 0;
   Timestamp stable_time;
   std::vector<VersionedValue> updates;
 
   size_t size_hint() const {
-    size_t n = 4 + 8 + 4;
+    size_t n = 4 + 8 + 8 + 4;
     for (const auto& vv : updates) n += vv.size_hint();
     return n;
   }
@@ -368,12 +380,14 @@ struct PushMsg {
   template <typename W>
   void encode(W& w) const {
     w.put_u32(partition);
+    w.put_u64(seq);
     put_ts(w, stable_time);
     put_vec(w, updates);
   }
   static PushMsg decode(BufReader& r) {
     PushMsg p;
     p.partition = r.get_u32();
+    p.seq = r.get_u64();
     p.stable_time = get_ts(r);
     p.updates = get_vec<VersionedValue>(r);
     return p;

@@ -155,6 +155,14 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     return out;
   };
 
+  const auto record_commit_phase = [&] {
+    if (oracle_ == nullptr) return;
+    std::vector<Key> write_keys;
+    write_keys.reserve(writes.size());
+    for (const auto& kv : writes) write_keys.push_back(kv.key);
+    oracle_->on_commit_phase(txn, std::move(write_keys));
+  };
+
   if (batches.size() == 1) {
     // Fast path: the owning partition assigns the timestamp itself.
     TccCommitReq req;
@@ -162,6 +170,7 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     req.commit_ts = Timestamp::min();
     req.dep_ts = dep_ts;
     req.writes = writes_for(batches[0]);
+    record_commit_phase();
     auto raw = co_await rpc_.call_raw_retry(batches[0].address, kTccCommit,
                                             rpc_.encode(req),
                                             commit_policy(), ctx);
@@ -170,9 +179,17 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
       co_return std::nullopt;
     }
     BufReader r(*raw);
-    TccCommitResp::decode(r);
+    const TccCommitResp resp = TccCommitResp::decode(r);
+    if (!resp.ok) {
+      // The partition refused the (retried) commit — the txn was aborted or
+      // its prepare expired there and the writes were never installed.
+      end_span(false);
+      co_return std::nullopt;
+    }
+    const Timestamp commit_ts = get_ts(r);
+    if (oracle_ != nullptr) oracle_->on_commit_ack(txn, commit_ts, dep_ts);
     end_span(true);
-    co_return get_ts(r);
+    co_return commit_ts;
   }
 
   // General path: prepare everywhere, then commit at max(prepare ts).
@@ -200,6 +217,7 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     co_return std::nullopt;
   }
 
+  record_commit_phase();
   std::vector<sim::Task<std::optional<TccCommitResp>>> commits;
   commits.reserve(batches.size());
   for (const auto& batch : batches) {
@@ -213,15 +231,18 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
   }
   auto commit_resps = co_await sim::when_all(rpc_.loop(), std::move(commits));
   for (const auto& cr : commit_resps) {
-    // Exhausted even the commit budget: the unreachable participant's
-    // prepare lease will expire and abort its half.  Report abort; see
-    // docs/simulation.md "Fault model" for the (vanishingly rare) torn
-    // outcome this trades for liveness.
-    if (!cr.has_value()) {
+    // Exhausted even the commit budget (the unreachable participant's
+    // prepare lease will expire and abort its half), or a participant
+    // refused a retried commit because it had already expired/aborted the
+    // txn without installing anything.  Report abort; see docs/simulation.md
+    // "Fault model" for the (vanishingly rare) torn outcome this trades for
+    // liveness.
+    if (!cr.has_value() || !cr->ok) {
       end_span(false);
       co_return std::nullopt;
     }
   }
+  if (oracle_ != nullptr) oracle_->on_commit_ack(txn, commit_ts, dep_ts);
   end_span(true);
   co_return commit_ts;
 }
@@ -282,6 +303,12 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     co_return std::nullopt;
   }
 
+  if (oracle_ != nullptr) {
+    std::vector<Key> write_keys;
+    write_keys.reserve(writes.size());
+    for (const auto& kv : writes) write_keys.push_back(kv.key);
+    oracle_->on_commit_phase(txn, std::move(write_keys));
+  }
   std::vector<sim::Task<std::optional<TccCommitResp>>> commits;
   commits.reserve(batches.size());
   for (const auto& batch : batches) {
@@ -295,17 +322,19 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
   }
   auto commit_resps = co_await sim::when_all(rpc_.loop(), std::move(commits));
   for (const auto& cr : commit_resps) {
-    if (!cr.has_value()) {
+    if (!cr.has_value() || !cr->ok) {
       end_span(false);
       co_return std::nullopt;
     }
   }
+  if (oracle_ != nullptr) oracle_->on_commit_ack(txn, commit_ts, dep_ts);
   end_span(true);
   co_return commit_ts;
 }
 
-sim::Task<void> TccStorageClient::subscribe_impl(std::vector<Key> keys,
-                                                 TccMethod method) {
+sim::Task<bool> TccStorageClient::subscribe_impl(std::vector<Key> keys,
+                                                 TccMethod method,
+                                                 uint64_t seq) {
   auto batches = group_by_partition(
       keys.size(), [&](size_t i) { return topology_.address_of(keys[i]); });
   std::vector<sim::Task<std::optional<Buffer>>> calls;
@@ -313,19 +342,29 @@ sim::Task<void> TccStorageClient::subscribe_impl(std::vector<Key> keys,
   for (const auto& batch : batches) {
     SubscribeReq req;
     for (size_t idx : batch.input_index) req.keys.push_back(keys[idx]);
+    req.seq = seq;
     calls.push_back(
         rpc_.call_raw_retry(batch.address, method, rpc_.encode(req)));
   }
-  // Best effort: a missed (un)subscribe only costs push efficiency.
-  co_await sim::when_all(rpc_.loop(), std::move(calls));
+  // Best effort for liveness: a missed (un)subscribe only costs push
+  // efficiency.  But the caller must know — an unconfirmed subscription
+  // delivers no pushes, so open-entry promises must not lean on it.
+  auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
+  bool all_acked = true;
+  for (const auto& r : responses) {
+    if (!r.has_value()) all_acked = false;
+  }
+  co_return all_acked;
 }
 
-sim::Task<void> TccStorageClient::subscribe(std::vector<Key> keys) {
-  co_await subscribe_impl(std::move(keys), kTccSubscribe);
+sim::Task<bool> TccStorageClient::subscribe(std::vector<Key> keys,
+                                            uint64_t seq) {
+  co_return co_await subscribe_impl(std::move(keys), kTccSubscribe, seq);
 }
 
-sim::Task<void> TccStorageClient::unsubscribe(std::vector<Key> keys) {
-  co_await subscribe_impl(std::move(keys), kTccUnsubscribe);
+sim::Task<void> TccStorageClient::unsubscribe(std::vector<Key> keys,
+                                              uint64_t seq) {
+  co_await subscribe_impl(std::move(keys), kTccUnsubscribe, seq);
 }
 
 namespace {

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "check/oracle.h"
 #include "common/rng.h"
 #include "net/rpc.h"
 #include "obs/trace.h"
@@ -33,8 +34,10 @@ struct TccTopology {
 class TccStorageClient {
  public:
   TccStorageClient(net::RpcNode& rpc, TccTopology topology,
-                   obs::Tracer* tracer = nullptr)
-      : rpc_(rpc), topology_(std::move(topology)), tracer_(tracer) {}
+                   obs::Tracer* tracer = nullptr,
+                   check::ConsistencyOracle* oracle = nullptr)
+      : rpc_(rpc), topology_(std::move(topology)), tracer_(tracer),
+        oracle_(oracle) {}
 
   struct ReadAccounting {
     size_t rpcs = 0;            // individual partition requests
@@ -71,17 +74,23 @@ class TccStorageClient {
                                                 Timestamp snapshot_ts,
                                                 obs::TraceContext trace = {});
 
-  sim::Task<void> subscribe(std::vector<Key> keys);
-  sim::Task<void> unsubscribe(std::vector<Key> keys);
+  // (Un)subscribes at the owning partitions.  `seq` orders the caller's
+  // control stream per partition (see SubscribeReq::seq); 0 = unsequenced.
+  // subscribe() returns true only when every partition acknowledged — a
+  // subscription is not live (and promises must not rely on it) otherwise.
+  sim::Task<bool> subscribe(std::vector<Key> keys, uint64_t seq = 0);
+  sim::Task<void> unsubscribe(std::vector<Key> keys, uint64_t seq = 0);
 
   const TccTopology& topology() const { return topology_; }
 
  private:
-  sim::Task<void> subscribe_impl(std::vector<Key> keys, TccMethod method);
+  sim::Task<bool> subscribe_impl(std::vector<Key> keys, TccMethod method,
+                                 uint64_t seq);
 
   net::RpcNode& rpc_;
   TccTopology topology_;
   obs::Tracer* tracer_ = nullptr;
+  check::ConsistencyOracle* oracle_ = nullptr;
 };
 
 struct EvTopology {

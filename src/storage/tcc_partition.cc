@@ -11,14 +11,16 @@ namespace faastcc::storage {
 TccPartition::TccPartition(net::Network& network, net::Address self,
                            PartitionId id,
                            std::vector<net::Address> all_partitions,
-                           TccPartitionParams params, obs::Tracer* tracer)
+                           TccPartitionParams params, obs::Tracer* tracer,
+                           check::ConsistencyOracle* oracle)
     : rpc_(network, self),
       id_(id),
       all_partitions_(std::move(all_partitions)),
       params_(params),
       tracer_(tracer),
       clock_(id),
-      stabilizer_(id, all_partitions_.size()) {
+      stabilizer_(id, all_partitions_.size()),
+      oracle_(oracle) {
   rpc_.handle(kTccRead, [this](Buffer b, net::Address from) {
     return on_read(std::move(b), from);
   });
@@ -178,8 +180,20 @@ void TccPartition::resolve_pending(TxnId txn) {
 }
 
 void TccPartition::remember_resolved(TxnId txn, Timestamp ts) {
-  if (resolved_.size() >= kResolvedCap) resolved_.clear();
-  resolved_[txn] = ts;
+  auto [it, inserted] = resolved_.try_emplace(txn, ts);
+  if (!inserted) {
+    it->second = ts;
+    return;
+  }
+  resolved_order_.push_back(txn);
+  // FIFO eviction of the oldest entries only: a wholesale clear would also
+  // forget *recent* transactions, and a commit retry landing just after
+  // the clear would re-install its writes — on the fast path minting a
+  // second version at a fresh timestamp.
+  while (resolved_order_.size() > params_.resolved_cap) {
+    resolved_.erase(resolved_order_.front());
+    resolved_order_.pop_front();
+  }
 }
 
 void TccPartition::expire_stale_prepares() {
@@ -247,7 +261,22 @@ sim::Task<Buffer> TccPartition::on_abort(Buffer req, net::Address) {
 
 void TccPartition::install_writes(const TccCommitReq& req) {
   for (const auto& kv : req.writes) {
+    if (params_.chaos_drop_install) {
+      // Chaos: ack without installing (oracle must flag lost-write).
+      continue;
+    }
     store_.install(kv.key, kv.value, req.commit_ts);
+    if (oracle_ != nullptr) {
+      oracle_->on_install(id_, kv.key, req.commit_ts, req.txn, kv.value);
+    }
+    if (params_.chaos_double_install) {
+      // Chaos: mint a second version (oracle must flag duplicate-install).
+      const Timestamp twin = req.commit_ts.next();
+      store_.install(kv.key, kv.value, twin);
+      if (oracle_ != nullptr) {
+        oracle_->on_install(id_, kv.key, twin, req.txn, kv.value);
+      }
+    }
     if (subscribers_.count(kv.key) != 0) dirty_.insert(kv.key);
   }
   counters_.commits.inc();
@@ -264,10 +293,14 @@ sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
     // Duplicated delivery or timed-out retry of a commit already applied
     // here (or of a transaction expired/aborted meanwhile).  Answer with
     // the recorded timestamp; re-installing would mint a second version on
-    // the fast path.
+    // the fast path.  A min() record means the txn was aborted or its
+    // prepare expired *without* installing anything — acking such a retry
+    // would report commit for writes this partition dropped, so it must be
+    // refused (the coordinator then reports the abort to the client).
     counters_.duplicate_commits.inc();
     TccCommitResp dup_resp;
-    dup_resp.ok = true;
+    dup_resp.ok =
+        rc->second != Timestamp::min() || params_.chaos_ack_expired_commit;
     BufWriter dup_w;
     dup_resp.encode(dup_w);
     put_ts(dup_w, rc->second == Timestamp::min() ? q.commit_ts : rc->second);
@@ -276,8 +309,14 @@ sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
   if (q.commit_ts == Timestamp::min()) {
     // Single-partition fast path: no prepare round happened; the partition
     // assigns a commit timestamp above the transaction's causal past.
-    clock_.update(q.dep_ts, physical_now_us());
-    q.commit_ts = clock_.tick(physical_now_us());
+    if (params_.chaos_ignore_dep) {
+      // Chaos: skip the causal clock update and assign a timestamp below
+      // the transaction's reads (oracle must flag causal-order).
+      q.commit_ts = Timestamp(0, ++chaos_ticks_ & 0xfff, id_);
+    } else {
+      clock_.update(q.dep_ts, physical_now_us());
+      q.commit_ts = clock_.tick(physical_now_us());
+    }
   } else {
     clock_.update(q.commit_ts, physical_now_us());
     release_locks(q.txn);
@@ -295,10 +334,23 @@ sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
   co_return w.take();
 }
 
+bool TccPartition::ctl_stale(uint64_t seq, net::Address from) {
+  // Sequenced control requests (subscribe/unsubscribe) from one subscriber
+  // must apply in issue order: a duplicated or delayed retry of an older
+  // request arriving after a newer one would resurrect a cancelled
+  // subscription (or cancel a live one).  seq 0 = unsequenced, always apply.
+  if (seq == 0) return false;
+  auto& newest = ctl_seq_seen_[from];
+  if (seq <= newest) return true;
+  newest = seq;
+  return false;
+}
+
 sim::Task<Buffer> TccPartition::on_subscribe(Buffer req, net::Address from) {
   auto q = decode_message<SubscribeReq>(req);
   rpc_.recycle(std::move(req));
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  if (ctl_stale(q.seq, from)) co_return Buffer{};
   for (Key k : q.keys) {
     add_subscriber(k, from);
     // Re-announce the key's latest version on the next push: a successor
@@ -326,6 +378,7 @@ sim::Task<Buffer> TccPartition::on_unsubscribe(Buffer req, net::Address from) {
   auto q = decode_message<SubscribeReq>(req);
   rpc_.recycle(std::move(req));
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  if (ctl_stale(q.seq, from)) co_return Buffer{};
   for (Key k : q.keys) drop_subscriber(k, from);
   co_return Buffer{};
 }
@@ -378,6 +431,9 @@ sim::Task<void> TccPartition::push_loop() {
     for (net::Address sub : subscriber_addresses_) {
       auto& batch = batches[sub];  // creates empty batches as needed
       batch.partition = id_;
+      // Channel sequence, starting at 1 and persisting across resubscribes:
+      // a gap tells the subscriber a (possibly announcing) push was lost.
+      batch.seq = ++push_seq_out_[sub];
       batch.stable_time = stable;
       counters_.pushes.inc();
       rpc_.send(sub, kTccPush, batch);

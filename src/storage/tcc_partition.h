@@ -13,12 +13,14 @@
 //     every `push_period` (the paper's 50 ms cache refresh period).
 #pragma once
 
+#include <deque>
 #include <map>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "check/oracle.h"
 #include "common/hlc.h"
 #include "common/rng.h"
 #include "common/stats.h"
@@ -43,13 +45,30 @@ struct TccPartitionParams {
   // Must comfortably exceed the coordinator's commit retry horizon; see
   // docs/simulation.md "Fault model".  0 disables expiry.
   Duration prepare_ttl = seconds(5);
+  // Capacity of the resolved-transaction dedup table (FIFO eviction).
+  // Entries only matter within the coordinator's retry horizon, so the
+  // default is generous; tests shrink it to force eviction races.
+  size_t resolved_cap = 1 << 16;
+  // Chaos knobs (tests/fuzzer only): each re-enables one historical bug so
+  // the consistency oracle can demonstrate it catches the violation.
+  // Answer ok=true for a commit retry of an expired/aborted txn without
+  // installing anything (the lost-write-ack bug).
+  bool chaos_ack_expired_commit = false;
+  // Acknowledge commits without installing the writes at all.
+  bool chaos_drop_install = false;
+  // Install every committed write twice, the second at ts.next().
+  bool chaos_double_install = false;
+  // Fast path ignores dep_ts and assigns a tiny commit timestamp, breaking
+  // causal order (commit ts below read/dep timestamps).
+  bool chaos_ignore_dep = false;
 };
 
 class TccPartition {
  public:
   TccPartition(net::Network& network, net::Address self, PartitionId id,
                std::vector<net::Address> all_partitions,
-               TccPartitionParams params, obs::Tracer* tracer = nullptr);
+               TccPartitionParams params, obs::Tracer* tracer = nullptr,
+               check::ConsistencyOracle* oracle = nullptr);
 
   // Spawns the gossip, push and GC background loops.
   void start();
@@ -135,10 +154,11 @@ class TccPartition {
   // Recently committed/aborted transactions (aborts record Timestamp::min()).
   // Duplicated or retried prepares/commits of a resolved transaction are
   // answered from here instead of re-pinning the safe time or re-installing
-  // versions.  Bounded: cleared wholesale past kResolvedCap — entries only
-  // matter within the coordinator's retry horizon (well under a second).
-  static constexpr size_t kResolvedCap = 1 << 16;
+  // versions.  Bounded to params_.resolved_cap by FIFO eviction of the
+  // oldest entries — entries only matter within the coordinator's retry
+  // horizon (well under a second), so oldest-first is the right order.
   std::unordered_map<TxnId, Timestamp> resolved_;
+  std::deque<TxnId> resolved_order_;
   void remember_resolved(TxnId txn, Timestamp ts);
   void expire_stale_prepares();
   // Snapshot Isolation: written keys locked by prepared-but-unresolved
@@ -152,6 +172,14 @@ class TccPartition {
   std::unordered_map<net::Address, size_t> subscriber_refs_;
   std::set<net::Address> subscriber_addresses_;
   std::unordered_set<Key> dirty_;
+  // Per-subscriber push-channel sequence (first push carries seq 1) and the
+  // newest control-channel (subscribe/unsubscribe) sequence processed per
+  // subscriber; stale control retries are dropped.
+  std::unordered_map<net::Address, uint64_t> push_seq_out_;
+  std::unordered_map<net::Address, uint64_t> ctl_seq_seen_;
+  bool ctl_stale(uint64_t seq, net::Address from);
+  check::ConsistencyOracle* oracle_ = nullptr;
+  uint64_t chaos_ticks_ = 0;  // counter for chaos_ignore_dep timestamps
   Counters counters_;
 };
 

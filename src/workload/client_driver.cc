@@ -1,5 +1,6 @@
 #include "workload/client_driver.h"
 
+#include "client/faastcc_client.h"
 #include "common/log.h"
 #include "sim/future.h"
 
@@ -8,13 +9,15 @@ namespace faastcc::workload {
 ClientDriver::ClientDriver(net::Network& network, net::Address self,
                            net::Address scheduler, WorkloadGen workload,
                            ClientParams params, Metrics* metrics,
-                           obs::Tracer* tracer)
+                           obs::Tracer* tracer,
+                           check::ConsistencyOracle* oracle)
     : rpc_(network, self),
       scheduler_(scheduler),
       workload_(std::move(workload)),
       params_(params),
       metrics_(metrics),
       tracer_(tracer),
+      oracle_(oracle),
       next_txn_((params.client_id + 1) << 32) {
   rpc_.handle_oneway(faas::kDagDone, [this](Buffer b, net::Address from) {
     on_done(std::move(b), from);
@@ -102,6 +105,12 @@ sim::Task<void> ClientDriver::run() {
       const double latency_ms = to_millis(rpc_.now() - t0);
       if (done.committed) {
         committed_.inc();
+        if (oracle_ != nullptr) {
+          // Oracle runs are FaaSTCC-only, so the session blob is the
+          // FaaSTCC encoding (the previous commit's timestamp).
+          oracle_->on_session_commit(
+              params_.client_id, client::decode_faastcc_session(done.session));
+        }
         session_ = std::move(done.session);
         if (metrics_ != nullptr) {
           metrics_->dag_commits.inc();

@@ -5,6 +5,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "check/oracle.h"
 #include "common/metrics.h"
 #include "faas/messages.h"
 #include "net/rpc.h"
@@ -28,10 +29,13 @@ struct ClientParams {
 
 class ClientDriver {
  public:
+  // `oracle` (FaaSTCC runs only) records the per-client session timestamp
+  // after every committed DAG for the session-monotonicity check.
   ClientDriver(net::Network& network, net::Address self,
                net::Address scheduler, WorkloadGen workload,
                ClientParams params, Metrics* metrics,
-               obs::Tracer* tracer = nullptr);
+               obs::Tracer* tracer = nullptr,
+               check::ConsistencyOracle* oracle = nullptr);
 
   // The closed loop; spawn once.  Sets done() when finished.
   sim::Task<void> run();
@@ -54,6 +58,7 @@ class ClientDriver {
   ClientParams params_;
   Metrics* metrics_;
   obs::Tracer* tracer_;
+  check::ConsistencyOracle* oracle_ = nullptr;
   Buffer session_;
   TxnId next_txn_;
   std::unordered_map<TxnId, sim::Promise<faas::DagDoneMsg>> pending_;

@@ -382,6 +382,103 @@ TEST_F(FaasTccCacheTest, DisabledCacheNeverStores) {
   });
 }
 
+TEST_F(FaasTccCacheTest, PrewarmWithoutSubscriptionStaysClosed) {
+  // A pre-warmed entry with no backing subscription must keep its promise
+  // frozen at the install-time stable time: the cache will never hear of
+  // later versions, so extending the promise with pushed stable times
+  // (which only other keys' subscriptions keep flowing) would be unsound.
+  run([&]() -> sim::Task<void> {
+    const Timestamp t1 = co_await commit(2, "warm", Timestamp::min());
+    // Organic subscription to another key of the same partition keeps
+    // stable-time pushes flowing to this cache.
+    co_await commit(4, "x", Timestamp::min());
+    co_await sim::sleep_for(loop_, milliseconds(10));
+    std::vector<Key> k4(1, Key{4});
+    auto sub_resp = co_await cache_read(k4, SnapshotInterval::full());
+    EXPECT_FALSE(sub_resp.abort);
+    cache_->prewarm(storage::VersionedValue{2, "warm", t1,
+                                            partitions_[0]->stable_time()});
+    EXPECT_NE(cache_->peek(2), nullptr);
+    EXPECT_FALSE(cache_->peek(2)->open);
+    const Timestamp frozen = cache_->peek(2)->promise;
+    // A new version of key 2 the cache never hears about.
+    const Timestamp t2 = co_await commit(2, "new", t1);
+    co_await sim::sleep_for(loop_, milliseconds(100));
+    EXPECT_GT(cache_->counters().pushes_applied.value(), 0u);
+    std::vector<Key> k2(1, Key{2});
+    auto resp = co_await cache_read(k2, SnapshotInterval::full());
+    EXPECT_EQ(resp.entries[0].ts, t1);
+    EXPECT_EQ(resp.entries[0].promise, frozen);
+    EXPECT_LT(resp.entries[0].promise, t2) << "promise covers unseen version";
+  });
+}
+
+TEST_F(FaasTccCacheTest, SubscribedPrewarmOpensEntry) {
+  run([&]() -> sim::Task<void> {
+    const Timestamp t1 = co_await commit(2, "warm", Timestamp::min());
+    co_await sim::sleep_for(loop_, milliseconds(10));
+    partitions_[0]->add_subscriber(2, cache_->address());
+    cache_->prewarm(storage::VersionedValue{2, "warm", t1,
+                                            partitions_[0]->stable_time()},
+                    /*subscribed=*/true);
+    EXPECT_NE(cache_->peek(2), nullptr);
+    EXPECT_TRUE(cache_->peek(2)->open);
+  });
+}
+
+TEST_F(FaasTccCacheTest, ChaosOpenPrewarmExtendsPromiseOverUnseenVersion) {
+  // The historical bug, reintroduced via the chaos knob: pre-warm entries
+  // open with no subscription.  Pushes earned by other keys extend the
+  // stale entry's promise past a version the cache never heard about.
+  CacheParams cp;
+  cp.chaos_prewarm_open = true;
+  cache_ = std::make_unique<FaasTccCache>(
+      net_, 201, storage::TccTopology{{100, 101}}, cp, &metrics_);
+  run([&]() -> sim::Task<void> {
+    const Timestamp t1 = co_await commit(2, "warm", Timestamp::min());
+    co_await commit(4, "x", Timestamp::min());
+    co_await sim::sleep_for(loop_, milliseconds(10));
+    // Organic subscription to key 4 keeps stable-time pushes flowing.
+    CacheReadReq sub_req;
+    sub_req.interval = SnapshotInterval::full();
+    sub_req.keys.push_back(4);
+    auto sub_resp =
+        co_await client_rpc_.call<CacheReadResp>(201, kCacheRead, sub_req);
+    EXPECT_FALSE(sub_resp.abort);
+    cache_->prewarm(storage::VersionedValue{2, "warm", t1,
+                                            partitions_[0]->stable_time()});
+    EXPECT_TRUE(cache_->peek(2)->open);  // open, yet nobody subscribed it
+    const Timestamp t2 = co_await commit(2, "new", t1);
+    // Wait until gossip stabilizes past t2 and pushed stable times (earned
+    // by key 4's subscription alone) overtake it.
+    co_await sim::sleep_for(loop_, milliseconds(200));
+    CacheReadReq req;
+    req.interval = SnapshotInterval::full();
+    req.keys.push_back(2);
+    auto resp = co_await client_rpc_.call<CacheReadResp>(201, kCacheRead, req);
+    EXPECT_EQ(resp.entries[0].ts, t1);
+    EXPECT_GE(resp.entries[0].promise, t2)
+        << "expected the unsound promise the chaos knob reintroduces";
+  });
+}
+
+TEST_F(FaasTccCacheTest, NoPromiseModeNarrowsHighToVersionTs) {
+  // Fig. 3 ablation fidelity: with promises disabled the interval must
+  // narrow with the bare version timestamp on cache hits too — narrowing
+  // with the full promise would leak promise benefit into the baseline.
+  run([&]() -> sim::Task<void> {
+    const Timestamp t1 = co_await commit(1, "v1", Timestamp::min());
+    co_await sim::sleep_for(loop_, milliseconds(10));
+    std::vector<Key> k1(1, Key{1});
+    co_await cache_read(k1, SnapshotInterval::full());  // populate
+    auto resp =
+        co_await cache_read(k1, SnapshotInterval::full(), /*use_promises=*/false);
+    EXPECT_TRUE(resp.from_cache[0]);
+    EXPECT_EQ(resp.interval.low, t1);
+    EXPECT_EQ(resp.interval.high, t1);
+  });
+}
+
 TEST_F(FaasTccCacheTest, BatchKeepsEntriesMutuallyConsistent) {
   run([&]() -> sim::Task<void> {
     co_await commit(1, "a", Timestamp::min());

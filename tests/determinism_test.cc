@@ -42,9 +42,7 @@ struct RunSnapshot {
   std::string trace;
 };
 
-RunSnapshot snapshot_run(SystemKind system) {
-  Cluster cluster(params_for(system));
-  const RunResult r = cluster.run();
+RunSnapshot snapshot_of(Cluster& cluster, const RunResult& r) {
   RunSnapshot s;
   s.committed = r.committed;
   s.aborted_attempts = r.aborted_attempts;
@@ -59,6 +57,16 @@ RunSnapshot snapshot_run(SystemKind system) {
   cluster.tracer().export_chrome_trace(os);
   s.trace = os.str();
   return s;
+}
+
+RunSnapshot snapshot_run(const ClusterParams& params) {
+  Cluster cluster(params);
+  const RunResult r = cluster.run();
+  return snapshot_of(cluster, r);
+}
+
+RunSnapshot snapshot_run(SystemKind system) {
+  return snapshot_run(params_for(system));
 }
 
 TEST(Determinism, SameSeedRunsAreByteIdenticalForEverySystem) {
@@ -78,6 +86,34 @@ TEST(Determinism, SameSeedRunsAreByteIdenticalForEverySystem) {
     ASSERT_FALSE(a.trace.empty());
     EXPECT_EQ(a.trace, b.trace);
   }
+}
+
+// The consistency oracle is pure out-of-band recording, like the tracer:
+// attaching it must not move a single event.  A run with the oracle on is
+// byte-identical to the same seed with it off — and checks clean.
+TEST(Determinism, OracleOnOffRunsAreByteIdentical) {
+  ClusterParams p = params_for(SystemKind::kFaasTcc);
+  const RunSnapshot off = snapshot_run(p);
+  p.check_consistency = true;
+  Cluster cluster(p);
+  const RunSnapshot on = snapshot_of(cluster, cluster.run());
+  ASSERT_GT(off.committed, 0u);
+  EXPECT_EQ(off.committed, on.committed);
+  EXPECT_EQ(off.aborted_attempts, on.aborted_attempts);
+  EXPECT_EQ(off.sim_events, on.sim_events);
+  EXPECT_EQ(off.cache_entries, on.cache_entries);
+  EXPECT_EQ(off.cache_bytes, on.cache_bytes);
+  EXPECT_EQ(off.counters, on.counters);
+  EXPECT_EQ(off.histograms, on.histograms);
+  ASSERT_FALSE(off.trace.empty());
+  EXPECT_EQ(off.trace, on.trace);
+
+  check::ConsistencyOracle* oracle = cluster.oracle();
+  ASSERT_NE(oracle, nullptr);
+  const auto vs = oracle->check();
+  EXPECT_TRUE(vs.empty()) << oracle->report(vs);
+  EXPECT_GT(oracle->installs_recorded(), 0u);
+  EXPECT_GT(oracle->reads_recorded(), 0u);
 }
 
 }  // namespace

@@ -170,6 +170,7 @@ TEST(MessageRoundTrip, GossipAndPush) {
 
   storage::PushMsg p;
   p.partition = 3;
+  p.seq = 41;
   p.stable_time = random_ts(rng);
   storage::VersionedValue v;
   v.key = 9;
@@ -178,6 +179,7 @@ TEST(MessageRoundTrip, GossipAndPush) {
   check_wire_size(p);
   const auto dp = decode_message<storage::PushMsg>(encode_message(p));
   EXPECT_EQ(dp.partition, 3u);
+  EXPECT_EQ(dp.seq, 41u);
   EXPECT_EQ(dp.stable_time, p.stable_time);
   ASSERT_EQ(dp.updates.size(), 1u);
   EXPECT_EQ(dp.updates[0].value, "abc");
@@ -341,7 +343,10 @@ TEST(CountedSize, RemainingMessageTypes) {
 
   storage::SubscribeReq sub;
   sub.keys = {1, 2, 3, 4};
+  sub.seq = 17;
   check_wire_size(sub);
+  EXPECT_EQ(decode_message<storage::SubscribeReq>(encode_message(sub)).seq,
+            17u);
 
   storage::EvItem item;
   item.key = 5;

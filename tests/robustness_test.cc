@@ -5,6 +5,7 @@
 // must never observe a torn pair.
 #include <gtest/gtest.h>
 
+#include "check/oracle.h"
 #include "harness/cluster.h"
 
 namespace faastcc::harness {
@@ -271,6 +272,165 @@ INSTANTIATE_TEST_SUITE_P(Systems, FaultSweep,
                          ::testing::Values(SystemKind::kFaasTcc,
                                            SystemKind::kHydroCache,
                                            SystemKind::kCloudburst));
+
+// ---------------------------------------------------------------------------
+// Commit-retry correctness at a single partition: regressions for the
+// lost-write ack and dedup-amnesia bugs, with the oracle cross-checking
+// the pre-fix behavior via its chaos knob.
+// ---------------------------------------------------------------------------
+
+template <typename F>
+void run_sim(sim::EventLoop& loop, F&& body) {
+  bool done = false;
+  sim::spawn([](F f, bool& flag) -> sim::Task<void> {
+    co_await f();
+    flag = true;
+  }(std::forward<F>(body), done));
+  const SimTime deadline = loop.now() + seconds(60);
+  while (!done && loop.now() < deadline) {
+    loop.run_until(loop.now() + milliseconds(2));
+  }
+  ASSERT_TRUE(done);
+}
+
+TEST(CommitRetry, ExpiredPrepareRefusesRetriedCommit) {
+  // A commit retry arriving after the prepare lease expired must be
+  // refused: the partition aborted the txn and installed nothing, so an
+  // ok=true reply would report commit for writes that were dropped.
+  sim::EventLoop loop;
+  net::Network net(loop, net::NetworkParams{}, Rng(7));
+  net::RpcNode rpc(net, 50);
+  storage::TccTopology topo;
+  topo.partitions = {100};
+  storage::TccPartitionParams params;
+  params.gossip_period = milliseconds(5);
+  params.prepare_ttl = milliseconds(20);
+  storage::TccPartition part(net, 100, 0, topo.partitions, params);
+  part.start();
+
+  run_sim(loop, [&]() -> sim::Task<void> {
+    storage::TccPrepareReq prep;
+    prep.txn = 9;
+    prep.dep_ts = Timestamp::min();
+    prep.write_keys.push_back(1);
+    auto presp = co_await rpc.call<storage::TccPrepareResp>(
+        100, storage::kTccPrepare, prep);
+    EXPECT_TRUE(presp.ok);
+    // Outlive the prepare lease; the expiry sweep aborts the txn.
+    co_await sim::sleep_for(loop, milliseconds(60));
+    EXPECT_GT(part.counters().prepares_expired.value(), 0u);
+    storage::TccCommitReq commit;
+    commit.txn = 9;
+    commit.commit_ts = presp.prepare_ts;
+    commit.dep_ts = Timestamp::min();
+    commit.writes.push_back(storage::KeyValue{1, "late"});
+    Buffer raw =
+        co_await rpc.call_raw(100, storage::kTccCommit, rpc.encode(commit));
+    BufReader r(raw);
+    const auto resp = storage::TccCommitResp::decode(r);
+    EXPECT_FALSE(resp.ok) << "partition acked a commit it dropped";
+    EXPECT_EQ(part.store().num_versions(), 0u);
+  });
+}
+
+TEST(CommitRetry, OracleCatchesAckedExpiredCommit) {
+  // Pre-fix behavior, reintroduced via the chaos knob: the partition acks
+  // the retried commit of an expired prepare while installing nothing.  A
+  // coordinator trusting that ack reports commit to the client — the
+  // oracle must flag the acked write as lost.
+  sim::EventLoop loop;
+  net::Network net(loop, net::NetworkParams{}, Rng(7));
+  net::RpcNode rpc(net, 50);
+  storage::TccTopology topo;
+  topo.partitions = {100};
+  storage::TccPartitionParams params;
+  params.gossip_period = milliseconds(5);
+  params.prepare_ttl = milliseconds(20);
+  params.chaos_ack_expired_commit = true;
+  check::ConsistencyOracle oracle;
+  storage::TccPartition part(net, 100, 0, topo.partitions, params, nullptr,
+                             &oracle);
+  part.start();
+
+  run_sim(loop, [&]() -> sim::Task<void> {
+    storage::TccPrepareReq prep;
+    prep.txn = 9;
+    prep.dep_ts = Timestamp::min();
+    prep.write_keys.push_back(1);
+    auto presp = co_await rpc.call<storage::TccPrepareResp>(
+        100, storage::kTccPrepare, prep);
+    EXPECT_TRUE(presp.ok);
+    co_await sim::sleep_for(loop, milliseconds(60));
+    storage::TccCommitReq commit;
+    commit.txn = 9;
+    commit.commit_ts = presp.prepare_ts;
+    commit.dep_ts = Timestamp::min();
+    commit.writes.push_back(storage::KeyValue{1, "late"});
+    oracle.on_commit_phase(9, {1});
+    Buffer raw =
+        co_await rpc.call_raw(100, storage::kTccCommit, rpc.encode(commit));
+    BufReader r(raw);
+    const auto resp = storage::TccCommitResp::decode(r);
+    EXPECT_TRUE(resp.ok);  // the bug: acked without installing
+    EXPECT_EQ(part.store().num_versions(), 0u);
+    oracle.on_commit_ack(9, presp.prepare_ts, Timestamp::min());
+  });
+  const auto vs = oracle.check();
+  bool lost = false;
+  for (const auto& v : vs) {
+    if (v.kind == check::Violation::Kind::kLostWrite) lost = true;
+  }
+  EXPECT_TRUE(lost) << "oracle missed the lost-write ack";
+}
+
+TEST(CommitRetry, DedupWindowEvictsFifoNotWholesale) {
+  // resolved_cap = 2: three fast-path commits overflow the window by one.
+  // A replayed commit of the *recent* txn 2 must be answered from the
+  // window with its original timestamp — not re-executed.  The historic
+  // wholesale clear() at the cap forgot every resolution, so a replay of
+  // a just-committed fast-path txn minted a second version at a fresh
+  // timestamp.
+  sim::EventLoop loop;
+  net::Network net(loop, net::NetworkParams{}, Rng(7));
+  net::RpcNode rpc(net, 50);
+  storage::TccTopology topo;
+  topo.partitions = {100};
+  storage::TccPartitionParams params;
+  params.resolved_cap = 2;
+  storage::TccPartition part(net, 100, 0, topo.partitions, params);
+  storage::TccStorageClient client(rpc, topo);
+  part.start();
+
+  run_sim(loop, [&]() -> sim::Task<void> {
+    auto commit_one = [&](TxnId txn,
+                          const char* v) -> sim::Task<Timestamp> {
+      std::vector<storage::KeyValue> writes;
+      writes.push_back(storage::KeyValue{1, v});
+      co_return *co_await client.commit(txn, std::move(writes),
+                                        Timestamp::min());
+    };
+    co_await commit_one(1, "a");
+    const Timestamp t2 = co_await commit_one(2, "b");
+    co_await commit_one(3, "c");
+    const size_t versions = part.store().num_versions();
+    const uint64_t dups = part.counters().duplicate_commits.value();
+
+    storage::TccCommitReq replay;
+    replay.txn = 2;
+    replay.commit_ts = Timestamp::min();  // fast-path retry, ts unassigned
+    replay.dep_ts = Timestamp::min();
+    replay.writes.push_back(storage::KeyValue{1, "b"});
+    Buffer raw =
+        co_await rpc.call_raw(100, storage::kTccCommit, rpc.encode(replay));
+    BufReader r(raw);
+    const auto resp = storage::TccCommitResp::decode(r);
+    EXPECT_TRUE(resp.ok);
+    EXPECT_EQ(Timestamp(r.get_u64()), t2) << "replay re-assigned a timestamp";
+    EXPECT_EQ(part.store().num_versions(), versions)
+        << "replayed commit minted a second version";
+    EXPECT_EQ(part.counters().duplicate_commits.value(), dups + 1);
+  });
+}
 
 }  // namespace
 }  // namespace faastcc::harness

@@ -335,5 +335,188 @@ TEST(CausalOrder, CommitExceedsReadSnapshot) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Consistency oracle on live clusters: a clean run is violation-free, and
+// every chaos knob that reintroduces a historical bug is caught as the
+// matching invariant violation.
+// ---------------------------------------------------------------------------
+
+using check::Violation;
+
+bool has_violation(const std::vector<Violation>& vs, Violation::Kind kind) {
+  for (const auto& v : vs) {
+    if (v.kind == kind) return true;
+  }
+  return false;
+}
+
+ClusterParams oracle_params(uint64_t seed) {
+  ClusterParams p = property_params(seed, 1.0);
+  p.check_consistency = true;
+  return p;
+}
+
+TEST(ChaosOracle, CleanRunHasNoViolations) {
+  Cluster cluster(oracle_params(21));
+  cluster.run();
+  check::ConsistencyOracle* oracle = cluster.oracle();
+  ASSERT_NE(oracle, nullptr);
+  const auto vs = oracle->check();
+  EXPECT_TRUE(vs.empty()) << oracle->report(vs);
+  EXPECT_GT(oracle->installs_recorded(), 0u);
+  EXPECT_GT(oracle->reads_recorded(), 0u);
+  EXPECT_GT(oracle->commits_recorded(), 0u);
+}
+
+TEST(ChaosOracle, DroppedInstallIsCaughtAsLostWrite) {
+  ClusterParams p = oracle_params(22);
+  p.tcc.chaos_drop_install = true;
+  Cluster cluster(p);
+  cluster.run();
+  EXPECT_TRUE(has_violation(cluster.oracle()->check(),
+                            Violation::Kind::kLostWrite));
+}
+
+TEST(ChaosOracle, DoubleInstallIsCaughtAsDuplicate) {
+  ClusterParams p = oracle_params(23);
+  p.tcc.chaos_double_install = true;
+  Cluster cluster(p);
+  cluster.run();
+  EXPECT_TRUE(has_violation(cluster.oracle()->check(),
+                            Violation::Kind::kDuplicateInstall));
+}
+
+TEST(ChaosOracle, IgnoredDependencyIsCaughtAsCausalOrder) {
+  ClusterParams p = oracle_params(24);
+  p.tcc.chaos_ignore_dep = true;
+  Cluster cluster(p);
+  cluster.run();
+  EXPECT_TRUE(has_violation(cluster.oracle()->check(),
+                            Violation::Kind::kCausalOrder));
+}
+
+TEST(ChaosOracle, SkippedLocalReadsAreCaughtAsReadYourWrites) {
+  ClusterParams p = oracle_params(25);
+  p.dags_per_client = 0;
+  p.faastcc.chaos_skip_local_reads = true;
+  Cluster cluster(p);
+  cluster.registry().register_function(
+      "wr", [](faas::ExecEnv& env) -> sim::Task<Buffer> {
+        env.txn.write(5, "mine");
+        // With local reads skipped this goes to the cache and observes the
+        // pre-write version: a read-your-writes violation.
+        co_await env.txn.read(std::vector<Key>(1, Key{5}));
+        co_return Buffer{};
+      });
+  cluster.start();
+  net::RpcNode driver(cluster.network(), 900);
+  bool done = false;
+  driver.handle_oneway(faas::kDagDone,
+                       [&](Buffer, net::Address) { done = true; });
+  faas::StartDagMsg start;
+  start.txn_id = 42;
+  start.client = 900;
+  faas::FunctionSpec f;
+  f.name = "wr";
+  start.spec = faas::DagSpec::chain({f});
+  driver.send(cluster.scheduler_address(), faas::kStartDag, start);
+  const SimTime deadline = cluster.loop().now() + seconds(10);
+  while (!done && cluster.loop().now() < deadline) {
+    cluster.loop().run_until(cluster.loop().now() + milliseconds(2));
+  }
+  ASSERT_TRUE(done);
+  EXPECT_TRUE(has_violation(cluster.oracle()->check(),
+                            Violation::Kind::kReadYourWrites));
+}
+
+TEST(ChaosOracle, OpenPrewarmWithoutSubscriptionIsCaughtAsUnsoundPromise) {
+  // The historical prewarm bug: entries inserted open without a backing
+  // subscription.  A bounded cache forces organic subscriptions to other
+  // keys on the same partitions, whose pushes advance the cache's stable
+  // estimate — extending the unsubscribed entries' promises over versions
+  // the cache never heard about.
+  ClusterParams p = oracle_params(26);
+  p.faastcc_cache.chaos_prewarm_open = true;
+  p.cache_capacity = 32;
+  p.workload.num_keys = 64;
+  p.workload.zipf = 1.2;
+  Cluster cluster(p);
+  cluster.run();
+  EXPECT_TRUE(has_violation(cluster.oracle()->check(),
+                            Violation::Kind::kUnsoundPromise));
+}
+
+// Regression for a real bug the fuzzer caught (tools/tcc_fuzz, config
+// "lossy", seed 5): a duplicated trigger for a single-parent function was
+// not deduplicated, so the body re-ran at a different snapshot — the
+// ghost execution read torn state and raced its writes against the real
+// commit.  The compute node now keeps an executed-(txn, fn) window;
+// shrinking it to zero re-enables the bug.
+ClusterParams duplicated_trigger_params() {
+  ClusterParams p;
+  p.system = SystemKind::kFaasTcc;
+  p.seed = 5;
+  p.partitions = 3;
+  p.compute_nodes = 2;
+  p.clients = 6;
+  p.dags_per_client = 25;
+  p.workload.num_keys = 64;
+  p.workload.zipf = 1.1;
+  p.workload.dag_size = 4;
+  p.workload.static_txns = true;
+  p.faults.loss_prob = 0.02;
+  p.faults.dup_prob = 0.01;
+  p.check_consistency = true;
+  return p;
+}
+
+TEST(ChaosOracle, DuplicatedTriggersDoNotReexecuteFunctions) {
+  Cluster cluster(duplicated_trigger_params());
+  const RunResult r = cluster.run();
+  ASSERT_GT(r.metrics.net_messages_duplicated, 0u);
+  const auto vs = cluster.oracle()->check();
+  EXPECT_TRUE(vs.empty()) << cluster.oracle()->report(vs);
+}
+
+// With both at-most-once windows disabled (the pre-fix world), a
+// duplicated start ghost-executes the DAG and the oracle sees the txn read
+// the same key at incompatible snapshots.  The node-level window matters
+// here: at this seed both root copies land on the same node, so it alone
+// would have absorbed the ghost.
+TEST(ChaosOracle, ZeroDedupWindowReintroducesGhostExecutions) {
+  ClusterParams p = duplicated_trigger_params();
+  p.node.executed_dedup_cap = 0;       // pre-fix behavior
+  p.scheduler.start_dedup_cap = 0;     // pre-fix behavior
+  Cluster cluster(p);
+  cluster.run();
+  EXPECT_TRUE(has_violation(cluster.oracle()->check(),
+                            Violation::Kind::kNonRepeatableRead));
+}
+
+// A fabric-duplicated kStartDag must not be dispatched twice: the second
+// dispatch draws fresh placements, so the ghost root reopens at SI_root on
+// a different node (invisible to the per-node trigger dedup) and re-reads
+// at whatever snapshot its local cache holds.
+TEST(ChaosOracle, DuplicatedStartDagsAreDispatchedOnce) {
+  ClusterParams p = duplicated_trigger_params();
+  p.seed = 11;  // found by tcc_fuzz (lossy config)
+  Cluster cluster(p);
+  const RunResult r = cluster.run();
+  ASSERT_GT(r.metrics.net_messages_duplicated, 0u);
+  EXPECT_GT(cluster.scheduler().dup_starts_dropped(), 0u);
+  const auto vs = cluster.oracle()->check();
+  EXPECT_TRUE(vs.empty()) << cluster.oracle()->report(vs);
+}
+
+TEST(ChaosOracle, ZeroStartDedupWindowReintroducesGhostDags) {
+  ClusterParams p = duplicated_trigger_params();
+  p.seed = 11;
+  p.scheduler.start_dedup_cap = 0;  // pre-fix behavior
+  Cluster cluster(p);
+  cluster.run();
+  EXPECT_TRUE(has_violation(cluster.oracle()->check(),
+                            Violation::Kind::kNonRepeatableRead));
+}
+
 }  // namespace
 }  // namespace faastcc::harness

@@ -4,7 +4,7 @@
 //               [--static] [--si] [--dags=1000] [--clients=16]
 //               [--dag-size=6] [--keys=100000] [--partitions=16]
 //               [--nodes=10] [--cache-capacity=inf|0|N] [--seed=42]
-//               [--no-prewarm] [--json]
+//               [--no-prewarm] [--check] [--json]
 //               [--loss=0.01] [--dup=0.005] [--delay-spike-prob=0.005]
 //               [--delay-spike-ms=10] [--rpc-timeout-ms=25]
 //               [--dag-timeout-ms=1000] [--crash=<addr>:<from_ms>:<until_ms>]
@@ -52,6 +52,8 @@ void usage() {
       "  --cache-capacity=inf|0|<n> entries/node  (default inf)\n"
       "  --seed=<n>                               (default 42)\n"
       "  --no-prewarm        skip cache pre-warming\n"
+      "  --check             attach the consistency oracle (FaaSTCC only;\n"
+      "                      zero perturbation, exit 1 on violations)\n"
       "  --json              machine-readable output\n"
       "fault injection (all off by default; see docs/simulation.md):\n"
       "  --loss=<p>          fabric message loss probability\n"
@@ -153,6 +155,8 @@ CliOptions parse(int argc, char** argv) {
       p.trace.ring_capacity = static_cast<size_t>(std::atoll(v.c_str()));
     } else if (std::strcmp(arg, "--no-prewarm") == 0) {
       p.prewarm_caches = false;
+    } else if (std::strcmp(arg, "--check") == 0) {
+      p.check_consistency = true;
     } else if (std::strcmp(arg, "--json") == 0) {
       opt.json = true;
     } else {
@@ -181,6 +185,26 @@ int main(int argc, char** argv) {
   Cluster cluster(opt.params);
   const RunResult result = cluster.run();
   const SummaryStats s = summarize(result);
+
+  int exit_code = 0;
+  if (opt.params.check_consistency) {
+    check::ConsistencyOracle* oracle = cluster.oracle();
+    if (oracle == nullptr) {
+      std::fprintf(stderr, "--check is only supported for --system=faastcc\n");
+      return 2;
+    }
+    const auto violations = oracle->check();
+    if (violations.empty()) {
+      std::fprintf(stderr,
+                   "consistency check: clean (%zu installs, %zu reads, "
+                   "%zu commits)\n",
+                   oracle->installs_recorded(), oracle->reads_recorded(),
+                   oracle->commits_recorded());
+    } else {
+      std::fprintf(stderr, "%s", oracle->report(violations).c_str());
+      exit_code = 1;
+    }
+  }
 
   if (!opt.trace_out.empty()) {
     std::ofstream out(opt.trace_out);
@@ -236,7 +260,7 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(cluster.tracer().spans_recorded()));
     }
     std::printf("}\n");
-    return 0;
+    return exit_code;
   }
 
   Table table({"metric", "value"});
@@ -282,5 +306,5 @@ int main(int argc, char** argv) {
                    fmt(static_cast<double>(m.dag_timeouts.value()), 0)});
   }
   table.print();
-  return 0;
+  return exit_code;
 }
