@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "routing/topology_service.h"
 #include "sim/future.h"
 
 namespace faastcc::cache {
@@ -29,6 +30,21 @@ FaasTccCache::FaasTccCache(net::Network& network, net::Address self,
   rpc_.handle_oneway(storage::kTccPush, [this](Buffer b, net::Address from) {
     on_push(std::move(b), from);
   });
+  if (params_.topo_service != 0) {
+    // Elastic routing: wrong-epoch NACKs on storage reads pull a fresh
+    // table; epoch-bump broadcasts push one.  Either path lands in
+    // adopt_table, whose change callback re-homes the cache.
+    storage_.enable_routing_refresh(params_.topo_service, metrics_);
+    storage_.on_table_change([this](const routing::RoutingTable& o,
+                                    const routing::RoutingTable& n) {
+      rehome(o, n);
+    });
+    rpc_.handle_oneway(routing::kTopoUpdate, [this](Buffer b, net::Address) {
+      auto t = decode_message<routing::RoutingTable>(b);
+      rpc_.recycle(std::move(b));
+      storage_.adopt_table(routing::make_table(std::move(t)));
+    });
+  }
 }
 
 const FaasTccCache::Entry* FaasTccCache::peek(Key k) const {
@@ -161,6 +177,41 @@ void FaasTccCache::handle_push_gap(PartitionId p) {
   }
   // Resubscribing makes the partition re-announce each key's latest
   // version on its next push, which reopens the entries that survived.
+  if (!resub.empty()) {
+    std::sort(resub.begin(), resub.end());
+    request_subscribe(std::move(resub));
+  }
+}
+
+void FaasTccCache::rehome(const routing::RoutingTable& old_table,
+                          const routing::RoutingTable& new_table) {
+  if (partition_stable_.size() < new_table.num_partitions()) {
+    partition_stable_.resize(new_table.num_partitions(), Timestamp::min());
+    push_seq_.resize(new_table.num_partitions(), 0);
+  }
+  // In-flight storage rounds that started under the old table must not
+  // reopen entries from stale "open" flags.
+  ++gap_epoch_;
+  std::vector<Key> resub;
+  size_t moved = 0;
+  for (auto& [k, e] : entries_) {
+    if (old_table.partition_of(k) == new_table.partition_of(k)) continue;
+    // The old owner dropped our subscription together with the chain.
+    // The cached promise stays valid — it was issued while the source
+    // still owned the chain, and the handoff floor keeps the new owner
+    // above it — but without a live subscription the entry must close.
+    e.open = false;
+    sub_active_.erase(k);
+    ++moved;
+    auto it = sub_desired_.find(k);
+    if (it != sub_desired_.end() && it->second) resub.push_back(k);
+  }
+  counters_.rehomed_keys.inc(moved);
+  if (metrics_ != nullptr && moved > 0) {
+    metrics_->counter("cache.rehomed_keys").inc(moved);
+  }
+  // Re-subscribing at the new owners makes them re-announce each key's
+  // latest version on their next push, which reopens surviving entries.
   if (!resub.empty()) {
     std::sort(resub.begin(), resub.end());
     request_subscribe(std::move(resub));

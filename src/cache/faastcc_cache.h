@@ -35,6 +35,11 @@ struct CacheParams {
   size_t capacity = SIZE_MAX;
   Duration lookup_cpu = microseconds(8);  // service time per request
   Duration retry_backoff = milliseconds(1);
+  // Topology-service endpoint (0 = static routing).  When set, the cache
+  // listens for epoch bumps (kTopoUpdate broadcasts + wrong-epoch NACK
+  // driven pulls) and re-homes subscriptions and stable-tracking onto the
+  // new owners.
+  net::Address topo_service = 0;
   // Chaos knobs (tests/fuzzer only): re-enable historical bugs so the
   // consistency oracle can demonstrate it catches them.
   // Prewarm entries as open without a storage subscription: their promises
@@ -69,6 +74,9 @@ class FaasTccCache {
     // Push-channel sequence gaps observed (lost pushes): each one closes
     // the partition's open entries until a re-announce arrives.
     Counter push_gaps;
+    // Cached keys whose owner changed on an epoch bump (closed and
+    // re-subscribed at the new owner).
+    Counter rehomed_keys;
   };
   const Counters& counters() const { return counters_; }
 
@@ -125,6 +133,11 @@ class FaasTccCache {
   // successor version, so every open entry of the partition must close
   // until the re-announce (triggered by resubscribing) arrives.
   void handle_push_gap(PartitionId p);
+  // An epoch bump re-homed part of the key space: close entries whose
+  // owner changed (the old owner dropped our subscription with the chain)
+  // and re-subscribe them at the new owner.
+  void rehome(const routing::RoutingTable& old_table,
+              const routing::RoutingTable& new_table);
 
   net::RpcNode rpc_;
   storage::TccStorageClient storage_;

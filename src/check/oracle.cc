@@ -28,6 +28,7 @@ const char* violation_name(Violation::Kind kind) {
     case Violation::Kind::kNonRepeatableRead: return "non-repeatable-read";
     case Violation::Kind::kReadYourWrites: return "read-your-writes";
     case Violation::Kind::kSessionOrder: return "session-order";
+    case Violation::Kind::kHandoffFloor: return "handoff-floor";
   }
   return "?";
 }
@@ -79,6 +80,10 @@ void ConsistencyOracle::on_write(TxnId txn, uint64_t fn, Key key,
 void ConsistencyOracle::on_session_commit(uint64_t client_id,
                                           Timestamp session_ts) {
   sessions_[client_id].push_back(session_ts);
+}
+
+void ConsistencyOracle::on_handoff(PartitionId partition, Timestamp floor) {
+  handoffs_.push_back(HandoffRec{partition, floor, installs_.size()});
 }
 
 size_t ConsistencyOracle::commits_recorded() const {
@@ -308,6 +313,24 @@ std::vector<Violation> ConsistencyOracle::check() const {
          << r.key << " after buffering a write to it";
       out.push_back(
           Violation{Violation::Kind::kReadYourWrites, r.txn, r.key, os.str()});
+    }
+  }
+
+  // --- handoff floors: a joiner never installs at or below its floor. ---
+  // The floor covers every promise the sources issued for the migrated
+  // keys, so an install under it could invalidate a promise the oracle's
+  // per-read successor scan cannot attribute (the read may predate the
+  // run's recording of the handoff).
+  for (const auto& h : handoffs_) {
+    for (size_t i = h.installs_before; i < installs_.size(); ++i) {
+      const InstallRec& rec = installs_[i];
+      if (rec.partition != h.partition || rec.ts > h.floor) continue;
+      std::ostringstream os;
+      os << "partition " << h.partition << " joined with handoff floor "
+         << h.floor.to_string() << " but later installed key " << rec.key
+         << " @ " << rec.ts.to_string() << " (txn " << rec.txn << ")";
+      out.push_back(
+          Violation{Violation::Kind::kHandoffFloor, rec.txn, rec.key, os.str()});
     }
   }
 

@@ -55,6 +55,7 @@ struct Violation {
     kNonRepeatableRead,   // one txn observed two versions of a key
     kReadYourWrites,      // function cache-read a key it had written
     kSessionOrder,        // client session timestamp regressed
+    kHandoffFloor,        // post-handoff install at or below the sealed floor
   };
   Kind kind;
   TxnId txn = 0;
@@ -97,6 +98,12 @@ class ConsistencyOracle {
   void on_write(TxnId txn, uint64_t fn, Key key, const Value& value);
   // A client applied a committed DAG's session blob.
   void on_session_commit(uint64_t client_id, Timestamp session_ts);
+  // Elastic scale-out: `partition` finished joining with handoff floor
+  // `floor` (max over its sources' sealed safe times and every migrated
+  // version's timestamp).  Promise soundness across the handoff requires
+  // that the joiner never installs a version at or below the floor —
+  // every promise its sources issued for the migrated keys is <= floor.
+  void on_handoff(PartitionId partition, Timestamp floor);
 
   // ---- post-run verification ----
 
@@ -147,7 +154,14 @@ class ConsistencyOracle {
     Timestamp dep_ts = Timestamp::min();
   };
 
+  struct HandoffRec {
+    PartitionId partition;
+    Timestamp floor;
+    size_t installs_before;  // installs_ size at handoff; earlier ones exempt
+  };
+
   std::vector<InstallRec> installs_;
+  std::vector<HandoffRec> handoffs_;
   std::vector<ReadRec> reads_;
   std::vector<WriteRec> writes_;
   std::unordered_map<TxnId, TxnRec> txns_;

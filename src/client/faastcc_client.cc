@@ -18,11 +18,12 @@ uint64_t interval_width_us(const SnapshotInterval& si) {
 
 FaasTccContext FaasTccContext::decode(BufReader& r) {
   const uint8_t version = r.get_u8();
-  if (version != kWireVersion) {
+  if (version != kWireVersion && version != kWireVersionEpoch) {
     throw CodecError("FaasTccContext: unsupported wire version " +
                      std::to_string(version));
   }
   FaasTccContext c;
+  if (version == kWireVersionEpoch) c.routing_epoch = r.get_u32();
   c.interval = SnapshotInterval::decode(r);
   c.dep_ts = Timestamp(r.get_u64());
   c.snapshot_fixed = r.get_bool();
@@ -57,7 +58,11 @@ FaasTccAdapter::FaasTccAdapter(net::RpcNode& rpc, net::Address cache_address,
       config_(config),
       metrics_(metrics),
       tracer_(tracer),
-      oracle_(oracle) {}
+      oracle_(oracle) {
+  if (config_.topo_service != 0) {
+    storage_.enable_routing_refresh(config_.topo_service, metrics_);
+  }
+}
 
 std::unique_ptr<FunctionTxn> FaasTccAdapter::open(
     const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
@@ -84,6 +89,7 @@ std::unique_ptr<FunctionTxn> FaasTccAdapter::open(
     for (auto& p : parents) {
       ctx.dep_ts = std::max(ctx.dep_ts, p.dep_ts);
       ctx.snapshot_fixed = ctx.snapshot_fixed || p.snapshot_fixed;
+      ctx.routing_epoch = std::max(ctx.routing_epoch, p.routing_epoch);
       for (auto& [k, v] : p.write_set) ctx.write_set[k] = std::move(v);
     }
   }
@@ -126,8 +132,20 @@ sim::Task<std::optional<std::vector<Value>>> FaasTccTxn::read(
     tracer->annotate(span, "interval_width_us", interval_width_us(ctx_.interval));
     span_ctx = tracer->context_of(span);
   }
-  auto resp = co_await adapter_.rpc_.call<cache::CacheReadResp>(
-      adapter_.cache_address_, cache::kCacheRead, req, span_ctx);
+  // Raw call so the responder's stamped routing epoch can be harvested:
+  // the cache rides every read reply with its current epoch for free (a
+  // frame-header field, zero wire bytes), and the sink uses the DAG-wide
+  // max to refresh its commit client's table before the first commit
+  // attempt instead of eating a guaranteed wrong-epoch NACK.
+  auto sized = co_await adapter_.rpc_.call_raw_sized(
+      adapter_.cache_address_, cache::kCacheRead, adapter_.rpc_.encode(req),
+      net::kUseDefaultTimeout, span_ctx);
+  if (!sized.ok()) co_return std::nullopt;  // colocated cache: never expected
+  auto resp = decode_message<cache::CacheReadResp>(sized.payload);
+  adapter_.rpc_.recycle(std::move(sized.payload));
+  if (sized.peer_epoch > ctx_.routing_epoch) {
+    ctx_.routing_epoch = sized.peer_epoch;
+  }
   if (tracer != nullptr) {
     tracer->annotate(span, "abort", resp.abort ? 1 : 0);
     // Reads block the function on the cache/storage path; the whole wall
@@ -173,8 +191,9 @@ Buffer FaasTccTxn::export_context() const { return encode_message(ctx_); }
 
 size_t FaasTccTxn::metadata_bytes() const {
   // The coordination metadata is the snapshot interval alone: two
-  // timestamps (§6.4).
-  return 16;
+  // timestamps (§6.4) — plus, once an epoch bump has been observed, the
+  // 4-byte routing epoch the v2 context carries.
+  return 16 + (ctx_.routing_epoch > 1 ? 4 : 0);
 }
 
 sim::Task<std::optional<Buffer>> FaasTccTxn::commit() {
@@ -195,6 +214,12 @@ sim::Task<std::optional<Buffer>> FaasTccTxn::commit() {
   Timestamp dep = ctx_.dep_ts;
   if (ctx_.interval.low > dep && ctx_.interval.low > Timestamp::min()) {
     dep = ctx_.interval.low;
+  }
+  // A function upstream in the DAG saw a newer routing epoch than our
+  // commit client's table: refresh first so the prepare fan-out goes to
+  // the right owners.  (No-op without a configured topology service.)
+  if (ctx_.routing_epoch > adapter_.storage_.epoch()) {
+    co_await adapter_.storage_.refresh_topology();
   }
   obs::Tracer* tracer = adapter_.tracer_;
   obs::SpanHandle span;

@@ -31,6 +31,10 @@ struct FaasTccConfig {
   // the client.  Lost updates on read-modify-write cycles become
   // impossible; the price is the conflict-abort rate under contention.
   bool snapshot_isolation = false;
+  // Topology-service endpoint (0 = static routing).  When set, the
+  // adapter's commit client can pull a fresh routing table after a
+  // wrong-epoch NACK or a newer epoch carried in by the DAG context.
+  net::Address topo_service = 0;
   // Chaos knob (tests/fuzzer only): skip the library-local write-set and
   // read-set lookups so every read goes to the cache, violating
   // read-your-writes and repeatable reads for the oracle to catch.
@@ -43,15 +47,30 @@ struct FaasTccConfig {
 // on a version it does not understand.
 struct FaasTccContext {
   static constexpr uint8_t kWireVersion = 1;
+  // Version 2 prepends the routing epoch observed by the DAG so far.  It
+  // is emitted only once a bump has actually been observed (epoch > 1):
+  // runs that never scale out ship byte-identical v1 contexts, keeping
+  // schedules and the metadata-bytes metric unchanged.
+  static constexpr uint8_t kWireVersionEpoch = 2;
 
   SnapshotInterval interval;
   Timestamp dep_ts = Timestamp::min();  // session/write causal lower bound
   bool snapshot_fixed = false;          // fixed-snapshot ablation state
   std::map<Key, Value> write_set;       // ordered => deterministic encoding
+  // Newest routing epoch any function in the DAG observed from its cache
+  // (0 = none observed / pre-elastic).  The sink compares it against its
+  // commit client's table and refreshes before committing, instead of
+  // burning a guaranteed wrong-epoch NACK round.
+  uint32_t routing_epoch = 0;
 
   template <typename W>
   void encode(W& w) const {
-    w.put_u8(kWireVersion);
+    if (routing_epoch > 1) {
+      w.put_u8(kWireVersionEpoch);
+      w.put_u32(routing_epoch);
+    } else {
+      w.put_u8(kWireVersion);
+    }
     interval.encode(w);
     w.put_u64(dep_ts.raw());
     w.put_bool(snapshot_fixed);

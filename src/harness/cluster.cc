@@ -8,6 +8,8 @@ namespace faastcc::harness {
 namespace {
 
 constexpr net::Address kSchedulerAddr = 1;
+constexpr net::Address kTopoAddr = 2;
+constexpr net::Address kCtlAddr = 3;
 constexpr net::Address kPartitionBase = 100;
 constexpr net::Address kReplicaBase = 1000;
 constexpr net::Address kCacheBase = 3000;
@@ -63,6 +65,20 @@ Cluster::Cluster(ClusterParams params)
   if (params_.check_consistency && params_.system == SystemKind::kFaasTcc) {
     oracle_ = std::make_unique<check::ConsistencyOracle>();
   }
+  // Topology service + migration control endpoint (FaaSTCC only).
+  // Constructing them is pure endpoint registration — zero events, zero
+  // randomness — so non-elastic runs are unperturbed.
+  if (params_.system == SystemKind::kFaasTcc) {
+    std::vector<routing::PartitionAddress> addrs;
+    for (size_t p = 0; p < params_.partitions; ++p) {
+      addrs.push_back(kPartitionBase + static_cast<net::Address>(p));
+    }
+    topo_ = std::make_unique<routing::TopologyService>(
+        network_, kTopoAddr,
+        routing::make_table(routing::RoutingTable::initial(
+            std::move(addrs), params_.elastic.slots_per_partition)));
+    ctl_rpc_ = std::make_unique<net::RpcNode>(network_, kCtlAddr);
+  }
   build_storage();
   build_compute();
   build_clients();
@@ -73,6 +89,9 @@ Cluster::~Cluster() = default;
 net::Address Cluster::scheduler_address() const { return kSchedulerAddr; }
 
 storage::TccTopology Cluster::tcc_topology() const {
+  // Table-backed when the topology service exists (epoch-1 routing is
+  // bit-identical to the legacy modulo scheme); plain vector otherwise.
+  if (topo_ != nullptr) return storage::TccTopology(topo_->table());
   storage::TccTopology topo;
   for (size_t p = 0; p < params_.partitions; ++p) {
     topo.partitions.push_back(kPartitionBase + static_cast<net::Address>(p));
@@ -112,6 +131,37 @@ void Cluster::build_storage() {
       tcc_partitions_.push_back(std::make_unique<storage::TccPartition>(
           network_, topo.partitions[p], static_cast<PartitionId>(p),
           topo.partitions, tcc_params, &tracer_, oracle_.get()));
+      auto& part = *tcc_partitions_.back();
+      part.set_routing(topo_->table());
+      part.set_topo_service(kTopoAddr);
+      part.set_metrics(&metrics_);
+      topo_->add_listener(part.address());
+    }
+    // Deferred joiners: constructed only when a scale-out is scheduled, so
+    // the rng stream (clock-skew draws) of non-elastic runs is untouched.
+    if (params_.elastic.enabled()) {
+      const size_t old_n = params_.partitions;
+      std::vector<net::Address> all = topo.partitions;
+      for (size_t i = 0; i < params_.elastic.add_partitions; ++i) {
+        all.push_back(kPartitionBase + static_cast<net::Address>(old_n + i));
+      }
+      for (size_t i = 0; i < params_.elastic.add_partitions; ++i) {
+        auto tcc_params = params_.tcc;
+        if (params_.clock_skew_us > 0) {
+          tcc_params.clock_offset_us =
+              static_cast<int64_t>(rng_.next_below(
+                  2 * static_cast<uint64_t>(params_.clock_skew_us))) -
+              params_.clock_skew_us;
+        }
+        tcc_partitions_.push_back(std::make_unique<storage::TccPartition>(
+            network_, all[old_n + i], static_cast<PartitionId>(old_n + i),
+            all, tcc_params, &tracer_, oracle_.get()));
+        auto& joiner = *tcc_partitions_.back();
+        joiner.defer_serving();
+        joiner.set_topo_service(kTopoAddr);
+        joiner.set_metrics(&metrics_);
+        topo_->add_listener(joiner.address());
+      }
     }
     return;
   }
@@ -150,11 +200,14 @@ void Cluster::build_compute() {
       case SystemKind::kFaasTcc: {
         auto cache_params = params_.faastcc_cache;
         cache_params.capacity = params_.cache_capacity;
+        cache_params.topo_service = kTopoAddr;
         faastcc_caches_.push_back(std::make_unique<cache::FaasTccCache>(
             network_, cache_addr, tcc_topology(), cache_params, &metrics_,
             &tracer_));
+        topo_->add_listener(cache_addr);
         acfg.tcc_topology = tcc_topology();
         acfg.faastcc = params_.faastcc;
+        acfg.faastcc.topo_service = kTopoAddr;
         acfg.oracle = oracle_.get();
         break;
       }
@@ -255,7 +308,14 @@ void Cluster::start() {
   assert(!started_);
   started_ = true;
   preload();
-  for (auto& p : tcc_partitions_) p->start();
+  // Deferred joiners are not started here: activation (all expected
+  // migrate-in parcels applied) starts their background loops.
+  for (auto& p : tcc_partitions_) {
+    if (p->serving()) p->start();
+  }
+  if (params_.system == SystemKind::kFaasTcc && params_.elastic.enabled()) {
+    sim::spawn(run_scale_out());
+  }
   for (auto& r : ev_replicas_) r->start();
   for (auto& n : nodes_) n->start();
   loop_.run_until(params_.warmup);
@@ -359,6 +419,87 @@ RunResult Cluster::run_clients() {
 RunResult Cluster::run() {
   start();
   return run_clients();
+}
+
+sim::Task<void> Cluster::run_scale_out() {
+  co_await sim::sleep_for(loop_, params_.elastic.at);
+  const routing::TablePtr old_table = topo_->table();
+  const size_t old_n = old_table->num_partitions();
+  std::vector<routing::PartitionAddress> added;
+  for (size_t i = 0; i < params_.elastic.add_partitions; ++i) {
+    added.push_back(kPartitionBase + static_cast<net::Address>(old_n + i));
+  }
+  auto next = routing::make_table(old_table->with_partitions_added(added));
+
+  // Which incumbents each joiner takes slots from, and how many slots move
+  // per (source, target) pair.  std::map keys give a deterministic handoff
+  // order.
+  std::map<PartitionId, std::set<PartitionId>> sources_of;
+  std::map<std::pair<PartitionId, PartitionId>, size_t> moved;
+  for (size_t s = 0; s < next->num_slots(); ++s) {
+    const PartitionId to = next->slot_owner[s];
+    const PartitionId from = old_table->slot_owner[s];
+    if (to == from) continue;
+    sources_of[to].insert(from);
+    ++moved[{from, to}];
+  }
+
+  // Arm the joiners before the broadcast: join_epoch_ must be in place by
+  // the time the first migrate-in parcel (or a stray kTopoUpdate) lands.
+  for (size_t i = 0; i < added.size(); ++i) {
+    const auto t = static_cast<PartitionId>(old_n + i);
+    tcc_partitions_[t]->begin_join(next, sources_of[t].size());
+  }
+  topo_->publish(next);
+  metrics_.counter("routing.epoch_bumps").inc();
+
+  // Shepherd each (source, target) handoff: seal + extract the chains at
+  // the source, then deliver the parcel to the target.  Both legs retry
+  // through the shared commit policy; the source side is idempotent via
+  // its replay cache, the target side via per-source dedup.
+  for (const auto& [pair, nslots] : moved) {
+    const PartitionId src = pair.first;
+    const PartitionId tgt = pair.second;
+    storage::TccMigrateOutReq oreq;
+    oreq.table = *next;
+    oreq.target = tgt;
+    std::optional<storage::TccMigrateOutResp> parcel;
+    for (int round = 0; round < 8 && !parcel.has_value(); ++round) {
+      auto r = co_await ctl_rpc_->call_raw_sized_retry(
+          next->partitions[src], storage::kTccMigrateOut,
+          ctl_rpc_->encode(oreq), net::commit_retry_policy());
+      if (!r.ok()) continue;
+      auto resp = decode_message<storage::TccMigrateOutResp>(r.payload);
+      ctl_rpc_->recycle(std::move(r.payload));
+      if (resp.ok) parcel = std::move(resp);
+    }
+    if (!parcel.has_value()) {
+      LOG_WARN("scale-out: migrate-out " << src << " -> " << tgt
+                                         << " gave up");
+      continue;
+    }
+    storage::TccMigrateInReq ireq;
+    ireq.epoch = next->epoch;
+    ireq.source = src;
+    ireq.expected_sources = static_cast<uint32_t>(sources_of[tgt].size());
+    ireq.source_safe = parcel->safe_time;
+    ireq.last_heard = std::move(parcel->last_heard);
+    ireq.chains = std::move(parcel->chains);
+    bool applied = false;
+    for (int round = 0; round < 8 && !applied; ++round) {
+      auto r = co_await ctl_rpc_->call_raw_sized_retry(
+          next->partitions[tgt], storage::kTccMigrateIn,
+          ctl_rpc_->encode(ireq), net::commit_retry_policy());
+      if (!r.ok()) continue;
+      auto resp = decode_message<storage::TccMigrateInResp>(r.payload);
+      ctl_rpc_->recycle(std::move(r.payload));
+      applied = resp.ok;
+    }
+    if (!applied) {
+      LOG_WARN("scale-out: migrate-in at " << tgt << " from " << src
+                                           << " gave up");
+    }
+  }
 }
 
 void Cluster::collect_cache_gauges(RunResult& out) const {

@@ -21,6 +21,7 @@
 #include "faas/scheduler.h"
 #include "net/network.h"
 #include "obs/trace.h"
+#include "routing/topology_service.h"
 #include "storage/eventual_store.h"
 #include "storage/tcc_partition.h"
 #include "workload/client_driver.h"
@@ -53,6 +54,19 @@ struct AdapterConfig {
 std::unique_ptr<client::SystemAdapter> MakeAdapter(SystemKind kind,
                                                    const AdapterConfig& config);
 
+// Elastic scale-out schedule (FaaSTCC only): at `at` sim-time after start,
+// `add_partitions` joiners are brought up, the routing table is bumped one
+// epoch, and the stolen slots' version chains are migrated with a
+// promise-sound handoff.  Inert unless enabled(): a cluster with the
+// elastic machinery compiled in but no bump scheduled runs bit-identically
+// to one without it.
+struct ElasticParams {
+  size_t add_partitions = 0;
+  Duration at = Duration{0};
+  size_t slots_per_partition = routing::RoutingTable::kDefaultSlotsPerPartition;
+  bool enabled() const { return add_partitions > 0 && at > Duration{0}; }
+};
+
 struct ClusterParams {
   SystemKind system = SystemKind::kFaasTcc;
   uint64_t seed = 42;
@@ -84,6 +98,8 @@ struct ClusterParams {
   // them.  Entirely inert unless faults.enabled() — fault-free runs draw
   // the exact same random streams as before this layer existed.
   net::FaultParams faults;
+  // Mid-run partition scale-out (FaaSTCC only).
+  ElasticParams elastic;
   // Residual NTP skew: each partition's physical clock is offset by a
   // uniform random amount in [-clock_skew_us, clock_skew_us].
   int64_t clock_skew_us = 100;
@@ -163,6 +179,8 @@ class Cluster {
 
   storage::TccTopology tcc_topology() const;
   storage::EvTopology ev_topology() const;
+  // nullptr for the eventually consistent systems.
+  routing::TopologyService* topology_service() { return topo_.get(); }
 
  private:
   void build_storage();
@@ -171,6 +189,9 @@ class Cluster {
   void preload();
   void prewarm();
   void collect_cache_gauges(RunResult& out) const;
+  // The scale-out driver: sleeps until elastic.at, bumps the epoch and
+  // shepherds the migrate-out/migrate-in handoff for every moved slot.
+  sim::Task<void> run_scale_out();
 
   ClusterParams params_;
   Rng rng_;
@@ -180,6 +201,9 @@ class Cluster {
   obs::Tracer tracer_;
   std::unique_ptr<check::ConsistencyOracle> oracle_;
   std::shared_ptr<faas::FunctionRegistry> registry_;
+  std::unique_ptr<routing::TopologyService> topo_;
+  // Control endpoint driving the migration RPCs (no data-plane traffic).
+  std::unique_ptr<net::RpcNode> ctl_rpc_;
 
   std::vector<std::unique_ptr<storage::TccPartition>> tcc_partitions_;
   std::vector<std::unique_ptr<storage::EvReplica>> ev_replicas_;

@@ -45,6 +45,16 @@ struct Message {
   // delays must be identical whether tracing is on or off, or enabling
   // tracing would perturb the event schedule.
   obs::TraceContext trace;
+  // Routing epoch the sender's table was at, stamped by RpcNode.  Budgeted
+  // inside the fixed kHeaderBytes frame (it would fit several times over),
+  // so like `trace` it is not part of wire_size() and a cluster that never
+  // bumps epochs schedules bit-identically to one without the field.
+  // 0 = the sender does not participate in epoch-versioned routing.
+  uint32_t routing_epoch = 0;
+  // Response-only flag: the request's epoch disagreed with the receiver's
+  // for an epoch-gated method.  The payload is empty; routing_epoch above
+  // carries the receiver's epoch so the caller knows who is behind.
+  bool wrong_epoch = false;
 
   // Wire size: payload plus a fixed header, mirroring the framing overhead
   // of the ZeroMQ + protobuf stack in the authors' prototype.

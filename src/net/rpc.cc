@@ -20,6 +20,13 @@ void RpcNode::handle_oneway(MethodId method, OneWayHandler handler) {
   oneway_handlers_[method] = std::move(handler);
 }
 
+void RpcNode::gate_on_epoch(MethodId method) {
+  if (std::find(epoch_gated_.begin(), epoch_gated_.end(), method) ==
+      epoch_gated_.end()) {
+    epoch_gated_.push_back(method);
+  }
+}
+
 sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized(
     Address to, MethodId method, Buffer request, Duration timeout,
     obs::TraceContext trace) {
@@ -36,6 +43,7 @@ sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized(
   m.request_id = id;
   m.payload = std::move(request);
   m.trace = trace;
+  m.routing_epoch = routing_epoch_;
   const size_t req_bytes = m.wire_size();
 
   auto [it, inserted] = pending_.emplace(
@@ -72,7 +80,11 @@ sim::Task<RpcNode::SizedResponse> RpcNode::call_raw_sized_retry(
     SizedResponse r =
         co_await call_raw_sized(to, method, request, policy.timeout, trace);
     r.attempts = static_cast<uint32_t>(attempt);
-    if (r.ok() || attempt >= policy.max_attempts) co_return r;
+    // Only timeouts are worth re-sending verbatim; a wrong-epoch NACK will
+    // keep NACKing until the caller refreshes its routing table.
+    if (r.status != RpcStatus::kTimeout || attempt >= policy.max_attempts) {
+      co_return r;
+    }
     network_.note_rpc_retry();
     co_await sim::sleep_for(loop(), backoff);
     backoff = std::min<Duration>(backoff * 2, policy.max_backoff);
@@ -105,6 +117,7 @@ void RpcNode::send_raw(Address to, MethodId method, Buffer payload,
   m.method = method;
   m.payload = std::move(payload);
   m.trace = trace;
+  m.routing_epoch = routing_epoch_;
   network_.send(std::move(m));
 }
 
@@ -118,12 +131,38 @@ sim::Task<void> RpcNode::run_handler(RequestHandler& handler, Message m) {
   r.request_id = m.request_id;
   r.payload = std::move(response);
   r.trace = m.trace;  // echo, so responses correlate in packet-level views
+  r.routing_epoch = routing_epoch_;
   network_.send(std::move(r));
 }
 
 void RpcNode::on_message(Message m) {
   switch (m.kind) {
     case MessageKind::kRequest: {
+      if (m.routing_epoch != 0 && routing_epoch_ != 0 &&
+          m.routing_epoch != routing_epoch_ &&
+          std::find(epoch_gated_.begin(), epoch_gated_.end(), m.method) !=
+              epoch_gated_.end()) {
+        // The gate sits before dispatch: handlers interleave at co_await
+        // points, so admitting a cross-epoch request and checking later
+        // would let it observe mid-handoff state.  If the caller is AHEAD
+        // of us we missed a bump (e.g. a lost broadcast) — pull a fresh
+        // table, but still NACK: the gate never serves across epochs.
+        if (m.routing_epoch > routing_epoch_ && stale_epoch_cb_) {
+          stale_epoch_cb_();
+        }
+        recycle(std::move(m.payload));
+        Message r;
+        r.from = address_;
+        r.to = m.from;
+        r.kind = MessageKind::kResponse;
+        r.method = m.method;
+        r.request_id = m.request_id;
+        r.trace = m.trace;
+        r.routing_epoch = routing_epoch_;
+        r.wrong_epoch = true;
+        network_.send(std::move(r));
+        return;
+      }
       auto it = handlers_.find(m.method);
       if (it == handlers_.end()) {
         LOG_ERROR("no handler for method " << m.method << " at " << address_);
@@ -147,9 +186,13 @@ void RpcNode::on_message(Message m) {
       Pending p = std::move(it->second);
       const size_t resp_bytes = m.wire_size();
       pending_.erase(it);
-      p.promise.set_value(SizedResponse{std::move(m.payload),
-                                        p.request_wire_bytes, resp_bytes,
-                                        RpcStatus::kOk});
+      SizedResponse r;
+      r.payload = std::move(m.payload);
+      r.request_wire_bytes = p.request_wire_bytes;
+      r.response_wire_bytes = resp_bytes;
+      r.status = m.wrong_epoch ? RpcStatus::kWrongEpoch : RpcStatus::kOk;
+      r.peer_epoch = m.routing_epoch;
+      p.promise.set_value(std::move(r));
       return;
     }
     case MessageKind::kOneWay: {

@@ -28,7 +28,15 @@
 
 namespace faastcc::net {
 
-enum class RpcStatus : uint8_t { kOk = 0, kTimeout = 1 };
+enum class RpcStatus : uint8_t {
+  kOk = 0,
+  kTimeout = 1,
+  // The callee NACKed the request because it carried a different routing
+  // epoch than the callee's table (see RpcNode::gate_on_epoch).  Not
+  // retried by the backoff wrappers: the caller must refresh its table
+  // first, re-batching may route the request somewhere else entirely.
+  kWrongEpoch = 2,
+};
 
 // Sentinel: resolve the timeout from the network default (0 for colocated
 // peers, Network::default_rpc_timeout() otherwise).
@@ -43,6 +51,26 @@ struct RetryPolicy {
   Duration max_backoff = milliseconds(16);
   Duration timeout = kUseDefaultTimeout;
 };
+
+// Shared retry profiles.  Call sites used to restate these constants
+// per-call; keeping them here makes "how hard do we try" a single
+// decision per traffic class.
+//
+// Commit-grade traffic (prepare/commit/abort, elastic handoff RPCs): a
+// commit abandoned halfway is expensive for everyone upstream, so retry
+// well past any plausible loss burst.  12 attempts with 1..64 ms capped
+// backoff rides out ~350 ms of unreachability, comfortably under the
+// prepare TTL (5 s default).
+inline constexpr RetryPolicy commit_retry_policy() {
+  return RetryPolicy{12, milliseconds(1), milliseconds(64),
+                     kUseDefaultTimeout};
+}
+// Routing refreshes after a wrong-epoch NACK: the table fetch is cheap and
+// the new table usually lands on the first try; a short profile keeps a
+// stale client from hammering the topology service.
+inline constexpr RetryPolicy routing_refresh_policy() {
+  return RetryPolicy{4, milliseconds(1), milliseconds(8), kUseDefaultTimeout};
+}
 
 class RpcNode {
  public:
@@ -114,6 +142,10 @@ class RpcNode {
     // Attempts consumed when the call went through a retry wrapper (1 for a
     // first-try success); plain call_raw_sized leaves it at 1.
     uint32_t attempts = 1;
+    // Routing epoch the responder stamped on the frame (0: responder does
+    // not participate).  On kWrongEpoch this is the epoch the caller must
+    // catch up to (or that the callee itself is behind at).
+    uint32_t peer_epoch = 0;
 
     bool ok() const { return status == RpcStatus::kOk; }
   };
@@ -149,6 +181,22 @@ class RpcNode {
     co_return out;
   }
 
+  // ---- Epoch-versioned routing --------------------------------------------
+  // The node's current routing epoch is stamped on every outbound frame
+  // (0 until set: non-participants are never NACKed).
+  void set_routing_epoch(uint32_t epoch) { routing_epoch_ = epoch; }
+  uint32_t routing_epoch() const { return routing_epoch_; }
+  // Registers `method` as epoch-gated: requests whose stamped epoch
+  // disagrees with ours (both nonzero) are NACKed with kWrongEpoch before
+  // the handler runs, so a handler for a gated method can assume the
+  // caller routed with our table.
+  void gate_on_epoch(MethodId method);
+  // Invoked when a gated request arrives stamped with a NEWER epoch than
+  // ours: we are the stale side and should pull a fresh table.  The NACK is
+  // still sent (the gate never serves across epochs); the callback is how a
+  // node that missed the broadcast learns to catch up.
+  void on_stale_epoch(std::function<void()> cb) { stale_epoch_cb_ = std::move(cb); }
+
   // Trace context of the message currently being dispatched.  Valid only
   // until the handler's first suspension: handlers are started
   // synchronously at delivery (oneway handlers directly, coroutine
@@ -168,6 +216,9 @@ class RpcNode {
   Address address_;
   obs::TraceContext inbound_trace_;
   uint64_t next_request_id_ = 1;
+  uint32_t routing_epoch_ = 0;
+  std::vector<MethodId> epoch_gated_;
+  std::function<void()> stale_epoch_cb_;
   std::unordered_map<MethodId, RequestHandler> handlers_;
   std::unordered_map<MethodId, OneWayHandler> oneway_handlers_;
   struct Pending {

@@ -1,0 +1,82 @@
+#include "routing/routing_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace faastcc::routing {
+
+std::vector<uint32_t> RoutingTable::slots_of_partition(PartitionId p) const {
+  std::vector<uint32_t> out;
+  for (uint32_t s = 0; s < slot_owner.size(); ++s) {
+    if (slot_owner[s] == p) out.push_back(s);
+  }
+  return out;
+}
+
+RoutingTable RoutingTable::initial(std::vector<PartitionAddress> partitions,
+                                   size_t slots_per_partition) {
+  assert(!partitions.empty());
+  RoutingTable t;
+  t.epoch = 1;
+  t.partitions = std::move(partitions);
+  const size_t n = t.partitions.size();
+  // num_slots is a multiple of n and slot s belongs to s mod n, so
+  // partition_of(k) = (k mod num_slots) mod n = k mod n: identical to the
+  // historical static routing.
+  t.slot_owner.resize(n * std::max<size_t>(1, slots_per_partition));
+  for (uint32_t s = 0; s < t.slot_owner.size(); ++s) {
+    t.slot_owner[s] = mod_partition(s, n);
+  }
+  return t;
+}
+
+RoutingTable RoutingTable::with_partitions_added(
+    const std::vector<PartitionAddress>& added) const {
+  RoutingTable next = *this;
+  next.epoch = epoch + 1;
+  const uint32_t old_count = static_cast<uint32_t>(partitions.size());
+  for (PartitionAddress a : added) next.partitions.push_back(a);
+  if (added.empty()) return next;
+
+  const size_t target = next.num_slots() / next.num_partitions();
+  std::vector<size_t> load(next.num_partitions(), 0);
+  for (uint32_t o : next.slot_owner) ++load[o];
+
+  for (uint32_t joiner = old_count;
+       joiner < static_cast<uint32_t>(next.num_partitions()); ++joiner) {
+    while (load[joiner] < target) {
+      // Steal from the most-loaded incumbent; ties resolve to the lowest
+      // partition id so the plan is a pure function of the old table.
+      uint32_t victim = 0;
+      for (uint32_t p = 1; p < old_count; ++p) {
+        if (load[p] > load[victim]) victim = p;
+      }
+      if (load[victim] <= target) break;  // nothing left worth moving
+      // Highest-numbered slot of the victim moves first (deterministic and
+      // cheap to find scanning from the top of the ring).
+      for (uint32_t s = static_cast<uint32_t>(next.num_slots()); s-- > 0;) {
+        if (next.slot_owner[s] == victim) {
+          next.slot_owner[s] = joiner;
+          --load[victim];
+          ++load[joiner];
+          break;
+        }
+      }
+    }
+  }
+  return next;
+}
+
+RoutingTable RoutingTable::decode(BufReader& r) {
+  RoutingTable t;
+  t.epoch = r.get_u32();
+  const uint32_t np = r.get_u32();
+  t.partitions.reserve(np);
+  for (uint32_t i = 0; i < np; ++i) t.partitions.push_back(r.get_u32());
+  const uint32_t ns = r.get_u32();
+  t.slot_owner.reserve(ns);
+  for (uint32_t i = 0; i < ns; ++i) t.slot_owner.push_back(r.get_u32());
+  return t;
+}
+
+}  // namespace faastcc::routing

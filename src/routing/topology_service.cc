@@ -1,0 +1,26 @@
+#include "routing/topology_service.h"
+
+#include <cassert>
+
+namespace faastcc::routing {
+
+TopologyService::TopologyService(net::Network& network, net::Address address,
+                                 TablePtr initial)
+    : rpc_(network, address), table_(std::move(initial)) {
+  assert(table_ != nullptr);
+  rpc_.handle(kTopoGet,
+              [this](Buffer req, net::Address) -> sim::Task<Buffer> {
+                rpc_.recycle(std::move(req));
+                co_return rpc_.encode(*table_);
+              });
+}
+
+void TopologyService::publish(TablePtr next) {
+  assert(next != nullptr && next->epoch > table_->epoch);
+  table_ = std::move(next);
+  for (net::Address a : listeners_) {
+    rpc_.send(a, kTopoUpdate, *table_);
+  }
+}
+
+}  // namespace faastcc::routing

@@ -1,0 +1,47 @@
+// Cluster topology service: the authoritative holder of the current
+// RoutingTable.
+//
+// One instance per cluster (a real deployment would back this with a
+// consensus service; the simulation models the service itself, not its
+// replication).  It serves pull requests (kTopoGet) from components that
+// discovered they are behind — the wrong-epoch NACK path — and broadcasts
+// epoch bumps (kTopoUpdate one-ways) to registered listeners.  Broadcasts
+// ride the lossy fabric, so a listener can miss one: correctness never
+// depends on the push, only freshness does; the pull path recovers.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/rpc.h"
+#include "routing/routing_table.h"
+
+namespace faastcc::routing {
+
+// Method ids (cluster-unique; storage uses 1..10, eventual store 20..26,
+// caches 40..,  scheduler/compute 50..).
+inline constexpr net::MethodId kTopoGet = 60;
+inline constexpr net::MethodId kTopoUpdate = 61;
+
+class TopologyService {
+ public:
+  TopologyService(net::Network& network, net::Address address,
+                  TablePtr initial);
+
+  net::Address address() const { return rpc_.address(); }
+  net::RpcNode& rpc() { return rpc_; }
+  const TablePtr& table() const { return table_; }
+
+  // Addresses that receive kTopoUpdate one-ways on publish().
+  void add_listener(net::Address a) { listeners_.push_back(a); }
+
+  // Installs `next` as the current table and broadcasts it.
+  void publish(TablePtr next);
+
+ private:
+  net::RpcNode rpc_;
+  TablePtr table_;
+  std::vector<net::Address> listeners_;
+};
+
+}  // namespace faastcc::routing

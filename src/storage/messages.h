@@ -11,6 +11,7 @@
 #include "common/hlc.h"
 #include "common/serialize.h"
 #include "common/types.h"
+#include "routing/routing_table.h"
 
 namespace faastcc::storage {
 
@@ -27,6 +28,9 @@ enum TccMethod : uint16_t {
   kTccGossip = 6,   // one-way: stabilization
   kTccPush = 7,     // one-way: pub/sub update batch
   kTccAbort = 8,    // releases prepares after an SI conflict
+  // Elastic scale-out handoff (coordinator-driven, idempotent).
+  kTccMigrateOut = 9,  // source: seal moved slots, extract their chains
+  kTccMigrateIn = 10,  // target: install chains + stabilization seed
 };
 
 enum EvMethod : uint16_t {
@@ -118,6 +122,11 @@ struct TccReadResp {
     kValue = 0,      // full version attached
     kUnchanged = 1,  // client's cached version still current; promise updated
     kMiss = 2,       // no version <= snapshot survives (GC'd or never written)
+    // The request matched this partition's epoch when admitted, but the
+    // key's chain was handed to another partition while the handler slept
+    // (elastic scale-out).  No version data: the client must re-route
+    // through a fresh routing table.
+    kWrongOwner = 3,
   };
   struct Entry {
     Key key = 0;
@@ -140,7 +149,7 @@ struct TccReadResp {
     for (const auto& e : entries) {
       w.put_u64(e.key);
       w.put_u8(static_cast<uint8_t>(e.status));
-      if (e.status != Status::kMiss) {
+      if (e.status == Status::kValue || e.status == Status::kUnchanged) {
         put_ts(w, e.ts);
         put_ts(w, e.promise);
         w.put_bool(e.open);
@@ -157,7 +166,7 @@ struct TccReadResp {
       Entry e;
       e.key = r.get_u64();
       e.status = static_cast<Status>(r.get_u8());
-      if (e.status != Status::kMiss) {
+      if (e.status == Status::kValue || e.status == Status::kUnchanged) {
         e.ts = get_ts(r);
         e.promise = get_ts(r);
         e.open = r.get_bool();
@@ -392,6 +401,167 @@ struct PushMsg {
     p.updates = get_vec<VersionedValue>(r);
     return p;
   }
+};
+
+// ---------------------------------------------------------------------------
+// Elastic scale-out handoff.
+// ---------------------------------------------------------------------------
+
+// One committed version inside a migrated chain (the promise is not
+// shipped: promises are a serving-side construct re-derived at the target
+// from its own stable view).
+struct MigratedVersion {
+  Value value;
+  Timestamp ts;
+
+  size_t size_hint() const { return 4 + value.size() + 8; }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_bytes(value);
+    put_ts(w, ts);
+  }
+  static MigratedVersion decode(BufReader& r) {
+    MigratedVersion v;
+    v.value = r.get_bytes();
+    v.ts = get_ts(r);
+    return v;
+  }
+};
+
+// A whole per-key version chain leaving its old owner.
+struct MigratedChain {
+  Key key = 0;
+  std::vector<MigratedVersion> versions;  // ascending ts
+
+  size_t size_hint() const {
+    size_t n = 8 + 4;
+    for (const auto& v : versions) n += v.size_hint();
+    return n;
+  }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u64(key);
+    put_vec(w, versions);
+  }
+  static MigratedChain decode(BufReader& r) {
+    MigratedChain c;
+    c.key = r.get_u64();
+    c.versions = get_vec<MigratedVersion>(r);
+    return c;
+  }
+};
+
+// Coordinator -> source partition: adopt `table` (sealing the slots it no
+// longer owns) and extract the chains of every slot that moved from this
+// partition to `target`.  Carrying the full table makes the request
+// self-contained: a source that missed the epoch broadcast still seals
+// correctly.  Idempotent — the source caches its response per
+// (epoch, target) and replays it for duplicates/retries.
+struct TccMigrateOutReq {
+  routing::RoutingTable table;
+  PartitionId target = 0;
+
+  size_t size_hint() const { return table.size_hint() + 4; }
+
+  template <typename W>
+  void encode(W& w) const {
+    table.encode(w);
+    w.put_u32(target);
+  }
+  static TccMigrateOutReq decode(BufReader& r) {
+    TccMigrateOutReq q;
+    q.table = routing::RoutingTable::decode(r);
+    q.target = r.get_u32();
+    return q;
+  }
+};
+
+struct TccMigrateOutResp {
+  bool ok = true;
+  // The source's safe time taken AFTER sealing: every promise the source
+  // ever issued for the migrated keys is <= this, so it seeds the target's
+  // clock (the target never commits at or below it).
+  Timestamp safe_time;
+  // The source's stabilizer snapshot (last-heard safe time per old
+  // partition) — genuinely observed values, safe for the target to merge.
+  std::vector<Timestamp> last_heard;
+  std::vector<MigratedChain> chains;
+
+  size_t size_hint() const {
+    size_t n = 1 + 8 + 4 + last_heard.size() * 8 + 4;
+    for (const auto& c : chains) n += c.size_hint();
+    return n;
+  }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_bool(ok);
+    put_ts(w, safe_time);
+    w.put_u32(static_cast<uint32_t>(last_heard.size()));
+    for (Timestamp t : last_heard) put_ts(w, t);
+    put_vec(w, chains);
+  }
+  static TccMigrateOutResp decode(BufReader& r) {
+    TccMigrateOutResp resp;
+    resp.ok = r.get_bool();
+    resp.safe_time = get_ts(r);
+    const uint32_t n = r.get_u32();
+    resp.last_heard.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) resp.last_heard.push_back(get_ts(r));
+    resp.chains = get_vec<MigratedChain>(r);
+    return resp;
+  }
+};
+
+// Coordinator -> target partition: one source's handoff parcel.  The
+// target activates (starts serving) once parcels from all
+// `expected_sources` distinct sources have been applied.  Idempotent per
+// (epoch, source).
+struct TccMigrateInReq {
+  uint32_t epoch = 0;
+  PartitionId source = 0;
+  uint32_t expected_sources = 0;
+  Timestamp source_safe;
+  std::vector<Timestamp> last_heard;
+  std::vector<MigratedChain> chains;
+
+  size_t size_hint() const {
+    size_t n = 4 + 4 + 4 + 8 + 4 + last_heard.size() * 8 + 4;
+    for (const auto& c : chains) n += c.size_hint();
+    return n;
+  }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u32(epoch);
+    w.put_u32(source);
+    w.put_u32(expected_sources);
+    put_ts(w, source_safe);
+    w.put_u32(static_cast<uint32_t>(last_heard.size()));
+    for (Timestamp t : last_heard) put_ts(w, t);
+    put_vec(w, chains);
+  }
+  static TccMigrateInReq decode(BufReader& r) {
+    TccMigrateInReq q;
+    q.epoch = r.get_u32();
+    q.source = r.get_u32();
+    q.expected_sources = r.get_u32();
+    q.source_safe = get_ts(r);
+    const uint32_t n = r.get_u32();
+    q.last_heard.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) q.last_heard.push_back(get_ts(r));
+    q.chains = get_vec<MigratedChain>(r);
+    return q;
+  }
+};
+
+struct TccMigrateInResp {
+  bool ok = true;
+  template <typename W>
+  void encode(W& w) const { w.put_bool(ok); }
+  static TccMigrateInResp decode(BufReader& r) { return {r.get_bool()}; }
 };
 
 // ---------------------------------------------------------------------------

@@ -26,6 +26,34 @@ void MvStore::install(Key key, Value value, Timestamp ts) {
   chain.insert(it, Version{std::move(value), ts});
 }
 
+void MvStore::migrate_in(Key key, const std::vector<Version>& versions) {
+  for (const Version& v : versions) {
+    // install() is idempotent on (key, ts) and keeps the accounting, so a
+    // migrated chain behaves exactly like one built from commits.
+    install(key, v.value, v.ts);
+  }
+}
+
+std::vector<std::pair<Key, std::vector<MvStore::Version>>>
+MvStore::extract_chains(const std::function<bool(Key)>& pred) {
+  std::vector<std::pair<Key, std::vector<Version>>> out;
+  for (auto it = chains_.begin(); it != chains_.end();) {
+    if (!pred(it->first)) {
+      ++it;
+      continue;
+    }
+    for (const Version& v : it->second) {
+      value_bytes_ -= v.value.size();
+      --num_versions_;
+    }
+    out.emplace_back(it->first, std::move(it->second));
+    it = chains_.erase(it);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 MvStore::ReadResult MvStore::read_at(Key key, Timestamp snapshot) const {
   ReadResult out;
   auto it = chains_.find(key);

@@ -8,8 +8,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/hlc.h"
@@ -33,6 +35,19 @@ class MvStore {
   // Installs a version.  Timestamps are unique system-wide (HLC + node id),
   // so installing the same timestamp twice is a protocol error.
   void install(Key key, Value value, Timestamp ts);
+
+  // Installs a whole chain received through an elastic handoff.  Versions
+  // may arrive in any order and may duplicate ones already present (a
+  // retried migration re-delivers the parcel): duplicates by (key, ts) are
+  // ignored, so the operation is idempotent.
+  void migrate_in(Key key, const std::vector<Version>& versions);
+
+  // Removes and returns every chain whose key satisfies `pred` (the slots
+  // leaving this partition).  Results are sorted by key: chains_ iterates
+  // in hash order, and the extracted set goes on the wire where byte
+  // layout must be deterministic.
+  std::vector<std::pair<Key, std::vector<Version>>> extract_chains(
+      const std::function<bool(Key)>& pred);
 
   // Newest version with ts <= snapshot.
   ReadResult read_at(Key key, Timestamp snapshot) const;

@@ -5,7 +5,13 @@
 namespace faastcc::storage {
 
 void Stabilizer::on_gossip(PartitionId from, Timestamp safe_time) {
-  auto& slot = last_heard_.at(from);
+  // A joiner's gossip can reach a partition that has not yet adopted the
+  // new routing table (missed broadcast, pull pending).  Ignore it: the
+  // epoch gate will force a table refresh soon, and until then excluding
+  // the joiner from the min is a freshness question, not a soundness one —
+  // per-key promises anchor on the owner's own safe time.
+  if (from >= last_heard_.size()) return;
+  auto& slot = last_heard_[from];
   if (safe_time > slot) slot = safe_time;
 }
 
@@ -13,6 +19,11 @@ Timestamp Stabilizer::stable_time() const {
   Timestamp min_ts = Timestamp::max();
   for (const Timestamp t : last_heard_) min_ts = std::min(min_ts, t);
   return min_ts;
+}
+
+void Stabilizer::extend_membership(size_t num_partitions) {
+  if (num_partitions <= last_heard_.size()) return;
+  last_heard_.resize(num_partitions, Timestamp::min());
 }
 
 }  // namespace faastcc::storage

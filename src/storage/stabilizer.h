@@ -25,9 +25,31 @@ class Stabilizer {
   void on_gossip(PartitionId from, Timestamp safe_time);
 
   // Global stable time: min over all partitions' last-heard safe times.
+  // Members that have never gossiped sit at Timestamp::min() and pin the
+  // result to the floor until they are heard from.
   Timestamp stable_time() const;
 
+  // ---- Elastic membership -------------------------------------------------
+  // New members enter the min as a strict barrier, exactly like the
+  // startup cohort: seeded Timestamp::min(), pinning the stable view to
+  // the floor until the joiner has genuinely gossiped a safe time.  A
+  // lenient "excluded until heard" (Timestamp::max()) sentinel is NOT
+  // sound here: the caching layer extends promises of a partition's keys
+  // by that partition's pushed stable time, and a cache that missed the
+  // epoch bump still attributes a migrated key to its old owner — whose
+  // stable, were the joiner excluded, could overrun the joiner's safe
+  // time and promise straight past a commit the joiner installs below it.
+  // The barrier window is one activation plus a gossip period; during it
+  // the adopter's stable (and therefore promise extension and GC) simply
+  // pauses, which costs freshness, never correctness.
+
+  // Grows membership to `num_partitions`, seeding new members min() (not
+  // yet gossiped).  No-op when membership is already at least that large.
+  void extend_membership(size_t num_partitions);
+
   Timestamp last_heard(PartitionId p) const { return last_heard_.at(p); }
+  const std::vector<Timestamp>& last_heard_all() const { return last_heard_; }
+  size_t num_partitions() const { return last_heard_.size(); }
   PartitionId self() const { return self_; }
 
  private:

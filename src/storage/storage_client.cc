@@ -4,6 +4,7 @@
 #include <cassert>
 #include <unordered_map>
 
+#include "routing/topology_service.h"
 #include "sim/when_all.h"
 
 namespace faastcc::storage {
@@ -27,15 +28,34 @@ std::vector<PartitionBatch> group_by_partition(size_t n, KeyOf&& key_of) {
   return batches;
 }
 
-// Commit-phase retry budget.  Once every participant has prepared the
-// transaction is decided, so the coordinator tries much harder than for
-// reads before giving up; the budget must stay well inside the partitions'
-// prepare_ttl so a commit retry never races its own lease expiry.
-net::RpcNode::RetryPolicy commit_policy() {
-  net::RpcNode::RetryPolicy p;
-  p.max_attempts = 12;
-  p.max_backoff = milliseconds(64);
-  return p;
+// Commit-phase retry budget: net::commit_retry_policy().  Once every
+// participant has prepared the transaction is decided, so the coordinator
+// tries much harder than for reads before giving up; the budget must stay
+// well inside the partitions' prepare_ttl so a commit retry never races
+// its own lease expiry.
+
+// Epoch-aware typed call: decodes on success and reports a wrong-epoch
+// NACK distinctly from a timeout, so commit paths know whether to refresh
+// the routing table before giving up.
+template <typename Resp>
+struct CallOutcome {
+  std::optional<Resp> resp;
+  bool wrong_epoch = false;
+};
+
+template <typename Resp, typename Req>
+sim::Task<CallOutcome<Resp>> call_epoch(net::RpcNode& rpc, net::Address to,
+                                        net::MethodId method, Req req,
+                                        net::RetryPolicy policy,
+                                        obs::TraceContext ctx) {
+  auto r = co_await rpc.call_raw_sized_retry(to, method, rpc.encode(req),
+                                             policy, ctx);
+  CallOutcome<Resp> out;
+  out.wrong_epoch = r.status == net::RpcStatus::kWrongEpoch;
+  if (!r.ok()) co_return out;
+  out.resp = decode_message<Resp>(r.payload);
+  rpc.recycle(std::move(r.payload));
+  co_return out;
 }
 
 sim::Task<void> abort_everywhere(net::RpcNode& rpc, TxnId txn,
@@ -53,10 +73,69 @@ sim::Task<void> abort_everywhere(net::RpcNode& rpc, TxnId txn,
 
 }  // namespace
 
+bool TccStorageClient::adopt_table(routing::TablePtr t) {
+  if (t == nullptr ||
+      (topology_.table != nullptr && t->epoch <= topology_.table->epoch)) {
+    return false;
+  }
+  routing::TablePtr old = topology_.table;
+  topology_ = TccTopology(std::move(t));
+  rpc_.set_routing_epoch(topology_.table->epoch);
+  if (table_change_cb_ && old != nullptr) {
+    table_change_cb_(*old, *topology_.table);
+  }
+  return true;
+}
+
+sim::Task<bool> TccStorageClient::refresh_topology() {
+  if (topo_service_ == 0) co_return false;
+  // Collapse concurrent refreshes: whoever loses the race still sees the
+  // adopted table through topology_ afterwards.
+  if (refresh_inflight_) {
+    co_await sim::sleep_for(rpc_.loop(), net::routing_refresh_policy()
+                                             .initial_backoff);
+    co_return topology_.table != nullptr;
+  }
+  refresh_inflight_ = true;
+  auto raw = co_await rpc_.call_raw_retry(topo_service_, routing::kTopoGet,
+                                          Buffer{},
+                                          net::routing_refresh_policy());
+  refresh_inflight_ = false;
+  if (!raw.has_value()) co_return false;
+  auto table = routing::make_table(
+      decode_message<routing::RoutingTable>(*raw));
+  rpc_.recycle(std::move(*raw));
+  adopt_table(std::move(table));
+  co_return true;
+}
+
+void TccStorageClient::note_wrong_epoch_retry() {
+  if (metrics_ != nullptr) metrics_->counter("routing.wrong_epoch_retries").inc();
+}
+
 sim::Task<std::optional<TccReadResp>> TccStorageClient::read(
     std::vector<Key> keys, std::vector<Timestamp> cached_ts,
     Timestamp snapshot, ReadAccounting* accounting, obs::TraceContext trace) {
   assert(keys.size() == cached_ts.size());
+  const net::RetryPolicy refresh = net::routing_refresh_policy();
+  for (int attempt = 1;; ++attempt) {
+    ReadOutcome o =
+        co_await read_once(keys, cached_ts, snapshot, accounting, trace);
+    if (!o.stale_routing) co_return std::move(o.resp);
+    // Routed with a stale table (wrong-epoch NACK, or a partition that no
+    // longer owns one of the keys): pull the current table and re-batch.
+    // Never return wrong-owner entries to the caller.
+    if (topo_service_ == 0 || attempt >= refresh.max_attempts) {
+      co_return std::nullopt;
+    }
+    note_wrong_epoch_retry();
+    co_await refresh_topology();
+  }
+}
+
+sim::Task<TccStorageClient::ReadOutcome> TccStorageClient::read_once(
+    const std::vector<Key>& keys, const std::vector<Timestamp>& cached_ts,
+    Timestamp snapshot, ReadAccounting* accounting, obs::TraceContext trace) {
   auto batches = group_by_partition(
       keys.size(), [&](size_t i) { return topology_.address_of(keys[i]); });
 
@@ -99,8 +178,10 @@ sim::Task<std::optional<TccReadResp>> TccStorageClient::read(
     tracer_->end(span, rpc_.now());
   };
 
+  ReadOutcome out;
   TccReadResp merged;
   merged.entries.resize(keys.size());
+  bool failed = false;
   for (size_t b = 0; b < batches.size(); ++b) {
     if (accounting != nullptr) {
       ++accounting->rpcs;
@@ -109,19 +190,30 @@ sim::Task<std::optional<TccReadResp>> TccStorageClient::read(
       accounting->response_bytes += responses[b].payload.size();
     }
     if (!responses[b].ok()) {
-      end_span(true);
-      co_return std::nullopt;
+      if (responses[b].status == net::RpcStatus::kWrongEpoch) {
+        out.stale_routing = true;
+      }
+      failed = true;
+      continue;
     }
     auto resp = decode_message<TccReadResp>(responses[b].payload);
     rpc_.recycle(std::move(responses[b].payload));
     merged.stable_time = std::max(merged.stable_time, resp.stable_time);
     assert(resp.entries.size() == batches[b].input_index.size());
     for (size_t i = 0; i < resp.entries.size(); ++i) {
+      // A wrong-owner entry means the partition served our epoch but had
+      // already handed this key's chain away (a read that slept across the
+      // handoff): the batch must be re-routed through a fresh table.
+      if (resp.entries[i].status == TccReadResp::Status::kWrongOwner) {
+        out.stale_routing = true;
+        failed = true;
+      }
       merged.entries[batches[b].input_index[i]] = std::move(resp.entries[i]);
     }
   }
-  end_span(false);
-  co_return merged;
+  end_span(failed);
+  if (!failed) out.resp = std::move(merged);
+  co_return out;
 }
 
 sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
@@ -171,54 +263,78 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     req.dep_ts = dep_ts;
     req.writes = writes_for(batches[0]);
     record_commit_phase();
-    auto raw = co_await rpc_.call_raw_retry(batches[0].address, kTccCommit,
-                                            rpc_.encode(req),
-                                            commit_policy(), ctx);
-    if (!raw.has_value()) {
+    auto sized = co_await rpc_.call_raw_sized_retry(
+        batches[0].address, kTccCommit, rpc_.encode(req),
+        net::commit_retry_policy(), ctx);
+    if (!sized.ok()) {
+      if (sized.status == net::RpcStatus::kWrongEpoch) {
+        // The key's owner changed under us.  A commit is never re-routed
+        // at the new epoch: an earlier (timed-out) attempt may already
+        // have installed at the old owner and migrated with the chain,
+        // and the new owner has no resolved-txn record to dedup a re-send
+        // against.  Refresh so the NEXT transaction routes correctly and
+        // report abort; the client retries the DAG with a fresh txn id.
+        note_wrong_epoch_retry();
+        co_await refresh_topology();
+      }
       end_span(false);
       co_return std::nullopt;
     }
-    BufReader r(*raw);
+    BufReader r(sized.payload);
     const TccCommitResp resp = TccCommitResp::decode(r);
     if (!resp.ok) {
       // The partition refused the (retried) commit — the txn was aborted or
       // its prepare expired there and the writes were never installed.
+      rpc_.recycle(std::move(sized.payload));
       end_span(false);
       co_return std::nullopt;
     }
     const Timestamp commit_ts = get_ts(r);
+    rpc_.recycle(std::move(sized.payload));
     if (oracle_ != nullptr) oracle_->on_commit_ack(txn, commit_ts, dep_ts);
     end_span(true);
     co_return commit_ts;
   }
 
   // General path: prepare everywhere, then commit at max(prepare ts).
-  std::vector<sim::Task<std::optional<TccPrepareResp>>> prepares;
+  std::vector<sim::Task<CallOutcome<TccPrepareResp>>> prepares;
   prepares.reserve(batches.size());
   for (const auto& batch : batches) {
     TccPrepareReq req;
     req.txn = txn;
     req.dep_ts = dep_ts;
-    prepares.push_back(rpc_.call_with_retry<TccPrepareResp>(
-        batch.address, kTccPrepare, req, {}, ctx));
+    prepares.push_back(call_epoch<TccPrepareResp>(rpc_, batch.address,
+                                                  kTccPrepare, req, {}, ctx));
   }
   auto prepare_resps = co_await sim::when_all(rpc_.loop(), std::move(prepares));
   bool failed = false;
+  bool stale = false;
   Timestamp commit_ts = dep_ts.next();
   for (const auto& pr : prepare_resps) {
     // A prepare can be refused (ok=false) when the partition already
     // expired this transaction's earlier prepare and tombstoned it.
-    if (!pr.has_value() || !pr->ok) failed = true;
-    if (pr.has_value()) commit_ts = std::max(commit_ts, pr->prepare_ts);
+    if (!pr.resp.has_value() || !pr.resp->ok) failed = true;
+    if (pr.wrong_epoch) stale = true;
+    if (pr.resp.has_value()) {
+      commit_ts = std::max(commit_ts, pr.resp->prepare_ts);
+    }
   }
   if (failed) {
+    // Like the fast path, a wrong-epoch prepare is an abort, not a
+    // re-route (the refresh only serves the next transaction).  Aborts go
+    // to the OLD owners — kTccAbort is deliberately not epoch-gated so the
+    // cleanup reaches whoever holds the pending prepares.
+    if (stale) {
+      note_wrong_epoch_retry();
+      co_await refresh_topology();
+    }
     co_await abort_everywhere(rpc_, txn, batches);
     end_span(false);
     co_return std::nullopt;
   }
 
   record_commit_phase();
-  std::vector<sim::Task<std::optional<TccCommitResp>>> commits;
+  std::vector<sim::Task<CallOutcome<TccCommitResp>>> commits;
   commits.reserve(batches.size());
   for (const auto& batch : batches) {
     TccCommitReq req;
@@ -226,10 +342,14 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     req.commit_ts = commit_ts;
     req.dep_ts = dep_ts;
     req.writes = writes_for(batch);
-    commits.push_back(rpc_.call_with_retry<TccCommitResp>(
-        batch.address, kTccCommit, req, commit_policy(), ctx));
+    commits.push_back(call_epoch<TccCommitResp>(rpc_, batch.address,
+                                                kTccCommit, req,
+                                                net::commit_retry_policy(),
+                                                ctx));
   }
   auto commit_resps = co_await sim::when_all(rpc_.loop(), std::move(commits));
+  stale = false;
+  bool committed = true;
   for (const auto& cr : commit_resps) {
     // Exhausted even the commit budget (the unreachable participant's
     // prepare lease will expire and abort its half), or a participant
@@ -237,10 +357,16 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     // txn without installing anything.  Report abort; see docs/simulation.md
     // "Fault model" for the (vanishingly rare) torn outcome this trades for
     // liveness.
-    if (!cr.has_value() || !cr->ok) {
-      end_span(false);
-      co_return std::nullopt;
-    }
+    if (!cr.resp.has_value() || !cr.resp->ok) committed = false;
+    if (cr.wrong_epoch) stale = true;
+  }
+  if (stale) {
+    note_wrong_epoch_retry();
+    co_await refresh_topology();
+  }
+  if (!committed) {
+    end_span(false);
+    co_return std::nullopt;
   }
   if (oracle_ != nullptr) oracle_->on_commit_ack(txn, commit_ts, dep_ts);
   end_span(true);
@@ -272,7 +398,7 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     tracer_->end(span, rpc_.now());
   };
 
-  std::vector<sim::Task<std::optional<TccPrepareResp>>> prepares;
+  std::vector<sim::Task<CallOutcome<TccPrepareResp>>> prepares;
   prepares.reserve(batches.size());
   for (const auto& batch : batches) {
     TccPrepareReq req;
@@ -283,20 +409,28 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     for (size_t idx : batch.input_index) {
       req.write_keys.push_back(writes[idx].key);
     }
-    prepares.push_back(rpc_.call_with_retry<TccPrepareResp>(
-        batch.address, kTccPrepare, req, {}, ctx));
+    prepares.push_back(call_epoch<TccPrepareResp>(rpc_, batch.address,
+                                                  kTccPrepare, req, {}, ctx));
   }
   auto prepare_resps = co_await sim::when_all(rpc_.loop(), std::move(prepares));
 
   bool conflict = false;
+  bool stale = false;
   Timestamp commit_ts = dep_ts.next();
   for (const auto& pr : prepare_resps) {
     // An unreachable participant is treated like a conflict: abort and let
     // the caller retry with a fresh transaction.
-    if (!pr.has_value() || !pr->ok) conflict = true;
-    if (pr.has_value()) commit_ts = std::max(commit_ts, pr->prepare_ts);
+    if (!pr.resp.has_value() || !pr.resp->ok) conflict = true;
+    if (pr.wrong_epoch) stale = true;
+    if (pr.resp.has_value()) {
+      commit_ts = std::max(commit_ts, pr.resp->prepare_ts);
+    }
   }
   if (conflict) {
+    if (stale) {
+      note_wrong_epoch_retry();
+      co_await refresh_topology();
+    }
     // Release every participant (the conflicting ones are no-ops).
     co_await abort_everywhere(rpc_, txn, batches);
     end_span(false);
@@ -309,7 +443,7 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     for (const auto& kv : writes) write_keys.push_back(kv.key);
     oracle_->on_commit_phase(txn, std::move(write_keys));
   }
-  std::vector<sim::Task<std::optional<TccCommitResp>>> commits;
+  std::vector<sim::Task<CallOutcome<TccCommitResp>>> commits;
   commits.reserve(batches.size());
   for (const auto& batch : batches) {
     TccCommitReq req;
@@ -317,15 +451,25 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     req.commit_ts = commit_ts;
     req.dep_ts = dep_ts;
     for (size_t idx : batch.input_index) req.writes.push_back(writes[idx]);
-    commits.push_back(rpc_.call_with_retry<TccCommitResp>(
-        batch.address, kTccCommit, req, commit_policy(), ctx));
+    commits.push_back(call_epoch<TccCommitResp>(rpc_, batch.address,
+                                                kTccCommit, req,
+                                                net::commit_retry_policy(),
+                                                ctx));
   }
   auto commit_resps = co_await sim::when_all(rpc_.loop(), std::move(commits));
+  stale = false;
+  bool committed = true;
   for (const auto& cr : commit_resps) {
-    if (!cr.has_value() || !cr->ok) {
-      end_span(false);
-      co_return std::nullopt;
-    }
+    if (!cr.resp.has_value() || !cr.resp->ok) committed = false;
+    if (cr.wrong_epoch) stale = true;
+  }
+  if (stale) {
+    note_wrong_epoch_retry();
+    co_await refresh_topology();
+  }
+  if (!committed) {
+    end_span(false);
+    co_return std::nullopt;
   }
   if (oracle_ != nullptr) oracle_->on_commit_ack(txn, commit_ts, dep_ts);
   end_span(true);
@@ -337,22 +481,34 @@ sim::Task<bool> TccStorageClient::subscribe_impl(std::vector<Key> keys,
                                                  uint64_t seq) {
   auto batches = group_by_partition(
       keys.size(), [&](size_t i) { return topology_.address_of(keys[i]); });
-  std::vector<sim::Task<std::optional<Buffer>>> calls;
+  std::vector<sim::Task<net::RpcNode::SizedResponse>> calls;
   calls.reserve(batches.size());
   for (const auto& batch : batches) {
     SubscribeReq req;
     for (size_t idx : batch.input_index) req.keys.push_back(keys[idx]);
     req.seq = seq;
     calls.push_back(
-        rpc_.call_raw_retry(batch.address, method, rpc_.encode(req)));
+        rpc_.call_raw_sized_retry(batch.address, method, rpc_.encode(req)));
   }
   // Best effort for liveness: a missed (un)subscribe only costs push
   // efficiency.  But the caller must know — an unconfirmed subscription
   // delivers no pushes, so open-entry promises must not lean on it.
   auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
   bool all_acked = true;
-  for (const auto& r : responses) {
-    if (!r.has_value()) all_acked = false;
+  bool stale = false;
+  for (auto& r : responses) {
+    if (!r.ok()) {
+      all_acked = false;
+      if (r.status == net::RpcStatus::kWrongEpoch) stale = true;
+    } else {
+      rpc_.recycle(std::move(r.payload));
+    }
+  }
+  if (stale) {
+    // An unacked subscription stays closed (sound); refreshing here lets
+    // the cache's re-home pass route the follow-up subscribe correctly.
+    note_wrong_epoch_retry();
+    co_await refresh_topology();
   }
   co_return all_acked;
 }
@@ -508,7 +664,8 @@ sim::Task<std::optional<std::vector<EvVersion>>> EvStorageClient::put(
     EvPutReq req;
     for (size_t idx : batch.input_index) req.items.push_back(items[idx]);
     calls.push_back(rpc_.call_with_retry<EvPutResp>(batch.address, kEvPut, req,
-                                                    commit_policy(), ctx));
+                                                    net::commit_retry_policy(),
+                                                    ctx));
   }
   auto responses = co_await sim::when_all(rpc_.loop(), std::move(calls));
 

@@ -12,22 +12,45 @@
 #include <vector>
 
 #include "check/oracle.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "net/rpc.h"
 #include "obs/trace.h"
+#include "routing/routing_table.h"
 #include "storage/messages.h"
 
 namespace faastcc::storage {
 
+// Key -> partition view held by a storage client.
+//
+// Two modes share the struct.  The plain-vector mode (fill `partitions`,
+// leave `table` null) is the historical static construction used by unit
+// tests and non-elastic assemblies: routing is `key mod N` and the epoch
+// is 0, which opts the client out of epoch gating entirely.  The
+// table-backed mode routes through an epoch-stamped routing::RoutingTable
+// and is what the harness wires up, making the client a participant in
+// elastic scale-out.
 struct TccTopology {
-  std::vector<net::Address> partitions;
+  std::vector<net::Address> partitions;  // epoch-1 construction interface
+  routing::TablePtr table;               // authoritative when set
 
-  size_t num_partitions() const { return partitions.size(); }
+  TccTopology() = default;
+  TccTopology(std::initializer_list<net::Address> p) : partitions(p) {}
+  explicit TccTopology(routing::TablePtr t)
+      : partitions(t->partitions), table(std::move(t)) {}
+
+  size_t num_partitions() const {
+    return table != nullptr ? table->num_partitions() : partitions.size();
+  }
+  uint32_t epoch() const { return table != nullptr ? table->epoch : 0; }
   PartitionId partition_of(Key k) const {
-    return static_cast<PartitionId>(k % partitions.size());
+    return table != nullptr
+               ? table->partition_of(k)
+               : routing::mod_partition(k, partitions.size());
   }
   net::Address address_of(Key k) const {
-    return partitions[partition_of(k)];
+    return table != nullptr ? table->address_of(k)
+                            : partitions[partition_of(k)];
   }
 };
 
@@ -37,7 +60,13 @@ class TccStorageClient {
                    obs::Tracer* tracer = nullptr,
                    check::ConsistencyOracle* oracle = nullptr)
       : rpc_(rpc), topology_(std::move(topology)), tracer_(tracer),
-        oracle_(oracle) {}
+        oracle_(oracle) {
+    // Table-backed clients participate in epoch gating from the start;
+    // plain-vector clients stay at epoch 0 and are never NACKed.
+    if (topology_.table != nullptr) {
+      rpc_.set_routing_epoch(topology_.table->epoch);
+    }
+  }
 
   struct ReadAccounting {
     size_t rpcs = 0;            // individual partition requests
@@ -82,15 +111,54 @@ class TccStorageClient {
   sim::Task<void> unsubscribe(std::vector<Key> keys, uint64_t seq = 0);
 
   const TccTopology& topology() const { return topology_; }
+  uint32_t epoch() const { return topology_.epoch(); }
+
+  // ---- Elastic routing ----------------------------------------------------
+  // Where to pull a fresh RoutingTable after a wrong-epoch NACK (0 = no
+  // topology service: the client keeps its static table forever).  The
+  // metrics registry, when given, accounts wrong-epoch retries.
+  void enable_routing_refresh(net::Address topo_service,
+                              Metrics* metrics = nullptr) {
+    topo_service_ = topo_service;
+    metrics_ = metrics;
+  }
+  // Fires after a newer table is adopted, with the table it replaced —
+  // the cache uses this to re-home subscriptions and stable tracking.
+  using TableChangeCallback = std::function<void(
+      const routing::RoutingTable& old_table,
+      const routing::RoutingTable& new_table)>;
+  void on_table_change(TableChangeCallback cb) {
+    table_change_cb_ = std::move(cb);
+  }
+  // Adopts `t` if it is newer than the current table; stamps the owning
+  // RpcNode's epoch and fires the change callback.  Returns true on adopt.
+  bool adopt_table(routing::TablePtr t);
+  // Pulls the newest table from the topology service (one retry profile's
+  // worth of attempts); false when unreachable or no service configured.
+  sim::Task<bool> refresh_topology();
 
  private:
   sim::Task<bool> subscribe_impl(std::vector<Key> keys, TccMethod method,
                                  uint64_t seq);
+  struct ReadOutcome {
+    std::optional<TccReadResp> resp;
+    bool stale_routing = false;  // wrong-epoch NACK or wrong-owner entry
+  };
+  sim::Task<ReadOutcome> read_once(const std::vector<Key>& keys,
+                                   const std::vector<Timestamp>& cached_ts,
+                                   Timestamp snapshot,
+                                   ReadAccounting* accounting,
+                                   obs::TraceContext trace);
+  void note_wrong_epoch_retry();
 
   net::RpcNode& rpc_;
   TccTopology topology_;
   obs::Tracer* tracer_ = nullptr;
   check::ConsistencyOracle* oracle_ = nullptr;
+  net::Address topo_service_ = 0;
+  Metrics* metrics_ = nullptr;
+  TableChangeCallback table_change_cb_;
+  bool refresh_inflight_ = false;
 };
 
 struct EvTopology {
@@ -99,7 +167,7 @@ struct EvTopology {
 
   size_t num_partitions() const { return replicas.size(); }
   PartitionId partition_of(Key k) const {
-    return static_cast<PartitionId>(k % replicas.size());
+    return routing::mod_partition(k, replicas.size());
   }
 };
 

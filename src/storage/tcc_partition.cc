@@ -4,6 +4,7 @@
 #include <cassert>
 
 #include "common/log.h"
+#include "routing/topology_service.h"
 #include "sim/future.h"
 
 namespace faastcc::storage {
@@ -42,15 +43,114 @@ TccPartition::TccPartition(net::Network& network, net::Address self,
   rpc_.handle_oneway(kTccGossip, [this](Buffer b, net::Address from) {
     on_gossip(std::move(b), from);
   });
+  rpc_.handle(kTccMigrateOut, [this](Buffer b, net::Address from) {
+    return on_migrate_out(std::move(b), from);
+  });
+  rpc_.handle(kTccMigrateIn, [this](Buffer b, net::Address from) {
+    return on_migrate_in(std::move(b), from);
+  });
 }
 
 void TccPartition::start() {
+  if (started_) return;
+  started_ = true;
   // Seed the stabilizer with our own safe time so stable_time() is defined
   // before the first gossip round completes.
   stabilizer_.on_gossip(id_, safe_time());
   sim::spawn(gossip_loop());
   sim::spawn(push_loop());
   sim::spawn(gc_loop());
+}
+
+void TccPartition::set_routing(routing::TablePtr table) {
+  if (table == nullptr) return;
+  if (table_ != nullptr && table->epoch <= table_->epoch) return;
+  const bool first = (table_ == nullptr);
+  table_ = std::move(table);
+  all_partitions_.assign(table_->partitions.begin(), table_->partitions.end());
+  stabilizer_.extend_membership(table_->num_partitions());
+  rpc_.set_routing_epoch(table_->epoch);
+  if (first) {
+    // Gate the client-facing traffic on the epoch.  kTccAbort stays
+    // ungated: post-bump cleanup of a NACKed commit must still reach the
+    // OLD owners holding the pending prepares.  kTccGossip, migration and
+    // pushes are epoch-agnostic by design.
+    rpc_.gate_on_epoch(kTccRead);
+    rpc_.gate_on_epoch(kTccPrepare);
+    rpc_.gate_on_epoch(kTccCommit);
+    rpc_.gate_on_epoch(kTccSubscribe);
+    rpc_.gate_on_epoch(kTccUnsubscribe);
+  }
+}
+
+void TccPartition::set_topo_service(net::Address topo) {
+  topo_service_ = topo;
+  rpc_.on_stale_epoch([this] {
+    // A gated request carried a newer epoch than ours: we missed the
+    // broadcast.  Pull the table; correctness never depends on the push.
+    if (!refresh_inflight_) sim::spawn(refresh_table());
+  });
+  rpc_.handle_oneway(routing::kTopoUpdate, [this](Buffer b, net::Address) {
+    auto t = decode_message<routing::RoutingTable>(b);
+    rpc_.recycle(std::move(b));
+    set_routing(routing::make_table(std::move(t)));
+  });
+}
+
+sim::Task<void> TccPartition::refresh_table() {
+  refresh_inflight_ = true;
+  auto resp = co_await rpc_.call_raw_retry(topo_service_, routing::kTopoGet,
+                                           Buffer{},
+                                           net::routing_refresh_policy());
+  if (resp.has_value()) {
+    auto t = decode_message<routing::RoutingTable>(*resp);
+    rpc_.recycle(std::move(*resp));
+    set_routing(routing::make_table(std::move(t)));
+  }
+  refresh_inflight_ = false;
+}
+
+void TccPartition::defer_serving() {
+  serving_ = false;
+  // The joiner's stabilizer keeps the strict startup barrier (everyone at
+  // min() until genuinely heard); migrated stabilizer snapshots and live
+  // gossip lift it within a gossip period of activation.
+}
+
+void TccPartition::begin_join(routing::TablePtr table,
+                              size_t expected_sources) {
+  join_epoch_ = table->epoch;
+  join_expected_ = expected_sources;
+  set_routing(std::move(table));
+  // A joiner that owns no slots (or steals only empty ones) has nothing to
+  // wait for.
+  if (expected_sources == 0) activate();
+}
+
+sim::Task<void> TccPartition::parked() {
+  counters_.handoff_parked.inc();
+  const SimTime t0 = rpc_.now();
+  sim::Promise<bool> p(rpc_.loop());
+  parked_.push_back(p);
+  co_await p.get_future();
+  if (metrics_ != nullptr) {
+    metrics_->histogram("routing.handoff_stall_us")
+        .add(static_cast<double>(rpc_.now() - t0));
+  }
+}
+
+void TccPartition::release_parked() {
+  std::vector<sim::Promise<bool>> waiters = std::move(parked_);
+  parked_.clear();
+  for (auto& p : waiters) p.set_value(true);
+}
+
+void TccPartition::activate() {
+  if (serving_) return;
+  serving_ = true;
+  if (oracle_ != nullptr) oracle_->on_handoff(id_, handoff_floor_);
+  start();
+  release_parked();
 }
 
 uint64_t TccPartition::physical_now_us() const {
@@ -103,6 +203,7 @@ TccReadResp::Entry TccPartition::read_one(Key key, Timestamp eff,
 sim::Task<Buffer> TccPartition::on_read(Buffer req, net::Address) {
   // Valid only before the first co_await below.
   const obs::TraceContext inbound = rpc_.inbound_trace();
+  if (!serving_) co_await parked();
   obs::SpanHandle span;
   if (tracer_ != nullptr) {
     span = tracer_->begin(inbound, "partition.read", "storage", rpc_.address(),
@@ -122,6 +223,17 @@ sim::Task<Buffer> TccPartition::on_read(Buffer req, net::Address) {
   resp.entries.reserve(q.keys.size());
   size_t unchanged = 0;
   for (size_t i = 0; i < q.keys.size(); ++i) {
+    if (!owns(q.keys[i])) {
+      // The request matched our epoch when admitted, but the chain was
+      // handed away while this handler slept.  No version data; the
+      // client refreshes its table and re-routes.
+      TccReadResp::Entry e;
+      e.key = q.keys[i];
+      e.status = TccReadResp::Status::kWrongOwner;
+      counters_.wrong_owner_reads.inc();
+      resp.entries.push_back(std::move(e));
+      continue;
+    }
     resp.entries.push_back(read_one(q.keys[i], eff, q.cached_ts[i]));
     if (resp.entries.back().status == TccReadResp::Status::kUnchanged) {
       ++unchanged;
@@ -217,8 +329,16 @@ void TccPartition::expire_stale_prepares() {
 sim::Task<Buffer> TccPartition::on_prepare(Buffer req, net::Address) {
   auto q = decode_message<TccPrepareReq>(req);
   rpc_.recycle(std::move(req));
+  if (!serving_) co_await parked();
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
   TccPrepareResp resp;
+  // Ownership recheck after the sleep: chains named by the prepare may
+  // have been handed away while this handler was parked or sleeping.
+  for (Key k : q.write_keys) {
+    if (owns(k)) continue;
+    resp.ok = false;
+    co_return rpc_.encode(resp);
+  }
   // Duplicated delivery or timed-out retry of an outstanding prepare:
   // answer with the registered timestamp instead of pinning the safe time
   // a second time (the stray entry would never be resolved).
@@ -285,6 +405,7 @@ void TccPartition::install_writes(const TccCommitReq& req) {
 sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
   auto q = decode_message<TccCommitReq>(req);
   rpc_.recycle(std::move(req));
+  if (!serving_) co_await parked();
   co_await sim::sleep_for(
       rpc_.loop(), params_.request_cpu + params_.per_key_cpu *
                                              static_cast<Duration>(
@@ -305,6 +426,25 @@ sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
     dup_resp.encode(dup_w);
     put_ts(dup_w, rc->second == Timestamp::min() ? q.commit_ts : rc->second);
     co_return dup_w.take();
+  }
+  // Ownership recheck after the sleep: the written chains may have been
+  // handed to another partition while this commit was in flight.  Refuse
+  // WITHOUT installing — the old owner no longer holds the chains and the
+  // new owner's dedup table never saw this txn, so installing on either
+  // side risks a duplicate version.  Release any prepared slot so the
+  // safe time is not pinned by a commit that can never apply; the
+  // coordinator surfaces the abort (the documented torn-abort class).
+  for (const auto& kv : q.writes) {
+    if (owns(kv.key)) continue;
+    release_locks(q.txn);
+    resolve_pending(q.txn);
+    remember_resolved(q.txn, Timestamp::min());
+    TccCommitResp refuse;
+    refuse.ok = false;
+    BufWriter rw;
+    refuse.encode(rw);
+    put_ts(rw, q.commit_ts);
+    co_return rw.take();
   }
   if (q.commit_ts == Timestamp::min()) {
     // Single-partition fast path: no prepare round happened; the partition
@@ -349,9 +489,13 @@ bool TccPartition::ctl_stale(uint64_t seq, net::Address from) {
 sim::Task<Buffer> TccPartition::on_subscribe(Buffer req, net::Address from) {
   auto q = decode_message<SubscribeReq>(req);
   rpc_.recycle(std::move(req));
+  if (!serving_) co_await parked();
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
   if (ctl_stale(q.seq, from)) co_return Buffer{};
   for (Key k : q.keys) {
+    // Keys handed away while this handler slept are skipped: the cache
+    // re-subscribes at the new owner once it adopts the fresh table.
+    if (!owns(k)) continue;
     add_subscriber(k, from);
     // Re-announce the key's latest version on the next push: a successor
     // may have been installed between the read that triggered this
@@ -377,6 +521,7 @@ void TccPartition::drop_subscriber(Key k, net::Address cache) {
 sim::Task<Buffer> TccPartition::on_unsubscribe(Buffer req, net::Address from) {
   auto q = decode_message<SubscribeReq>(req);
   rpc_.recycle(std::move(req));
+  if (!serving_) co_await parked();
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
   if (ctl_stale(q.seq, from)) co_return Buffer{};
   for (Key k : q.keys) drop_subscriber(k, from);
@@ -439,6 +584,119 @@ sim::Task<void> TccPartition::push_loop() {
       rpc_.send(sub, kTccPush, batch);
     }
   }
+}
+
+sim::Task<Buffer> TccPartition::on_migrate_out(Buffer req, net::Address) {
+  auto q = decode_message<TccMigrateOutReq>(req);
+  rpc_.recycle(std::move(req));
+  const auto cache_key = std::make_pair(q.table.epoch, q.target);
+  if (auto it = migrate_out_cache_.find(cache_key);
+      it != migrate_out_cache_.end()) {
+    // Duplicated or retried migrate-out: the chains left the store on the
+    // first attempt, so the only sound answer is a replay of the original
+    // parcel.
+    co_return rpc_.encode(it->second);
+  }
+  co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  // Re-check after the sleep: a duplicated delivery may have raced this
+  // handler to the extraction while both were sleeping.
+  if (auto it = migrate_out_cache_.find(cache_key);
+      it != migrate_out_cache_.end()) {
+    co_return rpc_.encode(it->second);
+  }
+  TccMigrateOutResp resp;
+  if (table_ != nullptr && q.table.epoch < table_->epoch) {
+    // A coordinator retrying an epoch this partition has moved past
+    // entirely: nothing sound to extract.
+    resp.ok = false;
+    co_return rpc_.encode(resp);
+  }
+  // Adopt the carried table first (self-contained even if the broadcast
+  // was lost): from here on the epoch gate refuses old-epoch traffic and
+  // owns() steers already-admitted, still-sleeping handlers away from the
+  // migrated chains.
+  set_routing(routing::make_table(q.table));
+  const PartitionId target = q.target;
+  auto moved = store_.extract_chains(
+      [this, target](Key k) { return table_->partition_of(k) == target; });
+  resp.chains.reserve(moved.size());
+  for (auto& [key, versions] : moved) {
+    // Drop pub/sub state for the moved keys: the caches re-home their
+    // subscriptions at the new owner when they adopt the fresh table.
+    dirty_.erase(key);
+    if (auto sit = subscribers_.find(key); sit != subscribers_.end()) {
+      const std::vector<net::Address> subs(sit->second.begin(),
+                                           sit->second.end());
+      for (net::Address c : subs) drop_subscriber(key, c);
+    }
+    MigratedChain chain;
+    chain.key = key;
+    chain.versions.reserve(versions.size());
+    for (auto& v : versions) {
+      chain.versions.push_back(MigratedVersion{std::move(v.value), v.ts});
+    }
+    resp.chains.push_back(std::move(chain));
+  }
+  counters_.keys_migrated_out.inc(resp.chains.size());
+  resp.last_heard = stabilizer_.last_heard_all();
+  // Taken LAST, after sealing and extraction: >= every promise this
+  // partition ever issued for the migrated keys (promises are bounded by
+  // the published safe time, which is monotone) and >= every migrated
+  // version's timestamp (the clock advanced past each install).  The
+  // target must never commit at or below it.
+  resp.safe_time = safe_time();
+  resp.ok = true;
+  migrate_out_cache_.emplace(cache_key, resp);
+  co_return rpc_.encode(resp);
+}
+
+sim::Task<Buffer> TccPartition::on_migrate_in(Buffer req, net::Address) {
+  auto q = decode_message<TccMigrateInReq>(req);
+  rpc_.recycle(std::move(req));
+  co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  TccMigrateInResp resp;
+  if (q.epoch != join_epoch_) {
+    resp.ok = false;
+    co_return rpc_.encode(resp);
+  }
+  if (join_applied_.count(q.source) != 0) {
+    // Duplicate parcel (retry of an acked apply): already installed.
+    co_return rpc_.encode(resp);
+  }
+  join_applied_.insert(q.source);
+  // Seed the clock above the source's sealed safe time and every migrated
+  // version's timestamp: this partition must never mint a commit at or
+  // below either (promise soundness + append-only chains).
+  clock_.update(q.source_safe, physical_now_us());
+  if (q.source_safe > handoff_floor_) handoff_floor_ = q.source_safe;
+  // Merge the source's genuinely observed stabilization state; sentinels
+  // (min = never seeded, max = unheard) carry no information.
+  const size_t n = std::min(q.last_heard.size(), stabilizer_.num_partitions());
+  for (size_t p = 0; p < n; ++p) {
+    if (q.last_heard[p] == Timestamp::min()) continue;
+    if (q.last_heard[p] == Timestamp::max()) continue;
+    stabilizer_.on_gossip(static_cast<PartitionId>(p), q.last_heard[p]);
+  }
+  for (const auto& chain : q.chains) {
+    std::vector<MvStore::Version> versions;
+    versions.reserve(chain.versions.size());
+    for (const auto& v : chain.versions) {
+      clock_.update(v.ts, physical_now_us());
+      if (v.ts > handoff_floor_) handoff_floor_ = v.ts;
+      versions.push_back(MvStore::Version{v.value, v.ts});
+    }
+    // No oracle->on_install here: the versions were recorded when the
+    // source installed them; re-recording would false-flag duplicates.
+    store_.migrate_in(chain.key, versions);
+  }
+  counters_.keys_migrated_in.inc(q.chains.size());
+  if (metrics_ != nullptr) {
+    metrics_->counter("routing.keys_migrated").inc(q.chains.size());
+  }
+  if (join_expected_ > 0 && join_applied_.size() >= join_expected_) {
+    activate();
+  }
+  co_return rpc_.encode(resp);
 }
 
 sim::Task<void> TccPartition::gc_loop() {

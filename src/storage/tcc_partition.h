@@ -22,9 +22,12 @@
 
 #include "check/oracle.h"
 #include "common/hlc.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "net/rpc.h"
+#include "routing/routing_table.h"
+#include "sim/future.h"
 #include "storage/messages.h"
 #include "storage/mv_store.h"
 #include "storage/stabilizer.h"
@@ -70,8 +73,34 @@ class TccPartition {
                TccPartitionParams params, obs::Tracer* tracer = nullptr,
                check::ConsistencyOracle* oracle = nullptr);
 
-  // Spawns the gossip, push and GC background loops.
+  // Spawns the gossip, push and GC background loops.  Idempotent: a
+  // deferred joiner calls this again through activation.
   void start();
+
+  // ---- Epoch-versioned routing / elastic scale-out ------------------------
+
+  // Adopts `table` (no-op unless strictly newer than the current one).
+  // The first adoption arms the RPC epoch gate on the client-facing
+  // methods; kTccAbort stays ungated on purpose — post-bump cleanup must
+  // still reach old owners holding pending prepares.
+  void set_routing(routing::TablePtr table);
+  // Topology-service endpoint for pull-based refresh: a gated request
+  // stamped with a newer epoch than ours triggers a kTopoGet fetch, so a
+  // partition that missed the broadcast still converges.
+  void set_topo_service(net::Address topo);
+  // Optional shared metrics registry (handoff-stall histogram, migration
+  // counters).  Entries are created lazily, so non-elastic runs' metric
+  // listings are unchanged.
+  void set_metrics(Metrics* m) { metrics_ = m; }
+
+  // Joiner lifecycle: construct -> defer_serving() -> begin_join(table, n)
+  // -> (n migrate-in parcels applied) -> activate (internal).  While
+  // deferred, client-facing handlers park on a barrier instead of serving
+  // from an empty store.
+  void defer_serving();
+  void begin_join(routing::TablePtr table, size_t expected_sources);
+  bool serving() const { return serving_; }
+  routing::TablePtr routing_table() const { return table_; }
 
   net::Address address() const { return rpc_.address(); }
   PartitionId id() const { return id_; }
@@ -108,6 +137,12 @@ class TccPartition {
     Counter duplicate_prepares;
     Counter duplicate_commits;
     Counter prepares_expired;
+    // Elastic scale-out: reads refused because the key's chain was handed
+    // away, requests parked at a not-yet-serving joiner, and keys moved.
+    Counter wrong_owner_reads;
+    Counter handoff_parked;
+    Counter keys_migrated_in;
+    Counter keys_migrated_out;
   };
   const Counters& counters() const { return counters_; }
 
@@ -124,6 +159,19 @@ class TccPartition {
   sim::Task<Buffer> on_subscribe(Buffer req, net::Address from);
   sim::Task<Buffer> on_unsubscribe(Buffer req, net::Address from);
   void on_gossip(Buffer msg, net::Address from);
+  sim::Task<Buffer> on_migrate_out(Buffer req, net::Address from);
+  sim::Task<Buffer> on_migrate_in(Buffer req, net::Address from);
+
+  // True when the current routing table assigns `k` here (or no table is
+  // installed — the static pre-elastic world).  Handlers re-check after
+  // every CPU sleep: a chain can be handed away while a handler sleeps.
+  bool owns(Key k) const {
+    return table_ == nullptr || table_->partition_of(k) == id_;
+  }
+  sim::Task<void> parked();
+  void release_parked();
+  void activate();
+  sim::Task<void> refresh_table();
 
   sim::Task<void> gossip_loop();
   sim::Task<void> push_loop();
@@ -180,6 +228,26 @@ class TccPartition {
   bool ctl_stale(uint64_t seq, net::Address from);
   check::ConsistencyOracle* oracle_ = nullptr;
   uint64_t chaos_ticks_ = 0;  // counter for chaos_ignore_dep timestamps
+
+  // ---- Elastic state ------------------------------------------------------
+  routing::TablePtr table_;
+  net::Address topo_service_ = 0;
+  Metrics* metrics_ = nullptr;
+  bool serving_ = true;
+  bool started_ = false;
+  bool refresh_inflight_ = false;
+  // One promise per parked request (sim::Future is single-waiter).
+  std::vector<sim::Promise<bool>> parked_;
+  // Join state (target side of a handoff).
+  uint32_t join_epoch_ = 0;
+  size_t join_expected_ = 0;
+  std::set<PartitionId> join_applied_;
+  Timestamp handoff_floor_ = Timestamp::min();
+  // Replay cache for idempotent migrate-out: the chains leave the store on
+  // the first attempt, so a retried request must get the original parcel.
+  std::map<std::pair<uint32_t, PartitionId>, TccMigrateOutResp>
+      migrate_out_cache_;
+
   Counters counters_;
 };
 

@@ -116,5 +116,28 @@ TEST(Determinism, OracleOnOffRunsAreByteIdentical) {
   EXPECT_GT(oracle->reads_recorded(), 0u);
 }
 
+// Elastic machinery armed but with no bump scheduled (at = 0 means
+// enabled() is false) is fully inert: no joiner is constructed, no rng
+// stream is forked, no event fires.  The run must be byte-identical to
+// one that never mentions elasticity.
+TEST(Determinism, IdleElasticMachineryIsByteIdentical) {
+  const RunSnapshot plain = snapshot_run(params_for(SystemKind::kFaasTcc));
+  ClusterParams p = params_for(SystemKind::kFaasTcc);
+  p.elastic.add_partitions = 8;
+  p.elastic.at = Duration{0};
+  ASSERT_FALSE(p.elastic.enabled());
+  const RunSnapshot idle = snapshot_run(p);
+  ASSERT_GT(plain.committed, 0u);
+  EXPECT_EQ(plain.committed, idle.committed);
+  EXPECT_EQ(plain.aborted_attempts, idle.aborted_attempts);
+  EXPECT_EQ(plain.sim_events, idle.sim_events);
+  EXPECT_EQ(plain.cache_entries, idle.cache_entries);
+  EXPECT_EQ(plain.cache_bytes, idle.cache_bytes);
+  EXPECT_EQ(plain.counters, idle.counters);
+  EXPECT_EQ(plain.histograms, idle.histograms);
+  ASSERT_FALSE(plain.trace.empty());
+  EXPECT_EQ(plain.trace, idle.trace);
+}
+
 }  // namespace
 }  // namespace faastcc::harness

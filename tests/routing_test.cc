@@ -1,0 +1,106 @@
+// Unit tests for the epoch-versioned routing layer: the slot table's
+// epoch-1 modulo equivalence, deterministic slot stealing on scale-out,
+// and the wire codec.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "routing/routing_table.h"
+
+namespace faastcc::routing {
+namespace {
+
+std::vector<PartitionAddress> addrs(size_t n, PartitionAddress base = 100) {
+  std::vector<PartitionAddress> out;
+  for (size_t i = 0; i < n; ++i) out.push_back(base + i);
+  return out;
+}
+
+TEST(ModPartition, MatchesPlainModulo) {
+  for (Key k = 0; k < 1000; ++k) {
+    for (size_t n : {1u, 3u, 16u, 24u}) {
+      EXPECT_EQ(mod_partition(k, n), k % n);
+    }
+  }
+}
+
+TEST(RoutingTable, EpochOneRoutesExactlyLikeModulo) {
+  for (size_t n : {1u, 4u, 16u}) {
+    const RoutingTable t = RoutingTable::initial(addrs(n));
+    EXPECT_EQ(t.epoch, 1u);
+    EXPECT_EQ(t.num_partitions(), n);
+    EXPECT_EQ(t.num_slots() % n, 0u);
+    for (Key k = 0; k < 5000; ++k) {
+      EXPECT_EQ(t.partition_of(k), k % n);
+      EXPECT_EQ(t.address_of(k), 100 + k % n);
+    }
+  }
+}
+
+TEST(RoutingTable, ScaleOutBumpsEpochAndRemapsOnlyStolenSlots) {
+  const RoutingTable old_t = RoutingTable::initial(addrs(16));
+  const RoutingTable new_t = old_t.with_partitions_added(addrs(8, 200));
+  EXPECT_EQ(new_t.epoch, 2u);
+  EXPECT_EQ(new_t.num_partitions(), 24u);
+  EXPECT_EQ(new_t.num_slots(), old_t.num_slots());
+
+  // Every slot either kept its owner or moved to a joiner — an incumbent
+  // never takes a slot from another incumbent.
+  size_t moved = 0;
+  for (size_t s = 0; s < new_t.num_slots(); ++s) {
+    if (new_t.slot_owner[s] == old_t.slot_owner[s]) continue;
+    EXPECT_GE(new_t.slot_owner[s], 16u);
+    ++moved;
+  }
+  // Joiners get floor(num_slots / new_count) slots each.
+  const size_t per_joiner = new_t.num_slots() / 24;
+  EXPECT_EQ(moved, 8 * per_joiner);
+  std::map<uint32_t, size_t> owned;
+  for (uint32_t o : new_t.slot_owner) ++owned[o];
+  for (uint32_t j = 16; j < 24; ++j) EXPECT_EQ(owned[j], per_joiner);
+  // Only ~ M/(N+M) of the key space remaps (the whole point of slots).
+  size_t remapped_keys = 0;
+  const Key probe = 10000;
+  for (Key k = 0; k < probe; ++k) {
+    if (new_t.partition_of(k) != old_t.partition_of(k)) ++remapped_keys;
+  }
+  EXPECT_NEAR(static_cast<double>(remapped_keys) / probe, 8.0 / 24.0, 0.05);
+}
+
+TEST(RoutingTable, ScaleOutIsDeterministic) {
+  const RoutingTable old_t = RoutingTable::initial(addrs(5));
+  const RoutingTable a = old_t.with_partitions_added(addrs(3, 300));
+  const RoutingTable b = old_t.with_partitions_added(addrs(3, 300));
+  EXPECT_EQ(a.slot_owner, b.slot_owner);
+  EXPECT_EQ(a.partitions, b.partitions);
+}
+
+TEST(RoutingTable, SlotsOfPartitionInvertsSlotOwner) {
+  const RoutingTable t =
+      RoutingTable::initial(addrs(4)).with_partitions_added(addrs(2, 200));
+  size_t total = 0;
+  for (PartitionId p = 0; p < t.num_partitions(); ++p) {
+    for (uint32_t s : t.slots_of_partition(p)) {
+      EXPECT_EQ(t.slot_owner[s], p);
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, t.num_slots());
+}
+
+TEST(RoutingTable, CodecRoundTripsAndSizeHintIsExact) {
+  const RoutingTable t =
+      RoutingTable::initial(addrs(6)).with_partitions_added(addrs(2, 200));
+  BufWriter w;
+  t.encode(w);
+  const Buffer b = w.take();
+  EXPECT_EQ(b.size(), t.size_hint());
+  BufReader r(b);
+  const RoutingTable d = RoutingTable::decode(r);
+  EXPECT_EQ(d.epoch, t.epoch);
+  EXPECT_EQ(d.partitions, t.partitions);
+  EXPECT_EQ(d.slot_owner, t.slot_owner);
+}
+
+}  // namespace
+}  // namespace faastcc::routing

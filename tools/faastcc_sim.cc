@@ -10,6 +10,7 @@
 //               [--dag-timeout-ms=1000] [--crash=<addr>:<from_ms>:<until_ms>]
 //               [--trace-out=trace.json] [--trace-sample=1]
 //               [--trace-buffer=65536]
+//               [--elastic-add=8] [--elastic-at-ms=500] [--elastic-slots=8]
 //
 // Runs one cluster experiment and prints the summary (human table or a
 // single JSON object for scripting).  With --trace-out the run also
@@ -67,7 +68,12 @@ void usage() {
       "tracing (see docs/simulation.md):\n"
       "  --trace-out=<path>  enable tracing, write Chrome trace JSON\n"
       "  --trace-sample=<n>  record every n-th DAG trace (default 1)\n"
-      "  --trace-buffer=<n>  span ring-buffer capacity (default 65536)\n");
+      "  --trace-buffer=<n>  span ring-buffer capacity (default 65536)\n"
+      "elastic scale-out (FaaSTCC only; see docs/topology-and-elasticity.md):\n"
+      "  --elastic-add=<n>      joiner partitions added mid-run (default 0)\n"
+      "  --elastic-at-ms=<n>    sim-time of the epoch bump (required with\n"
+      "                         --elastic-add; 0 disables the bump)\n"
+      "  --elastic-slots=<n>    routing slots per partition (default 8)\n");
 }
 
 bool parse_value(const char* arg, const char* name, std::string* out) {
@@ -153,6 +159,13 @@ CliOptions parse(int argc, char** argv) {
       if (p.trace.sample_every == 0) p.trace.sample_every = 1;
     } else if (parse_value(arg, "--trace-buffer", &v)) {
       p.trace.ring_capacity = static_cast<size_t>(std::atoll(v.c_str()));
+    } else if (parse_value(arg, "--elastic-add", &v)) {
+      p.elastic.add_partitions = static_cast<size_t>(std::atoi(v.c_str()));
+    } else if (parse_value(arg, "--elastic-at-ms", &v)) {
+      p.elastic.at = milliseconds(std::atoll(v.c_str()));
+    } else if (parse_value(arg, "--elastic-slots", &v)) {
+      p.elastic.slots_per_partition =
+          static_cast<size_t>(std::atoll(v.c_str()));
     } else if (std::strcmp(arg, "--no-prewarm") == 0) {
       p.prewarm_caches = false;
     } else if (std::strcmp(arg, "--check") == 0) {

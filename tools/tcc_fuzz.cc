@@ -69,6 +69,25 @@ const FuzzConfig kConfigs[] = {
                                                    milliseconds(470)});
        p.faults.dag_timeout = milliseconds(500);
      }},
+    {"elastic", "mid-run scale-out 3 -> 5 partitions, no faults", false,
+     [](ClusterParams& p) {
+       p.elastic.add_partitions = 2;
+       p.elastic.at = milliseconds(300);
+     }},
+    {"elastic-lossy", "scale-out under 2% loss + 1% duplication", false,
+     [](ClusterParams& p) {
+       p.elastic.add_partitions = 2;
+       p.elastic.at = milliseconds(300);
+       p.faults.loss_prob = 0.02;
+       p.faults.dup_prob = 0.01;
+     }},
+    {"elastic-dup", "scale-out under 3% duplication (handoff replay paths)",
+     false,
+     [](ClusterParams& p) {
+       p.elastic.add_partitions = 2;
+       p.elastic.at = milliseconds(300);
+       p.faults.dup_prob = 0.03;
+     }},
     {"chaos-lost-ack", "REGRESSION: commits acked without install", true,
      [](ClusterParams& p) { p.tcc.chaos_drop_install = true; }},
     {"chaos-prewarm", "REGRESSION: prewarm entries open unsubscribed", true,
