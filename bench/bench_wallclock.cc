@@ -49,6 +49,12 @@ struct SystemResult {
   uint64_t committed = 0;      // deterministic per seed
   double events_per_sec = 0;
   double messages_per_sec = 0;
+  // Growth of the process peak RSS across this system's repeats.  Peak RSS
+  // is monotone, so the delta attributes metadata-heavy allocations to the
+  // system that caused them instead of blaming the process-global number
+  // on all three; systems that fit in the high-water mark of an earlier
+  // one legitimately report 0.
+  long peak_rss_delta_kb = 0;
 };
 
 long peak_rss_kb() {
@@ -74,6 +80,7 @@ harness::ClusterParams params_for(const Options& opt,
 SystemResult run_system(const Options& opt, harness::SystemKind system) {
   SystemResult r;
   r.name = harness::system_name(system);
+  const long rss_before_kb = peak_rss_kb();
   for (int i = 0; i < opt.repeats; ++i) {
     harness::Cluster cluster(params_for(opt, system));
     const auto t0 = std::chrono::steady_clock::now();
@@ -87,6 +94,7 @@ SystemResult run_system(const Options& opt, harness::SystemKind system) {
     r.messages = cluster.network().messages_sent();
     r.committed = run.committed;
   }
+  r.peak_rss_delta_kb = std::max(0L, peak_rss_kb() - rss_before_kb);
   r.wall_ms = *std::min_element(r.wall_ms_all.begin(), r.wall_ms_all.end());
   const double s = r.wall_ms / 1000.0;
   r.events_per_sec = static_cast<double>(r.sim_events) / s;
@@ -135,7 +143,8 @@ void write_json(const Options& opt, const std::vector<SystemResult>& results,
         << "      \"messages\": " << r.messages << ",\n"
         << "      \"committed\": " << r.committed << ",\n"
         << "      \"events_per_sec\": " << num(r.events_per_sec) << ",\n"
-        << "      \"messages_per_sec\": " << num(r.messages_per_sec) << "\n"
+        << "      \"messages_per_sec\": " << num(r.messages_per_sec) << ",\n"
+        << "      \"peak_rss_delta_kb\": " << r.peak_rss_delta_kb << "\n"
         << "    }" << (i + 1 < results.size() ? "," : "") << "\n";
   }
   out << "  },\n";
@@ -211,8 +220,10 @@ int main(int argc, char** argv) {
        {harness::SystemKind::kFaasTcc, harness::SystemKind::kHydroCache,
         harness::SystemKind::kCloudburst}) {
     bench::SystemResult r = bench::run_system(opt, system);
-    std::printf("  %-12s %9.1f ms   %12.0f events/s   %12.0f msgs/s\n",
-                r.name, r.wall_ms, r.events_per_sec, r.messages_per_sec);
+    std::printf(
+        "  %-12s %9.1f ms   %12.0f events/s   %12.0f msgs/s   +%ld KiB RSS\n",
+        r.name, r.wall_ms, r.events_per_sec, r.messages_per_sec,
+        r.peak_rss_delta_kb);
     results.push_back(std::move(r));
   }
 

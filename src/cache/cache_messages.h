@@ -102,7 +102,8 @@ struct HydroReadEntry {
   Value value;
   uint64_t counter = 0;
   SimTime written_at = 0;
-  std::vector<StoredDep> deps;  // merged into the txn context by the client
+  DepList deps;  // merged into the txn context by the client; shared, not
+                 // copied, with the cache entry it came from
 
   template <typename W>
   void encode(W& w) const {
@@ -110,7 +111,7 @@ struct HydroReadEntry {
     w.put_bytes(value);
     w.put_u64(counter);
     w.put_i64(written_at);
-    storage::put_vec(w, deps);
+    deps.encode(w);
   }
   static HydroReadEntry decode(BufReader& r) {
     HydroReadEntry e;
@@ -118,7 +119,7 @@ struct HydroReadEntry {
     e.value = r.get_bytes();
     e.counter = r.get_u64();
     e.written_at = r.get_i64();
-    e.deps = storage::get_vec<StoredDep>(r);
+    e.deps = DepList::decode(r);
     return e;
   }
 };

@@ -43,18 +43,28 @@ void HydroCache::on_push(Buffer msg, net::Address) {
   }
 }
 
-HydroCache::Fit HydroCache::check(const DepMap& ctx, Key key,
-                                  uint64_t counter,
-                                  const std::vector<StoredDep>& deps) {
-  if (const Dep* need = ctx.find(key); need != nullptr) {
+bool HydroCache::ctx_lookup(const DepMap& base, const DepMap& delta, Key k,
+                            Dep& out) {
+  if (delta.lookup(k, out)) return true;
+  return base.lookup(k, out);
+}
+
+HydroCache::Fit HydroCache::check(const DepMap& base, const DepMap& delta,
+                                  Key key, uint64_t counter,
+                                  const DepList& deps) {
+  // lookup() keeps the shipped context in its raw wire form: the handful
+  // of probes below must not force parsing a 10^3-entry map.
+  Dep need;
+  if (ctx_lookup(base, delta, key, need)) {
     // HydroCache only requires a version "equal or greater" than the one
     // in the dependency list (§2); newer is acceptable, and its own
     // dependencies are validated below.
-    if (counter < need->counter) return Fit::kTooOld;
+    if (counter < need.counter) return Fit::kTooOld;
   }
   for (const StoredDep& d : deps) {
-    if (const Dep* have = ctx.find(d.key);
-        have != nullptr && have->read && have->counter < d.counter) {
+    Dep have;
+    if (ctx_lookup(base, delta, d.key, have) && have.read &&
+        have.counter < d.counter) {
       // This version causally requires a newer version of a key the
       // transaction has already read: it is "too new" and the LWW store
       // cannot serve anything older.
@@ -101,7 +111,7 @@ void HydroCache::insert_entry(Key k, Entry e) {
   evict_to_capacity();
 }
 
-void HydroCache::insert_stubs(const std::vector<StoredDep>& deps) {
+void HydroCache::insert_stubs(const DepList& deps) {
   if (params_.capacity == 0) return;
   const size_t stub_cap =
       params_.capacity == SIZE_MAX ? SIZE_MAX : params_.capacity * 4;
@@ -149,8 +159,11 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
                           rpc_.now());
     span_ctx = tracer_->context_of(span);
   }
-  auto q = decode_message<HydroReadReq>(req);
-  rpc_.recycle(std::move(req));
+  // Shared-ownership decode: q.context aliases the records inside the
+  // request buffer instead of copying them out (the buffer lives as long
+  // as the context view does, so it is surrendered rather than recycled).
+  auto q = decode_message<HydroReadReq>(
+      std::make_shared<const Buffer>(std::move(req)));
   counters_.requests.inc();
   if (metrics_ != nullptr) metrics_->cache_lookups.inc();
   co_await sim::sleep_for(rpc_.loop(), params_.lookup_cpu);
@@ -159,25 +172,43 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
   resp.entries.resize(q.keys.size());
   resp.from_cache.assign(q.keys.size(), false);
 
-  DepMap ctx = std::move(q.context);
+  // The shipped context stays in its raw wire form for the whole request
+  // (it is probed a handful of times, never shipped back).  This request's
+  // own updates go into a small overlay, seeded with the base entry before
+  // the first update of a key so overlay entries carry the combined state.
+  const DepMap ctx = std::move(q.context);
+  DepMap delta;
   bool storage_contacted = false;
   double episode_rounds = 0;
   size_t episode_bytes = 0;
 
+  auto seed = [&](Key k) {
+    if (delta.find(k) != nullptr) return;
+    Dep b;
+    if (ctx.lookup(k, b)) {
+      if (b.read) {
+        delta.mark_read(k, b.counter, b.written_at);
+      } else {
+        delta.require(k, b.counter, b.written_at, b.level);
+      }
+    }
+  };
   auto accept = [&](size_t i, Key k, const Value& value, uint64_t counter,
-                    SimTime written_at, const std::vector<StoredDep>& deps) {
+                    SimTime written_at, const DepList& deps) {
     HydroReadEntry& out = resp.entries[i];
     out.key = k;
     out.value = value;
     out.counter = counter;
     out.written_at = written_at;
     out.deps = deps;
-    ctx.mark_read(k, counter, written_at);
+    seed(k);
+    delta.mark_read(k, counter, written_at);
     for (const StoredDep& d : deps) {
       // A stored dependency at level L becomes a context entry at L+1;
       // level-2 entries are kept for validation but never re-stored.
-      ctx.require(d.key, d.counter, d.written_at,
-                  static_cast<uint8_t>(std::min<int>(d.level + 1, 2)));
+      seed(d.key);
+      delta.require(d.key, d.counter, d.written_at,
+                    static_cast<uint8_t>(std::min<int>(d.level + 1, 2)));
     }
   };
 
@@ -188,7 +219,8 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
     if (params_.capacity != 0) {
       auto it = entries_.find(k);
       if (it != entries_.end() &&
-          check(ctx, k, it->second.counter, it->second.deps) == Fit::kOk) {
+          check(ctx, delta, k, it->second.counter, it->second.deps) ==
+              Fit::kOk) {
         accept(i, k, it->second.value, it->second.counter,
                it->second.written_at, it->second.deps);
         resp.from_cache[i] = true;
@@ -215,9 +247,8 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
         // Key unknown to this replica.  If the transaction does not
         // require any particular version, serve the implicit initial
         // value; otherwise wait for replication.
-        if (const Dep* need = ctx.find(k);
-            need == nullptr || need->counter == 0) {
-          accept(i, k, Value{}, 0, 0, std::vector<StoredDep>{});
+        if (Dep need; !ctx_lookup(ctx, delta, k, need) || need.counter == 0) {
+          accept(i, k, Value{}, 0, 0, DepList{});
           done = true;
           break;
         }
@@ -227,7 +258,7 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
       const storage::EvItem& item = *result.items[0];
       HydroStored stored = decode_message<HydroStored>(
           Buffer(item.payload.begin(), item.payload.end()));
-      const Fit fit = check(ctx, k, item.version.counter, stored.deps);
+      const Fit fit = check(ctx, delta, k, item.version.counter, stored.deps);
       if (fit == Fit::kTooOld) {
         // Stale replica: retry (possibly another replica) after a short
         // backoff — the §4.1 multi-round pattern.
@@ -247,9 +278,9 @@ sim::Task<Buffer> HydroCache::on_read(Buffer req, net::Address) {
       break;
     }
     if (!done && !resp.abort) {
-      if (const Dep* need = ctx.find(k); need != nullptr) {
-        LOG_DEBUG("hydro round exhaustion key=" << k << " need=" << need->counter
-                  << " read=" << need->read << " level=" << int(need->level));
+      if (Dep need; ctx_lookup(ctx, delta, k, need)) {
+        LOG_DEBUG("hydro round exhaustion key=" << k << " need=" << need.counter
+                  << " read=" << need.read << " level=" << int(need.level));
       }
       counters_.round_exhaustion_aborts.inc();
       resp.abort = true;

@@ -68,7 +68,7 @@ class HydroCache {
     Value value;
     uint64_t counter = 0;
     SimTime written_at = 0;
-    std::vector<StoredDep> deps;
+    DepList deps;  // shared with responses and the stored payload
 
     size_t footprint() const {
       return value.size() + 24 + deps.size() * 24;  // key+version+time
@@ -84,11 +84,18 @@ class HydroCache {
   void on_push(Buffer msg, net::Address from);
 
   enum class Fit { kOk, kTooOld, kConflict };
-  static Fit check(const DepMap& ctx, Key key, uint64_t counter,
-                   const std::vector<StoredDep>& deps);
+  // The transaction context as seen mid-request: the shipped map (`base`,
+  // kept in raw wire form — the cache never pays to parse it) plus a small
+  // overlay (`delta`) holding this request's own reads and their
+  // dependencies.  A key present in the overlay is authoritative: it was
+  // seeded with the base entry before its first update (see on_read).
+  static bool ctx_lookup(const DepMap& base, const DepMap& delta, Key k,
+                         Dep& out);
+  static Fit check(const DepMap& base, const DepMap& delta, Key key,
+                   uint64_t counter, const DepList& deps);
 
   void insert_entry(Key k, Entry e);
-  void insert_stubs(const std::vector<StoredDep>& deps);
+  void insert_stubs(const DepList& deps);
   void evict_to_capacity();
 
   net::RpcNode rpc_;

@@ -1,79 +1,598 @@
 #include "cache/hydro_types.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
 
 namespace faastcc::cache {
+namespace {
+
+// Minimum overlay size at which pending point-inserts are folded into the
+// main node.  The effective threshold scales with the node (see
+// insert_new): a fixed small threshold on a 10^3-entry context would turn
+// an insert burst into O(n^2 / threshold) node rebuilds.
+constexpr size_t kPendingFlushThreshold = 48;
+
+// Merge semantics for a key present on both sides, as a mark_read/require
+// replay would apply `theirs` onto `mine`: max counter (written_at rides
+// with it), sticky read, min level.  Read entries stay pinned at level 0
+// (the canonical-form invariant; see require()), which is what makes the
+// per-entry combine commutative.
+inline void combine(Dep& mine, const Dep& theirs) {
+  if (theirs.counter > mine.counter) {
+    mine.counter = theirs.counter;
+    mine.written_at = theirs.written_at;
+    mine.level = theirs.level;
+  } else if (theirs.counter == mine.counter) {
+    mine.level = std::min(mine.level, theirs.level);
+  }
+  mine.read = mine.read || theirs.read;
+  if (mine.read) mine.level = 0;
+}
+
+// An entry arriving on a merge for a key absent on this side: a read
+// entry enters as mark_read would record it (level 0).
+inline Dep normalized(const Dep& d) {
+  Dep out = d;
+  if (out.read) out.level = 0;
+  return out;
+}
+
+}  // namespace
+
+const DepMap::Entries& DepMap::empty_entries() {
+  static const Entries kEmpty;
+  return kEmpty;
+}
+
+DepMap::Entries& DepMap::scratch() {
+  thread_local Entries s;
+  return s;
+}
+
+DepMap::Loc DepMap::locate(Key k) const {
+  const KeyInterner& interner = KeyInterner::instance();
+  auto search = [&](const Entries& es, Key key) -> const Dep* {
+    auto it = std::lower_bound(
+        es.begin(), es.end(), key,
+        [&](const Dep& d, Key kk) { return interner.key_of(d.key_id) < kk; });
+    if (it != es.end() && interner.key_of(it->key_id) == key) return &*it;
+    return nullptr;
+  };
+  // The overlay first: on a raw-backed map it shadows same-key records.
+  if (!pending_.empty()) {
+    if (const Dep* d = search(pending_, k)) {
+      return Loc{Loc::kPending, static_cast<size_t>(d - pending_.data())};
+    }
+  }
+  if (raw_) {
+    // Branchless lower-bound with both possible next probes prefetched —
+    // same scheme as lookup(); see the comment there.
+    const size_t n = raw_count();
+    if (n == 0) return Loc{};
+    const uint8_t* base = raw_records();
+    const uint8_t* lo = base;
+    size_t len = n;
+    while (len > 1) {
+      const size_t half = len / 2;
+      const size_t rest = len - half;
+      if (const size_t nh = rest / 2; nh > 0) {
+        __builtin_prefetch(lo + (nh - 1) * kDepWireBytes);
+        __builtin_prefetch(lo + (half + nh - 1) * kDepWireBytes);
+      }
+      if (raw_u64(lo + (half - 1) * kDepWireBytes + kRawKeyOff) < k) {
+        lo += half * kDepWireBytes;
+      }
+      len = rest;
+    }
+    if (raw_u64(lo + kRawKeyOff) == k) {
+      return Loc{Loc::kRaw,
+                 static_cast<size_t>(lo - base) / kDepWireBytes};
+    }
+    return Loc{};
+  }
+  if (rep_ != nullptr) {
+    if (const Dep* d = search(*rep_, k)) {
+      return Loc{Loc::kRep, static_cast<size_t>(d - rep_->data())};
+    }
+  }
+  return Loc{};
+}
+
+Dep& DepMap::mutable_at(Loc loc) {
+  if (loc.where == Loc::kPending) return pending_[loc.idx];
+  assert(loc.where == Loc::kRep && rep_ != nullptr);
+  if (rep_.use_count() > 1) {
+    // Shared node: clone before the write (copy-on-write).
+    rep_ = std::make_shared<Entries>(*rep_);
+  }
+  return (*rep_)[loc.idx];
+}
+
+void DepMap::insert_new(Dep d, Key k) {
+  if (!raw_) {
+    // Bulk-build fast path: appending keys in ascending order (decode,
+    // session rebuilds) grows the node directly, no overlay involved.
+    if (pending_.empty() && rep_ != nullptr && rep_.use_count() == 1 &&
+        (rep_->empty() || key_of(rep_->back()) < k)) {
+      rep_->push_back(d);
+      return;
+    }
+    if (rep_ == nullptr && pending_.empty()) {
+      rep_ = std::make_shared<Entries>();
+      rep_->push_back(d);
+      return;
+    }
+  }
+  const KeyInterner& interner = KeyInterner::instance();
+  auto it = std::lower_bound(
+      pending_.begin(), pending_.end(), k,
+      [&](const Dep& e, Key kk) { return interner.key_of(e.key_id) < kk; });
+  pending_.insert(it, d);
+  // Scale the fold threshold with the node: folding is O(node), so a
+  // fixed threshold makes an m-insert burst into an n-entry context cost
+  // O(m * n / threshold).  Proportional pending keeps it O(m + n) while
+  // locate()'s overlay binary search stays a few probes.
+  const size_t threshold = std::max(kPendingFlushThreshold, size() / 4);
+  if (pending_.size() >= threshold) flush();
+}
+
+void DepMap::promote(Dep d, Key k) {
+  const KeyInterner& interner = KeyInterner::instance();
+  auto it = std::lower_bound(
+      pending_.begin(), pending_.end(), k,
+      [&](const Dep& e, Key kk) { return interner.key_of(e.key_id) < kk; });
+  pending_.insert(it, d);
+  ++overlap_;
+  const size_t threshold = std::max(kPendingFlushThreshold, size() / 4);
+  if (pending_.size() >= threshold) flush();
+}
+
+void DepMap::flush_slow() const {
+  if (pending_.empty()) return;
+  if (raw_) {
+    // Raw-level fold: merge the sorted overlay into the wire image with
+    // bulk copies of the untouched runs.  The map stays raw-backed —
+    // nothing is parsed and nothing is interned, so a long-lived context
+    // absorbs its per-hop updates at memcpy speed.
+    const KeyInterner& interner = KeyInterner::instance();
+    const uint8_t* recs = raw_records();
+    const size_t n = raw_count();
+    const uint32_t cnt =
+        static_cast<uint32_t>(n + pending_.size() - overlap_);
+    Buffer buf;
+    buf.reserve(4 + static_cast<size_t>(cnt) * kDepWireBytes);
+    buf.insert(buf.end(), reinterpret_cast<const uint8_t*>(&cnt),
+               reinterpret_cast<const uint8_t*>(&cnt) + 4);
+    size_t i = 0;
+    for (const Dep& d : pending_) {
+      const Key kp = interner.key_of(d.key_id);
+      const size_t run = i;
+      while (i < n && raw_u64(recs + i * kDepWireBytes + kRawKeyOff) < kp) {
+        ++i;
+      }
+      if (i > run) {
+        buf.insert(buf.end(), recs + run * kDepWireBytes,
+                   recs + i * kDepWireBytes);
+      }
+      if (i < n && raw_u64(recs + i * kDepWireBytes + kRawKeyOff) == kp) {
+        ++i;  // shadowed: the overlay entry replaces this record
+      }
+      uint8_t rec[kDepWireBytes];
+      std::memcpy(rec, &kp, 8);
+      std::memcpy(rec + 8, &d.counter, 8);
+      std::memcpy(rec + 16, &d.written_at, 8);
+      rec[24] = d.read ? 1 : 0;
+      rec[25] = d.read ? 0 : d.level;
+      buf.insert(buf.end(), rec, rec + kDepWireBytes);
+    }
+    if (i < n) {
+      buf.insert(buf.end(), recs + i * kDepWireBytes,
+                 recs + n * kDepWireBytes);
+    }
+    pending_.clear();
+    overlap_ = 0;
+    raw_ = RawImage::own(std::move(buf));
+    return;
+  }
+  if (rep_ == nullptr || rep_->empty()) {
+    if (rep_ != nullptr && rep_.use_count() == 1) {
+      rep_->swap(pending_);
+    } else {
+      rep_ = std::make_shared<Entries>(std::move(pending_));
+    }
+    pending_.clear();
+    return;
+  }
+  if (rep_.use_count() == 1) {
+    // Unique node: merge the overlay in from the back, in place — no
+    // allocation beyond vector growth.  Keys are disjoint by the overlay
+    // invariant, so the merge is a pure interleave.
+    const KeyInterner& interner = KeyInterner::instance();
+    auto key = [&](const Dep& d) { return interner.key_of(d.key_id); };
+    Entries& a = *rep_;
+    const size_t na = a.size();
+    size_t j = pending_.size();
+    a.resize(na + j);
+    size_t i = na;
+    size_t out = a.size();
+    while (j > 0) {
+      if (i > 0 && key(a[i - 1]) > key(pending_[j - 1])) {
+        a[--out] = a[--i];
+      } else {
+        a[--out] = pending_[--j];
+      }
+    }
+    pending_.clear();
+    return;
+  }
+  // Shared node: linear merge of the two sorted runs into the scratch
+  // arena, then one exact-sized allocation for the new node.
+  const KeyInterner& interner = KeyInterner::instance();
+  const Entries& a = *rep_;
+  const Entries& b = pending_;
+  Entries& s = scratch();
+  s.clear();
+  s.reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (interner.key_of(a[i].key_id) < interner.key_of(b[j].key_id)) {
+      s.push_back(a[i++]);
+    } else {
+      s.push_back(b[j++]);
+    }
+  }
+  s.insert(s.end(), a.begin() + i, a.end());
+  s.insert(s.end(), b.begin() + j, b.end());
+  rep_ = std::make_shared<Entries>(s);
+  pending_.clear();
+}
+
+void DepMap::materialize_slow() const {
+  flush();  // fold any overlay into the wire image first
+  if (!raw_) return;
+  const uint8_t* p = raw_records();
+  const size_t n = raw_count();
+  KeyInterner& interner = KeyInterner::instance();
+  auto rep = std::make_shared<Entries>();
+  rep->reserve(n);
+  for (size_t i = 0; i < n; ++i, p += kDepWireBytes) {
+    Dep d = parse_raw(p);
+    d.key_id = interner.intern(raw_u64(p + kRawKeyOff));
+    rep->push_back(d);
+  }
+  rep_ = std::move(rep);
+  raw_ = RawImage{};
+}
+
+void DepMap::reserve(size_t n) {
+  materialize();
+  if (rep_ == nullptr) {
+    rep_ = std::make_shared<Entries>();
+    rep_->reserve(n);
+  } else if (rep_.use_count() == 1) {
+    rep_->reserve(n);
+  }
+}
 
 void DepMap::require(Key k, uint64_t counter, SimTime written_at,
                      uint8_t level) {
-  auto [it, inserted] = map_.emplace(k, Dep{counter, written_at, false, level});
-  if (inserted) return;
-  Dep& d = it->second;
-  if (counter > d.counter) {
+  const Loc loc = locate(k);
+  if (loc.where == Loc::kNone) {
+    insert_new(Dep{counter, written_at, KeyInterner::instance().intern(k),
+                   false, level},
+               k);
+    return;
+  }
+  if (loc.where == Loc::kRaw) {
+    // Raw-backed: a strengthening update shadows the record via the
+    // overlay; a no-op (the common case — most requirements re-assert
+    // what the context already carries) leaves the record in place.
+    Dep cur = parse_raw(raw_records() + loc.idx * kDepWireBytes);
+    if (counter > cur.counter) {
+      cur.counter = counter;
+      cur.written_at = written_at;
+      cur.level = cur.read ? 0 : level;
+    } else if (counter == cur.counter && !cur.read && level < cur.level) {
+      cur.level = level;
+    } else {
+      return;
+    }
+    cur.key_id = KeyInterner::instance().intern(k);
+    promote(cur, k);
+    return;
+  }
+  const Dep& cur = loc.where == Loc::kRep ? (*rep_)[loc.idx] : pending_[loc.idx];
+  if (counter > cur.counter) {
+    Dep& d = mutable_at(loc);
     d.counter = counter;
     d.written_at = written_at;
-    d.level = level;
-  } else if (counter == d.counter) {
-    d.level = std::min(d.level, level);
+    // Canonical form: a read entry's level is pinned at 0 (no consumer
+    // distinguishes it, and pinning makes merge order-insensitive).
+    d.level = d.read ? 0 : level;
+  } else if (counter == cur.counter && !cur.read && level < cur.level) {
+    mutable_at(loc).level = level;
   }
   // The read flag reflects whether *some* version was read; it is sticky.
 }
 
 void DepMap::mark_read(Key k, uint64_t counter, SimTime written_at) {
-  auto [it, inserted] = map_.emplace(k, Dep{counter, written_at, true, 0});
-  if (!inserted) {
-    Dep& d = it->second;
-    if (counter > d.counter) {
-      d.counter = counter;
-      d.written_at = written_at;
-    }
-    d.read = true;
-    d.level = 0;
+  const Loc loc = locate(k);
+  if (loc.where == Loc::kNone) {
+    insert_new(Dep{counter, written_at, KeyInterner::instance().intern(k),
+                   true, 0},
+               k);
+    return;
   }
+  if (loc.where == Loc::kRaw) {
+    Dep cur = parse_raw(raw_records() + loc.idx * kDepWireBytes);
+    if (counter <= cur.counter && cur.read && cur.level == 0) return;
+    if (counter > cur.counter) {
+      cur.counter = counter;
+      cur.written_at = written_at;
+    }
+    cur.read = true;
+    cur.level = 0;
+    cur.key_id = KeyInterner::instance().intern(k);
+    promote(cur, k);
+    return;
+  }
+  const Dep& cur = loc.where == Loc::kRep ? (*rep_)[loc.idx] : pending_[loc.idx];
+  if (counter <= cur.counter && cur.read && cur.level == 0) return;  // no-op
+  Dep& d = mutable_at(loc);
+  if (counter > d.counter) {
+    d.counter = counter;
+    d.written_at = written_at;
+  }
+  d.read = true;
+  d.level = 0;
 }
 
 const Dep* DepMap::find(Key k) const {
-  auto it = map_.find(k);
-  return it == map_.end() ? nullptr : &it->second;
+  Loc loc = locate(k);
+  if (loc.where == Loc::kRaw) {
+    // A stable entry pointer needs the entry node; cold path — hot-path
+    // probes of raw-backed maps go through lookup().
+    materialize();
+    loc = locate(k);
+  }
+  switch (loc.where) {
+    case Loc::kRep:
+      return &(*rep_)[loc.idx];
+    case Loc::kPending:
+      return &pending_[loc.idx];
+    case Loc::kRaw:  // unreachable: materialized above
+    case Loc::kNone:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+bool DepMap::lookup(Key k, Dep& out) const {
+  // The overlay shadows raw records, so it is probed first.
+  if (!pending_.empty()) {
+    const KeyInterner& interner = KeyInterner::instance();
+    auto it = std::lower_bound(
+        pending_.begin(), pending_.end(), k,
+        [&](const Dep& e, Key kk) { return interner.key_of(e.key_id) < kk; });
+    if (it != pending_.end() && interner.key_of(it->key_id) == k) {
+      out = *it;
+      return true;
+    }
+  }
+  if (raw_) {
+    // Branchless lower-bound directly over the fixed-width sorted wire
+    // records — no materialization, no interning.  The window-halving form
+    // lets both possible next probes be prefetched, overlapping the
+    // dependent cache misses that dominate a pointer-chasing search.
+    const size_t n = raw_count();
+    if (n == 0) return false;
+    const uint8_t* lo = raw_records();
+    size_t len = n;
+    while (len > 1) {
+      const size_t half = len / 2;
+      const size_t rest = len - half;
+      if (const size_t nh = rest / 2; nh > 0) {
+        __builtin_prefetch(lo + (nh - 1) * kDepWireBytes);
+        __builtin_prefetch(lo + (half + nh - 1) * kDepWireBytes);
+      }
+      if (raw_u64(lo + (half - 1) * kDepWireBytes + kRawKeyOff) < k) {
+        lo += half * kDepWireBytes;
+      }
+      len = rest;
+    }
+    if (raw_u64(lo + kRawKeyOff) != k) return false;
+    out = parse_raw(lo);
+    out.key_id = 0;  // not populated on the raw path; caller has the key
+    return true;
+  }
+  const Dep* d = find(k);
+  if (d == nullptr) return false;
+  out = *d;
+  return true;
 }
 
 void DepMap::merge(const DepMap& other) {
-  map_.reserve(map_.size() + other.map_.size());
-  for (const auto& [k, d] : other.map_) {
-    if (d.read) {
-      mark_read(k, d.counter, d.written_at);
+  if (&other == this) return;
+  if (other.empty()) return;
+  if (empty()) {
+    // Structural sharing: adopting the other side's node (entry vector or
+    // raw wire image alike) is a refcount bump.  This is the whole-
+    // context ship between functions.
+    other.flush();
+    if (other.raw_) {
+      raw_ = other.raw_;
+      rep_.reset();
     } else {
-      require(k, d.counter, d.written_at, d.level);
+      rep_ = other.rep_;
+      raw_ = RawImage{};
     }
+    pending_.clear();
+    overlap_ = 0;
+    return;
+  }
+  flush();
+  other.flush();
+  if (raw_ && other.raw_ && raw_.data == other.raw_.data) return;
+  if (rep_ != nullptr && rep_ == other.rep_) return;
+  if (raw_ || other.raw_) {
+    // Record-level merge straight into a fresh wire image: neither side
+    // is parsed into entries or interned, and the result stays raw-backed
+    // (exactly the shape the next hop ships).
+    const KeyInterner& interner = KeyInterner::instance();
+    struct Cur {
+      const uint8_t* p = nullptr;  // raw cursor …
+      const uint8_t* pe = nullptr;
+      const Dep* d = nullptr;  // … or entry cursor
+      const Dep* de = nullptr;
+      bool done() const { return p != nullptr ? p == pe : d == de; }
+    };
+    auto open_cur = [](const DepMap& m) {
+      Cur c;
+      if (m.raw_) {
+        c.p = m.raw_records();
+        c.pe = c.p + m.raw_count() * kDepWireBytes;
+      } else if (m.rep_ != nullptr) {
+        c.d = m.rep_->data();
+        c.de = c.d + m.rep_->size();
+      }
+      return c;
+    };
+    auto cur_key = [&](const Cur& c) {
+      return c.p != nullptr ? raw_u64(c.p + kRawKeyOff)
+                            : interner.key_of(c.d->key_id);
+    };
+    auto cur_dep = [](const Cur& c) {
+      return c.p != nullptr ? parse_raw(c.p) : *c.d;
+    };
+    auto advance = [](Cur& c) {
+      if (c.p != nullptr) {
+        c.p += kDepWireBytes;
+      } else {
+        ++c.d;
+      }
+    };
+    Buffer buf;
+    buf.reserve(4 + (size() + other.size()) * kDepWireBytes);
+    buf.resize(4);  // count patched below
+    uint32_t cnt = 0;
+    auto append = [&](Key k, const Dep& d) {
+      uint8_t rec[kDepWireBytes];
+      std::memcpy(rec, &k, 8);
+      std::memcpy(rec + 8, &d.counter, 8);
+      std::memcpy(rec + 16, &d.written_at, 8);
+      rec[24] = d.read ? 1 : 0;
+      rec[25] = d.read ? 0 : d.level;
+      buf.insert(buf.end(), rec, rec + kDepWireBytes);
+      ++cnt;
+    };
+    Cur a = open_cur(*this);
+    Cur b = open_cur(other);
+    while (!a.done() && !b.done()) {
+      const Key ka = cur_key(a);
+      const Key kb = cur_key(b);
+      if (ka < kb) {
+        append(ka, cur_dep(a));
+        advance(a);
+      } else if (kb < ka) {
+        append(kb, cur_dep(b));
+        advance(b);
+      } else {
+        Dep d = cur_dep(a);
+        combine(d, cur_dep(b));
+        append(ka, d);
+        advance(a);
+        advance(b);
+      }
+    }
+    for (; !a.done(); advance(a)) append(cur_key(a), cur_dep(a));
+    for (; !b.done(); advance(b)) append(cur_key(b), cur_dep(b));
+    std::memcpy(buf.data(), &cnt, 4);
+    raw_ = RawImage::own(std::move(buf));
+    rep_.reset();
+    return;
+  }
+  const KeyInterner& interner = KeyInterner::instance();
+  const Entries& a = *rep_;
+  const Entries& b = *other.rep_;
+  Entries& s = scratch();
+  s.clear();
+  s.reserve(a.size() + b.size());
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const Key ka = interner.key_of(a[i].key_id);
+    const Key kb = interner.key_of(b[j].key_id);
+    if (ka < kb) {
+      s.push_back(a[i++]);
+    } else if (kb < ka) {
+      s.push_back(normalized(b[j++]));
+    } else {
+      Dep d = a[i++];
+      combine(d, b[j++]);
+      s.push_back(d);
+    }
+  }
+  s.insert(s.end(), a.begin() + i, a.end());
+  for (; j < b.size(); ++j) s.push_back(normalized(b[j]));
+  if (rep_.use_count() == 1) {
+    *rep_ = s;  // reuse the unique node's capacity
+  } else {
+    rep_ = std::make_shared<Entries>(s);
   }
 }
 
 void DepMap::gc_before(SimTime horizon) {
-  for (auto it = map_.begin(); it != map_.end();) {
-    if (!it->second.read && it->second.written_at < horizon) {
-      it = map_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  filter([horizon](Key, const Dep& d) {
+    return d.read || d.written_at >= horizon;
+  });
 }
 
 DepMap DepMap::decode(BufReader& r) {
   DepMap m;
   const uint32_t n = r.get_u32();
-  // Sizing the table up-front matters: HydroCache decodes millions of
-  // dependency maps per run, and incremental rehashing dominated the
-  // profile before this reserve.
-  m.map_.reserve(n);
-  for (uint32_t i = 0; i < n; ++i) {
-    const Key k = r.get_u64();
-    Dep d;
-    d.counter = r.get_u64();
-    d.written_at = r.get_i64();
-    d.read = r.get_bool();
-    d.level = r.get_u8();
-    m.map_.emplace(k, d);
+  if (n == 0) return m;
+  const uint8_t* base = r.get_span(static_cast<size_t>(n) * kDepWireBytes);
+  // Canonical streams (ours always are) become raw-backed: the map keeps
+  // the wire image and defers parsing until something mutates or iterates
+  // it.  Sortedness is one sequential key scan.
+  bool sorted = true;
+  Key prev = raw_u64(base + kRawKeyOff);
+  for (uint32_t i = 1; i < n; ++i) {
+    const Key k = raw_u64(base + i * kDepWireBytes + kRawKeyOff);
+    if (k <= prev) {
+      sorted = false;
+      break;
+    }
+    prev = k;
   }
+  if (sorted) {
+    // The u32 count sits immediately before the records in the source
+    // stream, so the whole canonical image is one contiguous range.
+    const size_t image_bytes = 4 + static_cast<size_t>(n) * kDepWireBytes;
+    if (const auto& owner = r.owner()) {
+      // Shared-ownership reader: alias the records inside the message
+      // buffer itself — zero-copy decode, the dominant context-transfer
+      // cost gone entirely.
+      m.raw_ = RawImage{owner, base - 4, image_bytes};
+    } else {
+      m.raw_ = RawImage::own(Buffer(base - 4, base + image_bytes - 4));
+    }
+    return m;
+  }
+  // Defensive: accept any well-formed stream, canonicalizing it.
+  KeyInterner& interner = KeyInterner::instance();
+  auto rep = std::make_shared<Entries>();
+  rep->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint8_t* p = base + i * kDepWireBytes;
+    Dep d = parse_raw(p);
+    d.key_id = interner.intern(raw_u64(p + kRawKeyOff));
+    rep->push_back(d);
+  }
+  std::sort(rep->begin(), rep->end(), [&](const Dep& x, const Dep& y) {
+    return interner.key_of(x.key_id) < interner.key_of(y.key_id);
+  });
+  m.rep_ = std::move(rep);
   return m;
 }
 

@@ -6,8 +6,44 @@
 // accumulates the union of everything it has read plus those values'
 // dependencies.  This is the metadata whose size Fig. 5 measures and whose
 // transfer and merging dominates HydroCache's dynamic-transaction latency.
+//
+// Representation (the dependency-metadata engine):
+//
+//   * Keys are interned through a per-thread `KeyInterner`, so an in-memory
+//     dependency entry carries a dense `uint32_t` id instead of the raw
+//     8-byte key.  Ids are process-internal: they never reach the wire, so
+//     their assignment order has no observable effect on the simulation.
+//   * A `DepMap` is a flat vector of 24-byte `Dep` entries kept sorted by
+//     *raw key* (resolved through the interner), held behind a refcounted
+//     copy-on-write node.  Copying a map — shipping a context downstream,
+//     attaching it to a read request — bumps a refcount; mutation clones
+//     only when the node is actually shared.  `merge`, `gc_before` and
+//     `restrict_to` are linear scans over contiguous memory that build
+//     their result in a reused thread-local scratch arena.
+//   * Point insertions land in a small sorted overlay (`pending_`) that is
+//     bulk-merged into the main node once it fills, so the read path's
+//     require()/mark_read() bursts cost amortized O(log n) instead of a
+//     vector memmove each.
+//   * The wire encoding is canonical: entries are emitted sorted by key,
+//     so the same logical map encodes to the same bytes regardless of
+//     insertion order or stdlib hash implementation.  Wire size is
+//     unchanged (4-byte count + 26 bytes/entry), which keeps the Fig. 5 /
+//     Fig. 7 byte accounting identical to the hash-map representation.
+//   * Because the wire image is canonical and sorted, a decoded map keeps
+//     the raw bytes as its representation (`raw_`) instead of parsing
+//     them: `lookup` binary-searches the fixed-width records directly and
+//     re-encoding is one bulk copy.  Mutations of a raw-backed map go to
+//     the same pending overlay (shadowing same-key records); the fold, the
+//     prune (`filter`), the merge and the export traversal (`for_each`)
+//     all operate at the record level with bulk copies, so a context can
+//     live its entire decode → update → prune → re-ship cycle without
+//     ever being parsed into entries or touching the interner.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -30,18 +66,106 @@ namespace faastcc::cache {
 // dependencies plus one level" scheme that keeps stored metadata at a
 // stable fixpoint while transaction contexts accumulate the merged
 // closure (the size asymmetry between Fig. 7 and Fig. 5).
+//
+// Canonical-form invariant: `read` entries keep `level == 0` (a read IS a
+// distance-0 dependency; no consumer distinguishes a read entry's level,
+// and pinning it makes merge insensitive to operation order).
+//
+// `key_id` is the interned key (see KeyInterner); 24 bytes total versus
+// the ~56-byte heap node an unordered_map entry used to cost.
 struct Dep {
   uint64_t counter = 0;
   SimTime written_at = 0;
+  uint32_t key_id = 0;
   bool read = false;
   uint8_t level = 0;
 };
 
 // Wire size of one dependency entry: key + counter + written_at + flags.
+// The wire carries the raw 8-byte key, never the interned id.
 constexpr size_t kDepWireBytes = 8 + 8 + 8 + 1 + 1;
+
+// Field offsets inside one canonical 26-byte wire record.
+constexpr size_t kRawKeyOff = 0;
+constexpr size_t kRawCounterOff = 8;
+constexpr size_t kRawWrittenAtOff = 16;
+constexpr size_t kRawReadOff = 24;
+constexpr size_t kRawLevelOff = 25;
+
+// Dense key-id table.  One instance per thread (the simulation is
+// single-threaded per cluster; a multi-process or thread-per-cluster sweep
+// runner gets an independent table per thread for free).  Ids are
+// append-only and stay valid for the life of the thread.
+//
+// Workload keys are small integers, so the key->id direction is a direct-
+// mapped array for keys below `kDenseLimit` — interning is one load on the
+// decode/materialize hot path, not a hash probe.  Larger keys fall back to
+// a hash map; both directions share the same id space.
+class KeyInterner {
+ public:
+  static KeyInterner& instance() {
+    thread_local KeyInterner interner;
+    return interner;
+  }
+
+  uint32_t intern(Key k) {
+    if (k < kDenseLimit) {
+      if (k >= dense_.size()) grow_dense(k);
+      uint32_t& slot = dense_[static_cast<size_t>(k)];
+      if (slot == kUnassigned) {
+        slot = static_cast<uint32_t>(keys_.size());
+        keys_.push_back(k);
+      }
+      return slot;
+    }
+    auto [it, inserted] =
+        ids_.emplace(k, static_cast<uint32_t>(keys_.size()));
+    if (inserted) keys_.push_back(k);
+    return it->second;
+  }
+
+  Key key_of(uint32_t id) const { return keys_[id]; }
+  size_t size() const { return keys_.size(); }
+
+ private:
+  // 2M dense slots = 8 MB worst case, touched pages only.
+  static constexpr Key kDenseLimit = Key{1} << 21;
+  static constexpr uint32_t kUnassigned = UINT32_MAX;
+
+  KeyInterner() = default;
+  void grow_dense(Key k) {
+    size_t target = dense_.empty() ? 1024 : dense_.size() * 2;
+    if (target <= k) target = static_cast<size_t>(k) + 1;
+    dense_.resize(std::min<size_t>(target, kDenseLimit), kUnassigned);
+  }
+
+  std::vector<uint32_t> dense_;
+  std::unordered_map<Key, uint32_t> ids_;  // keys >= kDenseLimit only
+  std::vector<Key> keys_;
+};
 
 class DepMap {
  public:
+  // Iteration yields (raw key, entry) pairs in ascending key order — the
+  // same order as the canonical wire encoding.
+  class const_iterator {
+   public:
+    const_iterator() = default;
+    explicit const_iterator(const Dep* p) : p_(p) {}
+    std::pair<Key, const Dep&> operator*() const {
+      return {KeyInterner::instance().key_of(p_->key_id), *p_};
+    }
+    const_iterator& operator++() {
+      ++p_;
+      return *this;
+    }
+    bool operator==(const const_iterator& o) const { return p_ == o.p_; }
+    bool operator!=(const const_iterator& o) const { return p_ != o.p_; }
+
+   private:
+    const Dep* p_ = nullptr;
+  };
+
   // Raises the requirement for `k` (keeps the max counter; `read` is
   // sticky once set for the surviving entry; `level` keeps the minimum).
   void require(Key k, uint64_t counter, SimTime written_at, uint8_t level);
@@ -49,9 +173,19 @@ class DepMap {
   void mark_read(Key k, uint64_t counter, SimTime written_at);
 
   const Dep* find(Key k) const;
-  size_t size() const { return map_.size(); }
-  bool empty() const { return map_.empty(); }
-  void reserve(size_t n) { map_.reserve(n); }
+  // Materialization-free point query: a raw-backed map (fresh off the
+  // wire) is binary-searched record-by-record; otherwise equivalent to
+  // find().  `out.key_id` is NOT populated on the raw path — the caller
+  // already has the key.  This is the consistency-check entry point: the
+  // receiving cache probes a shipped context a few times and discards it,
+  // so it must never pay for parsing every entry.
+  bool lookup(Key k, Dep& out) const;
+  size_t size() const {
+    if (raw_) return raw_count() + pending_.size() - overlap_;
+    return entries().size() + pending_.size();
+  }
+  bool empty() const { return size() == 0; }
+  void reserve(size_t n);
 
   void merge(const DepMap& other);
   // Drops entries written before `horizon` (globally visible, so no longer
@@ -61,39 +195,314 @@ class DepMap {
   // Keeps only keys contained in `keys` (the static-transaction
   // optimization: with a declared read/write set, metadata irrelevant to
   // the remaining functions can be pruned before shipping downstream).
+  // `read`-marked entries are exempt: they drive conflict aborts while the
+  // transaction runs, so membership in the declared set never drops them —
+  // the same invariant gc_before documents.
   template <typename KeySet>
   void restrict_to(const KeySet& keys) {
-    for (auto it = map_.begin(); it != map_.end();) {
-      if (keys.count(it->first) == 0) {
-        it = map_.erase(it);
-      } else {
-        ++it;
+    filter([&keys](Key k, const Dep& d) {
+      return d.read || keys.count(k) != 0;
+    });
+  }
+  // Folds the point-insert overlay into the main node (no-op when empty).
+  // A compacted map copies as a pure refcount bump; callers that are about
+  // to take a shipped copy compact first so the fold happens once, in
+  // place, instead of once per copy through the shared-node slow path.
+  void compact() const { flush(); }
+
+  // General one-pass prune: keeps entries satisfying keep(key, entry).
+  // gc_before + restrict_to back to back are two full scans (and up to two
+  // node rebuilds); callers that apply both fold the predicates into one
+  // retain() call.
+  template <typename Pred>
+  void retain(Pred keep) {
+    filter(keep);
+  }
+
+  size_t wire_bytes() const { return 4 + size() * kDepWireBytes; }
+
+  size_t size_hint() const { return wire_bytes(); }
+
+  // Canonical encoding: entries sorted by raw key.  Stable across
+  // insertion orders, merge histories and stdlib implementations.  A
+  // raw-backed map folds its overlay (a bulk raw-level merge) and then
+  // re-emits its wire image with one bulk copy (it IS the canonical
+  // encoding).
+  template <typename W>
+  void encode(W& w) const {
+    flush();
+    if (raw_) {
+      if constexpr (requires { w.put_span(raw_.data, raw_.size); }) {
+        w.put_span(raw_.data, raw_.size);
+        return;
+      }
+      materialize();
+    }
+    encode_entries(w);
+  }
+
+  // Ascending-key traversal that never materializes a raw-backed map:
+  // calls f(Key, const Dep&) for every entry.  `key_id` is NOT populated
+  // for entries visited on the raw path — the callback already gets the
+  // raw key.  This is the export/projection workhorse (metadata byte
+  // accounting, commit dependency-list assembly, session-past rebuilds).
+  template <typename F>
+  void for_each(F&& f) const {
+    flush();
+    if (raw_) {
+      const uint8_t* p = raw_records();
+      const uint8_t* end = p + raw_count() * kDepWireBytes;
+      for (; p != end; p += kDepWireBytes) {
+        f(raw_u64(p + kRawKeyOff), parse_raw(p));
+      }
+      return;
+    }
+    for (const Dep& d : entries()) f(key_of(d), d);
+  }
+  static DepMap decode(BufReader& r);
+
+  // Assembles a map directly in canonical wire form from entries appended
+  // in ascending key order (each key at most once).  Rebuild paths that
+  // stream a sorted source — the session-past projection, pruned exports —
+  // skip the per-entry search/insert machinery entirely: the result is
+  // raw-backed, so it also ships and re-encodes as one bulk copy.
+  class RawBuilder {
+   public:
+    explicit RawBuilder(size_t max_entries) {
+      buf_.reserve(4 + max_entries * kDepWireBytes);
+      buf_.resize(4);
+    }
+    void append(Key k, uint64_t counter, SimTime written_at, bool read,
+                uint8_t level) {
+      const size_t off = buf_.size();
+      buf_.resize(off + kDepWireBytes);
+      uint8_t* p = buf_.data() + off;
+      std::memcpy(p, &k, 8);
+      std::memcpy(p + 8, &counter, 8);
+      std::memcpy(p + 16, &written_at, 8);
+      p[24] = read ? 1 : 0;
+      p[25] = read ? 0 : level;  // canonical form: read entries at level 0
+      ++count_;
+    }
+    DepMap finish() && {
+      DepMap m;
+      if (count_ == 0) return m;
+      std::memcpy(buf_.data(), &count_, 4);
+      m.raw_ = RawImage::own(std::move(buf_));
+      return m;
+    }
+
+   private:
+    Buffer buf_;
+    uint32_t count_ = 0;
+  };
+
+  const_iterator begin() const {
+    materialize();
+    flush();
+    const Entries& es = entries();
+    return const_iterator(es.data());
+  }
+  const_iterator end() const {
+    materialize();
+    flush();
+    const Entries& es = entries();
+    return const_iterator(es.data() + es.size());
+  }
+
+ private:
+  using Entries = std::vector<Dep>;
+
+  static Key key_of(const Dep& d) {
+    return KeyInterner::instance().key_of(d.key_id);
+  }
+  static const Entries& empty_entries();
+  static Entries& scratch();
+
+  const Entries& entries() const {
+    return rep_ ? *rep_ : empty_entries();
+  }
+
+  static uint64_t raw_u64(const uint8_t* p) {
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static int64_t raw_i64(const uint8_t* p) {
+    int64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  // Parses one wire record; `key_id` is left unset (callers that need it
+  // intern explicitly — parsing must stay interning-free).
+  static Dep parse_raw(const uint8_t* rec) {
+    Dep d;
+    d.counter = raw_u64(rec + kRawCounterOff);
+    d.written_at = raw_i64(rec + kRawWrittenAtOff);
+    d.read = rec[kRawReadOff] != 0;
+    d.level = rec[kRawLevelOff];
+    return d;
+  }
+  const uint8_t* raw_records() const { return raw_.data + 4; }
+  size_t raw_count() const { return (raw_.size - 4) / kDepWireBytes; }
+
+  // Where a key lives: the main node, the overlay, a raw wire record, or
+  // nowhere.
+  struct Loc {
+    enum Where { kNone, kRep, kPending, kRaw } where = kNone;
+    size_t idx = 0;
+  };
+  Loc locate(Key k) const;
+  Dep& mutable_at(Loc loc);
+  void insert_new(Dep d, Key k);
+  // Shadows raw record `k` with an updated overlay entry.
+  void promote(Dep d, Key k);
+  // Logically const: folds the overlay into the node.  Inline guard so the
+  // (overwhelmingly common) nothing-pending case costs one branch, not an
+  // out-of-line call on every locate/encode.
+  void flush() const {
+    if (!pending_.empty()) flush_slow();
+  }
+  void flush_slow() const;
+  // Logically const: parses a raw wire image into an entry node.  Content
+  // is unchanged; only the representation switches.
+  void materialize() const {
+    if (raw_) materialize_slow();
+  }
+  void materialize_slow() const;
+
+  template <typename W>
+  void encode_entries(W& w) const {
+    flush();
+    const Entries& es = entries();
+    w.put_u32(static_cast<uint32_t>(es.size()));
+    const KeyInterner& interner = KeyInterner::instance();
+    if constexpr (requires(W& ww) { ww.extend(size_t{0}); }) {
+      // Contexts run to thousands of entries and are re-encoded at every
+      // function hop; one bounds check for the whole record block beats
+      // five per entry.  Offsets match the canonical 26-byte record.
+      uint8_t* p = w.extend(es.size() * kDepWireBytes);
+      for (const Dep& d : es) {
+        const Key k = interner.key_of(d.key_id);
+        std::memcpy(p, &k, 8);
+        std::memcpy(p + 8, &d.counter, 8);
+        std::memcpy(p + 16, &d.written_at, 8);
+        p[24] = d.read ? 1 : 0;
+        p[25] = d.level;
+        p += kDepWireBytes;
+      }
+    } else if constexpr (requires(W& ww) {
+                           ww.put_span(static_cast<const uint8_t*>(nullptr),
+                                       size_t{0});
+                         }) {
+      // Tallying writer (CountingWriter): records are fixed-width, so the
+      // size is arithmetic — never walk a 10^3-entry map just to count it.
+      w.put_span(nullptr, es.size() * kDepWireBytes);
+    } else {
+      for (const Dep& d : es) {
+        w.put_u64(interner.key_of(d.key_id));
+        w.put_u64(d.counter);
+        w.put_i64(d.written_at);
+        w.put_bool(d.read);
+        w.put_u8(d.level);
       }
     }
   }
 
-  size_t wire_bytes() const { return 4 + map_.size() * kDepWireBytes; }
-
-  size_t size_hint() const { return wire_bytes(); }
-
-  template <typename W>
-  void encode(W& w) const {
-    w.put_u32(static_cast<uint32_t>(map_.size()));
-    for (const auto& [k, d] : map_) {
-      w.put_u64(k);
-      w.put_u64(d.counter);
-      w.put_i64(d.written_at);
-      w.put_bool(d.read);
-      w.put_u8(d.level);
+  template <typename Pred>
+  void filter(Pred keep) {
+    flush();
+    if (raw_) {
+      // Raw-level prune: survivors are copied run-wise into a fresh wire
+      // image; nothing is parsed or interned.  The all-kept case shares
+      // the image untouched.
+      const uint8_t* data = raw_.data;
+      const size_t n = raw_count();
+      size_t first = 0;
+      while (first < n) {
+        const uint8_t* rec = data + 4 + first * kDepWireBytes;
+        if (!keep(raw_u64(rec + kRawKeyOff), parse_raw(rec))) break;
+        ++first;
+      }
+      if (first == n) return;  // nothing dropped: share untouched
+      Buffer out;
+      out.reserve(raw_.size - kDepWireBytes);
+      out.insert(out.end(), data, data + 4 + first * kDepWireBytes);
+      uint32_t cnt = static_cast<uint32_t>(first);
+      size_t run = first + 1;  // start of the next candidate kept-run
+      for (size_t j = run; j <= n; ++j) {
+        const uint8_t* rec = data + 4 + j * kDepWireBytes;
+        if (j < n && keep(raw_u64(rec + kRawKeyOff), parse_raw(rec))) {
+          continue;
+        }
+        if (j > run) {
+          out.insert(out.end(), data + 4 + run * kDepWireBytes, rec);
+          cnt += static_cast<uint32_t>(j - run);
+        }
+        run = j + 1;
+      }
+      if (cnt == 0) {
+        raw_ = RawImage{};
+        return;
+      }
+      std::memcpy(out.data(), &cnt, 4);
+      raw_ = RawImage::own(std::move(out));
+      return;
     }
+    if (!rep_) return;
+    if (rep_.use_count() == 1) {
+      // Unique node: compact in place, no allocation.
+      Entries& es = *rep_;
+      es.erase(std::remove_if(
+                   es.begin(), es.end(),
+                   [&](const Dep& d) { return !keep(key_of(d), d); }),
+               es.end());
+      return;
+    }
+    const Entries& es = *rep_;
+    size_t kept = 0;
+    while (kept < es.size() && keep(key_of(es[kept]), es[kept])) ++kept;
+    if (kept == es.size()) return;  // nothing dropped: share untouched
+    Entries& s = scratch();
+    s.clear();
+    s.reserve(es.size() - 1);
+    s.insert(s.end(), es.begin(), es.begin() + kept);
+    for (size_t i = kept + 1; i < es.size(); ++i) {
+      if (keep(key_of(es[i]), es[i])) s.push_back(es[i]);
+    }
+    rep_ = std::make_shared<Entries>(s);
   }
-  static DepMap decode(BufReader& r);
 
-  auto begin() const { return map_.begin(); }
-  auto end() const { return map_.end(); }
-
- private:
-  std::unordered_map<Key, Dep> map_;
+  // Sorted-by-key entry node, shared copy-on-write between maps.
+  mutable std::shared_ptr<Entries> rep_;
+  // Canonical wire image (count + sorted records) a decoded map is backed
+  // by.  Mutually exclusive with rep_.  Mutations do NOT force parsing:
+  // they land in the pending_ overlay (shadowing same-key records), and
+  // flush folds the overlay back in at the raw level with bulk copies —
+  // so a shipped context that picks up a few requirements per hop stays
+  // in wire form for its whole life.
+  //
+  // The image is an owner + span rather than a whole buffer: a map decoded
+  // through a shared-ownership BufReader aliases the records inside the
+  // network message it arrived in (zero-copy decode), with `owner` keeping
+  // that message's buffer alive.
+  struct RawImage {
+    std::shared_ptr<const void> owner;
+    const uint8_t* data = nullptr;  // the u32 count, records follow
+    size_t size = 0;                // 4 + n * kDepWireBytes
+    explicit operator bool() const { return data != nullptr; }
+    static RawImage own(Buffer b) {
+      auto sp = std::make_shared<const Buffer>(std::move(b));
+      return RawImage{sp, sp->data(), sp->size()};
+    }
+  };
+  mutable RawImage raw_;
+  // Small sorted overlay: keys absent from rep_ (rep-backed maps), or
+  // point updates shadowing same-key records (raw-backed maps).
+  mutable Entries pending_;
+  // Raw-backed only: how many pending_ entries shadow an existing raw
+  // record (they replace rather than add on flush).
+  mutable uint32_t overlap_ = 0;
 };
 
 // A dependency list entry as stored alongside a value.  Level 0 entries
@@ -122,21 +531,62 @@ struct StoredDep {
   }
 };
 
+// Immutable, refcounted stored-dependency list.  One decoded or built list
+// is shared by every holder — cache entry, read response, client context —
+// instead of being vector-copied at each hop.  Wire format is identical to
+// the storage::put_vec/get_vec encoding it replaces (u32 count + entries),
+// so Fig. 7 / Fig. 8 byte accounting is unchanged.
+class DepList {
+ public:
+  DepList() = default;
+  DepList(std::vector<StoredDep> deps)  // NOLINT(google-explicit-constructor)
+      : list_(deps.empty() ? nullptr
+                           : std::make_shared<const std::vector<StoredDep>>(
+                                 std::move(deps))) {}
+
+  size_t size() const { return list_ ? list_->size() : 0; }
+  bool empty() const { return size() == 0; }
+  const std::vector<StoredDep>& items() const {
+    static const std::vector<StoredDep> kEmpty;
+    return list_ ? *list_ : kEmpty;
+  }
+  auto begin() const { return items().begin(); }
+  auto end() const { return items().end(); }
+  const StoredDep& operator[](size_t i) const { return items()[i]; }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u32(static_cast<uint32_t>(size()));
+    for (const StoredDep& d : items()) d.encode(w);
+  }
+  static DepList decode(BufReader& r) {
+    const uint32_t n = r.get_u32();
+    if (n == 0) return DepList();
+    std::vector<StoredDep> v;
+    v.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) v.push_back(StoredDep::decode(r));
+    return DepList(std::move(v));
+  }
+
+ private:
+  std::shared_ptr<const std::vector<StoredDep>> list_;
+};
+
 // Payload persisted in the eventual store for every HydroCache write:
 // the application value plus the dependency list.
 struct HydroStored {
   Value value;
-  std::vector<StoredDep> deps;
+  DepList deps;
 
   template <typename W>
   void encode(W& w) const {
     w.put_bytes(value);
-    storage::put_vec(w, deps);
+    deps.encode(w);
   }
   static HydroStored decode(BufReader& r) {
     HydroStored s;
     s.value = r.get_bytes();
-    s.deps = storage::get_vec<StoredDep>(r);
+    s.deps = DepList::decode(r);
     return s;
   }
 };

@@ -22,10 +22,10 @@ EventualAdapter::EventualAdapter(net::RpcNode& rpc, net::Address cache_address,
       tracer_(tracer) {}
 
 std::unique_ptr<FunctionTxn> EventualAdapter::open(
-    const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
-    const Buffer& /*session*/) {
+    const TxnInfo& info, std::vector<Payload> parent_contexts,
+    Payload /*session*/) {
   EventualContext ctx;
-  for (const Buffer& b : parent_contexts) {
+  for (const Payload& b : parent_contexts) {
     EventualContext p = decode_message<EventualContext>(b);
     for (auto& [k, v] : p.write_set) ctx.write_set[k] = std::move(v);
   }

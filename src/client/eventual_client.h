@@ -36,8 +36,8 @@ class EventualAdapter final : public SystemAdapter {
                   obs::Tracer* tracer = nullptr);
 
   std::unique_ptr<FunctionTxn> open(const TxnInfo& info,
-                                    const std::vector<Buffer>& parent_contexts,
-                                    const Buffer& session) override;
+                                    std::vector<Payload> parent_contexts,
+                                    Payload session) override;
 
  private:
   friend class EventualTxn;

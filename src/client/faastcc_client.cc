@@ -47,6 +47,12 @@ Timestamp decode_faastcc_session(const Buffer& b) {
   return Timestamp(r.get_u64());
 }
 
+Timestamp decode_faastcc_session(const Payload& p) {
+  if (p.empty()) return Timestamp::min();
+  BufReader r(p.data(), p.size());
+  return Timestamp(r.get_u64());
+}
+
 FaasTccAdapter::FaasTccAdapter(net::RpcNode& rpc, net::Address cache_address,
                                storage::TccTopology topology,
                                FaasTccConfig config, Metrics* metrics,
@@ -65,8 +71,8 @@ FaasTccAdapter::FaasTccAdapter(net::RpcNode& rpc, net::Address cache_address,
 }
 
 std::unique_ptr<FunctionTxn> FaasTccAdapter::open(
-    const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
-    const Buffer& session) {
+    const TxnInfo& info, std::vector<Payload> parent_contexts,
+    Payload session) {
   FaasTccContext ctx;
   if (parent_contexts.empty()) {
     // Root function: SI_root = [-inf, +inf] (§4.8); the session blob only
@@ -75,7 +81,7 @@ std::unique_ptr<FunctionTxn> FaasTccAdapter::open(
   } else {
     std::vector<FaasTccContext> parents;
     parents.reserve(parent_contexts.size());
-    for (const Buffer& b : parent_contexts) {
+    for (const Payload& b : parent_contexts) {
       parents.push_back(decode_message<FaasTccContext>(b));
     }
     std::vector<SnapshotInterval> intervals;

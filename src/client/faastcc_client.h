@@ -91,8 +91,8 @@ class FaasTccAdapter final : public SystemAdapter {
                  check::ConsistencyOracle* oracle = nullptr);
 
   std::unique_ptr<FunctionTxn> open(const TxnInfo& info,
-                                    const std::vector<Buffer>& parent_contexts,
-                                    const Buffer& session) override;
+                                    std::vector<Payload> parent_contexts,
+                                    Payload session) override;
 
  private:
   friend class FaasTccTxn;
@@ -140,5 +140,6 @@ class FaasTccTxn final : public FunctionTxn {
 // (write-after-write session ordering).
 Buffer encode_faastcc_session(Timestamp commit_ts);
 Timestamp decode_faastcc_session(const Buffer& b);
+Timestamp decode_faastcc_session(const Payload& p);
 
 }  // namespace faastcc::client

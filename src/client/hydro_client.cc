@@ -43,27 +43,36 @@ HydroAdapter::HydroAdapter(net::RpcNode& rpc, net::Address cache_address,
       tracer_(tracer) {}
 
 std::unique_ptr<FunctionTxn> HydroAdapter::open(
-    const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
-    const Buffer& session) {
+    const TxnInfo& info, std::vector<Payload> parent_contexts,
+    Payload session) {
   HydroContext ctx;
   if (parent_contexts.empty()) {
     if (!session.empty()) {
+      // Shared-ownership decode: the dependency map aliases the records
+      // inside the session blob instead of copying them out.
       HydroSession s = decode_message<HydroSession>(session);
       ctx.lamport = s.lamport;
       ctx.global_cut = s.global_cut;
       ctx.deps = std::move(s.deps);
     }
   } else {
-    for (const Buffer& b : parent_contexts) {
+    for (const Payload& b : parent_contexts) {
       HydroContext p = decode_message<HydroContext>(b);
       // Parallel branches that read *different* versions of the same key
-      // cannot be reconciled: the values were already consumed.
-      for (const auto& [k, d] : p.deps) {
-        if (!d.read) continue;
-        const cache::Dep* mine = ctx.deps.find(k);
-        if (mine != nullptr && mine->read && mine->counter != d.counter) {
-          return nullptr;
-        }
+      // cannot be reconciled: the values were already consumed.  Against an
+      // empty accumulator the check is vacuous — skipping it keeps the first
+      // parent's decoded map in raw wire form for the merge below.
+      if (!ctx.deps.empty()) {
+        bool conflict = false;
+        p.deps.for_each([&](Key k, const cache::Dep& d) {
+          if (conflict || !d.read) return;
+          cache::Dep mine;
+          if (ctx.deps.lookup(k, mine) && mine.read &&
+              mine.counter != d.counter) {
+            conflict = true;
+          }
+        });
+        if (conflict) return nullptr;
       }
       ctx.deps.merge(p.deps);
       ctx.lamport = std::max(ctx.lamport, p.lamport);
@@ -93,6 +102,7 @@ sim::Task<std::optional<std::vector<Value>>> HydroTxn::read(
   cache::HydroReadReq req;
   req.keys.reserve(missing.size());
   for (size_t idx : missing) req.keys.push_back(keys[idx]);
+  ctx_.deps.compact();  // so the attached copy shares the node wholesale
   req.context = ctx_.deps;
 
   obs::Tracer* tracer = adapter_.tracer_;
@@ -135,17 +145,23 @@ sim::Task<std::optional<std::vector<Value>>> HydroTxn::read(
 void HydroTxn::write(Key k, Value v) { ctx_.write_set[k] = std::move(v); }
 
 cache::DepMap HydroTxn::shipped_deps() const {
+  ctx_.deps.compact();  // fold pending once, in place, before the copy
   cache::DepMap shipped = ctx_.deps;
   const SimTime horizon =
       std::min(ctx_.global_cut,
                adapter_.rpc_.now() - adapter_.config_.dep_gc_window);
-  shipped.gc_before(horizon);
   if (info_.is_static && adapter_.config_.static_metadata_optimization) {
+    // One pass for GC + declared-set pruning; read markers are exempt from
+    // both (they drive conflict aborts while the transaction runs).
     std::unordered_set<Key> relevant(info_.declared_read_set.begin(),
                                      info_.declared_read_set.end());
     relevant.insert(info_.declared_write_set.begin(),
                     info_.declared_write_set.end());
-    shipped.restrict_to(relevant);
+    shipped.retain([&](Key k, const cache::Dep& d) {
+      return d.read || (d.written_at >= horizon && relevant.count(k) != 0);
+    });
+  } else {
+    shipped.gc_before(horizon);
   }
   return shipped;
 }
@@ -177,11 +193,13 @@ size_t HydroTxn::metadata_bytes() const {
                     info_.declared_write_set.end());
   }
   size_t n = 0;
-  for (const auto& [k, d] : ctx_.deps) {
-    if (!d.read && d.written_at < horizon) continue;
-    if (restricted && relevant.count(k) == 0) continue;
+  ctx_.deps.for_each([&](Key k, const cache::Dep& d) {
+    if (!d.read && d.written_at < horizon) return;
+    // Read markers survive restrict_to (they drive conflict aborts), so
+    // only non-read entries are subject to the declared-set pruning.
+    if (restricted && !d.read && relevant.count(k) == 0) return;
     ++n;
-  }
+  });
   return 4 + n * cache::kDepWireBytes;
 }
 
@@ -189,13 +207,15 @@ size_t HydroTxn::metadata_bytes() const {
 // becomes validation-only history (level 2, no read markers), pruned
 // against the stable cut.
 cache::DepMap HydroTxn::session_past(SimTime horizon) const {
-  cache::DepMap past;
-  past.reserve(ctx_.deps.size());
-  for (const auto& [k, d] : ctx_.deps) {
-    if (d.written_at < horizon) continue;
-    past.require(k, d.counter, d.written_at, 2);
-  }
-  return past;
+  // Entries stream out of the sorted context in ascending key order, so
+  // the session map is assembled directly in canonical wire form — the
+  // per-entry search/insert machinery would be pure overhead here.
+  cache::DepMap::RawBuilder past(ctx_.deps.size());
+  ctx_.deps.for_each([&](Key k, const cache::Dep& d) {
+    if (d.written_at < horizon) return;
+    past.append(k, d.counter, d.written_at, false, 2);
+  });
+  return std::move(past).finish();
 }
 
 sim::Task<std::optional<Buffer>> HydroTxn::commit() {
@@ -215,20 +235,25 @@ sim::Task<std::optional<Buffer>> HydroTxn::commit() {
   // exist in the context for validation but are not re-stored — this is
   // what keeps stored metadata bounded.
   std::vector<cache::StoredDep> deps;
-  for (const auto& [k, d] : ctx_.deps) {
-    if (ctx_.write_set.count(k) != 0) continue;  // superseded by our write
+  ctx_.deps.for_each([&](Key k, const cache::Dep& d) {
+    if (ctx_.write_set.count(k) != 0) return;  // superseded by our write
     if (d.read) {
       deps.push_back(cache::StoredDep{k, d.counter, d.written_at, 0});
     } else if (d.level <= 1) {
       deps.push_back(cache::StoredDep{k, d.counter, d.written_at, 1});
     }
-  }
+  });
   if (deps.size() > adapter_.config_.stored_dep_cap) {
-    // Keep the most constraining entries: level 0 first, then recency.
+    // Keep the most constraining entries: level 0 first, then recency,
+    // with the key as a total-order tiebreak so the kept subset is
+    // canonical (independent of the context's iteration order).
     std::sort(deps.begin(), deps.end(),
               [](const cache::StoredDep& a, const cache::StoredDep& b) {
                 if (a.level != b.level) return a.level < b.level;
-                return a.written_at > b.written_at;
+                if (a.written_at != b.written_at) {
+                  return a.written_at > b.written_at;
+                }
+                return a.key < b.key;
               });
     deps.resize(adapter_.config_.stored_dep_cap);
   }
@@ -249,10 +274,11 @@ sim::Task<std::optional<Buffer>> HydroTxn::commit() {
   for (const auto& [k, v] : ctx_.write_set) {
     cache::HydroStored stored;
     stored.value = v;
-    stored.deps = deps;
+    std::vector<cache::StoredDep> list = deps;
     for (const auto& s : siblings) {
-      if (s.key != k) stored.deps.push_back(s);
+      if (s.key != k) list.push_back(s);
     }
+    stored.deps = cache::DepList(std::move(list));
     storage::EvItem item;
     item.key = k;
     item.version = storage::EvVersion{counter, info_.txn_id};

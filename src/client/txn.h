@@ -75,9 +75,12 @@ class SystemAdapter {
   //     dependency union).
   // Returns nullptr when the parent contexts are mutually inconsistent
   // and the DAG must abort.
-  virtual std::unique_ptr<FunctionTxn> open(
-      const TxnInfo& info, const std::vector<Buffer>& parent_contexts,
-      const Buffer& session) = 0;
+  // Both blobs are taken by value: adapters that can represent the decoded
+  // context as a view of the wire bytes (see HydroAdapter) assume
+  // ownership of the buffers instead of copying out of them.
+  virtual std::unique_ptr<FunctionTxn> open(const TxnInfo& info,
+                                            std::vector<Payload> parent_contexts,
+                                            Payload session) = 0;
 };
 
 }  // namespace faastcc::client

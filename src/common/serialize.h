@@ -14,6 +14,7 @@
 #include <concepts>
 #include <cstdint>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -49,6 +50,20 @@ class BufWriter {
     put_raw(s.data(), s.size());
   }
 
+  // Bulk append of pre-encoded bytes (no length prefix).  Lets a message
+  // splice in an already-canonical sub-encoding with one memcpy.
+  void put_span(const uint8_t* p, size_t n) { put_raw(p, n); }
+
+  // Appends `n` uninitialized-ish bytes and returns a pointer to them, so
+  // a fixed-width record loop can store fields directly instead of going
+  // through one bounds-checked put_* call per field.  The pointer is valid
+  // until the next mutating call.
+  uint8_t* extend(size_t n) {
+    const size_t off = buf_.size();
+    buf_.resize(off + n);
+    return buf_.data() + off;
+  }
+
   size_t size() const { return buf_.size(); }
   Buffer take() { return std::move(buf_); }
   const Buffer& data() const { return buf_; }
@@ -76,6 +91,7 @@ class CountingWriter {
   void put_f64(double) { size_ += 8; }
   void put_bool(bool) { size_ += 1; }
   void put_bytes(std::string_view s) { size_ += 4 + s.size(); }
+  void put_span(const uint8_t*, size_t n) { size_ += n; }
 
   size_t size() const { return size_; }
 
@@ -92,6 +108,17 @@ class BufReader {
  public:
   explicit BufReader(const Buffer& b) : data_(b.data()), size_(b.size()) {}
   BufReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  // Shared-ownership reader: decode paths that can represent their result
+  // as a view of the wire bytes (see DepMap) alias the buffer through
+  // `owner()` instead of copying, keeping it alive past the decode.
+  explicit BufReader(std::shared_ptr<const Buffer> owner)
+      : data_(owner->data()), size_(owner->size()), owner_(std::move(owner)) {}
+  // Shared-ownership reader over a slice of `owner` (a nested payload).
+  BufReader(const uint8_t* data, size_t size,
+            std::shared_ptr<const Buffer> owner)
+      : data_(data), size_(size), owner_(std::move(owner)) {}
+
+  const std::shared_ptr<const Buffer>& owner() const { return owner_; }
 
   uint8_t get_u8() { return get<uint8_t>(); }
   uint16_t get_u16() { return get<uint16_t>(); }
@@ -114,6 +141,15 @@ class BufReader {
     return s;
   }
 
+  // Bounds-checked view of the next `n` raw bytes; advances past them.
+  // Valid only while the underlying buffer lives.
+  const uint8_t* get_span(size_t n) {
+    require(n);
+    const uint8_t* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+
   size_t remaining() const { return size_ - pos_; }
   bool done() const { return pos_ == size_; }
 
@@ -132,6 +168,43 @@ class BufReader {
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;
+  std::shared_ptr<const Buffer> owner_;
+};
+
+// A nested byte blob inside a wire message (a context or session handed
+// from function to function).  Either owns its bytes, or aliases a slice
+// of a shared message buffer — so decoding a trigger does not copy the
+// (potentially large) context out of the message, and decoding the context
+// in turn can alias its records straight out of the same allocation.
+class Payload {
+ public:
+  Payload() = default;
+  // Owning payload around freshly encoded bytes (implicit: every Buffer
+  // producer keeps working unchanged).  Empty buffers stay allocation-free.
+  Payload(Buffer b) {
+    if (b.empty()) return;
+    auto sp = std::make_shared<const Buffer>(std::move(b));
+    data_ = sp->data();
+    size_ = sp->size();
+    owner_ = std::move(sp);
+  }
+  // Aliasing payload: a slice of `owner`, kept alive by the shared count.
+  Payload(std::shared_ptr<const Buffer> owner, const uint8_t* data,
+          size_t size)
+      : owner_(std::move(owner)), data_(data), size_(size) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const std::shared_ptr<const Buffer>& owner() const { return owner_; }
+
+  // Detached copy of the bytes (tests, diagnostics).
+  Buffer bytes() const { return Buffer(data_, data_ + size_); }
+
+ private:
+  std::shared_ptr<const Buffer> owner_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
 };
 
 // Size in bytes a message would occupy on the wire.  Runs the message's
@@ -174,6 +247,23 @@ Buffer encode_message(const M& m) {
 template <typename M>
 M decode_message(const Buffer& b) {
   BufReader r(b);
+  return M::decode(r);
+}
+
+// Shared-ownership variant: view-capable fields of the decoded message
+// alias `b` instead of copying out of it (the buffer stays alive as long
+// as any such view does).
+template <typename M>
+M decode_message(std::shared_ptr<const Buffer> b) {
+  BufReader r(std::move(b));
+  return M::decode(r);
+}
+
+// Decodes a nested payload.  When the payload aliases a shared message
+// buffer, view-capable fields of the result alias it too.
+template <typename M>
+M decode_message(const Payload& p) {
+  BufReader r(p.data(), p.size(), p.owner());
   return M::decode(r);
 }
 

@@ -57,8 +57,13 @@ void ComputeNode::gc_stale_joins() {
 void ComputeNode::on_trigger(Buffer msg, net::Address) {
   // Must be read before anything else: valid only for this delivery.
   const obs::TraceContext inbound = rpc_.inbound_trace();
-  TriggerMsg t = decode_message<TriggerMsg>(msg);
-  rpc_.recycle(std::move(msg));
+  // Shared-ownership decode: the session/context payloads alias the wire
+  // bytes in place, so the buffer is surrendered to the shared count (it
+  // lives as long as any view does) instead of recycled.  Returning these
+  // large payloads to the pool measures slower: they displace the small
+  // hot buffers the pool exists to recycle.
+  TriggerMsg t = decode_message<TriggerMsg>(
+      std::make_shared<const Buffer>(std::move(msg)));
   counters_.triggers.inc();
   gc_stale_joins();
   if (aborted_.count(t.txn_id) != 0) {
@@ -78,8 +83,8 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
   if (parents <= 1) {
     mark_executed(key);
     Work w;
-    std::vector<Buffer> ctxs;
-    if (parents == 1) ctxs.push_back(t.context);
+    std::vector<Payload> ctxs;
+    if (parents == 1) ctxs.push_back(std::move(t.context));
     w.trigger = std::move(t);
     w.parent_contexts = std::move(ctxs);
     w.trace = inbound;
@@ -94,7 +99,7 @@ void ComputeNode::on_trigger(Buffer msg, net::Address) {
     counters_.stale_triggers_dropped.inc();
     return;
   }
-  state.contexts.push_back(t.context);
+  state.contexts.push_back(std::move(t.context));
   if (state.contexts.size() == 1) {
     state.created = rpc_.now();
     state.first = std::move(t);
@@ -198,7 +203,7 @@ sim::Task<void> ComputeNode::execute(Work work) {
   // Deserializing and merging the inbound context(s) costs CPU time
   // proportional to their size.
   size_t inbound = 0;
-  for (const Buffer& c : work.parent_contexts) inbound += c.size();
+  for (const Payload& c : work.parent_contexts) inbound += c.size();
   if (inbound > 0) {
     charge_compute(context_cost(inbound));
     co_await sim::sleep_for(rpc_.loop(), context_cost(inbound));
@@ -211,7 +216,8 @@ sim::Task<void> ComputeNode::execute(Work work) {
   info.declared_write_set = t.spec.declared_write_set;
   info.trace = ctx;
 
-  auto txn = adapter_->open(info, work.parent_contexts, t.session);
+  auto txn = adapter_->open(info, std::move(work.parent_contexts),
+                            std::move(work.trigger.session));
   if (txn == nullptr) {
     send_abort(t);
     end_span(true);
@@ -277,17 +283,20 @@ sim::Task<void> ComputeNode::execute(Work work) {
     tracer_->annotate(span, "metadata_bytes",
                       static_cast<uint64_t>(txn->metadata_bytes()));
   }
+  // One message, re-sent per child: send() encodes from a const ref, so the
+  // (potentially large) spec/context/result fields are never copied per
+  // fan-out edge — only the unavoidable wire encode remains.
+  TriggerMsg next;
+  next.txn_id = t.txn_id;
+  next.from_fn = t.fn_index;
+  next.client = t.client;
+  next.spec = t.spec;
+  next.placement = t.placement;
+  next.context = std::move(context);
+  next.parent_result = std::move(result);
   for (uint32_t child : fn.children) {
-    TriggerMsg next;
-    next.txn_id = t.txn_id;
     next.fn_index = child;
-    next.from_fn = t.fn_index;
-    next.client = t.client;
-    next.spec = t.spec;
-    next.placement = t.placement;
-    next.context = context;
-    next.parent_result = result;
-    rpc_.send(t.placement.at(child), kTrigger, next, ctx);
+    rpc_.send(next.placement.at(child), kTrigger, next, ctx);
   }
   end_span(false);
 }

@@ -70,7 +70,7 @@ class ComputeNode {
  private:
   struct Work {
     TriggerMsg trigger;                   // representative trigger
-    std::vector<Buffer> parent_contexts;  // all parents' contexts
+    std::vector<Payload> parent_contexts;  // all parents' contexts
     obs::TraceContext trace;              // sender's span (joins: first seen)
     SimTime enqueued = 0;                 // queue-wait measurement start
   };
@@ -103,7 +103,7 @@ class ComputeNode {
   };
   struct JoinState {
     TriggerMsg first;
-    std::vector<Buffer> contexts;
+    std::vector<Payload> contexts;
     std::unordered_set<uint32_t> parents_seen;
     SimTime created = 0;
     obs::TraceContext trace;  // first-arriving parent's span

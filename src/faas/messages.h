@@ -56,9 +56,12 @@ struct TriggerMsg {
   net::Address client = 0;
   DagSpec spec;
   std::vector<net::Address> placement;  // node address per function
-  Buffer session;                       // root only
-  Buffer context;                       // non-root: parent context
-  Buffer parent_result;                 // output of the parent function
+  // The two metadata-bearing blobs are Payloads: decoded from a shared
+  // message buffer they alias the wire bytes in place instead of being
+  // copied out (contexts run to tens of KB under HydroCache).
+  Payload session;        // root only
+  Payload context;        // non-root: parent context
+  Buffer parent_result;   // output of the parent function
 
   template <typename W>
   void encode(W& w) const;
@@ -96,6 +99,23 @@ inline Buffer get_buffer(BufReader& r) {
 }
 
 template <typename W>
+inline void put_payload(W& w, const Payload& p) {
+  w.put_bytes(
+      std::string_view(reinterpret_cast<const char*>(p.data()), p.size()));
+}
+
+// Reads a length-prefixed blob as a Payload.  With a shared-ownership
+// reader the payload aliases the message buffer; otherwise it owns a copy.
+inline Payload get_payload(BufReader& r) {
+  const std::string_view s = r.get_bytes_view();
+  const auto* p = reinterpret_cast<const uint8_t*>(s.data());
+  if (const auto& owner = r.owner()) {
+    return Payload(owner, p, s.size());
+  }
+  return Payload(Buffer(p, p + s.size()));
+}
+
+template <typename W>
 inline void TriggerMsg::encode(W& w) const {
   w.put_u64(txn_id);
   w.put_u32(fn_index);
@@ -104,8 +124,8 @@ inline void TriggerMsg::encode(W& w) const {
   spec.encode(w);
   w.put_u32(static_cast<uint32_t>(placement.size()));
   for (net::Address a : placement) w.put_u32(a);
-  put_buffer(w, session);
-  put_buffer(w, context);
+  put_payload(w, session);
+  put_payload(w, context);
   put_buffer(w, parent_result);
 }
 
@@ -119,8 +139,8 @@ inline TriggerMsg TriggerMsg::decode(BufReader& r) {
   const uint32_t n = r.get_u32();
   m.placement.reserve(n);
   for (uint32_t i = 0; i < n; ++i) m.placement.push_back(r.get_u32());
-  m.session = get_buffer(r);
-  m.context = get_buffer(r);
+  m.session = get_payload(r);
+  m.context = get_payload(r);
   m.parent_result = get_buffer(r);
   return m;
 }

@@ -126,6 +126,61 @@ TEST(DepMap, RestrictToDropsIrrelevantKeys) {
   EXPECT_EQ(m.find(2), nullptr);
 }
 
+// Regression: the hash-map DepMap encoded in bucket-iteration order, so
+// the same logical map produced different bytes depending on insertion
+// order (and stdlib).  The wire encoding must be canonical: sorted by key,
+// identical across insertion orders.
+TEST(DepMap, EncodeIsCanonicalAcrossInsertionOrders) {
+  const Key keys[] = {17, 3, 42, 8, 25, 1, 99, 60};
+  DepMap forward;
+  for (Key k : keys) forward.require(k, k + 1, 100, 1);
+  DepMap reverse;
+  for (auto it = std::rbegin(keys); it != std::rend(keys); ++it) {
+    reverse.require(*it, *it + 1, 100, 1);
+  }
+  BufWriter wf, wr;
+  forward.encode(wf);
+  reverse.encode(wr);
+  EXPECT_EQ(wf.take(), wr.take()) << "encoding depends on insertion order";
+
+  BufWriter w;
+  forward.encode(w);
+  const Buffer b = w.take();
+  BufReader r(b);
+  const uint32_t n = r.get_u32();
+  ASSERT_EQ(n, std::size(keys));
+  Key prev = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    const Key k = r.get_u64();
+    r.get_u64();
+    r.get_i64();
+    r.get_bool();
+    r.get_u8();
+    if (i > 0) {
+      EXPECT_LT(prev, k) << "wire entries not sorted by key";
+    }
+    prev = k;
+  }
+}
+
+// Regression: restrict_to used to erase read-marked entries whose keys
+// fell outside the declared key set, silently disabling conflict detection
+// for reads the static analysis did not anticipate.  Read markers must be
+// exempt from pruning.
+TEST(DepMap, RestrictToKeepsReadMarkersOutsideDeclaredSet) {
+  DepMap m;
+  m.mark_read(2, 3, 50);       // actually read, NOT in the declared set
+  m.require(5, 7, 100, 1);     // plain dep outside the set: prunable
+  m.require(1, 4, 100, 1);     // in the set
+  std::unordered_set<Key> declared{1};
+  m.restrict_to(declared);
+  ASSERT_NE(m.find(2), nullptr) << "read marker dropped by restrict_to";
+  EXPECT_TRUE(m.find(2)->read);
+  EXPECT_EQ(m.find(2)->counter, 3u);
+  EXPECT_NE(m.find(1), nullptr);
+  EXPECT_EQ(m.find(5), nullptr);  // non-read entries still pruned
+}
+
 TEST(DepMap, WireBytesMatchEncodedSize) {
   DepMap m;
   for (Key k = 0; k < 10; ++k) m.require(k, k + 1, 100, 1);
@@ -618,6 +673,28 @@ TEST_F(HydroCacheTest, ConflictingDependencyAborts) {
     ctx.mark_read(2, 3, 50);
     auto resp = co_await cache_read(1, ctx);
     EXPECT_TRUE(resp.abort);
+    EXPECT_GT(cache_->counters().conflict_aborts.value(), 0u);
+  });
+}
+
+TEST_F(HydroCacheTest, ReadOutsideDeclaredSetStillAborts) {
+  run([&]() -> sim::Task<void> {
+    // Regression for the restrict_to pruning bug: the transaction read
+    // key 2 (counter 3), but key 2 is not in the statically declared set,
+    // so the old restrict_to dropped the read marker.  The subsequent read
+    // of key 1 — whose stored value depends on key 2 @ counter 9 — then
+    // sailed through instead of aborting on the irreconcilable conflict.
+    std::vector<StoredDep> deps;
+    deps.push_back(StoredDep{2, 9, 100, 0});
+    co_await put(1, "v", deps, 5);
+    co_await sim::sleep_for(loop_, milliseconds(20));
+    DepMap ctx;
+    ctx.mark_read(2, 3, 50);
+    ctx.restrict_to(std::unordered_set<Key>{1});  // declared set: {1} only
+    EXPECT_NE(ctx.find(2), nullptr);
+    auto resp = co_await cache_read(1, std::move(ctx));
+    EXPECT_TRUE(resp.abort)
+        << "conflict on a read outside the declared set must still abort";
     EXPECT_GT(cache_->counters().conflict_aborts.value(), 0u);
   });
 }

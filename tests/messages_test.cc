@@ -267,7 +267,7 @@ TEST(MessageRoundTrip, HydroReadReqResp) {
   e.value = "v";
   e.counter = 3;
   e.written_at = 44;
-  e.deps.push_back(cache::StoredDep{9, 2, 10, 1});
+  e.deps = cache::DepList({cache::StoredDep{9, 2, 10, 1}});
   resp.entries.push_back(std::move(e));
   resp.from_cache.push_back(true);
   check_wire_size(resp);
@@ -295,8 +295,8 @@ TEST(MessageRoundTrip, TriggerMsg) {
   t.spec.functions.push_back(f);
   t.spec.functions.push_back(faas::FunctionSpec{"sink", {}, {}});
   t.placement = {10, 11};
-  t.session = {9};
-  t.context = {8, 8};
+  t.session = Buffer{9};
+  t.context = Buffer{8, 8};
   t.parent_result = {7};
   check_wire_size(t);
   const auto d = decode_message<faas::TriggerMsg>(encode_message(t));
@@ -305,9 +305,35 @@ TEST(MessageRoundTrip, TriggerMsg) {
   EXPECT_EQ(d.client, 900u);
   EXPECT_EQ(d.spec.functions.size(), 2u);
   EXPECT_EQ(d.placement, t.placement);
-  EXPECT_EQ(d.session, t.session);
-  EXPECT_EQ(d.context, t.context);
+  EXPECT_EQ(d.session.bytes(), Buffer({9}));
+  EXPECT_EQ(d.context.bytes(), Buffer({8, 8}));
   EXPECT_EQ(d.parent_result, t.parent_result);
+}
+
+// Decoding a trigger from a shared message buffer must not copy the
+// session/context blobs: the payloads alias the wire bytes in place and
+// keep the buffer alive through the shared count.
+TEST(MessageRoundTrip, TriggerMsgSharedDecodeAliasesPayloads) {
+  faas::TriggerMsg t;
+  t.txn_id = 1;
+  t.spec.functions.push_back(faas::FunctionSpec{"f", {}, {}});
+  t.session = Buffer{1, 2, 3};
+  t.context = Buffer{4, 5, 6, 7};
+  auto wire = std::make_shared<const Buffer>(encode_message(t));
+  const uint8_t* lo = wire->data();
+  const uint8_t* hi = lo + wire->size();
+  auto d = decode_message<faas::TriggerMsg>(wire);
+  ASSERT_EQ(d.session.size(), 3u);
+  ASSERT_EQ(d.context.size(), 4u);
+  EXPECT_TRUE(d.session.data() >= lo && d.session.data() < hi);
+  EXPECT_TRUE(d.context.data() >= lo && d.context.data() < hi);
+  EXPECT_EQ(d.session.owner().get(), wire.get());
+  EXPECT_EQ(d.context.owner().get(), wire.get());
+  // The views stay valid after the last outside reference drops.
+  const Buffer ctx_bytes = d.context.bytes();
+  wire.reset();
+  EXPECT_EQ(d.context.bytes(), ctx_bytes);
+  EXPECT_EQ(d.session.bytes(), Buffer({1, 2, 3}));
 }
 
 TEST(MessageRoundTrip, StartAndDone) {
@@ -382,14 +408,14 @@ TEST(CountedSize, RemainingMessageTypes) {
 
   cache::HydroStored stored;
   stored.value = random_value(rng);
-  stored.deps = {dep, dep};
+  stored.deps = cache::DepList({dep, dep});
   check_wire_size(stored);
 
   cache::HydroReadEntry entry;
   entry.key = 21;
   entry.value = random_value(rng);
   entry.counter = 3;
-  entry.deps = {dep};
+  entry.deps = cache::DepList({dep});
   check_wire_size(entry);
 
   cache::DepMap deps;

@@ -5,6 +5,14 @@ Usage:
     bench_diff.py OLD.json NEW.json     # print per-system before/after table
     bench_diff.py --check FILE.json     # validate schema, exit 1 on failure
 
+Either form accepts repeated perf-floor assertions:
+
+    bench_diff.py --check FILE.json --min-events-per-sec HydroCache=300000
+
+which fail (exit 1) if the named system's `events_per_sec` in the checked
+file (the NEW file, for a diff) is below the floor.  CI uses this to keep
+hard-won baseline speedups from silently rotting.
+
 The wallclock bench runs a deterministic simulation, so `sim_events`,
 `messages` and `committed` act as schedule checksums: if they differ
 between the two files (same config + seed), the runs are not comparable
@@ -23,6 +31,12 @@ REQUIRED_SYSTEM_KEYS = {
     "committed": int,
     "events_per_sec": (int, float),
     "messages_per_sec": (int, float),
+}
+
+# Present in files written since the per-system RSS attribution landed;
+# absent (and not required) in older files so --check keeps accepting them.
+OPTIONAL_SYSTEM_KEYS = {
+    "peak_rss_delta_kb": int,
 }
 
 REQUIRED_CONFIG_KEYS = {
@@ -73,12 +87,47 @@ def check(doc, path):
                 fail(f"{path}: systems.{name}.{key} missing or not {ty}")
             if value <= 0:
                 fail(f"{path}: systems.{name}.{key} is non-positive")
+        for key, ty in OPTIONAL_SYSTEM_KEYS.items():
+            value = sysdoc.get(key)
+            if value is None:
+                continue
+            if not isinstance(value, ty) or isinstance(value, bool):
+                fail(f"{path}: systems.{name}.{key} not {ty}")
+            if value < 0:
+                fail(f"{path}: systems.{name}.{key} is negative")
     total = doc.get("total")
     if not isinstance(total, dict) or not isinstance(
         total.get("wall_ms"), (int, float)
     ):
         fail(f"{path}: missing total.wall_ms")
     return doc
+
+
+def enforce_floors(doc, path, floors):
+    """Fail if any named system's events_per_sec is below its floor."""
+    failures = []
+    for name, floor in floors.items():
+        sysdoc = doc.get("systems", {}).get(name)
+        if sysdoc is None:
+            failures.append(f"{name}: not present in {path}")
+            continue
+        eps = sysdoc["events_per_sec"]
+        if eps < floor:
+            failures.append(
+                f"{name}.events_per_sec {eps:.0f} < floor {floor:.0f}"
+            )
+    if failures:
+        fail(f"{path}: perf floor violated:\n  " + "\n  ".join(failures))
+
+
+def parse_floor(spec):
+    name, sep, floor = spec.partition("=")
+    if not sep or not name:
+        fail(f"--min-events-per-sec expects SYSTEM=FLOOR, got {spec!r}")
+    try:
+        return name, float(floor)
+    except ValueError:
+        fail(f"--min-events-per-sec floor is not a number: {spec!r}")
 
 
 def diff(old_path, new_path):
@@ -112,10 +161,16 @@ def diff(old_path, new_path):
         speedup = o["wall_ms"] / n["wall_ms"]
         ratio = n["events_per_sec"] / o["events_per_sec"]
         ratios.append(ratio)
+        rss = ""
+        if "peak_rss_delta_kb" in o and "peak_rss_delta_kb" in n:
+            rss = (
+                f"  rss {o['peak_rss_delta_kb']}"
+                f" -> {n['peak_rss_delta_kb']} KiB"
+            )
         print(
             f"{name:<12} {o['wall_ms']:>10.1f} {'->':^4} {n['wall_ms']:>10.1f} "
             f"{speedup:>7.2f}x  {o['events_per_sec']:>12.0f} {'->':^4} "
-            f"{n['events_per_sec']:>12.0f} {ratio:>6.2f}x"
+            f"{n['events_per_sec']:>12.0f} {ratio:>6.2f}x{rss}"
         )
     ot, nt = old["total"], new["total"]
     print("-" * len(header))
@@ -130,15 +185,39 @@ def diff(old_path, new_path):
             "determinism checksums differ (schedule changed, runs not "
             "comparable):\n  " + "\n  ".join(mismatched)
         )
+    return new
 
 
 def main(argv):
-    if len(argv) == 3 and argv[1] == "--check":
-        check(load(argv[2]), argv[2])
-        print(f"{argv[2]}: ok")
+    args = []
+    floors = {}
+    check_mode = False
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--check":
+            check_mode = True
+        elif arg == "--min-events-per-sec":
+            if i + 1 >= len(argv):
+                fail("--min-events-per-sec needs a SYSTEM=FLOOR argument")
+            name, floor = parse_floor(argv[i + 1])
+            floors[name] = floor
+            i += 1
+        elif arg.startswith("--min-events-per-sec="):
+            name, floor = parse_floor(arg.split("=", 1)[1])
+            floors[name] = floor
+        else:
+            args.append(arg)
+        i += 1
+
+    if check_mode and len(args) == 1:
+        doc = check(load(args[0]), args[0])
+        enforce_floors(doc, args[0], floors)
+        print(f"{args[0]}: ok")
         return
-    if len(argv) == 3:
-        diff(argv[1], argv[2])
+    if not check_mode and len(args) == 2:
+        new = diff(args[0], args[1])
+        enforce_floors(new, args[1], floors)
         return
     print(__doc__, file=sys.stderr)
     sys.exit(2)
