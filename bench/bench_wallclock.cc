@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "harness/cluster.h"
+#include "harness/flags.h"
 
 namespace faastcc::bench {
 namespace {
@@ -163,49 +164,34 @@ void write_json(const Options& opt, const std::vector<SystemResult>& results,
   out << "}\n";
 }
 
-bool parse_flag(const char* arg, const char* name, const char** value) {
-  const size_t n = std::strlen(name);
-  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
-    *value = arg + n + 1;
-    return true;
-  }
-  return false;
-}
-
 }  // namespace
 }  // namespace faastcc::bench
 
 int main(int argc, char** argv) {
   using namespace faastcc;
   bench::Options opt;
-  for (int i = 1; i < argc; ++i) {
-    const char* v = nullptr;
-    if (bench::parse_flag(argv[i], "--partitions", &v)) {
-      opt.partitions = std::strtoull(v, nullptr, 10);
-    } else if (bench::parse_flag(argv[i], "--nodes", &v)) {
-      opt.compute_nodes = std::strtoull(v, nullptr, 10);
-    } else if (bench::parse_flag(argv[i], "--clients", &v)) {
-      opt.clients = std::strtoull(v, nullptr, 10);
-    } else if (bench::parse_flag(argv[i], "--dags", &v)) {
-      opt.dags_per_client = std::atoi(v);
-    } else if (bench::parse_flag(argv[i], "--keys", &v)) {
-      opt.num_keys = std::strtoull(v, nullptr, 10);
-    } else if (bench::parse_flag(argv[i], "--dag-size", &v)) {
-      opt.dag_size = std::atoi(v);
-    } else if (bench::parse_flag(argv[i], "--seed", &v)) {
-      opt.seed = std::strtoull(v, nullptr, 10);
-    } else if (bench::parse_flag(argv[i], "--repeats", &v)) {
-      opt.repeats = std::max(1, std::atoi(v));
-    } else if (bench::parse_flag(argv[i], "--out", &v)) {
-      opt.out = v;
-    } else {
-      std::fprintf(stderr,
-                   "usage: bench_wallclock [--partitions=N] [--nodes=N] "
-                   "[--clients=N] [--dags=N] [--keys=N] [--dag-size=N] "
-                   "[--seed=N] [--repeats=N] [--out=FILE]\n");
-      return 2;
-    }
+  harness::Flags flags("bench_wallclock",
+                       "wall-clock speed of the simulation core");
+  flags.size("partitions", "storage partitions", &opt.partitions);
+  flags.size("nodes", "compute nodes", &opt.compute_nodes);
+  flags.size("clients", "closed-loop clients", &opt.clients);
+  flags.integer("dags", "DAGs per client", &opt.dags_per_client);
+  flags.u64("keys", "dataset size", &opt.num_keys);
+  flags.integer("dag-size", "functions per chain", &opt.dag_size);
+  flags.u64("seed", "RNG seed", &opt.seed);
+  flags.integer("repeats", "timed repeats per system (min is reported)",
+                &opt.repeats);
+  flags.str("out", "output artifact path", &opt.out);
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "bench_wallclock: %s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 2;
   }
+  if (flags.help_requested()) {
+    std::fputs(flags.usage().c_str(), stdout);
+    return 0;
+  }
+  opt.repeats = std::max(1, opt.repeats);
 
   std::printf("bench_wallclock: %zu partitions, %zu nodes, %zu clients, "
               "%d dags/client, %llu keys, dag size %d, seed %llu, "

@@ -1,0 +1,464 @@
+#include "harness/json.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace faastcc::harness::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) { throw ParseError(what, pos_); }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (next() != c) {
+      --pos_;
+      fail("unexpected character");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"': {
+        Value v;
+        v.type = Value::Type::kString;
+        v.text = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Value{};
+      default:
+        return parse_number();
+    }
+  }
+
+  static Value make_bool(bool b) {
+    Value v;
+    v.type = Value::Type::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  Value parse_object() {
+    Value v;
+    v.type = Value::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      Value member = parse_value();
+      for (const auto& [k, ignored] : v.fields) {
+        (void)ignored;
+        if (k == key) fail("duplicate object key");
+      }
+      v.fields.emplace_back(std::move(key), std::move(member));
+      skip_ws();
+      const char c = next();
+      if (c == '}') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}' in object");
+      }
+    }
+    return v;
+  }
+
+  Value parse_array() {
+    Value v;
+    v.type = Value::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.items.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') break;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']' in array");
+      }
+    }
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char e = next();
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = next();
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                --pos_;
+                fail("bad \\u escape");
+              }
+            }
+            // UTF-8 encode (no surrogate-pair handling; the harness only
+            // writes ASCII).
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default:
+            --pos_;
+            fail("bad escape character");
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        --pos_;
+        fail("raw control character in string");
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    if (pos_ >= text_.size() || !std::isdigit(text_[pos_])) {
+      fail("bad number");
+    }
+    const size_t int_start = pos_;
+    while (pos_ < text_.size() && std::isdigit(text_[pos_])) ++pos_;
+    if (text_[int_start] == '0' && pos_ - int_start > 1) {
+      fail("bad number: leading zero");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(text_[pos_])) {
+        fail("bad number: no digits after '.'");
+      }
+      while (pos_ < text_.size() && std::isdigit(text_[pos_])) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() || !std::isdigit(text_[pos_])) {
+        fail("bad number: empty exponent");
+      }
+      while (pos_ < text_.size() && std::isdigit(text_[pos_])) ++pos_;
+    }
+    Value v;
+    v.type = Value::Type::kNumber;
+    v.text = std::string(text_.substr(start, pos_ - start));
+    return v;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+[[noreturn]] void type_fail(const char* what) { throw ParseError(what, 0); }
+
+}  // namespace
+
+const Value* Value::find(std::string_view k) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [key, v] : fields) {
+    if (key == k) return &v;
+  }
+  return nullptr;
+}
+
+bool Value::as_bool() const {
+  if (type != Type::kBool) type_fail("expected a boolean");
+  return boolean;
+}
+
+int64_t Value::as_i64() const {
+  if (type != Type::kNumber) type_fail("expected a number");
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    type_fail("number is not a 64-bit integer");
+  }
+  return static_cast<int64_t>(v);
+}
+
+uint64_t Value::as_u64() const {
+  if (type != Type::kNumber) type_fail("expected a number");
+  if (!text.empty() && text[0] == '-') type_fail("expected a non-negative number");
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno == ERANGE || end != text.c_str() + text.size()) {
+    type_fail("number is not an unsigned 64-bit integer");
+  }
+  return static_cast<uint64_t>(v);
+}
+
+double Value::as_double() const {
+  if (type != Type::kNumber) type_fail("expected a number");
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size()) type_fail("bad numeric token");
+  return v;
+}
+
+const std::string& Value::as_string() const {
+  if (type != Type::kString) type_fail("expected a string");
+  return text;
+}
+
+Value parse(std::string_view text) { return Parser(text).parse_document(); }
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (counts_.back() > 0) out_.push_back(',');
+  if (counts_.size() > 1) indent();
+  ++counts_.back();
+}
+
+void Writer::indent() {
+  if (compact_) return;
+  out_.push_back('\n');
+  out_.append(2 * (counts_.size() - 1), ' ');
+}
+
+void Writer::begin_object() {
+  separate();
+  out_.push_back('{');
+  counts_.push_back(0);
+}
+
+void Writer::end_object() {
+  const bool had_members = counts_.back() > 0;
+  counts_.pop_back();
+  if (had_members) indent();
+  out_.push_back('}');
+}
+
+void Writer::begin_array() {
+  separate();
+  out_.push_back('[');
+  counts_.push_back(0);
+}
+
+void Writer::end_array() {
+  const bool had_members = counts_.back() > 0;
+  counts_.pop_back();
+  if (had_members) indent();
+  out_.push_back(']');
+}
+
+void Writer::key(std::string_view k) {
+  separate();
+  out_.push_back('"');
+  out_ += escape(k);
+  out_ += compact_ ? "\":" : "\": ";
+  pending_key_ = true;
+}
+
+void Writer::string(std::string_view s) {
+  separate();
+  out_.push_back('"');
+  out_ += escape(s);
+  out_.push_back('"');
+}
+
+void Writer::boolean(bool b) {
+  separate();
+  out_ += b ? "true" : "false";
+}
+
+void Writer::u64(uint64_t v) {
+  separate();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out_ += buf;
+}
+
+void Writer::i64(int64_t v) {
+  separate();
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  out_ += buf;
+}
+
+void Writer::number(double v) {
+  separate();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_ += buf;
+}
+
+void Writer::raw(std::string_view token) {
+  separate();
+  out_ += token;
+}
+
+void Writer::null() {
+  separate();
+  out_ += "null";
+}
+
+namespace {
+
+void write_value(Writer& w, const Value& v) {
+  switch (v.type) {
+    case Value::Type::kNull:
+      w.null();
+      break;
+    case Value::Type::kBool:
+      w.boolean(v.boolean);
+      break;
+    case Value::Type::kNumber:
+      w.raw(v.text);
+      break;
+    case Value::Type::kString:
+      w.string(v.text);
+      break;
+    case Value::Type::kArray:
+      w.begin_array();
+      for (const Value& item : v.items) write_value(w, item);
+      w.end_array();
+      break;
+    case Value::Type::kObject:
+      w.begin_object();
+      for (const auto& [k, member] : v.fields) {
+        w.key(k);
+        write_value(w, member);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+}  // namespace
+
+std::string to_text(const Value& v, bool compact) {
+  Writer w(compact);
+  write_value(w, v);
+  return w.take();
+}
+
+}  // namespace faastcc::harness::json

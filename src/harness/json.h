@@ -1,0 +1,110 @@
+// Minimal JSON reader/writer for the harness surface: run specs, sweep
+// plans and merged sweep artifacts.
+//
+// Reading: a strict recursive-descent parser into a Value tree.  Numbers
+// keep their raw source token so 64-bit integers (seeds, capacities) round
+// trip without passing through a double.  Parse errors throw ParseError
+// with a byte offset.
+//
+// Writing: a Writer that emits a fixed field order with deterministic
+// number formatting — integers in decimal, doubles via "%.17g" (exact
+// round trip).  Everything downstream (RunSpec encoding, sweep merges)
+// depends on this determinism: two processes serializing the same data
+// must produce identical bytes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace faastcc::harness::json {
+
+class ParseError : public std::runtime_error {
+ public:
+  ParseError(const std::string& what, size_t offset)
+      : std::runtime_error(what + " (at byte " + std::to_string(offset) + ")"),
+        offset_(offset) {}
+  size_t offset() const { return offset_; }
+
+ private:
+  size_t offset_;
+};
+
+struct Value {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  std::string text;  // kNumber: raw token; kString: decoded contents
+  std::vector<Value> items;                           // kArray
+  std::vector<std::pair<std::string, Value>> fields;  // kObject (in order)
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  // nullptr when absent (object lookups never throw).
+  const Value* find(std::string_view key) const;
+
+  // Typed accessors; throw ParseError(offset 0) on type mismatch or on a
+  // numeric token that does not fit the requested type.
+  bool as_bool() const;
+  int64_t as_i64() const;
+  uint64_t as_u64() const;
+  double as_double() const;
+  const std::string& as_string() const;
+};
+
+// Parses exactly one JSON document (trailing garbage is an error).
+Value parse(std::string_view text);
+
+// Deterministic writer.  The caller drives structure explicitly:
+//   Writer w;
+//   w.begin_object(); w.key("seed"); w.u64(42); w.end_object();
+// Indentation is two spaces; `compact` suppresses all whitespace.
+class Writer {
+ public:
+  explicit Writer(bool compact = false) : compact_(compact) {}
+
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+  void key(std::string_view k);
+  void string(std::string_view s);
+  void boolean(bool b);
+  void u64(uint64_t v);
+  void i64(int64_t v);
+  void number(double v);      // %.17g: shortest form is not guaranteed,
+                              // exact round trip is
+  void raw(std::string_view token);  // pre-formatted (e.g. a number token)
+  void null();
+
+  std::string take() { return std::move(out_); }
+  const std::string& str() const { return out_; }
+
+ private:
+  void separate();  // comma/newline/indent before a new element
+  void indent();
+
+  std::string out_;
+  bool compact_ = false;
+  // Per-depth element count; depth 0 is the document root.
+  std::vector<size_t> counts_{0};
+  bool pending_key_ = false;
+};
+
+// Serializes a parsed Value back to text in canonical Writer formatting
+// (object field order preserved, numbers re-emitted from their raw token).
+std::string to_text(const Value& v, bool compact = false);
+
+// Escapes a string for direct inclusion in hand-built JSON.
+std::string escape(std::string_view s);
+
+}  // namespace faastcc::harness::json

@@ -1,9 +1,17 @@
 #!/usr/bin/env python3
-"""Compare (or schema-check) BENCH_wallclock.json files.
+"""Compare (or schema-check) BENCH_wallclock.json / BENCH_scale.json files.
 
 Usage:
     bench_diff.py OLD.json NEW.json     # print per-system before/after table
     bench_diff.py --check FILE.json     # validate schema, exit 1 on failure
+
+Both forms dispatch on the file's `schema` field.  Wallclock artifacts
+(faastcc.bench_wallclock.v1) get the per-system table below.  Merged sweep
+artifacts (faastcc.sweep.v1, written by tools/tcc_sweep) get a structural
+check instead: every run record and cell aggregate must carry the required
+keys, the totals must equal the recomputed per-run sums, and any run with
+oracle violations fails the check — so a committed BENCH_scale.json always
+represents a clean, internally consistent sweep.
 
 Either form accepts repeated perf-floor assertions:
 
@@ -48,6 +56,40 @@ REQUIRED_CONFIG_KEYS = {
     "dag_size": int,
     "seed": int,
     "repeats": int,
+}
+
+
+SWEEP_SCHEMA = "faastcc.sweep.v1"
+
+SWEEP_RUN_KEYS = {
+    "id": str,
+    "system": str,
+    "config": str,
+    "partitions": int,
+    "compute_nodes": int,
+    "clients": int,
+    "dags_per_client": int,
+    "zipf": (int, float),
+    "seed": int,
+    "result": dict,
+}
+
+SWEEP_CELL_KEYS = {
+    "system": str,
+    "config": str,
+    "partitions": int,
+    "compute_nodes": int,
+    "zipf": (int, float),
+    "runs": int,
+    "committed": int,
+    "sim_events": int,
+    "messages": int,
+    "throughput_mean": (int, float),
+    "latency_med_ms_mean": (int, float),
+    "latency_p99_ms_mean": (int, float),
+    "abort_rate_mean": (int, float),
+    "hit_rate_mean": (int, float),
+    "violations": int,
 }
 
 
@@ -101,6 +143,116 @@ def check(doc, path):
     ):
         fail(f"{path}: missing total.wall_ms")
     return doc
+
+
+def check_sweep(doc, path):
+    """Validate a merged sweep artifact (faastcc.sweep.v1)."""
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail(f"{path}: missing or empty runs array")
+    seen_ids = set()
+    committed = events = messages = violations = 0
+    for i, run in enumerate(runs):
+        if not isinstance(run, dict):
+            fail(f"{path}: runs[{i}] is not an object")
+        for key, ty in SWEEP_RUN_KEYS.items():
+            value = run.get(key)
+            if not isinstance(value, ty) or isinstance(value, bool):
+                fail(f"{path}: runs[{i}].{key} missing or not {ty}")
+        if run["id"] in seen_ids:
+            fail(f"{path}: duplicate run id {run['id']!r}")
+        seen_ids.add(run["id"])
+        result = run["result"]
+        oracle = result.get("oracle")
+        if not isinstance(oracle, dict):
+            fail(f"{path}: runs[{i}].result.oracle missing")
+        committed += result.get("committed", 0)
+        events += result.get("sim_events", 0)
+        messages += result.get("messages", 0)
+        violations += oracle.get("violations", 0)
+        if oracle.get("violations", 0):
+            fail(
+                f"{path}: run {run['id']!r} has {oracle['violations']} "
+                f"oracle violation(s) ({oracle.get('violation_kind')})"
+            )
+
+    cells = doc.get("cells")
+    if not isinstance(cells, list) or not cells:
+        fail(f"{path}: missing or empty cells array")
+    cell_runs = 0
+    for i, cell in enumerate(cells):
+        for key, ty in SWEEP_CELL_KEYS.items():
+            value = cell.get(key)
+            if not isinstance(value, ty) or isinstance(value, bool):
+                fail(f"{path}: cells[{i}].{key} missing or not {ty}")
+        cell_runs += cell["runs"]
+    if cell_runs != len(runs):
+        fail(f"{path}: cells cover {cell_runs} runs, file has {len(runs)}")
+
+    totals = doc.get("totals")
+    if not isinstance(totals, dict):
+        fail(f"{path}: missing totals object")
+    recomputed = {
+        "runs": len(runs),
+        "committed": committed,
+        "sim_events": events,
+        "messages": messages,
+        "runs_with_violations": 0 if violations == 0 else None,
+    }
+    for key, want in recomputed.items():
+        if want is not None and totals.get(key) != want:
+            fail(
+                f"{path}: totals.{key} is {totals.get(key)}, "
+                f"recomputed {want}"
+            )
+    print(
+        f"{path}: ok ({len(runs)} runs, {committed} DAGs committed, "
+        f"{events} sim events, 0 violations)"
+    )
+    return doc
+
+
+def diff_sweep(old, new):
+    """Per-cell before/after table for two merged sweep artifacts."""
+    def key(cell):
+        return (
+            cell["system"], cell["config"], cell["partitions"],
+            cell["compute_nodes"], cell["zipf"],
+        )
+
+    old_cells = {key(c): c for c in old["cells"]}
+    shared = [c for c in new["cells"] if key(c) in old_cells]
+    if not shared:
+        fail("no cell appears in both sweep files")
+
+    header = (
+        f"{'cell':<34} {'thru/s':>9} {'->':^4} {'thru/s':>9} "
+        f"{'p99 ms':>8} {'->':^4} {'p99 ms':>8}"
+    )
+    print(header)
+    print("-" * len(header))
+    mismatched = []
+    for cell in shared:
+        o = old_cells[key(cell)]
+        label = (
+            f"{cell['config']}/p{cell['partitions']}/z{cell['zipf']:.2f}"
+        )
+        for checksum in ("committed", "sim_events", "messages"):
+            if o[checksum] != cell[checksum]:
+                mismatched.append(
+                    f"{label}.{checksum}: {o[checksum]} -> {cell[checksum]}"
+                )
+        print(
+            f"{label:<34} {o['throughput_mean']:>9.0f} {'->':^4} "
+            f"{cell['throughput_mean']:>9.0f} "
+            f"{o['latency_p99_ms_mean']:>8.3f} {'->':^4} "
+            f"{cell['latency_p99_ms_mean']:>8.3f}"
+        )
+    if mismatched:
+        fail(
+            "determinism checksums differ (schedule changed, runs not "
+            "comparable):\n  " + "\n  ".join(mismatched)
+        )
 
 
 def enforce_floors(doc, path, floors):
@@ -211,11 +363,24 @@ def main(argv):
         i += 1
 
     if check_mode and len(args) == 1:
-        doc = check(load(args[0]), args[0])
+        doc = load(args[0])
+        if doc.get("schema") == SWEEP_SCHEMA:
+            check_sweep(doc, args[0])
+            return
+        doc = check(doc, args[0])
         enforce_floors(doc, args[0], floors)
         print(f"{args[0]}: ok")
         return
     if not check_mode and len(args) == 2:
+        old_doc, new_doc = load(args[0]), load(args[1])
+        if (
+            old_doc.get("schema") == SWEEP_SCHEMA
+            or new_doc.get("schema") == SWEEP_SCHEMA
+        ):
+            check_sweep(old_doc, args[0])
+            check_sweep(new_doc, args[1])
+            diff_sweep(old_doc, new_doc)
+            return
         new = diff(args[0], args[1])
         enforce_floors(new, args[1], floors)
         return

@@ -1,26 +1,25 @@
-// Command-line experiment driver.
+// Command-line experiment driver: a thin shell over harness::run_one.
 //
-//   faastcc_sim [--system=faastcc|hydrocache|cloudburst] [--zipf=1.0]
-//               [--static] [--si] [--dags=1000] [--clients=16]
-//               [--dag-size=6] [--keys=100000] [--partitions=16]
-//               [--nodes=10] [--cache-capacity=inf|0|N] [--seed=42]
-//               [--no-prewarm] [--check] [--json]
-//               [--loss=0.01] [--dup=0.005] [--delay-spike-prob=0.005]
-//               [--delay-spike-ms=10] [--rpc-timeout-ms=25]
-//               [--dag-timeout-ms=1000] [--crash=<addr>:<from_ms>:<until_ms>]
-//               [--trace-out=trace.json] [--trace-sample=1]
-//               [--trace-buffer=65536]
-//               [--elastic-add=8] [--elastic-at-ms=500] [--elastic-slots=8]
+//   faastcc_sim [--spec=run.json] [--system=...] [--config=<name>] ...
 //
-// Runs one cluster experiment and prints the summary (human table or a
-// single JSON object for scripting).  With --trace-out the run also
-// records deterministic distributed traces and writes them in Chrome
-// trace-event format (open in chrome://tracing or Perfetto).
+// Every option edits one RunSpec; the run itself (cluster build, oracle,
+// trace export) lives in the harness library so faastcc_sim, tcc_fuzz and
+// tcc_sweep all execute a run identically.  Flags apply in argv order, so
+// `--spec=base.json --zipf=1.2` overrides the file and `--dump-spec`
+// prints the resulting canonical spec without running it.
+//
+// Prints the summary as a human table or a single JSON object (--json).
+// With --trace-out the run records deterministic distributed traces in
+// Chrome trace-event format (open in chrome://tracing or Perfetto).
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 
+#include "harness/configs.h"
+#include "harness/flags.h"
+#include "harness/run_spec.h"
 #include "harness/summary.h"
 #include "harness/table.h"
 
@@ -29,213 +28,192 @@ using namespace faastcc::harness;
 
 namespace {
 
-struct CliOptions {
-  ClusterParams params;
-  bool json = false;
-  bool ok = true;
-  std::string trace_out;
-};
-
-void usage() {
-  std::fprintf(
-      stderr,
-      "usage: faastcc_sim [options]\n"
-      "  --system=faastcc|hydrocache|cloudburst   (default faastcc)\n"
-      "  --zipf=<theta>                           (default 1.0)\n"
-      "  --static                                 static transactions\n"
-      "  --si                                     snapshot-isolation mode\n"
-      "  --dags=<n>          DAGs per client      (default 1000)\n"
-      "  --clients=<n>                            (default 16)\n"
-      "  --dag-size=<n>      functions per chain  (default 6)\n"
-      "  --keys=<n>          dataset size         (default 100000)\n"
-      "  --partitions=<n>                         (default 16)\n"
-      "  --nodes=<n>         compute nodes        (default 10)\n"
-      "  --cache-capacity=inf|0|<n> entries/node  (default inf)\n"
-      "  --seed=<n>                               (default 42)\n"
-      "  --no-prewarm        skip cache pre-warming\n"
-      "  --check             attach the consistency oracle (FaaSTCC only;\n"
-      "                      zero perturbation, exit 1 on violations)\n"
-      "  --json              machine-readable output\n"
-      "fault injection (all off by default; see docs/simulation.md):\n"
-      "  --loss=<p>          fabric message loss probability\n"
-      "  --dup=<p>           fabric message duplication probability\n"
-      "  --delay-spike-prob=<p>  probability of a delivery delay spike\n"
-      "  --delay-spike-ms=<n>    spike magnitude      (default 10)\n"
-      "  --rpc-timeout-ms=<n>    fabric RPC timeout   (default 25)\n"
-      "  --dag-timeout-ms=<n>    client DAG watchdog  (default 1000)\n"
-      "  --crash=<addr>:<from_ms>:<until_ms>  sever an endpoint during\n"
-      "                      [from, until); repeatable\n"
-      "tracing (see docs/simulation.md):\n"
-      "  --trace-out=<path>  enable tracing, write Chrome trace JSON\n"
-      "  --trace-sample=<n>  record every n-th DAG trace (default 1)\n"
-      "  --trace-buffer=<n>  span ring-buffer capacity (default 65536)\n"
-      "elastic scale-out (FaaSTCC only; see docs/topology-and-elasticity.md):\n"
-      "  --elastic-add=<n>      joiner partitions added mid-run (default 0)\n"
-      "  --elastic-at-ms=<n>    sim-time of the epoch bump (required with\n"
-      "                         --elastic-add; 0 disables the bump)\n"
-      "  --elastic-slots=<n>    routing slots per partition (default 8)\n");
-}
-
-bool parse_value(const char* arg, const char* name, std::string* out) {
-  const size_t n = std::strlen(name);
-  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
-  *out = arg + n + 1;
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
   return true;
-}
-
-CliOptions parse(int argc, char** argv) {
-  CliOptions opt;
-  ClusterParams& p = opt.params;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    std::string v;
-    if (parse_value(arg, "--system", &v)) {
-      if (v == "faastcc") {
-        p.system = SystemKind::kFaasTcc;
-      } else if (v == "hydrocache") {
-        p.system = SystemKind::kHydroCache;
-      } else if (v == "cloudburst") {
-        p.system = SystemKind::kCloudburst;
-      } else {
-        std::fprintf(stderr, "unknown system '%s'\n", v.c_str());
-        opt.ok = false;
-      }
-    } else if (parse_value(arg, "--zipf", &v)) {
-      p.workload.zipf = std::atof(v.c_str());
-    } else if (std::strcmp(arg, "--static") == 0) {
-      p.workload.static_txns = true;
-    } else if (std::strcmp(arg, "--si") == 0) {
-      p.faastcc.snapshot_isolation = true;
-    } else if (parse_value(arg, "--dags", &v)) {
-      p.dags_per_client = std::atoi(v.c_str());
-    } else if (parse_value(arg, "--clients", &v)) {
-      p.clients = static_cast<size_t>(std::atoi(v.c_str()));
-    } else if (parse_value(arg, "--dag-size", &v)) {
-      p.workload.dag_size = std::atoi(v.c_str());
-    } else if (parse_value(arg, "--keys", &v)) {
-      p.workload.num_keys = static_cast<uint64_t>(std::atoll(v.c_str()));
-    } else if (parse_value(arg, "--partitions", &v)) {
-      p.partitions = static_cast<size_t>(std::atoi(v.c_str()));
-    } else if (parse_value(arg, "--nodes", &v)) {
-      p.compute_nodes = static_cast<size_t>(std::atoi(v.c_str()));
-    } else if (parse_value(arg, "--cache-capacity", &v)) {
-      if (v == "inf") {
-        p.cache_capacity = SIZE_MAX;
-      } else {
-        p.cache_capacity = static_cast<size_t>(std::atoll(v.c_str()));
-      }
-    } else if (parse_value(arg, "--seed", &v)) {
-      p.seed = static_cast<uint64_t>(std::atoll(v.c_str()));
-    } else if (parse_value(arg, "--loss", &v)) {
-      p.faults.loss_prob = std::atof(v.c_str());
-    } else if (parse_value(arg, "--dup", &v)) {
-      p.faults.dup_prob = std::atof(v.c_str());
-    } else if (parse_value(arg, "--delay-spike-prob", &v)) {
-      p.faults.delay_spike_prob = std::atof(v.c_str());
-    } else if (parse_value(arg, "--delay-spike-ms", &v)) {
-      p.faults.delay_spike = milliseconds(std::atoll(v.c_str()));
-    } else if (parse_value(arg, "--rpc-timeout-ms", &v)) {
-      p.faults.rpc_timeout = milliseconds(std::atoll(v.c_str()));
-    } else if (parse_value(arg, "--dag-timeout-ms", &v)) {
-      p.faults.dag_timeout = milliseconds(std::atoll(v.c_str()));
-    } else if (parse_value(arg, "--crash", &v)) {
-      net::CrashWindow w;
-      unsigned long long addr = 0, from_ms = 0, until_ms = 0;
-      if (std::sscanf(v.c_str(), "%llu:%llu:%llu", &addr, &from_ms,
-                      &until_ms) != 3) {
-        std::fprintf(stderr, "bad --crash spec '%s'\n", v.c_str());
-        opt.ok = false;
-      } else {
-        w.addr = static_cast<net::Address>(addr);
-        w.from = milliseconds(static_cast<int64_t>(from_ms));
-        w.until = milliseconds(static_cast<int64_t>(until_ms));
-        p.faults.crashes.push_back(w);
-      }
-    } else if (parse_value(arg, "--trace-out", &v)) {
-      opt.trace_out = v;
-      p.trace.enabled = true;
-    } else if (parse_value(arg, "--trace-sample", &v)) {
-      p.trace.sample_every = static_cast<uint32_t>(std::atoi(v.c_str()));
-      if (p.trace.sample_every == 0) p.trace.sample_every = 1;
-    } else if (parse_value(arg, "--trace-buffer", &v)) {
-      p.trace.ring_capacity = static_cast<size_t>(std::atoll(v.c_str()));
-    } else if (parse_value(arg, "--elastic-add", &v)) {
-      p.elastic.add_partitions = static_cast<size_t>(std::atoi(v.c_str()));
-    } else if (parse_value(arg, "--elastic-at-ms", &v)) {
-      p.elastic.at = milliseconds(std::atoll(v.c_str()));
-    } else if (parse_value(arg, "--elastic-slots", &v)) {
-      p.elastic.slots_per_partition =
-          static_cast<size_t>(std::atoll(v.c_str()));
-    } else if (std::strcmp(arg, "--no-prewarm") == 0) {
-      p.prewarm_caches = false;
-    } else if (std::strcmp(arg, "--check") == 0) {
-      p.check_consistency = true;
-    } else if (std::strcmp(arg, "--json") == 0) {
-      opt.json = true;
-    } else {
-      std::fprintf(stderr, "unknown option '%s'\n", arg);
-      opt.ok = false;
-    }
-  }
-  return opt;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  CliOptions opt = parse(argc, argv);
-  if (!opt.ok) {
-    usage();
+  RunSpec spec;
+  ClusterParams& p = spec.params;
+
+  bool json_out = false;
+  bool dump_spec = false;
+  bool list_configs_flag = false;
+  bool static_txns = false;
+  bool si = false;
+  bool no_prewarm = false;
+  bool check = false;
+  std::string trace_out;
+  std::string spec_error;
+
+  Flags flags("faastcc_sim", "single-run experiment driver");
+  flags.custom("spec", "file.json", "load a RunSpec; later flags override",
+               [&](const std::string& v) {
+                 std::string text;
+                 if (!read_file(v, &text)) {
+                   spec_error = "cannot read spec file '" + v + "'";
+                   return false;
+                 }
+                 try {
+                   spec = spec_from_text(text);
+                 } catch (const SpecError& e) {
+                   spec_error = e.what();
+                   return false;
+                 }
+                 return true;
+               });
+  flags.custom("system", "faastcc|hydrocache|cloudburst", "system under test",
+               [&](const std::string& v) {
+                 return parse_system(v, &p.system);
+               });
+  flags.custom("config", "name", "apply a named config (see --list-configs)",
+               [&](const std::string& v) {
+                 if (find_config(v) == nullptr) return false;
+                 spec.config = v;
+                 return true;
+               });
+  flags.real("zipf", "workload key-popularity skew", &p.workload.zipf);
+  flags.boolean("static", "static transactions", &static_txns);
+  flags.boolean("si", "snapshot-isolation mode", &si);
+  flags.integer("dags", "DAGs per client", &p.dags_per_client);
+  flags.size("clients", "closed-loop clients", &p.clients);
+  flags.integer("dag-size", "functions per chain", &p.workload.dag_size);
+  flags.u64("keys", "dataset size", &p.workload.num_keys);
+  flags.size("partitions", "storage partitions", &p.partitions);
+  flags.size("nodes", "compute nodes", &p.compute_nodes);
+  flags.size("cache-capacity", "entries per node cache", &p.cache_capacity);
+  flags.u64("seed", "RNG seed", &p.seed);
+  flags.boolean("no-prewarm", "skip cache pre-warming", &no_prewarm);
+  flags.boolean("check",
+                "attach the consistency oracle (FaaSTCC only; zero "
+                "perturbation, exit 1 on violations)",
+                &check);
+  flags.boolean("json", "machine-readable output", &json_out);
+  flags.real("loss", "fabric message loss probability", &p.faults.loss_prob);
+  flags.real("dup", "fabric message duplication probability",
+             &p.faults.dup_prob);
+  flags.real("delay-spike-prob", "probability of a delivery delay spike",
+             &p.faults.delay_spike_prob);
+  flags.duration_ms("delay-spike-ms", "spike magnitude",
+                    &p.faults.delay_spike);
+  flags.duration_ms("rpc-timeout-ms", "fabric RPC timeout",
+                    &p.faults.rpc_timeout);
+  flags.duration_ms("dag-timeout-ms", "client DAG watchdog",
+                    &p.faults.dag_timeout);
+  flags.custom("crash", "addr:from_ms:until_ms",
+               "sever an endpoint during [from, until); repeatable",
+               [&](const std::string& v) {
+                 unsigned long long addr = 0, from_ms = 0, until_ms = 0;
+                 if (std::sscanf(v.c_str(), "%llu:%llu:%llu", &addr, &from_ms,
+                                 &until_ms) != 3) {
+                   return false;
+                 }
+                 net::CrashWindow w;
+                 w.addr = static_cast<net::Address>(addr);
+                 w.from = milliseconds(static_cast<int64_t>(from_ms));
+                 w.until = milliseconds(static_cast<int64_t>(until_ms));
+                 p.faults.crashes.push_back(w);
+                 return true;
+               });
+  flags.str("trace-out", "enable tracing, write Chrome trace JSON here",
+            &trace_out);
+  flags.u64("trace-sample", "record every n-th DAG trace",
+            &p.trace.sample_every);
+  flags.size("trace-buffer", "span ring-buffer capacity",
+             &p.trace.ring_capacity);
+  flags.size("elastic-add", "joiner partitions added mid-run",
+             &p.elastic.add_partitions);
+  flags.duration_ms("elastic-at-ms", "sim-time of the epoch bump",
+                    &p.elastic.at);
+  flags.size("elastic-slots", "routing slots per partition",
+             &p.elastic.slots_per_partition);
+  flags.boolean("dump-spec", "print the canonical RunSpec JSON and exit",
+                &dump_spec);
+  flags.boolean("list-configs", "list named configs and exit",
+                &list_configs_flag);
+
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "faastcc_sim: %s\n%s",
+                 spec_error.empty() ? flags.error().c_str()
+                                    : spec_error.c_str(),
+                 flags.usage().c_str());
     return 2;
   }
+  if (flags.help_requested()) {
+    std::fputs(flags.usage().c_str(), stdout);
+    return 0;
+  }
+  if (list_configs_flag) {
+    std::printf("named configs:\n");
+    list_configs(stdout);
+    return 0;
+  }
+
+  if (static_txns) p.workload.static_txns = true;
+  if (si) p.faastcc.snapshot_isolation = true;
+  if (no_prewarm) p.prewarm_caches = false;
+  if (check) p.check_consistency = true;
+  if (!trace_out.empty()) p.trace.enabled = true;
+  if (p.trace.sample_every == 0) p.trace.sample_every = 1;
+
+  if (dump_spec) {
+    std::fputs(to_json(spec).c_str(), stdout);
+    return 0;
+  }
+
   std::fprintf(stderr,
                "running %s  zipf=%.2f  %s%s clients=%zu x %d DAGs ...\n",
-               system_name(opt.params.system), opt.params.workload.zipf,
-               opt.params.workload.static_txns ? "static " : "dynamic ",
-               opt.params.faastcc.snapshot_isolation ? "(SI) " : "",
-               opt.params.clients, opt.params.dags_per_client);
+               system_name(p.system), p.workload.zipf,
+               p.workload.static_txns ? "static " : "dynamic ",
+               p.faastcc.snapshot_isolation ? "(SI) " : "", p.clients,
+               p.dags_per_client);
 
-  Cluster cluster(opt.params);
-  const RunResult result = cluster.run();
-  const SummaryStats s = summarize(result);
+  RunOutput out;
+  try {
+    out = run_one(spec);
+  } catch (const SpecError& e) {
+    std::fprintf(stderr, "faastcc_sim: %s\n", e.what());
+    return 2;
+  }
+  const SummaryStats& s = out.summary;
+  const RunResult& result = out.result;
+  const ClusterParams resolved = spec.resolve();
 
   int exit_code = 0;
-  if (opt.params.check_consistency) {
-    check::ConsistencyOracle* oracle = cluster.oracle();
-    if (oracle == nullptr) {
-      std::fprintf(stderr, "--check is only supported for --system=faastcc\n");
-      return 2;
-    }
-    const auto violations = oracle->check();
-    if (violations.empty()) {
+  if (out.checked) {
+    if (out.violations == 0) {
       std::fprintf(stderr,
                    "consistency check: clean (%zu installs, %zu reads, "
                    "%zu commits)\n",
-                   oracle->installs_recorded(), oracle->reads_recorded(),
-                   oracle->commits_recorded());
+                   out.oracle_installs, out.oracle_reads, out.oracle_commits);
     } else {
-      std::fprintf(stderr, "%s", oracle->report(violations).c_str());
+      std::fprintf(stderr, "%s", out.oracle_report.c_str());
       exit_code = 1;
     }
   }
 
-  if (!opt.trace_out.empty()) {
-    std::ofstream out(opt.trace_out);
-    if (!out) {
+  if (!trace_out.empty()) {
+    std::ofstream trace_file(trace_out);
+    if (!trace_file) {
       std::fprintf(stderr, "cannot open trace output '%s'\n",
-                   opt.trace_out.c_str());
+                   trace_out.c_str());
       return 1;
     }
-    cluster.tracer().export_chrome_trace(out);
+    trace_file << out.trace_json;
     std::fprintf(stderr, "trace: %llu spans (%llu dropped) -> %s\n",
-                 static_cast<unsigned long long>(
-                     cluster.tracer().spans_recorded()),
-                 static_cast<unsigned long long>(
-                     cluster.tracer().spans_dropped()),
-                 opt.trace_out.c_str());
+                 static_cast<unsigned long long>(out.trace_spans_recorded),
+                 static_cast<unsigned long long>(out.trace_spans_dropped),
+                 trace_out.c_str());
   }
 
-  if (opt.json) {
+  if (json_out) {
     std::printf(
         "{\"system\":\"%s\",\"zipf\":%.3f,\"static\":%s,"
         "\"latency_med_ms\":%.4f,\"latency_p99_ms\":%.4f,"
@@ -248,8 +226,8 @@ int main(int argc, char** argv) {
         "\"net_lost\":%llu,\"net_duplicated\":%llu,\"net_delay_spikes\":%llu,"
         "\"net_crash_dropped\":%llu,\"rpc_timeouts\":%llu,"
         "\"rpc_retries\":%llu,\"dag_timeouts\":%llu",
-        system_name(opt.params.system), opt.params.workload.zipf,
-        opt.params.workload.static_txns ? "true" : "false", s.latency_med_ms,
+        system_name(resolved.system), resolved.workload.zipf,
+        resolved.workload.static_txns ? "true" : "false", s.latency_med_ms,
         s.latency_p99_ms, s.throughput, s.metadata_med, s.metadata_p99,
         s.rounds_med, s.rounds_p99, s.read_bytes_med, s.read_bytes_p99,
         s.cache_bytes, s.cache_entries, s.abort_rate, s.hit_rate, s.committed,
@@ -261,7 +239,7 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result.metrics.net_rpc_timeouts),
         static_cast<unsigned long long>(result.metrics.net_rpc_retries),
         static_cast<unsigned long long>(result.metrics.dag_timeouts.value()));
-    if (opt.params.trace.enabled) {
+    if (resolved.trace.enabled) {
       // Trace-derived keys only appear when tracing is on, so existing
       // consumers of the default JSON shape are unaffected.
       std::printf(
@@ -270,7 +248,7 @@ int main(int argc, char** argv) {
           "\"trace_spans\":%llu",
           s.breakdown_queue_ms, s.breakdown_compute_ms, s.breakdown_storage_ms,
           s.breakdown_network_ms,
-          static_cast<unsigned long long>(cluster.tracer().spans_recorded()));
+          static_cast<unsigned long long>(out.trace_spans_recorded));
     }
     std::printf("}\n");
     return exit_code;
@@ -293,7 +271,7 @@ int main(int argc, char** argv) {
   table.add_row({"abort rate", fmt(100 * s.abort_rate, 2) + " %"});
   table.add_row({"committed DAGs", fmt(s.committed, 0)});
   table.add_row({"simulated duration", fmt(s.duration_s, 2) + " s"});
-  if (opt.params.trace.enabled) {
+  if (resolved.trace.enabled) {
     table.add_row({"breakdown queue median", fmt(s.breakdown_queue_ms, 3) +
                    " ms"});
     table.add_row({"breakdown compute median", fmt(s.breakdown_compute_ms, 3) +
@@ -303,7 +281,7 @@ int main(int argc, char** argv) {
     table.add_row({"breakdown network median", fmt(s.breakdown_network_ms, 3) +
                    " ms"});
   }
-  if (opt.params.faults.enabled()) {
+  if (resolved.faults.enabled()) {
     const auto& m = result.metrics;
     table.add_row({"net lost / duplicated",
                    fmt(static_cast<double>(m.net_messages_lost), 0) + " / " +

@@ -1,6 +1,6 @@
 // Deterministic consistency fuzzer for the FaaSTCC stack.
 //
-//   tcc_fuzz [--seeds=N] [--seed-base=N] [--configs=a,b,...]
+//   tcc_fuzz [--seeds=N] [--seed-base=N] [--configs=a,b,...] [--jobs=N]
 //            [--dags=N] [--clients=N] [--list-configs] [--verbose]
 //
 // Sweeps seeds x fault matrices x workload shapes over small FaaSTCC
@@ -11,117 +11,22 @@
 // smaller counterexample (fewer clients/DAGs with the same violation),
 // and the process exits 1.  A clean sweep exits 0.
 //
-// Every fault matrix stays inside the protocol's operating envelope
-// (coordinators retry past loss; prepare TTLs comfortably exceed the
-// retry horizon), so a violation is always a bug, never tuning noise.
-#include <algorithm>
+// The sweep itself runs through harness::run_sweep: --jobs=N forks N
+// worker processes.  Because each run is deterministic per spec and
+// verdicts are scanned in plan order, the failing (config, seed) — and
+// hence the shrunk counterexample — is identical to a serial sweep.
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
-#include "check/oracle.h"
-#include "harness/cluster.h"
+#include "harness/configs.h"
+#include "harness/flags.h"
+#include "harness/sweep.h"
 
 using namespace faastcc;
 using namespace faastcc::harness;
 
 namespace {
-
-struct FuzzConfig {
-  const char* name;
-  const char* what;
-  // Regression configs re-enable one historical bug via its chaos knob.
-  // They are excluded from the default sweep (they are SUPPOSED to fail)
-  // and run only when named explicitly in --configs.
-  bool chaos;
-  void (*apply)(ClusterParams&);
-};
-
-const FuzzConfig kConfigs[] = {
-    {"clean", "no faults (oracle sanity baseline)", false,
-     [](ClusterParams&) {}},
-    {"lossy", "2% loss + 1% duplication", false,
-     [](ClusterParams& p) {
-       p.faults.loss_prob = 0.02;
-       p.faults.dup_prob = 0.01;
-     }},
-    {"spikes-ttl", "delay spikes + short prepare TTL", false,
-     [](ClusterParams& p) {
-       p.faults.loss_prob = 0.01;
-       p.faults.delay_spike_prob = 0.01;
-       p.faults.delay_spike = milliseconds(20);
-       p.tcc.prepare_ttl = milliseconds(250);
-     }},
-    {"tiny-cache", "8-entry caches, hot keys, loss", false,
-     [](ClusterParams& p) {
-       p.cache_capacity = 8;
-       p.workload.zipf = 1.2;
-       p.faults.loss_prob = 0.01;
-     }},
-    {"crashy", "partition + cache crash windows", false,
-     [](ClusterParams& p) {
-       // Partition 1 (addr 101) blacks out mid-run, then cache 0 (addr
-       // 3000); both well inside the measured phase (warmup 250 ms).
-       p.faults.crashes.push_back(net::CrashWindow{101, milliseconds(300),
-                                                   milliseconds(360)});
-       p.faults.crashes.push_back(net::CrashWindow{3000, milliseconds(420),
-                                                   milliseconds(470)});
-       p.faults.dag_timeout = milliseconds(500);
-     }},
-    {"elastic", "mid-run scale-out 3 -> 5 partitions, no faults", false,
-     [](ClusterParams& p) {
-       p.elastic.add_partitions = 2;
-       p.elastic.at = milliseconds(300);
-     }},
-    {"elastic-lossy", "scale-out under 2% loss + 1% duplication", false,
-     [](ClusterParams& p) {
-       p.elastic.add_partitions = 2;
-       p.elastic.at = milliseconds(300);
-       p.faults.loss_prob = 0.02;
-       p.faults.dup_prob = 0.01;
-     }},
-    {"elastic-dup", "scale-out under 3% duplication (handoff replay paths)",
-     false,
-     [](ClusterParams& p) {
-       p.elastic.add_partitions = 2;
-       p.elastic.at = milliseconds(300);
-       p.faults.dup_prob = 0.03;
-     }},
-    {"chaos-lost-ack", "REGRESSION: commits acked without install", true,
-     [](ClusterParams& p) { p.tcc.chaos_drop_install = true; }},
-    {"chaos-prewarm", "REGRESSION: prewarm entries open unsubscribed", true,
-     [](ClusterParams& p) {
-       p.faastcc_cache.chaos_prewarm_open = true;
-       p.cache_capacity = 32;
-       p.workload.zipf = 1.2;
-     }},
-};
-
-// Workload shapes rotate with the seed so a sweep covers all of them.
-void apply_shape(ClusterParams& p, uint64_t seed) {
-  switch (seed % 3) {
-    case 0:  // short chains, uniform-ish keys
-      p.workload.dag_size = 2;
-      p.workload.zipf = 0.8;
-      break;
-    case 1:  // deep chains (long dependency tails)
-      p.workload.dag_size = 6;
-      break;
-    default:  // static transactions on a hot key set
-      p.workload.dag_size = 4;
-      p.workload.zipf = std::max(p.workload.zipf, 1.1);
-      p.workload.static_txns = true;
-      break;
-  }
-}
-
-struct RunOutcome {
-  uint64_t committed = 0;
-  std::vector<check::Violation> violations;
-  std::string report;
-  size_t installs = 0;
-};
 
 // Dedup-window overrides (SIZE_MAX = keep the default).  Setting one to 0
 // disables that at-most-once window — the knob regression tests use to
@@ -129,9 +34,13 @@ struct RunOutcome {
 size_t g_executed_dedup_cap = SIZE_MAX;
 size_t g_start_dedup_cap = SIZE_MAX;
 
-RunOutcome run_one(const FuzzConfig& cfg, uint64_t seed, int clients,
-                   int dags) {
-  ClusterParams p;
+// The fuzzer's run shape: a small hot cluster with the oracle attached.
+// The named config applies on top at resolve() time, exactly like the old
+// in-process table did.
+RunSpec make_spec(const std::string& config, uint64_t seed, int clients,
+                  int dags) {
+  RunSpec spec;
+  ClusterParams& p = spec.params;
   p.system = SystemKind::kFaasTcc;
   p.seed = seed;
   p.partitions = 3;
@@ -141,36 +50,25 @@ RunOutcome run_one(const FuzzConfig& cfg, uint64_t seed, int clients,
   p.workload.num_keys = 64;  // hot key space: maximal contention
   p.workload.zipf = 1.0;
   p.check_consistency = true;
-  apply_shape(p, seed);
-  cfg.apply(p);
+  apply_fuzz_shape(p, seed);
   if (g_executed_dedup_cap != SIZE_MAX) {
     p.node.executed_dedup_cap = g_executed_dedup_cap;
   }
   if (g_start_dedup_cap != SIZE_MAX) {
     p.scheduler.start_dedup_cap = g_start_dedup_cap;
   }
-
-  Cluster cluster(p);
-  const RunResult r = cluster.run();
-  RunOutcome out;
-  out.committed = r.committed;
-  check::ConsistencyOracle* oracle = cluster.oracle();
-  out.violations = oracle->check();
-  out.installs = oracle->installs_recorded();
-  if (!out.violations.empty()) out.report = oracle->report(out.violations);
-  return out;
+  spec.config = config;
+  return spec;
 }
 
-// Greedy shrink: fewer clients, then fewer DAGs, keeping the failure (any
-// violation of the same kind) alive.  Deterministic, bounded work.
-void shrink(const FuzzConfig& cfg, uint64_t seed, int clients, int dags,
-            check::Violation::Kind kind) {
+// Greedy shrink: fewer clients, then fewer DAGs, keeping the failure (a
+// violation of the same kind) alive.  Deterministic, bounded work; runs
+// serially in the parent so it is identical under any --jobs.
+void shrink(const std::string& config, uint64_t seed, int clients, int dags,
+            const std::string& kind) {
   auto still_fails = [&](int c, int d) {
-    const RunOutcome o = run_one(cfg, seed, c, d);
-    for (const auto& v : o.violations) {
-      if (v.kind == kind) return true;
-    }
-    return false;
+    const RunOutput o = run_one(make_spec(config, seed, c, d));
+    return o.violations > 0 && o.violation_kind == kind;
   };
   int best_c = clients, best_d = dags;
   for (int c = best_c / 2; c >= 1; c /= 2) {
@@ -182,128 +80,129 @@ void shrink(const FuzzConfig& cfg, uint64_t seed, int clients, int dags,
   std::fprintf(stderr,
                "minimal counterexample: --configs=%s --seed-base=%llu "
                "--seeds=1 --clients=%d --dags=%d\n",
-               cfg.name, static_cast<unsigned long long>(seed), best_c,
+               config.c_str(), static_cast<unsigned long long>(seed), best_c,
                best_d);
-}
-
-void usage() {
-  std::fprintf(stderr,
-               "usage: tcc_fuzz [options]\n"
-               "  --seeds=<n>       seeds per config     (default 20)\n"
-               "  --seed-base=<n>   first seed           (default 1)\n"
-               "  --configs=<csv>   subset of fault configs (default all)\n"
-               "  --clients=<n>     closed-loop clients  (default 4)\n"
-               "  --dags=<n>        DAGs per client      (default 12)\n"
-               "  --executed-dedup-cap=<n>  node (txn,fn) dedup window\n"
-               "  --start-dedup-cap=<n>     scheduler txn dedup window\n"
-               "  --no-shrink       skip counterexample shrinking\n"
-               "  --list-configs    print configs and exit\n"
-               "  --verbose         per-run progress\n");
-}
-
-bool parse_value(const char* arg, const char* name, std::string* out) {
-  const size_t n = std::strlen(name);
-  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
-  *out = arg + n + 1;
-  return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   uint64_t seeds = 20, seed_base = 1;
-  int clients = 4, dags = 12;
-  bool verbose = false, do_shrink = true;
+  int clients = 4, dags = 12, jobs = 1;
+  bool verbose = false, no_shrink = false, list = false;
   std::string configs_csv;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    std::string v;
-    if (parse_value(arg, "--seeds", &v)) {
-      seeds = static_cast<uint64_t>(std::atoll(v.c_str()));
-    } else if (parse_value(arg, "--seed-base", &v)) {
-      seed_base = static_cast<uint64_t>(std::atoll(v.c_str()));
-    } else if (parse_value(arg, "--configs", &v)) {
-      configs_csv = v;
-    } else if (parse_value(arg, "--clients", &v)) {
-      clients = std::atoi(v.c_str());
-    } else if (parse_value(arg, "--dags", &v)) {
-      dags = std::atoi(v.c_str());
-    } else if (parse_value(arg, "--executed-dedup-cap", &v)) {
-      g_executed_dedup_cap = static_cast<size_t>(std::atoll(v.c_str()));
-    } else if (parse_value(arg, "--start-dedup-cap", &v)) {
-      g_start_dedup_cap = static_cast<size_t>(std::atoll(v.c_str()));
-    } else if (std::strcmp(arg, "--no-shrink") == 0) {
-      do_shrink = false;
-    } else if (std::strcmp(arg, "--list-configs") == 0) {
-      for (const auto& c : kConfigs) {
-        std::fprintf(stderr, "  %-16s %s\n", c.name, c.what);
-      }
-      return 0;
-    } else if (std::strcmp(arg, "--verbose") == 0) {
-      verbose = true;
-    } else {
-      std::fprintf(stderr, "unknown option '%s'\n", arg);
-      usage();
-      return 2;
-    }
+
+  Flags flags("tcc_fuzz", "deterministic consistency fuzzer");
+  flags.u64("seeds", "seeds per config", &seeds);
+  flags.u64("seed-base", "first seed", &seed_base);
+  flags.custom("configs", "csv", "subset of fault configs (default all)",
+               [&](const std::string& v) {
+                 configs_csv = v;
+                 return true;
+               });
+  flags.integer("clients", "closed-loop clients", &clients);
+  flags.integer("dags", "DAGs per client", &dags);
+  flags.integer("jobs", "max concurrent worker processes", &jobs);
+  flags.size("executed-dedup-cap", "node (txn,fn) dedup window",
+             &g_executed_dedup_cap);
+  flags.size("start-dedup-cap", "scheduler txn dedup window",
+             &g_start_dedup_cap);
+  flags.boolean("no-shrink", "skip counterexample shrinking", &no_shrink);
+  flags.boolean("list-configs", "print configs and exit", &list);
+  flags.boolean("verbose", "per-run progress", &verbose);
+
+  if (!flags.parse(argc, argv)) {
+    std::fprintf(stderr, "tcc_fuzz: %s\n%s", flags.error().c_str(),
+                 flags.usage().c_str());
+    return 2;
+  }
+  if (flags.help_requested()) {
+    std::fputs(flags.usage().c_str(), stdout);
+    return 0;
+  }
+  if (list) {
+    list_configs(stderr);
+    return 0;
   }
 
-  auto selected = [&](const FuzzConfig& cfg) {
-    const char* name = cfg.name;
-    if (configs_csv.empty()) return !cfg.chaos;
-    // Exact match within the comma-separated list.
-    size_t pos = 0;
-    const std::string n = name;
-    while (pos <= configs_csv.size()) {
-      const size_t end = configs_csv.find(',', pos);
-      const size_t len =
-          (end == std::string::npos ? configs_csv.size() : end) - pos;
-      if (configs_csv.compare(pos, len, n) == 0) return true;
-      if (end == std::string::npos) break;
-      pos = end + 1;
+  const std::vector<std::string> wanted = Flags::split_csv(configs_csv);
+  auto selected = [&](const NamedConfig& cfg) {
+    if (wanted.empty()) return !cfg.chaos;
+    for (const std::string& w : wanted) {
+      if (w == cfg.name) return true;
     }
     return false;
   };
 
-  uint64_t runs = 0, total_committed = 0;
-  size_t total_installs = 0;
-  for (const auto& cfg : kConfigs) {
+  // Plan order is (config, seed) nesting, matching the old serial loops,
+  // so "first violation in plan order" is the same run the serial fuzzer
+  // would have stopped at.
+  SweepPlan plan;
+  struct ItemMeta {
+    std::string config;
+    uint64_t seed;
+  };
+  std::vector<ItemMeta> meta;
+  for (const NamedConfig& cfg : all_configs()) {
     if (!selected(cfg)) continue;
     for (uint64_t s = 0; s < seeds; ++s) {
       const uint64_t seed = seed_base + s;
-      const RunOutcome o = run_one(cfg, seed, clients, dags);
-      ++runs;
-      total_committed += o.committed;
-      total_installs += o.installs;
-      if (verbose) {
-        std::fprintf(stderr, "%-12s seed=%-6llu committed=%-5llu %s\n",
-                     cfg.name, static_cast<unsigned long long>(seed),
-                     static_cast<unsigned long long>(o.committed),
-                     o.violations.empty() ? "ok" : "VIOLATION");
-      }
-      if (!o.violations.empty()) {
-        std::fprintf(stderr,
-                     "\nconsistency violation: config=%s seed=%llu "
-                     "clients=%d dags=%d\n%s",
-                     cfg.name, static_cast<unsigned long long>(seed), clients,
-                     dags, o.report.c_str());
-        if (do_shrink) {
-          shrink(cfg, seed, clients, dags, o.violations.front().kind);
-        }
-        return 1;
-      }
-      if (o.committed == 0) {
-        // Liveness collapse is not a consistency violation but a sweep
-        // that commits nothing verifies nothing; flag it loudly.
-        std::fprintf(stderr, "warning: config=%s seed=%llu committed 0 DAGs\n",
-                     cfg.name, static_cast<unsigned long long>(seed));
-      }
+      SweepItem item;
+      item.spec = make_spec(cfg.name, seed, clients, dags);
+      item.id = std::string(cfg.name) + "/s" + std::to_string(seed);
+      plan.items.push_back(std::move(item));
+      meta.push_back(ItemMeta{cfg.name, seed});
     }
   }
+
+  SweepOptions opts;
+  opts.jobs = jobs;
+  opts.verbose = verbose;
+  opts.stop_on_violation = true;  // serial mode stops like the old loop
+  SweepResult result;
+  try {
+    result = run_sweep(plan, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tcc_fuzz: %s\n", e.what());
+    return 2;
+  }
+
+  uint64_t total_committed = 0;
+  size_t total_installs = 0;
+  for (const RunRecord& rec : result.records) {
+    if (!rec.ran) continue;
+    total_committed += rec.committed;
+    const json::Value doc = json::parse(rec.json);
+    total_installs +=
+        static_cast<size_t>(doc.find("oracle")->find("installs")->as_u64());
+    if (rec.violations == 0 && rec.committed == 0) {
+      // Liveness collapse is not a consistency violation but a sweep
+      // that commits nothing verifies nothing; flag it loudly.
+      std::fprintf(stderr, "warning: run=%s committed 0 DAGs\n",
+                   rec.id.c_str());
+    }
+  }
+
+  if (result.first_violation != SIZE_MAX) {
+    const size_t i = result.first_violation;
+    const RunRecord& rec = result.records[i];
+    std::fprintf(stderr,
+                 "\nconsistency violation: config=%s seed=%llu "
+                 "clients=%d dags=%d\n%s",
+                 meta[i].config.c_str(),
+                 static_cast<unsigned long long>(meta[i].seed), clients, dags,
+                 rec.oracle_report.c_str());
+    if (!no_shrink) {
+      shrink(meta[i].config, meta[i].seed, clients, dags,
+             rec.violation_kind);
+    }
+    return 1;
+  }
+
   std::fprintf(stderr,
                "fuzz sweep clean: %llu runs, %llu DAGs committed, "
                "%zu installs checked\n",
-               static_cast<unsigned long long>(runs),
+               static_cast<unsigned long long>(result.runs),
                static_cast<unsigned long long>(total_committed),
                total_installs);
   return 0;
