@@ -30,6 +30,10 @@ FaasTccCache::FaasTccCache(net::Network& network, net::Address self,
   rpc_.handle_oneway(storage::kTccPush, [this](Buffer b, net::Address from) {
     on_push(std::move(b), from);
   });
+  rpc_.handle_oneway(storage::kTccPushBatch,
+                     [this](Buffer b, net::Address from) {
+                       on_push_batch(std::move(b), from);
+                     });
   if (params_.topo_service != 0) {
     // Elastic routing: wrong-epoch NACKs on storage reads pull a fresh
     // table; epoch-bump broadcasts push one.  Either path lands in
@@ -413,29 +417,55 @@ sim::Task<Buffer> FaasTccCache::on_read(Buffer req, net::Address) {
 void FaasTccCache::on_push(Buffer msg, net::Address) {
   auto push = decode_message<storage::PushMsg>(msg);
   rpc_.recycle(std::move(msg));
-  stable_est_ = std::max(stable_est_, push.stable_time);
-  if (push.partition >= partition_stable_.size()) return;
+  apply_push(push.partition, push.seq, push.stable_time, push.updates);
+}
+
+void FaasTccCache::on_push_batch(Buffer msg, net::Address) {
+  auto push = decode_message<storage::PushBatchMsg>(msg);
+  rpc_.recycle(std::move(msg));
+  // Re-derive each update's promise from the frame header: the pusher
+  // always sets promise = max(ts, stable), so nothing is lost by not
+  // carrying it per update.
+  std::vector<storage::VersionedValue> updates;
+  updates.reserve(push.updates.size());
+  for (auto& u : push.updates) {
+    storage::VersionedValue vv;
+    vv.key = u.key;
+    vv.value = std::move(u.value);
+    vv.ts = u.ts;
+    vv.promise = std::max(u.ts, push.stable_time);
+    updates.push_back(std::move(vv));
+  }
+  apply_push(push.partition, push.seq, push.stable_time, updates);
+}
+
+void FaasTccCache::apply_push(PartitionId partition, uint64_t seq,
+                              Timestamp stable,
+                              const std::vector<storage::VersionedValue>&
+                                  updates) {
+  stable_est_ = std::max(stable_est_, stable);
+  if (partition >= partition_stable_.size()) return;
   // Channel ordering: only an unbroken push sequence proves the dirty-set
   // signal is complete (no successor announcement was lost).  A duplicated
   // or reordered old push must not reopen anything; a gap closes the
   // partition's open entries until the re-announce arrives.
   bool in_order = true;
-  if (push.seq != 0) {
-    auto& last = push_seq_[push.partition];
-    if (push.seq == last + 1) {
-      last = push.seq;
-    } else if (push.seq > last) {
-      handle_push_gap(push.partition);
-      last = push.seq;
+  if (seq != 0) {
+    auto& last = push_seq_[partition];
+    if (seq == last + 1) {
+      last = seq;
+    } else if (seq > last) {
+      handle_push_gap(partition);
+      last = seq;
     } else {
       in_order = false;  // duplicate or reordered: values usable, flags not
     }
   }
   if (in_order) {
-    auto& slot = partition_stable_[push.partition];
-    slot = std::max(slot, push.stable_time);
+    auto& slot = partition_stable_[partition];
+    slot = std::max(slot, stable);
   }
-  for (const auto& vv : push.updates) {
+  for (const auto& vv : updates) {
     auto it = entries_.find(vv.key);
     if (it == entries_.end()) {
       // Evicted since we subscribed; the unsubscribe is in flight.

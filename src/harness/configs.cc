@@ -60,6 +60,30 @@ const std::vector<NamedConfig> kConfigs = {
        p.elastic.at = milliseconds(300);
        p.faults.dup_prob = 0.03;
      }},
+    {"tree-lossy",
+     "tree stabilization + coalesced pushes under 2% loss + 1% duplication",
+     false,
+     [](ClusterParams& p) {
+       // Fanout 2 over the fuzzer's small cells gives the tree real depth
+       // (interior nodes relaying folds), exercising up/down staleness.
+       p.tcc.stab_topology = storage::StabTopology::kTree;
+       p.tcc.tree_fanout = 2;
+       p.tcc.push_coalescing = true;
+       p.faults.loss_prob = 0.02;
+       p.faults.dup_prob = 0.01;
+     }},
+    {"tree-elastic",
+     "tree stabilization, scale-out +2 partitions under 1% loss", false,
+     [](ClusterParams& p) {
+       // Joiners land below node 1 (fanout 2), turning a leaf interior
+       // mid-run: membership-tagged folds must re-arm the barrier.
+       p.tcc.stab_topology = storage::StabTopology::kTree;
+       p.tcc.tree_fanout = 2;
+       p.tcc.push_coalescing = true;
+       p.elastic.add_partitions = 2;
+       p.elastic.at = milliseconds(300);
+       p.faults.loss_prob = 0.01;
+     }},
     {"chaos-lost-ack", "REGRESSION: commits acked without install", true,
      [](ClusterParams& p) { p.tcc.chaos_drop_install = true; }},
     {"chaos-prewarm", "REGRESSION: prewarm entries open unsubscribed", true,

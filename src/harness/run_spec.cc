@@ -214,6 +214,19 @@ class SpecFields {
         {"tcc",
          {
              f_duration("gossip_period_us", &p.tcc.gossip_period),
+             {"stabilization_topology",
+              [&p](json::Writer& w) {
+                w.string(storage::stab_topology_name(p.tcc.stab_topology));
+              },
+              [&p](const json::Value& v) {
+                if (!storage::parse_stab_topology(v.as_string(),
+                                                  &p.tcc.stab_topology)) {
+                  bad_field("stabilization_topology",
+                            "expected \"mesh\" or \"tree\"");
+                }
+              }},
+             f_int("tree_fanout", &p.tcc.tree_fanout),
+             f_bool("push_coalescing", &p.tcc.push_coalescing),
              f_duration("push_period_us", &p.tcc.push_period),
              f_duration("gc_window_us", &p.tcc.gc_window),
              f_duration("gc_period_us", &p.tcc.gc_period),
@@ -491,6 +504,12 @@ std::string run_output_to_json(const RunOutput& o) {
   w.number(s.abort_rate);
   w.key("hit_rate");
   w.number(s.hit_rate);
+  w.key("stab_lag_med_us");
+  w.number(s.stab_lag_med_us);
+  w.key("stab_lag_p99_us");
+  w.number(s.stab_lag_p99_us);
+  w.key("stab_stale_drops");
+  w.number(s.stab_stale_drops);
   w.end_object();
 
   w.key("net");

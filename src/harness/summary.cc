@@ -45,6 +45,15 @@ SummaryStats summarize(const RunResult& r) {
   s.breakdown_compute_ms = median_of("breakdown.compute_ms");
   s.breakdown_storage_ms = median_of("breakdown.storage_ms");
   s.breakdown_network_ms = median_of("breakdown.network_ms");
+  if (const Samples* lag = r.metrics.find_histogram("stab.stable_lag_us");
+      lag != nullptr && !lag->empty()) {
+    s.stab_lag_med_us = lag->median();
+    s.stab_lag_p99_us = lag->p99();
+  }
+  if (const Counter* drops = r.metrics.find_counter("stab.stale_drops");
+      drops != nullptr) {
+    s.stab_stale_drops = static_cast<double>(drops->value());
+  }
   return s;
 }
 
@@ -72,7 +81,8 @@ const char* kFields[] = {
     "hit_rate",             "committed",
     "duration_s",           "breakdown_queue_ms",
     "breakdown_compute_ms", "breakdown_storage_ms",
-    "breakdown_network_ms",
+    "breakdown_network_ms", "stab_lag_med_us",
+    "stab_lag_p99_us",      "stab_stale_drops",
 };
 
 double* field_ptr(SummaryStats& s, size_t i) {
@@ -86,7 +96,8 @@ double* field_ptr(SummaryStats& s, size_t i) {
       &s.hit_rate,             &s.committed,
       &s.duration_s,           &s.breakdown_queue_ms,
       &s.breakdown_compute_ms, &s.breakdown_storage_ms,
-      &s.breakdown_network_ms,
+      &s.breakdown_network_ms, &s.stab_lag_med_us,
+      &s.stab_lag_p99_us,      &s.stab_stale_drops,
   };
   return ptrs[i];
 }

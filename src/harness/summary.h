@@ -37,6 +37,12 @@ struct SummaryStats {
   double breakdown_compute_ms = 0;
   double breakdown_storage_ms = 0;
   double breakdown_network_ms = 0;
+  // Stabilization: how far the global stable time trails real time at each
+  // gossip round (µs), and observations dropped for membership staleness.
+  // Zero for systems without a stabilizer (hydro, ev).
+  double stab_lag_med_us = 0;
+  double stab_lag_p99_us = 0;
+  double stab_stale_drops = 0;
 };
 
 SummaryStats summarize(const RunResult& result);

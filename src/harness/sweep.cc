@@ -400,9 +400,22 @@ std::string merge_to_json(const SweepPlan& plan, const SweepResult& result) {
     double hit_rate_sum = 0;
     size_t violations = 0;
   };
-  using CellKey = std::tuple<std::string, std::string, size_t, size_t,
-                             std::string>;  // system, config, P, N, zipf
+  // system, config, stab, P, N, zipf.  The stab dimension (stabilization
+  // topology [+fanout] @ gossip period) keeps cells distinct in topology ×
+  // period sweeps, where nothing else differs between variants.
+  using CellKey = std::tuple<std::string, std::string, std::string, size_t,
+                             size_t, std::string>;
   std::map<CellKey, Cell> cells;
+  const auto stab_label = [](const ClusterParams& p) {
+    std::string s = storage::stab_topology_name(p.tcc.stab_topology);
+    if (p.tcc.stab_topology == storage::StabTopology::kTree) {
+      s += std::to_string(p.tcc.tree_fanout);
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "@%gms",
+                  static_cast<double>(p.tcc.gossip_period) / 1000.0);
+    return s + buf;
+  };
 
   json::Writer w;
   w.begin_object();
@@ -443,7 +456,7 @@ std::string merge_to_json(const SweepPlan& plan, const SweepResult& result) {
     Cell& cell = cells[CellKey{system_spec_name(p.system),
                                item.spec.config.empty() ? "-"
                                                         : item.spec.config,
-                               p.partitions, p.compute_nodes,
+                               stab_label(p), p.partitions, p.compute_nodes,
                                format_double_label(p.workload.zipf)}];
     ++cell.runs;
     cell.committed += rec.committed;
@@ -461,12 +474,14 @@ std::string merge_to_json(const SweepPlan& plan, const SweepResult& result) {
   w.key("cells");
   w.begin_array();
   for (const auto& [key, cell] : cells) {
-    const auto& [system, config, partitions, nodes, zipf] = key;
+    const auto& [system, config, stab, partitions, nodes, zipf] = key;
     w.begin_object();
     w.key("system");
     w.string(system);
     w.key("config");
     w.string(config);
+    w.key("stab");
+    w.string(stab);
     w.key("partitions");
     w.u64(partitions);
     w.key("compute_nodes");

@@ -31,6 +31,15 @@ enum TccMethod : uint16_t {
   // Elastic scale-out handoff (coordinator-driven, idempotent).
   kTccMigrateOut = 9,  // source: seal moved slots, extract their chains
   kTccMigrateIn = 10,  // target: install chains + stabilization seed
+  // Tree-topology stabilization (stabilization_topology=tree): safe-time
+  // minima travel up a k-ary aggregation tree over partition ids and the
+  // root's fold travels back down, O(P) messages per round instead of the
+  // mesh's O(P²) broadcast.
+  kTccSafeUp = 11,      // one-way: child -> parent subtree minimum
+  kTccStableDown = 12,  // one-way: parent -> child root fold
+  // Coalesced pub/sub push (push_coalescing=true): same semantics as
+  // kTccPush with the per-update promise derived from the frame header.
+  kTccPushBatch = 13,
 };
 
 enum EvMethod : uint16_t {
@@ -400,6 +409,116 @@ struct PushMsg {
     p.stable_time = get_ts(r);
     p.updates = get_vec<VersionedValue>(r);
     return p;
+  }
+};
+
+// One update inside a coalesced push frame: the promise is not shipped —
+// a pushed promise is always max(version ts, stable at push), and the
+// frame header carries the stable time once, so the receiver re-derives
+// it losslessly (8 bytes saved per update over VersionedValue).
+struct PushUpdate {
+  Key key = 0;
+  Value value;
+  Timestamp ts;
+
+  size_t size_hint() const { return 8 + 4 + value.size() + 8; }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u64(key);
+    w.put_bytes(value);
+    put_ts(w, ts);
+  }
+  static PushUpdate decode(BufReader& r) {
+    PushUpdate u;
+    u.key = r.get_u64();
+    u.value = r.get_bytes();
+    u.ts = get_ts(r);
+    return u;
+  }
+};
+
+// Coalesced pub/sub push (push_coalescing=true): identical semantics and
+// sequencing to PushMsg, with all shared per-frame state (partition, seq,
+// stable time) carried once in the header and per-update promises derived
+// at the receiver.
+struct PushBatchMsg {
+  PartitionId partition = 0;
+  uint64_t seq = 0;  // same channel sequence space as PushMsg
+  Timestamp stable_time;
+  std::vector<PushUpdate> updates;
+
+  size_t size_hint() const {
+    size_t n = 4 + 8 + 8 + 4;
+    for (const auto& u : updates) n += u.size_hint();
+    return n;
+  }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u32(partition);
+    w.put_u64(seq);
+    put_ts(w, stable_time);
+    put_vec(w, updates);
+  }
+  static PushBatchMsg decode(BufReader& r) {
+    PushBatchMsg p;
+    p.partition = r.get_u32();
+    p.seq = r.get_u64();
+    p.stable_time = get_ts(r);
+    p.updates = get_vec<PushUpdate>(r);
+    return p;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Tree-topology stabilization.
+// ---------------------------------------------------------------------------
+
+// One-way child -> parent: min of the sender's safe time and every subtree
+// minimum its own children reported.  `membership` is the partition count
+// the fold covered; the receiver drops smaller-tagged reports (they omit
+// joiners' floors) and adopts larger tags — see Stabilizer.
+struct SafeUpMsg {
+  PartitionId partition = 0;  // sender (a direct child of the receiver)
+  uint32_t membership = 0;
+  Timestamp subtree_min;
+
+  size_t size_hint() const { return 4 + 4 + 8; }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u32(partition);
+    w.put_u32(membership);
+    put_ts(w, subtree_min);
+  }
+  static SafeUpMsg decode(BufReader& r) {
+    SafeUpMsg m;
+    m.partition = r.get_u32();
+    m.membership = r.get_u32();
+    m.subtree_min = get_ts(r);
+    return m;
+  }
+};
+
+// One-way parent -> child: the root's global fold, relayed one level per
+// gossip round.  Tagged like SafeUpMsg and for the same reason.
+struct StableDownMsg {
+  uint32_t membership = 0;
+  Timestamp stable;
+
+  size_t size_hint() const { return 4 + 8; }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u32(membership);
+    put_ts(w, stable);
+  }
+  static StableDownMsg decode(BufReader& r) {
+    StableDownMsg m;
+    m.membership = r.get_u32();
+    m.stable = get_ts(r);
+    return m;
   }
 };
 

@@ -4,26 +4,128 @@
 
 namespace faastcc::storage {
 
-void Stabilizer::on_gossip(PartitionId from, Timestamp safe_time) {
-  // A joiner's gossip can reach a partition that has not yet adopted the
-  // new routing table (missed broadcast, pull pending).  Ignore it: the
-  // epoch gate will force a table refresh soon, and until then excluding
-  // the joiner from the min is a freshness question, not a soundness one —
-  // per-key promises anchor on the owner's own safe time.
-  if (from >= last_heard_.size()) return;
-  auto& slot = last_heard_[from];
-  if (safe_time > slot) slot = safe_time;
+Stabilizer::Stabilizer(PartitionId self, size_t num_partitions,
+                       StabTopology topology, uint32_t tree_fanout)
+    : self_(self),
+      topology_(topology),
+      fanout_(tree_fanout == 0 ? 1 : tree_fanout),
+      last_heard_(num_partitions, Timestamp::min()) {
+  rebuild_min_tree();
+  resize_children();
 }
 
-Timestamp Stabilizer::stable_time() const {
-  Timestamp min_ts = Timestamp::max();
-  for (const Timestamp t : last_heard_) min_ts = std::min(min_ts, t);
-  return min_ts;
+void Stabilizer::rebuild_min_tree() {
+  cap_ = 1;
+  while (cap_ < last_heard_.size()) cap_ <<= 1;
+  min_tree_.assign(2 * cap_, Timestamp::max());
+  for (size_t i = 0; i < last_heard_.size(); ++i) {
+    min_tree_[cap_ + i] = last_heard_[i];
+  }
+  for (size_t i = cap_ - 1; i >= 1; --i) {
+    min_tree_[i] = std::min(min_tree_[2 * i], min_tree_[2 * i + 1]);
+  }
+}
+
+void Stabilizer::min_tree_set(size_t leaf, Timestamp v) {
+  size_t i = cap_ + leaf;
+  min_tree_[i] = v;
+  while (i > 1) {
+    i >>= 1;
+    min_tree_[i] = std::min(min_tree_[2 * i], min_tree_[2 * i + 1]);
+  }
+}
+
+void Stabilizer::resize_children() {
+  const uint64_t first = uint64_t{fanout_} * self_ + 1;
+  const uint64_t last = std::min<uint64_t>(first + fanout_,
+                                           last_heard_.size());
+  child_min_.assign(last > first ? static_cast<size_t>(last - first) : 0,
+                    Timestamp::min());
+}
+
+bool Stabilizer::on_gossip(PartitionId from, Timestamp safe_time) {
+  // A joiner's gossip can reach a partition that has not yet adopted the
+  // new routing table (missed broadcast, pull pending).  Drop it — but
+  // observably: the epoch gate will force a table refresh soon, and until
+  // then excluding the joiner from the min is a freshness question, not a
+  // soundness one — per-key promises anchor on the owner's own safe time.
+  if (from >= last_heard_.size()) {
+    ++stale_drops_;
+    return false;
+  }
+  auto& slot = last_heard_[from];
+  if (safe_time > slot) {
+    slot = safe_time;
+    min_tree_set(from, safe_time);
+  }
+  return true;
+}
+
+bool Stabilizer::on_child_report(PartitionId child, uint32_t membership,
+                                 Timestamp subtree_min) {
+  if (membership > last_heard_.size()) {
+    // The sender proved membership grew past our view; adopt the count
+    // (with full barrier semantics) before accepting.  Peer addresses
+    // catch up when the routing table arrives — the count alone is what
+    // the stable-time floor depends on.
+    extend_membership(membership);
+  } else if (membership < last_heard_.size()) {
+    // Folded over the old membership: may omit joiners below this child.
+    ++stale_drops_;
+    return false;
+  }
+  const uint64_t first = uint64_t{fanout_} * self_ + 1;
+  if (child < first || child >= first + child_min_.size()) {
+    ++stale_drops_;
+    return false;
+  }
+  auto& slot = child_min_[child - first];
+  // Subtree minima are monotone while membership is fixed (every input is
+  // a monotone per-member safe time), and the membership tag matched.
+  if (subtree_min > slot) slot = subtree_min;
+  return true;
+}
+
+Timestamp Stabilizer::fold_subtree_min(Timestamp own_safe) const {
+  Timestamp m = own_safe;
+  for (const Timestamp t : child_min_) m = std::min(m, t);
+  return m;
+}
+
+bool Stabilizer::on_stable_broadcast(uint32_t membership, Timestamp stable) {
+  if (membership > last_heard_.size()) {
+    extend_membership(membership);
+  } else if (membership < last_heard_.size()) {
+    // A fold over the old membership can sit above the joiners' floor;
+    // max-merging it would advance the stable past commits a joiner may
+    // still install.  (Keeping our *current* value is fine: it predates
+    // the bump and is bounded by the sources' sealed safe times.)
+    ++stale_drops_;
+    return false;
+  }
+  if (stable > tree_stable_) {
+    tree_stable_ = stable;
+    return true;
+  }
+  return true;
 }
 
 void Stabilizer::extend_membership(size_t num_partitions) {
-  if (num_partitions <= last_heard_.size()) return;
+  const size_t old_n = last_heard_.size();
+  if (num_partitions <= old_n) return;
   last_heard_.resize(num_partitions, Timestamp::min());
+  if (num_partitions > cap_) {
+    rebuild_min_tree();
+  } else {
+    // The new leaves were max() padding; pin them to the floor.
+    for (size_t i = old_n; i < num_partitions; ++i) {
+      min_tree_set(i, Timestamp::min());
+    }
+  }
+  // Every child report may have been folded before these members existed
+  // (the members can hang anywhere below the child); re-arm the barrier
+  // until a report tagged with the new membership arrives.
+  resize_children();
 }
 
 }  // namespace faastcc::storage

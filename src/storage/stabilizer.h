@@ -1,13 +1,36 @@
 // Stabilization state, one instance per TCC partition.
 //
-// Partitions periodically broadcast a *safe time*: a timestamp below which
-// they will never again commit.  The minimum over the most recent broadcast
-// of every partition is the global stable time.  Reads are clamped to it,
-// which is what lets the storage layer serve a consistent snapshot in one
-// round and is the "stable time ... used as the promise" of §5.
+// Partitions periodically publish a *safe time*: a timestamp below which
+// they will never again commit.  The minimum over the most recent published
+// value of every partition is the global stable time.  Reads are clamped to
+// it, which is what lets the storage layer serve a consistent snapshot in
+// one round and is the "stable time ... used as the promise" of §5.
+//
+// Two exchange topologies share this state machine (see
+// docs/performance.md, "Stabilization topologies"):
+//
+//   * kMesh — every partition broadcasts its safe time to every other
+//     partition each gossip period (the paper-faithful §5 scheme,
+//     O(P²) messages per round, one hop of staleness);
+//   * kTree — partitions form a deterministic k-ary aggregation tree over
+//     partition ids (parent(i) = (i-1)/k).  Each round a node folds its own
+//     safe time with the freshest subtree minima reported by its children
+//     and sends the fold up; the root folds the global minimum and the
+//     fold travels back down one level per round.  2(P-1) messages per
+//     round, up to 2·depth rounds of staleness.
+//
+// In both topologies every merge is monotone (per-member safe times only
+// advance; subtree minima only advance while membership is fixed), so
+// lost, duplicated and reordered messages cost freshness, never
+// correctness.  Membership growth is the one non-monotone step: tree
+// reports are tagged with the sender's membership size and reports tagged
+// with a smaller membership are dropped (counted in stale_drops) — an
+// in-flight fold over the old membership omits the joiners' floor and
+// accepting it would leak past the join barrier below.
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/hlc.h"
@@ -15,19 +38,82 @@
 
 namespace faastcc::storage {
 
+enum class StabTopology : uint8_t {
+  kMesh = 0,  // all-to-all broadcast (paper default)
+  kTree = 1,  // k-ary aggregation tree over partition ids
+};
+
+inline const char* stab_topology_name(StabTopology t) {
+  return t == StabTopology::kTree ? "tree" : "mesh";
+}
+inline bool parse_stab_topology(std::string_view name, StabTopology* out) {
+  if (name == "mesh") {
+    *out = StabTopology::kMesh;
+  } else if (name == "tree") {
+    *out = StabTopology::kTree;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 class Stabilizer {
  public:
-  Stabilizer(PartitionId self, size_t num_partitions)
-      : self_(self), last_heard_(num_partitions, Timestamp::min()) {}
+  Stabilizer(PartitionId self, size_t num_partitions,
+             StabTopology topology = StabTopology::kMesh,
+             uint32_t tree_fanout = 4);
 
-  // Records a broadcast from `from` (possibly self).  Stale gossip (older
-  // than already recorded) is ignored; safe times are monotone per sender.
-  void on_gossip(PartitionId from, Timestamp safe_time);
+  // Records a safe-time observation for `from` (possibly self).  Stale
+  // gossip (older than already recorded) is ignored; safe times are
+  // monotone per sender.  Returns false — and counts a stale drop — for
+  // senders beyond the current membership (a joiner whose epoch bump this
+  // partition has not yet adopted); excluding such a joiner from the min
+  // is a freshness question, not a soundness one, because per-key promises
+  // anchor on the owner's own safe time.
+  bool on_gossip(PartitionId from, Timestamp safe_time);
 
-  // Global stable time: min over all partitions' last-heard safe times.
-  // Members that have never gossiped sit at Timestamp::min() and pin the
-  // result to the floor until they are heard from.
-  Timestamp stable_time() const;
+  // Global stable time.  Mesh: min over all partitions' last-heard safe
+  // times, answered in O(1) from an incrementally maintained tournament
+  // tree (on_gossip pays O(log P) to keep it fresh — the read path clamps
+  // every request against this value, so the scan must not be there).
+  // Tree: the last accepted root fold (max-merged, monotone).
+  Timestamp stable_time() const {
+    return topology_ == StabTopology::kTree ? tree_stable_ : min_tree_[1];
+  }
+
+  // ---- Aggregation-tree role ---------------------------------------------
+  // The tree shape depends only on (partition id, fanout): parent(i) =
+  // (i-1)/k, children of i = {k·i+1, ..., k·i+k} ∩ [0, P).  Membership
+  // growth appends leaves; existing parent/child edges never change, so
+  // the tree "rebuilds" on an epoch bump by construction.
+
+  StabTopology topology() const { return topology_; }
+  uint32_t fanout() const { return fanout_; }
+  bool is_root() const { return self_ == 0; }
+  PartitionId parent() const { return (self_ - 1) / fanout_; }
+  size_t num_children() const { return child_min_.size(); }
+  PartitionId child(size_t ordinal) const {
+    return static_cast<PartitionId>(fanout_ * self_ + 1 + ordinal);
+  }
+
+  // A child's subtree-minimum report, tagged with the membership size the
+  // child folded over.  Reports tagged with a smaller membership than ours
+  // are dropped (returns false, counted): they omit the joiners' floor.  A
+  // larger tag proves the membership grew — the count is adopted (barrier
+  // semantics of extend_membership) before the report is accepted.
+  bool on_child_report(PartitionId child, uint32_t membership,
+                       Timestamp subtree_min);
+
+  // min(own safe time, freshest accepted report of every child).  Children
+  // not heard from since the last membership change hold the fold at
+  // Timestamp::min() — the same strict barrier the mesh applies to unheard
+  // members.
+  Timestamp fold_subtree_min(Timestamp own_safe) const;
+
+  // Merges a root fold travelling down the tree (or, at the root, its own
+  // fold), tagged like child reports.  Monotone max-merge; returns false
+  // and counts a drop for smaller-membership tags.
+  bool on_stable_broadcast(uint32_t membership, Timestamp stable);
 
   // ---- Elastic membership -------------------------------------------------
   // New members enter the min as a strict barrier, exactly like the
@@ -39,13 +125,29 @@ class Stabilizer {
   // epoch bump still attributes a migrated key to its old owner — whose
   // stable, were the joiner excluded, could overrun the joiner's safe
   // time and promise straight past a commit the joiner installs below it.
-  // The barrier window is one activation plus a gossip period; during it
-  // the adopter's stable (and therefore promise extension and GC) simply
-  // pauses, which costs freshness, never correctness.
+  // The barrier window is one activation plus a gossip period (mesh) or
+  // one up-propagation (tree); during it the adopter's stable (and
+  // therefore promise extension and GC) simply pauses, which costs
+  // freshness, never correctness.
+  //
+  // The already-accepted stable value is NOT regressed by the barrier: it
+  // was folded entirely from pre-bump safe times, each of which is <= the
+  // sources' sealed safe times <= the joiners' handoff floor, below which
+  // a joiner never commits.  The barrier prevents the stable from
+  // *advancing* without the joiners' input, which is the unsound
+  // direction.
 
   // Grows membership to `num_partitions`, seeding new members min() (not
-  // yet gossiped).  No-op when membership is already at least that large.
+  // yet gossiped) and — in tree mode — resetting every child's report to
+  // min(): a report folded under the old membership may omit joiners that
+  // now hang below that child.  No-op when membership is already at least
+  // that large.
   void extend_membership(size_t num_partitions);
+
+  // Observations dropped for membership reasons: gossip from senders
+  // beyond the membership, and tree reports/broadcasts tagged with a
+  // smaller membership.  Makes the epoch-bump barrier window observable.
+  uint64_t stale_drops() const { return stale_drops_; }
 
   Timestamp last_heard(PartitionId p) const { return last_heard_.at(p); }
   const std::vector<Timestamp>& last_heard_all() const { return last_heard_; }
@@ -53,8 +155,26 @@ class Stabilizer {
   PartitionId self() const { return self_; }
 
  private:
+  void rebuild_min_tree();
+  void min_tree_set(size_t leaf, Timestamp v);
+  void resize_children();
+
   PartitionId self_;
+  StabTopology topology_;
+  uint32_t fanout_;
+  // Last safe time heard per member.  Mesh: updated by every broadcast.
+  // Tree: only self (and migrate-in merges) land here; the per-member view
+  // is intentionally sparse — that is the point of aggregating.
   std::vector<Timestamp> last_heard_;
+  // Tournament min over last_heard_: min_tree_[1] is the min, leaves live
+  // at [cap_, cap_ + num_partitions), padding holds Timestamp::max().
+  size_t cap_ = 1;
+  std::vector<Timestamp> min_tree_;
+  // Tree mode: freshest accepted subtree min per direct child (ordinal
+  // order), and the last accepted root fold.
+  std::vector<Timestamp> child_min_;
+  Timestamp tree_stable_ = Timestamp::min();
+  uint64_t stale_drops_ = 0;
 };
 
 }  // namespace faastcc::storage

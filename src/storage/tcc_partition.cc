@@ -20,7 +20,10 @@ TccPartition::TccPartition(net::Network& network, net::Address self,
       params_(params),
       tracer_(tracer),
       clock_(id),
-      stabilizer_(id, all_partitions_.size()),
+      stabilizer_(id, all_partitions_.size(), params.stab_topology,
+                  static_cast<uint32_t>(params.tree_fanout < 1
+                                            ? 1
+                                            : params.tree_fanout)),
       oracle_(oracle) {
   rpc_.handle(kTccRead, [this](Buffer b, net::Address from) {
     return on_read(std::move(b), from);
@@ -43,6 +46,12 @@ TccPartition::TccPartition(net::Network& network, net::Address self,
   rpc_.handle_oneway(kTccGossip, [this](Buffer b, net::Address from) {
     on_gossip(std::move(b), from);
   });
+  rpc_.handle_oneway(kTccSafeUp, [this](Buffer b, net::Address from) {
+    on_safe_up(std::move(b), from);
+  });
+  rpc_.handle_oneway(kTccStableDown, [this](Buffer b, net::Address from) {
+    on_stable_down(std::move(b), from);
+  });
   rpc_.handle(kTccMigrateOut, [this](Buffer b, net::Address from) {
     return on_migrate_out(std::move(b), from);
   });
@@ -56,7 +65,17 @@ void TccPartition::start() {
   started_ = true;
   // Seed the stabilizer with our own safe time so stable_time() is defined
   // before the first gossip round completes.
-  stabilizer_.on_gossip(id_, safe_time());
+  const Timestamp safe = safe_time();
+  stabilizer_.on_gossip(id_, safe);
+  if (params_.stab_topology == StabTopology::kTree && stabilizer_.is_root()) {
+    // Only the root's fold covers every member, so only the root may merge
+    // its own fold.  With children this is a no-op (unheard children pin
+    // the fold to min()); for a single-partition cell it makes the stable
+    // time defined immediately, matching the mesh.
+    stabilizer_.on_stable_broadcast(
+        static_cast<uint32_t>(stabilizer_.num_partitions()),
+        stabilizer_.fold_subtree_min(safe));
+  }
   sim::spawn(gossip_loop());
   sim::spawn(push_loop());
   sim::spawn(gc_loop());
@@ -531,7 +550,29 @@ sim::Task<Buffer> TccPartition::on_unsubscribe(Buffer req, net::Address from) {
 void TccPartition::on_gossip(Buffer msg, net::Address) {
   auto g = decode_message<GossipMsg>(msg);
   rpc_.recycle(std::move(msg));
-  stabilizer_.on_gossip(g.partition, g.safe_time);
+  ++gossip_in_since_round_;
+  if (!stabilizer_.on_gossip(g.partition, g.safe_time)) {
+    if (metrics_ != nullptr) metrics_->counter("stab.stale_drops").inc();
+  }
+}
+
+void TccPartition::on_safe_up(Buffer msg, net::Address) {
+  auto m = decode_message<SafeUpMsg>(msg);
+  rpc_.recycle(std::move(msg));
+  ++gossip_in_since_round_;
+  if (!stabilizer_.on_child_report(m.partition, m.membership,
+                                   m.subtree_min)) {
+    if (metrics_ != nullptr) metrics_->counter("stab.stale_drops").inc();
+  }
+}
+
+void TccPartition::on_stable_down(Buffer msg, net::Address) {
+  auto m = decode_message<StableDownMsg>(msg);
+  rpc_.recycle(std::move(msg));
+  ++gossip_in_since_round_;
+  if (!stabilizer_.on_stable_broadcast(m.membership, m.stable)) {
+    if (metrics_ != nullptr) metrics_->counter("stab.stale_drops").inc();
+  }
 }
 
 sim::Task<void> TccPartition::gossip_loop() {
@@ -541,19 +582,82 @@ sim::Task<void> TccPartition::gossip_loop() {
     // scan (no events, no randomness), and a no-op whenever every pending
     // prepare is younger than the TTL — i.e. always, in fault-free runs.
     expire_stale_prepares();
+    if (params_.stab_topology == StabTopology::kTree) {
+      tree_gossip_round();
+      continue;
+    }
     GossipMsg g{id_, safe_time()};
     stabilizer_.on_gossip(id_, g.safe_time);
+    uint64_t sent = 0;
     for (net::Address peer : all_partitions_) {
       if (peer == rpc_.address()) continue;
       rpc_.send(peer, kTccGossip, g);
+      ++sent;
+    }
+    note_gossip_round(sent);
+  }
+}
+
+// One beat of the aggregation tree (stabilization_topology=tree): refresh
+// our own safe time, fold it with the freshest child reports, send the
+// fold to the parent (the root merges it into the stable directly), and
+// relay the current stable down to every child.  Relay is periodic-only —
+// no forward-on-receive — so a round is exactly 2(P-1) messages
+// cell-wide: one up and one down edge per parent/child pair.
+void TccPartition::tree_gossip_round() {
+  const Timestamp safe = safe_time();
+  stabilizer_.on_gossip(id_, safe);
+  const auto membership =
+      static_cast<uint32_t>(stabilizer_.num_partitions());
+  const Timestamp fold = stabilizer_.fold_subtree_min(safe);
+  uint64_t sent = 0;
+  if (stabilizer_.is_root()) {
+    stabilizer_.on_stable_broadcast(membership, fold);
+  } else {
+    const PartitionId parent = stabilizer_.parent();
+    if (parent < all_partitions_.size()) {
+      rpc_.send(all_partitions_[parent], kTccSafeUp,
+                SafeUpMsg{id_, membership, fold});
+      ++sent;
     }
   }
+  const StableDownMsg down{membership, stabilizer_.stable_time()};
+  for (size_t i = 0; i < stabilizer_.num_children(); ++i) {
+    const PartitionId c = stabilizer_.child(i);
+    // A child adopted from a membership tag may not have an address yet
+    // (routing-table broadcast still in flight); it is reached next round.
+    if (c < all_partitions_.size()) {
+      rpc_.send(all_partitions_[c], kTccStableDown, down);
+      ++sent;
+    }
+  }
+  note_gossip_round(sent);
+}
+
+void TccPartition::note_gossip_round(uint64_t msgs_sent) {
+  const uint64_t fan_in = gossip_in_since_round_;
+  gossip_in_since_round_ = 0;
+  if (metrics_ == nullptr) return;
+  metrics_->counter("stab.gossip_rounds").inc();
+  metrics_->counter("stab.gossip_msgs").inc(msgs_sent);
+  metrics_->histogram("stab.fan_in").add(static_cast<double>(fan_in));
+  const Timestamp stable = stabilizer_.stable_time();
+  const uint64_t now_us = physical_now_us();
+  const uint64_t stable_us =
+      stable == Timestamp::min() ? 0 : stable.physical_us();
+  metrics_->histogram("stab.stable_lag_us")
+      .add(now_us > stable_us ? static_cast<double>(now_us - stable_us)
+                              : 0.0);
 }
 
 sim::Task<void> TccPartition::push_loop() {
   for (;;) {
     co_await sim::sleep_for(rpc_.loop(), params_.push_period);
     const Timestamp stable = stabilizer_.stable_time();
+    if (params_.push_coalescing) {
+      push_round_coalesced(stable);
+      continue;
+    }
     // Group fresh versions per subscriber.
     std::unordered_map<net::Address, PushMsg> batches;
     for (Key k : dirty_) {
@@ -583,6 +687,38 @@ sim::Task<void> TccPartition::push_loop() {
       counters_.pushes.inc();
       rpc_.send(sub, kTccPush, batch);
     }
+  }
+}
+
+// push_coalescing=true: one maintenance round, framed as PushBatchMsg.
+// Identical pub/sub semantics to the PushMsg path (same dirty-set drain,
+// same per-subscriber channel sequence, empty frames still sent as the
+// promise-extension heartbeat) but each update drops its 8-byte promise —
+// the pushed promise is always max(ts, stable) and the receiver re-derives
+// it from the header's stable time, losslessly.
+void TccPartition::push_round_coalesced(Timestamp stable) {
+  std::unordered_map<net::Address, PushBatchMsg> batches;
+  for (Key k : dirty_) {
+    auto sub_it = subscribers_.find(k);
+    if (sub_it == subscribers_.end()) continue;
+    const auto r = store_.read_at(k, Timestamp::max());
+    if (r.version == nullptr) continue;
+    PushUpdate u;
+    u.key = k;
+    u.value = r.version->value;
+    u.ts = r.version->ts;
+    for (net::Address sub : sub_it->second) {
+      batches[sub].updates.push_back(u);
+    }
+  }
+  dirty_.clear();
+  for (net::Address sub : subscriber_addresses_) {
+    auto& batch = batches[sub];  // creates empty batches as needed
+    batch.partition = id_;
+    batch.seq = ++push_seq_out_[sub];
+    batch.stable_time = stable;
+    counters_.pushes.inc();
+    rpc_.send(sub, kTccPushBatch, batch);
   }
 }
 

@@ -37,6 +37,18 @@ namespace faastcc::storage {
 struct TccPartitionParams {
   Duration gossip_period = milliseconds(5);
   Duration push_period = milliseconds(50);  // cache refresh period (§6.1)
+  // Stabilization exchange topology: kMesh is the paper-faithful §5
+  // all-to-all broadcast (O(P²) messages per gossip round, one hop of
+  // staleness); kTree aggregates safe times over a deterministic k-ary
+  // tree of partition ids (O(P) messages, up to 2·depth rounds of
+  // staleness).  See docs/performance.md, "Stabilization topologies".
+  StabTopology stab_topology = StabTopology::kMesh;
+  int tree_fanout = 4;  // k of the aggregation tree (>= 1)
+  // Coalesce pub/sub pushes into PushBatchMsg frames: the per-frame state
+  // (partition, seq, stable time) is carried once in the header and the
+  // receiver derives each update's promise from it, saving 8 bytes per
+  // update.  Off by default so mesh-mode runs stay bit-identical.
+  bool push_coalescing = false;
   Duration gc_window = seconds(30);   // history kept behind the stable time
   Duration gc_period = seconds(2);
   Duration request_cpu = microseconds(15);  // fixed per-request service time
@@ -159,6 +171,14 @@ class TccPartition {
   sim::Task<Buffer> on_subscribe(Buffer req, net::Address from);
   sim::Task<Buffer> on_unsubscribe(Buffer req, net::Address from);
   void on_gossip(Buffer msg, net::Address from);
+  // Tree-topology stabilization (stabilization_topology=tree).
+  void on_safe_up(Buffer msg, net::Address from);
+  void on_stable_down(Buffer msg, net::Address from);
+  void tree_gossip_round();
+  // Per-round stab.* metric accounting (pure state: no events, no
+  // randomness — schedules are unchanged by recording).
+  void note_gossip_round(uint64_t msgs_sent);
+  void push_round_coalesced(Timestamp stable);
   sim::Task<Buffer> on_migrate_out(Buffer req, net::Address from);
   sim::Task<Buffer> on_migrate_in(Buffer req, net::Address from);
 
@@ -228,6 +248,9 @@ class TccPartition {
   bool ctl_stale(uint64_t seq, net::Address from);
   check::ConsistencyOracle* oracle_ = nullptr;
   uint64_t chaos_ticks_ = 0;  // counter for chaos_ignore_dep timestamps
+  // Stabilization messages received since the last local gossip round
+  // (mesh gossip, tree reports and broadcasts) — the stab.fan_in sample.
+  uint64_t gossip_in_since_round_ = 0;
 
   // ---- Elastic state ------------------------------------------------------
   routing::TablePtr table_;

@@ -74,6 +74,9 @@ TEST(RunSpec, NonDefaultFieldsSurviveTheRoundTrip) {
   spec.params.workload.zipf = 1.37;
   spec.params.workload.static_txns = true;
   spec.params.tcc.gossip_period = milliseconds(131);
+  spec.params.tcc.stab_topology = storage::StabTopology::kTree;
+  spec.params.tcc.tree_fanout = 8;
+  spec.params.tcc.push_coalescing = true;
   spec.params.faults.loss_prob = 0.015;
   spec.params.faults.crashes.push_back(
       net::CrashWindow{101, milliseconds(300), milliseconds(360)});
@@ -88,6 +91,9 @@ TEST(RunSpec, NonDefaultFieldsSurviveTheRoundTrip) {
   EXPECT_DOUBLE_EQ(back.params.workload.zipf, 1.37);
   EXPECT_TRUE(back.params.workload.static_txns);
   EXPECT_EQ(back.params.tcc.gossip_period, milliseconds(131));
+  EXPECT_EQ(back.params.tcc.stab_topology, storage::StabTopology::kTree);
+  EXPECT_EQ(back.params.tcc.tree_fanout, 8);
+  EXPECT_TRUE(back.params.tcc.push_coalescing);
   EXPECT_DOUBLE_EQ(back.params.faults.loss_prob, 0.015);
   ASSERT_EQ(back.params.faults.crashes.size(), 1u);
   EXPECT_EQ(back.params.faults.crashes[0].addr, 101u);
@@ -115,6 +121,9 @@ TEST(RunSpec, StrictDecodeRejectsIllTypedValues) {
   EXPECT_THROW(spec_from_text(R"({"seed": -1})"), SpecError);
   EXPECT_THROW(spec_from_text(R"({"system": "dynamo"})"), SpecError);
   EXPECT_THROW(spec_from_text(R"({"config": "no-such-config"})"), SpecError);
+  EXPECT_THROW(
+      spec_from_text(R"({"tcc": {"stabilization_topology": "ring"}})"),
+      SpecError);
   EXPECT_THROW(spec_from_text(R"({"faults": {"crashes": 3}})"), SpecError);
   EXPECT_THROW(spec_from_text("[1, 2]"), SpecError);
   EXPECT_THROW(spec_from_text("{nope"), SpecError);

@@ -272,6 +272,21 @@ TEST(Stabilizer, StaleGossipIsIgnored) {
   EXPECT_EQ(s.stable_time(), ts(50));
 }
 
+TEST(Stabilizer, GossipBeyondMembershipIsCountedNotIgnored) {
+  Stabilizer s(0, 2);
+  s.on_gossip(0, ts(30));
+  s.on_gossip(1, ts(20));
+  // A joiner's gossip arriving before this partition adopts the epoch
+  // bump: dropped, but observably (fix for the silent-ignore behaviour).
+  EXPECT_FALSE(s.on_gossip(5, ts(40)));
+  EXPECT_EQ(s.stale_drops(), 1u);
+  EXPECT_EQ(s.stable_time(), ts(20));
+  // After the membership catches up the same sender is accepted.
+  s.extend_membership(6);
+  EXPECT_TRUE(s.on_gossip(5, ts(40)));
+  EXPECT_EQ(s.stale_drops(), 1u);
+}
+
 TEST(Stabilizer, StableTimeIsMonotone) {
   Stabilizer s(0, 2);
   s.on_gossip(0, ts(10));

@@ -21,6 +21,16 @@ which fail (exit 1) if the named system's `events_per_sec` in the checked
 file (the NEW file, for a diff) is below the floor.  CI uses this to keep
 hard-won baseline speedups from silently rotting.
 
+Sweep artifacts additionally accept per-cell maintenance-message ceilings:
+
+    bench_diff.py --check SWEEP.json --max-cell-messages tree/p512=9000000
+
+Every cell whose label (`{config}/p{partitions}/z{zipf:.2f}`) contains the
+given substring must average at most CEILING network messages per run; a
+substring matching no cell fails too (a gate that checks nothing is a
+misconfigured gate).  CI uses this to keep the aggregation-tree topology's
+O(P)-per-round gossip from regressing back toward the mesh's O(P²).
+
 The wallclock bench runs a deterministic simulation, so `sim_events`,
 `messages` and `committed` act as schedule checksums: if they differ
 between the two files (same config + seed), the runs are not comparable
@@ -72,6 +82,13 @@ SWEEP_RUN_KEYS = {
     "zipf": (int, float),
     "seed": int,
     "result": dict,
+}
+
+# Optional: present in artifacts written since the stabilization-topology
+# cell dimension landed (keeps topology × gossip-period sweep cells
+# distinct); absent in older files.
+OPTIONAL_SWEEP_CELL_KEYS = {
+    "stab": str,
 }
 
 SWEEP_CELL_KEYS = {
@@ -185,6 +202,10 @@ def check_sweep(doc, path):
             value = cell.get(key)
             if not isinstance(value, ty) or isinstance(value, bool):
                 fail(f"{path}: cells[{i}].{key} missing or not {ty}")
+        for key, ty in OPTIONAL_SWEEP_CELL_KEYS.items():
+            value = cell.get(key)
+            if value is not None and not isinstance(value, ty):
+                fail(f"{path}: cells[{i}].{key} not {ty}")
         cell_runs += cell["runs"]
     if cell_runs != len(runs):
         fail(f"{path}: cells cover {cell_runs} runs, file has {len(runs)}")
@@ -216,8 +237,8 @@ def diff_sweep(old, new):
     """Per-cell before/after table for two merged sweep artifacts."""
     def key(cell):
         return (
-            cell["system"], cell["config"], cell["partitions"],
-            cell["compute_nodes"], cell["zipf"],
+            cell["system"], cell["config"], cell.get("stab", ""),
+            cell["partitions"], cell["compute_nodes"], cell["zipf"],
         )
 
     old_cells = {key(c): c for c in old["cells"]}
@@ -234,9 +255,7 @@ def diff_sweep(old, new):
     mismatched = []
     for cell in shared:
         o = old_cells[key(cell)]
-        label = (
-            f"{cell['config']}/p{cell['partitions']}/z{cell['zipf']:.2f}"
-        )
+        label = cell_label(cell)
         for checksum in ("committed", "sim_events", "messages"):
             if o[checksum] != cell[checksum]:
                 mismatched.append(
@@ -252,6 +271,37 @@ def diff_sweep(old, new):
         fail(
             "determinism checksums differ (schedule changed, runs not "
             "comparable):\n  " + "\n  ".join(mismatched)
+        )
+
+
+def cell_label(cell):
+    stab = cell.get("stab")
+    mid = f"/{stab}" if stab else ""
+    return (
+        f"{cell['config']}{mid}/p{cell['partitions']}/z{cell['zipf']:.2f}"
+    )
+
+
+def enforce_cell_ceilings(doc, path, ceilings):
+    """Fail if any matching sweep cell averages more messages per run than
+    its ceiling (or if a ceiling matches no cell at all)."""
+    failures = []
+    for substr, ceiling in ceilings.items():
+        matched = [c for c in doc.get("cells", []) if substr in cell_label(c)]
+        if not matched:
+            failures.append(f"{substr!r}: matches no cell")
+            continue
+        for cell in matched:
+            per_run = cell["messages"] / max(cell["runs"], 1)
+            if per_run > ceiling:
+                failures.append(
+                    f"{cell_label(cell)}: {per_run:.0f} messages/run "
+                    f"> ceiling {ceiling:.0f}"
+                )
+    if failures:
+        fail(
+            f"{path}: maintenance-message ceiling violated:\n  "
+            + "\n  ".join(failures)
         )
 
 
@@ -275,11 +325,11 @@ def enforce_floors(doc, path, floors):
 def parse_floor(spec):
     name, sep, floor = spec.partition("=")
     if not sep or not name:
-        fail(f"--min-events-per-sec expects SYSTEM=FLOOR, got {spec!r}")
+        fail(f"expected NAME=NUMBER, got {spec!r}")
     try:
         return name, float(floor)
     except ValueError:
-        fail(f"--min-events-per-sec floor is not a number: {spec!r}")
+        fail(f"not a number: {spec!r}")
 
 
 def diff(old_path, new_path):
@@ -343,6 +393,7 @@ def diff(old_path, new_path):
 def main(argv):
     args = []
     floors = {}
+    ceilings = {}
     check_mode = False
     i = 1
     while i < len(argv):
@@ -358,6 +409,15 @@ def main(argv):
         elif arg.startswith("--min-events-per-sec="):
             name, floor = parse_floor(arg.split("=", 1)[1])
             floors[name] = floor
+        elif arg == "--max-cell-messages":
+            if i + 1 >= len(argv):
+                fail("--max-cell-messages needs a LABEL=CEILING argument")
+            name, ceiling = parse_floor(argv[i + 1])
+            ceilings[name] = ceiling
+            i += 1
+        elif arg.startswith("--max-cell-messages="):
+            name, ceiling = parse_floor(arg.split("=", 1)[1])
+            ceilings[name] = ceiling
         else:
             args.append(arg)
         i += 1
@@ -366,6 +426,7 @@ def main(argv):
         doc = load(args[0])
         if doc.get("schema") == SWEEP_SCHEMA:
             check_sweep(doc, args[0])
+            enforce_cell_ceilings(doc, args[0], ceilings)
             return
         doc = check(doc, args[0])
         enforce_floors(doc, args[0], floors)
@@ -380,6 +441,7 @@ def main(argv):
             check_sweep(old_doc, args[0])
             check_sweep(new_doc, args[1])
             diff_sweep(old_doc, new_doc)
+            enforce_cell_ceilings(new_doc, args[1], ceilings)
             return
         new = diff(args[0], args[1])
         enforce_floors(new, args[1], floors)

@@ -239,6 +239,21 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(result.metrics.net_rpc_timeouts),
         static_cast<unsigned long long>(result.metrics.net_rpc_retries),
         static_cast<unsigned long long>(result.metrics.dag_timeouts.value()));
+    if (const Counter* rounds =
+            result.metrics.find_counter("stab.gossip_rounds");
+        rounds != nullptr) {
+      // Stabilization keys appear only when a stabilizer ran (faastcc),
+      // keeping the default JSON shape for other systems unchanged.
+      const Counter* msgs = result.metrics.find_counter("stab.gossip_msgs");
+      std::printf(
+          ",\"stab_gossip_rounds\":%llu,\"stab_gossip_msgs\":%llu,"
+          "\"stab_stale_drops\":%.0f,\"stab_lag_med_us\":%.1f,"
+          "\"stab_lag_p99_us\":%.1f",
+          static_cast<unsigned long long>(rounds->value()),
+          static_cast<unsigned long long>(msgs != nullptr ? msgs->value()
+                                                          : 0),
+          s.stab_stale_drops, s.stab_lag_med_us, s.stab_lag_p99_us);
+    }
     if (resolved.trace.enabled) {
       // Trace-derived keys only appear when tracing is on, so existing
       // consumers of the default JSON shape are unaffected.
@@ -271,6 +286,22 @@ int main(int argc, char** argv) {
   table.add_row({"abort rate", fmt(100 * s.abort_rate, 2) + " %"});
   table.add_row({"committed DAGs", fmt(s.committed, 0)});
   table.add_row({"simulated duration", fmt(s.duration_s, 2) + " s"});
+  if (const Counter* rounds =
+          result.metrics.find_counter("stab.gossip_rounds");
+      rounds != nullptr) {
+    const Counter* msgs = result.metrics.find_counter("stab.gossip_msgs");
+    table.add_row(
+        {"stab rounds / msgs",
+         fmt(static_cast<double>(rounds->value()), 0) + " / " +
+             fmt(static_cast<double>(msgs != nullptr ? msgs->value() : 0),
+                 0)});
+    table.add_row({"stab lag median / p99",
+                   fmt(s.stab_lag_med_us / 1000.0, 2) + " / " +
+                       fmt(s.stab_lag_p99_us / 1000.0, 2) + " ms"});
+    if (s.stab_stale_drops > 0) {
+      table.add_row({"stab stale drops", fmt(s.stab_stale_drops, 0)});
+    }
+  }
   if (resolved.trace.enabled) {
     table.add_row({"breakdown queue median", fmt(s.breakdown_queue_ms, 3) +
                    " ms"});
