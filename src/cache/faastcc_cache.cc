@@ -196,14 +196,32 @@ void FaasTccCache::rehome(const routing::RoutingTable& old_table,
   // In-flight storage rounds that started under the old table must not
   // reopen entries from stale "open" flags.
   ++gap_epoch_;
+  // A promotion keeps partition_of(k) but swaps the endpoint behind it;
+  // the new leader has no subscriber state, so those keys re-home exactly
+  // like migrated ones.  Resetting the push sequence lets the promoted
+  // leader's fresh stream (seq 1) count as in-order instead of reading as
+  // a permanent duplicate.
+  for (PartitionId p = 0; p < old_table.num_partitions() &&
+                          p < new_table.num_partitions();
+       ++p) {
+    if (old_table.partitions[p] != new_table.partitions[p] &&
+        p < push_seq_.size()) {
+      push_seq_[p] = 0;
+    }
+  }
   std::vector<Key> resub;
   size_t moved = 0;
   for (auto& [k, e] : entries_) {
-    if (old_table.partition_of(k) == new_table.partition_of(k)) continue;
-    // The old owner dropped our subscription together with the chain.
-    // The cached promise stays valid — it was issued while the source
-    // still owned the chain, and the handoff floor keeps the new owner
-    // above it — but without a live subscription the entry must close.
+    const PartitionId op = old_table.partition_of(k);
+    const PartitionId np = new_table.partition_of(k);
+    if (op == np && old_table.partitions[np] == new_table.partitions[np]) {
+      continue;
+    }
+    // The old owner dropped our subscription together with the chain (or,
+    // on a promotion, died with it).  The cached promise stays valid — it
+    // was issued while the source still owned the chain, and the handoff
+    // floor keeps the new owner above it — but without a live
+    // subscription the entry must close.
     e.open = false;
     sub_active_.erase(k);
     ++moved;

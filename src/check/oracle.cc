@@ -29,6 +29,7 @@ const char* violation_name(Violation::Kind kind) {
     case Violation::Kind::kReadYourWrites: return "read-your-writes";
     case Violation::Kind::kSessionOrder: return "session-order";
     case Violation::Kind::kHandoffFloor: return "handoff-floor";
+    case Violation::Kind::kDurabilityLoss: return "durability-loss";
   }
   return "?";
 }
@@ -86,6 +87,13 @@ void ConsistencyOracle::on_handoff(PartitionId partition, Timestamp floor) {
   handoffs_.push_back(HandoffRec{partition, floor, installs_.size()});
 }
 
+void ConsistencyOracle::on_failover(
+    PartitionId partition, std::vector<std::pair<Key, Timestamp>> surviving) {
+  std::sort(surviving.begin(), surviving.end());
+  failovers_.push_back(
+      FailoverRec{partition, installs_.size(), std::move(surviving)});
+}
+
 size_t ConsistencyOracle::commits_recorded() const {
   size_t n = 0;
   for (const auto& [id, t] : txns_) n += t.acked ? 1 : 0;
@@ -141,10 +149,51 @@ std::vector<Violation> ConsistencyOracle::check() const {
     return pos != chain.end() ? *pos : nullptr;
   };
 
+  // Record index of an install (installs_ is contiguous, so pointer
+  // arithmetic recovers the append order the failover/handoff records
+  // snapshot).
+  const auto index_of = [&](const InstallRec* rec) {
+    return static_cast<size_t>(rec - installs_.data());
+  };
+  // True when `later` is an exact re-materialization across a failover of
+  // its partition: an identical install (partition, key, ts, txn, value)
+  // recorded before the promotion, re-applied after it by a coordinator
+  // retry the dead leader could no longer dedup.  The repeat is sound —
+  // the store's (key, ts) idempotence means no twin version exists, and
+  // promises are re-validated by the per-read successor scan.
+  const auto rematerialized = [&](const InstallRec* earlier,
+                                  const InstallRec* later) {
+    if (earlier->partition != later->partition ||
+        earlier->key != later->key || earlier->ts != later->ts ||
+        earlier->txn != later->txn ||
+        earlier->value_hash != later->value_hash) {
+      return false;
+    }
+    for (const auto& f : failovers_) {
+      if (f.partition == later->partition &&
+          index_of(earlier) < f.installs_before &&
+          index_of(later) >= f.installs_before) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // Earliest failover point per partition (installs before it died with
+  // the old leader's store).
+  std::map<PartitionId, size_t> first_failover_at;
+  for (const auto& f : failovers_) {
+    auto [it, inserted] = first_failover_at.emplace(f.partition,
+                                                    f.installs_before);
+    if (!inserted && f.installs_before < it->second) {
+      it->second = f.installs_before;
+    }
+  }
+
   // --- duplicate installs: two installs of the same (key, ts). ---
   for (const auto& [key, chain] : by_key) {
     for (size_t i = 1; i < chain.size(); ++i) {
       if (chain[i]->ts == chain[i - 1]->ts) {
+        if (rematerialized(chain[i - 1], chain[i])) continue;
         std::ostringstream os;
         os << "key " << key << " installed twice at " << chain[i]->ts.to_string()
            << " (txn " << chain[i - 1]->txn << " then txn " << chain[i]->txn
@@ -194,9 +243,19 @@ std::vector<Violation> ConsistencyOracle::check() const {
     }
   }
   // A replayed commit minting a second version: an acked txn must install
-  // only at its acked commit timestamp.
+  // only at its acked commit timestamp.  Installs that predate a failover
+  // of their partition are exempt: a fast-path commit installed by the old
+  // leader but never acked dies with its store, and the coordinator's
+  // retry legitimately re-executes at a fresh timestamp on the promoted
+  // leader (the stale version is unreachable, and the fresh one is above
+  // every promise the dead leader's seals could have fed).
   for (const auto& rec : installs_) {
     if (rec.txn == 0) continue;
+    if (auto ff = first_failover_at.find(rec.partition);
+        ff != first_failover_at.end() &&
+        index_of(&rec) < ff->second) {
+      continue;
+    }
     auto it = txns_.find(rec.txn);
     if (it != txns_.end() && it->second.acked &&
         rec.ts != it->second.commit_ts) {
@@ -325,12 +384,56 @@ std::vector<Violation> ConsistencyOracle::check() const {
     for (size_t i = h.installs_before; i < installs_.size(); ++i) {
       const InstallRec& rec = installs_[i];
       if (rec.partition != h.partition || rec.ts > h.floor) continue;
+      // Exact re-materialization of an install recorded before the
+      // handoff: a coordinator retry re-applying, at a promoted follower,
+      // a version the dead leader already installed.  The version existed
+      // before the floor was sealed, so no promise is endangered.
+      bool rematerialization = false;
+      if (auto bk = by_key.find(rec.key); bk != by_key.end()) {
+        for (const InstallRec* prior : bk->second) {
+          if (index_of(prior) < h.installs_before &&
+              prior->partition == rec.partition && prior->ts == rec.ts &&
+              prior->txn == rec.txn &&
+              prior->value_hash == rec.value_hash) {
+            rematerialization = true;
+            break;
+          }
+        }
+      }
+      if (rematerialization) continue;
       std::ostringstream os;
       os << "partition " << h.partition << " joined with handoff floor "
          << h.floor.to_string() << " but later installed key " << rec.key
          << " @ " << rec.ts.to_string() << " (txn " << rec.txn << ")";
       out.push_back(
           Violation{Violation::Kind::kHandoffFloor, rec.txn, rec.key, os.str()});
+    }
+  }
+
+  // --- durability across failover: no commit-acked write lost. ---
+  // The commit ack asserted the writes were durable at f+1 (leader + every
+  // caught-up follower); the promoted follower's store must therefore hold
+  // every acked version this partition installed before the promotion.
+  // Only the acked commit timestamp's version is owed (a pre-failover
+  // install at another timestamp is a never-acked attempt that died with
+  // the old leader and was re-executed, see above).
+  for (const auto& f : failovers_) {
+    for (size_t i = 0; i < f.installs_before && i < installs_.size(); ++i) {
+      const InstallRec& rec = installs_[i];
+      if (rec.partition != f.partition || rec.txn == 0) continue;
+      auto it = txns_.find(rec.txn);
+      if (it == txns_.end() || !it->second.acked) continue;
+      if (rec.ts != it->second.commit_ts) continue;
+      if (std::binary_search(f.surviving.begin(), f.surviving.end(),
+                             std::make_pair(rec.key, rec.ts))) {
+        continue;
+      }
+      std::ostringstream os;
+      os << "partition " << f.partition << " failed over but the promoted "
+         << "leader lost key " << rec.key << " @ " << rec.ts.to_string()
+         << " (txn " << rec.txn << ", commit was acked as durable)";
+      out.push_back(Violation{Violation::Kind::kDurabilityLoss, rec.txn,
+                              rec.key, os.str()});
     }
   }
 

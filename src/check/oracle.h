@@ -56,6 +56,7 @@ struct Violation {
     kReadYourWrites,      // function cache-read a key it had written
     kSessionOrder,        // client session timestamp regressed
     kHandoffFloor,        // post-handoff install at or below the sealed floor
+    kDurabilityLoss,      // commit-acked write missing after a leader failover
   };
   Kind kind;
   TxnId txn = 0;
@@ -104,6 +105,18 @@ class ConsistencyOracle {
   // that the joiner never installs a version at or below the floor —
   // every promise its sources issued for the migrated keys is <= floor.
   void on_handoff(PartitionId partition, Timestamp floor);
+  // Replication failover: a follower of `partition` was promoted to leader
+  // holding exactly `surviving` versions.  Every commit-acked write
+  // previously installed at this partition (at its acked timestamp) must
+  // appear in `surviving` — the ack asserted durability at f+1, so a
+  // missing version means the quorum lied.  Installs recorded before the
+  // failover also become re-materialization candidates: a coordinator
+  // retry may legitimately re-install an identical version at the promoted
+  // leader (exempt from duplicate-install and handoff-floor flags), and a
+  // never-acked install that died with the old leader may re-execute at a
+  // fresh timestamp (exempt from the replayed-commit flag).
+  void on_failover(PartitionId partition,
+                   std::vector<std::pair<Key, Timestamp>> surviving);
 
   // ---- post-run verification ----
 
@@ -160,8 +173,16 @@ class ConsistencyOracle {
     size_t installs_before;  // installs_ size at handoff; earlier ones exempt
   };
 
+  struct FailoverRec {
+    PartitionId partition;
+    size_t installs_before;  // installs_ size at promotion
+    // Sorted (key, ts) pairs present at the promoted leader.
+    std::vector<std::pair<Key, Timestamp>> surviving;
+  };
+
   std::vector<InstallRec> installs_;
   std::vector<HandoffRec> handoffs_;
+  std::vector<FailoverRec> failovers_;
   std::vector<ReadRec> reads_;
   std::vector<WriteRec> writes_;
   std::unordered_map<TxnId, TxnRec> txns_;

@@ -15,6 +15,15 @@ constexpr net::Address kReplicaBase = 1000;
 constexpr net::Address kCacheBase = 3000;
 constexpr net::Address kNodeBase = 4000;
 constexpr net::Address kClientBase = 5000;
+constexpr net::Address kFollowerBase = 6000;
+// Address stride per partition in the follower range; bounds
+// ReplicationParams::factor.
+constexpr size_t kMaxFollowers = 4;
+
+net::Address follower_address(size_t partition, size_t replica) {
+  return kFollowerBase +
+         static_cast<net::Address>(partition * kMaxFollowers + replica);
+}
 
 }  // namespace
 
@@ -73,10 +82,19 @@ Cluster::Cluster(ClusterParams params)
     for (size_t p = 0; p < params_.partitions; ++p) {
       addrs.push_back(kPartitionBase + static_cast<net::Address>(p));
     }
+    auto initial = routing::RoutingTable::initial(
+        std::move(addrs), params_.elastic.slots_per_partition);
+    if (params_.replication.enabled()) {
+      assert(params_.replication.factor <= kMaxFollowers);
+      initial.replicas.resize(params_.partitions);
+      for (size_t p = 0; p < params_.partitions; ++p) {
+        for (size_t r = 0; r < params_.replication.factor; ++r) {
+          initial.replicas[p].push_back(follower_address(p, r));
+        }
+      }
+    }
     topo_ = std::make_unique<routing::TopologyService>(
-        network_, kTopoAddr,
-        routing::make_table(routing::RoutingTable::initial(
-            std::move(addrs), params_.elastic.slots_per_partition)));
+        network_, kTopoAddr, routing::make_table(std::move(initial)));
     ctl_rpc_ = std::make_unique<net::RpcNode>(network_, kCtlAddr);
   }
   build_storage();
@@ -161,6 +179,39 @@ void Cluster::build_storage() {
         joiner.set_topo_service(kTopoAddr);
         joiner.set_metrics(&metrics_);
         topo_->add_listener(joiner.address());
+      }
+    }
+    // Followers: constructed only when replication is enabled, so the rng
+    // stream (clock-skew draws) of unreplicated runs is untouched — same
+    // gating discipline as the deferred joiners above.
+    if (params_.replication.enabled()) {
+      for (size_t p = 0; p < params_.partitions; ++p) {
+        std::vector<net::Address> followers;
+        for (size_t r = 0; r < params_.replication.factor; ++r) {
+          auto tcc_params = params_.tcc;
+          tcc_params.repl_lease_timeout = params_.replication.lease_timeout;
+          if (params_.clock_skew_us > 0) {
+            tcc_params.clock_offset_us =
+                static_cast<int64_t>(rng_.next_below(
+                    2 * static_cast<uint64_t>(params_.clock_skew_us))) -
+                params_.clock_skew_us;
+          }
+          const net::Address addr = follower_address(p, r);
+          tcc_followers_.push_back(std::make_unique<storage::TccPartition>(
+              network_, addr, static_cast<PartitionId>(p), topo.partitions,
+              tcc_params, &tracer_, oracle_.get()));
+          auto& follower = *tcc_followers_.back();
+          // make_follower before set_routing: a follower adopting a table
+          // that names it as leader promotes itself, and the role decides
+          // that check.
+          follower.make_follower(topo.partitions[p]);
+          follower.set_routing(topo_->table());
+          follower.set_topo_service(kTopoAddr);
+          follower.set_metrics(&metrics_);
+          topo_->add_listener(addr);
+          followers.push_back(addr);
+        }
+        tcc_partitions_[p]->set_followers(std::move(followers));
       }
     }
     return;
@@ -274,6 +325,15 @@ void Cluster::preload() {
     for (Key k = 0; k < params_.workload.num_keys; ++k) {
       const size_t p = k % params_.partitions;
       tcc_partitions_[p]->store().install(k, value, init_ts);
+      // Followers start from the same preloaded image as their leader, so
+      // the replication stream only ever carries post-start commits.  Not
+      // re-recorded at the oracle: the preload is one logical install.
+      if (params_.replication.enabled()) {
+        for (size_t r = 0; r < params_.replication.factor; ++r) {
+          tcc_followers_[p * params_.replication.factor + r]->store().install(
+              k, value, init_ts);
+        }
+      }
       if (oracle_ != nullptr) oracle_->on_preload(k, init_ts, value);
     }
     return;
@@ -313,6 +373,9 @@ void Cluster::start() {
   for (auto& p : tcc_partitions_) {
     if (p->serving()) p->start();
   }
+  // Followers never serve clients; they only run the lease loop (their
+  // replication handlers are live from construction).
+  for (auto& f : tcc_followers_) f->start_follower();
   if (params_.system == SystemKind::kFaasTcc && params_.elastic.enabled()) {
     sim::spawn(run_scale_out());
   }
@@ -461,12 +524,20 @@ sim::Task<void> Cluster::run_scale_out() {
     const PartitionId src = pair.first;
     const PartitionId tgt = pair.second;
     storage::TccMigrateOutReq oreq;
-    oreq.table = *next;
     oreq.target = tgt;
     std::optional<storage::TccMigrateOutResp> parcel;
     for (int round = 0; round < 8 && !parcel.has_value(); ++round) {
+      // Re-resolve the table every attempt: a failover can promote a
+      // follower of the source slot (bumping the epoch) while this handoff
+      // is in flight, and both the source address and the carried table
+      // must follow it — the promoted leader refuses requests stamped with
+      // the epoch that still names its dead predecessor.  Without a
+      // promotion this re-read returns `next` verbatim, so unreplicated
+      // runs are bit-identical.
+      const routing::TablePtr cur = topo_->table();
+      oreq.table = *cur;
       auto r = co_await ctl_rpc_->call_raw_sized_retry(
-          next->partitions[src], storage::kTccMigrateOut,
+          cur->partitions[src], storage::kTccMigrateOut,
           ctl_rpc_->encode(oreq), net::commit_retry_policy());
       if (!r.ok()) continue;
       auto resp = decode_message<storage::TccMigrateOutResp>(r.payload);

@@ -67,6 +67,18 @@ struct ElasticParams {
   bool enabled() const { return add_partitions > 0 && at > Duration{0}; }
 };
 
+// Per-slot replica chains (FaaSTCC only): each partition leader gets
+// `factor` synchronous followers; a commit is acked only after every
+// caught-up follower has the installs, and a follower that stops hearing
+// seal beats for `lease_timeout` bids for promotion at the topology
+// service.  Inert unless enabled(): factor 0 runs bit-identically to a
+// build without the replication machinery.
+struct ReplicationParams {
+  size_t factor = 0;  // followers per partition (max 4)
+  Duration lease_timeout = milliseconds(60);
+  bool enabled() const { return factor > 0; }
+};
+
 struct ClusterParams {
   SystemKind system = SystemKind::kFaasTcc;
   uint64_t seed = 42;
@@ -100,6 +112,8 @@ struct ClusterParams {
   net::FaultParams faults;
   // Mid-run partition scale-out (FaaSTCC only).
   ElasticParams elastic;
+  // Per-slot replica chains (FaaSTCC only).
+  ReplicationParams replication;
   // Residual NTP skew: each partition's physical clock is offset by a
   // uniform random amount in [-clock_skew_us, clock_skew_us].
   int64_t clock_skew_us = 100;
@@ -164,6 +178,11 @@ class Cluster {
   std::vector<std::unique_ptr<storage::TccPartition>>& tcc_partitions() {
     return tcc_partitions_;
   }
+  // Follower endpoints, p-major (follower r of partition p at index
+  // p * replication.factor + r).  Empty unless replication is enabled.
+  std::vector<std::unique_ptr<storage::TccPartition>>& tcc_followers() {
+    return tcc_followers_;
+  }
   std::vector<std::unique_ptr<storage::EvReplica>>& ev_replicas() {
     return ev_replicas_;
   }
@@ -206,6 +225,7 @@ class Cluster {
   std::unique_ptr<net::RpcNode> ctl_rpc_;
 
   std::vector<std::unique_ptr<storage::TccPartition>> tcc_partitions_;
+  std::vector<std::unique_ptr<storage::TccPartition>> tcc_followers_;
   std::vector<std::unique_ptr<storage::EvReplica>> ev_replicas_;
   std::vector<std::unique_ptr<cache::FaasTccCache>> faastcc_caches_;
   std::vector<std::unique_ptr<cache::HydroCache>> hydro_caches_;

@@ -41,6 +41,31 @@ const std::vector<NamedConfig> kConfigs = {
                                                    milliseconds(470)});
        p.faults.dag_timeout = milliseconds(500);
      }},
+    {"kill-leader", "replicated slots; leader killed for good mid-run", false,
+     [](ClusterParams& p) {
+       // Leader of partition 1 (addr 101) goes dark at 300 ms and never
+       // returns: its follower (addr 6004) must win promotion, seal the
+       // handoff floor and take over the slot.  Commit-acked writes from
+       // before the kill must survive — the oracle's durability check.
+       p.replication.factor = 1;
+       p.faults.crashes.push_back(
+           net::CrashWindow{101, milliseconds(300), seconds(3600)});
+       p.faults.dag_timeout = milliseconds(500);
+     }},
+    {"kill-leader-lossy",
+     "leader kill + 2% loss + 1% duplication (replication stream replay)",
+     false,
+     [](ClusterParams& p) {
+       // Two followers per slot: loss exercises demote-and-backfill,
+       // duplication exercises the at-most-once frame dedup, and the kill
+       // exercises promotion arbitration between the two candidates.
+       p.replication.factor = 2;
+       p.faults.crashes.push_back(
+           net::CrashWindow{101, milliseconds(300), seconds(3600)});
+       p.faults.loss_prob = 0.02;
+       p.faults.dup_prob = 0.01;
+       p.faults.dag_timeout = milliseconds(500);
+     }},
     {"elastic", "mid-run scale-out +2 partitions, no faults", false,
      [](ClusterParams& p) {
        p.elastic.add_partitions = 2;

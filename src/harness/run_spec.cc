@@ -323,6 +323,11 @@ class SpecFields {
              f_duration("at_us", &p.elastic.at),
              f_size("slots_per_partition", &p.elastic.slots_per_partition),
          }},
+        {"replication",
+         {
+             f_size("factor", &p.replication.factor),
+             f_duration("lease_timeout_us", &p.replication.lease_timeout),
+         }},
         {"faastcc_cache",
          {
              f_duration("lookup_cpu_us", &p.faastcc_cache.lookup_cpu),
@@ -510,6 +515,14 @@ std::string run_output_to_json(const RunOutput& o) {
   w.number(s.stab_lag_p99_us);
   w.key("stab_stale_drops");
   w.number(s.stab_stale_drops);
+  w.key("stab_drops_unknown_member");
+  w.number(s.stab_drops_unknown_member);
+  w.key("stab_drops_stale_report");
+  w.number(s.stab_drops_stale_report);
+  w.key("stab_drops_foreign_child");
+  w.number(s.stab_drops_foreign_child);
+  w.key("stab_drops_stale_broadcast");
+  w.number(s.stab_drops_stale_broadcast);
   w.end_object();
 
   w.key("net");

@@ -50,10 +50,15 @@ SummaryStats summarize(const RunResult& r) {
     s.stab_lag_med_us = lag->median();
     s.stab_lag_p99_us = lag->p99();
   }
-  if (const Counter* drops = r.metrics.find_counter("stab.stale_drops");
-      drops != nullptr) {
-    s.stab_stale_drops = static_cast<double>(drops->value());
-  }
+  const auto counter_of = [&](const char* name) -> double {
+    const Counter* c = r.metrics.find_counter(name);
+    return c != nullptr ? static_cast<double>(c->value()) : 0;
+  };
+  s.stab_stale_drops = counter_of("stab.stale_drops");
+  s.stab_drops_unknown_member = counter_of("stab.drops.unknown_member");
+  s.stab_drops_stale_report = counter_of("stab.drops.stale_report");
+  s.stab_drops_foreign_child = counter_of("stab.drops.foreign_child");
+  s.stab_drops_stale_broadcast = counter_of("stab.drops.stale_broadcast");
   return s;
 }
 
@@ -81,8 +86,10 @@ const char* kFields[] = {
     "hit_rate",             "committed",
     "duration_s",           "breakdown_queue_ms",
     "breakdown_compute_ms", "breakdown_storage_ms",
-    "breakdown_network_ms", "stab_lag_med_us",
-    "stab_lag_p99_us",      "stab_stale_drops",
+    "breakdown_network_ms",      "stab_lag_med_us",
+    "stab_lag_p99_us",           "stab_stale_drops",
+    "stab_drops_unknown_member", "stab_drops_stale_report",
+    "stab_drops_foreign_child",  "stab_drops_stale_broadcast",
 };
 
 double* field_ptr(SummaryStats& s, size_t i) {
@@ -96,8 +103,10 @@ double* field_ptr(SummaryStats& s, size_t i) {
       &s.hit_rate,             &s.committed,
       &s.duration_s,           &s.breakdown_queue_ms,
       &s.breakdown_compute_ms, &s.breakdown_storage_ms,
-      &s.breakdown_network_ms, &s.stab_lag_med_us,
-      &s.stab_lag_p99_us,      &s.stab_stale_drops,
+      &s.breakdown_network_ms,      &s.stab_lag_med_us,
+      &s.stab_lag_p99_us,           &s.stab_stale_drops,
+      &s.stab_drops_unknown_member, &s.stab_drops_stale_report,
+      &s.stab_drops_foreign_child,  &s.stab_drops_stale_broadcast,
   };
   return ptrs[i];
 }

@@ -42,7 +42,13 @@ struct SummaryStats {
   // Zero for systems without a stabilizer (hydro, ev).
   double stab_lag_med_us = 0;
   double stab_lag_p99_us = 0;
+  // Aggregate drop count plus the per-reason split (Stabilizer::DropReason);
+  // the aggregate always equals the sum of the four.
   double stab_stale_drops = 0;
+  double stab_drops_unknown_member = 0;
+  double stab_drops_stale_report = 0;
+  double stab_drops_foreign_child = 0;
+  double stab_drops_stale_broadcast = 0;
 };
 
 SummaryStats summarize(const RunResult& result);

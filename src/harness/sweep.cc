@@ -398,6 +398,7 @@ std::string merge_to_json(const SweepPlan& plan, const SweepResult& result) {
     double latency_p99_sum = 0;
     double abort_rate_sum = 0;
     double hit_rate_sum = 0;
+    uint64_t stale_drops = 0;
     size_t violations = 0;
   };
   // system, config, stab, P, N, zipf.  The stab dimension (stabilization
@@ -467,6 +468,8 @@ std::string merge_to_json(const SweepPlan& plan, const SweepResult& result) {
     cell.latency_p99_sum += summary->find("latency_p99_ms")->as_double();
     cell.abort_rate_sum += summary->find("abort_rate")->as_double();
     cell.hit_rate_sum += summary->find("hit_rate")->as_double();
+    cell.stale_drops += static_cast<uint64_t>(
+        summary->find("stab_stale_drops")->as_double());
     cell.violations += rec.violations;
   }
   w.end_array();
@@ -506,6 +509,8 @@ std::string merge_to_json(const SweepPlan& plan, const SweepResult& result) {
     w.number(cell.abort_rate_sum / static_cast<double>(cell.runs));
     w.key("hit_rate_mean");
     w.number(cell.hit_rate_sum / static_cast<double>(cell.runs));
+    w.key("stale_drops");
+    w.u64(cell.stale_drops);
     w.key("violations");
     w.u64(cell.violations);
     w.end_object();

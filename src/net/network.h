@@ -127,8 +127,17 @@ class Network {
   // are enabled.  Probability -1 removes the override.
   void set_link_loss(Address from, Address to, double p);
 
-  // Dynamically extend the crash schedule (tests).
-  void add_crash_window(CrashWindow w) { faults_.crashes.push_back(w); }
+  // Dynamically extend the crash schedule (tests, mid-run fault scripts).
+  // Arms the fault layer so the window takes effect even when set_faults
+  // was never called; deliberately leaves default_rpc_timeout_ alone — a
+  // crash window severs an endpoint, it does not opt every RPC into
+  // timeouts.  Determinism is preserved: with all fault probabilities at
+  // zero the fault layer draws nothing from fault_rng_, so the schedule
+  // outside the window is bit-identical to the unfaulted run.
+  void add_crash_window(CrashWindow w) {
+    faults_.crashes.push_back(w);
+    faults_enabled_ = true;
+  }
 
   // Default timeout RpcNode applies to non-colocated calls (0 = none).
   Duration default_rpc_timeout() const { return default_rpc_timeout_; }

@@ -36,6 +36,9 @@ RoutingTable RoutingTable::with_partitions_added(
   next.epoch = epoch + 1;
   const uint32_t old_count = static_cast<uint32_t>(partitions.size());
   for (PartitionAddress a : added) next.partitions.push_back(a);
+  // Joiners start unreplicated; a replicated table keeps one replica list
+  // per partition so indexes stay aligned.
+  if (!next.replicas.empty()) next.replicas.resize(next.partitions.size());
   if (added.empty()) return next;
 
   const size_t target = next.num_slots() / next.num_partitions();
@@ -67,6 +70,19 @@ RoutingTable RoutingTable::with_partitions_added(
   return next;
 }
 
+RoutingTable RoutingTable::with_leader_replaced(
+    PartitionId p, PartitionAddress candidate) const {
+  assert(p < partitions.size());
+  RoutingTable next = *this;
+  next.epoch = epoch + 1;
+  next.partitions[p] = candidate;
+  if (p < next.replicas.size()) {
+    auto& reps = next.replicas[p];
+    reps.erase(std::remove(reps.begin(), reps.end(), candidate), reps.end());
+  }
+  return next;
+}
+
 RoutingTable RoutingTable::decode(BufReader& r) {
   RoutingTable t;
   t.epoch = r.get_u32();
@@ -76,6 +92,15 @@ RoutingTable RoutingTable::decode(BufReader& r) {
   const uint32_t ns = r.get_u32();
   t.slot_owner.reserve(ns);
   for (uint32_t i = 0; i < ns; ++i) t.slot_owner.push_back(r.get_u32());
+  if (r.remaining() > 0) {
+    const uint32_t nr = r.get_u32();
+    t.replicas.resize(nr);
+    for (uint32_t i = 0; i < nr; ++i) {
+      const uint32_t len = r.get_u32();
+      t.replicas[i].reserve(len);
+      for (uint32_t j = 0; j < len; ++j) t.replicas[i].push_back(r.get_u32());
+    }
+  }
   return t;
 }
 

@@ -46,9 +46,20 @@ struct RoutingTable {
   // slot_owner[s] = index into `partitions` of the slot's owner.
   std::vector<uint32_t> slot_owner;
   std::vector<PartitionAddress> partitions;
+  // Per-slot replica chain: replicas[p] lists the follower endpoints
+  // backing leader partitions[p], in promotion-preference order.  Empty
+  // outer vector = replication disabled; when non-empty it has exactly
+  // one (possibly empty) entry per partition.
+  std::vector<std::vector<PartitionAddress>> replicas;
 
   size_t num_slots() const { return slot_owner.size(); }
   size_t num_partitions() const { return partitions.size(); }
+
+  bool replicated() const { return !replicas.empty(); }
+  const std::vector<PartitionAddress>& replicas_of(PartitionId p) const {
+    static const std::vector<PartitionAddress> kNone;
+    return p < replicas.size() ? replicas[p] : kNone;
+  }
 
   uint32_t slot_of(Key k) const { return mod_partition(k, num_slots()); }
   PartitionId partition_of(Key k) const { return slot_owner[slot_of(k)]; }
@@ -73,9 +84,26 @@ struct RoutingTable {
   RoutingTable with_partitions_added(
       const std::vector<PartitionAddress>& added) const;
 
-  // Wire codec (the topology service serves and broadcasts tables).
+  // Next-epoch table promoting `candidate` (a member of replicas[p]) to
+  // leader of partition p: partitions[p] becomes the candidate's address
+  // and the candidate leaves the replica chain.  The dead leader is not
+  // re-added — a revived endpoint rejoins only via backfill + a future
+  // table, never implicitly.
+  RoutingTable with_leader_replaced(PartitionId p,
+                                    PartitionAddress candidate) const;
+
+  // Wire codec (the topology service serves and broadcasts tables).  The
+  // replica section is a trailing optional block so an unreplicated table
+  // stays byte-identical to the pre-replication encoding; decode detects
+  // it by the reader having bytes left, which is why every message that
+  // embeds a table places it last.
   size_t size_hint() const {
-    return 4 + 4 + 4 * partitions.size() + 4 + 4 * slot_owner.size();
+    size_t n = 4 + 4 + 4 * partitions.size() + 4 + 4 * slot_owner.size();
+    if (!replicas.empty()) {
+      n += 4;
+      for (const auto& reps : replicas) n += 4 + 4 * reps.size();
+    }
+    return n;
   }
   template <typename W>
   void encode(W& w) const {
@@ -84,6 +112,13 @@ struct RoutingTable {
     for (PartitionAddress a : partitions) w.put_u32(a);
     w.put_u32(static_cast<uint32_t>(slot_owner.size()));
     for (uint32_t o : slot_owner) w.put_u32(o);
+    if (!replicas.empty()) {
+      w.put_u32(static_cast<uint32_t>(replicas.size()));
+      for (const auto& reps : replicas) {
+        w.put_u32(static_cast<uint32_t>(reps.size()));
+        for (PartitionAddress a : reps) w.put_u32(a);
+      }
+    }
   }
   static RoutingTable decode(BufReader& r);
 };

@@ -1,5 +1,6 @@
 #include "routing/topology_service.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace faastcc::routing {
@@ -11,6 +12,24 @@ TopologyService::TopologyService(net::Network& network, net::Address address,
   rpc_.handle(kTopoGet,
               [this](Buffer req, net::Address) -> sim::Task<Buffer> {
                 rpc_.recycle(std::move(req));
+                co_return rpc_.encode(*table_);
+              });
+  rpc_.handle(kTopoPromote,
+              [this](Buffer req, net::Address) -> sim::Task<Buffer> {
+                const auto q = decode_message<TopoPromoteReq>(req);
+                rpc_.recycle(std::move(req));
+                // First valid bid per epoch wins; a bid against any other
+                // epoch lost a race it can learn about from the reply.
+                if (q.epoch == table_->epoch &&
+                    q.partition < table_->num_partitions()) {
+                  const auto& reps = table_->replicas_of(q.partition);
+                  if (std::find(reps.begin(), reps.end(), q.candidate) !=
+                      reps.end()) {
+                    publish(make_table(
+                        table_->with_leader_replaced(q.partition,
+                                                     q.candidate)));
+                  }
+                }
                 co_return rpc_.encode(*table_);
               });
 }

@@ -18,10 +18,39 @@
 
 namespace faastcc::routing {
 
-// Method ids (cluster-unique; storage uses 1..10, eventual store 20..26,
+// Method ids (cluster-unique; storage uses 1..16, eventual store 20..26,
 // caches 40..,  scheduler/compute 50..).
 inline constexpr net::MethodId kTopoGet = 60;
 inline constexpr net::MethodId kTopoUpdate = 61;
+inline constexpr net::MethodId kTopoPromote = 62;
+
+// Follower -> topology service: bid to take over a slot whose leader's
+// lease expired.  Arbitration is first-valid-wins: the bid must name the
+// epoch it was decided under and a candidate that is still in that
+// partition's replica chain; anything else is a stale bid and is ignored
+// (the reply carries the current table either way, so a losing bidder
+// adopts whatever the cluster already agreed on).
+struct TopoPromoteReq {
+  PartitionId partition = 0;
+  PartitionAddress candidate = 0;
+  uint32_t epoch = 0;
+
+  size_t size_hint() const { return 4 + 4 + 4; }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u32(partition);
+    w.put_u32(candidate);
+    w.put_u32(epoch);
+  }
+  static TopoPromoteReq decode(BufReader& r) {
+    TopoPromoteReq q;
+    q.partition = r.get_u32();
+    q.candidate = r.get_u32();
+    q.epoch = r.get_u32();
+    return q;
+  }
+};
 
 class TopologyService {
  public:

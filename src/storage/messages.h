@@ -40,6 +40,10 @@ enum TccMethod : uint16_t {
   // Coalesced pub/sub push (push_coalescing=true): same semantics as
   // kTccPush with the per-update promise derived from the frame header.
   kTccPushBatch = 13,
+  // Per-slot replication (leader -> follower, replication_factor > 0).
+  kTccReplInstall = 14,  // stream one committed txn's installs
+  kTccReplSeal = 15,     // seal a safe time at the follower (lease beat)
+  kTccBackfill = 16,     // full chain-snapshot re-sync for a lagging follower
 };
 
 enum EvMethod : uint16_t {
@@ -582,17 +586,19 @@ struct TccMigrateOutReq {
   routing::RoutingTable table;
   PartitionId target = 0;
 
-  size_t size_hint() const { return table.size_hint() + 4; }
+  size_t size_hint() const { return 4 + table.size_hint(); }
 
+  // The table goes last: its replica section is a trailing optional block
+  // detected by remaining(), so nothing may follow it on the wire.
   template <typename W>
   void encode(W& w) const {
-    table.encode(w);
     w.put_u32(target);
+    table.encode(w);
   }
   static TccMigrateOutReq decode(BufReader& r) {
     TccMigrateOutReq q;
-    q.table = routing::RoutingTable::decode(r);
     q.target = r.get_u32();
+    q.table = routing::RoutingTable::decode(r);
     return q;
   }
 };
@@ -681,6 +687,161 @@ struct TccMigrateInResp {
   template <typename W>
   void encode(W& w) const { w.put_bool(ok); }
   static TccMigrateInResp decode(BufReader& r) { return {r.get_bool()}; }
+};
+
+// ---------------------------------------------------------------------------
+// Per-slot replication (leader + k followers).
+// ---------------------------------------------------------------------------
+
+// Leader -> follower, on the commit path: one committed transaction's
+// installs.  `seq` is the leader's per-follower stream sequence number —
+// contiguous at the follower means no frame was dropped; a hole that the
+// leader's bounded retry could not close is repaired by kTccBackfill, not
+// by re-streaming.  Applying is idempotent (installs dedup on (key, ts),
+// the resolved record on txn), so duplicated or re-sent frames are
+// at-most-once by construction.
+struct TccReplInstallReq {
+  TxnId txn = 0;
+  Timestamp commit_ts;
+  uint64_t seq = 0;
+  std::vector<KeyValue> writes;
+
+  size_t size_hint() const {
+    size_t n = 8 + 8 + 8 + 4;
+    for (const auto& kv : writes) n += kv.size_hint();
+    return n;
+  }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u64(txn);
+    put_ts(w, commit_ts);
+    w.put_u64(seq);
+    put_vec(w, writes);
+  }
+  static TccReplInstallReq decode(BufReader& r) {
+    TccReplInstallReq q;
+    q.txn = r.get_u64();
+    q.commit_ts = get_ts(r);
+    q.seq = r.get_u64();
+    q.writes = get_vec<KeyValue>(r);
+    return q;
+  }
+};
+
+struct TccReplInstallResp {
+  bool ok = true;
+  template <typename W>
+  void encode(W& w) const { w.put_bool(ok); }
+  static TccReplInstallResp decode(BufReader& r) { return {r.get_bool()}; }
+};
+
+// Leader -> follower, every gossip beat: seal `safe` at the follower and
+// renew the leader lease.  The leader only gossips a safe time into the
+// stabilizer once every caught-up follower acked its seal, so any promise
+// derived from it survives a promotion (the handoff floor is at least the
+// sealed value).  `seq_high` is the leader's newest assigned stream seq;
+// a follower whose contiguous high-water trails it knows it is lagging.
+struct TccReplSealReq {
+  Timestamp safe;
+  uint64_t seq_high = 0;
+
+  size_t size_hint() const { return 8 + 8; }
+
+  template <typename W>
+  void encode(W& w) const {
+    put_ts(w, safe);
+    w.put_u64(seq_high);
+  }
+  static TccReplSealReq decode(BufReader& r) {
+    TccReplSealReq q;
+    q.safe = get_ts(r);
+    q.seq_high = r.get_u64();
+    return q;
+  }
+};
+
+struct TccReplSealResp {
+  bool ok = true;
+  uint64_t applied_seq = 0;  // follower's contiguous stream high-water
+
+  size_t size_hint() const { return 1 + 8; }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_bool(ok);
+    w.put_u64(applied_seq);
+  }
+  static TccReplSealResp decode(BufReader& r) {
+    TccReplSealResp p;
+    p.ok = r.get_bool();
+    p.applied_seq = r.get_u64();
+    return p;
+  }
+};
+
+// A (txn, commit_ts) pair from the leader's resolved-transaction window,
+// shipped with a backfill so a promoted follower can dedup coordinator
+// commit retries exactly as the dead leader would have.
+struct ResolvedTxn {
+  TxnId txn = 0;
+  Timestamp ts;
+
+  size_t size_hint() const { return 8 + 8; }
+
+  template <typename W>
+  void encode(W& w) const {
+    w.put_u64(txn);
+    put_ts(w, ts);
+  }
+  static ResolvedTxn decode(BufReader& r) {
+    ResolvedTxn t;
+    t.txn = r.get_u64();
+    t.ts = get_ts(r);
+    return t;
+  }
+};
+
+// Leader -> lagging/fresh follower: a full re-sync from the chain head
+// (RethinkDB's broadcaster/listener backfill, collapsed to one frame at
+// simulation scale).  Reuses the elastic handoff's chain shapes; applying
+// is idempotent so a duplicated backfill is harmless.  `safe` doubles as
+// a seal and `seq_high` fast-forwards the follower's stream high-water
+// past any holes the backfill just filled.
+struct TccBackfillReq {
+  Timestamp safe;
+  uint64_t seq_high = 0;
+  std::vector<ResolvedTxn> resolved;
+  std::vector<MigratedChain> chains;
+
+  size_t size_hint() const {
+    size_t n = 8 + 8 + 4 + resolved.size() * 16 + 4;
+    for (const auto& c : chains) n += c.size_hint();
+    return n;
+  }
+
+  template <typename W>
+  void encode(W& w) const {
+    put_ts(w, safe);
+    w.put_u64(seq_high);
+    put_vec(w, resolved);
+    put_vec(w, chains);
+  }
+  static TccBackfillReq decode(BufReader& r) {
+    TccBackfillReq q;
+    q.safe = get_ts(r);
+    q.seq_high = r.get_u64();
+    q.resolved = get_vec<ResolvedTxn>(r);
+    q.chains = get_vec<MigratedChain>(r);
+    return q;
+  }
+};
+
+struct TccBackfillResp {
+  bool ok = true;
+  template <typename W>
+  void encode(W& w) const { w.put_bool(ok); }
+  static TccBackfillResp decode(BufReader& r) { return {r.get_bool()}; }
 };
 
 // ---------------------------------------------------------------------------

@@ -54,6 +54,16 @@ MvStore::extract_chains(const std::function<bool(Key)>& pred) {
   return out;
 }
 
+std::vector<std::pair<Key, std::vector<MvStore::Version>>>
+MvStore::snapshot_chains() const {
+  std::vector<std::pair<Key, std::vector<Version>>> out;
+  out.reserve(chains_.size());
+  for (const auto& [key, chain] : chains_) out.emplace_back(key, chain);
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
 MvStore::ReadResult MvStore::read_at(Key key, Timestamp snapshot) const {
   ReadResult out;
   auto it = chains_.find(key);

@@ -49,6 +49,11 @@ class MvStore {
   std::vector<std::pair<Key, std::vector<Version>>> extract_chains(
       const std::function<bool(Key)>& pred);
 
+  // Non-destructive copy of every chain, sorted by key — the replication
+  // backfill payload (a follower re-syncs from the leader's chain head
+  // without disturbing the leader's serving state).
+  std::vector<std::pair<Key, std::vector<Version>>> snapshot_chains() const;
+
   // Newest version with ts <= snapshot.
   ReadResult read_at(Key key, Timestamp snapshot) const;
 

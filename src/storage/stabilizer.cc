@@ -50,8 +50,7 @@ bool Stabilizer::on_gossip(PartitionId from, Timestamp safe_time) {
   // then excluding the joiner from the min is a freshness question, not a
   // soundness one — per-key promises anchor on the owner's own safe time.
   if (from >= last_heard_.size()) {
-    ++stale_drops_;
-    return false;
+    return drop(DropReason::kUnknownMember);
   }
   auto& slot = last_heard_[from];
   if (safe_time > slot) {
@@ -71,13 +70,11 @@ bool Stabilizer::on_child_report(PartitionId child, uint32_t membership,
     extend_membership(membership);
   } else if (membership < last_heard_.size()) {
     // Folded over the old membership: may omit joiners below this child.
-    ++stale_drops_;
-    return false;
+    return drop(DropReason::kStaleReportTag);
   }
   const uint64_t first = uint64_t{fanout_} * self_ + 1;
   if (child < first || child >= first + child_min_.size()) {
-    ++stale_drops_;
-    return false;
+    return drop(DropReason::kForeignChild);
   }
   auto& slot = child_min_[child - first];
   // Subtree minima are monotone while membership is fixed (every input is
@@ -100,8 +97,7 @@ bool Stabilizer::on_stable_broadcast(uint32_t membership, Timestamp stable) {
     // max-merging it would advance the stable past commits a joiner may
     // still install.  (Keeping our *current* value is fine: it predates
     // the bump and is bounded by the sources' sealed safe times.)
-    ++stale_drops_;
-    return false;
+    return drop(DropReason::kStaleBroadcastTag);
   }
   if (stable > tree_stable_) {
     tree_stable_ = stable;

@@ -24,7 +24,7 @@
 // lost, duplicated and reordered messages cost freshness, never
 // correctness.  Membership growth is the one non-monotone step: tree
 // reports are tagged with the sender's membership size and reports tagged
-// with a smaller membership are dropped (counted in stale_drops) — an
+// with a smaller membership are dropped (counted per DropReason) — an
 // in-flight fold over the old membership omits the joiners' floor and
 // accepting it would leak past the join barrier below.
 #pragma once
@@ -144,10 +144,30 @@ class Stabilizer {
   // that large.
   void extend_membership(size_t num_partitions);
 
-  // Observations dropped for membership reasons: gossip from senders
-  // beyond the membership, and tree reports/broadcasts tagged with a
-  // smaller membership.  Makes the epoch-bump barrier window observable.
-  uint64_t stale_drops() const { return stale_drops_; }
+  // Why an observation was dropped.  Counted per reason: a flood of
+  // unknown-member drops after a failover looks identical to tree
+  // staleness if the causes share one counter.
+  enum class DropReason : uint8_t {
+    kUnknownMember = 0,  // gossip from a sender beyond the membership
+    kStaleReportTag,     // child report tagged with a smaller membership
+    kForeignChild,       // child report from outside this node's fanout
+    kStaleBroadcastTag,  // stable broadcast tagged with a smaller membership
+  };
+  static constexpr size_t kNumDropReasons = 4;
+
+  // Observations dropped for membership reasons.  Makes the epoch-bump
+  // barrier window observable.  Sum over all reasons.
+  uint64_t stale_drops() const {
+    uint64_t n = 0;
+    for (uint64_t d : drops_) n += d;
+    return n;
+  }
+  uint64_t drops(DropReason r) const {
+    return drops_[static_cast<size_t>(r)];
+  }
+  // Reason of the most recent drop; meaningful only immediately after an
+  // on_* entry point returned false.
+  DropReason last_drop_reason() const { return last_drop_reason_; }
 
   Timestamp last_heard(PartitionId p) const { return last_heard_.at(p); }
   const std::vector<Timestamp>& last_heard_all() const { return last_heard_; }
@@ -158,6 +178,11 @@ class Stabilizer {
   void rebuild_min_tree();
   void min_tree_set(size_t leaf, Timestamp v);
   void resize_children();
+  bool drop(DropReason r) {
+    ++drops_[static_cast<size_t>(r)];
+    last_drop_reason_ = r;
+    return false;
+  }
 
   PartitionId self_;
   StabTopology topology_;
@@ -174,7 +199,8 @@ class Stabilizer {
   // order), and the last accepted root fold.
   std::vector<Timestamp> child_min_;
   Timestamp tree_stable_ = Timestamp::min();
-  uint64_t stale_drops_ = 0;
+  uint64_t drops_[kNumDropReasons] = {};
+  DropReason last_drop_reason_ = DropReason::kUnknownMember;
 };
 
 }  // namespace faastcc::storage

@@ -58,6 +58,35 @@ sim::Task<CallOutcome<Resp>> call_epoch(net::RpcNode& rpc, net::Address to,
   co_return out;
 }
 
+// Re-aims `pending` commit batches at the current table after a topology
+// refresh.  Returns true only when every key kept its slot and every batch
+// still shares a single address that actually changed — i.e. a leader
+// promotion landed.  The promoted follower inherits the dead leader's
+// resolved-txn table (replication frames and backfills both carry it), so
+// a re-sent commit dedups exactly as a retry at the old leader would.  A
+// migration moves keys to a *different* slot whose owner has no such
+// record; that case keeps the historical abort semantics.
+bool reroute_batches(const TccTopology& topo,
+                     const std::vector<KeyValue>& writes,
+                     const std::vector<PartitionId>& slot_of,
+                     std::vector<PartitionBatch>& pending) {
+  for (auto& batch : pending) {
+    net::Address next = 0;
+    for (size_t idx : batch.input_index) {
+      if (topo.partition_of(writes[idx].key) != slot_of[idx]) return false;
+      const net::Address a = topo.address_of(writes[idx].key);
+      if (next == 0) {
+        next = a;
+      } else if (a != next) {
+        return false;
+      }
+    }
+    if (next == batch.address) return false;  // no promotion landed yet
+    batch.address = next;
+  }
+  return true;
+}
+
 sim::Task<void> abort_everywhere(net::RpcNode& rpc, TxnId txn,
                                  const std::vector<PartitionBatch>& batches) {
   // Best effort: a lost abort only delays the partition until its
@@ -192,6 +221,14 @@ sim::Task<TccStorageClient::ReadOutcome> TccStorageClient::read_once(
     if (!responses[b].ok()) {
       if (responses[b].status == net::RpcStatus::kWrongEpoch) {
         out.stale_routing = true;
+      } else if (topology_.table != nullptr && topology_.table->replicated()) {
+        // With replicated slots a timeout may mean the leader is dead — a
+        // dead leader can never NACK, so the wrong-epoch signal the
+        // elastic path relies on never comes.  Treat the timeout as a
+        // routing signal: refresh and re-route at the promoted follower.
+        // Unreplicated tables keep timeout-as-loss semantics (and their
+        // exact schedules).
+        out.stale_routing = true;
       }
       failed = true;
       continue;
@@ -255,6 +292,20 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     oracle_->on_commit_phase(txn, std::move(write_keys));
   };
 
+  // Original slot of every write.  A promotion keeps a key's slot (only
+  // the leader address changes); a migration does not — the distinction
+  // decides whether a timed-out commit may be re-sent (see
+  // reroute_batches).  Re-route rounds only exist for replicated tables:
+  // a dead leader cannot NACK, so a timeout is the only failover signal.
+  std::vector<PartitionId> slot_of(writes.size());
+  for (size_t i = 0; i < writes.size(); ++i) {
+    slot_of[i] = topology_.partition_of(writes[i].key);
+  }
+  const int reroutes =
+      (topology_.table != nullptr && topology_.table->replicated())
+          ? net::routing_refresh_policy().max_attempts
+          : 0;
+
   if (batches.size() == 1) {
     // Fast path: the owning partition assigns the timestamp itself.
     TccCommitReq req;
@@ -263,37 +314,45 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
     req.dep_ts = dep_ts;
     req.writes = writes_for(batches[0]);
     record_commit_phase();
-    auto sized = co_await rpc_.call_raw_sized_retry(
-        batches[0].address, kTccCommit, rpc_.encode(req),
-        net::commit_retry_policy(), ctx);
-    if (!sized.ok()) {
-      if (sized.status == net::RpcStatus::kWrongEpoch) {
-        // The key's owner changed under us.  A commit is never re-routed
-        // at the new epoch: an earlier (timed-out) attempt may already
-        // have installed at the old owner and migrated with the chain,
-        // and the new owner has no resolved-txn record to dedup a re-send
-        // against.  Refresh so the NEXT transaction routes correctly and
-        // report abort; the client retries the DAG with a fresh txn id.
-        note_wrong_epoch_retry();
-        co_await refresh_topology();
+    for (int round = 0;; ++round) {
+      auto sized = co_await rpc_.call_raw_sized_retry(
+          batches[0].address, kTccCommit, rpc_.encode(req),
+          net::commit_retry_policy(), ctx);
+      if (!sized.ok()) {
+        if (sized.status == net::RpcStatus::kWrongEpoch) {
+          // The key's owner changed under us.  A commit is never re-routed
+          // at the new epoch: an earlier (timed-out) attempt may already
+          // have installed at the old owner and migrated with the chain,
+          // and the new owner has no resolved-txn record to dedup a re-send
+          // against.  Refresh so the NEXT transaction routes correctly and
+          // report abort; the client retries the DAG with a fresh txn id.
+          note_wrong_epoch_retry();
+          co_await refresh_topology();
+        } else if (round < reroutes) {
+          // Timeout against a replicated slot: the leader may be dead.
+          // Pull the current table and re-send at the promoted follower —
+          // same slot only (reroute_batches).
+          co_await refresh_topology();
+          if (reroute_batches(topology_, writes, slot_of, batches)) continue;
+        }
+        end_span(false);
+        co_return std::nullopt;
       }
-      end_span(false);
-      co_return std::nullopt;
-    }
-    BufReader r(sized.payload);
-    const TccCommitResp resp = TccCommitResp::decode(r);
-    if (!resp.ok) {
-      // The partition refused the (retried) commit — the txn was aborted or
-      // its prepare expired there and the writes were never installed.
+      BufReader r(sized.payload);
+      const TccCommitResp resp = TccCommitResp::decode(r);
+      if (!resp.ok) {
+        // The partition refused the (retried) commit — the txn was aborted
+        // or its prepare expired there and the writes were never installed.
+        rpc_.recycle(std::move(sized.payload));
+        end_span(false);
+        co_return std::nullopt;
+      }
+      const Timestamp commit_ts = get_ts(r);
       rpc_.recycle(std::move(sized.payload));
-      end_span(false);
-      co_return std::nullopt;
+      if (oracle_ != nullptr) oracle_->on_commit_ack(txn, commit_ts, dep_ts);
+      end_span(true);
+      co_return commit_ts;
     }
-    const Timestamp commit_ts = get_ts(r);
-    rpc_.recycle(std::move(sized.payload));
-    if (oracle_ != nullptr) oracle_->on_commit_ack(txn, commit_ts, dep_ts);
-    end_span(true);
-    co_return commit_ts;
   }
 
   // General path: prepare everywhere, then commit at max(prepare ts).
@@ -334,35 +393,64 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit(
   }
 
   record_commit_phase();
-  std::vector<sim::Task<CallOutcome<TccCommitResp>>> commits;
-  commits.reserve(batches.size());
-  for (const auto& batch : batches) {
-    TccCommitReq req;
-    req.txn = txn;
-    req.commit_ts = commit_ts;
-    req.dep_ts = dep_ts;
-    req.writes = writes_for(batch);
-    commits.push_back(call_epoch<TccCommitResp>(rpc_, batch.address,
-                                                kTccCommit, req,
-                                                net::commit_retry_policy(),
-                                                ctx));
-  }
-  auto commit_resps = co_await sim::when_all(rpc_.loop(), std::move(commits));
-  stale = false;
+  std::vector<PartitionBatch> pending = batches;
   bool committed = true;
-  for (const auto& cr : commit_resps) {
-    // Exhausted even the commit budget (the unreachable participant's
-    // prepare lease will expire and abort its half), or a participant
-    // refused a retried commit because it had already expired/aborted the
-    // txn without installing anything.  Report abort; see docs/simulation.md
-    // "Fault model" for the (vanishingly rare) torn outcome this trades for
-    // liveness.
-    if (!cr.resp.has_value() || !cr.resp->ok) committed = false;
-    if (cr.wrong_epoch) stale = true;
-  }
-  if (stale) {
-    note_wrong_epoch_retry();
+  for (int round = 0;; ++round) {
+    std::vector<sim::Task<CallOutcome<TccCommitResp>>> commits;
+    commits.reserve(pending.size());
+    for (const auto& batch : pending) {
+      TccCommitReq req;
+      req.txn = txn;
+      req.commit_ts = commit_ts;
+      req.dep_ts = dep_ts;
+      req.writes = writes_for(batch);
+      commits.push_back(call_epoch<TccCommitResp>(rpc_, batch.address,
+                                                  kTccCommit, req,
+                                                  net::commit_retry_policy(),
+                                                  ctx));
+    }
+    auto commit_resps =
+        co_await sim::when_all(rpc_.loop(), std::move(commits));
+    stale = false;
+    bool refused = false;
+    std::vector<PartitionBatch> timed_out;
+    for (size_t b = 0; b < commit_resps.size(); ++b) {
+      const auto& cr = commit_resps[b];
+      if (cr.wrong_epoch) {
+        stale = true;
+      } else if (!cr.resp.has_value()) {
+        timed_out.push_back(pending[b]);
+      } else if (!cr.resp->ok) {
+        // The participant refused a retried commit because it had already
+        // expired/aborted the txn without installing anything.
+        refused = true;
+      }
+    }
+    if (stale) {
+      note_wrong_epoch_retry();
+      co_await refresh_topology();
+    }
+    if (stale || refused) {
+      committed = false;
+      break;
+    }
+    if (timed_out.empty()) break;
+    // Exhausted even the commit budget at some participant (its prepare
+    // lease will expire and abort its half).  With a replicated table a
+    // timeout likely means a dead leader — refresh and re-send the
+    // unacked batches at the promoted followers, same slots only.
+    // Otherwise report abort; see docs/simulation.md "Fault model" for the
+    // (vanishingly rare) torn outcome this trades for liveness.
+    if (round >= reroutes) {
+      committed = false;
+      break;
+    }
     co_await refresh_topology();
+    if (!reroute_batches(topology_, writes, slot_of, timed_out)) {
+      committed = false;
+      break;
+    }
+    pending = std::move(timed_out);
   }
   if (!committed) {
     end_span(false);
@@ -443,29 +531,66 @@ sim::Task<std::optional<Timestamp>> TccStorageClient::commit_si(
     for (const auto& kv : writes) write_keys.push_back(kv.key);
     oracle_->on_commit_phase(txn, std::move(write_keys));
   }
-  std::vector<sim::Task<CallOutcome<TccCommitResp>>> commits;
-  commits.reserve(batches.size());
-  for (const auto& batch : batches) {
-    TccCommitReq req;
-    req.txn = txn;
-    req.commit_ts = commit_ts;
-    req.dep_ts = dep_ts;
-    for (size_t idx : batch.input_index) req.writes.push_back(writes[idx]);
-    commits.push_back(call_epoch<TccCommitResp>(rpc_, batch.address,
-                                                kTccCommit, req,
-                                                net::commit_retry_policy(),
-                                                ctx));
+  // Same timed-out-batch re-route as the general commit path: a dead
+  // leader under a replicated table can only signal by timeout.
+  std::vector<PartitionId> slot_of(writes.size());
+  for (size_t i = 0; i < writes.size(); ++i) {
+    slot_of[i] = topology_.partition_of(writes[i].key);
   }
-  auto commit_resps = co_await sim::when_all(rpc_.loop(), std::move(commits));
-  stale = false;
+  const int reroutes =
+      (topology_.table != nullptr && topology_.table->replicated())
+          ? net::routing_refresh_policy().max_attempts
+          : 0;
+  std::vector<PartitionBatch> pending = batches;
   bool committed = true;
-  for (const auto& cr : commit_resps) {
-    if (!cr.resp.has_value() || !cr.resp->ok) committed = false;
-    if (cr.wrong_epoch) stale = true;
-  }
-  if (stale) {
-    note_wrong_epoch_retry();
+  for (int round = 0;; ++round) {
+    std::vector<sim::Task<CallOutcome<TccCommitResp>>> commits;
+    commits.reserve(pending.size());
+    for (const auto& batch : pending) {
+      TccCommitReq req;
+      req.txn = txn;
+      req.commit_ts = commit_ts;
+      req.dep_ts = dep_ts;
+      for (size_t idx : batch.input_index) req.writes.push_back(writes[idx]);
+      commits.push_back(call_epoch<TccCommitResp>(rpc_, batch.address,
+                                                  kTccCommit, req,
+                                                  net::commit_retry_policy(),
+                                                  ctx));
+    }
+    auto commit_resps =
+        co_await sim::when_all(rpc_.loop(), std::move(commits));
+    stale = false;
+    bool refused = false;
+    std::vector<PartitionBatch> timed_out;
+    for (size_t b = 0; b < commit_resps.size(); ++b) {
+      const auto& cr = commit_resps[b];
+      if (cr.wrong_epoch) {
+        stale = true;
+      } else if (!cr.resp.has_value()) {
+        timed_out.push_back(pending[b]);
+      } else if (!cr.resp->ok) {
+        refused = true;
+      }
+    }
+    if (stale) {
+      note_wrong_epoch_retry();
+      co_await refresh_topology();
+    }
+    if (stale || refused) {
+      committed = false;
+      break;
+    }
+    if (timed_out.empty()) break;
+    if (round >= reroutes) {
+      committed = false;
+      break;
+    }
     co_await refresh_topology();
+    if (!reroute_batches(topology_, writes, slot_of, timed_out)) {
+      committed = false;
+      break;
+    }
+    pending = std::move(timed_out);
   }
   if (!committed) {
     end_span(false);

@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "routing/topology_service.h"
 #include "sim/future.h"
+#include "sim/when_all.h"
 
 namespace faastcc::storage {
 
@@ -58,6 +59,15 @@ TccPartition::TccPartition(net::Network& network, net::Address self,
   rpc_.handle(kTccMigrateIn, [this](Buffer b, net::Address from) {
     return on_migrate_in(std::move(b), from);
   });
+  rpc_.handle(kTccReplInstall, [this](Buffer b, net::Address from) {
+    return on_repl_install(std::move(b), from);
+  });
+  rpc_.handle(kTccReplSeal, [this](Buffer b, net::Address from) {
+    return on_repl_seal(std::move(b), from);
+  });
+  rpc_.handle(kTccBackfill, [this](Buffer b, net::Address from) {
+    return on_backfill(std::move(b), from);
+  });
 }
 
 void TccPartition::start() {
@@ -65,7 +75,7 @@ void TccPartition::start() {
   started_ = true;
   // Seed the stabilizer with our own safe time so stable_time() is defined
   // before the first gossip round completes.
-  const Timestamp safe = safe_time();
+  const Timestamp safe = published_safe();
   stabilizer_.on_gossip(id_, safe);
   if (params_.stab_topology == StabTopology::kTree && stabilizer_.is_root()) {
     // Only the root's fold covers every member, so only the root may merge
@@ -89,6 +99,16 @@ void TccPartition::set_routing(routing::TablePtr table) {
   all_partitions_.assign(table_->partitions.begin(), table_->partitions.end());
   stabilizer_.extend_membership(table_->num_partitions());
   rpc_.set_routing_epoch(table_->epoch);
+  if (repl_role_ == ReplRole::kFollower && id_ < table_->partitions.size()) {
+    if (table_->partitions[id_] == rpc_.address()) {
+      // The cluster agreed on our promotion bid (or a broadcast of it beat
+      // the bid's reply here): take over the slot.
+      promote_self();
+    } else {
+      // Any other bump names the current leader; follow it.
+      leader_addr_ = table_->partitions[id_];
+    }
+  }
   if (first) {
     // Gate the client-facing traffic on the epoch.  kTccAbort stays
     // ungated: post-bump cleanup of a NACKed commit must still reach the
@@ -483,6 +503,14 @@ sim::Task<Buffer> TccPartition::on_commit(Buffer req, net::Address) {
   }
   remember_resolved(q.txn, q.commit_ts);
   install_writes(q);
+  if (repl_role_ == ReplRole::kLeader &&
+      (!followers_.empty() || !followers_behind_.empty())) {
+    // The ack below asserts durability at f+1 (us plus every caught-up
+    // follower): withhold it until the replication fan-out settles.  A
+    // follower whose stream the bounded retry could not keep flowing is
+    // demoted to the behind set rather than blocking the commit forever.
+    co_await replicate_commit(q.txn, q.commit_ts, std::move(q.writes));
+  }
   TccCommitResp resp;
   resp.ok = true;
   BufWriter w;
@@ -547,12 +575,39 @@ sim::Task<Buffer> TccPartition::on_unsubscribe(Buffer req, net::Address from) {
   co_return Buffer{};
 }
 
+namespace {
+
+// Metric key per membership-drop reason.  The aggregate
+// "stab.stale_drops" keeps counting alongside so existing consumers
+// (summaries, sweep cells) stay intact.
+const char* stab_drop_metric(Stabilizer::DropReason r) {
+  switch (r) {
+    case Stabilizer::DropReason::kUnknownMember:
+      return "stab.drops.unknown_member";
+    case Stabilizer::DropReason::kStaleReportTag:
+      return "stab.drops.stale_report";
+    case Stabilizer::DropReason::kForeignChild:
+      return "stab.drops.foreign_child";
+    case Stabilizer::DropReason::kStaleBroadcastTag:
+      return "stab.drops.stale_broadcast";
+  }
+  return "stab.drops.unknown_member";
+}
+
+void count_stab_drop(Metrics* metrics, const Stabilizer& stab) {
+  if (metrics == nullptr) return;
+  metrics->counter("stab.stale_drops").inc();
+  metrics->counter(stab_drop_metric(stab.last_drop_reason())).inc();
+}
+
+}  // namespace
+
 void TccPartition::on_gossip(Buffer msg, net::Address) {
   auto g = decode_message<GossipMsg>(msg);
   rpc_.recycle(std::move(msg));
   ++gossip_in_since_round_;
   if (!stabilizer_.on_gossip(g.partition, g.safe_time)) {
-    if (metrics_ != nullptr) metrics_->counter("stab.stale_drops").inc();
+    count_stab_drop(metrics_, stabilizer_);
   }
 }
 
@@ -562,7 +617,7 @@ void TccPartition::on_safe_up(Buffer msg, net::Address) {
   ++gossip_in_since_round_;
   if (!stabilizer_.on_child_report(m.partition, m.membership,
                                    m.subtree_min)) {
-    if (metrics_ != nullptr) metrics_->counter("stab.stale_drops").inc();
+    count_stab_drop(metrics_, stabilizer_);
   }
 }
 
@@ -571,13 +626,17 @@ void TccPartition::on_stable_down(Buffer msg, net::Address) {
   rpc_.recycle(std::move(msg));
   ++gossip_in_since_round_;
   if (!stabilizer_.on_stable_broadcast(m.membership, m.stable)) {
-    if (metrics_ != nullptr) metrics_->counter("stab.stale_drops").inc();
+    count_stab_drop(metrics_, stabilizer_);
   }
 }
 
 sim::Task<void> TccPartition::gossip_loop() {
   for (;;) {
     co_await sim::sleep_for(rpc_.loop(), params_.gossip_period);
+    // A deposed leader (crashed, revived after its follower was promoted)
+    // must keep its gossip stream quiet: the promoted follower publishes
+    // this partition id's safe time now.  Always true without replication.
+    if (!is_current_leader()) continue;
     // Piggyback prepare-TTL enforcement on the gossip beat: a pure state
     // scan (no events, no randomness), and a no-op whenever every pending
     // prepare is younger than the TTL — i.e. always, in fault-free runs.
@@ -586,7 +645,7 @@ sim::Task<void> TccPartition::gossip_loop() {
       tree_gossip_round();
       continue;
     }
-    GossipMsg g{id_, safe_time()};
+    GossipMsg g{id_, published_safe()};
     stabilizer_.on_gossip(id_, g.safe_time);
     uint64_t sent = 0;
     for (net::Address peer : all_partitions_) {
@@ -605,7 +664,7 @@ sim::Task<void> TccPartition::gossip_loop() {
 // no forward-on-receive — so a round is exactly 2(P-1) messages
 // cell-wide: one up and one down edge per parent/child pair.
 void TccPartition::tree_gossip_round() {
-  const Timestamp safe = safe_time();
+  const Timestamp safe = published_safe();
   stabilizer_.on_gossip(id_, safe);
   const auto membership =
       static_cast<uint32_t>(stabilizer_.num_partitions());
@@ -653,6 +712,10 @@ void TccPartition::note_gossip_round(uint64_t msgs_sent) {
 sim::Task<void> TccPartition::push_loop() {
   for (;;) {
     co_await sim::sleep_for(rpc_.loop(), params_.push_period);
+    // A deposed leader's push channel is dead: the promoted follower owns
+    // the per-partition sequence now, and a stale frame would only force
+    // subscribers to close entries.  Always true without replication.
+    if (!is_current_leader()) continue;
     const Timestamp stable = stabilizer_.stable_time();
     if (params_.push_coalescing) {
       push_round_coalesced(stable);
@@ -833,6 +896,327 @@ sim::Task<Buffer> TccPartition::on_migrate_in(Buffer req, net::Address) {
     activate();
   }
   co_return rpc_.encode(resp);
+}
+
+// ---------------------------------------------------------------------------
+// Per-slot replication (leader + k followers).
+// ---------------------------------------------------------------------------
+
+void TccPartition::set_followers(std::vector<net::Address> followers) {
+  followers_ = std::move(followers);
+  if (!followers_.empty()) repl_role_ = ReplRole::kLeader;
+}
+
+void TccPartition::make_follower(net::Address leader) {
+  repl_role_ = ReplRole::kFollower;
+  leader_addr_ = leader;
+  // Not in the routing table, so clients never address us — but any stray
+  // frame parks instead of serving from a store nobody sealed.
+  serving_ = false;
+}
+
+void TccPartition::start_follower() {
+  last_lease_beat_ = rpc_.now();
+  sim::spawn(lease_loop());
+}
+
+Timestamp TccPartition::published_safe() {
+  const Timestamp raw = safe_time();
+  if (repl_role_ != ReplRole::kLeader) return raw;
+  if (followers_.empty() && followers_behind_.empty()) return raw;
+  // Seals piggyback the gossip beat (they double as lease renewals); the
+  // published value trails the raw safe by a seal round-trip, which is
+  // always sound — safe times are monotone, so a delayed safe is merely a
+  // conservative one.
+  if (!seal_inflight_) sim::spawn(seal_round(raw, repl_seq_));
+  for (net::Address f : followers_behind_) {
+    if (backfill_inflight_.insert(f).second) sim::spawn(backfill_one(f));
+  }
+  return sealed_pub_;
+}
+
+sim::Task<bool> TccPartition::repl_send_one(net::Address follower,
+                                            TccReplInstallReq frame) {
+  auto r = co_await rpc_.call_raw_sized_retry(follower, kTccReplInstall,
+                                              rpc_.encode(frame),
+                                              net::commit_retry_policy());
+  const bool ok = r.ok();
+  if (ok) rpc_.recycle(std::move(r.payload));
+  co_return ok;
+}
+
+sim::Task<void> TccPartition::repl_send_quiet(net::Address follower,
+                                              TccReplInstallReq frame) {
+  co_await repl_send_one(follower, std::move(frame));
+}
+
+sim::Task<void> TccPartition::replicate_commit(TxnId txn, Timestamp commit_ts,
+                                               std::vector<KeyValue> writes) {
+  TccReplInstallReq frame;
+  frame.txn = txn;
+  frame.commit_ts = commit_ts;
+  frame.seq = ++repl_seq_;
+  frame.writes = std::move(writes);
+  // Behind followers still get the frame best-effort (keeps the hole a
+  // running backfill must close from growing), but never gate the ack.
+  for (net::Address f : followers_behind_) {
+    sim::spawn(repl_send_quiet(f, frame));
+  }
+  const std::vector<net::Address> targets = followers_;
+  std::vector<sim::Task<bool>> calls;
+  calls.reserve(targets.size());
+  for (net::Address f : targets) calls.push_back(repl_send_one(f, frame));
+  const std::vector<bool> acks =
+      co_await sim::when_all(rpc_.loop(), std::move(calls));
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (acks[i]) continue;
+    // Bounded retry exhausted: this follower's stream has a hole we will
+    // not close by re-sending.  Demote it out of the seal quorum; a
+    // backfill from the chain head re-syncs it on a later beat.
+    auto it = std::find(followers_.begin(), followers_.end(), targets[i]);
+    if (it != followers_.end()) followers_.erase(it);
+    if (std::find(followers_behind_.begin(), followers_behind_.end(),
+                  targets[i]) == followers_behind_.end()) {
+      followers_behind_.push_back(targets[i]);
+    }
+  }
+}
+
+sim::Task<void> TccPartition::seal_round(Timestamp safe, uint64_t seq_high) {
+  seal_inflight_ = true;
+  // One attempt per beat: the next beat is the retry, and a follower that
+  // momentarily trails (frames still in flight) simply withholds this
+  // seal — it is NOT demoted; only stream-retry exhaustion demotes.
+  const net::RetryPolicy once{1, milliseconds(1), milliseconds(1),
+                              net::kUseDefaultTimeout};
+  const std::vector<net::Address> targets = followers_;
+  const TccReplSealReq req{safe, seq_high};
+  std::vector<sim::Task<std::optional<TccReplSealResp>>> calls;
+  calls.reserve(targets.size());
+  for (net::Address f : targets) {
+    calls.push_back(
+        rpc_.call_with_retry<TccReplSealResp>(f, kTccReplSeal, req, once));
+  }
+  const auto resps = co_await sim::when_all(rpc_.loop(), std::move(calls));
+  bool all_ok = !targets.empty();
+  for (const auto& r : resps) {
+    if (!r.has_value() || !r->ok) all_ok = false;
+  }
+  if (all_ok && safe > sealed_pub_) sealed_pub_ = safe;
+  seal_inflight_ = false;
+}
+
+sim::Task<void> TccPartition::backfill_one(net::Address follower) {
+  TccBackfillReq req;
+  req.safe = safe_time();
+  req.seq_high = repl_seq_;
+  req.resolved.reserve(resolved_order_.size());
+  for (TxnId t : resolved_order_) {
+    if (auto it = resolved_.find(t); it != resolved_.end()) {
+      req.resolved.push_back(ResolvedTxn{t, it->second});
+    }
+  }
+  const auto snap = store_.snapshot_chains();
+  req.chains.reserve(snap.size());
+  for (const auto& [key, versions] : snap) {
+    MigratedChain c;
+    c.key = key;
+    c.versions.reserve(versions.size());
+    for (const auto& v : versions) {
+      c.versions.push_back(MigratedVersion{v.value, v.ts});
+    }
+    req.chains.push_back(std::move(c));
+  }
+  const uint64_t sent_seq_high = req.seq_high;
+  const auto r = co_await rpc_.call_with_retry<TccBackfillResp>(
+      follower, kTccBackfill, std::move(req), net::commit_retry_policy());
+  backfill_inflight_.erase(follower);
+  if (!r.has_value() || !r->ok) co_return;  // retried on a later beat
+  if (repl_seq_ != sent_seq_high) {
+    // Commits landed while the parcel was in flight; their frames went to
+    // this follower only best-effort.  Stay behind and re-sync again — the
+    // next parcel is a delta-sized copy of a mostly warm store.
+    co_return;
+  }
+  auto it =
+      std::find(followers_behind_.begin(), followers_behind_.end(), follower);
+  if (it != followers_behind_.end()) followers_behind_.erase(it);
+  if (std::find(followers_.begin(), followers_.end(), follower) ==
+      followers_.end()) {
+    followers_.push_back(follower);
+  }
+}
+
+void TccPartition::apply_repl_frame(const TccReplInstallReq& q) {
+  clock_.update(q.commit_ts, physical_now_us());
+  for (const auto& kv : q.writes) {
+    // No oracle->on_install: the leader recorded these installs when it
+    // applied them; re-recording would false-flag duplicates (the
+    // migrate-in precedent).
+    store_.install(kv.key, kv.value, q.commit_ts);
+  }
+  if (q.commit_ts > repl_floor_) repl_floor_ = q.commit_ts;
+  // Mirror the leader's dedup window so a promoted follower answers
+  // coordinator commit retries exactly as the dead leader would have.
+  remember_resolved(q.txn, q.commit_ts);
+  counters_.repl_installs.inc();
+}
+
+sim::Task<Buffer> TccPartition::on_repl_install(Buffer req, net::Address) {
+  auto q = decode_message<TccReplInstallReq>(req);
+  rpc_.recycle(std::move(req));
+  co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  TccReplInstallResp resp;
+  // At-most-once apply: a duplicated or re-sent frame (network dup, or the
+  // best-effort stream overlapping a backfill) is acked without touching
+  // the store.  Install and resolve are idempotent anyway; the seq window
+  // keeps the counters honest.
+  if (q.seq <= repl_applied_seq_ || repl_sparse_.count(q.seq) != 0) {
+    counters_.repl_dup_frames.inc();
+    co_return rpc_.encode(resp);
+  }
+  apply_repl_frame(q);
+  if (q.seq == repl_applied_seq_ + 1) {
+    ++repl_applied_seq_;
+    auto it = repl_sparse_.begin();
+    while (it != repl_sparse_.end() && *it == repl_applied_seq_ + 1) {
+      ++repl_applied_seq_;
+      it = repl_sparse_.erase(it);
+    }
+  } else {
+    repl_sparse_.insert(q.seq);
+  }
+  co_return rpc_.encode(resp);
+}
+
+sim::Task<Buffer> TccPartition::on_repl_seal(Buffer req, net::Address from) {
+  auto q = decode_message<TccReplSealReq>(req);
+  rpc_.recycle(std::move(req));
+  co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  last_lease_beat_ = rpc_.now();
+  leader_addr_ = from;
+  lag_grace_used_ = false;
+  if (q.seq_high > leader_seq_high_) leader_seq_high_ = q.seq_high;
+  TccReplSealResp resp;
+  resp.applied_seq = repl_applied_seq_;
+  resp.ok = repl_applied_seq_ >= q.seq_high;
+  if (resp.ok && q.safe > sealed_safe_) {
+    sealed_safe_ = q.safe;
+    counters_.repl_seals.inc();
+  }
+  co_return rpc_.encode(resp);
+}
+
+sim::Task<Buffer> TccPartition::on_backfill(Buffer req, net::Address from) {
+  auto q = decode_message<TccBackfillReq>(req);
+  rpc_.recycle(std::move(req));
+  co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  last_lease_beat_ = rpc_.now();
+  leader_addr_ = from;
+  lag_grace_used_ = false;
+  for (const auto& chain : q.chains) {
+    std::vector<MvStore::Version> versions;
+    versions.reserve(chain.versions.size());
+    for (const auto& v : chain.versions) {
+      clock_.update(v.ts, physical_now_us());
+      if (v.ts > repl_floor_) repl_floor_ = v.ts;
+      versions.push_back(MvStore::Version{v.value, v.ts});
+    }
+    // Idempotent per (key, ts): a duplicated backfill grows no twins.
+    store_.migrate_in(chain.key, versions);
+  }
+  for (const auto& t : q.resolved) remember_resolved(t.txn, t.ts);
+  if (q.seq_high > repl_applied_seq_) repl_applied_seq_ = q.seq_high;
+  while (!repl_sparse_.empty() &&
+         *repl_sparse_.begin() <= repl_applied_seq_) {
+    repl_sparse_.erase(repl_sparse_.begin());
+  }
+  auto it = repl_sparse_.begin();
+  while (it != repl_sparse_.end() && *it == repl_applied_seq_ + 1) {
+    ++repl_applied_seq_;
+    it = repl_sparse_.erase(it);
+  }
+  clock_.update(q.safe, physical_now_us());
+  if (q.safe > sealed_safe_) sealed_safe_ = q.safe;
+  counters_.repl_backfills.inc();
+  TccBackfillResp resp;
+  co_return rpc_.encode(resp);
+}
+
+sim::Task<void> TccPartition::lease_loop() {
+  Duration beat = params_.repl_lease_timeout / 4;
+  if (beat <= 0) beat = milliseconds(1);
+  for (;;) {
+    co_await sim::sleep_for(rpc_.loop(), beat);
+    if (repl_role_ != ReplRole::kFollower) co_return;  // promoted
+    if (rpc_.now() - last_lease_beat_ < params_.repl_lease_timeout) continue;
+    if (topo_service_ == 0 || table_ == nullptr) continue;
+    if (repl_applied_seq_ < leader_seq_high_ && !lag_grace_used_) {
+      // We know we are missing frames.  Give an in-flight backfill — or a
+      // caught-up sibling's bid — one grace period before bidding anyway
+      // (a lagging promotion is still better than an abandoned slot).
+      lag_grace_used_ = true;
+      last_lease_beat_ = rpc_.now();
+      continue;
+    }
+    const routing::TopoPromoteReq bid{
+        id_, static_cast<routing::PartitionAddress>(rpc_.address()),
+        table_->epoch};
+    auto resp = co_await rpc_.call_raw_retry(topo_service_,
+                                             routing::kTopoPromote,
+                                             rpc_.encode(bid),
+                                             net::routing_refresh_policy());
+    if (resp.has_value()) {
+      auto t = decode_message<routing::RoutingTable>(*resp);
+      rpc_.recycle(std::move(*resp));
+      set_routing(routing::make_table(std::move(t)));
+    }
+    if (repl_role_ != ReplRole::kFollower) co_return;  // we won
+    // Lost the race (or the bid was stale): the adopted table names the
+    // current leader; treat the decision itself as a lease renewal.
+    if (table_ != nullptr && id_ < table_->partitions.size()) {
+      leader_addr_ = table_->partitions[id_];
+    }
+    last_lease_beat_ = rpc_.now();
+    lag_grace_used_ = false;
+  }
+}
+
+void TccPartition::promote_self() {
+  if (repl_role_ != ReplRole::kFollower) return;
+  repl_role_ = ReplRole::kLeader;
+  counters_.promotions.inc();
+  // Handoff floor: the dead leader only ever published safe times it had
+  // sealed here first, so every promise it issued is <= sealed_safe_ —
+  // exactly the elastic scale-out argument with the seal standing in for
+  // the migrate-out's explicit sealing step.
+  if (sealed_safe_ > handoff_floor_) handoff_floor_ = sealed_safe_;
+  // Never mint a commit at or below anything sealed or replicated here.
+  clock_.update(std::max(sealed_safe_, repl_floor_), physical_now_us());
+  // Conservative broadcaster/listener re-sync: every surviving sibling
+  // re-syncs from our chain head before rejoining the seal quorum (we
+  // cannot know which of the dead leader's frames they saw).
+  followers_.clear();
+  followers_behind_.clear();
+  if (table_ != nullptr) {
+    for (routing::PartitionAddress f : table_->replicas_of(id_)) {
+      if (f != rpc_.address()) followers_behind_.push_back(f);
+    }
+  }
+  // Sound: the dead leader never published past what EVERY caught-up
+  // follower sealed, and we sealed everything we report here.
+  sealed_pub_ = sealed_safe_;
+  if (leader_seq_high_ > repl_seq_) repl_seq_ = leader_seq_high_;
+  if (repl_applied_seq_ > repl_seq_) repl_seq_ = repl_applied_seq_;
+  if (oracle_ != nullptr) {
+    std::vector<std::pair<Key, Timestamp>> surviving;
+    for (const auto& [key, chain] : store_.snapshot_chains()) {
+      for (const auto& v : chain) surviving.emplace_back(key, v.ts);
+    }
+    oracle_->on_failover(id_, surviving);
+  }
+  if (metrics_ != nullptr) metrics_->counter("repl.promotions").inc();
+  activate();
 }
 
 sim::Task<void> TccPartition::gc_loop() {

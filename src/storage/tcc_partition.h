@@ -64,6 +64,11 @@ struct TccPartitionParams {
   // Entries only matter within the coordinator's retry horizon, so the
   // default is generous; tests shrink it to force eviction races.
   size_t resolved_cap = 1 << 16;
+  // Replication (replication_factor > 0 only): a follower that has not
+  // received a seal beat from its leader for this long presumes the leader
+  // dead and bids for promotion.  Must comfortably exceed the gossip
+  // period (seals piggyback the gossip beat) plus a loss burst.
+  Duration repl_lease_timeout = milliseconds(60);
   // Chaos knobs (tests/fuzzer only): each re-enables one historical bug so
   // the consistency oracle can demonstrate it catches the violation.
   // Answer ok=true for a commit retry of an expired/aborted txn without
@@ -114,6 +119,24 @@ class TccPartition {
   bool serving() const { return serving_; }
   routing::TablePtr routing_table() const { return table_; }
 
+  // ---- Per-slot replication (leader + k followers) ------------------------
+
+  // Leader side: the follower addresses of this slot.  All start caught-up
+  // (the cluster preloads follower stores alongside the leader's).  A
+  // follower whose replication stream the leader cannot keep flowing is
+  // moved to the "behind" set — excluded from the seal quorum and
+  // backfilled from the chain head on a later beat.
+  void set_followers(std::vector<net::Address> followers);
+  // Follower side: construct -> make_follower(leader) -> start_follower().
+  // A follower parks client traffic (it is not in the routing table) and
+  // runs only the lease loop until promoted.
+  void make_follower(net::Address leader);
+  void start_follower();
+  bool is_follower() const { return repl_role_ == ReplRole::kFollower; }
+  // Follower's replication progress (tests / cluster preload).
+  Timestamp sealed_safe() const { return sealed_safe_; }
+  uint64_t repl_applied_seq() const { return repl_applied_seq_; }
+
   net::Address address() const { return rpc_.address(); }
   PartitionId id() const { return id_; }
   Timestamp stable_time() const { return stabilizer_.stable_time(); }
@@ -155,6 +178,13 @@ class TccPartition {
     Counter handoff_parked;
     Counter keys_migrated_in;
     Counter keys_migrated_out;
+    // Replication: install frames applied / deduplicated at a follower,
+    // seal beats sealed, backfills applied, and promotions won.
+    Counter repl_installs;
+    Counter repl_dup_frames;
+    Counter repl_seals;
+    Counter repl_backfills;
+    Counter promotions;
   };
   const Counters& counters() const { return counters_; }
 
@@ -182,11 +212,45 @@ class TccPartition {
   sim::Task<Buffer> on_migrate_out(Buffer req, net::Address from);
   sim::Task<Buffer> on_migrate_in(Buffer req, net::Address from);
 
+  // Replication handlers (follower side) and leader-side drivers.
+  sim::Task<Buffer> on_repl_install(Buffer req, net::Address from);
+  sim::Task<Buffer> on_repl_seal(Buffer req, net::Address from);
+  sim::Task<Buffer> on_backfill(Buffer req, net::Address from);
+  void apply_repl_frame(const TccReplInstallReq& q);
+  sim::Task<bool> repl_send_one(net::Address follower, TccReplInstallReq frame);
+  sim::Task<void> repl_send_quiet(net::Address follower,
+                                  TccReplInstallReq frame);
+  sim::Task<void> replicate_commit(TxnId txn, Timestamp commit_ts,
+                                   std::vector<KeyValue> writes);
+  sim::Task<void> seal_round(Timestamp safe, uint64_t seq_high);
+  sim::Task<void> backfill_one(net::Address follower);
+  sim::Task<void> lease_loop();
+  void promote_self();
+  // The safe time this partition publishes into the stabilizer.  Solo:
+  // safe_time() verbatim.  Replicated leader: the newest safe sealed at
+  // every caught-up follower — publishing a delayed safe is always sound
+  // (safe times are monotone), and it is what keeps promises derived from
+  // the stable time inside a promoted follower's handoff floor.
+  Timestamp published_safe();
+
   // True when the current routing table assigns `k` here (or no table is
   // installed — the static pre-elastic world).  Handlers re-check after
   // every CPU sleep: a chain can be handed away while a handler sleeps.
+  // The address check keeps a deposed leader — crashed, then revived after
+  // a failover promoted its follower — from serving chains it no longer
+  // owns: the slot still maps to its partition id, but to the promoted
+  // follower's address.
   bool owns(Key k) const {
-    return table_ == nullptr || table_->partition_of(k) == id_;
+    return table_ == nullptr ||
+           (table_->partition_of(k) == id_ &&
+            table_->partitions[id_] == rpc_.address());
+  }
+  // Whether this node is the address the table names for its own slot.  A
+  // revived deposed leader fails this and must keep its gossip and push
+  // streams quiet — the promoted follower owns those channels now.
+  bool is_current_leader() const {
+    return table_ == nullptr || id_ >= table_->partitions.size() ||
+           table_->partitions[id_] == rpc_.address();
   }
   sim::Task<void> parked();
   void release_parked();
@@ -270,6 +334,27 @@ class TccPartition {
   // the first attempt, so a retried request must get the original parcel.
   std::map<std::pair<uint32_t, PartitionId>, TccMigrateOutResp>
       migrate_out_cache_;
+
+  // ---- Replication state --------------------------------------------------
+  enum class ReplRole { kSolo, kLeader, kFollower };
+  ReplRole repl_role_ = ReplRole::kSolo;
+  // Leader: followers in the seal quorum, and followers that fell behind
+  // (stream retry exhausted) awaiting a backfill.
+  std::vector<net::Address> followers_;
+  std::vector<net::Address> followers_behind_;
+  std::set<net::Address> backfill_inflight_;
+  uint64_t repl_seq_ = 0;                     // newest assigned stream seq
+  Timestamp sealed_pub_ = Timestamp::min();   // newest safe sealed everywhere
+  bool seal_inflight_ = false;
+  // Follower: replication stream state and leader lease.
+  net::Address leader_addr_ = 0;
+  uint64_t repl_applied_seq_ = 0;             // contiguous stream high-water
+  std::set<uint64_t> repl_sparse_;            // applied seqs above high-water
+  uint64_t leader_seq_high_ = 0;              // leader's advertised seq high
+  Timestamp sealed_safe_ = Timestamp::min();  // newest sealed safe
+  Timestamp repl_floor_ = Timestamp::min();   // max replicated install ts
+  SimTime last_lease_beat_ = 0;
+  bool lag_grace_used_ = false;
 
   Counters counters_;
 };

@@ -202,6 +202,87 @@ TEST(MessageRoundTrip, StabilizationTreeMessages) {
   EXPECT_EQ(dd.stable, down.stable);
 }
 
+TEST(MessageRoundTrip, ReplicationFrames) {
+  Rng rng(11);
+  for (int i = 0; i < 30; ++i) {
+    storage::TccReplInstallReq inst;
+    inst.txn = rng.next_u64();
+    inst.commit_ts = random_ts(rng);
+    inst.seq = rng.next_u64();
+    for (size_t j = 0; j < rng.next_below(4); ++j) {
+      inst.writes.push_back(
+          storage::KeyValue{rng.next_u64(), random_value(rng)});
+    }
+    check_wire_size(inst);
+    const auto di =
+        decode_message<storage::TccReplInstallReq>(encode_message(inst));
+    EXPECT_EQ(di.txn, inst.txn);
+    EXPECT_EQ(di.commit_ts, inst.commit_ts);
+    EXPECT_EQ(di.seq, inst.seq);
+    ASSERT_EQ(di.writes.size(), inst.writes.size());
+    for (size_t j = 0; j < inst.writes.size(); ++j) {
+      EXPECT_EQ(di.writes[j].key, inst.writes[j].key);
+      EXPECT_EQ(di.writes[j].value, inst.writes[j].value);
+    }
+
+    storage::TccReplSealReq seal{random_ts(rng), rng.next_u64()};
+    check_wire_size(seal);
+    const auto ds =
+        decode_message<storage::TccReplSealReq>(encode_message(seal));
+    EXPECT_EQ(ds.safe, seal.safe);
+    EXPECT_EQ(ds.seq_high, seal.seq_high);
+
+    storage::TccReplSealResp sealr{rng.next_bool(0.5), rng.next_u64()};
+    check_wire_size(sealr);
+    const auto dsr =
+        decode_message<storage::TccReplSealResp>(encode_message(sealr));
+    EXPECT_EQ(dsr.ok, sealr.ok);
+    EXPECT_EQ(dsr.applied_seq, sealr.applied_seq);
+  }
+  check_wire_size(storage::TccReplInstallResp{false});
+  check_wire_size(storage::TccBackfillResp{true});
+}
+
+TEST(MessageRoundTrip, BackfillCarriesChainsAndResolvedWindow) {
+  Rng rng(12);
+  storage::TccBackfillReq q;
+  q.safe = random_ts(rng);
+  q.seq_high = rng.next_u64();
+  for (int i = 0; i < 5; ++i) {
+    q.resolved.push_back(storage::ResolvedTxn{rng.next_u64(), random_ts(rng)});
+    check_wire_size(q.resolved.back());
+  }
+  for (int i = 0; i < 3; ++i) {
+    storage::MigratedChain c;
+    c.key = rng.next_u64();
+    for (size_t j = 0; j < rng.next_below(4); ++j) {
+      c.versions.push_back(
+          storage::MigratedVersion{random_value(rng), random_ts(rng)});
+    }
+    q.chains.push_back(std::move(c));
+  }
+  check_wire_size(q);
+  const auto d = decode_message<storage::TccBackfillReq>(encode_message(q));
+  EXPECT_EQ(d.safe, q.safe);
+  EXPECT_EQ(d.seq_high, q.seq_high);
+  ASSERT_EQ(d.resolved.size(), q.resolved.size());
+  for (size_t i = 0; i < q.resolved.size(); ++i) {
+    EXPECT_EQ(d.resolved[i].txn, q.resolved[i].txn);
+    EXPECT_EQ(d.resolved[i].ts, q.resolved[i].ts);
+  }
+  ASSERT_EQ(d.chains.size(), q.chains.size());
+  for (size_t i = 0; i < q.chains.size(); ++i) {
+    EXPECT_EQ(d.chains[i].key, q.chains[i].key);
+    ASSERT_EQ(d.chains[i].versions.size(), q.chains[i].versions.size());
+    for (size_t j = 0; j < q.chains[i].versions.size(); ++j) {
+      EXPECT_EQ(d.chains[i].versions[j].value, q.chains[i].versions[j].value);
+      EXPECT_EQ(d.chains[i].versions[j].ts, q.chains[i].versions[j].ts);
+    }
+  }
+  // An empty backfill (fresh follower of an empty slot) still frames.
+  check_wire_size(storage::TccBackfillReq{});
+}
+
 TEST(MessageRoundTrip, CoalescedPushBatch) {
   Rng rng(7);
   storage::PushBatchMsg b;

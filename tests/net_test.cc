@@ -333,6 +333,37 @@ TEST(FaultInjection, CrashWindowSeversEndpointBothWays) {
   EXPECT_EQ(net.faults_crash_dropped(), 2u);
 }
 
+TEST(FaultInjection, MidRunCrashWindowTakesEffectWithoutSetFaults) {
+  // Regression: add_crash_window on a network whose fault layer was never
+  // armed used to append a dead window — faults_enabled_ stayed false, so
+  // send/deliver never consulted the crash schedule and the "crashed"
+  // endpoint kept receiving.  The fix arms the layer, but must not touch
+  // the default RPC timeout: a crash severs one endpoint, it does not opt
+  // every call into timeouts.
+  sim::EventLoop loop;
+  Network net(loop, no_jitter(), Rng(1));
+  int at_2 = 0;
+  net.register_endpoint(2, [&](Message) { ++at_2; });
+  // Window added mid-run, deterministically at 1 ms.
+  loop.schedule_at(milliseconds(1), [&] {
+    net.add_crash_window(CrashWindow{2, milliseconds(1), milliseconds(2)});
+  });
+  const auto send_to_2 = [&] {
+    Message m;
+    m.from = 3;
+    m.to = 2;
+    net.send(std::move(m));
+  };
+  loop.schedule_at(0, send_to_2);                    // before: delivered
+  loop.schedule_at(milliseconds(1) + 100, send_to_2);  // inside: dropped
+  loop.schedule_at(milliseconds(3), send_to_2);      // after: delivered
+  loop.run();
+  EXPECT_TRUE(net.faults_enabled());
+  EXPECT_EQ(net.default_rpc_timeout(), 0);
+  EXPECT_EQ(at_2, 2);
+  EXPECT_EQ(net.faults_crash_dropped(), 1u);
+}
+
 TEST(FaultInjection, PerLinkLossOverrideIsDirectional) {
   sim::EventLoop loop;
   Network net(loop, no_jitter(), Rng(1));

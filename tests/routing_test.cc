@@ -3,6 +3,8 @@
 // and the wire codec.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstring>
 #include <map>
 
 #include "routing/routing_table.h"
@@ -100,6 +102,58 @@ TEST(RoutingTable, CodecRoundTripsAndSizeHintIsExact) {
   EXPECT_EQ(d.epoch, t.epoch);
   EXPECT_EQ(d.partitions, t.partitions);
   EXPECT_EQ(d.slot_owner, t.slot_owner);
+}
+
+TEST(RoutingTable, ReplicaCodecIsTrailingOptionalAndRoundTrips) {
+  RoutingTable plain = RoutingTable::initial(addrs(4));
+  BufWriter w0;
+  plain.encode(w0);
+  const Buffer b0 = w0.take();
+  EXPECT_EQ(b0.size(), plain.size_hint());
+
+  RoutingTable t = plain;
+  t.replicas = {{6000, 6001}, {6004}, {}, {6012}};
+  BufWriter w;
+  t.encode(w);
+  const Buffer b = w.take();
+  EXPECT_EQ(b.size(), t.size_hint());
+  // The replicated encoding is a strict extension: the unreplicated prefix
+  // is byte-identical, so pre-replication decoders and checksums are
+  // unaffected by tables that never carry replicas.
+  ASSERT_GT(b.size(), b0.size());
+  EXPECT_EQ(std::memcmp(b.data(), b0.data(), b0.size()), 0);
+
+  BufReader r(b);
+  const RoutingTable d = RoutingTable::decode(r);
+  EXPECT_TRUE(d.replicated());
+  EXPECT_EQ(d.replicas, t.replicas);
+  EXPECT_EQ(d.replicas_of(0),
+            (std::vector<PartitionAddress>{6000, 6001}));
+  EXPECT_TRUE(d.replicas_of(2).empty());
+  EXPECT_TRUE(d.replicas_of(99).empty());  // out of range -> no chain
+
+  BufReader r0(b0);
+  EXPECT_FALSE(RoutingTable::decode(r0).replicated());
+}
+
+TEST(RoutingTable, WithLeaderReplacedPromotesAndRetiresDeadLeader) {
+  RoutingTable t = RoutingTable::initial(addrs(3));
+  t.replicas = {{6000, 6001}, {6004, 6005}, {6008}};
+  const PartitionAddress dead = t.partitions[1];
+  const RoutingTable n = t.with_leader_replaced(1, 6004);
+  EXPECT_EQ(n.epoch, t.epoch + 1);
+  EXPECT_EQ(n.partitions[1], 6004u);
+  // The candidate left the chain; the dead leader is NOT re-added — a
+  // revived endpoint rejoins only via backfill plus a future table.
+  EXPECT_EQ(n.replicas[1], (std::vector<PartitionAddress>{6005}));
+  for (const auto& reps : n.replicas) {
+    EXPECT_EQ(std::count(reps.begin(), reps.end(), dead), 0);
+  }
+  // A promotion changes the slot's address, never its owner id: every key
+  // still maps to the same partition id.
+  EXPECT_EQ(n.slot_owner, t.slot_owner);
+  EXPECT_EQ(n.replicas[0], t.replicas[0]);
+  EXPECT_EQ(n.replicas[2], t.replicas[2]);
 }
 
 }  // namespace

@@ -102,6 +102,18 @@ TEST(RunSpec, NonDefaultFieldsSurviveTheRoundTrip) {
   EXPECT_EQ(to_json(back), to_json(spec));
 }
 
+TEST(RunSpec, ReplicationGroupRoundTrips) {
+  RunSpec spec;
+  spec.params.replication.factor = 2;
+  spec.params.replication.lease_timeout = milliseconds(45);
+  const RunSpec back = spec_from_text(to_json(spec));
+  EXPECT_EQ(back.params.replication.factor, 2u);
+  EXPECT_EQ(back.params.replication.lease_timeout, milliseconds(45));
+  EXPECT_EQ(to_json(back), to_json(spec));
+  EXPECT_THROW(spec_from_text(R"({"replication": {"factro": 1}})"),
+               SpecError);
+}
+
 TEST(RunSpec, InfCapacityRoundTrips) {
   RunSpec spec;
   spec.params.cache_capacity = SIZE_MAX;

@@ -277,6 +277,8 @@ TEST(StabilizerTree, StaleMembershipReportsAreDroppedAndCounted) {
   // In-flight fold over the old membership: omits members 5 and 6.
   EXPECT_FALSE(s.on_child_report(1, 5, ts(90)));
   EXPECT_EQ(s.stale_drops(), 1u);
+  EXPECT_EQ(s.drops(Stabilizer::DropReason::kStaleReportTag), 1u);
+  EXPECT_EQ(s.last_drop_reason(), Stabilizer::DropReason::kStaleReportTag);
   // The barrier re-armed: the pre-bump report no longer counts.
   s.on_gossip(0, ts(100));
   EXPECT_EQ(s.fold_subtree_min(ts(100)), Timestamp::min());
@@ -285,6 +287,12 @@ TEST(StabilizerTree, StaleMembershipReportsAreDroppedAndCounted) {
   // Broadcasts are tag-checked the same way.
   EXPECT_FALSE(s.on_stable_broadcast(5, ts(90)));
   EXPECT_EQ(s.stale_drops(), 2u);
+  EXPECT_EQ(s.drops(Stabilizer::DropReason::kStaleBroadcastTag), 1u);
+  // A report from outside this node's fanout is its own reason.
+  EXPECT_FALSE(s.on_child_report(4, 7, ts(95)));
+  EXPECT_EQ(s.drops(Stabilizer::DropReason::kForeignChild), 1u);
+  EXPECT_EQ(s.last_drop_reason(), Stabilizer::DropReason::kForeignChild);
+  EXPECT_EQ(s.stale_drops(), 3u);
 }
 
 TEST(StabilizerTree, LargerTagAdoptsMembershipBeforeAccepting) {

@@ -280,6 +280,8 @@ TEST(Stabilizer, GossipBeyondMembershipIsCountedNotIgnored) {
   // bump: dropped, but observably (fix for the silent-ignore behaviour).
   EXPECT_FALSE(s.on_gossip(5, ts(40)));
   EXPECT_EQ(s.stale_drops(), 1u);
+  EXPECT_EQ(s.drops(Stabilizer::DropReason::kUnknownMember), 1u);
+  EXPECT_EQ(s.last_drop_reason(), Stabilizer::DropReason::kUnknownMember);
   EXPECT_EQ(s.stable_time(), ts(20));
   // After the membership catches up the same sender is accepted.
   s.extend_membership(6);

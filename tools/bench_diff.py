@@ -23,13 +23,17 @@ hard-won baseline speedups from silently rotting.
 
 Sweep artifacts additionally accept per-cell maintenance-message ceilings:
 
-    bench_diff.py --check SWEEP.json --max-cell-messages tree/p512=9000000
+    bench_diff.py --check SWEEP.json \
+        --max-cell-messages -/tree4@20ms/p512/z1.40=800000
 
-Every cell whose label (`{config}/p{partitions}/z{zipf:.2f}`) contains the
-given substring must average at most CEILING network messages per run; a
-substring matching no cell fails too (a gate that checks nothing is a
-misconfigured gate).  CI uses this to keep the aggregation-tree topology's
-O(P)-per-round gossip from regressing back toward the mesh's O(P²).
+The label must equal a cell's full label
+(`{config}[/{stab}]/p{partitions}/z{zipf:.2f}`) exactly, and that cell
+must average at most CEILING network messages per run.  A label matching
+no cell fails and lists the cells present in the file: substring matching
+was dropped because an ambiguous label silently gated whichever cells
+happened to contain it.  CI uses this to keep the aggregation-tree
+topology's O(P)-per-round gossip from regressing back toward the mesh's
+O(P²).
 
 The wallclock bench runs a deterministic simulation, so `sim_events`,
 `messages` and `committed` act as schedule checksums: if they differ
@@ -86,9 +90,11 @@ SWEEP_RUN_KEYS = {
 
 # Optional: present in artifacts written since the stabilization-topology
 # cell dimension landed (keeps topology × gossip-period sweep cells
-# distinct); absent in older files.
+# distinct) and, for stale_drops, since cells began carrying the
+# membership-drop sum; absent in older files.
 OPTIONAL_SWEEP_CELL_KEYS = {
     "stab": str,
+    "stale_drops": int,
 }
 
 SWEEP_CELL_KEYS = {
@@ -283,21 +289,26 @@ def cell_label(cell):
 
 
 def enforce_cell_ceilings(doc, path, ceilings):
-    """Fail if any matching sweep cell averages more messages per run than
-    its ceiling (or if a ceiling matches no cell at all)."""
+    """Fail if any named sweep cell averages more messages per run than its
+    ceiling (or if a label names no cell).  Labels match exactly: substring
+    matching silently gated whichever cells happened to contain the label."""
+    cells = {cell_label(c): c for c in doc.get("cells", [])}
     failures = []
-    for substr, ceiling in ceilings.items():
-        matched = [c for c in doc.get("cells", []) if substr in cell_label(c)]
-        if not matched:
-            failures.append(f"{substr!r}: matches no cell")
+    for label, ceiling in ceilings.items():
+        cell = cells.get(label)
+        if cell is None:
+            known = "\n    ".join(sorted(cells))
+            failures.append(
+                f"{label!r} matches no cell exactly; cells in this file:"
+                f"\n    {known}"
+            )
             continue
-        for cell in matched:
-            per_run = cell["messages"] / max(cell["runs"], 1)
-            if per_run > ceiling:
-                failures.append(
-                    f"{cell_label(cell)}: {per_run:.0f} messages/run "
-                    f"> ceiling {ceiling:.0f}"
-                )
+        per_run = cell["messages"] / max(cell["runs"], 1)
+        if per_run > ceiling:
+            failures.append(
+                f"{label}: {per_run:.0f} messages/run "
+                f"> ceiling {ceiling:.0f}"
+            )
     if failures:
         fail(
             f"{path}: maintenance-message ceiling violated:\n  "

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Gate-semantics test for bench_diff.py --max-cell-messages.
+
+Regression: the ceiling label used to substring-match cell labels, so an
+ambiguous label silently gated whichever cells happened to contain it.
+Matching is now exact-or-error; this test pins that down against the
+committed BENCH_gossip.json artifact.
+
+Usage: bench_diff_test.py path/to/bench_diff.py path/to/BENCH_gossip.json
+"""
+
+import subprocess
+import sys
+
+BENCH_DIFF, ARTIFACT = sys.argv[1], sys.argv[2]
+
+EXACT = "-/tree4@20ms/p512/z1.40"
+
+
+def run(*extra):
+    return subprocess.run(
+        [sys.executable, BENCH_DIFF, "--check", ARTIFACT, *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+def expect(cond, r, what):
+    if not cond:
+        print(f"FAIL: {what}\nstdout:\n{r.stdout}\nstderr:\n{r.stderr}")
+        sys.exit(1)
+
+
+# Exact label with the committed ceiling: passes.
+r = run("--max-cell-messages", f"{EXACT}=800000")
+expect(r.returncode == 0, r, "exact label under ceiling should pass")
+
+# Exact label with a ceiling below the measured traffic: fails.
+r = run("--max-cell-messages", f"{EXACT}=1000")
+expect(r.returncode != 0, r, "exact label over ceiling should fail")
+expect("messages/run > ceiling" in r.stderr, r, "failure names the overage")
+
+# The pre-fix substring form is rejected and the error lists the cells
+# actually present, so a misconfigured gate is loud, not silently wrong.
+r = run("--max-cell-messages", "tree4@20ms/p512=800000")
+expect(r.returncode != 0, r, "substring label should be rejected")
+expect("matches no cell exactly" in r.stderr, r, "error says exact-match")
+expect(EXACT in r.stderr, r, "error lists candidate cell labels")
+
+print("bench_diff_test: ok")

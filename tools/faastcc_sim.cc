@@ -134,6 +134,10 @@ int main(int argc, char** argv) {
                     &p.elastic.at);
   flags.size("elastic-slots", "routing slots per partition",
              &p.elastic.slots_per_partition);
+  flags.size("replication-factor", "synchronous followers per partition",
+             &p.replication.factor);
+  flags.duration_ms("repl-lease-ms", "follower promotion lease timeout",
+                    &p.replication.lease_timeout);
   flags.boolean("dump-spec", "print the canonical RunSpec JSON and exit",
                 &dump_spec);
   flags.boolean("list-configs", "list named configs and exit",
@@ -253,6 +257,22 @@ int main(int argc, char** argv) {
           static_cast<unsigned long long>(msgs != nullptr ? msgs->value()
                                                           : 0),
           s.stab_stale_drops, s.stab_lag_med_us, s.stab_lag_p99_us);
+      if (s.stab_stale_drops > 0) {
+        // Per-reason split, emitted only when something was dropped.
+        std::printf(
+            ",\"stab_drops_unknown_member\":%.0f"
+            ",\"stab_drops_stale_report\":%.0f"
+            ",\"stab_drops_foreign_child\":%.0f"
+            ",\"stab_drops_stale_broadcast\":%.0f",
+            s.stab_drops_unknown_member, s.stab_drops_stale_report,
+            s.stab_drops_foreign_child, s.stab_drops_stale_broadcast);
+      }
+    }
+    if (const Counter* promos = result.metrics.find_counter("repl.promotions");
+        promos != nullptr) {
+      // Appears only when a follower was actually promoted.
+      std::printf(",\"repl_promotions\":%llu",
+                  static_cast<unsigned long long>(promos->value()));
     }
     if (resolved.trace.enabled) {
       // Trace-derived keys only appear when tracing is on, so existing
@@ -299,8 +319,19 @@ int main(int argc, char** argv) {
                    fmt(s.stab_lag_med_us / 1000.0, 2) + " / " +
                        fmt(s.stab_lag_p99_us / 1000.0, 2) + " ms"});
     if (s.stab_stale_drops > 0) {
-      table.add_row({"stab stale drops", fmt(s.stab_stale_drops, 0)});
+      table.add_row(
+          {"stab stale drops (member/report/child/bcast)",
+           fmt(s.stab_stale_drops, 0) + " (" +
+               fmt(s.stab_drops_unknown_member, 0) + "/" +
+               fmt(s.stab_drops_stale_report, 0) + "/" +
+               fmt(s.stab_drops_foreign_child, 0) + "/" +
+               fmt(s.stab_drops_stale_broadcast, 0) + ")"});
     }
+  }
+  if (const Counter* promos = result.metrics.find_counter("repl.promotions");
+      promos != nullptr) {
+    table.add_row({"leader promotions",
+                   fmt(static_cast<double>(promos->value()), 0)});
   }
   if (resolved.trace.enabled) {
     table.add_row({"breakdown queue median", fmt(s.breakdown_queue_ms, 3) +
