@@ -84,7 +84,14 @@ void ConsistencyOracle::on_session_commit(uint64_t client_id,
 }
 
 void ConsistencyOracle::on_handoff(PartitionId partition, Timestamp floor) {
-  handoffs_.push_back(HandoffRec{partition, floor, installs_.size()});
+  handoffs_.push_back(HandoffRec{partition, floor, installs_.size(), {}});
+}
+
+void ConsistencyOracle::on_handoff(PartitionId partition, Timestamp floor,
+                                   std::vector<Key> keys) {
+  std::sort(keys.begin(), keys.end());
+  handoffs_.push_back(
+      HandoffRec{partition, floor, installs_.size(), std::move(keys)});
 }
 
 void ConsistencyOracle::on_failover(
@@ -384,6 +391,12 @@ std::vector<Violation> ConsistencyOracle::check() const {
     for (size_t i = h.installs_before; i < installs_.size(); ++i) {
       const InstallRec& rec = installs_[i];
       if (rec.partition != h.partition || rec.ts > h.floor) continue;
+      // A keyed handoff (scale-in survivor) scopes the floor to the
+      // migrated chains; pre-owned keys are allowed below it.
+      if (!h.keys.empty() &&
+          !std::binary_search(h.keys.begin(), h.keys.end(), rec.key)) {
+        continue;
+      }
       // Exact re-materialization of an install recorded before the
       // handoff: a coordinator retry re-applying, at a promoted follower,
       // a version the dead leader already installed.  The version existed

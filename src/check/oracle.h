@@ -105,6 +105,13 @@ class ConsistencyOracle {
   // that the joiner never installs a version at or below the floor —
   // every promise its sources issued for the migrated keys is <= floor.
   void on_handoff(PartitionId partition, Timestamp floor);
+  // Elastic scale-IN: like on_handoff, but the floor applies only to
+  // `keys` — the chains the survivor inherited from a drained partition.
+  // A survivor keeps serving its pre-owned keys through the transition, so
+  // a prepare assigned before the drain may legitimately commit one of
+  // them below the floor; only the migrated keys carry the guarantee.
+  void on_handoff(PartitionId partition, Timestamp floor,
+                  std::vector<Key> keys);
   // Replication failover: a follower of `partition` was promoted to leader
   // holding exactly `surviving` versions.  Every commit-acked write
   // previously installed at this partition (at its acked timestamp) must
@@ -171,6 +178,9 @@ class ConsistencyOracle {
     PartitionId partition;
     Timestamp floor;
     size_t installs_before;  // installs_ size at handoff; earlier ones exempt
+    // Sorted keys the floor is scoped to; empty = every key (joiner path,
+    // whose store was empty before the handoff).
+    std::vector<Key> keys;
   };
 
   struct FailoverRec {

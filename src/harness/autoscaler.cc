@@ -1,0 +1,72 @@
+#include "harness/autoscaler.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace faastcc::harness {
+
+double Autoscaler::window_p99() {
+  const auto& raw = metrics_.dag_latency_ms.raw();
+  if (raw.size() <= window_start_) {
+    window_start_ = raw.size();
+    return -1.0;
+  }
+  Samples window;
+  for (size_t i = window_start_; i < raw.size(); ++i) window.add(raw[i]);
+  window_start_ = raw.size();
+  return window.p99();
+}
+
+sim::Task<void> Autoscaler::run() {
+  if (!params_.enabled()) co_return;
+  const size_t floor = params_.min_partitions > 0
+                           ? params_.min_partitions
+                           : engine_.active_partitions();
+  for (;;) {
+    co_await sim::sleep_for(loop_, params_.check_period);
+    // A transition in flight is itself a latency perturbation; sampling
+    // through it would double-trigger.
+    if (engine_.transition_in_flight()) continue;
+    const double p99 = window_p99();
+    if (p99 < 0) continue;  // no committed DAGs this window: no signal
+    if (params_.high_p99_ms > 0 && p99 > params_.high_p99_ms) {
+      ++high_streak_;
+      low_streak_ = 0;
+    } else if (params_.low_p99_ms > 0 && p99 < params_.low_p99_ms) {
+      ++low_streak_;
+      high_streak_ = 0;
+    } else {
+      high_streak_ = 0;
+      low_streak_ = 0;
+    }
+    if (loop_.now() < next_allowed_) continue;
+    const size_t active = engine_.active_partitions();
+    if (high_streak_ >= params_.breach_checks &&
+        active < params_.max_partitions) {
+      const size_t n = std::min(params_.step, params_.max_partitions - active);
+      LOG_INFO("autoscaler: p99 " << p99 << " ms breached "
+                                  << params_.high_p99_ms << " x"
+                                  << high_streak_ << "; scaling out +" << n);
+      co_await engine_.scale_out(addresses_(active, n));
+      ++scale_outs_;
+      metrics_.counter("autoscale.scale_outs").inc();
+      high_streak_ = 0;
+      low_streak_ = 0;
+      next_allowed_ = loop_.now() + params_.cooldown;
+    } else if (low_streak_ >= params_.breach_checks && active > floor) {
+      const size_t n = std::min(params_.step, active - floor);
+      LOG_INFO("autoscaler: p99 " << p99 << " ms under " << params_.low_p99_ms
+                                  << " x" << low_streak_ << "; scaling in -"
+                                  << n);
+      co_await engine_.scale_in(n);
+      ++scale_ins_;
+      metrics_.counter("autoscale.scale_ins").inc();
+      high_streak_ = 0;
+      low_streak_ = 0;
+      next_allowed_ = loop_.now() + params_.cooldown;
+    }
+  }
+}
+
+}  // namespace faastcc::harness

@@ -1,0 +1,78 @@
+// Metric-driven autoscaler: watches the committed-DAG latency stream and
+// drives the reconfiguration engine to grow or shrink the partition count
+// mid-run.
+//
+// Signal: the 99th percentile of dag.latency_ms over the samples that
+// arrived since the previous check (a tumbling window — the registry keeps
+// raw samples, so the window is an index range, not a copy of history).
+// Hysteresis: an action needs `breach_checks` CONSECUTIVE breaching
+// windows, and after any action the scaler holds off for `cooldown`
+// (handoffs themselves perturb latency; reacting to that echo would
+// oscillate).  A window with no committed DAGs carries no signal and
+// neither builds nor resets a streak.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/metrics.h"
+#include "routing/routing_table.h"
+#include "sim/future.h"
+#include "storage/reconfig.h"
+
+namespace faastcc::harness {
+
+struct AutoscaleParams {
+  size_t max_partitions = 0;  // ceiling; 0 disables the autoscaler
+  size_t min_partitions = 0;  // floor; 0 = the starting partition count
+  Duration check_period = milliseconds(100);
+  double high_p99_ms = 0.0;   // breach: windowed p99 above this (0 = never)
+  double low_p99_ms = 0.0;    // relief: windowed p99 below this (0 = never)
+  size_t breach_checks = 3;   // consecutive breaching windows before acting
+  Duration cooldown = milliseconds(500);
+  size_t step = 1;            // partitions added/removed per action
+  bool enabled() const { return max_partitions > 0; }
+};
+
+class Autoscaler {
+ public:
+  // `addresses(first_id, count)` supplies the partition addresses for a
+  // scale-out of `count` new partitions starting at id `first_id` — the
+  // harness owns the address scheme, not the scaler.
+  using AddressProvider =
+      std::function<std::vector<routing::PartitionAddress>(size_t, size_t)>;
+
+  Autoscaler(sim::EventLoop& loop, storage::ReconfigEngine& engine,
+             Metrics& metrics, AutoscaleParams params,
+             AddressProvider addresses)
+      : loop_(loop),
+        engine_(engine),
+        metrics_(metrics),
+        params_(params),
+        addresses_(std::move(addresses)) {}
+
+  // The control loop; spawn once after the cluster starts.
+  sim::Task<void> run();
+
+  uint64_t scale_outs() const { return scale_outs_; }
+  uint64_t scale_ins() const { return scale_ins_; }
+
+ private:
+  // p99 over samples since the last call; negative when the window is
+  // empty (no signal).
+  double window_p99();
+
+  sim::EventLoop& loop_;
+  storage::ReconfigEngine& engine_;
+  Metrics& metrics_;
+  AutoscaleParams params_;
+  AddressProvider addresses_;
+  size_t window_start_ = 0;
+  size_t high_streak_ = 0;
+  size_t low_streak_ = 0;
+  SimTime next_allowed_ = 0;
+  uint64_t scale_outs_ = 0;
+  uint64_t scale_ins_ = 0;
+};
+
+}  // namespace faastcc::harness

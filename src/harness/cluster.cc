@@ -74,9 +74,9 @@ Cluster::Cluster(ClusterParams params)
   if (params_.check_consistency && params_.system == SystemKind::kFaasTcc) {
     oracle_ = std::make_unique<check::ConsistencyOracle>();
   }
-  // Topology service + migration control endpoint (FaaSTCC only).
-  // Constructing them is pure endpoint registration — zero events, zero
-  // randomness — so non-elastic runs are unperturbed.
+  // Topology service (FaaSTCC only).  Constructing it is pure endpoint
+  // registration — zero events, zero randomness — so non-elastic runs are
+  // unperturbed.
   if (params_.system == SystemKind::kFaasTcc) {
     std::vector<routing::PartitionAddress> addrs;
     for (size_t p = 0; p < params_.partitions; ++p) {
@@ -95,11 +95,33 @@ Cluster::Cluster(ClusterParams params)
     }
     topo_ = std::make_unique<routing::TopologyService>(
         network_, kTopoAddr, routing::make_table(std::move(initial)));
-    ctl_rpc_ = std::make_unique<net::RpcNode>(network_, kCtlAddr);
+    topo_->set_metrics(&metrics_);
   }
   build_storage();
   build_compute();
   build_clients();
+  // The reconfiguration engine (and, on top of it, the autoscaler) exists
+  // only when some transition can actually happen.  Construction is pure
+  // state — one endpoint registration, no events, no randomness.
+  if (params_.system == SystemKind::kFaasTcc &&
+      (params_.elastic.enabled() || params_.autoscale.enabled())) {
+    reconfig_ = std::make_unique<storage::ReconfigEngine>(
+        network_, kCtlAddr, *topo_, &metrics_);
+    for (auto& p : tcc_partitions_) reconfig_->register_instance(p.get());
+    for (auto& f : tcc_followers_) reconfig_->register_follower(f.get());
+    if (params_.autoscale.enabled()) {
+      autoscaler_ = std::make_unique<Autoscaler>(
+          loop_, *reconfig_, metrics_, params_.autoscale,
+          [](size_t first_id, size_t count) {
+            std::vector<routing::PartitionAddress> out;
+            for (size_t i = 0; i < count; ++i) {
+              out.push_back(kPartitionBase +
+                            static_cast<net::Address>(first_id + i));
+            }
+            return out;
+          });
+    }
+  }
 }
 
 Cluster::~Cluster() = default;
@@ -155,15 +177,28 @@ void Cluster::build_storage() {
       part.set_metrics(&metrics_);
       topo_->add_listener(part.address());
     }
-    // Deferred joiners: constructed only when a scale-out is scheduled, so
-    // the rng stream (clock-skew draws) of non-elastic runs is untouched.
-    if (params_.elastic.enabled()) {
+    // Deferred joiners: constructed only when something can scale OUT —
+    // a scheduled scale-out, or an autoscaler whose ceiling exceeds the
+    // starting count — so the rng stream (clock-skew draws) of runs that
+    // can only shrink is untouched.  Autoscale headroom is pre-built to
+    // the ceiling: ids the scaler never reaches stay inert (deferred
+    // serving, no events).
+    const size_t scheduled_add = params_.elastic.scale_out_scheduled()
+                                     ? params_.elastic.add_partitions
+                                     : 0;
+    const size_t autoscale_add =
+        params_.autoscale.enabled() &&
+                params_.autoscale.max_partitions > params_.partitions
+            ? params_.autoscale.max_partitions - params_.partitions
+            : 0;
+    const size_t extra_partitions = std::max(scheduled_add, autoscale_add);
+    if (extra_partitions > 0) {
       const size_t old_n = params_.partitions;
       std::vector<net::Address> all = topo.partitions;
-      for (size_t i = 0; i < params_.elastic.add_partitions; ++i) {
+      for (size_t i = 0; i < extra_partitions; ++i) {
         all.push_back(kPartitionBase + static_cast<net::Address>(old_n + i));
       }
-      for (size_t i = 0; i < params_.elastic.add_partitions; ++i) {
+      for (size_t i = 0; i < extra_partitions; ++i) {
         auto tcc_params = params_.tcc;
         if (params_.clock_skew_us > 0) {
           tcc_params.clock_offset_us =
@@ -376,8 +411,14 @@ void Cluster::start() {
   // Followers never serve clients; they only run the lease loop (their
   // replication handlers are live from construction).
   for (auto& f : tcc_followers_) f->start_follower();
-  if (params_.system == SystemKind::kFaasTcc && params_.elastic.enabled()) {
-    sim::spawn(run_scale_out());
+  if (reconfig_ != nullptr) {
+    if (params_.elastic.scale_out_scheduled()) {
+      sim::spawn(run_scheduled_scale_out());
+    }
+    if (params_.elastic.scale_in_scheduled()) {
+      sim::spawn(run_scheduled_scale_in());
+    }
+    if (autoscaler_ != nullptr) sim::spawn(autoscaler_->run());
   }
   for (auto& r : ev_replicas_) r->start();
   for (auto& n : nodes_) n->start();
@@ -484,93 +525,19 @@ RunResult Cluster::run() {
   return run_clients();
 }
 
-sim::Task<void> Cluster::run_scale_out() {
+sim::Task<void> Cluster::run_scheduled_scale_out() {
   co_await sim::sleep_for(loop_, params_.elastic.at);
-  const routing::TablePtr old_table = topo_->table();
-  const size_t old_n = old_table->num_partitions();
   std::vector<routing::PartitionAddress> added;
+  const size_t old_n = reconfig_->active_partitions();
   for (size_t i = 0; i < params_.elastic.add_partitions; ++i) {
     added.push_back(kPartitionBase + static_cast<net::Address>(old_n + i));
   }
-  auto next = routing::make_table(old_table->with_partitions_added(added));
+  co_await reconfig_->scale_out(std::move(added));
+}
 
-  // Which incumbents each joiner takes slots from, and how many slots move
-  // per (source, target) pair.  std::map keys give a deterministic handoff
-  // order.
-  std::map<PartitionId, std::set<PartitionId>> sources_of;
-  std::map<std::pair<PartitionId, PartitionId>, size_t> moved;
-  for (size_t s = 0; s < next->num_slots(); ++s) {
-    const PartitionId to = next->slot_owner[s];
-    const PartitionId from = old_table->slot_owner[s];
-    if (to == from) continue;
-    sources_of[to].insert(from);
-    ++moved[{from, to}];
-  }
-
-  // Arm the joiners before the broadcast: join_epoch_ must be in place by
-  // the time the first migrate-in parcel (or a stray kTopoUpdate) lands.
-  for (size_t i = 0; i < added.size(); ++i) {
-    const auto t = static_cast<PartitionId>(old_n + i);
-    tcc_partitions_[t]->begin_join(next, sources_of[t].size());
-  }
-  topo_->publish(next);
-  metrics_.counter("routing.epoch_bumps").inc();
-
-  // Shepherd each (source, target) handoff: seal + extract the chains at
-  // the source, then deliver the parcel to the target.  Both legs retry
-  // through the shared commit policy; the source side is idempotent via
-  // its replay cache, the target side via per-source dedup.
-  for (const auto& [pair, nslots] : moved) {
-    const PartitionId src = pair.first;
-    const PartitionId tgt = pair.second;
-    storage::TccMigrateOutReq oreq;
-    oreq.target = tgt;
-    std::optional<storage::TccMigrateOutResp> parcel;
-    for (int round = 0; round < 8 && !parcel.has_value(); ++round) {
-      // Re-resolve the table every attempt: a failover can promote a
-      // follower of the source slot (bumping the epoch) while this handoff
-      // is in flight, and both the source address and the carried table
-      // must follow it — the promoted leader refuses requests stamped with
-      // the epoch that still names its dead predecessor.  Without a
-      // promotion this re-read returns `next` verbatim, so unreplicated
-      // runs are bit-identical.
-      const routing::TablePtr cur = topo_->table();
-      oreq.table = *cur;
-      auto r = co_await ctl_rpc_->call_raw_sized_retry(
-          cur->partitions[src], storage::kTccMigrateOut,
-          ctl_rpc_->encode(oreq), net::commit_retry_policy());
-      if (!r.ok()) continue;
-      auto resp = decode_message<storage::TccMigrateOutResp>(r.payload);
-      ctl_rpc_->recycle(std::move(r.payload));
-      if (resp.ok) parcel = std::move(resp);
-    }
-    if (!parcel.has_value()) {
-      LOG_WARN("scale-out: migrate-out " << src << " -> " << tgt
-                                         << " gave up");
-      continue;
-    }
-    storage::TccMigrateInReq ireq;
-    ireq.epoch = next->epoch;
-    ireq.source = src;
-    ireq.expected_sources = static_cast<uint32_t>(sources_of[tgt].size());
-    ireq.source_safe = parcel->safe_time;
-    ireq.last_heard = std::move(parcel->last_heard);
-    ireq.chains = std::move(parcel->chains);
-    bool applied = false;
-    for (int round = 0; round < 8 && !applied; ++round) {
-      auto r = co_await ctl_rpc_->call_raw_sized_retry(
-          next->partitions[tgt], storage::kTccMigrateIn,
-          ctl_rpc_->encode(ireq), net::commit_retry_policy());
-      if (!r.ok()) continue;
-      auto resp = decode_message<storage::TccMigrateInResp>(r.payload);
-      ctl_rpc_->recycle(std::move(r.payload));
-      applied = resp.ok;
-    }
-    if (!applied) {
-      LOG_WARN("scale-out: migrate-in at " << tgt << " from " << src
-                                           << " gave up");
-    }
-  }
+sim::Task<void> Cluster::run_scheduled_scale_in() {
+  co_await sim::sleep_for(loop_, params_.elastic.remove_at);
+  co_await reconfig_->scale_in(params_.elastic.remove_partitions);
 }
 
 void Cluster::collect_cache_gauges(RunResult& out) const {

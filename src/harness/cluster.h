@@ -14,6 +14,7 @@
 #include "cache/plain_cache.h"
 #include "check/oracle.h"
 #include "client/eventual_client.h"
+#include "harness/autoscaler.h"
 #include "client/faastcc_client.h"
 #include "client/hydro_client.h"
 #include "common/metrics.h"
@@ -23,6 +24,7 @@
 #include "obs/trace.h"
 #include "routing/topology_service.h"
 #include "storage/eventual_store.h"
+#include "storage/reconfig.h"
 #include "storage/tcc_partition.h"
 #include "workload/client_driver.h"
 
@@ -54,17 +56,29 @@ struct AdapterConfig {
 std::unique_ptr<client::SystemAdapter> MakeAdapter(SystemKind kind,
                                                    const AdapterConfig& config);
 
-// Elastic scale-out schedule (FaaSTCC only): at `at` sim-time after start,
-// `add_partitions` joiners are brought up, the routing table is bumped one
-// epoch, and the stolen slots' version chains are migrated with a
-// promise-sound handoff.  Inert unless enabled(): a cluster with the
-// elastic machinery compiled in but no bump scheduled runs bit-identically
-// to one without it.
+// Elastic reconfiguration schedule (FaaSTCC only).  Scale-out: at `at`
+// sim-time after start, `add_partitions` joiners are brought up, the
+// routing table is bumped one epoch, and the stolen slots' version chains
+// are migrated with a promise-sound handoff.  Scale-in: at `remove_at`,
+// the trailing `remove_partitions` partitions drain their slots to the
+// survivors and retire (followers with them).  Inert unless enabled(): a
+// cluster with the elastic machinery compiled in but nothing scheduled
+// runs bit-identically to one without it.
 struct ElasticParams {
   size_t add_partitions = 0;
   Duration at = Duration{0};
+  size_t remove_partitions = 0;
+  Duration remove_at = Duration{0};
   size_t slots_per_partition = routing::RoutingTable::kDefaultSlotsPerPartition;
-  bool enabled() const { return add_partitions > 0 && at > Duration{0}; }
+  bool scale_out_scheduled() const {
+    return add_partitions > 0 && at > Duration{0};
+  }
+  bool scale_in_scheduled() const {
+    return remove_partitions > 0 && remove_at > Duration{0};
+  }
+  bool enabled() const {
+    return scale_out_scheduled() || scale_in_scheduled();
+  }
 };
 
 // Per-slot replica chains (FaaSTCC only): each partition leader gets
@@ -110,8 +124,11 @@ struct ClusterParams {
   // them.  Entirely inert unless faults.enabled() — fault-free runs draw
   // the exact same random streams as before this layer existed.
   net::FaultParams faults;
-  // Mid-run partition scale-out (FaaSTCC only).
+  // Mid-run scheduled partition scale-out / scale-in (FaaSTCC only).
   ElasticParams elastic;
+  // Metric-driven autoscaler (FaaSTCC only): grows/shrinks the partition
+  // count from the committed-DAG p99.
+  AutoscaleParams autoscale;
   // Per-slot replica chains (FaaSTCC only).
   ReplicationParams replication;
   // Residual NTP skew: each partition's physical clock is offset by a
@@ -200,6 +217,9 @@ class Cluster {
   storage::EvTopology ev_topology() const;
   // nullptr for the eventually consistent systems.
   routing::TopologyService* topology_service() { return topo_.get(); }
+  // nullptr unless elastic or autoscale is configured (FaaSTCC only).
+  storage::ReconfigEngine* reconfig() { return reconfig_.get(); }
+  Autoscaler* autoscaler() { return autoscaler_.get(); }
 
  private:
   void build_storage();
@@ -208,9 +228,10 @@ class Cluster {
   void preload();
   void prewarm();
   void collect_cache_gauges(RunResult& out) const;
-  // The scale-out driver: sleeps until elastic.at, bumps the epoch and
-  // shepherds the migrate-out/migrate-in handoff for every moved slot.
-  sim::Task<void> run_scale_out();
+  // Scheduled-transition drivers: sleep until the configured instant, then
+  // hand the target table to the reconfiguration engine.
+  sim::Task<void> run_scheduled_scale_out();
+  sim::Task<void> run_scheduled_scale_in();
 
   ClusterParams params_;
   Rng rng_;
@@ -221,8 +242,11 @@ class Cluster {
   std::unique_ptr<check::ConsistencyOracle> oracle_;
   std::shared_ptr<faas::FunctionRegistry> registry_;
   std::unique_ptr<routing::TopologyService> topo_;
-  // Control endpoint driving the migration RPCs (no data-plane traffic).
-  std::unique_ptr<net::RpcNode> ctl_rpc_;
+  // All reconfiguration state (control endpoint, slot-handoff pipeline,
+  // transition bookkeeping) lives behind the engine; the harness keeps
+  // only this handle.  Null unless elastic or autoscale is configured.
+  std::unique_ptr<storage::ReconfigEngine> reconfig_;
+  std::unique_ptr<Autoscaler> autoscaler_;
 
   std::vector<std::unique_ptr<storage::TccPartition>> tcc_partitions_;
   std::vector<std::unique_ptr<storage::TccPartition>> tcc_followers_;

@@ -109,6 +109,34 @@ const std::vector<NamedConfig> kConfigs = {
        p.elastic.at = milliseconds(300);
        p.faults.loss_prob = 0.01;
      }},
+    {"elastic-in", "mid-run scale-in -2 partitions, no faults", false,
+     [](ClusterParams& p) {
+       p.elastic.remove_partitions = 2;
+       p.elastic.remove_at = milliseconds(300);
+     }},
+    {"elastic-in-lossy", "scale-in under 2% loss + 1% duplication", false,
+     [](ClusterParams& p) {
+       p.elastic.remove_partitions = 2;
+       p.elastic.remove_at = milliseconds(300);
+       p.faults.loss_prob = 0.02;
+       p.faults.dup_prob = 0.01;
+     }},
+    {"autoscale-spike",
+     "bursty load; autoscaler rides the spike out and back in", false,
+     [](ClusterParams& p) {
+       p.workload.pattern = workload::LoadPattern::kBursty;
+       p.workload.pattern_period = milliseconds(600);
+       // A deep trough (think >> DAG latency) is what lets the window p99
+       // fall back under the low-water mark so the scale-in leg fires.
+       p.workload.think_time = milliseconds(20);
+       p.autoscale.max_partitions = p.partitions + 2;
+       p.autoscale.min_partitions = p.partitions > 2 ? p.partitions - 2 : 1;
+       p.autoscale.check_period = milliseconds(50);
+       p.autoscale.high_p99_ms = 8.0;
+       p.autoscale.low_p99_ms = 6.0;
+       p.autoscale.breach_checks = 2;
+       p.autoscale.cooldown = milliseconds(300);
+     }},
     {"chaos-lost-ack", "REGRESSION: commits acked without install", true,
      [](ClusterParams& p) { p.tcc.chaos_drop_install = true; }},
     {"chaos-prewarm", "REGRESSION: prewarm entries open unsubscribed", true,

@@ -195,6 +195,20 @@ class SpecFields {
              f_int("reads_per_function", &p.workload.reads_per_function),
              f_size("value_size", &p.workload.value_size),
              f_bool("static_txns", &p.workload.static_txns),
+             {"pattern",
+              [&p](json::Writer& w) {
+                w.string(workload::load_pattern_name(p.workload.pattern));
+              },
+              [&p](const json::Value& v) {
+                if (!workload::parse_load_pattern(v.as_string(),
+                                                  &p.workload.pattern)) {
+                  bad_field("pattern",
+                            "expected \"none\", \"bursty\", \"diurnal\" or "
+                            "\"hotspot-shift\"");
+                }
+              }},
+             f_duration("pattern_period_us", &p.workload.pattern_period),
+             f_duration("think_time_us", &p.workload.think_time),
          }},
         {"faastcc",
          {
@@ -321,7 +335,20 @@ class SpecFields {
          {
              f_size("add_partitions", &p.elastic.add_partitions),
              f_duration("at_us", &p.elastic.at),
+             f_size("remove_partitions", &p.elastic.remove_partitions),
+             f_duration("remove_at_us", &p.elastic.remove_at),
              f_size("slots_per_partition", &p.elastic.slots_per_partition),
+         }},
+        {"autoscale",
+         {
+             f_size("max_partitions", &p.autoscale.max_partitions),
+             f_size("min_partitions", &p.autoscale.min_partitions),
+             f_duration("check_period_us", &p.autoscale.check_period),
+             f_double("high_p99_ms", &p.autoscale.high_p99_ms),
+             f_double("low_p99_ms", &p.autoscale.low_p99_ms),
+             f_size("breach_checks", &p.autoscale.breach_checks),
+             f_duration("cooldown_us", &p.autoscale.cooldown),
+             f_size("step", &p.autoscale.step),
          }},
         {"replication",
          {
@@ -523,6 +550,10 @@ std::string run_output_to_json(const RunOutput& o) {
   w.number(s.stab_drops_foreign_child);
   w.key("stab_drops_stale_broadcast");
   w.number(s.stab_drops_stale_broadcast);
+  w.key("routing_active_partitions");
+  w.number(s.routing_active_partitions);
+  w.key("routing_epoch");
+  w.number(s.routing_epoch);
   w.end_object();
 
   w.key("net");

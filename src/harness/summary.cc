@@ -59,6 +59,8 @@ SummaryStats summarize(const RunResult& r) {
   s.stab_drops_stale_report = counter_of("stab.drops.stale_report");
   s.stab_drops_foreign_child = counter_of("stab.drops.foreign_child");
   s.stab_drops_stale_broadcast = counter_of("stab.drops.stale_broadcast");
+  s.routing_active_partitions = counter_of("routing.active_partitions");
+  s.routing_epoch = counter_of("routing.epoch");
   return s;
 }
 
@@ -90,6 +92,7 @@ const char* kFields[] = {
     "stab_lag_p99_us",           "stab_stale_drops",
     "stab_drops_unknown_member", "stab_drops_stale_report",
     "stab_drops_foreign_child",  "stab_drops_stale_broadcast",
+    "routing_active_partitions", "routing_epoch",
 };
 
 double* field_ptr(SummaryStats& s, size_t i) {
@@ -107,6 +110,7 @@ double* field_ptr(SummaryStats& s, size_t i) {
       &s.stab_lag_p99_us,           &s.stab_stale_drops,
       &s.stab_drops_unknown_member, &s.stab_drops_stale_report,
       &s.stab_drops_foreign_child,  &s.stab_drops_stale_broadcast,
+      &s.routing_active_partitions, &s.routing_epoch,
   };
   return ptrs[i];
 }

@@ -49,6 +49,10 @@ struct SummaryStats {
   double stab_drops_stale_report = 0;
   double stab_drops_foreign_child = 0;
   double stab_drops_stale_broadcast = 0;
+  // Routing-plane gauges at end of run: partition count and table epoch.
+  // Zero for runs without a reconfiguration engine (the table never moved).
+  double routing_active_partitions = 0;
+  double routing_epoch = 0;
 };
 
 SummaryStats summarize(const RunResult& result);

@@ -5,6 +5,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -400,6 +401,10 @@ std::string merge_to_json(const SweepPlan& plan, const SweepResult& result) {
     double hit_rate_sum = 0;
     uint64_t stale_drops = 0;
     size_t violations = 0;
+    // Routing-plane end state, max over the cell's runs (same-shape runs
+    // agree; the max keeps a mixed cell conservative).
+    uint64_t routing_active_partitions = 0;
+    uint64_t routing_epoch = 0;
   };
   // system, config, stab, P, N, zipf.  The stab dimension (stabilization
   // topology [+fanout] @ gossip period) keeps cells distinct in topology ×
@@ -470,6 +475,13 @@ std::string merge_to_json(const SweepPlan& plan, const SweepResult& result) {
     cell.hit_rate_sum += summary->find("hit_rate")->as_double();
     cell.stale_drops += static_cast<uint64_t>(
         summary->find("stab_stale_drops")->as_double());
+    cell.routing_active_partitions = std::max(
+        cell.routing_active_partitions,
+        static_cast<uint64_t>(
+            summary->find("routing_active_partitions")->as_double()));
+    cell.routing_epoch = std::max(
+        cell.routing_epoch,
+        static_cast<uint64_t>(summary->find("routing_epoch")->as_double()));
     cell.violations += rec.violations;
   }
   w.end_array();
@@ -511,6 +523,10 @@ std::string merge_to_json(const SweepPlan& plan, const SweepResult& result) {
     w.number(cell.hit_rate_sum / static_cast<double>(cell.runs));
     w.key("stale_drops");
     w.u64(cell.stale_drops);
+    w.key("routing_active_partitions");
+    w.u64(cell.routing_active_partitions);
+    w.key("routing_epoch");
+    w.u64(cell.routing_epoch);
     w.key("violations");
     w.u64(cell.violations);
     w.end_object();

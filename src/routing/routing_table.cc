@@ -70,6 +70,36 @@ RoutingTable RoutingTable::with_partitions_added(
   return next;
 }
 
+RoutingTable RoutingTable::with_partitions_removed(size_t count) const {
+  assert(count < partitions.size());
+  RoutingTable next = *this;
+  next.epoch = epoch + 1;
+  if (count == 0) return next;
+  const uint32_t survivors =
+      static_cast<uint32_t>(partitions.size() - count);
+  next.partitions.resize(survivors);
+  if (!next.replicas.empty()) next.replicas.resize(survivors);
+
+  std::vector<size_t> load(survivors, 0);
+  for (uint32_t o : next.slot_owner) {
+    if (o < survivors) ++load[o];
+  }
+  // Return each orphaned slot (ascending ring order) to the least-loaded
+  // survivor, ties towards the lowest id.  For a table that was grown from
+  // a balanced base this hands every slot straight back to the incumbent
+  // it was stolen from, so add-then-remove round-trips the assignment.
+  for (uint32_t s = 0; s < next.num_slots(); ++s) {
+    if (next.slot_owner[s] < survivors) continue;
+    uint32_t heir = 0;
+    for (uint32_t p = 1; p < survivors; ++p) {
+      if (load[p] < load[heir]) heir = p;
+    }
+    next.slot_owner[s] = heir;
+    ++load[heir];
+  }
+  return next;
+}
+
 RoutingTable RoutingTable::with_leader_replaced(
     PartitionId p, PartitionAddress candidate) const {
   assert(p < partitions.size());
@@ -91,9 +121,18 @@ RoutingTable RoutingTable::decode(BufReader& r) {
   for (uint32_t i = 0; i < np; ++i) t.partitions.push_back(r.get_u32());
   const uint32_t ns = r.get_u32();
   t.slot_owner.reserve(ns);
-  for (uint32_t i = 0; i < ns; ++i) t.slot_owner.push_back(r.get_u32());
+  for (uint32_t i = 0; i < ns; ++i) {
+    const uint32_t o = r.get_u32();
+    // Strict decode: a slot owned by a partition the table does not list
+    // is a corrupted or mis-truncated table (e.g. one that survived a
+    // shrink with a dangling owner); serving it would route keys to a
+    // retired endpoint.
+    if (o >= np) throw CodecError("routing table: slot owned by retired partition");
+    t.slot_owner.push_back(o);
+  }
   if (r.remaining() > 0) {
     const uint32_t nr = r.get_u32();
+    if (nr != np) throw CodecError("routing table: replica list count mismatch");
     t.replicas.resize(nr);
     for (uint32_t i = 0; i < nr; ++i) {
       const uint32_t len = r.get_u32();

@@ -84,6 +84,17 @@ struct RoutingTable {
   RoutingTable with_partitions_added(
       const std::vector<PartitionAddress>& added) const;
 
+  // Next-epoch table with the trailing `count` partitions retired (scale
+  // IN).  Survivor ids are untouched — only the tail leaves, so no chain
+  // that stays put changes owner.  The retirees' slots are returned
+  // deterministically: ascending slot order, each slot to the currently
+  // least-loaded survivor (ties towards the lowest partition id), which
+  // exactly inverts `with_partitions_added` for balanced bases — adding M
+  // partitions to an epoch-1 table and then removing them yields the
+  // original assignment modulo epoch.  Retired replica chains are dropped
+  // with their leader.
+  RoutingTable with_partitions_removed(size_t count) const;
+
   // Next-epoch table promoting `candidate` (a member of replicas[p]) to
   // leader of partition p: partitions[p] becomes the candidate's address
   // and the candidate leaves the replica chain.  The dead leader is not

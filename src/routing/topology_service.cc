@@ -36,8 +36,35 @@ TopologyService::TopologyService(net::Network& network, net::Address address,
 
 void TopologyService::publish(TablePtr next) {
   assert(next != nullptr && next->epoch > table_->epoch);
+  const TablePtr old = table_;
   table_ = std::move(next);
+  if (table_->num_partitions() < old->num_partitions()) {
+    // Contraction: the dropped tail's leaders and followers leave the
+    // broadcast set.  Skipping is shrink-only on purpose — a leader
+    // replaced by a failover keeps receiving updates (a revived deposed
+    // leader must learn it was deposed from exactly this channel).
+    for (size_t p = table_->num_partitions(); p < old->num_partitions();
+         ++p) {
+      retired_.insert(old->partitions[p]);
+      if (p < old->replicas.size()) {
+        for (PartitionAddress f : old->replicas[p]) retired_.insert(f);
+      }
+    }
+  }
+  if (!retired_.empty()) {
+    // Any address the new table names again (a re-joined instance) is live.
+    for (PartitionAddress a : table_->partitions) retired_.erase(a);
+    for (const auto& reps : table_->replicas) {
+      for (PartitionAddress f : reps) retired_.erase(f);
+    }
+  }
   for (net::Address a : listeners_) {
+    if (retired_.count(a) != 0) {
+      if (metrics_ != nullptr) {
+        metrics_->counter("routing.topo_update_skipped").inc();
+      }
+      continue;
+    }
     rpc_.send(a, kTopoUpdate, *table_);
   }
 }

@@ -11,8 +11,10 @@
 #pragma once
 
 #include <memory>
+#include <set>
 #include <vector>
 
+#include "common/metrics.h"
 #include "net/rpc.h"
 #include "routing/routing_table.h"
 
@@ -63,14 +65,22 @@ class TopologyService {
 
   // Addresses that receive kTopoUpdate one-ways on publish().
   void add_listener(net::Address a) { listeners_.push_back(a); }
+  // Optional metrics registry (routing.topo_update_skipped).  Lazy: runs
+  // that never retire a listener create no new entries.
+  void set_metrics(Metrics* m) { metrics_ = m; }
 
-  // Installs `next` as the current table and broadcasts it.
+  // Installs `next` as the current table and broadcasts it.  Listeners
+  // retired by a contraction (the dropped tail's leaders and followers)
+  // stop receiving broadcasts until a later table names their address
+  // again; each skipped send counts into routing.topo_update_skipped.
   void publish(TablePtr next);
 
  private:
   net::RpcNode rpc_;
   TablePtr table_;
   std::vector<net::Address> listeners_;
+  std::set<net::Address> retired_;
+  Metrics* metrics_ = nullptr;
 };
 
 }  // namespace faastcc::routing

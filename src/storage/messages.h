@@ -813,10 +813,17 @@ struct TccBackfillReq {
   uint64_t seq_high = 0;
   std::vector<ResolvedTxn> resolved;
   std::vector<MigratedChain> chains;
+  // Routing epoch the leader assembled this parcel under.  Trailing
+  // optional (encoded only when nonzero) so pre-elastic parcels keep their
+  // bytes; a follower refuses parcels older than its own table — a
+  // pre-shrink leader's backfill must not resurrect drained chains at a
+  // follower that already moved on.
+  uint32_t epoch = 0;
 
   size_t size_hint() const {
     size_t n = 8 + 8 + 4 + resolved.size() * 16 + 4;
     for (const auto& c : chains) n += c.size_hint();
+    if (epoch != 0) n += 4;
     return n;
   }
 
@@ -826,6 +833,7 @@ struct TccBackfillReq {
     w.put_u64(seq_high);
     put_vec(w, resolved);
     put_vec(w, chains);
+    if (epoch != 0) w.put_u32(epoch);
   }
   static TccBackfillReq decode(BufReader& r) {
     TccBackfillReq q;
@@ -833,6 +841,7 @@ struct TccBackfillReq {
     q.seq_high = r.get_u64();
     q.resolved = get_vec<ResolvedTxn>(r);
     q.chains = get_vec<MigratedChain>(r);
+    if (r.remaining() > 0) q.epoch = r.get_u32();
     return q;
   }
 };

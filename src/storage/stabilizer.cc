@@ -60,16 +60,40 @@ bool Stabilizer::on_gossip(PartitionId from, Timestamp safe_time) {
   return true;
 }
 
+bool Stabilizer::reconcile_tag(uint32_t tag) {
+  const uint32_t gen = tag >> kGenShift;
+  const size_t size = tag & ((uint32_t{1} << kGenShift) - 1);
+  if (gen > shrink_gen_) {
+    // The sender proved the membership shrank past our view.  Shrinks
+    // retire trailing ids only, so the (generation, count) pair pins the
+    // exact membership; adopt it (growing or truncating as needed) before
+    // accepting.  Peer addresses catch up when the routing table arrives.
+    shrink_gen_ = gen;
+    const size_t old_n = last_heard_.size();
+    if (size > old_n) {
+      last_heard_.resize(size, Timestamp::min());
+    } else if (size < old_n) {
+      last_heard_.resize(size);
+    }
+    rebuild_min_tree();
+    resize_children();
+    return true;
+  }
+  if (gen < shrink_gen_) return false;  // pre-shrink fold: stale
+  if (size > last_heard_.size()) {
+    // Same generation, larger count: membership grew past our view; adopt
+    // the count (with full barrier semantics) before accepting.
+    extend_membership(size);
+    return true;
+  }
+  // Same generation, smaller count: folded over the old membership — it
+  // may omit joiners and accepting it would leak past the join barrier.
+  return size == last_heard_.size();
+}
+
 bool Stabilizer::on_child_report(PartitionId child, uint32_t membership,
                                  Timestamp subtree_min) {
-  if (membership > last_heard_.size()) {
-    // The sender proved membership grew past our view; adopt the count
-    // (with full barrier semantics) before accepting.  Peer addresses
-    // catch up when the routing table arrives — the count alone is what
-    // the stable-time floor depends on.
-    extend_membership(membership);
-  } else if (membership < last_heard_.size()) {
-    // Folded over the old membership: may omit joiners below this child.
+  if (!reconcile_tag(membership)) {
     return drop(DropReason::kStaleReportTag);
   }
   const uint64_t first = uint64_t{fanout_} * self_ + 1;
@@ -90,9 +114,7 @@ Timestamp Stabilizer::fold_subtree_min(Timestamp own_safe) const {
 }
 
 bool Stabilizer::on_stable_broadcast(uint32_t membership, Timestamp stable) {
-  if (membership > last_heard_.size()) {
-    extend_membership(membership);
-  } else if (membership < last_heard_.size()) {
+  if (!reconcile_tag(membership)) {
     // A fold over the old membership can sit above the joiners' floor;
     // max-merging it would advance the stable past commits a joiner may
     // still install.  (Keeping our *current* value is fine: it predates
@@ -121,6 +143,21 @@ void Stabilizer::extend_membership(size_t num_partitions) {
   // Every child report may have been folded before these members existed
   // (the members can hang anywhere below the child); re-arm the barrier
   // until a report tagged with the new membership arrives.
+  resize_children();
+}
+
+void Stabilizer::contract_membership(size_t num_partitions) {
+  if (num_partitions >= last_heard_.size()) return;
+  ++shrink_gen_;
+  // Survivors keep their last-heard safe times; only the retired tail
+  // leaves the fold.  min over a subset >= min over the superset, so the
+  // announced stable can only advance across a contraction, never regress.
+  last_heard_.resize(num_partitions);
+  rebuild_min_tree();
+  // Old child reports may still fold retired members' floors.  That is
+  // merely conservative, but re-arming keeps one rule for every membership
+  // change: barrier until a report tagged with the new membership arrives
+  // (stale-generation tags are dropped by reconcile_tag).
   resize_children();
 }
 

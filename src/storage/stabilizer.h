@@ -96,11 +96,14 @@ class Stabilizer {
     return static_cast<PartitionId>(fanout_ * self_ + 1 + ordinal);
   }
 
-  // A child's subtree-minimum report, tagged with the membership size the
-  // child folded over.  Reports tagged with a smaller membership than ours
-  // are dropped (returns false, counted): they omit the joiners' floor.  A
+  // A child's subtree-minimum report, tagged with membership_tag() of the
+  // child's fold.  Reports tagged with a smaller membership than ours are
+  // dropped (returns false, counted): they omit the joiners' floor.  A
   // larger tag proves the membership grew — the count is adopted (barrier
-  // semantics of extend_membership) before the report is accepted.
+  // semantics of extend_membership) before the report is accepted.  A tag
+  // from a newer shrink generation is adopted likewise (shrink always
+  // retires the trailing ids, so the count alone determines membership);
+  // an older generation's tag is dropped as stale.
   bool on_child_report(PartitionId child, uint32_t membership,
                        Timestamp subtree_min);
 
@@ -144,6 +147,27 @@ class Stabilizer {
   // that large.
   void extend_membership(size_t num_partitions);
 
+  // Shrinks membership to `num_partitions`, dropping the trailing (retired)
+  // members from the min: their last-heard floors leave the fold, tree
+  // edges below the cut disappear, and child barriers re-arm.  Removing a
+  // member can only *raise* the min, so the announced stable never
+  // regresses.  Bumps the shrink generation carried in membership_tag():
+  // size comparison alone cannot order memberships once they both grow and
+  // shrink (a later re-grow could collide with a pre-shrink size, and a
+  // shrunk — smaller — membership would look stale to the old size rule).
+  // No-op when membership is already at most that small.
+  void contract_membership(size_t num_partitions);
+
+  // Tag carried by tree reports/broadcasts: (shrink generation << 20) |
+  // membership size.  Generation 0 encodes as the bare size, so clusters
+  // that never shrink put exactly the pre-shrink bytes on the wire.
+  static constexpr uint32_t kGenShift = 20;
+  uint32_t membership_tag() const {
+    return (shrink_gen_ << kGenShift) |
+           static_cast<uint32_t>(last_heard_.size());
+  }
+  uint32_t shrink_generation() const { return shrink_gen_; }
+
   // Why an observation was dropped.  Counted per reason: a flood of
   // unknown-member drops after a failover looks identical to tree
   // staleness if the causes share one counter.
@@ -178,6 +202,10 @@ class Stabilizer {
   void rebuild_min_tree();
   void min_tree_set(size_t leaf, Timestamp v);
   void resize_children();
+  // Orders an incoming tag against our membership; adopts newer
+  // generations / larger same-generation sizes.  Returns false for tags
+  // that must be dropped (the caller charges the right DropReason).
+  bool reconcile_tag(uint32_t tag);
   bool drop(DropReason r) {
     ++drops_[static_cast<size_t>(r)];
     last_drop_reason_ = r;
@@ -199,6 +227,8 @@ class Stabilizer {
   // order), and the last accepted root fold.
   std::vector<Timestamp> child_min_;
   Timestamp tree_stable_ = Timestamp::min();
+  // Bumped once per adopted contraction; 0 forever in non-shrinking runs.
+  uint32_t shrink_gen_ = 0;
   uint64_t drops_[kNumDropReasons] = {};
   DropReason last_drop_reason_ = DropReason::kUnknownMember;
 };

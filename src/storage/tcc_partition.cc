@@ -82,9 +82,8 @@ void TccPartition::start() {
     // its own fold.  With children this is a no-op (unheard children pin
     // the fold to min()); for a single-partition cell it makes the stable
     // time defined immediately, matching the mesh.
-    stabilizer_.on_stable_broadcast(
-        static_cast<uint32_t>(stabilizer_.num_partitions()),
-        stabilizer_.fold_subtree_min(safe));
+    stabilizer_.on_stable_broadcast(stabilizer_.membership_tag(),
+                                    stabilizer_.fold_subtree_min(safe));
   }
   sim::spawn(gossip_loop());
   sim::spawn(push_loop());
@@ -97,7 +96,11 @@ void TccPartition::set_routing(routing::TablePtr table) {
   const bool first = (table_ == nullptr);
   table_ = std::move(table);
   all_partitions_.assign(table_->partitions.begin(), table_->partitions.end());
-  stabilizer_.extend_membership(table_->num_partitions());
+  if (table_->num_partitions() < stabilizer_.num_partitions()) {
+    stabilizer_.contract_membership(table_->num_partitions());
+  } else {
+    stabilizer_.extend_membership(table_->num_partitions());
+  }
   rpc_.set_routing_epoch(table_->epoch);
   if (repl_role_ == ReplRole::kFollower && id_ < table_->partitions.size()) {
     if (table_->partitions[id_] == rpc_.address()) {
@@ -158,12 +161,44 @@ void TccPartition::defer_serving() {
 
 void TccPartition::begin_join(routing::TablePtr table,
                               size_t expected_sources) {
+  // Re-join of a previously retired instance: its background loops exited
+  // at retirement, so activation must respawn them, the old join ledger
+  // (sources of the original join) must not satisfy the new one, and
+  // serving must drop until the new parcels land (retire() leaves it set;
+  // a no-op for a fresh joiner, which deferred serving at construction).
+  retired_ = false;
+  started_ = false;
+  serving_ = false;
+  join_applied_.clear();
   join_epoch_ = table->epoch;
   join_expected_ = expected_sources;
   set_routing(std::move(table));
   // A joiner that owns no slots (or steals only empty ones) has nothing to
   // wait for.
   if (expected_sources == 0) activate();
+}
+
+void TccPartition::begin_acquire(routing::TablePtr table,
+                                 size_t expected_sources) {
+  serving_ = false;
+  acquiring_ = true;
+  acquired_keys_.clear();
+  join_applied_.clear();
+  join_epoch_ = table->epoch;
+  join_expected_ = expected_sources;
+  set_routing(std::move(table));
+  if (expected_sources == 0) activate();
+}
+
+void TccPartition::retire() {
+  retired_ = true;
+  // Invalidate the running loops and let start() respawn fresh ones if a
+  // later scale-out re-joins this instance.
+  ++loop_gen_;
+  started_ = false;
+  // serving_ stays true: owns() already refuses every key (no slot maps
+  // here under the adopted table), and kTccAbort cleanup of pending
+  // transactions prepared before the drain must not park forever.
 }
 
 sim::Task<void> TccPartition::parked() {
@@ -187,7 +222,19 @@ void TccPartition::release_parked() {
 void TccPartition::activate() {
   if (serving_) return;
   serving_ = true;
-  if (oracle_ != nullptr) oracle_->on_handoff(id_, handoff_floor_);
+  if (oracle_ != nullptr) {
+    if (acquiring_) {
+      // A survivor of a contraction only inherited the drained slots; its
+      // pre-owned keys may legitimately commit below the floor (pending
+      // prepares assigned before the drain), so the floor is scoped to
+      // exactly the keys that migrated in.
+      oracle_->on_handoff(id_, handoff_floor_, acquired_keys_);
+    } else {
+      oracle_->on_handoff(id_, handoff_floor_);
+    }
+  }
+  acquiring_ = false;
+  acquired_keys_.clear();
   start();
   release_parked();
 }
@@ -631,8 +678,10 @@ void TccPartition::on_stable_down(Buffer msg, net::Address) {
 }
 
 sim::Task<void> TccPartition::gossip_loop() {
+  const uint64_t gen = loop_gen_;
   for (;;) {
     co_await sim::sleep_for(rpc_.loop(), params_.gossip_period);
+    if (retired_ || gen != loop_gen_) co_return;
     // A deposed leader (crashed, revived after its follower was promoted)
     // must keep its gossip stream quiet: the promoted follower publishes
     // this partition id's safe time now.  Always true without replication.
@@ -666,8 +715,7 @@ sim::Task<void> TccPartition::gossip_loop() {
 void TccPartition::tree_gossip_round() {
   const Timestamp safe = published_safe();
   stabilizer_.on_gossip(id_, safe);
-  const auto membership =
-      static_cast<uint32_t>(stabilizer_.num_partitions());
+  const uint32_t membership = stabilizer_.membership_tag();
   const Timestamp fold = stabilizer_.fold_subtree_min(safe);
   uint64_t sent = 0;
   if (stabilizer_.is_root()) {
@@ -710,8 +758,10 @@ void TccPartition::note_gossip_round(uint64_t msgs_sent) {
 }
 
 sim::Task<void> TccPartition::push_loop() {
+  const uint64_t gen = loop_gen_;
   for (;;) {
     co_await sim::sleep_for(rpc_.loop(), params_.push_period);
+    if (retired_ || gen != loop_gen_) co_return;
     // A deposed leader's push channel is dead: the promoted follower owns
     // the per-partition sequence now, and a stale frame would only force
     // subscribers to close entries.  Always true without replication.
@@ -877,6 +927,7 @@ sim::Task<Buffer> TccPartition::on_migrate_in(Buffer req, net::Address) {
     stabilizer_.on_gossip(static_cast<PartitionId>(p), q.last_heard[p]);
   }
   for (const auto& chain : q.chains) {
+    if (acquiring_) acquired_keys_.push_back(chain.key);
     std::vector<MvStore::Version> versions;
     versions.reserve(chain.versions.size());
     for (const auto& v : chain.versions) {
@@ -887,6 +938,19 @@ sim::Task<Buffer> TccPartition::on_migrate_in(Buffer req, net::Address) {
     // No oracle->on_install here: the versions were recorded when the
     // source installed them; re-recording would false-flag duplicates.
     store_.migrate_in(chain.key, versions);
+  }
+  if (repl_role_ == ReplRole::kLeader && !q.chains.empty()) {
+    // The inherited chains exist only at this leader — the replication
+    // stream never carried them.  Re-sync every follower from the chain
+    // head before it re-enters the seal quorum, or a failover after the
+    // drain would lose writes the retired partition had acked durable.
+    for (net::Address f : followers_) {
+      if (std::find(followers_behind_.begin(), followers_behind_.end(), f) ==
+          followers_behind_.end()) {
+        followers_behind_.push_back(f);
+      }
+    }
+    followers_.clear();
   }
   counters_.keys_migrated_in.inc(q.chains.size());
   if (metrics_ != nullptr) {
@@ -1010,6 +1074,10 @@ sim::Task<void> TccPartition::backfill_one(net::Address follower) {
   TccBackfillReq req;
   req.safe = safe_time();
   req.seq_high = repl_seq_;
+  // Epoch fence: a parcel snapshotted before a contraction must not land
+  // after it (it would resurrect chains the shrink drained away).  0 when
+  // no table is installed — the receiver treats that as unfenced.
+  req.epoch = table_ != nullptr ? table_->epoch : 0;
   req.resolved.reserve(resolved_order_.size());
   for (TxnId t : resolved_order_) {
     if (auto it = resolved_.find(t); it != resolved_.end()) {
@@ -1111,6 +1179,14 @@ sim::Task<Buffer> TccPartition::on_backfill(Buffer req, net::Address from) {
   auto q = decode_message<TccBackfillReq>(req);
   rpc_.recycle(std::move(req));
   co_await sim::sleep_for(rpc_.loop(), params_.request_cpu);
+  if (q.epoch != 0 && table_ != nullptr && q.epoch < table_->epoch) {
+    // Fenced: the sender snapshotted its store under an epoch this node has
+    // moved past — across a contraction the parcel may hold chains that
+    // were drained to a survivor, and applying it would resurrect them.
+    TccBackfillResp stale;
+    stale.ok = false;
+    co_return rpc_.encode(stale);
+  }
   last_lease_beat_ = rpc_.now();
   leader_addr_ = from;
   lag_grace_used_ = false;
@@ -1144,10 +1220,16 @@ sim::Task<Buffer> TccPartition::on_backfill(Buffer req, net::Address from) {
 }
 
 sim::Task<void> TccPartition::lease_loop() {
+  const uint64_t gen = loop_gen_;
   Duration beat = params_.repl_lease_timeout / 4;
   if (beat <= 0) beat = milliseconds(1);
   for (;;) {
     co_await sim::sleep_for(rpc_.loop(), beat);
+    // A follower retired with its leader must stop bidding for promotion:
+    // the topology service would refuse the bid anyway (the partition id
+    // is beyond the shrunk table), but a retired bidder looping on refused
+    // promotions is wasted traffic forever.
+    if (retired_ || gen != loop_gen_) co_return;
     if (repl_role_ != ReplRole::kFollower) co_return;  // promoted
     if (rpc_.now() - last_lease_beat_ < params_.repl_lease_timeout) continue;
     if (topo_service_ == 0 || table_ == nullptr) continue;
@@ -1220,8 +1302,10 @@ void TccPartition::promote_self() {
 }
 
 sim::Task<void> TccPartition::gc_loop() {
+  const uint64_t gen = loop_gen_;
   for (;;) {
     co_await sim::sleep_for(rpc_.loop(), params_.gc_period);
+    if (retired_ || gen != loop_gen_) co_return;
     const Timestamp stable = stabilizer_.stable_time();
     const uint64_t window_us =
         static_cast<uint64_t>(params_.gc_window);

@@ -119,6 +119,21 @@ class TccPartition {
   bool serving() const { return serving_; }
   routing::TablePtr routing_table() const { return table_; }
 
+  // ---- Elastic scale-IN ----------------------------------------------------
+
+  // Survivor side of a contraction: adopt `table` (which no longer lists
+  // the retiring partitions) and pause client traffic until
+  // `expected_sources` migrate-in parcels have landed.  Unlike begin_join
+  // the store keeps every chain it already owns — only the inherited slots
+  // are empty — so the handoff floor is scoped to the migrated keys (a
+  // pending prepare for a pre-owned key may legitimately commit below it).
+  void begin_acquire(routing::TablePtr table, size_t expected_sources);
+  // Source side, after a successful drain: stop publishing into gossip,
+  // push and lease channels.  The instance stays constructed (a later
+  // scale-out may re-join it via begin_join).
+  void retire();
+  bool retired() const { return retired_; }
+
   // ---- Per-slot replication (leader + k followers) ------------------------
 
   // Leader side: the follower addresses of this slot.  All start caught-up
@@ -188,6 +203,19 @@ class TccPartition {
   };
   const Counters& counters() const { return counters_; }
 
+  // True when the current routing table assigns `k` here (or no table is
+  // installed — the static pre-elastic world).  Handlers re-check after
+  // every CPU sleep: a chain can be handed away while a handler sleeps.
+  // The address check keeps a deposed leader — crashed, then revived after
+  // a failover promoted its follower — from serving chains it no longer
+  // owns: the slot still maps to its partition id, but to the promoted
+  // follower's address.
+  bool owns(Key k) const {
+    return table_ == nullptr ||
+           (table_->partition_of(k) == id_ &&
+            table_->partitions[id_] == rpc_.address());
+  }
+
  private:
   sim::Task<Buffer> on_read(Buffer req, net::Address from);
   sim::Task<Buffer> on_prepare(Buffer req, net::Address from);
@@ -233,23 +261,14 @@ class TccPartition {
   // the stable time inside a promoted follower's handoff floor.
   Timestamp published_safe();
 
-  // True when the current routing table assigns `k` here (or no table is
-  // installed — the static pre-elastic world).  Handlers re-check after
-  // every CPU sleep: a chain can be handed away while a handler sleeps.
-  // The address check keeps a deposed leader — crashed, then revived after
-  // a failover promoted its follower — from serving chains it no longer
-  // owns: the slot still maps to its partition id, but to the promoted
-  // follower's address.
-  bool owns(Key k) const {
-    return table_ == nullptr ||
-           (table_->partition_of(k) == id_ &&
-            table_->partitions[id_] == rpc_.address());
-  }
   // Whether this node is the address the table names for its own slot.  A
   // revived deposed leader fails this and must keep its gossip and push
-  // streams quiet — the promoted follower owns those channels now.
+  // streams quiet — the promoted follower owns those channels now.  A
+  // partition the table no longer lists (retired by a contraction) fails it
+  // too: its channels belong to nobody.
   bool is_current_leader() const {
-    return table_ == nullptr || id_ >= table_->partitions.size() ||
+    if (table_ == nullptr) return true;
+    return id_ < table_->partitions.size() &&
            table_->partitions[id_] == rpc_.address();
   }
   sim::Task<void> parked();
@@ -330,6 +349,16 @@ class TccPartition {
   size_t join_expected_ = 0;
   std::set<PartitionId> join_applied_;
   Timestamp handoff_floor_ = Timestamp::min();
+  // Scale-in: a survivor acquiring drained slots scopes the oracle's
+  // handoff-floor check to the keys it inherited (acquired_keys_); a
+  // retired source stops publishing into shared channels.
+  bool acquiring_ = false;
+  std::vector<Key> acquired_keys_;
+  bool retired_ = false;
+  // Bumped by retire() so background loops spawned before the retirement
+  // exit on their next beat even if the instance re-joins (and respawns
+  // fresh loops) before they wake — no loop ever runs twice over.
+  uint64_t loop_gen_ = 0;
   // Replay cache for idempotent migrate-out: the chains leave the store on
   // the first attempt, so a retried request must get the original parcel.
   std::map<std::pair<uint32_t, PartitionId>, TccMigrateOutResp>

@@ -97,7 +97,12 @@ sim::Task<faas::DagDoneMsg> ClientDriver::execute_once(
 sim::Task<void> ClientDriver::run() {
   started_at_ = rpc_.now();
   for (int i = 0; i < params_.num_dags; ++i) {
-    const faas::DagSpec spec = workload_.next_dag();
+    // Load shaping: a shaped workload pauses the closed loop according to
+    // the pattern's think time at this instant.  Zero for the unshaped
+    // (historical) workload — no sleep, no event, bit-identical schedules.
+    const Duration think = workload_.think_time_at(rpc_.now());
+    if (think > Duration{0}) co_await sim::sleep_for(rpc_.loop(), think);
+    const faas::DagSpec spec = workload_.next_dag(rpc_.now());
     for (int attempt = 0; attempt <= params_.max_retries; ++attempt) {
       const SimTime t0 = rpc_.now();
       if (metrics_ != nullptr) metrics_->dag_attempts.inc();

@@ -139,5 +139,36 @@ TEST(Determinism, IdleElasticMachineryIsByteIdentical) {
   EXPECT_EQ(plain.trace, idle.trace);
 }
 
+// Same inertness bar for the scale-in half of the engine and for the
+// autoscaler: scheduled with remove_at = 0 (never) / ceiling 0 (disabled),
+// neither may perturb a single event, counter, sample or trace byte.
+TEST(Determinism, IdleScaleInAndAutoscalerAreByteIdentical) {
+  const RunSnapshot plain = snapshot_run(params_for(SystemKind::kFaasTcc));
+
+  ClusterParams p = params_for(SystemKind::kFaasTcc);
+  p.elastic.remove_partitions = 2;
+  p.elastic.remove_at = Duration{0};
+  ASSERT_FALSE(p.elastic.enabled());
+  const RunSnapshot idle_in = snapshot_run(p);
+
+  ClusterParams q = params_for(SystemKind::kFaasTcc);
+  q.autoscale.max_partitions = 0;  // disabled
+  q.autoscale.high_p99_ms = 5.0;
+  ASSERT_FALSE(q.autoscale.enabled());
+  const RunSnapshot idle_auto = snapshot_run(q);
+
+  ASSERT_GT(plain.committed, 0u);
+  for (const RunSnapshot* s : {&idle_in, &idle_auto}) {
+    EXPECT_EQ(plain.committed, s->committed);
+    EXPECT_EQ(plain.aborted_attempts, s->aborted_attempts);
+    EXPECT_EQ(plain.sim_events, s->sim_events);
+    EXPECT_EQ(plain.cache_entries, s->cache_entries);
+    EXPECT_EQ(plain.cache_bytes, s->cache_bytes);
+    EXPECT_EQ(plain.counters, s->counters);
+    EXPECT_EQ(plain.histograms, s->histograms);
+    EXPECT_EQ(plain.trace, s->trace);
+  }
+}
+
 }  // namespace
 }  // namespace faastcc::harness

@@ -279,6 +279,17 @@ TEST(MessageRoundTrip, BackfillCarriesChainsAndResolvedWindow) {
       EXPECT_EQ(d.chains[i].versions[j].ts, q.chains[i].versions[j].ts);
     }
   }
+  // The epoch fence defaults to 0 and is NOT encoded then: a pre-elastic
+  // parcel's bytes are unchanged and decode back to epoch 0.
+  EXPECT_EQ(d.epoch, 0u);
+
+  q.epoch = 7;
+  check_wire_size(q);
+  const auto de = decode_message<storage::TccBackfillReq>(encode_message(q));
+  EXPECT_EQ(de.epoch, 7u);
+  EXPECT_EQ(de.safe, q.safe);
+  EXPECT_EQ(de.chains.size(), q.chains.size());
+
   // An empty backfill (fresh follower of an empty slot) still frames.
   check_wire_size(storage::TccBackfillReq{});
 }

@@ -136,6 +136,94 @@ TEST(RoutingTable, ReplicaCodecIsTrailingOptionalAndRoundTrips) {
   EXPECT_FALSE(RoutingTable::decode(r0).replicated());
 }
 
+TEST(RoutingTable, ScaleInRetiresTrailingPartitionsOnly) {
+  const RoutingTable old_t =
+      RoutingTable::initial(addrs(6)).with_partitions_added(addrs(2, 200));
+  const RoutingTable new_t = old_t.with_partitions_removed(2);
+  EXPECT_EQ(new_t.epoch, old_t.epoch + 1);
+  EXPECT_EQ(new_t.num_partitions(), 6u);
+  EXPECT_EQ(new_t.num_slots(), old_t.num_slots());
+  EXPECT_EQ(new_t.partitions,
+            std::vector<PartitionAddress>(old_t.partitions.begin(),
+                                          old_t.partitions.begin() + 6));
+  // Survivor-owned slots never move; retirees' slots land on survivors.
+  for (size_t s = 0; s < new_t.num_slots(); ++s) {
+    if (old_t.slot_owner[s] < 6) {
+      EXPECT_EQ(new_t.slot_owner[s], old_t.slot_owner[s]) << "slot " << s;
+    } else {
+      EXPECT_LT(new_t.slot_owner[s], 6u) << "slot " << s;
+    }
+  }
+  // Deterministic: same input, same output.
+  EXPECT_EQ(new_t.slot_owner, old_t.with_partitions_removed(2).slot_owner);
+}
+
+TEST(RoutingTable, AddThenRemoveRestoresOriginalOwnership) {
+  // Draining the joiners exactly inverts the steal: the original (balanced,
+  // epoch-1) assignment returns, two epochs later.
+  for (size_t n : {3u, 4u, 16u}) {
+    for (size_t m : {1u, 2u, 5u}) {
+      const RoutingTable base = RoutingTable::initial(addrs(n));
+      const RoutingTable out = base.with_partitions_added(addrs(m, 500));
+      const RoutingTable back = out.with_partitions_removed(m);
+      EXPECT_EQ(back.slot_owner, base.slot_owner) << n << "+" << m;
+      EXPECT_EQ(back.partitions, base.partitions) << n << "+" << m;
+      EXPECT_EQ(back.epoch, base.epoch + 2) << n << "+" << m;
+    }
+  }
+}
+
+TEST(RoutingTable, ScaleInCodecRoundTripsReplicatedAndNot) {
+  RoutingTable t =
+      RoutingTable::initial(addrs(5)).with_partitions_removed(2);
+  BufWriter w;
+  t.encode(w);
+  const Buffer b = w.take();
+  EXPECT_EQ(b.size(), t.size_hint());
+  BufReader r(b);
+  const RoutingTable d = RoutingTable::decode(r);
+  EXPECT_EQ(d.epoch, t.epoch);
+  EXPECT_EQ(d.partitions, t.partitions);
+  EXPECT_EQ(d.slot_owner, t.slot_owner);
+  EXPECT_FALSE(d.replicated());
+
+  RoutingTable rt = RoutingTable::initial(addrs(4));
+  rt.replicas = {{6000}, {6004}, {6008}, {6012}};
+  const RoutingTable shrunk = rt.with_partitions_removed(1);
+  ASSERT_TRUE(shrunk.replicated());
+  EXPECT_EQ(shrunk.replicas.size(), 3u);  // retiree's chain dropped with it
+  BufWriter w2;
+  shrunk.encode(w2);
+  const Buffer b2 = w2.take();
+  EXPECT_EQ(b2.size(), shrunk.size_hint());
+  BufReader r2(b2);
+  const RoutingTable d2 = RoutingTable::decode(r2);
+  EXPECT_EQ(d2.replicas, shrunk.replicas);
+  EXPECT_EQ(d2.slot_owner, shrunk.slot_owner);
+}
+
+TEST(RoutingTable, StrictDecodeRejectsRetiredOwnersAndBadReplicaCount) {
+  // A table whose slot ring still references a retired partition id is
+  // corrupt: it can route a key to an owner with no address.
+  RoutingTable bad = RoutingTable::initial(addrs(4));
+  bad.slot_owner[3] = 7;  // beyond num_partitions
+  BufWriter w;
+  bad.encode(w);
+  const Buffer b = w.take();
+  BufReader r(b);
+  EXPECT_THROW(RoutingTable::decode(r), CodecError);
+
+  // Replica block with the wrong number of chains (e.g. pre-shrink chains
+  // glued onto a post-shrink partition list).
+  RoutingTable mismatched = RoutingTable::initial(addrs(3));
+  mismatched.replicas = {{6000}, {6004}};  // 2 chains for 3 partitions
+  BufWriter w2;
+  mismatched.encode(w2);
+  const Buffer b2 = w2.take();
+  BufReader r2(b2);
+  EXPECT_THROW(RoutingTable::decode(r2), CodecError);
+}
+
 TEST(RoutingTable, WithLeaderReplacedPromotesAndRetiresDeadLeader) {
   RoutingTable t = RoutingTable::initial(addrs(3));
   t.replicas = {{6000, 6001}, {6004, 6005}, {6008}};

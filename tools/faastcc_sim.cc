@@ -132,8 +132,37 @@ int main(int argc, char** argv) {
              &p.elastic.add_partitions);
   flags.duration_ms("elastic-at-ms", "sim-time of the epoch bump",
                     &p.elastic.at);
+  flags.size("elastic-remove", "trailing partitions drained mid-run",
+             &p.elastic.remove_partitions);
+  flags.duration_ms("elastic-remove-at-ms", "sim-time of the scale-in",
+                    &p.elastic.remove_at);
   flags.size("elastic-slots", "routing slots per partition",
              &p.elastic.slots_per_partition);
+  flags.size("autoscale-max", "autoscaler partition ceiling (0 disables)",
+             &p.autoscale.max_partitions);
+  flags.size("autoscale-min", "autoscaler floor (0 = starting count)",
+             &p.autoscale.min_partitions);
+  flags.duration_ms("autoscale-period-ms", "autoscaler check period",
+                    &p.autoscale.check_period);
+  flags.real("autoscale-high-ms", "scale-out when windowed p99 above this",
+             &p.autoscale.high_p99_ms);
+  flags.real("autoscale-low-ms", "scale-in when windowed p99 below this",
+             &p.autoscale.low_p99_ms);
+  flags.size("autoscale-breach", "consecutive breaching windows to act",
+             &p.autoscale.breach_checks);
+  flags.duration_ms("autoscale-cooldown-ms", "hold-off after an action",
+                    &p.autoscale.cooldown);
+  flags.size("autoscale-step", "partitions added/removed per action",
+             &p.autoscale.step);
+  flags.custom("workload-pattern", "none|bursty|diurnal|hotspot-shift",
+               "load-shaping pattern",
+               [&](const std::string& v) {
+                 return workload::parse_load_pattern(v, &p.workload.pattern);
+               });
+  flags.duration_ms("pattern-period-ms", "load-pattern cycle length",
+                    &p.workload.pattern_period);
+  flags.duration_ms("think-time-ms", "max off-peak inter-DAG pause",
+                    &p.workload.think_time);
   flags.size("replication-factor", "synchronous followers per partition",
              &p.replication.factor);
   flags.duration_ms("repl-lease-ms", "follower promotion lease timeout",
@@ -274,6 +303,16 @@ int main(int argc, char** argv) {
       std::printf(",\"repl_promotions\":%llu",
                   static_cast<unsigned long long>(promos->value()));
     }
+    if (const Counter* bumps =
+            result.metrics.find_counter("routing.epoch_bumps");
+        bumps != nullptr) {
+      // Appears only when the reconfiguration engine moved the table.
+      std::printf(
+          ",\"routing_epoch_bumps\":%llu,\"routing_epoch\":%.0f"
+          ",\"routing_active_partitions\":%.0f",
+          static_cast<unsigned long long>(bumps->value()), s.routing_epoch,
+          s.routing_active_partitions);
+    }
     if (resolved.trace.enabled) {
       // Trace-derived keys only appear when tracing is on, so existing
       // consumers of the default JSON shape are unaffected.
@@ -332,6 +371,11 @@ int main(int argc, char** argv) {
       promos != nullptr) {
     table.add_row({"leader promotions",
                    fmt(static_cast<double>(promos->value()), 0)});
+  }
+  if (result.metrics.find_counter("routing.epoch_bumps") != nullptr) {
+    table.add_row({"routing partitions @ epoch",
+                   fmt(s.routing_active_partitions, 0) + " @ " +
+                       fmt(s.routing_epoch, 0)});
   }
   if (resolved.trace.enabled) {
     table.add_row({"breakdown queue median", fmt(s.breakdown_queue_ms, 3) +
